@@ -1,0 +1,177 @@
+//! The analysis engine — the *JEPO optimizer* flow.
+//!
+//! §VII: the optimizer "provides suggestions for all the classes in a
+//! Java project"; its view lists class name, line number, and suggestion
+//! (Fig. 5). The engine runs every Table I rule over every file and
+//! returns the suggestion rows sorted the way the view shows them.
+
+use crate::rules::{all_rules, Rule, RuleCtx};
+use crate::suggestion::Suggestion;
+use jepo_jlang::{CompilationUnit, JavaProject, ParseError};
+
+/// A configured analyzer (rule set is pluggable for ablations).
+pub struct Analyzer {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// Analyzer with all Table I rules.
+    pub fn new() -> Analyzer {
+        Analyzer { rules: all_rules() }
+    }
+
+    /// Analyzer with a custom rule subset.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Analyzer {
+        Analyzer { rules }
+    }
+
+    /// All Table I rules plus the extension rules (exceptions/objects).
+    pub fn with_extensions() -> Analyzer {
+        let mut rules = all_rules();
+        rules.extend(crate::rules::extended_rules());
+        Analyzer { rules }
+    }
+
+    /// Number of active rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Analyze one parsed unit.
+    pub fn analyze_unit(&self, file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
+        let ctx = RuleCtx { file, unit };
+        let mut out: Vec<Suggestion> =
+            self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
+        out.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
+        });
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.component == b.component);
+        out
+    }
+
+    /// Analyze every file of a project (Fig. 5's "all the classes in a
+    /// Java project").
+    pub fn analyze_project(&self, project: &JavaProject) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        for f in project.files() {
+            out.extend(self.analyze_unit(&f.name, &f.unit));
+        }
+        out
+    }
+}
+
+/// Convenience: parse and analyze one source string.
+pub fn analyze_source(file: &str, src: &str) -> Result<Vec<Suggestion>, ParseError> {
+    let unit = jepo_jlang::parse_unit(src)?;
+    Ok(Analyzer::new().analyze_unit(file, &unit))
+}
+
+/// Convenience: analyze a parsed unit with the default rules.
+pub fn analyze_unit(file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
+    Analyzer::new().analyze_unit(file, unit)
+}
+
+/// Convenience: analyze a whole project with the default rules.
+pub fn analyze_project(project: &JavaProject) -> Vec<Suggestion> {
+    Analyzer::new().analyze_project(project)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suggestion::JavaComponent;
+
+    /// A source exercising every Table I component at least once.
+    const KITCHEN_SINK: &str = r#"
+class Sink {
+    static int hits;
+    double rate = 123456.0;
+    Double boxed;
+
+    String join(String[] parts, int n) {
+        String s = "";
+        for (int i = 0; i < n; i++) { s += parts[i]; }
+        return s;
+    }
+
+    boolean same(String a, String b) { return a.compareTo(b) == 0; }
+
+    int pick(int x) { return x > 0 && x < 9 && x != 4 ? x % 7 : 0; }
+
+    void copy(int[] a, int[] b, int n) {
+        for (int i = 0; i < n; i++) { b[i] = a[i]; }
+    }
+
+    double colSum(double[][] m, int n) {
+        double s = 0;
+        for (int j = 0; j < n; j++)
+            for (int i = 0; i < n; i++)
+                s += m[i][j];
+        return s;
+    }
+
+    long slow(short k) { return k; }
+}
+"#;
+
+    #[test]
+    fn kitchen_sink_triggers_every_component() {
+        let got = analyze_source("Sink.java", KITCHEN_SINK).unwrap();
+        let fired: std::collections::HashSet<JavaComponent> =
+            got.iter().map(|s| s.component).collect();
+        for c in JavaComponent::ALL {
+            assert!(fired.contains(&c), "{c:?} did not fire\nall: {fired:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_deduped() {
+        let got = analyze_source("Sink.java", KITCHEN_SINK).unwrap();
+        for w in got.windows(2) {
+            let a = (&w[0].file, w[0].line, w[0].component);
+            let b = (&w[1].file, w[1].line, w[1].component);
+            assert!(a <= b, "unsorted: {a:?} > {b:?}");
+            assert_ne!(a, b, "duplicate row");
+        }
+    }
+
+    #[test]
+    fn clean_code_has_no_suggestions() {
+        let clean = "class Clean {
+            int add(int a, int b) { return a + b; }
+            boolean eq(String a, String b) { return a.equals(b); }
+            void copy(int[] a, int[] b) { System.arraycopy(a, 0, b, 0, a.length); }
+        }";
+        let got = analyze_source("Clean.java", clean).unwrap();
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn project_analysis_covers_all_files() {
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { int f(int x) { return x % 2; } }").unwrap();
+        p.add_file("B.java", "class B { double d = 0.0001; }").unwrap();
+        let got = analyze_project(&p);
+        assert!(got.iter().any(|s| s.file == "A.java"));
+        assert!(got.iter().any(|s| s.file == "B.java"));
+    }
+
+    #[test]
+    fn rule_subset_is_respected() {
+        let analyzer = Analyzer::with_rules(vec![Box::new(
+            crate::rules::arithmetic_operators::ArithmeticOperatorsRule,
+        )]);
+        assert_eq!(analyzer.rule_count(), 1);
+        let unit = jepo_jlang::parse_unit("class A { int f(int x) { return x > 0 ? x % 2 : 0; } }")
+            .unwrap();
+        let got = analyzer.analyze_unit("A.java", &unit);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].component, JavaComponent::ArithmeticOperators);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jepo-analyzer — the static side of JEPO
+//!
+//! §VII: "JEPO analyzes each line of the code and checks for a specific
+//! pattern of code to generate various suggestions. These patterns relate
+//! to various components of Java programming language" — the eleven
+//! component categories of Table I. This crate implements:
+//!
+//! * [`suggestion`] — the suggestion pool: one [`suggestion::JavaComponent`]
+//!   per Table I row, each carrying the paper's hard-coded suggestion text
+//!   and worst-case energy factor.
+//! * [`rules`] — one detection rule per component, pattern-matching the
+//!   [`jepo_jlang`] AST (with spans, so every suggestion lands on a line).
+//! * [`engine`] — runs all rules over a file or project (the *JEPO
+//!   optimizer* flow of Fig. 5).
+//! * [`dynamic`] — incremental per-edit analysis (the *dynamic suggestion*
+//!   flow of Fig. 2: re-analyze the open file, report what changed).
+//! * [`metrics`] — the code metrics of Table II (dependencies, attributes,
+//!   methods, packages, LOC) over a project.
+//! * [`refactor`] — the automatic rewriter: applies rule fixes to the AST
+//!   and prints compilable source back out (JEPO's "statically refactor
+//!   already written code").
+//!
+//! ```
+//! use jepo_analyzer::analyze_source;
+//! let suggestions = analyze_source("Hot.java",
+//!     "class Hot { int f(int x) { return x % 10; } }").unwrap();
+//! assert!(suggestions.iter().any(|s| s.line == 1));
+//! ```
+
+pub mod dynamic;
+pub mod engine;
+pub mod metrics;
+pub mod refactor;
+pub mod rules;
+pub mod suggestion;
+
+pub use dynamic::DynamicAnalyzer;
+pub use engine::{analyze_project, analyze_source, analyze_unit, Analyzer};
+pub use metrics::{project_metrics, ClassMetrics};
+pub use refactor::{refactor_unit, RefactorKind, RefactorReport};
+pub use suggestion::{JavaComponent, Suggestion};

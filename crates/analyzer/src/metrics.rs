@@ -1,0 +1,177 @@
+//! Code metrics — the Table II columns.
+//!
+//! The paper characterizes each WEKA classifier by the metrics of its
+//! dependency closure, computed with the Eclipse Metrics plug-in and the
+//! Class Dependency Analyzer: **dependencies, attributes, methods,
+//! packages, LOC**. This module computes the same five numbers over a
+//! [`JavaProject`].
+
+use jepo_jlang::{JavaProject, SourceFile};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Table II row for one entry class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Entry class name.
+    pub class: String,
+    /// Number of classes in the transitive dependency closure
+    /// (the CDA "Dependencies" count).
+    pub dependencies: usize,
+    /// Total fields across the closure ("Attributes").
+    pub attributes: usize,
+    /// Total methods across the closure.
+    pub methods: usize,
+    /// Distinct packages in the closure.
+    pub packages: usize,
+    /// Total source lines across the closure's files.
+    pub loc: usize,
+}
+
+/// Compute Table II metrics for `entry_class` within `project`.
+///
+/// The closure is computed over the project-internal dependency graph
+/// (imports + referenced types), starting from the file declaring the
+/// entry class.
+pub fn class_metrics(project: &JavaProject, entry_class: &str) -> Option<ClassMetrics> {
+    let (entry_file, _) = project.find_class(entry_class)?;
+    // Map class name -> file index.
+    let mut owner: HashMap<&str, usize> = HashMap::new();
+    for (fi, f) in project.files().iter().enumerate() {
+        for c in &f.unit.types {
+            owner.insert(c.name.as_str(), fi);
+        }
+    }
+    // BFS over files.
+    let mut visited_files = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(entry_file);
+    while let Some(fi) = queue.pop_front() {
+        if !visited_files.insert(fi) {
+            continue;
+        }
+        let file = &project.files()[fi];
+        for dep in project.internal_dependencies(file) {
+            if let Some(&dfi) = owner.get(dep.as_str()) {
+                if !visited_files.contains(&dfi) {
+                    queue.push_back(dfi);
+                }
+            }
+        }
+    }
+    let files: Vec<&SourceFile> =
+        visited_files.iter().map(|&fi| &project.files()[fi]).collect();
+    let mut deps_classes = BTreeSet::new();
+    let mut attributes = 0;
+    let mut methods = 0;
+    let mut packages = BTreeSet::new();
+    let mut loc = 0;
+    for f in &files {
+        loc += f.text.lines().count();
+        if let Some(p) = &f.unit.package {
+            packages.insert(p.clone());
+        } else {
+            packages.insert(String::new()); // default package
+        }
+        for c in &f.unit.types {
+            deps_classes.insert(c.name.clone());
+            attributes += c.fields.len();
+            methods += c.methods.len();
+        }
+    }
+    Some(ClassMetrics {
+        class: entry_class.to_string(),
+        dependencies: deps_classes.len(),
+        attributes,
+        methods,
+        packages: packages.len(),
+        loc,
+    })
+}
+
+/// Metrics for every class that has a `main` or is explicitly listed.
+pub fn project_metrics(project: &JavaProject, entries: &[&str]) -> Vec<ClassMetrics> {
+    entries
+        .iter()
+        .filter_map(|e| class_metrics(project, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_project() -> JavaProject {
+        let mut p = JavaProject::new();
+        p.add_file(
+            "core/Instance.java",
+            "package core;\npublic class Instance {\n  double[] values;\n  int weight;\n  double get(int i) { return values[i]; }\n}",
+        )
+        .unwrap();
+        p.add_file(
+            "core/Dataset.java",
+            "package core;\npublic class Dataset {\n  Instance[] data;\n  int size() { return data.length; }\n}",
+        )
+        .unwrap();
+        p.add_file(
+            "trees/J48.java",
+            "package trees;\nimport core.Dataset;\npublic class J48 {\n  Dataset train;\n  void fit(Dataset d) { train = d; }\n  double classify(Instance x) { return 0.0; }\n}",
+        )
+        .unwrap();
+        p.add_file(
+            "lazy/IBk.java",
+            "package lazy;\npublic class IBk {\n  int k;\n  void setK(int k) { this.k = k; }\n}",
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn closure_follows_dependencies() {
+        let p = demo_project();
+        let m = class_metrics(&p, "J48").unwrap();
+        // J48 → Dataset → Instance; IBk not included.
+        assert_eq!(m.dependencies, 3);
+        assert_eq!(m.packages, 2);
+        assert_eq!(m.attributes, 2 + 1 + 1);
+        assert_eq!(m.methods, 2 + 1 + 1);
+        assert!(m.loc > 10);
+    }
+
+    #[test]
+    fn independent_class_has_small_closure() {
+        let p = demo_project();
+        let m = class_metrics(&p, "IBk").unwrap();
+        assert_eq!(m.dependencies, 1);
+        assert_eq!(m.packages, 1);
+    }
+
+    #[test]
+    fn metrics_are_similar_for_classes_sharing_a_core() {
+        // Table II's point: all classifiers have almost the same counts
+        // because they share the WEKA core. Model that here.
+        let p = demo_project();
+        let mut p2 = p.clone();
+        p2.add_file(
+            "trees/RandomTree.java",
+            "package trees;\nimport core.Dataset;\npublic class RandomTree {\n  Dataset train;\n  void fit(Dataset d) { train = d; }\n}",
+        )
+        .unwrap();
+        let a = class_metrics(&p2, "J48").unwrap();
+        let b = class_metrics(&p2, "RandomTree").unwrap();
+        assert_eq!(a.dependencies, b.dependencies + 1 - 1); // same closure size
+        assert!((a.loc as i64 - b.loc as i64).abs() < 10);
+    }
+
+    #[test]
+    fn unknown_entry_is_none() {
+        assert!(class_metrics(&demo_project(), "Nope").is_none());
+    }
+
+    #[test]
+    fn project_metrics_filters_known_entries() {
+        let p = demo_project();
+        let rows = project_metrics(&p, &["J48", "IBk", "Ghost"]);
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,707 @@
+//! The automatic rewriter — JEPO's "use suggestions to refactor already
+//! written code".
+//!
+//! Each [`RefactorKind`] mechanically applies one Table I suggestion to
+//! the AST; printing the result with [`jepo_jlang::pretty_print`] yields
+//! compilable source. Safe rewrites preserve semantics exactly;
+//! *aggressive* rewrites (`double`→`float`, `long`→`int`) trade precision
+//! for energy — the paper applies these to WEKA and reports the resulting
+//! accuracy drop in Table IV.
+
+use crate::rules::array_copy::match_copy_loop;
+use jepo_jlang::{
+    AssignOp, BinOp, Block, CompilationUnit, Expr, ExprKind, Lit, PrimType, Span, Stmt,
+    StmtKind, Type, UnaryOp,
+};
+use serde::{Deserialize, Serialize};
+
+/// One mechanical rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefactorKind {
+    /// `x = c ? a : b;` / `return c ? a : b;` → `if`/`else`.
+    TernaryToIfElse,
+    /// `a.compareTo(b) == 0` → `a.equals(b)` (and `!=` → negation).
+    CompareToToEquals,
+    /// Manual `for` copy loop → `System.arraycopy`.
+    ManualCopyToArrayCopy,
+    /// Column-major nested loops → interchanged (row-major).
+    LoopInterchange,
+    /// Plain decimal literals → scientific notation.
+    ScientificNotation,
+    /// `a + b + c` string chains → `new StringBuilder().append(…)`.
+    ConcatToBuilder,
+    /// AGGRESSIVE: `double` → `float` everywhere (precision loss — the
+    /// source of Table IV's accuracy-drop column).
+    DemoteDoubleToFloat,
+    /// AGGRESSIVE: `long` → `int` everywhere.
+    DemoteLongToInt,
+}
+
+impl RefactorKind {
+    /// The semantics-preserving set.
+    pub const SAFE: [RefactorKind; 6] = [
+        RefactorKind::TernaryToIfElse,
+        RefactorKind::CompareToToEquals,
+        RefactorKind::ManualCopyToArrayCopy,
+        RefactorKind::LoopInterchange,
+        RefactorKind::ScientificNotation,
+        RefactorKind::ConcatToBuilder,
+    ];
+
+    /// Safe + precision-trading rewrites (what the paper applied).
+    pub const ALL: [RefactorKind; 8] = [
+        RefactorKind::TernaryToIfElse,
+        RefactorKind::CompareToToEquals,
+        RefactorKind::ManualCopyToArrayCopy,
+        RefactorKind::LoopInterchange,
+        RefactorKind::ScientificNotation,
+        RefactorKind::ConcatToBuilder,
+        RefactorKind::DemoteDoubleToFloat,
+        RefactorKind::DemoteLongToInt,
+    ];
+}
+
+/// What a refactoring pass changed.
+#[derive(Debug, Clone, Default)]
+pub struct RefactorReport {
+    /// `(kind, line)` per applied rewrite — the paper's "Changes" count
+    /// in Table IV is the length of this list.
+    pub applied: Vec<(RefactorKind, u32)>,
+}
+
+impl RefactorReport {
+    /// Number of changes (Table IV "Changes" column analogue).
+    pub fn change_count(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// Changes of one kind.
+    pub fn count_of(&self, kind: RefactorKind) -> usize {
+        self.applied.iter().filter(|(k, _)| *k == kind).count()
+    }
+}
+
+/// Apply the requested rewrites to a unit in place.
+pub fn refactor_unit(unit: &mut CompilationUnit, kinds: &[RefactorKind]) -> RefactorReport {
+    let mut rep = RefactorReport::default();
+    for class in &mut unit.types {
+        for field in &mut class.fields {
+            if let Some(init) = &mut field.init {
+                rewrite_expr(init, kinds, &mut rep);
+            }
+            rewrite_type(&mut field.ty, kinds, field.span.line, &mut rep);
+        }
+        for method in &mut class.methods {
+            rewrite_type(&mut method.ret, kinds, method.span.line, &mut rep);
+            for p in &mut method.params {
+                rewrite_type(&mut p.ty, kinds, method.span.line, &mut rep);
+            }
+            if let Some(body) = &mut method.body {
+                rewrite_block(body, kinds, &mut rep);
+            }
+        }
+    }
+    rep
+}
+
+fn has(kinds: &[RefactorKind], k: RefactorKind) -> bool {
+    kinds.contains(&k)
+}
+
+fn rewrite_type(ty: &mut Type, kinds: &[RefactorKind], line: u32, rep: &mut RefactorReport) {
+    match ty {
+        Type::Prim(p @ PrimType::Double) if has(kinds, RefactorKind::DemoteDoubleToFloat) => {
+            *p = PrimType::Float;
+            rep.applied.push((RefactorKind::DemoteDoubleToFloat, line));
+        }
+        Type::Prim(p @ PrimType::Long) if has(kinds, RefactorKind::DemoteLongToInt) => {
+            *p = PrimType::Int;
+            rep.applied.push((RefactorKind::DemoteLongToInt, line));
+        }
+        Type::Array(inner, _) => rewrite_type(inner, kinds, line, rep),
+        _ => {}
+    }
+}
+
+fn rewrite_block(block: &mut Block, kinds: &[RefactorKind], rep: &mut RefactorReport) {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        // Statement-level rewrites may replace the statement wholesale.
+        if let Some(replacement) = stmt_level_rewrite(&block.stmts[i], kinds, rep) {
+            block.stmts[i] = replacement;
+        }
+        rewrite_stmt(&mut block.stmts[i], kinds, rep);
+        i += 1;
+    }
+}
+
+/// Rewrites that replace a whole statement. Returns the new statement.
+fn stmt_level_rewrite(
+    stmt: &Stmt,
+    kinds: &[RefactorKind],
+    rep: &mut RefactorReport,
+) -> Option<Stmt> {
+    let line = stmt.span.line;
+    // --- manual copy loop → System.arraycopy ---
+    if has(kinds, RefactorKind::ManualCopyToArrayCopy) {
+        if let Some((dst, src, _)) = match_copy_loop(stmt) {
+            if let StmtKind::For { init, cond, .. } = &stmt.kind {
+                if let Some(bound) = copy_loop_bound(init, cond.as_ref()) {
+                    rep.applied.push((RefactorKind::ManualCopyToArrayCopy, line));
+                    let call = Expr::new(
+                        ExprKind::Call {
+                            target: Some(Box::new(Expr::new(
+                                ExprKind::Name("System".into()),
+                                stmt.span,
+                            ))),
+                            name: "arraycopy".into(),
+                            args: vec![
+                                name_expr(&src, stmt.span),
+                                int_expr(0, stmt.span),
+                                name_expr(&dst, stmt.span),
+                                int_expr(0, stmt.span),
+                                bound,
+                            ],
+                        },
+                        stmt.span,
+                    );
+                    return Some(Stmt { kind: StmtKind::Expr(call), span: stmt.span });
+                }
+            }
+        }
+    }
+    // --- ternary in assignment/return → if/else ---
+    if has(kinds, RefactorKind::TernaryToIfElse) {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                if let ExprKind::Assign(lhs, op @ AssignOp::Assign, rhs) = &e.kind {
+                    if let ExprKind::Ternary(c, t, f) = &rhs.kind {
+                        rep.applied.push((RefactorKind::TernaryToIfElse, line));
+                        let mk = |val: &Expr| Stmt {
+                            kind: StmtKind::Expr(Expr::new(
+                                ExprKind::Assign(lhs.clone(), *op, Box::new(val.clone())),
+                                stmt.span,
+                            )),
+                            span: stmt.span,
+                        };
+                        return Some(Stmt {
+                            kind: StmtKind::If {
+                                cond: (**c).clone(),
+                                then: Box::new(mk(t)),
+                                els: Some(Box::new(mk(f))),
+                            },
+                            span: stmt.span,
+                        });
+                    }
+                }
+            }
+            StmtKind::Return(Some(e)) => {
+                if let ExprKind::Ternary(c, t, f) = &e.kind {
+                    rep.applied.push((RefactorKind::TernaryToIfElse, line));
+                    let mk = |val: &Expr| Stmt {
+                        kind: StmtKind::Return(Some(val.clone())),
+                        span: stmt.span,
+                    };
+                    return Some(Stmt {
+                        kind: StmtKind::If {
+                            cond: (**c).clone(),
+                            then: Box::new(mk(t)),
+                            els: Some(Box::new(mk(f))),
+                        },
+                        span: stmt.span,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // --- column-major nested loops → interchange ---
+    if has(kinds, RefactorKind::LoopInterchange) {
+        if let StmtKind::For { init, cond, update, body } = &stmt.kind {
+            if !crate::rules::array_traversal::column_major_lines(stmt).is_empty() {
+                // Inner loop must be the only statement of the body.
+                let inner = match &body.kind {
+                    StmtKind::Block(b) if b.stmts.len() == 1 => Some(&b.stmts[0]),
+                    StmtKind::For { .. } => Some(body.as_ref()),
+                    _ => None,
+                };
+                if let Some(Stmt {
+                    kind: StmtKind::For { init: i2, cond: c2, update: u2, body: b2 },
+                    ..
+                }) = inner
+                {
+                    rep.applied.push((RefactorKind::LoopInterchange, line));
+                    // Swap headers, keep the innermost body.
+                    let new_inner = Stmt {
+                        kind: StmtKind::For {
+                            init: init.clone(),
+                            cond: cond.clone(),
+                            update: update.clone(),
+                            body: b2.clone(),
+                        },
+                        span: stmt.span,
+                    };
+                    return Some(Stmt {
+                        kind: StmtKind::For {
+                            init: i2.clone(),
+                            cond: c2.clone(),
+                            update: u2.clone(),
+                            body: Box::new(new_inner),
+                        },
+                        span: stmt.span,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extract the loop bound from `for (int i = 0; i < BOUND; ...)`.
+fn copy_loop_bound(init: &[Stmt], cond: Option<&Expr>) -> Option<Expr> {
+    // Require `i = 0` start (otherwise offsets would be needed).
+    let starts_at_zero = init.iter().any(|s| match &s.kind {
+        StmtKind::Local { vars, .. } => vars
+            .first()
+            .and_then(|(_, _, init)| init.as_ref())
+            .map(|e| matches!(e.kind, ExprKind::Literal(Lit::Int { value: 0, .. })))
+            .unwrap_or(false),
+        _ => false,
+    });
+    if !starts_at_zero {
+        return None;
+    }
+    match &cond?.kind {
+        ExprKind::Binary(BinOp::Lt, _, bound) => Some((**bound).clone()),
+        _ => None,
+    }
+}
+
+fn rewrite_stmt(stmt: &mut Stmt, kinds: &[RefactorKind], rep: &mut RefactorReport) {
+    let line = stmt.span.line;
+    match &mut stmt.kind {
+        StmtKind::Local { ty, vars, .. } => {
+            rewrite_type(ty, kinds, line, rep);
+            for (_, _, init) in vars {
+                if let Some(e) = init {
+                    rewrite_expr(e, kinds, rep);
+                }
+            }
+        }
+        StmtKind::Expr(e) | StmtKind::Throw(e) => rewrite_expr(e, kinds, rep),
+        StmtKind::Return(Some(e)) => rewrite_expr(e, kinds, rep),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
+        StmtKind::If { cond, then, els } => {
+            rewrite_expr(cond, kinds, rep);
+            rewrite_boxed_stmt(then, kinds, rep);
+            if let Some(e) = els {
+                rewrite_boxed_stmt(e, kinds, rep);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rewrite_expr(cond, kinds, rep);
+            rewrite_boxed_stmt(body, kinds, rep);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            rewrite_boxed_stmt(body, kinds, rep);
+            rewrite_expr(cond, kinds, rep);
+        }
+        StmtKind::For { init, cond, update, body } => {
+            for s in init {
+                rewrite_stmt(s, kinds, rep);
+            }
+            if let Some(c) = cond {
+                rewrite_expr(c, kinds, rep);
+            }
+            for u in update {
+                rewrite_expr(u, kinds, rep);
+            }
+            rewrite_boxed_stmt(body, kinds, rep);
+        }
+        StmtKind::ForEach { ty, iter, body, .. } => {
+            rewrite_type(ty, kinds, line, rep);
+            rewrite_expr(iter, kinds, rep);
+            rewrite_boxed_stmt(body, kinds, rep);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            rewrite_expr(scrutinee, kinds, rep);
+            for c in cases {
+                for l in c.labels.iter_mut().flatten() {
+                    rewrite_expr(l, kinds, rep);
+                }
+                for s in &mut c.body {
+                    rewrite_stmt(s, kinds, rep);
+                }
+            }
+        }
+        StmtKind::Try { body, catches, finally } => {
+            rewrite_block(body, kinds, rep);
+            for (_, _, b) in catches {
+                rewrite_block(b, kinds, rep);
+            }
+            if let Some(f) = finally {
+                rewrite_block(f, kinds, rep);
+            }
+        }
+        StmtKind::Block(b) => rewrite_block(b, kinds, rep),
+        StmtKind::Synchronized(e, b) => {
+            rewrite_expr(e, kinds, rep);
+            rewrite_block(b, kinds, rep);
+        }
+    }
+}
+
+fn rewrite_boxed_stmt(stmt: &mut Stmt, kinds: &[RefactorKind], rep: &mut RefactorReport) {
+    if let Some(replacement) = stmt_level_rewrite(stmt, kinds, rep) {
+        *stmt = replacement;
+    }
+    rewrite_stmt(stmt, kinds, rep);
+}
+
+fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) {
+    let line = e.span.line;
+    // --- a + b + c string chain → StringBuilder (top-down: the chain
+    // must be matched before children are rewritten, or inner sub-chains
+    // get builderized first and break the outer match) ---
+    if has(kinds, RefactorKind::ConcatToBuilder) {
+        if let Some(parts) = string_concat_chain(e) {
+            if parts.len() >= 3 {
+                rep.applied.push((RefactorKind::ConcatToBuilder, line));
+                let mut builder = Expr::new(
+                    ExprKind::New { class: "StringBuilder".into(), args: vec![] },
+                    e.span,
+                );
+                for p in parts {
+                    builder = Expr::new(
+                        ExprKind::Call {
+                            target: Some(Box::new(builder)),
+                            name: "append".into(),
+                            args: vec![p],
+                        },
+                        e.span,
+                    );
+                }
+                e.kind = ExprKind::Call {
+                    target: Some(Box::new(builder)),
+                    name: "toString".into(),
+                    args: vec![],
+                };
+            }
+        }
+    }
+    // Bottom-up: rewrite children first.
+    match &mut e.kind {
+        ExprKind::Unary(_, inner) | ExprKind::Cast(_, inner) | ExprKind::InstanceOf(inner, _) => {
+            rewrite_expr(inner, kinds, rep)
+        }
+        ExprKind::Binary(_, l, r) | ExprKind::Assign(l, _, r) => {
+            rewrite_expr(l, kinds, rep);
+            rewrite_expr(r, kinds, rep);
+        }
+        ExprKind::Ternary(c, t, f) => {
+            rewrite_expr(c, kinds, rep);
+            rewrite_expr(t, kinds, rep);
+            rewrite_expr(f, kinds, rep);
+        }
+        ExprKind::FieldAccess(inner, _) => rewrite_expr(inner, kinds, rep),
+        ExprKind::Index(a, idxs) => {
+            rewrite_expr(a, kinds, rep);
+            for i in idxs {
+                rewrite_expr(i, kinds, rep);
+            }
+        }
+        ExprKind::Call { target, args, .. } => {
+            if let Some(t) = target {
+                rewrite_expr(t, kinds, rep);
+            }
+            for a in args {
+                rewrite_expr(a, kinds, rep);
+            }
+        }
+        ExprKind::New { args, .. } => {
+            for a in args {
+                rewrite_expr(a, kinds, rep);
+            }
+        }
+        ExprKind::NewArray { elem, dims, init, .. } => {
+            rewrite_type(elem, kinds, line, rep);
+            for d in dims {
+                rewrite_expr(d, kinds, rep);
+            }
+            if let Some(items) = init {
+                for it in items {
+                    rewrite_expr(it, kinds, rep);
+                }
+            }
+        }
+        ExprKind::ArrayInit(items) => {
+            for it in items {
+                rewrite_expr(it, kinds, rep);
+            }
+        }
+        _ => {}
+    }
+    // --- scientific notation ---
+    if has(kinds, RefactorKind::ScientificNotation) {
+        if let ExprKind::Literal(Lit::Float { value, scientific, .. }) = &mut e.kind {
+            let a = value.abs();
+            if !*scientific && a != 0.0 && !(0.001..10_000.0).contains(&a) {
+                *scientific = true;
+                rep.applied.push((RefactorKind::ScientificNotation, line));
+            }
+        }
+    }
+    // --- compareTo == 0 → equals ---
+    if has(kinds, RefactorKind::CompareToToEquals) {
+        let rewrite = match &e.kind {
+            ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne), l, r) => {
+                let zero = matches!(r.kind, ExprKind::Literal(Lit::Int { value: 0, .. }));
+                match (&l.kind, zero) {
+                    (ExprKind::Call { target: Some(t), name, args }, true)
+                        if name == "compareTo" && args.len() == 1 =>
+                    {
+                        Some((*op, t.clone(), args[0].clone()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some((op, target, arg)) = rewrite {
+            rep.applied.push((RefactorKind::CompareToToEquals, line));
+            let equals = Expr::new(
+                ExprKind::Call { target: Some(target), name: "equals".into(), args: vec![arg] },
+                e.span,
+            );
+            e.kind = if op == BinOp::Eq {
+                equals.kind
+            } else {
+                ExprKind::Unary(UnaryOp::Not, Box::new(equals))
+            };
+        }
+    }
+}
+
+/// If `e` is a `+` chain containing a string literal, return its operands
+/// left-to-right.
+fn string_concat_chain(e: &Expr) -> Option<Vec<Expr>> {
+    fn collect(e: &Expr, out: &mut Vec<Expr>, saw_string: &mut bool) {
+        match &e.kind {
+            ExprKind::Binary(BinOp::Add, l, r) => {
+                collect(l, out, saw_string);
+                collect(r, out, saw_string);
+            }
+            ExprKind::Literal(Lit::Str(_)) => {
+                *saw_string = true;
+                out.push(e.clone());
+            }
+            _ => out.push(e.clone()),
+        }
+    }
+    if !matches!(&e.kind, ExprKind::Binary(BinOp::Add, _, _)) {
+        return None;
+    }
+    let mut parts = Vec::new();
+    let mut saw_string = false;
+    collect(e, &mut parts, &mut saw_string);
+    if saw_string {
+        Some(parts)
+    } else {
+        None
+    }
+}
+
+fn name_expr(name: &str, span: Span) -> Expr {
+    Expr::new(ExprKind::Name(name.to_string()), span)
+}
+
+fn int_expr(v: i64, span: Span) -> Expr {
+    Expr::new(ExprKind::Literal(Lit::Int { value: v, long: false }), span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jepo_jlang::{parse_unit, pretty_print};
+
+    fn apply(src: &str, kinds: &[RefactorKind]) -> (String, RefactorReport) {
+        let mut unit = parse_unit(src).unwrap();
+        let rep = refactor_unit(&mut unit, kinds);
+        let printed = pretty_print(&unit);
+        // Output must stay parseable.
+        parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+        (printed, rep)
+    }
+
+    #[test]
+    fn ternary_becomes_if_else() {
+        let (out, rep) = apply(
+            "class A { int f(int x) { int r = 0; r = x > 0 ? 1 : 2; return r; } }",
+            &[RefactorKind::TernaryToIfElse],
+        );
+        assert_eq!(rep.count_of(RefactorKind::TernaryToIfElse), 1);
+        assert!(out.contains("if (x > 0)"));
+        assert!(!out.contains('?'));
+    }
+
+    #[test]
+    fn return_ternary_becomes_if_else() {
+        let (out, rep) = apply(
+            "class A { int f(int x) { return x > 0 ? 1 : 2; } }",
+            &[RefactorKind::TernaryToIfElse],
+        );
+        assert_eq!(rep.change_count(), 1);
+        assert!(out.contains("return 1;") && out.contains("return 2;"));
+    }
+
+    #[test]
+    fn compareto_eq_zero_becomes_equals() {
+        let (out, rep) = apply(
+            "class A { boolean f(String a, String b) { return a.compareTo(b) == 0; } }",
+            &[RefactorKind::CompareToToEquals],
+        );
+        assert_eq!(rep.change_count(), 1);
+        assert!(out.contains("a.equals(b)"));
+        let (out2, _) = apply(
+            "class A { boolean f(String a, String b) { return a.compareTo(b) != 0; } }",
+            &[RefactorKind::CompareToToEquals],
+        );
+        assert!(out2.contains("!(a.equals(b))") || out2.contains("!a.equals(b)"));
+    }
+
+    #[test]
+    fn manual_copy_becomes_arraycopy() {
+        let (out, rep) = apply(
+            "class A { void m(int[] a, int[] b, int n) {
+               for (int i = 0; i < n; i++) { b[i] = a[i]; }
+             } }",
+            &[RefactorKind::ManualCopyToArrayCopy],
+        );
+        assert_eq!(rep.change_count(), 1);
+        assert!(out.contains("System.arraycopy(a, 0, b, 0, n)"));
+        assert!(!out.contains("for ("));
+    }
+
+    #[test]
+    fn copy_loop_not_starting_at_zero_is_left_alone() {
+        let (out, rep) = apply(
+            "class A { void m(int[] a, int[] b, int n) {
+               for (int i = 1; i < n; i++) { b[i] = a[i]; }
+             } }",
+            &[RefactorKind::ManualCopyToArrayCopy],
+        );
+        assert_eq!(rep.change_count(), 0);
+        assert!(out.contains("for ("));
+    }
+
+    #[test]
+    fn column_major_loops_are_interchanged() {
+        let (out, rep) = apply(
+            "class A { double f(double[][] m, int n) {
+               double s = 0;
+               for (int j = 0; j < n; j++) {
+                 for (int i = 0; i < n; i++) {
+                   s += m[i][j];
+                 }
+               }
+               return s;
+             } }",
+            &[RefactorKind::LoopInterchange],
+        );
+        assert_eq!(rep.count_of(RefactorKind::LoopInterchange), 1);
+        // After interchange the i-loop is outermost.
+        let i_pos = out.find("int i = 0").unwrap();
+        let j_pos = out.find("int j = 0").unwrap();
+        assert!(i_pos < j_pos, "i loop should now be outer:\n{out}");
+    }
+
+    #[test]
+    fn scientific_rewrite_changes_literal_spelling() {
+        let (out, rep) = apply(
+            "class A { double big = 1500000.0; double small = 0.5; }",
+            &[RefactorKind::ScientificNotation],
+        );
+        assert_eq!(rep.change_count(), 1);
+        assert!(out.contains("1.5e6") || out.contains("1.5E6") || out.contains("e6"),
+            "{out}");
+        assert!(out.contains("0.5"));
+    }
+
+    #[test]
+    fn concat_chain_becomes_builder() {
+        let (out, rep) = apply(
+            "class A { String f(int a, int b) { return \"a=\" + a + \", b=\" + b; } }",
+            &[RefactorKind::ConcatToBuilder],
+        );
+        assert_eq!(rep.count_of(RefactorKind::ConcatToBuilder), 1);
+        assert!(out.contains("new StringBuilder()"));
+        assert!(out.matches(".append(").count() >= 4);
+        assert!(out.contains(".toString()"));
+    }
+
+    #[test]
+    fn numeric_addition_is_not_builderized() {
+        let (_, rep) = apply(
+            "class A { int f(int a, int b, int c) { return a + b + c; } }",
+            &[RefactorKind::ConcatToBuilder],
+        );
+        assert_eq!(rep.change_count(), 0);
+    }
+
+    #[test]
+    fn aggressive_demotions_rewrite_types() {
+        let (out, rep) = apply(
+            "class A { double x; long y; double f(double d, long l) { double t = d; return t; } }",
+            &[RefactorKind::DemoteDoubleToFloat, RefactorKind::DemoteLongToInt],
+        );
+        assert!(rep.count_of(RefactorKind::DemoteDoubleToFloat) >= 4);
+        assert!(rep.count_of(RefactorKind::DemoteLongToInt) >= 2);
+        assert!(!out.contains("double") && !out.contains("long"));
+        assert!(out.contains("float") && out.contains("int"));
+    }
+
+    #[test]
+    fn change_count_matches_applied_list() {
+        let (_, rep) = apply(
+            "class A { int f(int x, String s) {
+               int r = x > 0 ? 1 : 2;
+               boolean b = s.compareTo(\"q\") == 0;
+               return r;
+             } }",
+            &RefactorKind::SAFE,
+        );
+        assert_eq!(rep.change_count(), rep.applied.len());
+        assert!(rep.change_count() >= 1);
+    }
+
+    #[test]
+    fn refactored_code_runs_identically() {
+        // End-to-end: apply safe refactorings, execute both versions on
+        // the VM, outputs must match.
+        let src = "class M {
+            static int[] copy(int[] a) {
+                int[] b = new int[a.length];
+                for (int i = 0; i < a.length; i++) { b[i] = a[i]; }
+                return b;
+            }
+            public static void main(String[] z) {
+                int[] a = new int[]{3, 1, 4, 1, 5};
+                int[] b = copy(a);
+                int s = 0;
+                for (int v : b) s += v;
+                System.out.println(s > 10 ? \"big\" : \"small\");
+                System.out.println(\"x\".compareTo(\"x\") == 0);
+            } }";
+        let mut unit = parse_unit(src).unwrap();
+        let rep = refactor_unit(&mut unit, &RefactorKind::SAFE);
+        assert!(rep.change_count() >= 2, "{:?}", rep.applied);
+        let refactored = pretty_print(&unit);
+        let mut vm1 = jepo_jvm::Vm::from_source(src).unwrap();
+        let mut vm2 = jepo_jvm::Vm::from_source(&refactored).unwrap();
+        let o1 = vm1.run_main().unwrap();
+        let o2 = vm2.run_main().unwrap();
+        assert_eq!(o1.stdout, o2.stdout);
+        // And the refactored version costs less energy.
+        assert!(o2.energy.package_j <= o1.energy.package_j);
+    }
+}

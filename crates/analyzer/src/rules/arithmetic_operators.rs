@@ -1,0 +1,57 @@
+//! Rule: the modulus operator (Table I row 5).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, AssignOp, BinOp, ExprKind};
+
+/// Flags every `%` / `%=` ("Modulus arithmetic operator consumes up to
+/// 1,620% more energy than other arithmetic operators").
+pub struct ArithmeticOperatorsRule;
+
+impl Rule for ArithmeticOperatorsRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ArithmeticOperators
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        ctx.for_each_expr(|c, e| {
+            let hit = matches!(
+                &e.kind,
+                ExprKind::Binary(BinOp::Rem, _, _)
+                    | ExprKind::Assign(_, AssignOp::Compound(BinOp::Rem), _)
+            );
+            if hit {
+                out.push(Suggestion::new(
+                    ctx.file,
+                    &ctx.class_name(c),
+                    e.span.line,
+                    self.component(),
+                    printer::print_expr(e),
+                ));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_modulus_and_modulus_assign() {
+        let lines = fired_lines(
+            &ArithmeticOperatorsRule,
+            "class A { void m(int x) {\nint a = x % 3;\nx %= 2;\nint b = x / 3;\n} }",
+        );
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn other_operators_are_fine() {
+        assert!(run_rule(&ArithmeticOperatorsRule, "class A { int f(int x) { return x * 2 + 1; } }")
+            .is_empty());
+    }
+}

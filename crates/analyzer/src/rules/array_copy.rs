@@ -1,0 +1,116 @@
+//! Rule: manual array-copy loops (Table I row 10).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, AssignOp, ExprKind, Stmt, StmtKind};
+
+/// Flags `for` loops whose body is exactly `dst[i] = src[i];` with `i`
+/// the loop variable ("System.arraycopy() is the most energy-efficient
+/// way to copy Arrays").
+pub struct ArrayCopyRule;
+
+/// If `stmt` is a manual copy loop, return `(dst, src, line)` rendered.
+pub fn match_copy_loop(stmt: &Stmt) -> Option<(String, String, u32)> {
+    let StmtKind::For { init, body, .. } = &stmt.kind else {
+        return None;
+    };
+    // Loop variable from `int i = ...` or `i = ...` in init.
+    let loop_var = init.iter().find_map(|s| match &s.kind {
+        StmtKind::Local { vars, .. } => vars.first().map(|(n, _, _)| n.clone()),
+        StmtKind::Expr(e) => match &e.kind {
+            ExprKind::Assign(l, AssignOp::Assign, _) => match &l.kind {
+                ExprKind::Name(n) => Some(n.clone()),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    })?;
+    // Body: single statement `a[i] = b[i];`.
+    let inner = match &body.kind {
+        StmtKind::Block(b) if b.stmts.len() == 1 => &b.stmts[0],
+        StmtKind::Expr(_) => body.as_ref(),
+        _ => return None,
+    };
+    let StmtKind::Expr(e) = &inner.kind else {
+        return None;
+    };
+    let ExprKind::Assign(lhs, AssignOp::Assign, rhs) = &e.kind else {
+        return None;
+    };
+    let index_by_var = |x: &jepo_jlang::Expr| -> Option<String> {
+        if let ExprKind::Index(arr, idxs) = &x.kind {
+            if idxs.len() == 1 {
+                if let ExprKind::Name(iv) = &idxs[0].kind {
+                    if *iv == loop_var {
+                        return Some(printer::print_expr(arr));
+                    }
+                }
+            }
+        }
+        None
+    };
+    let dst = index_by_var(lhs)?;
+    let src = index_by_var(rhs)?;
+    Some((dst, src, stmt.span.line))
+}
+
+impl Rule for ArrayCopyRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ArraysCopy
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        ctx.for_each_stmt(|c, _m, s| {
+            if let Some((dst, src, line)) = match_copy_loop(s) {
+                out.push(Suggestion::new(
+                    ctx.file,
+                    &ctx.class_name(c),
+                    line,
+                    self.component(),
+                    format!("{dst}[i] = {src}[i] in loop"),
+                ));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_manual_copy_loop() {
+        let got = run_rule(
+            &ArrayCopyRule,
+            "class A { void m(int[] a, int[] b) {
+               for (int i = 0; i < a.length; i++) { b[i] = a[i]; }
+             } }",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].matched.contains("b[i] = a[i]"));
+    }
+
+    #[test]
+    fn transforming_loops_are_fine() {
+        assert!(run_rule(
+            &ArrayCopyRule,
+            "class A { void m(int[] a, int[] b) {
+               for (int i = 0; i < a.length; i++) { b[i] = a[i] * 2; }
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn arraycopy_call_is_fine() {
+        assert!(run_rule(
+            &ArrayCopyRule,
+            "class A { void m(int[] a, int[] b) { System.arraycopy(a, 0, b, 0, a.length); } }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Rule: 2-D array column-major traversal (Table I row 11).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{ExprKind, Stmt, StmtKind};
+
+/// Flags nested loops that index a 2-D array as `m[inner][outer]`
+/// ("Two-dimensional Array column traversal result in up to 793% more
+/// energy") — the inner loop variable striding the *first* dimension
+/// walks down columns.
+pub struct ArrayTraversalRule;
+
+fn loop_var(stmt: &Stmt) -> Option<(String, &Stmt)> {
+    if let StmtKind::For { init, body, .. } = &stmt.kind {
+        let var = init.iter().find_map(|s| match &s.kind {
+            StmtKind::Local { vars, .. } => vars.first().map(|(n, _, _)| n.clone()),
+            _ => None,
+        })?;
+        return Some((var, body));
+    }
+    None
+}
+
+fn mentions(e: &jepo_jlang::Expr, name: &str) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let ExprKind::Name(n) = &x.kind {
+            if n == name {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Detect column-major accesses inside `outer`/`inner` loop pair;
+/// returns matched lines.
+pub fn column_major_lines(outer_stmt: &Stmt) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    let Some((outer_var, outer_body)) = loop_var(outer_stmt) else {
+        return hits;
+    };
+    // Find directly nested for loops.
+    let inner_candidates: Vec<&Stmt> = match &outer_body.kind {
+        StmtKind::Block(b) => b.stmts.iter().collect(),
+        _ => vec![outer_body],
+    };
+    for cand in inner_candidates {
+        let Some((inner_var, inner_body)) = loop_var(cand) else {
+            continue;
+        };
+        jepo_jlang::walk_stmt_exprs(inner_body, &mut |e| {
+            if let ExprKind::Index(_, idxs) = &e.kind {
+                if idxs.len() == 2
+                    && mentions(&idxs[0], &inner_var)
+                    && mentions(&idxs[1], &outer_var)
+                {
+                    hits.push((e.span.line, jepo_jlang::printer::print_expr(e)));
+                }
+            }
+        });
+    }
+    hits
+}
+
+impl Rule for ArrayTraversalRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ArrayTraversal
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        ctx.for_each_stmt(|c, _m, s| {
+            for (line, snippet) in column_major_lines(s) {
+                if seen.insert(line) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        line,
+                        self.component(),
+                        snippet,
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_column_major() {
+        let got = run_rule(
+            &ArrayTraversalRule,
+            "class A { double sum(double[][] m, int n) {
+               double s = 0;
+               for (int j = 0; j < n; j++)
+                 for (int i = 0; i < n; i++)
+                   s += m[i][j];
+               return s;
+             } }",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].matched.contains("m[i][j]"));
+    }
+
+    #[test]
+    fn row_major_is_fine() {
+        assert!(run_rule(
+            &ArrayTraversalRule,
+            "class A { double sum(double[][] m, int n) {
+               double s = 0;
+               for (int i = 0; i < n; i++)
+                 for (int j = 0; j < n; j++)
+                   s += m[i][j];
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_access_is_fine() {
+        assert!(run_rule(
+            &ArrayTraversalRule,
+            "class A { int sum(int[] v, int n) {
+               int s = 0;
+               for (int i = 0; i < n; i++)
+                 for (int j = 0; j < n; j++)
+                   s += v[j];
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Extension rules beyond Table I.
+//!
+//! The paper's abstract promises suggestions for "data types, operators,
+//! control statements, String, exception, objects, and Arrays", but
+//! Table I carries no row for *exceptions* or *objects*; the conclusion
+//! lists "more suggestions" as future work. These two rules fill that
+//! gap, priced by the same cost model (`ExceptionThrow` = 640 nJ,
+//! `Alloc` = 42 nJ per op — both enormous next to loop arithmetic).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, Expr, ExprKind, Stmt, StmtKind};
+
+/// Exception construction/throw inside a loop body — each iteration
+/// pays object allocation plus stack-walk cost.
+pub struct ExceptionInLoopRule;
+
+/// `new` inside a loop body where the object does not depend on the
+/// loop — hoistable allocation.
+pub struct ObjectCreationInLoopRule;
+
+fn loop_body(stmt: &Stmt) -> Option<&Stmt> {
+    match &stmt.kind {
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. }
+        | StmtKind::ForEach { body, .. } => Some(body),
+        _ => None,
+    }
+}
+
+fn for_each_loop_expr(ctx: &RuleCtx, mut f: impl FnMut(&jepo_jlang::ClassDecl, &Expr)) {
+    ctx.for_each_stmt(|c, _m, s| {
+        if let Some(body) = loop_body(s) {
+            jepo_jlang::walk_stmt_exprs(body, &mut |e| f(c, e));
+        }
+    });
+}
+
+impl Rule for ExceptionInLoopRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ExceptionUsage
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // `throw new ...` statements inside loops.
+        ctx.for_each_stmt(|c, _m, s| {
+            if let Some(body) = loop_body(s) {
+                jepo_jlang::walk_stmts(body, &mut |st| {
+                    if let StmtKind::Throw(e) = &st.kind {
+                        if seen.insert(st.span.line) {
+                            out.push(Suggestion::new(
+                                ctx.file,
+                                &ctx.class_name(c),
+                                st.span.line,
+                                self.component(),
+                                printer::print_expr(e),
+                            ));
+                        }
+                    }
+                });
+            }
+        });
+        // Exception-typed `new` in loops (pre-built exceptions are cheap
+        // to rethrow; constructing captures the stack every time).
+        for_each_loop_expr(ctx, |c, e| {
+            if let ExprKind::New { class, .. } = &e.kind {
+                if (class.ends_with("Exception") || class.ends_with("Error"))
+                    && seen.insert(e.span.line) {
+                        out.push(Suggestion::new(
+                            ctx.file,
+                            &ctx.class_name(c),
+                            e.span.line,
+                            self.component(),
+                            printer::print_expr(e),
+                        ));
+                    }
+            }
+        });
+        out
+    }
+}
+
+impl Rule for ObjectCreationInLoopRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ObjectCreation
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        ctx.for_each_stmt(|c, _m, s| {
+            let Some(body) = loop_body(s) else { return };
+            // Loop variables: objects depending on them cannot be hoisted.
+            let mut loop_vars: Vec<String> = Vec::new();
+            if let StmtKind::For { init, .. } = &s.kind {
+                for i in init {
+                    if let StmtKind::Local { vars, .. } = &i.kind {
+                        loop_vars.extend(vars.iter().map(|(n, _, _)| n.clone()));
+                    }
+                }
+            }
+            if let StmtKind::ForEach { name, .. } = &s.kind {
+                loop_vars.push(name.clone());
+            }
+            jepo_jlang::walk_stmt_exprs(body, &mut |e| {
+                let ExprKind::New { class, args } = &e.kind else { return };
+                if class.ends_with("Exception") || class.ends_with("Error") {
+                    return; // covered by the exception rule
+                }
+                // Hoistable only when no argument mentions a loop var.
+                let depends = args.iter().any(|a| {
+                    let mut hit = false;
+                    a.walk(&mut |x| {
+                        if let ExprKind::Name(n) = &x.kind {
+                            if loop_vars.contains(n) {
+                                hit = true;
+                            }
+                        }
+                    });
+                    hit
+                });
+                if !depends && seen.insert(e.span.line) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        printer::print_expr(e),
+                    ));
+                }
+            });
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn throw_in_loop_is_flagged() {
+        let got = run_rule(
+            &ExceptionInLoopRule,
+            "class A { void f(int n) {
+               for (int i = 0; i < n; i++) {
+                 if (i < 0) throw new RuntimeException(\"bad\");
+               }
+             } }",
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].component, JavaComponent::ExceptionUsage);
+    }
+
+    #[test]
+    fn throw_outside_loop_is_fine() {
+        assert!(run_rule(
+            &ExceptionInLoopRule,
+            "class A { void f(int n) { if (n < 0) throw new RuntimeException(\"bad\"); } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hoistable_allocation_is_flagged() {
+        let got = run_rule(
+            &ObjectCreationInLoopRule,
+            "class Box { }
+             class A { void f(int n) {
+               for (int i = 0; i < n; i++) { Box b = new Box(); }
+             } }",
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].component, JavaComponent::ObjectCreation);
+    }
+
+    #[test]
+    fn loop_dependent_allocation_is_fine() {
+        assert!(run_rule(
+            &ObjectCreationInLoopRule,
+            "class Box { Box(int v) { } }
+             class A { void f(int n) {
+               for (int i = 0; i < n; i++) { Box b = new Box(i); }
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn stringbuilder_in_loop_is_reported_as_object_creation() {
+        // A known false-positive trap: StringBuilder created per
+        // iteration genuinely is hoistable waste, so it should fire.
+        let got = run_rule(
+            &ObjectCreationInLoopRule,
+            "class A { void f(int n) {
+               for (int i = 0; i < n; i++) { StringBuilder sb = new StringBuilder(); }
+             } }",
+        );
+        assert_eq!(got.len(), 1);
+    }
+}

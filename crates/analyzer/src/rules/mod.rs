@@ -1,0 +1,199 @@
+//! Detection rules — one per Table I component.
+//!
+//! Each rule pattern-matches the spanned AST; JEPO's original
+//! implementation matched source lines textually, but the patterns it
+//! describes (a `%` operator, a ternary, a manual copy loop…) are
+//! syntactic, so an AST match is the same check with fewer false
+//! positives.
+
+pub mod array_copy;
+pub mod extended;
+pub mod array_traversal;
+pub mod arithmetic_operators;
+pub mod primitive_types;
+pub mod scientific_notation;
+pub mod short_circuit;
+pub mod static_keyword;
+pub mod string_comparison;
+pub mod string_concat;
+pub mod ternary_operator;
+pub mod wrapper_classes;
+
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{ClassDecl, CompilationUnit, Expr, MethodDecl, PrimType, Stmt, Type};
+use std::collections::HashSet;
+
+/// Context a rule sees: one file's parsed unit.
+pub struct RuleCtx<'a> {
+    /// File name for suggestion rows.
+    pub file: &'a str,
+    /// Parsed unit.
+    pub unit: &'a CompilationUnit,
+}
+
+impl<'a> RuleCtx<'a> {
+    /// Qualified class name for a class in this unit.
+    pub fn class_name(&self, c: &ClassDecl) -> String {
+        self.unit.qualified_name(c)
+    }
+
+    /// Visit every statement of every method body, with its class.
+    pub fn for_each_stmt(&self, mut f: impl FnMut(&ClassDecl, &MethodDecl, &Stmt)) {
+        for c in &self.unit.types {
+            for m in &c.methods {
+                if let Some(body) = &m.body {
+                    for s in &body.stmts {
+                        jepo_jlang::walk_stmts(s, &mut |st| f(c, m, st));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every expression of every method body and field initializer.
+    pub fn for_each_expr(&self, mut f: impl FnMut(&ClassDecl, &Expr)) {
+        for c in &self.unit.types {
+            for fd in &c.fields {
+                if let Some(init) = &fd.init {
+                    init.walk(&mut |e| f(c, e));
+                }
+            }
+            for m in &c.methods {
+                if let Some(body) = &m.body {
+                    for s in &body.stmts {
+                        jepo_jlang::walk_stmt_exprs(s, &mut |e| f(c, e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Names declared as `String` anywhere in a class (fields, params,
+    /// locals across all methods) — a coarse but effective type oracle
+    /// for the string rules.
+    pub fn string_names(&self, class: &ClassDecl) -> HashSet<String> {
+        let mut names = HashSet::new();
+        let is_string = |t: &Type| matches!(t, Type::Class(n, _) if n == "String");
+        for f in &class.fields {
+            if is_string(&f.ty) {
+                names.insert(f.name.clone());
+            }
+        }
+        for m in &class.methods {
+            for p in &m.params {
+                if is_string(&p.ty) {
+                    names.insert(p.name.clone());
+                }
+            }
+            if let Some(body) = &m.body {
+                for s in &body.stmts {
+                    jepo_jlang::walk_stmts(s, &mut |st| {
+                        if let jepo_jlang::StmtKind::Local { ty, vars, .. } = &st.kind {
+                            if is_string(ty) {
+                                for (n, _, _) in vars {
+                                    names.insert(n.clone());
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        names
+    }
+}
+
+/// A Table I detection rule.
+pub trait Rule: Sync + Send {
+    /// The component this rule detects.
+    fn component(&self) -> JavaComponent;
+    /// Run over one file.
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion>;
+}
+
+/// The two extension rules (abstract's "exception, objects" categories).
+pub fn extended_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(extended::ExceptionInLoopRule),
+        Box::new(extended::ObjectCreationInLoopRule),
+    ]
+}
+
+/// All eleven rules, in Table I order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(primitive_types::PrimitiveTypesRule),
+        Box::new(scientific_notation::ScientificNotationRule),
+        Box::new(wrapper_classes::WrapperClassesRule),
+        Box::new(static_keyword::StaticKeywordRule),
+        Box::new(arithmetic_operators::ArithmeticOperatorsRule),
+        Box::new(ternary_operator::TernaryOperatorRule),
+        Box::new(short_circuit::ShortCircuitRule),
+        Box::new(string_concat::StringConcatRule),
+        Box::new(string_comparison::StringComparisonRule),
+        Box::new(array_copy::ArrayCopyRule),
+        Box::new(array_traversal::ArrayTraversalRule),
+    ]
+}
+
+/// Whether a type is a non-`int` numeric primitive (the
+/// primitive-data-types rule target).
+pub fn is_non_int_numeric(ty: &Type) -> bool {
+    matches!(
+        ty,
+        Type::Prim(
+            PrimType::Byte
+                | PrimType::Short
+                | PrimType::Long
+                | PrimType::Float
+                | PrimType::Double
+                | PrimType::Char
+        )
+    )
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Run a single rule over a source snippet.
+    pub fn run_rule(rule: &dyn Rule, src: &str) -> Vec<Suggestion> {
+        let unit = jepo_jlang::parse_unit(src).unwrap_or_else(|e| panic!("{e}"));
+        let ctx = RuleCtx { file: "Test.java", unit: &unit };
+        rule.check(&ctx)
+    }
+
+    /// Lines on which the rule fired.
+    pub fn fired_lines(rule: &dyn Rule, src: &str) -> Vec<u32> {
+        let mut lines: Vec<u32> = run_rule(rule, src).into_iter().map(|s| s.line).collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rules_cover_all_components() {
+        let rules = all_rules();
+        let covered: HashSet<JavaComponent> = rules.iter().map(|r| r.component()).collect();
+        assert_eq!(covered.len(), JavaComponent::ALL.len());
+        for c in JavaComponent::ALL {
+            assert!(covered.contains(&c), "{c:?} has no rule");
+        }
+    }
+
+    #[test]
+    fn string_names_collects_fields_params_locals() {
+        let unit = jepo_jlang::parse_unit(
+            "class A { String f; void m(String p) { String l = \"\"; int n = 0; } }",
+        )
+        .unwrap();
+        let ctx = RuleCtx { file: "A.java", unit: &unit };
+        let names = ctx.string_names(&unit.types[0]);
+        assert!(names.contains("f") && names.contains("p") && names.contains("l"));
+        assert!(!names.contains("n"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Rule: non-`int` numeric primitives (Table I row 1).
+
+use super::{is_non_int_numeric, Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, StmtKind};
+
+/// Flags fields, locals and parameters declared with a numeric primitive
+/// other than `int` ("int is the most energy-efficient primitive data
+/// type. Replace if possible.").
+pub struct PrimitiveTypesRule;
+
+impl Rule for PrimitiveTypesRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::PrimitiveDataTypes
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        for c in &ctx.unit.types {
+            let class = ctx.class_name(c);
+            for f in &c.fields {
+                if is_non_int_numeric(&f.ty) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &class,
+                        f.span.line,
+                        self.component(),
+                        format!("{} {}", printer::print_type(&f.ty), f.name),
+                    ));
+                }
+            }
+            for m in &c.methods {
+                for p in &m.params {
+                    if is_non_int_numeric(&p.ty) {
+                        out.push(Suggestion::new(
+                            ctx.file,
+                            &class,
+                            m.span.line,
+                            self.component(),
+                            format!("{} {}", printer::print_type(&p.ty), p.name),
+                        ));
+                    }
+                }
+            }
+        }
+        ctx.for_each_stmt(|c, _m, s| {
+            if let StmtKind::Local { ty, vars, .. } = &s.kind {
+                if is_non_int_numeric(ty) {
+                    let names: Vec<&str> = vars.iter().map(|(n, _, _)| n.as_str()).collect();
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        s.span.line,
+                        self.component(),
+                        format!("{} {}", printer::print_type(ty), names.join(", ")),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_non_int_primitives_everywhere() {
+        let lines = fired_lines(
+            &PrimitiveTypesRule,
+            "class A {\nlong f;\nvoid m(double d) {\nshort s = 1;\nint ok = 2;\n}\n}",
+        );
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn int_and_boolean_and_references_are_fine() {
+        let got = run_rule(
+            &PrimitiveTypesRule,
+            "class A { int x; boolean b; String s; void m(int k) { int j = k; } }",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

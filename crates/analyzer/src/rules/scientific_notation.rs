@@ -1,0 +1,68 @@
+//! Rule: decimal literals not written in scientific notation (Table I
+//! row 2).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{ExprKind, Lit};
+
+/// Flags plain decimal floating literals whose scientific spelling would
+/// be shorter (the paper's "decimal numbers when typed as scientific
+/// notation consume lesser energy" concerns constant-loading cost).
+pub struct ScientificNotationRule;
+
+/// Only literals with enough magnitude benefit; tiny constants like
+/// `0.5` are left alone.
+fn benefits(value: f64) -> bool {
+    let a = value.abs();
+    a != 0.0 && !(0.001..10_000.0).contains(&a)
+}
+
+impl Rule for ScientificNotationRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ScientificNotation
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        ctx.for_each_expr(|c, e| {
+            if let ExprKind::Literal(Lit::Float { value, scientific: false, .. }) = &e.kind {
+                if benefits(*value) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        format!("{value}"),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_large_plain_decimals() {
+        let lines = fired_lines(
+            &ScientificNotationRule,
+            "class A {\ndouble big = 1500000.0;\ndouble sci = 1.5e6;\ndouble small = 0.5;\n}",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn flags_tiny_plain_decimals() {
+        let lines = fired_lines(&ScientificNotationRule, "class A { double t = 0.000001; }");
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn already_scientific_is_fine() {
+        assert!(run_rule(&ScientificNotationRule, "class A { double d = 1e-9; }").is_empty());
+    }
+}

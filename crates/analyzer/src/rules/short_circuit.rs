@@ -1,0 +1,67 @@
+//! Rule: short-circuit operand ordering (Table I row 7).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, BinOp, ExprKind};
+
+/// Flags `&&`/`||` chains of three or more conditions ("Put most common
+/// case first for lower energy consumption"). Ordering probability is
+/// dynamic information, so the rule is advisory and fires once per
+/// outermost chain.
+pub struct ShortCircuitRule;
+
+fn chain_len(e: &jepo_jlang::Expr, op: BinOp) -> usize {
+    match &e.kind {
+        ExprKind::Binary(b, l, r) if *b == op => chain_len(l, op) + chain_len(r, op),
+        _ => 1,
+    }
+}
+
+impl Rule for ShortCircuitRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::ShortCircuitOperator
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        let mut seen_lines = std::collections::HashSet::new();
+        ctx.for_each_expr(|c, e| {
+            if let ExprKind::Binary(op @ (BinOp::And | BinOp::Or), _, _) = &e.kind {
+                if chain_len(e, *op) >= 3 && seen_lines.insert((e.span.line, *op)) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        printer::print_expr(e),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_long_chains_once() {
+        let got = run_rule(
+            &ShortCircuitRule,
+            "class A { boolean f(int x) { return x > 0 && x < 10 && x != 5; } }",
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn short_chains_are_fine() {
+        assert!(run_rule(
+            &ShortCircuitRule,
+            "class A { boolean f(int x) { return x > 0 && x < 10; } }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Rule: `static` variables (Table I row 4 — the 17,700% outlier).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::printer;
+
+/// Flags `static` non-`final` fields ("static keyword consumes up to
+/// 17,700% more energy. Avoid if possible."). `static final` constants
+/// are exempt: the JVM inlines them, and the paper's measurements target
+/// mutable static variables.
+pub struct StaticKeywordRule;
+
+impl Rule for StaticKeywordRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::StaticKeyword
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        for c in &ctx.unit.types {
+            let class = ctx.class_name(c);
+            for f in &c.fields {
+                if f.modifiers.is_static && !f.modifiers.is_final {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &class,
+                        f.span.line,
+                        self.component(),
+                        format!("static {} {}", printer::print_type(&f.ty), f.name),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_mutable_statics_only() {
+        let lines = fired_lines(
+            &StaticKeywordRule,
+            "class A {\nstatic int counter;\nstatic final int LIMIT = 5;\nint normal;\n}",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Rule: `String.compareTo` vs `String.equals` (Table I row 9).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, ExprKind};
+
+/// Flags `compareTo` calls ("String compareTo method consumes up to 33%
+/// more energy than the String equals method"). When the result feeds an
+/// equality test against zero the replacement is mechanical; all other
+/// uses still get the advisory.
+pub struct StringComparisonRule;
+
+impl Rule for StringComparisonRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::StringComparison
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        ctx.for_each_expr(|c, e| {
+            if let ExprKind::Call { name, target: Some(_), args } = &e.kind {
+                if name == "compareTo" && args.len() == 1 {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        printer::print_expr(e),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_compareto() {
+        let lines = fired_lines(
+            &StringComparisonRule,
+            "class A { boolean f(String a, String b) {\nreturn a.compareTo(b) == 0;\n} }",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn equals_is_fine() {
+        assert!(run_rule(
+            &StringComparisonRule,
+            "class A { boolean f(String a, String b) { return a.equals(b); } }",
+        )
+        .is_empty());
+    }
+}

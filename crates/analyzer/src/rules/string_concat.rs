@@ -1,0 +1,118 @@
+//! Rule: string concatenation with `+` (Table I row 8).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, AssignOp, BinOp, Expr, ExprKind, Lit};
+use std::collections::HashSet;
+
+/// Flags string concatenation via `+`/`+=` ("StringBuilder append method
+/// consumes much lower energy than String concatenation operator").
+pub struct StringConcatRule;
+
+fn is_stringish(e: &Expr, strings: &HashSet<String>) -> bool {
+    match &e.kind {
+        ExprKind::Literal(Lit::Str(_)) => true,
+        ExprKind::Name(n) => strings.contains(n),
+        ExprKind::Binary(BinOp::Add, l, r) => {
+            is_stringish(l, strings) || is_stringish(r, strings)
+        }
+        _ => false,
+    }
+}
+
+impl Rule for StringConcatRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::StringConcatenation
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for c in &ctx.unit.types {
+            let class = ctx.class_name(c);
+            // Field-level strings are visible to every method; params and
+            // locals are scoped per method so `int add(int a, int b)` is
+            // not confused by a `String a` elsewhere in the class.
+            let field_strings: HashSet<String> = c
+                .fields
+                .iter()
+                .filter(|f| matches!(&f.ty, jepo_jlang::Type::Class(n, _) if n == "String"))
+                .map(|f| f.name.clone())
+                .collect();
+            for m in &c.methods {
+                let mut strings = field_strings.clone();
+                for p in &m.params {
+                    if matches!(&p.ty, jepo_jlang::Type::Class(n, _) if n == "String") {
+                        strings.insert(p.name.clone());
+                    }
+                }
+                if let Some(body) = &m.body {
+                    for s in &body.stmts {
+                        jepo_jlang::walk_stmts(s, &mut |st| {
+                            if let jepo_jlang::StmtKind::Local { ty, vars, .. } = &st.kind {
+                                if matches!(ty, jepo_jlang::Type::Class(n, _) if n == "String") {
+                                    for (n, _, _) in vars {
+                                        strings.insert(n.clone());
+                                    }
+                                }
+                            }
+                        });
+                    }
+                }
+                if let Some(body) = &m.body {
+                    for s in &body.stmts {
+                        jepo_jlang::walk_stmt_exprs(s, &mut |e| {
+                            let hit = match &e.kind {
+                                ExprKind::Binary(BinOp::Add, l, r) => {
+                                    is_stringish(l, &strings) || is_stringish(r, &strings)
+                                }
+                                ExprKind::Assign(l, AssignOp::Compound(BinOp::Add), _) => {
+                                    is_stringish(l, &strings)
+                                }
+                                _ => false,
+                            };
+                            // Report the outermost concat per line only.
+                            if hit && seen.insert(e.span.line) {
+                                out.push(Suggestion::new(
+                                    ctx.file,
+                                    &class,
+                                    e.span.line,
+                                    self.component(),
+                                    printer::print_expr(e),
+                                ));
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_plus_on_strings_and_plus_assign() {
+        let lines = fired_lines(
+            &StringConcatRule,
+            "class A { void m(String s) {\nString t = s + \"x\";\nt += \"y\";\nint n = 1 + 2;\n} }",
+        );
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn numeric_addition_is_fine() {
+        assert!(run_rule(&StringConcatRule, "class A { int f(int a, int b) { return a + b; } }")
+            .is_empty());
+    }
+
+    #[test]
+    fn string_literal_concat_detected_without_declarations() {
+        let got = run_rule(&StringConcatRule, "class A { void m(int n) { String s = \"v=\" + n; } }");
+        assert_eq!(got.len(), 1);
+    }
+}

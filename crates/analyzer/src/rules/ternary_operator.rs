@@ -1,0 +1,55 @@
+//! Rule: the ternary operator (Table I row 6).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, ExprKind};
+
+/// Flags `cond ? a : b` ("Ternary operator consumes up to 37% more
+/// energy than if-then-else statement").
+pub struct TernaryOperatorRule;
+
+impl Rule for TernaryOperatorRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::TernaryOperator
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        ctx.for_each_expr(|c, e| {
+            if matches!(&e.kind, ExprKind::Ternary(..)) {
+                out.push(Suggestion::new(
+                    ctx.file,
+                    &ctx.class_name(c),
+                    e.span.line,
+                    self.component(),
+                    printer::print_expr(e),
+                ));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_ternaries_including_nested() {
+        let got = run_rule(
+            &TernaryOperatorRule,
+            "class A { int f(int x) { return x > 0 ? 1 : x < -5 ? 2 : 3; } }",
+        );
+        assert_eq!(got.len(), 2, "outer and nested");
+    }
+
+    #[test]
+    fn if_else_is_fine() {
+        assert!(run_rule(
+            &TernaryOperatorRule,
+            "class A { int f(int x) { if (x > 0) return 1; else return 2; } }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Rule: non-`Integer` wrapper classes (Table I row 3).
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, StmtKind, Type};
+
+const WRAPPERS: [&str; 7] =
+    ["Long", "Double", "Float", "Short", "Byte", "Character", "Boolean"];
+
+fn non_integer_wrapper(ty: &Type) -> Option<&str> {
+    match ty {
+        Type::Class(n, _) if WRAPPERS.contains(&n.as_str()) => Some(n.as_str()),
+        _ => None,
+    }
+}
+
+/// Flags declarations using wrapper classes other than `Integer`
+/// ("Integer Wrapper class object is the most energy-efficient").
+pub struct WrapperClassesRule;
+
+impl Rule for WrapperClassesRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::WrapperClasses
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        for c in &ctx.unit.types {
+            let class = ctx.class_name(c);
+            for f in &c.fields {
+                if non_integer_wrapper(&f.ty).is_some() {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &class,
+                        f.span.line,
+                        self.component(),
+                        format!("{} {}", printer::print_type(&f.ty), f.name),
+                    ));
+                }
+            }
+        }
+        ctx.for_each_stmt(|c, _m, s| {
+            if let StmtKind::Local { ty, vars, .. } = &s.kind {
+                if non_integer_wrapper(ty).is_some() {
+                    let names: Vec<&str> = vars.iter().map(|(n, _, _)| n.as_str()).collect();
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        s.span.line,
+                        self.component(),
+                        format!("{} {}", printer::print_type(ty), names.join(", ")),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn flags_non_integer_wrappers() {
+        let lines = fired_lines(
+            &WrapperClassesRule,
+            "class A {\nDouble d;\nvoid m() {\nLong l = 0L;\nInteger ok = 1;\n}\n}",
+        );
+        assert_eq!(lines, vec![2, 4]);
+    }
+
+    #[test]
+    fn integer_and_primitives_are_fine() {
+        assert!(run_rule(&WrapperClassesRule, "class A { Integer i; int j; double d; }")
+            .is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! The suggestion pool — Table I of the paper, verbatim.
+//!
+//! "These suggestions are hardcoded in the tool and displayed whenever
+//! the tool detects specific Java components."
+
+use serde::{Deserialize, Serialize};
+
+/// The eleven Java component categories of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum JavaComponent {
+    /// Primitive data types — `int` is the most efficient.
+    PrimitiveDataTypes,
+    /// Scientific notation for decimal literals.
+    ScientificNotation,
+    /// Wrapper classes — `Integer` is the most efficient.
+    WrapperClasses,
+    /// The `static` keyword on variables.
+    StaticKeyword,
+    /// Arithmetic operators — modulus is the most expensive.
+    ArithmeticOperators,
+    /// The ternary operator vs `if-then-else`.
+    TernaryOperator,
+    /// Short-circuit operator operand ordering.
+    ShortCircuitOperator,
+    /// String concatenation with `+`.
+    StringConcatenation,
+    /// `String.compareTo` vs `String.equals`.
+    StringComparison,
+    /// Copying arrays manually vs `System.arraycopy`.
+    ArraysCopy,
+    /// Two-dimensional array traversal order.
+    ArrayTraversal,
+    /// EXTENSION (abstract's "exception" category; not a Table I row):
+    /// exception construction in hot loops.
+    ExceptionUsage,
+    /// EXTENSION (abstract's "objects" category; not a Table I row):
+    /// hoistable object creation in loops.
+    ObjectCreation,
+}
+
+impl JavaComponent {
+    /// All components in Table I row order.
+    pub const ALL: [JavaComponent; 11] = [
+        JavaComponent::PrimitiveDataTypes,
+        JavaComponent::ScientificNotation,
+        JavaComponent::WrapperClasses,
+        JavaComponent::StaticKeyword,
+        JavaComponent::ArithmeticOperators,
+        JavaComponent::TernaryOperator,
+        JavaComponent::ShortCircuitOperator,
+        JavaComponent::StringConcatenation,
+        JavaComponent::StringComparison,
+        JavaComponent::ArraysCopy,
+        JavaComponent::ArrayTraversal,
+    ];
+
+    /// Extension components beyond Table I (the abstract's "exception,
+    /// objects" categories; the paper's conclusion lists "more
+    /// suggestions" as future work).
+    pub const EXTENDED: [JavaComponent; 2] =
+        [JavaComponent::ExceptionUsage, JavaComponent::ObjectCreation];
+
+    /// The Table I "Java Components" column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JavaComponent::PrimitiveDataTypes => "Primitive data types",
+            JavaComponent::ScientificNotation => "Scientific notation",
+            JavaComponent::WrapperClasses => "Wrapper classes",
+            JavaComponent::StaticKeyword => "Static keyword",
+            JavaComponent::ArithmeticOperators => "Arithmetic operators",
+            JavaComponent::TernaryOperator => "Ternary operator",
+            JavaComponent::ShortCircuitOperator => "Short circuit operator",
+            JavaComponent::StringConcatenation => "String concatenation operator",
+            JavaComponent::StringComparison => "String comparison",
+            JavaComponent::ArraysCopy => "Arrays copy",
+            JavaComponent::ArrayTraversal => "Array traversal",
+            JavaComponent::ExceptionUsage => "Exceptions (extension)",
+            JavaComponent::ObjectCreation => "Objects (extension)",
+        }
+    }
+
+    /// The Table I "Suggestions" column text, verbatim.
+    pub fn suggestion_text(self) -> &'static str {
+        match self {
+            JavaComponent::PrimitiveDataTypes => {
+                "int is the most energy-efficient primitive data type. Replace if possible."
+            }
+            JavaComponent::ScientificNotation => {
+                "Scientific notation results in lower energy consumption of decimal numbers."
+            }
+            JavaComponent::WrapperClasses => {
+                "Integer Wrapper class object is the most energy-efficient. Replace if possible."
+            }
+            JavaComponent::StaticKeyword => {
+                "static keyword consumes up to 17,700% more energy. Avoid if possible."
+            }
+            JavaComponent::ArithmeticOperators => {
+                "Modulus arithmetic operator consumes up to 1,620% more energy than other \
+                 arithmetic operators."
+            }
+            JavaComponent::TernaryOperator => {
+                "Ternary operator consumes up to 37% more energy than if-then-else statement."
+            }
+            JavaComponent::ShortCircuitOperator => {
+                "Put most common case first for lower energy consumption."
+            }
+            JavaComponent::StringConcatenation => {
+                "StringBuilder append method consumes much lower energy than String \
+                 concatenation operator."
+            }
+            JavaComponent::StringComparison => {
+                "String compareTo method consumes up to 33% more energy than the String \
+                 equals method."
+            }
+            JavaComponent::ArraysCopy => {
+                "System.arraycopy() is the most energy-efficient way to copy Arrays."
+            }
+            JavaComponent::ExceptionUsage => {
+                "Constructing/throwing exceptions inside loops is extremely energy-expensive. \
+                 Hoist or restructure."
+            }
+            JavaComponent::ObjectCreation => {
+                "Object created inside a loop without loop-dependent state; hoist the \
+                 allocation out of the loop."
+            }
+            JavaComponent::ArrayTraversal => {
+                "Two-dimensional Array column traversal result in up to 793% more energy."
+            }
+        }
+    }
+
+    /// The worst-case energy factor the paper reports for the
+    /// inefficient form relative to the efficient one (1.0 = no claim).
+    pub fn worst_case_factor(self) -> f64 {
+        match self {
+            JavaComponent::StaticKeyword => 178.0,        // +17,700%
+            JavaComponent::ArithmeticOperators => 17.2,   // +1,620%
+            JavaComponent::ArrayTraversal => 8.93,        // +793%
+            JavaComponent::TernaryOperator => 1.37,       // +37%
+            JavaComponent::StringComparison => 1.33,      // +33%
+            JavaComponent::StringConcatenation => 8.8,    // "much lower"
+            JavaComponent::ArraysCopy => 7.4,             // manual vs bulk
+            JavaComponent::PrimitiveDataTypes => 2.2,     // double vs int ALU
+            JavaComponent::WrapperClasses => 1.35,        // non-Integer surcharge
+            JavaComponent::ScientificNotation => 1.46,    // plain vs sci constant
+            JavaComponent::ShortCircuitOperator => 1.0,   // workload-dependent
+            JavaComponent::ExceptionUsage => 640.0,       // ExceptionThrow vs IntAlu
+            JavaComponent::ObjectCreation => 42.0,        // Alloc vs IntAlu
+        }
+    }
+}
+
+/// One emitted suggestion — a row of the optimizer view (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// File the pattern was found in.
+    pub file: String,
+    /// Class containing the pattern (with package if known).
+    pub class: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Which Table I component fired.
+    pub component: JavaComponent,
+    /// The hardcoded suggestion text.
+    pub message: String,
+    /// A short snippet of what was matched (for the dynamic view).
+    pub matched: String,
+}
+
+impl Suggestion {
+    /// Construct with the pool text for the component.
+    pub fn new(
+        file: &str,
+        class: &str,
+        line: u32,
+        component: JavaComponent,
+        matched: impl Into<String>,
+    ) -> Suggestion {
+        Suggestion {
+            file: file.to_string(),
+            class: class.to_string(),
+            line,
+            component,
+            message: component.suggestion_text().to_string(),
+            matched: matched.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_eleven_components() {
+        assert_eq!(JavaComponent::ALL.len(), 11);
+        let mut labels = std::collections::HashSet::new();
+        for c in JavaComponent::ALL {
+            assert!(!c.suggestion_text().is_empty());
+            assert!(labels.insert(c.label()));
+        }
+    }
+
+    #[test]
+    fn factors_match_paper_percentages() {
+        // +17,700% = 178×, +1,620% = 17.2×, +793% = 8.93×, +37%, +33%.
+        assert!((JavaComponent::StaticKeyword.worst_case_factor() - 178.0).abs() < 1e-9);
+        assert!((JavaComponent::ArithmeticOperators.worst_case_factor() - 17.2).abs() < 1e-9);
+        assert!((JavaComponent::ArrayTraversal.worst_case_factor() - 8.93).abs() < 1e-9);
+        assert!((JavaComponent::TernaryOperator.worst_case_factor() - 1.37).abs() < 1e-9);
+        assert!((JavaComponent::StringComparison.worst_case_factor() - 1.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suggestion_carries_pool_text() {
+        let s = Suggestion::new("A.java", "A", 3, JavaComponent::ArithmeticOperators, "x % 2");
+        assert!(s.message.contains("1,620%"));
+        assert_eq!(s.line, 3);
+    }
+}

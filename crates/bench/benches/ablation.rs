@@ -1,0 +1,47 @@
+//! Criterion-reported ablation: Table IV's Random-Forest improvement with
+//! each efficiency-profile dimension reverted one at a time, plus the
+//! cost-model ablation (uniform costs vs paper-calibrated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jepo_core::WekaExperiment;
+use jepo_ml::classifiers::by_name;
+use jepo_ml::eval::crossval::stratified_cross_validate;
+use jepo_ml::{EfficiencyProfile, Kernel};
+use jepo_rapl::{CostModel, Measurement};
+
+/// Not a timing bench: runs once under criterion's harness entry point
+/// and prints the ablation table (criterion is the workspace's bench
+/// runner; `--bin dimensions` offers the standalone variant).
+fn ablation_report(_c: &mut Criterion) {
+    let exp = WekaExperiment { instances: 600, folds: 4, ..Default::default() };
+    let data = exp.dataset();
+    let (base, _) = exp.measure("Random Forest", EfficiencyProfile::baseline(), &data);
+    let (opt, _) = exp.measure("Random Forest", EfficiencyProfile::optimized(), &data);
+    let full = Measurement::improvement_pct(base.package_j, opt.package_j);
+    println!("\nAblation (Random Forest, 600 instances): full improvement {full:.2}%");
+    for dim in EfficiencyProfile::DIMENSIONS {
+        let (partial, _) =
+            exp.measure("Random Forest", EfficiencyProfile::optimized_except(dim), &data);
+        let pct = Measurement::improvement_pct(base.package_j, partial.package_j);
+        println!("  without `{dim}` fix: {pct:.2}% (lost {:.2} pp)", full - pct);
+    }
+    // Cost-model ablation: with uniform per-op costs the improvement
+    // collapses — Table IV depends on cost heterogeneity.
+    let uniform = CostModel::uniform(2.0);
+    let joules_under = |profile: EfficiencyProfile| {
+        let kernel = Kernel::new(profile);
+        stratified_cross_validate(&data, 4, exp.seed, || {
+            by_name("Random Forest", kernel.clone(), exp.seed).unwrap()
+        });
+        uniform.joules_for(&kernel.counter().take())
+    };
+    let b = joules_under(EfficiencyProfile::baseline());
+    let o = joules_under(EfficiencyProfile::optimized());
+    println!(
+        "  uniform cost model: improvement {:.2}% (heterogeneity is the effect)",
+        Measurement::improvement_pct(b, o)
+    );
+}
+
+criterion_group!(benches, ablation_report);
+criterion_main!(benches);

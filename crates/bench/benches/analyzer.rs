@@ -1,0 +1,30 @@
+//! Criterion: analyzer throughput over the bundled corpus —
+//! full-project analysis (optimizer flow) vs incremental (dynamic flow)
+//! vs refactoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jepo_analyzer::{analyze_project, DynamicAnalyzer};
+
+fn bench_analysis(c: &mut Criterion) {
+    let project = jepo_core::corpus::full_corpus();
+    let mut group = c.benchmark_group("analyzer");
+    group.bench_function("full_project", |b| {
+        b.iter(|| analyze_project(&project).len());
+    });
+    group.bench_function("dynamic_single_file", |b| {
+        let mut da = DynamicAnalyzer::new();
+        b.iter(|| {
+            da.update("MathUtils.java", jepo_core::corpus::MATH_UTILS).current.len()
+        });
+    });
+    group.bench_function("refactor_project", |b| {
+        b.iter(|| {
+            let mut p = jepo_core::corpus::full_corpus();
+            jepo_core::JepoOptimizer::new().apply(&mut p).total_changes
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: classifier training/prediction throughput on airlines data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jepo_ml::classifiers::{by_name, Classifier, CLASSIFIER_NAMES};
+use jepo_ml::data::airlines::AirlinesGenerator;
+use jepo_ml::Kernel;
+
+fn bench_training(c: &mut Criterion) {
+    let data = AirlinesGenerator::new(7).generate(300);
+    let mut group = c.benchmark_group("train_300");
+    group.sample_size(10);
+    for name in CLASSIFIER_NAMES {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| {
+                let mut clf = by_name(name, Kernel::silent(), 1).unwrap();
+                clf.fit(data).unwrap();
+                clf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = AirlinesGenerator::new(7).generate(300);
+    let mut group = c.benchmark_group("predict_300");
+    group.sample_size(10);
+    for name in ["J48", "Naive Bayes", "IBk", "Random Forest"] {
+        let mut clf = by_name(name, Kernel::silent(), 1).unwrap();
+        clf.fit(&data).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut s = 0.0;
+                for row in &data.instances {
+                    s += clf.predict(row);
+                }
+                s
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: RAPL substrate overheads — counter sampling, op counting,
+//! meter reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jepo_rapl::{
+    CostModel, CounterReader, DeviceProfile, EnergyMeter, MsrDevice, OpCategory, OpCounter,
+    SimMeter, SimulatedRapl,
+};
+use std::sync::Arc;
+
+fn bench_rapl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rapl");
+    let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
+    group.bench_function("op_counter_incr", |b| {
+        let ctr = OpCounter::new();
+        b.iter(|| {
+            for _ in 0..1000 {
+                ctr.incr(OpCategory::IntAlu);
+            }
+            ctr.snapshot().total_ops()
+        });
+    });
+    group.bench_function("cost_model_joules", |b| {
+        let ctr = OpCounter::new();
+        for cat in OpCategory::ALL {
+            ctr.add(cat, 1000);
+        }
+        let model = CostModel::paper_calibrated();
+        let snap = ctr.snapshot();
+        b.iter(|| model.joules_for(&snap));
+    });
+    group.bench_function("msr_read", |b| {
+        b.iter(|| sim.read_msr(0x611).unwrap());
+    });
+    group.bench_function("meter_read", |b| {
+        let meter = SimMeter::new(sim.clone());
+        b.iter(|| meter.read());
+    });
+    group.bench_function("counter_reader_update", |b| {
+        let mut reader = CounterReader::new(Default::default());
+        let mut raw = 0u32;
+        b.iter(|| {
+            raw = raw.wrapping_add(1013);
+            reader.update(raw)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rapl);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: bytecode VM throughput — plain vs instrumented (the
+//! profiler's probe overhead) and cache model on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jepo_jvm::{EnergySettings, Vm};
+
+const HOT_LOOP: &str = "class M {
+    static int work(int n) {
+        int s = 0;
+        for (int i = 1; i < n; i++) { s += i % 7; }
+        return s;
+    }
+    public static void main(String[] a) { System.out.println(work(20000)); }
+}";
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    group.sample_size(20);
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut vm = Vm::from_source(HOT_LOOP).unwrap();
+            vm.run_main().unwrap().ops_executed
+        });
+    });
+    group.bench_function("instrumented", |b| {
+        b.iter(|| {
+            let mut vm = Vm::from_source(HOT_LOOP).unwrap();
+            vm.instrument();
+            vm.run_main().unwrap().ops_executed
+        });
+    });
+    group.bench_function("cache_model_off", |b| {
+        b.iter(|| {
+            let mut vm = Vm::from_source(HOT_LOOP).unwrap().with_settings(EnergySettings {
+                cache_enabled: false,
+                ..Default::default()
+            });
+            vm.run_main().unwrap().ops_executed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

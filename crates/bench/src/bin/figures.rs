@@ -1,0 +1,63 @@
+//! Regenerate Figs 1–5 as terminal renderings.
+//!
+//! Usage: `figures [fig1|fig2|fig3|fig4|fig5]` (default: all).
+
+use jepo_analyzer::DynamicAnalyzer;
+use jepo_core::{corpus, views, JepoOptimizer, JepoProfiler};
+
+fn fig1() {
+    jepo_bench::banner("Fig. 1 — JEPO toolbar button");
+    print!("{}", views::toolbar());
+}
+
+fn fig2() {
+    jepo_bench::banner("Fig. 2 — dynamic suggestions while typing");
+    let mut da = DynamicAnalyzer::new();
+    let before = "class Hot { int f(int x) { return x + 1; } }";
+    let after = "class Hot { int f(int x) { return x % 2 == 0 ? x : x * 3; } }";
+    da.update("Hot.java", before);
+    let delta = da.update("Hot.java", after);
+    println!("(edit introduced {} new suggestions)", delta.added.len());
+    print!("{}", views::dynamic_view("Hot.java", &delta.current));
+}
+
+fn fig3() {
+    jepo_bench::banner("Fig. 3 — pop-up menu");
+    print!("{}", views::popup_menu());
+}
+
+fn fig4() {
+    jepo_bench::banner("Fig. 4 — profiler view (instrumented run of the bundled project)");
+    let report = JepoProfiler::new()
+        .profile(&corpus::runnable_project())
+        .expect("bundled project runs");
+    println!(
+        "main class: {}; probes injected: {}",
+        report.main_class, report.probes_injected
+    );
+    print!("{}", report.view());
+}
+
+fn fig5() {
+    jepo_bench::banner("Fig. 5 — optimizer view (all classes of the project)");
+    let project = corpus::full_corpus();
+    print!("{}", JepoOptimizer::new().view(&project));
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    match which.as_str() {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        _ => {
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+            fig5();
+        }
+    }
+}

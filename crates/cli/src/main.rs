@@ -1,0 +1,224 @@
+//! `jepo` — the command-line surface of the reproduction.
+//!
+//! The paper ships JEPO as an Eclipse plugin; this binary exposes the
+//! same two flows (profiler, optimizer) plus the evaluation harness for
+//! projects of `.java` files on disk:
+//!
+//! ```text
+//! jepo analyze  <dir|file>          suggestions for every class (Fig. 5)
+//! jepo optimize <dir|file> [--write] [--aggressive]
+//!                                   apply refactorings; print or write back
+//! jepo profile  <dir|file> [--main Class]
+//!                                   instrument + run + per-method energy (Fig. 4)
+//! jepo metrics  <dir> <Class...>    Table II metrics for entry classes
+//! jepo table4   [instances] [folds] the WEKA evaluation
+//! ```
+
+use jepo_core::{corpus, JepoOptimizer, JepoProfiler, WekaExperiment};
+use jepo_jlang::JavaProject;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "jepo — Java Energy Profiler & Optimizer (IPPS 2020 reproduction)\n\n\
+         usage:\n  \
+         jepo analyze  <dir|file>\n  \
+         jepo optimize <dir|file> [--write] [--aggressive]\n  \
+         jepo profile  <dir|file> [--main <Class>]\n  \
+         jepo metrics  <dir> <Class> [<Class>...]\n  \
+         jepo table4   [instances] [folds]\n  \
+         jepo demo     (run the bundled mini-WEKA end to end)"
+    );
+    ExitCode::from(2)
+}
+
+/// Collect `.java` files under a path (file or directory, recursive).
+fn collect_java_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(out);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "java") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Load a project from disk, reporting parse errors per file.
+fn load_project(root: &Path) -> Result<JavaProject, String> {
+    let files = collect_java_files(root).map_err(|e| format!("{}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .java files under {}", root.display()));
+    }
+    let mut project = JavaProject::new();
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .into_owned();
+        let name = if rel.is_empty() {
+            f.file_name().unwrap_or_default().to_string_lossy().into_owned()
+        } else {
+            rel
+        };
+        project.add_file(&name, &text).map_err(|e| e.to_string())?;
+    }
+    Ok(project)
+}
+
+fn cmd_analyze(path: &Path) -> Result<(), String> {
+    let project = load_project(path)?;
+    let suggestions = jepo_analyzer::analyze_project(&project);
+    if suggestions.is_empty() {
+        println!("No suggestions — the project is energy-clean.");
+        return Ok(());
+    }
+    print!("{}", jepo_core::views::optimizer_view(&suggestions));
+    println!("\n{} suggestions across {} files.", suggestions.len(), project.len());
+    Ok(())
+}
+
+fn cmd_optimize(path: &Path, write: bool, aggressive: bool) -> Result<(), String> {
+    let mut project = load_project(path)?;
+    let optimizer = JepoOptimizer { aggressive };
+    let report = optimizer.apply(&mut project);
+    println!("Applied {} changes:", report.total_changes);
+    for (file, n) in report.per_file.iter().filter(|(_, n)| *n > 0) {
+        println!("  {file}: {n}");
+    }
+    if write {
+        let root = if path.is_file() { path.parent().unwrap_or(path) } else { path };
+        for f in project.files() {
+            let target = if path.is_file() { path.to_path_buf() } else { root.join(&f.name) };
+            std::fs::write(&target, &f.text)
+                .map_err(|e| format!("{}: {e}", target.display()))?;
+        }
+        println!("Wrote refactored sources back to {}.", root.display());
+    } else {
+        println!("(dry run — pass --write to rewrite the sources)");
+    }
+    println!("{} suggestions remain.", report.remaining.len());
+    Ok(())
+}
+
+fn cmd_profile(path: &Path, chosen_main: Option<String>) -> Result<(), String> {
+    let project = load_project(path)?;
+    let mut profiler = JepoProfiler::new();
+    profiler.chosen_main = chosen_main;
+    let report = profiler.profile(&project).map_err(|e| e.to_string())?;
+    println!(
+        "main class {} | {} probes injected | total {:.3} mJ / {:.3} ms\n",
+        report.main_class,
+        report.probes_injected,
+        report.energy.package_j * 1e3,
+        report.energy.seconds * 1e3
+    );
+    print!("{}", report.view());
+    // result.txt next to the project, as the plugin does (§VII).
+    let root = if path.is_file() { path.parent().unwrap_or(path) } else { path };
+    let result_path = root.join("result.txt");
+    std::fs::write(&result_path, &report.result_txt)
+        .map_err(|e| format!("{}: {e}", result_path.display()))?;
+    println!("\nWrote {}.", result_path.display());
+    if !report.stdout.is_empty() {
+        println!("\nprogram output:\n{}", report.stdout.trim_end());
+    }
+    Ok(())
+}
+
+fn cmd_metrics(path: &Path, entries: &[String]) -> Result<(), String> {
+    let project = load_project(path)?;
+    let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
+    let metrics = jepo_analyzer::project_metrics(&project, &refs);
+    if metrics.is_empty() {
+        return Err("no matching entry classes".into());
+    }
+    print!("{}", jepo_core::report::table2(&metrics));
+    Ok(())
+}
+
+fn cmd_table4(instances: usize, folds: usize) -> Result<(), String> {
+    let exp = WekaExperiment { instances, folds, ..Default::default() };
+    let results = exp.run_all();
+    print!("{}", jepo_core::report::table4(&results));
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("== Optimizer over the bundled mini-WEKA ==\n");
+    let project = corpus::full_corpus();
+    let suggestions = JepoOptimizer::new().suggestions(&project);
+    println!("{} suggestions across {} classes.", suggestions.len(), project.class_count());
+    println!("\n== Profiler over the runnable subset ==\n");
+    let report = JepoProfiler::new()
+        .profile(&corpus::runnable_project())
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.view());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "analyze" => match rest.first() {
+            Some(p) => cmd_analyze(Path::new(p)),
+            None => return usage(),
+        },
+        "optimize" => match rest.first() {
+            Some(p) => cmd_optimize(
+                Path::new(p),
+                rest.iter().any(|a| a == "--write"),
+                rest.iter().any(|a| a == "--aggressive"),
+            ),
+            None => return usage(),
+        },
+        "profile" => match rest.first() {
+            Some(p) => {
+                let chosen = rest
+                    .iter()
+                    .position(|a| a == "--main")
+                    .and_then(|i| rest.get(i + 1))
+                    .cloned();
+                cmd_profile(Path::new(p), chosen)
+            }
+            None => return usage(),
+        },
+        "metrics" => match rest.split_first() {
+            Some((p, entries)) if !entries.is_empty() => {
+                cmd_metrics(Path::new(p), entries)
+            }
+            _ => return usage(),
+        },
+        "table4" => {
+            let instances = rest.first().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+            let folds = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+            cmd_table4(instances, folds)
+        }
+        "demo" => cmd_demo(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `jepo` binary against real files on disk.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn jepo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jepo"))
+}
+
+fn temp_project(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jepo-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(dir.join("util")).unwrap();
+    fs::write(
+        dir.join("util/Calc.java"),
+        "package util;
+         public class Calc {
+             static int calls;
+             public static int mod(int a, int b) { return a % b; }
+             public static int pick(int x) { return x > 0 ? x : 0 - x; }
+         }",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("Main.java"),
+        "import util.Calc;
+         public class Main {
+             public static void main(String[] args) {
+                 int s = 0;
+                 for (int i = 1; i < 500; i++) { s += Calc.mod(i, 7); }
+                 System.out.println(Calc.pick(s));
+             }
+         }",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn analyze_reports_suggestions_with_lines() {
+    let dir = temp_project("analyze");
+    let out = jepo().args(["analyze", dir.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Modulus"), "{stdout}");
+    assert!(stdout.contains("Ternary"), "{stdout}");
+    assert!(stdout.contains("static keyword"), "{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn optimize_dry_run_then_write() {
+    let dir = temp_project("optimize");
+    let before = fs::read_to_string(dir.join("util/Calc.java")).unwrap();
+    // Dry run: no change on disk.
+    let out = jepo().args(["optimize", dir.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(before, fs::read_to_string(dir.join("util/Calc.java")).unwrap());
+    // --write rewrites the ternary into if/else.
+    let out = jepo()
+        .args(["optimize", dir.to_str().unwrap(), "--write"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let after = fs::read_to_string(dir.join("util/Calc.java")).unwrap();
+    assert_ne!(before, after);
+    assert!(!after.contains('?'), "ternary refactored away:\n{after}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_runs_and_writes_result_txt() {
+    let dir = temp_project("profile");
+    let out = jepo().args(["profile", dir.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Calc.mod"), "{stdout}");
+    assert!(stdout.contains("Energy Consumed"), "{stdout}");
+    let result = fs::read_to_string(dir.join("result.txt")).unwrap();
+    assert!(result.lines().count() >= 500, "one line per execution");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_prints_table2_columns() {
+    let dir = temp_project("metrics");
+    let out = jepo()
+        .args(["metrics", dir.to_str().unwrap(), "Main", "Calc"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Dependencies"));
+    assert!(stdout.contains("Main"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = jepo().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = jepo().args(["analyze", "/nonexistent/nowhere"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn optimized_profile_costs_less_on_disk_roundtrip() {
+    // Full CLI loop: profile → optimize --write → profile again.
+    let dir = temp_project("roundtrip");
+    let energy = |dir: &PathBuf| -> f64 {
+        let out = jepo().args(["profile", dir.to_str().unwrap()]).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let total_line = stdout.lines().find(|l| l.contains("| total")).unwrap();
+        total_line
+            .split("total ")
+            .nth(1)
+            .unwrap()
+            .split(" mJ")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let before = energy(&dir);
+    let out = jepo()
+        .args(["optimize", dir.to_str().unwrap(), "--write"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let after = energy(&dir);
+    assert!(after <= before, "{after} vs {before}");
+    fs::remove_dir_all(&dir).ok();
+}

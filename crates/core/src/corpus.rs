@@ -1,0 +1,378 @@
+//! A bundled mini-WEKA written in the Java subset.
+//!
+//! The paper's tool operates on WEKA's Java source (3,373 classes). This
+//! module bundles a scaled-down corpus with the same *shape*: a shared
+//! `weka.core` package every classifier depends on (so Table II's
+//! metrics come out nearly identical across classifiers, as in the
+//! paper), one file per Table II classifier, and a runnable `Main` the
+//! profiler can instrument and execute. The sources deliberately contain
+//! every inefficiency Table I lists — they are what the optimizer view
+//! (Fig. 5) and the refactoring demos chew on.
+
+use jepo_jlang::JavaProject;
+
+/// `weka/core/MathUtils.java` — static counters, modulus, ternaries.
+pub const MATH_UTILS: &str = r#"package weka.core;
+
+public class MathUtils {
+    static int evalCount;
+    static double lastValue;
+
+    public static double logistic(double z) {
+        evalCount = evalCount + 1;
+        double e = Math.exp(0.0 - z);
+        lastValue = 1.0 / (1.0 + e);
+        return lastValue;
+    }
+
+    public static int bucket(int hash, int buckets) {
+        return hash % buckets;
+    }
+
+    public static double clamp(double v, double lo, double hi) {
+        return v < lo ? lo : v > hi ? hi : v;
+    }
+
+    public static boolean inRange(int x, int lo, int hi) {
+        return x >= lo && x <= hi && x != 0;
+    }
+
+    public static double entropy(double[] p) {
+        double h = 0.0;
+        for (int i = 0; i < p.length; i++) {
+            if (p[i] > 0.0) {
+                h = h - p[i] * Math.log(p[i]);
+            }
+        }
+        return h;
+    }
+}
+"#;
+
+/// `weka/core/Instances.java` — the instance matrix, with a
+/// column-major scan and a manual row copy.
+pub const INSTANCES: &str = r#"package weka.core;
+
+public class Instances {
+    public double[][] data;
+    public int rows;
+    public int cols;
+
+    Instances(int rows, int cols) {
+        this.rows = rows;
+        this.cols = cols;
+        data = new double[rows][cols];
+    }
+
+    public void set(int r, int c, double v) {
+        data[r][c] = v;
+    }
+
+    public double get(int r, int c) {
+        return data[r][c];
+    }
+
+    public double sumColumnMajor() {
+        double s = 0.0;
+        for (int j = 0; j < cols; j++) {
+            for (int i = 0; i < rows; i++) {
+                s += data[i][j];
+            }
+        }
+        return s;
+    }
+
+    public double[] copyRow(int r) {
+        double[] out = new double[cols];
+        for (int i = 0; i < cols; i++) {
+            out[i] = data[r][i];
+        }
+        return out;
+    }
+}
+"#;
+
+/// `weka/core/StringUtils.java` — `+` concatenation and `compareTo`.
+pub const STRING_UTILS: &str = r#"package weka.core;
+
+public class StringUtils {
+    public static String join(String a, String b, String c) {
+        String out = a + "," + b + "," + c;
+        return out;
+    }
+
+    public static boolean sameLabel(String a, String b) {
+        return a.compareTo(b) == 0;
+    }
+
+    public static String describe(String name, double value) {
+        return name + "=" + value;
+    }
+}
+"#;
+
+/// `Main.java` — the runnable entry the profiler instruments.
+pub const MAIN: &str = r#"import weka.core.Instances;
+import weka.core.MathUtils;
+import weka.core.StringUtils;
+import weka.classifiers.NaiveBayes;
+
+public class Main {
+    public static void main(String[] args) {
+        Instances train = new Instances(300, 16);
+        for (int i = 0; i < 300; i++) {
+            for (int j = 0; j < 15; j++) {
+                train.set(i, j, (i * 7 + j * 3) % 10);
+            }
+            train.set(i, 15, i % 10 < 5 ? 0.0 : 1.0);
+        }
+        NaiveBayes nb = new NaiveBayes();
+        nb.fit(train, 2);
+        int correct = 0;
+        for (int i = 0; i < 300; i++) {
+            double[] row = train.copyRow(i);
+            int pred = nb.classify(row);
+            double actual = train.get(i, 15);
+            if (pred == (int) actual) {
+                correct = correct + 1;
+            }
+        }
+        System.out.println(StringUtils.describe("correct", correct));
+        System.out.println(StringUtils.describe("colSum", train.sumColumnMajor()));
+        System.out.println(StringUtils.describe("evals", MathUtils.evalCount));
+    }
+}
+"#;
+
+/// The one classifier that actually runs in the demo.
+pub const NAIVE_BAYES: &str = r#"package weka.classifiers;
+
+import weka.core.Instances;
+import weka.core.MathUtils;
+
+public class NaiveBayes {
+    static int trained;
+    double smoothing = 1.0;
+    double[] priors;
+    double[][] means;
+    int classes;
+
+    public void fit(Instances data, int numClasses) {
+        classes = numClasses;
+        priors = new double[numClasses];
+        means = new double[numClasses][data.cols - 1];
+        double[] counts = new double[numClasses];
+        for (int i = 0; i < data.rows; i++) {
+            int c = (int) data.get(i, data.cols - 1);
+            counts[c] = counts[c] + 1.0;
+            for (int j = 0; j < data.cols - 1; j++) {
+                means[c][j] = means[c][j] + data.get(i, j);
+            }
+        }
+        for (int c = 0; c < numClasses; c++) {
+            priors[c] = (counts[c] + smoothing) / (data.rows + numClasses * smoothing);
+            for (int j = 0; j < data.cols - 1; j++) {
+                means[c][j] = counts[c] > 0.0 ? means[c][j] / counts[c] : 0.0;
+            }
+        }
+        trained = trained + 1;
+    }
+
+    public int classify(double[] row) {
+        int best = 0;
+        double bestScore = -1.0e18;
+        for (int c = 0; c < classes; c++) {
+            double score = Math.log(priors[c]);
+            for (int j = 0; j < row.length - 1; j++) {
+                double d = row[j] - means[c][j];
+                score = score - d * d * 0.5;
+            }
+            if (score > bestScore) {
+                bestScore = score;
+                best = c;
+            }
+        }
+        return best;
+    }
+}
+"#;
+
+/// Parse-level classifier sources (one per remaining Table II row); each
+/// depends on the shared core and carries Table I inefficiencies.
+fn classifier_source(name: &str, extra_field: &str, body_hint: &str) -> String {
+    format!(
+        r#"package weka.classifiers;
+
+import weka.core.Instances;
+import weka.core.MathUtils;
+import weka.core.StringUtils;
+
+public class {name} {{
+    static int buildCalls;
+    double ridge = 0.000001;
+    long seed = 42L;
+    {extra_field}
+
+    public void buildClassifier(Instances data) {{
+        buildCalls = buildCalls + 1;
+        double total = 0.0;
+        for (int j = 0; j < data.cols; j++) {{
+            for (int i = 0; i < data.rows; i++) {{
+                total += data.get(i, j);
+            }}
+        }}
+        double[] weights = new double[data.cols];
+        double[] copy = new double[data.cols];
+        for (int i = 0; i < data.cols; i++) {{
+            copy[i] = weights[i];
+        }}
+        int fold = MathUtils.bucket((int) total, 16);
+        double adjusted = fold % 2 == 0 ? total * 0.5 : total * 2.0;
+        {body_hint}
+        seed = seed + (long) adjusted;
+    }}
+
+    public double score(double[] row) {{
+        double s = 0.0;
+        for (int i = 0; i < row.length; i++) {{
+            s += row[i] * ridge;
+        }}
+        return MathUtils.logistic(s);
+    }}
+
+    public String globalInfo() {{
+        String info = "{name}" + " with ridge " + ridge + " and seed " + seed;
+        return info;
+    }}
+
+    public boolean isNamed(String query) {{
+        return query.compareTo("{name}") == 0;
+    }}
+}}
+"#
+    )
+}
+
+/// Build the full corpus: shared core + all ten classifiers + Main.
+pub fn full_corpus() -> JavaProject {
+    let mut p = JavaProject::new();
+    p.add_file("weka/core/MathUtils.java", MATH_UTILS).expect("corpus parses");
+    p.add_file("weka/core/Instances.java", INSTANCES).expect("corpus parses");
+    p.add_file("weka/core/StringUtils.java", STRING_UTILS).expect("corpus parses");
+    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES).expect("corpus parses");
+    let specs: [(&str, &str, &str); 9] = [
+        ("J48", "double confidence = 0.25;", "double pruned = MathUtils.clamp(adjusted, 0.0, 100000.0);"),
+        ("RandomTree", "short kValue = 3;", "double gain = MathUtils.entropy(weights);"),
+        (
+            "RandomForest",
+            "int numTrees = 100;",
+            "for (int t = 0; t < numTrees; t++) { buildCalls = buildCalls + 1; }",
+        ),
+        ("REPTree", "float holdout = 0.3f;", "double err = adjusted * holdout;"),
+        ("Logistic", "Double lastLoss;", "lastLoss = Double.valueOf(adjusted);"),
+        ("SMO", "double complexity = 1.0;", "double margin = MathUtils.clamp(adjusted, 0.0, complexity);"),
+        ("SGD", "double learningRate = 0.01;", "double step = learningRate * adjusted;"),
+        ("KStar", "int blend = 20;", "double kb = adjusted / (blend % 7 + 1);"),
+        ("IBk", "int neighbours = 3;", "double kd = adjusted * neighbours;"),
+    ];
+    for (name, field, hint) in specs {
+        let src = classifier_source(name, field, hint);
+        p.add_file(&format!("weka/classifiers/{name}.java"), &src)
+            .unwrap_or_else(|e| panic!("corpus {name} parses: {e}"));
+    }
+    p.add_file("Main.java", MAIN).expect("corpus parses");
+    p
+}
+
+/// The runnable subset (compiles and executes on the VM): core +
+/// NaiveBayes + Main.
+pub fn runnable_project() -> JavaProject {
+    let mut p = JavaProject::new();
+    p.add_file("weka/core/MathUtils.java", MATH_UTILS).expect("corpus parses");
+    p.add_file("weka/core/Instances.java", INSTANCES).expect("corpus parses");
+    p.add_file("weka/core/StringUtils.java", STRING_UTILS).expect("corpus parses");
+    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES).expect("corpus parses");
+    p.add_file("Main.java", MAIN).expect("corpus parses");
+    p
+}
+
+/// Table II entry-class names available in the corpus.
+pub const ENTRY_CLASSES: [&str; 10] = [
+    "J48",
+    "RandomTree",
+    "RandomForest",
+    "REPTree",
+    "NaiveBayes",
+    "Logistic",
+    "SMO",
+    "SGD",
+    "KStar",
+    "IBk",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jepo_jlang::MainClassChoice;
+
+    #[test]
+    fn full_corpus_parses_with_all_entries() {
+        let p = full_corpus();
+        assert_eq!(p.len(), 14);
+        for e in ENTRY_CLASSES {
+            assert!(p.find_class(e).is_some(), "{e} missing");
+        }
+        assert_eq!(
+            p.discover_main_class(),
+            MainClassChoice::Unique("Main".into())
+        );
+    }
+
+    #[test]
+    fn runnable_project_executes_on_the_vm() {
+        let mut vm = jepo_jvm::Vm::from_project(&runnable_project()).unwrap();
+        let out = vm.run_main().unwrap();
+        assert!(out.stdout.contains("correct="), "{}", out.stdout);
+        assert!(out.stdout.contains("evals="));
+        // The toy NB fits its own training data reasonably.
+        // describe(String, double) renders the count as a double.
+        let correct: f64 = out
+            .stdout
+            .lines()
+            .find(|l| l.starts_with("correct="))
+            .and_then(|l| l.trim_start_matches("correct=").parse().ok())
+            .unwrap();
+        assert!(correct >= 200.0, "NB should fit most of its training data: {correct}/300");
+    }
+
+    #[test]
+    fn corpus_trips_every_table1_component() {
+        use jepo_analyzer::JavaComponent;
+        let p = full_corpus();
+        let suggestions = jepo_analyzer::analyze_project(&p);
+        let fired: std::collections::HashSet<JavaComponent> =
+            suggestions.iter().map(|s| s.component).collect();
+        for c in JavaComponent::ALL {
+            assert!(fired.contains(&c), "{c:?} not represented in corpus");
+        }
+    }
+
+    #[test]
+    fn classifier_closures_share_the_core() {
+        // The Table II property: per-classifier metrics nearly identical.
+        let p = full_corpus();
+        let metrics: Vec<_> = ENTRY_CLASSES
+            .iter()
+            .filter_map(|e| jepo_analyzer::metrics::class_metrics(&p, e))
+            .collect();
+        assert_eq!(metrics.len(), 10);
+        let deps: Vec<usize> = metrics.iter().map(|m| m.dependencies).collect();
+        let min = *deps.iter().min().unwrap();
+        let max = *deps.iter().max().unwrap();
+        assert!(max - min <= 1, "closures should be near-identical: {deps:?}");
+        for m in &metrics {
+            assert!(m.packages >= 2);
+            assert!(m.loc > 100);
+        }
+    }
+}

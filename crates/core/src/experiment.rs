@@ -1,0 +1,283 @@
+//! The WEKA evaluation — Table IV.
+//!
+//! For each of the ten classifiers: run stratified k-fold
+//! cross-validation on the airlines data under the **baseline**
+//! efficiency profile (WEKA as shipped) and under the **optimized**
+//! profile (WEKA after JEPO's suggestions); convert the counted
+//! operations to package/CPU energy and execution time through the
+//! calibrated models and the simulated RAPL device; pass both through
+//! the §VIII Tukey measurement protocol; and report the improvement
+//! percentages plus the accuracy drop.
+//!
+//! The "Changes" column comes from actually running the refactoring
+//! engine over the bundled mini-WEKA corpus restricted to each
+//! classifier's dependency closure — the scaled-down analogue of the
+//! paper's 709–877 hand edits.
+
+use crate::corpus;
+use crate::protocol::MeasurementProtocol;
+use jepo_jvm::energy::LatencyModel;
+use jepo_ml::classifiers::by_name;
+use jepo_ml::data::airlines::AirlinesGenerator;
+use jepo_ml::eval::crossval::stratified_cross_validate;
+use jepo_ml::{Dataset, EfficiencyProfile, Kernel};
+use jepo_rapl::{CostModel, DeviceProfile, Measurement, SimulatedRapl};
+use serde::Serialize;
+
+/// One Table IV row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassifierResult {
+    /// Classifier name (Table row).
+    pub name: String,
+    /// Refactoring change count over the classifier's corpus closure.
+    pub changes: usize,
+    /// Baseline mean measurement (post-protocol).
+    pub baseline: Measurement,
+    /// Optimized mean measurement (post-protocol).
+    pub optimized: Measurement,
+    /// Package energy improvement, %.
+    pub package_improvement_pct: f64,
+    /// CPU (core) energy improvement, %.
+    pub cpu_improvement_pct: f64,
+    /// Execution-time improvement, %.
+    pub time_improvement_pct: f64,
+    /// Baseline CV accuracy.
+    pub accuracy_baseline: f64,
+    /// Optimized CV accuracy.
+    pub accuracy_optimized: f64,
+    /// Accuracy drop in percentage points (≥ 0; Table IV convention).
+    pub accuracy_drop_pct: f64,
+}
+
+/// Configuration of the Table IV experiment.
+#[derive(Debug, Clone)]
+pub struct WekaExperiment {
+    /// Airlines instances (paper: 10,000).
+    pub instances: usize,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Dataset / classifier seed.
+    pub seed: u64,
+    /// Device model energy flows into.
+    pub device: DeviceProfile,
+    /// The §VIII repeated-measurement protocol.
+    pub protocol: MeasurementProtocol,
+}
+
+impl Default for WekaExperiment {
+    fn default() -> Self {
+        WekaExperiment {
+            instances: 2_000,
+            folds: 10,
+            seed: 42,
+            device: DeviceProfile::laptop_i5_3317u(),
+            protocol: MeasurementProtocol::default(),
+        }
+    }
+}
+
+impl WekaExperiment {
+    /// The paper's full-size configuration (10,000 instances).
+    pub fn paper_scale() -> WekaExperiment {
+        WekaExperiment { instances: 10_000, ..Default::default() }
+    }
+
+    /// Generate the experiment's dataset.
+    pub fn dataset(&self) -> Dataset {
+        AirlinesGenerator::new(self.seed).generate(self.instances)
+    }
+
+    /// One deterministic measurement: CV under a profile, counts →
+    /// (measurement, accuracy).
+    pub fn measure(
+        &self,
+        name: &str,
+        profile: EfficiencyProfile,
+        data: &Dataset,
+    ) -> (Measurement, f64) {
+        let kernel = Kernel::new(profile);
+        let eval = stratified_cross_validate(data, self.folds, self.seed, || {
+            by_name(name, kernel.clone(), self.seed).expect("known classifier")
+        });
+        let snap = kernel.counter().take();
+        let joules = CostModel::paper_calibrated().joules_for(&snap);
+        let seconds = LatencyModel::paper_calibrated().seconds_for(&snap);
+        let sim = SimulatedRapl::new(self.device.clone());
+        sim.add_dynamic_energy(joules);
+        sim.advance_seconds(seconds);
+        let m = Measurement {
+            package_j: sim.read_joules(jepo_rapl::Domain::Package),
+            core_j: sim.read_joules(jepo_rapl::Domain::Core),
+            uncore_j: sim.read_joules(jepo_rapl::Domain::Uncore),
+            dram_j: sim.read_joules(jepo_rapl::Domain::Dram),
+            seconds,
+        };
+        (m, eval.accuracy())
+    }
+
+    /// Change count for a classifier: refactor the corpus files in its
+    /// dependency closure (aggressive set, as the paper's edits were).
+    pub fn change_count(name: &str) -> usize {
+        let corpus_name = match name {
+            "Random Tree" => "RandomTree",
+            "Random Forest" => "RandomForest",
+            "REP Tree" => "REPTree",
+            "Naive Bayes" => "NaiveBayes",
+            other => other,
+        };
+        let project = corpus::full_corpus();
+        let metrics = jepo_analyzer::metrics::class_metrics(&project, corpus_name);
+        let Some(_) = metrics else { return 0 };
+        // Closure files: the classifier's own file + the shared core.
+        let mut total = 0;
+        for file in project.files() {
+            let in_closure = file.name.contains(&format!("{corpus_name}.java"))
+                || file.name.contains("weka/core/");
+            if !in_closure {
+                continue;
+            }
+            let mut unit = file.unit.clone();
+            let rep =
+                jepo_analyzer::refactor_unit(&mut unit, &jepo_analyzer::RefactorKind::ALL);
+            total += rep.change_count();
+        }
+        total
+    }
+
+    /// Run one classifier: Table IV row.
+    pub fn run_classifier(&self, name: &str, data: &Dataset) -> ClassifierResult {
+        // Deterministic single measurements; the Tukey protocol layers
+        // seeded RAPL-style noise on top and converges back to them, as
+        // the paper's 10-run loop does on the real laptop.
+        let (base_m, base_acc) = self.measure(name, EfficiencyProfile::baseline(), data);
+        let (opt_m, opt_acc) = self.measure(name, EfficiencyProfile::optimized(), data);
+        // Paired runs: both profiles see the same noise stream, as the
+        // paper's back-to-back runs on one idle laptop do — run-to-run
+        // conditions are shared, so the difference isolates the edits.
+        let base = self.protocol.run(|| base_m);
+        let opt = self.protocol.run(|| opt_m);
+        ClassifierResult {
+            name: name.to_string(),
+            changes: Self::change_count(name),
+            package_improvement_pct: Measurement::improvement_pct(
+                base.mean.package_j,
+                opt.mean.package_j,
+            ),
+            cpu_improvement_pct: Measurement::improvement_pct(base.mean.core_j, opt.mean.core_j),
+            time_improvement_pct: Measurement::improvement_pct(
+                base.mean.seconds,
+                opt.mean.seconds,
+            ),
+            baseline: base.mean,
+            optimized: opt.mean,
+            accuracy_baseline: base_acc,
+            accuracy_optimized: opt_acc,
+            accuracy_drop_pct: ((base_acc - opt_acc) * 100.0).max(0.0),
+        }
+    }
+
+    /// Run all ten classifiers (Table IV).
+    pub fn run_all(&self) -> Vec<ClassifierResult> {
+        let data = self.dataset();
+        jepo_ml::classifiers::CLASSIFIER_NAMES
+            .iter()
+            .map(|name| self.run_classifier(name, &data))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WekaExperiment {
+        WekaExperiment { instances: 400, folds: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn change_counts_are_similar_across_classifiers() {
+        // Table IV: 709–877 changes, nearly equal because the shared
+        // core dominates. Same shape here at corpus scale.
+        let counts: Vec<usize> = ["J48", "Random Tree", "IBk"]
+            .iter()
+            .map(|n| WekaExperiment::change_count(n))
+            .collect();
+        for &c in &counts {
+            assert!(c > 5, "{counts:?}");
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.6, "shared core dominates: {counts:?}");
+    }
+
+    #[test]
+    fn optimized_profile_never_costs_more() {
+        let exp = small();
+        let data = exp.dataset();
+        for name in ["Naive Bayes", "Random Forest", "SGD"] {
+            let r = exp.run_classifier(name, &data);
+            assert!(
+                r.package_improvement_pct > -1.0,
+                "{name}: {:.2}%",
+                r.package_improvement_pct
+            );
+            assert!(r.baseline.package_j > 0.0);
+            assert!(r.optimized.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn random_forest_improves_most_table4_shape() {
+        let exp = small();
+        let data = exp.dataset();
+        let rf = exp.run_classifier("Random Forest", &data);
+        let rt = exp.run_classifier("Random Tree", &data);
+        let logistic = exp.run_classifier("Logistic", &data);
+        // Table IV shape: RF ≫ Logistic; RF > RT; RT ≈ small.
+        assert!(
+            rf.package_improvement_pct > logistic.package_improvement_pct,
+            "RF {:.2}% vs Logistic {:.2}%",
+            rf.package_improvement_pct,
+            logistic.package_improvement_pct
+        );
+        assert!(
+            rf.package_improvement_pct > rt.package_improvement_pct,
+            "RF {:.2}% vs RT {:.2}%",
+            rf.package_improvement_pct,
+            rt.package_improvement_pct
+        );
+        assert!(rf.package_improvement_pct > 5.0, "RF wins big: {:.2}%", rf.package_improvement_pct);
+    }
+
+    #[test]
+    fn accuracy_drop_is_small() {
+        let exp = small();
+        let data = exp.dataset();
+        for name in ["J48", "Naive Bayes", "Random Tree"] {
+            let r = exp.run_classifier(name, &data);
+            assert!(
+                r.accuracy_drop_pct <= 2.0,
+                "{name}: drop {:.2} pp (base {:.3}, opt {:.3})",
+                r.accuracy_drop_pct,
+                r.accuracy_baseline,
+                r.accuracy_optimized
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_tracks_package_and_time_trails_energy() {
+        let exp = small();
+        let data = exp.dataset();
+        let r = exp.run_classifier("Random Forest", &data);
+        // Table IV: CPU improvement ≈ package improvement; time
+        // improvement is lower (14.46 / 14.19 / 12.93 for RF).
+        assert!((r.cpu_improvement_pct - r.package_improvement_pct).abs() < 3.0);
+        assert!(
+            r.time_improvement_pct < r.package_improvement_pct + 1.0,
+            "time {:.2} vs pkg {:.2}",
+            r.time_improvement_pct,
+            r.package_improvement_pct
+        );
+    }
+}

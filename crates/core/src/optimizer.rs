@@ -1,0 +1,152 @@
+//! The JEPO optimizer (§VII).
+//!
+//! "The JEPO optimizer provides suggestions for all the classes in a
+//! Java project" (Fig. 5), and — the refactoring half — applies them.
+//! `optimize` runs the analyzer; `apply` rewrites the project sources
+//! and reports the change count (the Table IV "Changes" column).
+
+use crate::views;
+use jepo_analyzer::{analyze_project, refactor_unit, RefactorKind, Suggestion};
+use jepo_jlang::JavaProject;
+
+/// Result of applying refactorings to a project.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// Changes applied per file: `(file, count)`.
+    pub per_file: Vec<(String, usize)>,
+    /// Total changes (Table IV "Changes" analogue).
+    pub total_changes: usize,
+    /// Suggestions remaining after the rewrite.
+    pub remaining: Vec<Suggestion>,
+}
+
+/// The optimizer facade.
+#[derive(Debug, Default)]
+pub struct JepoOptimizer {
+    /// Also apply the precision-trading rewrites (`double`→`float`,
+    /// `long`→`int`), as the paper did — source of the accuracy drop.
+    pub aggressive: bool,
+}
+
+impl JepoOptimizer {
+    /// Safe-rewrites-only optimizer.
+    pub fn new() -> JepoOptimizer {
+        JepoOptimizer { aggressive: false }
+    }
+
+    /// Analyze all classes (the Fig. 5 list).
+    pub fn suggestions(&self, project: &JavaProject) -> Vec<Suggestion> {
+        analyze_project(project)
+    }
+
+    /// The Fig. 5 view.
+    pub fn view(&self, project: &JavaProject) -> String {
+        views::optimizer_view(&self.suggestions(project))
+    }
+
+    /// Apply refactorings in place; sources are re-printed from the
+    /// rewritten ASTs so the project stays parseable.
+    pub fn apply(&self, project: &mut JavaProject) -> OptimizeReport {
+        let kinds: &[RefactorKind] =
+            if self.aggressive { &RefactorKind::ALL } else { &RefactorKind::SAFE };
+        let mut per_file = Vec::new();
+        let mut total = 0;
+        for file in project.files_mut().iter_mut() {
+            let rep = refactor_unit(&mut file.unit, kinds);
+            let n = rep.change_count();
+            if n > 0 {
+                file.text = jepo_jlang::pretty_print(&file.unit);
+            }
+            total += n;
+            per_file.push((file.name.clone(), n));
+        }
+        let remaining = analyze_project(project);
+        OptimizeReport { per_file, total_changes: total, remaining }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn suggestions_cover_the_corpus() {
+        let p = corpus::full_corpus();
+        let s = JepoOptimizer::new().suggestions(&p);
+        assert!(s.len() > 30, "corpus is deliberately dirty: {} suggestions", s.len());
+        let view = JepoOptimizer::new().view(&p);
+        assert!(view.contains("Class") && view.contains("Line"));
+    }
+
+    #[test]
+    fn apply_reduces_suggestions_and_keeps_sources_parseable() {
+        let mut p = corpus::full_corpus();
+        let before = JepoOptimizer::new().suggestions(&p).len();
+        let report = JepoOptimizer::new().apply(&mut p);
+        assert!(report.total_changes > 10, "changes: {}", report.total_changes);
+        assert!(
+            report.remaining.len() < before,
+            "{} → {}",
+            before,
+            report.remaining.len()
+        );
+        // Every rewritten file still parses (apply re-prints from AST;
+        // re-adding through the project parser proves it).
+        let mut reparsed = JavaProject::new();
+        for f in p.files() {
+            reparsed
+                .add_file(&f.name, &f.text)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn aggressive_mode_applies_more_changes() {
+        let mut safe_p = corpus::full_corpus();
+        let safe = JepoOptimizer::new().apply(&mut safe_p);
+        let mut agg_p = corpus::full_corpus();
+        let aggressive = JepoOptimizer { aggressive: true }.apply(&mut agg_p);
+        assert!(
+            aggressive.total_changes > safe.total_changes,
+            "aggressive {} vs safe {}",
+            aggressive.total_changes,
+            safe.total_changes
+        );
+        // Aggressive mode demotes doubles: corpus loses `double` decls.
+        let any_float = agg_p.files().iter().any(|f| f.text.contains("float "));
+        assert!(any_float);
+    }
+
+    #[test]
+    fn optimized_runnable_project_still_runs_and_matches_output() {
+        let mut p = corpus::runnable_project();
+        let mut vm_before = jepo_jvm::Vm::from_project(&p).unwrap();
+        let before = vm_before.run_main().unwrap();
+        JepoOptimizer::new().apply(&mut p);
+        let mut vm_after = jepo_jvm::Vm::from_project(&p).unwrap();
+        let after = vm_after.run_main().unwrap();
+        assert_eq!(before.stdout, after.stdout, "safe refactorings preserve behaviour");
+        assert!(
+            after.energy.package_j < before.energy.package_j,
+            "optimized project must cost less: {} vs {}",
+            after.energy.package_j,
+            before.energy.package_j
+        );
+    }
+
+    #[test]
+    fn change_counts_are_per_file() {
+        let mut p = corpus::full_corpus();
+        let report = JepoOptimizer::new().apply(&mut p);
+        let sum: usize = report.per_file.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, report.total_changes);
+        // Core files are dirty by design.
+        let instances = report
+            .per_file
+            .iter()
+            .find(|(f, _)| f.contains("Instances"))
+            .unwrap();
+        assert!(instances.1 > 0, "Instances.java has a copy loop + column scan");
+    }
+}

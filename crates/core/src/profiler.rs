@@ -1,0 +1,182 @@
+//! The JEPO profiler (§VII).
+//!
+//! Flow, exactly as the paper describes it: search the project for main
+//! classes (one → proceed; several → the caller chooses, as the Eclipse
+//! dialog does); inject energy/time probes into every method; run the
+//! main class; store per-execution measurements for every method; write
+//! `result.txt`; show the profiler view (Fig. 4).
+
+use crate::views;
+use jepo_jlang::{JavaProject, MainClassChoice};
+use jepo_jvm::{MethodEnergyRecord, Vm, VmError};
+use jepo_rapl::DeviceProfile;
+
+/// Result of a profiling run.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Which main class ran.
+    pub main_class: String,
+    /// Probes injected (Javassist-analogue insertion count).
+    pub probes_injected: usize,
+    /// Aggregated per-method records, sorted by descending energy.
+    pub records: Vec<MethodEnergyRecord>,
+    /// Program stdout.
+    pub stdout: String,
+    /// Whole-run energy.
+    pub energy: jepo_rapl::Measurement,
+    /// `result.txt` contents.
+    pub result_txt: String,
+}
+
+impl ProfileReport {
+    /// The Fig. 4 view.
+    pub fn view(&self) -> String {
+        views::profiler_view(&self.records)
+    }
+}
+
+/// The profiler: wraps project compilation, instrumentation, and the
+/// instrumented run.
+pub struct JepoProfiler {
+    device: DeviceProfile,
+    /// Explicit main class when discovery is ambiguous.
+    pub chosen_main: Option<String>,
+    /// Instruction budget for the run.
+    pub fuel: u64,
+}
+
+impl Default for JepoProfiler {
+    fn default() -> Self {
+        JepoProfiler::new()
+    }
+}
+
+impl JepoProfiler {
+    /// Profiler on the paper's laptop device profile.
+    pub fn new() -> JepoProfiler {
+        JepoProfiler {
+            device: DeviceProfile::laptop_i5_3317u(),
+            chosen_main: None,
+            fuel: 2_000_000_000,
+        }
+    }
+
+    /// Use a different device profile.
+    pub fn with_device(mut self, device: DeviceProfile) -> JepoProfiler {
+        self.device = device;
+        self
+    }
+
+    /// Profile a project end to end.
+    pub fn profile(&self, project: &JavaProject) -> Result<ProfileReport, VmError> {
+        // Main-class discovery per §VII.
+        let main_class = match project.discover_main_class() {
+            MainClassChoice::Unique(name) => name,
+            MainClassChoice::None => {
+                return Err(VmError::NoMain("project has no main class".into()))
+            }
+            MainClassChoice::Ambiguous(candidates) => match &self.chosen_main {
+                Some(choice) if candidates.contains(choice) => choice.clone(),
+                Some(choice) => {
+                    return Err(VmError::NoMain(format!(
+                        "chosen main `{choice}` not among candidates {candidates:?}"
+                    )))
+                }
+                None => {
+                    return Err(VmError::NoMain(format!(
+                        "several main classes, a choice is required: {candidates:?}"
+                    )))
+                }
+            },
+        };
+        let mut vm = Vm::from_project(project)?
+            .with_device(self.device.clone())
+            .with_fuel(self.fuel);
+        let probes = vm.instrument();
+        let out = vm.run_main()?;
+        let records = Vm::aggregate_profile(&out.profile);
+        let result_txt = views::result_txt(&records);
+        Ok(ProfileReport {
+            main_class,
+            probes_injected: probes,
+            records,
+            stdout: out.stdout,
+            energy: out.energy,
+            result_txt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn profiles_the_bundled_project() {
+        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        assert_eq!(report.main_class, "Main");
+        assert!(report.probes_injected > 10);
+        assert!(!report.records.is_empty());
+        // Hot methods from the corpus appear.
+        let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"Main.main"), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("NaiveBayes.")), "{names:?}");
+        // Sorted by descending energy, main (inclusive) first.
+        assert_eq!(report.records[0].name, "Main.main");
+        // result.txt has one line per execution.
+        let total_execs: u64 = report.records.iter().map(|r| r.executions).sum();
+        assert_eq!(report.result_txt.lines().count() as u64, total_execs);
+        // Fig. 4 view renders.
+        let view = report.view();
+        assert!(view.contains("Energy Consumed"));
+    }
+
+    #[test]
+    fn classify_is_called_once_per_instance() {
+        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        let classify = report
+            .records
+            .iter()
+            .find(|r| r.name == "NaiveBayes.classify")
+            .expect("classify profiled");
+        assert_eq!(classify.executions, 300);
+        assert_eq!(classify.per_execution.len(), 300);
+    }
+
+    #[test]
+    fn no_main_is_an_error() {
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { void f() { } }").unwrap();
+        assert!(matches!(
+            JepoProfiler::new().profile(&p),
+            Err(VmError::NoMain(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_main_requires_choice() {
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { public static void main(String[] a) { } }").unwrap();
+        p.add_file("B.java", "class B { public static void main(String[] a) { } }").unwrap();
+        let plain = JepoProfiler::new();
+        assert!(matches!(plain.profile(&p), Err(VmError::NoMain(_))));
+        let mut chosen = JepoProfiler::new();
+        chosen.chosen_main = Some("B".into());
+        let report = chosen.profile(&p).unwrap();
+        assert_eq!(report.main_class, "B");
+        let mut wrong = JepoProfiler::new();
+        wrong.chosen_main = Some("C".into());
+        assert!(matches!(wrong.profile(&p), Err(VmError::NoMain(_))));
+    }
+
+    #[test]
+    fn energy_is_positive_and_inclusive() {
+        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        assert!(report.energy.package_j > 0.0);
+        let main_rec = &report.records[0];
+        // Main's inclusive energy ≈ the whole run's dynamic energy.
+        assert!(main_rec.total_package_j <= report.energy.package_j + 1e-9);
+        assert!(main_rec.total_package_j > report.energy.package_j * 0.8);
+    }
+}

@@ -1,0 +1,216 @@
+//! The §VIII measurement protocol.
+//!
+//! "We first run each classifier 10 times … After that, we detect
+//! outliers using Tukey's method from each metric, replace the outliers
+//! measurements with new measurements and again check for outliers. We
+//! repeat this process until no outlier is left. When no outlier is
+//! left, we calculated the mean of values."
+//!
+//! Real RAPL measurements carry run-to-run noise (DVFS, background
+//! load); the simulator's are deterministic, so the protocol layer adds
+//! a seeded noise model with occasional spike outliers — giving the
+//! Tukey loop real work to do, exactly like the paper's laptop runs.
+
+use crate::stats;
+use jepo_rapl::Measurement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Measurement noise model (multiplicative).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Standard deviation of the per-run jitter (e.g. 0.02 = 2%).
+    pub jitter: f64,
+    /// Probability of a spike outlier (background interference).
+    pub spike_prob: f64,
+    /// Spike multiplier.
+    pub spike_factor: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { jitter: 0.02, spike_prob: 0.08, spike_factor: 1.6 }
+    }
+}
+
+impl NoiseModel {
+    /// No noise (deterministic runs; protocol converges immediately).
+    pub fn none() -> NoiseModel {
+        NoiseModel { jitter: 0.0, spike_prob: 0.0, spike_factor: 1.0 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Approximate Gaussian via the sum of uniforms (Irwin–Hall).
+        let g: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+        let mut factor = 1.0 + g * self.jitter;
+        if rng.gen_bool(self.spike_prob) {
+            factor *= self.spike_factor;
+        }
+        factor.max(0.5)
+    }
+}
+
+/// The run-N-times / Tukey-replace / repeat protocol.
+#[derive(Debug, Clone)]
+pub struct MeasurementProtocol {
+    /// Runs per metric (paper: 10).
+    pub runs: usize,
+    /// Noise model applied to each run.
+    pub noise: NoiseModel,
+    /// Seed for the noise stream.
+    pub seed: u64,
+    /// Safety cap on replacement rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        MeasurementProtocol { runs: 10, noise: NoiseModel::default(), seed: 1, max_rounds: 50 }
+    }
+}
+
+/// Outcome of the protocol for one workload.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// Final (outlier-free) mean measurement.
+    pub mean: Measurement,
+    /// All accepted runs.
+    pub runs: Vec<Measurement>,
+    /// Total measurements taken, including replaced outliers.
+    pub total_measurements: usize,
+    /// Outliers replaced.
+    pub outliers_replaced: usize,
+}
+
+impl MeasurementProtocol {
+    /// Execute the protocol: `measure()` produces one (noise-free)
+    /// measurement per call; noise is layered on top per run.
+    pub fn run(&self, mut measure: impl FnMut() -> Measurement) -> ProtocolOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let take = |rng: &mut StdRng, measure: &mut dyn FnMut() -> Measurement| {
+            let m = measure();
+            let f = self.noise.sample(rng);
+            Measurement {
+                package_j: m.package_j * f,
+                core_j: m.core_j * f,
+                uncore_j: m.uncore_j * f,
+                dram_j: m.dram_j * f,
+                seconds: m.seconds * f,
+            }
+        };
+        let mut runs: Vec<Measurement> =
+            (0..self.runs).map(|_| take(&mut rng, &mut measure)).collect();
+        let mut total = self.runs;
+        let mut replaced = 0;
+        for _ in 0..self.max_rounds {
+            // The paper checks each metric; package energy is the
+            // headline metric and the noise is fully correlated across
+            // metrics here, so one check covers all.
+            let pkg: Vec<f64> = runs.iter().map(|m| m.package_j).collect();
+            let outliers = stats::tukey_outliers(&pkg);
+            if outliers.is_empty() {
+                break;
+            }
+            for i in outliers {
+                runs[i] = take(&mut rng, &mut measure);
+                total += 1;
+                replaced += 1;
+            }
+        }
+        let n = runs.len() as f64;
+        let mut acc = Measurement::default();
+        for m in &runs {
+            acc.accumulate(m);
+        }
+        ProtocolOutcome {
+            mean: Measurement {
+                package_j: acc.package_j / n,
+                core_j: acc.core_j / n,
+                uncore_j: acc.uncore_j / n,
+                dram_j: acc.dram_j / n,
+                seconds: acc.seconds / n,
+            },
+            runs,
+            total_measurements: total,
+            outliers_replaced: replaced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_measure() -> Measurement {
+        Measurement { package_j: 100.0, core_j: 80.0, uncore_j: 10.0, dram_j: 0.0, seconds: 2.0 }
+    }
+
+    #[test]
+    fn noiseless_protocol_reproduces_the_measurement() {
+        let p = MeasurementProtocol {
+            runs: 10,
+            noise: NoiseModel::none(),
+            seed: 1,
+            max_rounds: 10,
+        };
+        let out = p.run(constant_measure);
+        assert_eq!(out.total_measurements, 10);
+        assert_eq!(out.outliers_replaced, 0);
+        assert!((out.mean.package_j - 100.0).abs() < 1e-9);
+        assert!((out.mean.seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spikes_are_replaced_until_clean() {
+        // Whether a given seed draws a flaggable spike is chance; the
+        // mechanism must fire for *some* seeds and always converge. Rare
+        // seeds can cascade (replacement spikes crowd out clean runs — a
+        // known Tukey failure mode under persistent contamination), so
+        // the closeness check is on the *median* across seeds.
+        let mut fired = false;
+        let mut means = Vec::new();
+        for seed in 0..20 {
+            let p = MeasurementProtocol {
+                runs: 10,
+                noise: NoiseModel { jitter: 0.01, spike_prob: 0.1, spike_factor: 3.0 },
+                seed,
+                max_rounds: 100,
+            };
+            let out = p.run(constant_measure);
+            fired |= out.outliers_replaced > 0;
+            // Final set is always clean: Tukey finds nothing.
+            let pkg: Vec<f64> = out.runs.iter().map(|m| m.package_j).collect();
+            assert!(crate::stats::tukey_outliers(&pkg).is_empty(), "seed {seed}");
+            means.push(out.mean.package_j);
+        }
+        assert!(fired, "no seed in 0..20 triggered a replacement");
+        let (_, median, _) = crate::stats::quartiles(&means);
+        assert!((median - 100.0).abs() < 5.0, "median of means {median}");
+    }
+
+    #[test]
+    fn protocol_is_deterministic_per_seed() {
+        let p = MeasurementProtocol::default();
+        let a = p.run(constant_measure);
+        let b = p.run(constant_measure);
+        assert_eq!(a.mean.package_j, b.mean.package_j);
+        assert_eq!(a.total_measurements, b.total_measurements);
+    }
+
+    #[test]
+    fn comparisons_survive_noise() {
+        // The whole point of the protocol: a 10% real difference must be
+        // resolvable under 2% jitter + spikes.
+        let base = MeasurementProtocol { seed: 3, ..Default::default() }.run(constant_measure);
+        let better = MeasurementProtocol { seed: 4, ..Default::default() }.run(|| Measurement {
+            package_j: 90.0,
+            core_j: 72.0,
+            uncore_j: 9.0,
+            dram_j: 0.0,
+            seconds: 1.9,
+        });
+        let improvement =
+            Measurement::improvement_pct(base.mean.package_j, better.mean.package_j);
+        assert!((improvement - 10.0).abs() < 4.0, "improvement {improvement}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Lexer/parser error type.
+
+use crate::Span;
+
+/// A lexing or parsing failure with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Construct at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new("unexpected `;`", Span::point(3, 14));
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected `;`");
+    }
+}

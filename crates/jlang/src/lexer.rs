@@ -1,0 +1,508 @@
+//! Tokenizer for the Java subset.
+//!
+//! Notable requirements driven by the analyzer rules:
+//!
+//! * Float literals must record whether they were written in scientific
+//!   notation (`6.022e23`) — the input to Table I's "scientific notation"
+//!   suggestion.
+//! * Integer literals accept decimal, hex (`0x`), binary (`0b`), octal
+//!   (leading `0`) spellings with `_` separators and `l`/`L` suffixes.
+//! * Comments are skipped but newlines inside them still advance line
+//!   numbers (suggestions are reported per line).
+
+use crate::{ParseError, Span, Token, TokenKind};
+
+/// Tokenize a full source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            if self.pos >= self.src.len() {
+                out.push(Token { kind: TokenKind::Eof, span: start });
+                return Ok(out);
+            }
+            let c = self.src[self.pos];
+            let kind = if c.is_ascii_digit() || (c == b'.' && self.peek_digit(1)) {
+                self.number()?
+            } else if c == b'"' {
+                self.string()?
+            } else if c == b'\'' {
+                self.char_lit()?
+            } else if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+                self.ident()
+            } else {
+                self.operator(start)?
+            };
+            let span = Span {
+                line: start.line,
+                col: start.col,
+                end_line: self.line,
+                end_col: self.col,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn here(&self) -> Span {
+        Span::point(self.line, self.col)
+    }
+
+    fn peek_digit(&self, ahead: usize) -> bool {
+        self.src
+            .get(self.pos + ahead)
+            .is_some_and(|b| b.is_ascii_digit())
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.src[self.pos];
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(ParseError::new("unterminated block comment", open));
+                        }
+                        if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_' || *b == b'$')
+        {
+            self.bump();
+        }
+        TokenKind::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        let start_span = self.here();
+        // Radix prefixes.
+        if self.src[self.pos] == b'0' && self.pos + 1 < self.src.len() {
+            let next = self.src[self.pos + 1].to_ascii_lowercase();
+            if next == b'x' || next == b'b' {
+                self.bump();
+                self.bump();
+                let radix = if next == b'x' { 16 } else { 2 };
+                let digits_start = self.pos;
+                while self.src.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_hexdigit() || *b == b'_'
+                }) {
+                    self.bump();
+                }
+                let text: String = String::from_utf8_lossy(&self.src[digits_start..self.pos])
+                    .replace('_', "");
+                let long = self.eat_suffix(b'l');
+                let value = i64::from_str_radix(&text, radix).map_err(|e| {
+                    ParseError::new(format!("bad radix-{radix} literal: {e}"), start_span)
+                })?;
+                return Ok(TokenKind::IntLit { value, long });
+            }
+        }
+        // Decimal digits (possibly the integer part of a float).
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || *b == b'_')
+        {
+            self.bump();
+        }
+        let mut is_float = false;
+        let mut scientific = false;
+        if self.src.get(self.pos) == Some(&b'.') && !self.next_is_ident_or_dot() {
+            is_float = true;
+            self.bump();
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_digit() || *b == b'_')
+            {
+                self.bump();
+            }
+        }
+        if self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.eq_ignore_ascii_case(&b'e'))
+            && (self.peek_digit(1)
+                || (matches!(self.src.get(self.pos + 1), Some(b'+') | Some(b'-'))
+                    && self.peek_digit(2)))
+        {
+            is_float = true;
+            scientific = true;
+            self.bump(); // e
+            if matches!(self.src.get(self.pos), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            while self.src.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let mut text: String =
+            String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+        // Suffixes.
+        if let Some(b) = self.src.get(self.pos) {
+            match b.to_ascii_lowercase() {
+                b'f' => {
+                    self.bump();
+                    let value: f64 = text.parse().map_err(|e| {
+                        ParseError::new(format!("bad float literal: {e}"), start_span)
+                    })?;
+                    return Ok(TokenKind::FloatLit { value, float32: true, scientific });
+                }
+                b'd' => {
+                    self.bump();
+                    is_float = true;
+                }
+                b'l' if !is_float => {
+                    self.bump();
+                    let value: i64 = text.parse().map_err(|e| {
+                        ParseError::new(format!("bad long literal: {e}"), start_span)
+                    })?;
+                    return Ok(TokenKind::IntLit { value, long: true });
+                }
+                _ => {}
+            }
+        }
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|e| ParseError::new(format!("bad float literal: {e}"), start_span))?;
+            Ok(TokenKind::FloatLit { value, float32: false, scientific })
+        } else {
+            // Leading-zero octal (Java legacy); "0" itself is decimal.
+            let value = if text.len() > 1 && text.starts_with('0') {
+                let rest = text.trim_start_matches('0');
+                if rest.is_empty() {
+                    0
+                } else {
+                    i64::from_str_radix(rest, 8).map_err(|e| {
+                        ParseError::new(format!("bad octal literal: {e}"), start_span)
+                    })?
+                }
+            } else {
+                if text.is_empty() {
+                    text.push('0');
+                }
+                text.parse().map_err(|e| {
+                    ParseError::new(format!("bad int literal: {e}"), start_span)
+                })?
+            };
+            Ok(TokenKind::IntLit { value, long: false })
+        }
+    }
+
+    /// After digits, a `.` followed by an identifier start means a method
+    /// call on a literal (rare) — treat the literal as an int. A second
+    /// `.` means a range-like construct we don't support; also stop.
+    fn next_is_ident_or_dot(&self) -> bool {
+        match self.src.get(self.pos + 1) {
+            Some(b) => b.is_ascii_alphabetic() || *b == b'_' || *b == b'.',
+            None => false,
+        }
+    }
+
+    fn eat_suffix(&mut self, lower: u8) -> bool {
+        if self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.to_ascii_lowercase() == lower)
+        {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, ParseError> {
+        let open = self.here();
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(ParseError::new("unterminated string literal", open));
+            }
+            match self.bump() {
+                b'"' => return Ok(TokenKind::StrLit(s)),
+                b'\\' => s.push(self.escape(open)?),
+                b'\n' => return Err(ParseError::new("newline in string literal", open)),
+                c => s.push(c as char),
+            }
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<TokenKind, ParseError> {
+        let open = self.here();
+        self.bump(); // opening quote
+        if self.pos >= self.src.len() {
+            return Err(ParseError::new("unterminated char literal", open));
+        }
+        let c = match self.bump() {
+            b'\\' => self.escape(open)?,
+            b'\'' => return Err(ParseError::new("empty char literal", open)),
+            c => c as char,
+        };
+        if self.pos >= self.src.len() || self.bump() != b'\'' {
+            return Err(ParseError::new("unterminated char literal", open));
+        }
+        Ok(TokenKind::CharLit(c))
+    }
+
+    fn escape(&mut self, open: Span) -> Result<char, ParseError> {
+        if self.pos >= self.src.len() {
+            return Err(ParseError::new("unterminated escape", open));
+        }
+        Ok(match self.bump() {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'0' => '\0',
+            b'\\' => '\\',
+            b'\'' => '\'',
+            b'"' => '"',
+            b'u' => {
+                let mut v = 0u32;
+                for _ in 0..4 {
+                    if self.pos >= self.src.len() {
+                        return Err(ParseError::new("unterminated \\u escape", open));
+                    }
+                    let d = self.bump();
+                    v = v * 16
+                        + (d as char).to_digit(16).ok_or_else(|| {
+                            ParseError::new("bad hex digit in \\u escape", open)
+                        })?;
+                }
+                char::from_u32(v)
+                    .ok_or_else(|| ParseError::new("invalid \\u code point", open))?
+            }
+            c => {
+                return Err(ParseError::new(
+                    format!("unknown escape `\\{}`", c as char),
+                    open,
+                ))
+            }
+        })
+    }
+
+    fn operator(&mut self, start: Span) -> Result<TokenKind, ParseError> {
+        let rest = &self.src[self.pos..];
+        for op in crate::token::OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return Ok(TokenKind::Punct(op));
+            }
+        }
+        Err(ParseError::new(
+            format!("unexpected character `{}`", self.src[self.pos] as char),
+            start,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        let ks = kinds("static int foo_1 $x");
+        assert_eq!(ks.len(), 5); // 4 idents + EOF
+        assert!(ks[0].is_keyword("static"));
+        assert_eq!(ks[2].ident(), Some("foo_1"));
+    }
+
+    #[test]
+    fn lexes_integer_radices() {
+        assert_eq!(kinds("0x1F")[0], TokenKind::IntLit { value: 31, long: false });
+        assert_eq!(kinds("0b101")[0], TokenKind::IntLit { value: 5, long: false });
+        assert_eq!(kinds("017")[0], TokenKind::IntLit { value: 15, long: false });
+        assert_eq!(kinds("1_000_000L")[0], TokenKind::IntLit { value: 1_000_000, long: true });
+        assert_eq!(kinds("0")[0], TokenKind::IntLit { value: 0, long: false });
+    }
+
+    #[test]
+    fn scientific_notation_is_flagged() {
+        match &kinds("6.022e23")[0] {
+            TokenKind::FloatLit { scientific, .. } => assert!(scientific),
+            k => panic!("{k:?}"),
+        }
+        match &kinds("0.001")[0] {
+            TokenKind::FloatLit { scientific, value, .. } => {
+                assert!(!scientific);
+                assert!((value - 0.001).abs() < 1e-12);
+            }
+            k => panic!("{k:?}"),
+        }
+        match &kinds("1e-3f")[0] {
+            TokenKind::FloatLit { scientific, float32, .. } => {
+                assert!(*scientific && *float32);
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn float_suffixes() {
+        assert_eq!(
+            kinds("2.5f")[0],
+            TokenKind::FloatLit { value: 2.5, float32: true, scientific: false }
+        );
+        assert_eq!(
+            kinds("2.5d")[0],
+            TokenKind::FloatLit { value: 2.5, float32: false, scientific: false }
+        );
+        assert_eq!(
+            kinds(".5")[0],
+            TokenKind::FloatLit { value: 0.5, float32: false, scientific: false }
+        );
+    }
+
+    #[test]
+    fn method_call_on_int_literal_is_not_a_float() {
+        // `5.toString()` style: the dot binds to the call, not the number.
+        let ks = kinds("x = 5.equals(y)");
+        assert_eq!(ks[2], TokenKind::IntLit { value: 5, long: false });
+        assert!(ks[3].is_punct("."));
+    }
+
+    #[test]
+    fn string_and_char_escapes() {
+        assert_eq!(kinds(r#""a\tb\nA""#)[0], TokenKind::StrLit("a\tb\nA".into()));
+        assert_eq!(kinds(r"'\n'")[0], TokenKind::CharLit('\n'));
+        assert_eq!(kinds("'x'")[0], TokenKind::CharLit('x'));
+    }
+
+    #[test]
+    fn comments_are_skipped_but_lines_advance() {
+        let toks = lex("// line one\n/* multi\nline */ int x;").unwrap();
+        assert!(toks[0].kind.is_keyword("int"));
+        assert_eq!(toks[0].span.line, 3);
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        let ks = kinds("a >>>= b >>> c >> d > e");
+        let ops: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec![">>>=", ">>>", ">>", ">"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = lex("int\n  foo;").unwrap();
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = lex("\"unterminated").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert!(err.message.contains("unterminated"));
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn modulus_percent_is_lexed_distinctly_from_percent_assign() {
+        let ks = kinds("a % b %= c");
+        assert!(ks[1].is_punct("%"));
+        assert!(ks[3].is_punct("%="));
+    }
+
+    proptest! {
+        #[test]
+        fn lexer_never_panics(src in "\\PC*") {
+            let _ = lex(&src);
+        }
+
+        #[test]
+        fn decimal_int_roundtrip(v in 0i64..i64::MAX/2) {
+            let ks = kinds(&v.to_string());
+            prop_assert_eq!(&ks[0], &TokenKind::IntLit { value: v, long: false });
+        }
+
+        #[test]
+        fn string_content_roundtrips(s in "[a-zA-Z0-9 ,.!?]*") {
+            let src = format!("\"{s}\"");
+            prop_assert_eq!(&kinds(&src)[0], &TokenKind::StrLit(s));
+        }
+
+        #[test]
+        fn token_count_excluding_eof_is_stable_under_whitespace(
+            n in 1usize..5
+        ) {
+            let base = "int x = 1 + 2 ;";
+            let spaced = base.replace(' ', &" ".repeat(n));
+            prop_assert_eq!(kinds(base), kinds(&spaced));
+        }
+    }
+}

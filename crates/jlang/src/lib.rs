@@ -1,0 +1,49 @@
+//! # jepo-jlang — Java-subset front end
+//!
+//! JEPO operates on Java source: the optimizer "analyzes each line of Java
+//! file and matches it to the pool of suggestions", and the profiler
+//! locates main classes and injects probes into compiled methods. This
+//! crate is the language substrate both sides stand on:
+//!
+//! * [`lexer`] — a full tokenizer for the Java subset (comments, string /
+//!   char escapes, decimal / hex / binary / octal integer literals with
+//!   underscores and suffixes, decimal and **scientific-notation** float
+//!   literals — the distinction Table I's "scientific notation" rule needs).
+//! * [`parser`] — recursive-descent parser producing a spanned [`ast`]:
+//!   compilation units, classes, fields, methods, the full statement set
+//!   (`if`/`while`/`do`/`for`/`switch`/`try`/`throw`/…) and the full
+//!   expression precedence ladder including the ternary operator,
+//!   short-circuit operators, casts, `instanceof`, array creation and
+//!   indexing — everything a Table I rule has to pattern-match.
+//! * [`printer`] — pretty-printer emitting compilable source from the AST;
+//!   the refactoring engine parses → rewrites → prints.
+//! * [`project`] — multi-file project model with main-class discovery,
+//!   mirroring JEPO's "find all classes that have a main method" flow.
+//!
+//! The subset covers everything WEKA-style numerical code uses (and
+//! everything the paper's rules inspect); it omits generics bounds,
+//! annotations, lambdas, and inner classes, none of which any Table I rule
+//! examines.
+//!
+//! ```
+//! use jepo_jlang::parse_unit;
+//! let unit = parse_unit("class A { int f(int x) { return x % 10; } }").unwrap();
+//! assert_eq!(unit.types[0].name, "A");
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod project;
+pub mod span;
+pub mod token;
+
+pub use ast::*;
+pub use error::ParseError;
+pub use parser::{parse_expression, parse_unit};
+pub use printer::pretty_print;
+pub use project::{JavaProject, MainClassChoice, SourceFile};
+pub use span::Span;
+pub use token::{Token, TokenKind};

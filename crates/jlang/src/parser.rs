@@ -1,0 +1,1502 @@
+//! Recursive-descent parser for the Java subset.
+//!
+//! Produces the spanned AST of [`crate::ast`]. Operator precedence follows
+//! the Java Language Specification; assignment and the ternary operator
+//! are right-associative, everything else left-associative.
+
+use crate::ast::*;
+use crate::token::{Token, TokenKind};
+use crate::{lexer, ParseError, Span};
+
+/// Parameters, throws clause and optional body of a parsed method.
+type MethodTail = (Vec<Param>, Vec<String>, Option<Block>);
+
+/// Parse a whole compilation unit (one `.java` file).
+pub fn parse_unit(src: &str) -> Result<CompilationUnit, ParseError> {
+    let tokens = lexer::lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.compilation_unit()
+}
+
+/// Parse a single expression (used by tests and the dynamic analyzer).
+pub fn parse_expression(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lexer::lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, ahead: usize) -> &Token {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)]
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().kind.is_punct(p)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().kind.is_keyword(kw)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<Span, ParseError> {
+        if self.at_punct(p) {
+            Ok(self.advance().span)
+        } else {
+            Err(self.unexpected(&format!("`{p}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !TokenKind::KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                let sp = self.advance().span;
+                Ok((s, sp))
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if matches!(self.peek().kind, TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        ParseError::new(
+            format!("expected {wanted}, found {}", self.peek().kind.describe()),
+            self.span(),
+        )
+    }
+
+    // ---- declarations --------------------------------------------------
+
+    fn compilation_unit(&mut self) -> Result<CompilationUnit, ParseError> {
+        let mut package = None;
+        if self.eat_kw("package") {
+            package = Some(self.qualified_name()?);
+            self.expect_punct(";")?;
+        }
+        let mut imports = Vec::new();
+        while self.eat_kw("import") {
+            self.eat_kw("static");
+            let mut name = self.qualified_name()?;
+            if self.eat_punct(".") {
+                self.expect_punct("*")?;
+                name.push_str(".*");
+            }
+            self.expect_punct(";")?;
+            imports.push(name);
+        }
+        let mut types = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::Eof) {
+            types.push(self.class_decl()?);
+        }
+        Ok(CompilationUnit { package, imports, types })
+    }
+
+    fn qualified_name(&mut self) -> Result<String, ParseError> {
+        let (mut name, _) = self.expect_ident()?;
+        // Stop before `.*` (handled by caller) and before `.` that isn't
+        // followed by a plain identifier.
+        while self.at_punct(".")
+            && matches!(&self.peek_at(1).kind,
+                TokenKind::Ident(s) if !TokenKind::KEYWORDS.contains(&s.as_str()))
+        {
+            self.advance();
+            let (part, _) = self.expect_ident()?;
+            name.push('.');
+            name.push_str(&part);
+        }
+        Ok(name)
+    }
+
+    fn modifiers(&mut self) -> Modifiers {
+        let mut m = Modifiers::default();
+        loop {
+            if self.eat_kw("public") {
+                m.public = true;
+            } else if self.eat_kw("private") {
+                m.private = true;
+            } else if self.eat_kw("protected") {
+                m.protected = true;
+            } else if self.eat_kw("static") {
+                m.is_static = true;
+            } else if self.eat_kw("final") {
+                m.is_final = true;
+            } else if self.eat_kw("abstract") {
+                m.is_abstract = true;
+            } else if self.at_kw("synchronized") && !self.peek_at(1).kind.is_punct("(") {
+                self.advance(); // method modifier; ignored semantically
+            } else if self.eat_kw("native") || self.eat_kw("transient") || self.eat_kw("volatile")
+            {
+                // accepted, not modelled
+            } else {
+                return m;
+            }
+        }
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, ParseError> {
+        let start = self.span();
+        let modifiers = self.modifiers();
+        let is_interface = if self.eat_kw("class") {
+            false
+        } else if self.eat_kw("interface") {
+            true
+        } else {
+            return Err(self.unexpected("`class` or `interface`"));
+        };
+        let (name, _) = self.expect_ident()?;
+        self.skip_type_params();
+        let mut extends = None;
+        let mut implements = Vec::new();
+        if self.eat_kw("extends") {
+            extends = Some(self.qualified_name()?);
+            self.skip_type_params();
+            // interfaces may extend several
+            while is_interface && self.eat_punct(",") {
+                implements.push(self.qualified_name()?);
+                self.skip_type_params();
+            }
+        }
+        if self.eat_kw("implements") {
+            loop {
+                implements.push(self.qualified_name()?);
+                self.skip_type_params();
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return Err(self.unexpected("`}` closing class body"));
+            }
+            self.member(&name, &mut fields, &mut methods)?;
+        }
+        let end = self.expect_punct("}")?;
+        Ok(ClassDecl {
+            modifiers,
+            name,
+            is_interface,
+            extends,
+            implements,
+            fields,
+            methods,
+            span: start.merge(end),
+        })
+    }
+
+    /// Skip `<...>` generic parameter/argument lists (balanced).
+    fn skip_type_params(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        let mut depth = 0usize;
+        loop {
+            if self.at_punct("<") {
+                depth += 1;
+            } else if self.at_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    self.advance();
+                    return;
+                }
+            } else if self.at_punct(">>") {
+                depth = depth.saturating_sub(2);
+                if depth == 0 {
+                    self.advance();
+                    return;
+                }
+            } else if matches!(self.peek().kind, TokenKind::Eof) {
+                return;
+            }
+            self.advance();
+        }
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<(), ParseError> {
+        let start = self.span();
+        let modifiers = self.modifiers();
+        // Static / instance initializer block: treat as a method named
+        // `<clinit>` / `<init-block>` so nothing is silently dropped.
+        if self.at_punct("{") {
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                modifiers,
+                ret: Type::Void,
+                name: if modifiers.is_static { "<clinit>".into() } else { "<init-block>".into() },
+                params: vec![],
+                throws: vec![],
+                body: Some(body),
+                span: start,
+            });
+            return Ok(());
+        }
+        // Constructor: `Name (` with Name == class name.
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            if id == class_name && self.peek_at(1).kind.is_punct("(") {
+                let (name, _) = self.expect_ident()?;
+                let (params, throws, body) = self.method_tail()?;
+                methods.push(MethodDecl {
+                    modifiers,
+                    ret: Type::Void,
+                    name,
+                    params,
+                    throws,
+                    body,
+                    span: start.merge(self.prev_span()),
+                });
+                return Ok(());
+            }
+        }
+        let ret = if self.eat_kw("void") { Type::Void } else { self.parse_type()? };
+        let (name, _) = self.expect_ident()?;
+        if self.at_punct("(") {
+            let (params, throws, body) = self.method_tail()?;
+            methods.push(MethodDecl {
+                modifiers,
+                ret,
+                name,
+                params,
+                throws,
+                body,
+                span: start.merge(self.prev_span()),
+            });
+        } else {
+            // Field declaration, possibly with several declarators.
+            let mut decl_name = name;
+            loop {
+                let mut ty = ret.clone();
+                let mut extra = 0u8;
+                while self.eat_punct("[") {
+                    self.expect_punct("]")?;
+                    extra += 1;
+                }
+                if extra > 0 {
+                    ty = match ty {
+                        Type::Array(inner, d) => Type::Array(inner, d + extra),
+                        other => Type::Array(Box::new(other), extra),
+                    };
+                }
+                let init = if self.eat_punct("=") { Some(self.var_init()?) } else { None };
+                fields.push(FieldDecl {
+                    modifiers,
+                    ty,
+                    name: decl_name,
+                    init,
+                    span: start.merge(self.prev_span()),
+                });
+                if self.eat_punct(",") {
+                    decl_name = self.expect_ident()?.0;
+                } else {
+                    break;
+                }
+            }
+            self.expect_punct(";")?;
+        }
+        Ok(())
+    }
+
+    fn method_tail(&mut self) -> Result<MethodTail, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                self.eat_kw("final");
+                let mut ty = self.parse_type()?;
+                // Varargs: treat `T...` as `T[]`.
+                if self.eat_punct("...") {
+                    ty = Type::Array(Box::new(ty), 1);
+                }
+                let (name, _) = self.expect_ident()?;
+                let mut extra = 0u8;
+                while self.eat_punct("[") {
+                    self.expect_punct("]")?;
+                    extra += 1;
+                }
+                if extra > 0 {
+                    ty = match ty {
+                        Type::Array(inner, d) => Type::Array(inner, d + extra),
+                        other => Type::Array(Box::new(other), extra),
+                    };
+                }
+                params.push(Param { ty, name });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let mut throws = Vec::new();
+        if self.eat_kw("throws") {
+            loop {
+                throws.push(self.qualified_name()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let body = if self.eat_punct(";") { None } else { Some(self.block()?) };
+        Ok((params, throws, body))
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let base = if let TokenKind::Ident(id) = &self.peek().kind {
+            if let Some(p) = PrimType::from_keyword(id) {
+                self.advance();
+                Type::Prim(p)
+            } else if TokenKind::KEYWORDS.contains(&id.as_str()) {
+                return Err(self.unexpected("type"));
+            } else {
+                let name = self.qualified_name()?;
+                let args = self.maybe_type_args()?;
+                Type::Class(name, args)
+            }
+        } else {
+            return Err(self.unexpected("type"));
+        };
+        let mut dims = 0u8;
+        while self.at_punct("[") && self.peek_at(1).kind.is_punct("]") {
+            self.advance();
+            self.advance();
+            dims += 1;
+        }
+        Ok(if dims > 0 { Type::Array(Box::new(base), dims) } else { base })
+    }
+
+    fn maybe_type_args(&mut self) -> Result<Vec<Type>, ParseError> {
+        // Only parse `<...>` as type arguments in a type position.
+        if !self.at_punct("<") {
+            return Ok(Vec::new());
+        }
+        // Diamond `<>`.
+        if self.peek_at(1).kind.is_punct(">") {
+            self.advance();
+            self.advance();
+            return Ok(Vec::new());
+        }
+        let save = self.pos;
+        self.advance(); // <
+        let mut args = Vec::new();
+        loop {
+            if self.eat_punct("?") {
+                if self.eat_kw("extends") || self.eat_kw("super") {
+                    let _ = self.parse_type();
+                }
+                args.push(Type::class("?"));
+            } else {
+                match self.parse_type() {
+                    Ok(t) => args.push(t),
+                    Err(_) => {
+                        self.pos = save;
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            if self.eat_punct(">") {
+                return Ok(args);
+            }
+            // `>>` closing two levels at once: leave outer `>` by
+            // rewriting — simplest is to backtrack and give up on args.
+            self.pos = save;
+            return Ok(Vec::new());
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        let start = self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect_punct("}")?;
+        Ok(Block { stmts, span: start.merge(end) })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.span();
+        let kind = if self.at_punct("{") {
+            StmtKind::Block(self.block()?)
+        } else if self.eat_punct(";") {
+            StmtKind::Empty
+        } else if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            StmtKind::If { cond, then, els }
+        } else if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            StmtKind::While { cond, body: Box::new(self.stmt()?) }
+        } else if self.eat_kw("do") {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_kw("while") {
+                return Err(self.unexpected("`while`"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            StmtKind::DoWhile { body, cond }
+        } else if self.eat_kw("for") {
+            self.for_stmt()?
+        } else if self.eat_kw("switch") {
+            self.switch_stmt()?
+        } else if self.eat_kw("return") {
+            let e = if self.at_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            StmtKind::Return(e)
+        } else if self.eat_kw("break") {
+            // labelled break not modelled; accept and drop the label
+            if let TokenKind::Ident(s) = &self.peek().kind {
+                if !TokenKind::KEYWORDS.contains(&s.as_str()) {
+                    self.advance();
+                }
+            }
+            self.expect_punct(";")?;
+            StmtKind::Break
+        } else if self.eat_kw("continue") {
+            if let TokenKind::Ident(s) = &self.peek().kind {
+                if !TokenKind::KEYWORDS.contains(&s.as_str()) {
+                    self.advance();
+                }
+            }
+            self.expect_punct(";")?;
+            StmtKind::Continue
+        } else if self.eat_kw("throw") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            StmtKind::Throw(e)
+        } else if self.eat_kw("try") {
+            self.try_stmt()?
+        } else if self.at_kw("synchronized") {
+            self.advance();
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            StmtKind::Synchronized(e, self.block()?)
+        } else {
+            // Local declaration vs expression statement.
+            match self.try_local_decl()? {
+                Some(kind) => kind,
+                None => {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    StmtKind::Expr(e)
+                }
+            }
+        };
+        Ok(Stmt { kind, span: start.merge(self.prev_span()) })
+    }
+
+    /// Attempt to parse a local variable declaration; backtracks and
+    /// returns `None` when the lookahead is actually an expression.
+    fn try_local_decl(&mut self) -> Result<Option<StmtKind>, ParseError> {
+        let save = self.pos;
+        let is_final = self.eat_kw("final");
+        let looks_like_type = match &self.peek().kind {
+            TokenKind::Ident(id) => {
+                PrimType::from_keyword(id).is_some()
+                    || (!TokenKind::KEYWORDS.contains(&id.as_str())
+                        && self.decl_lookahead())
+            }
+            _ => false,
+        };
+        if !looks_like_type {
+            if is_final {
+                return Err(self.unexpected("type after `final`"));
+            }
+            self.pos = save;
+            return Ok(None);
+        }
+        let ty = match self.parse_type() {
+            Ok(t) => t,
+            Err(_) => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        // Must now see `ident` then one of `= , ; [`.
+        let ok_shape = matches!(&self.peek().kind, TokenKind::Ident(s)
+            if !TokenKind::KEYWORDS.contains(&s.as_str()))
+            && matches!(&self.peek_at(1).kind,
+                TokenKind::Punct("=") | TokenKind::Punct(",") | TokenKind::Punct(";")
+                | TokenKind::Punct("["));
+        if !ok_shape {
+            self.pos = save;
+            return Ok(None);
+        }
+        let mut vars = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident()?;
+            let mut extra = 0u8;
+            while self.eat_punct("[") {
+                self.expect_punct("]")?;
+                extra += 1;
+            }
+            let init = if self.eat_punct("=") { Some(self.var_init()?) } else { None };
+            vars.push((name, extra, init));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(Some(StmtKind::Local { is_final, ty, vars }))
+    }
+
+    /// Heuristic: does the token stream after an identifier look like a
+    /// declaration (`Foo x`, `Foo[] x`, `Foo<T> x`) rather than an
+    /// expression (`foo(`, `foo.bar`, `foo =`, `foo[i] =`)?
+    fn decl_lookahead(&self) -> bool {
+        let mut i = 1;
+        // Skip qualified name parts: `a.b.C`
+        while self.peek_at(i).kind.is_punct(".")
+            && matches!(&self.peek_at(i + 1).kind, TokenKind::Ident(s)
+                if !TokenKind::KEYWORDS.contains(&s.as_str()))
+        {
+            i += 2;
+        }
+        // Skip generics conservatively: `<` ... `>` with only type-ish
+        // tokens inside.
+        if self.peek_at(i).kind.is_punct("<") {
+            let mut depth = 0usize;
+            loop {
+                let k = &self.peek_at(i).kind;
+                if k.is_punct("<") {
+                    depth += 1;
+                } else if k.is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if k.is_punct(">>") {
+                    if depth <= 2 {
+                        i += 1;
+                        break;
+                    }
+                    depth -= 2;
+                } else if matches!(k, TokenKind::Eof)
+                    || k.is_punct(";")
+                    || k.is_punct("{")
+                    || k.is_punct("(")
+                    || (!matches!(k, TokenKind::Ident(_))
+                        && !k.is_punct(",")
+                        && !k.is_punct("?")
+                        && !k.is_punct("[")
+                        && !k.is_punct("]")
+                        && !k.is_punct("."))
+                {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        // Skip `[]` pairs.
+        while self.peek_at(i).kind.is_punct("[") && self.peek_at(i + 1).kind.is_punct("]") {
+            i += 2;
+        }
+        // Declaration iff an identifier follows.
+        matches!(&self.peek_at(i).kind, TokenKind::Ident(s)
+            if !TokenKind::KEYWORDS.contains(&s.as_str()))
+    }
+
+    fn var_init(&mut self) -> Result<Expr, ParseError> {
+        if self.at_punct("{") {
+            let start = self.advance().span; // {
+            let mut items = Vec::new();
+            if !self.at_punct("}") {
+                loop {
+                    items.push(self.var_init()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if self.at_punct("}") {
+                        break; // trailing comma
+                    }
+                }
+            }
+            let end = self.expect_punct("}")?;
+            Ok(Expr::new(ExprKind::ArrayInit(items), start.merge(end)))
+        } else {
+            self.expr()
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect_punct("(")?;
+        // Enhanced for: `Type name : expr`
+        let save = self.pos;
+        if let Ok(Some((ty, name, iter))) = self.try_foreach_header() {
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(StmtKind::ForEach { ty, name, iter, body });
+        }
+        self.pos = save;
+        // Classic for.
+        let mut init = Vec::new();
+        if !self.eat_punct(";") {
+            let start = self.span();
+            match self.try_local_decl()? {
+                Some(kind) => init.push(Stmt { kind, span: start.merge(self.prev_span()) }),
+                None => {
+                    loop {
+                        let e = self.expr()?;
+                        let sp = e.span;
+                        init.push(Stmt { kind: StmtKind::Expr(e), span: sp });
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(";")?;
+                }
+            }
+        }
+        let cond = if self.at_punct(";") { None } else { Some(self.expr()?) };
+        self.expect_punct(";")?;
+        let mut update = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                update.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let body = Box::new(self.stmt()?);
+        Ok(StmtKind::For { init, cond, update, body })
+    }
+
+    fn try_foreach_header(&mut self) -> Result<Option<(Type, String, Expr)>, ParseError> {
+        self.eat_kw("final");
+        let ty = match self.parse_type() {
+            Ok(t) => t,
+            Err(_) => return Ok(None),
+        };
+        let name = match self.expect_ident() {
+            Ok((n, _)) => n,
+            Err(_) => return Ok(None),
+        };
+        if !self.eat_punct(":") {
+            return Ok(None);
+        }
+        let iter = self.expr()?;
+        Ok(Some((ty, name, iter)))
+    }
+
+    fn switch_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect_punct("(")?;
+        let scrutinee = self.expr()?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return Err(self.unexpected("`}`"));
+            }
+            if self.eat_kw("case") {
+                let label = Some(self.expr()?);
+                self.expect_punct(":")?;
+                match cases.last_mut() {
+                    Some(c) if c.body.is_empty() => c.labels.push(label),
+                    _ => cases.push(SwitchCase { labels: vec![label], body: vec![] }),
+                }
+            } else if self.eat_kw("default") {
+                self.expect_punct(":")?;
+                match cases.last_mut() {
+                    Some(c) if c.body.is_empty() => c.labels.push(None),
+                    _ => cases.push(SwitchCase { labels: vec![None], body: vec![] }),
+                }
+            } else {
+                let stmt = self.stmt()?;
+                match cases.last_mut() {
+                    Some(c) => c.body.push(stmt),
+                    None => return Err(ParseError::new("statement before first case", stmt.span)),
+                }
+            }
+        }
+        self.expect_punct("}")?;
+        Ok(StmtKind::Switch { scrutinee, cases })
+    }
+
+    fn try_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        let body = self.block()?;
+        let mut catches = Vec::new();
+        while self.eat_kw("catch") {
+            self.expect_punct("(")?;
+            self.eat_kw("final");
+            let ty = self.parse_type()?;
+            let (name, _) = self.expect_ident()?;
+            self.expect_punct(")")?;
+            catches.push((ty, name, self.block()?));
+        }
+        let finally = if self.eat_kw("finally") { Some(self.block()?) } else { None };
+        if catches.is_empty() && finally.is_none() {
+            return Err(self.unexpected("`catch` or `finally`"));
+        }
+        Ok(StmtKind::Try { body, catches, finally })
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = if self.at_punct("=") {
+            Some(AssignOp::Assign)
+        } else {
+            let compound = [
+                ("+=", BinOp::Add),
+                ("-=", BinOp::Sub),
+                ("*=", BinOp::Mul),
+                ("/=", BinOp::Div),
+                ("%=", BinOp::Rem),
+                ("&=", BinOp::BitAnd),
+                ("|=", BinOp::BitOr),
+                ("^=", BinOp::BitXor),
+                ("<<=", BinOp::Shl),
+                (">>=", BinOp::Shr),
+                (">>>=", BinOp::UShr),
+            ];
+            compound
+                .iter()
+                .find(|(sym, _)| self.at_punct(sym))
+                .map(|(_, op)| AssignOp::Compound(*op))
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.assignment()?; // right-associative
+            let span = lhs.span.merge(rhs.span);
+            Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.ternary()?;
+            let span = cond.span.merge(els.span);
+            Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)),
+                span,
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over the JLS binary-operator table.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            // `instanceof` sits between relational and equality.
+            if min_prec <= 5 && self.at_kw("instanceof") {
+                self.advance();
+                let ty = self.parse_type()?;
+                let span = lhs.span.merge(self.prev_span());
+                lhs = Expr::new(ExprKind::InstanceOf(Box::new(lhs), ty), span);
+                continue;
+            }
+            let (op, prec) = match () {
+                _ if self.at_punct("||") => (BinOp::Or, 1),
+                _ if self.at_punct("&&") => (BinOp::And, 2),
+                _ if self.at_punct("|") => (BinOp::BitOr, 3),
+                _ if self.at_punct("^") => (BinOp::BitXor, 3),
+                _ if self.at_punct("&") => (BinOp::BitAnd, 3),
+                _ if self.at_punct("==") => (BinOp::Eq, 4),
+                _ if self.at_punct("!=") => (BinOp::Ne, 4),
+                _ if self.at_punct("<") => (BinOp::Lt, 5),
+                _ if self.at_punct("<=") => (BinOp::Le, 5),
+                _ if self.at_punct(">") => (BinOp::Gt, 5),
+                _ if self.at_punct(">=") => (BinOp::Ge, 5),
+                _ if self.at_punct("<<") => (BinOp::Shl, 6),
+                _ if self.at_punct(">>") => (BinOp::Shr, 6),
+                _ if self.at_punct(">>>") => (BinOp::UShr, 6),
+                _ if self.at_punct("+") => (BinOp::Add, 7),
+                _ if self.at_punct("-") => (BinOp::Sub, 7),
+                _ if self.at_punct("*") => (BinOp::Mul, 8),
+                _ if self.at_punct("/") => (BinOp::Div, 8),
+                _ if self.at_punct("%") => (BinOp::Rem, 8),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        let op = match () {
+            _ if self.at_punct("-") => Some(UnaryOp::Neg),
+            _ if self.at_punct("+") => Some(UnaryOp::Plus),
+            _ if self.at_punct("!") => Some(UnaryOp::Not),
+            _ if self.at_punct("~") => Some(UnaryOp::BitNot),
+            _ if self.at_punct("++") => Some(UnaryOp::PreInc),
+            _ if self.at_punct("--") => Some(UnaryOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let e = self.unary()?;
+            let span = start.merge(e.span);
+            return Ok(Expr::new(ExprKind::Unary(op, Box::new(e)), span));
+        }
+        // Cast?
+        if self.at_punct("(") {
+            if let Some(expr) = self.try_cast()? {
+                return Ok(expr);
+            }
+        }
+        self.postfix()
+    }
+
+    /// Attempt `(Type) unary`; backtracks on failure.
+    fn try_cast(&mut self) -> Result<Option<Expr>, ParseError> {
+        let save = self.pos;
+        let start = self.span();
+        self.advance(); // (
+        let is_prim = matches!(&self.peek().kind,
+            TokenKind::Ident(id) if PrimType::from_keyword(id).is_some());
+        let ty = match self.parse_type() {
+            Ok(t) => t,
+            Err(_) => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        if !self.at_punct(")") {
+            self.pos = save;
+            return Ok(None);
+        }
+        // For class-type casts, require the next token to start a cast
+        // operand unambiguously — otherwise `(a) + b` would misparse.
+        let next = &self.peek_at(1).kind;
+        let operand_start = matches!(
+            next,
+            TokenKind::Ident(_)
+                | TokenKind::IntLit { .. }
+                | TokenKind::FloatLit { .. }
+                | TokenKind::StrLit(_)
+                | TokenKind::CharLit(_)
+        ) || next.is_punct("(")
+            || next.is_punct("!")
+            || next.is_punct("~");
+        let is_array = matches!(ty, Type::Array(..));
+        if !is_prim && !is_array && !operand_start {
+            self.pos = save;
+            return Ok(None);
+        }
+        if is_prim && !operand_start && !self.peek_at(1).kind.is_punct("-")
+            && !self.peek_at(1).kind.is_punct("+")
+        {
+            self.pos = save;
+            return Ok(None);
+        }
+        self.advance(); // )
+        let e = self.unary()?;
+        let span = start.merge(e.span);
+        Ok(Some(Expr::new(ExprKind::Cast(ty, Box::new(e)), span)))
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at_punct(".") {
+                self.advance();
+                let (name, nsp) = self.expect_ident()?;
+                if self.at_punct("(") {
+                    let args = self.arg_list()?;
+                    let span = e.span.merge(self.prev_span());
+                    e = Expr::new(
+                        ExprKind::Call { target: Some(Box::new(e)), name, args },
+                        span,
+                    );
+                } else {
+                    let span = e.span.merge(nsp);
+                    e = Expr::new(ExprKind::FieldAccess(Box::new(e), name), span);
+                }
+            } else if self.at_punct("[") {
+                let mut idxs = Vec::new();
+                while self.at_punct("[") && !self.peek_at(1).kind.is_punct("]") {
+                    self.advance();
+                    idxs.push(self.expr()?);
+                    self.expect_punct("]")?;
+                }
+                if idxs.is_empty() {
+                    break;
+                }
+                let span = e.span.merge(self.prev_span());
+                e = Expr::new(ExprKind::Index(Box::new(e), idxs), span);
+            } else if self.at_punct("++") {
+                self.advance();
+                let span = e.span.merge(self.prev_span());
+                e = Expr::new(ExprKind::Unary(UnaryOp::PostInc, Box::new(e)), span);
+            } else if self.at_punct("--") {
+                self.advance();
+                let span = e.span.merge(self.prev_span());
+                e = Expr::new(ExprKind::Unary(UnaryOp::PostDec, Box::new(e)), span);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        let tok = self.peek().kind.clone();
+        match tok {
+            TokenKind::IntLit { value, long } => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Literal(Lit::Int { value, long }), start))
+            }
+            TokenKind::FloatLit { value, float32, scientific } => {
+                self.advance();
+                Ok(Expr::new(
+                    ExprKind::Literal(Lit::Float { value, float32, scientific }),
+                    start,
+                ))
+            }
+            TokenKind::CharLit(c) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Literal(Lit::Char(c)), start))
+            }
+            TokenKind::StrLit(s) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Literal(Lit::Str(s)), start))
+            }
+            TokenKind::Punct("(") => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(id) => {
+                if id == "true" || id == "false" {
+                    self.advance();
+                    return Ok(Expr::new(ExprKind::Literal(Lit::Bool(id == "true")), start));
+                }
+                if id == "null" {
+                    self.advance();
+                    return Ok(Expr::new(ExprKind::Literal(Lit::Null), start));
+                }
+                if id == "this" {
+                    self.advance();
+                    if self.at_punct("(") {
+                        // this(...) constructor delegation — model as call
+                        let args = self.arg_list()?;
+                        let span = start.merge(self.prev_span());
+                        return Ok(Expr::new(
+                            ExprKind::Call { target: None, name: "<this>".into(), args },
+                            span,
+                        ));
+                    }
+                    return Ok(Expr::new(ExprKind::This, start));
+                }
+                if id == "super" {
+                    self.advance();
+                    if self.at_punct("(") {
+                        let args = self.arg_list()?;
+                        let span = start.merge(self.prev_span());
+                        return Ok(Expr::new(
+                            ExprKind::Call { target: None, name: "<super>".into(), args },
+                            span,
+                        ));
+                    }
+                    // super.method(...) / super.field
+                    self.expect_punct(".")?;
+                    let (name, _) = self.expect_ident()?;
+                    if self.at_punct("(") {
+                        let args = self.arg_list()?;
+                        let span = start.merge(self.prev_span());
+                        return Ok(Expr::new(
+                            ExprKind::Call {
+                                target: Some(Box::new(Expr::new(
+                                    ExprKind::Name("super".into()),
+                                    start,
+                                ))),
+                                name,
+                                args,
+                            },
+                            span,
+                        ));
+                    }
+                    let span = start.merge(self.prev_span());
+                    return Ok(Expr::new(
+                        ExprKind::FieldAccess(
+                            Box::new(Expr::new(ExprKind::Name("super".into()), start)),
+                            name,
+                        ),
+                        span,
+                    ));
+                }
+                if id == "new" {
+                    return self.new_expr();
+                }
+                if TokenKind::KEYWORDS.contains(&id.as_str()) {
+                    return Err(self.unexpected("expression"));
+                }
+                self.advance();
+                if self.at_punct("(") {
+                    let args = self.arg_list()?;
+                    let span = start.merge(self.prev_span());
+                    return Ok(Expr::new(ExprKind::Call { target: None, name: id, args }, span));
+                }
+                Ok(Expr::new(ExprKind::Name(id), start))
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+
+    fn new_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.advance().span; // new
+        // Primitive array?
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            if let Some(p) = PrimType::from_keyword(id) {
+                self.advance();
+                return self.new_array_tail(Type::Prim(p), start);
+            }
+        }
+        let name = self.qualified_name()?;
+        let _args = self.maybe_type_args()?;
+        if self.at_punct("[") {
+            return self.new_array_tail(Type::class(&name), start);
+        }
+        let args = self.arg_list()?;
+        let span = start.merge(self.prev_span());
+        Ok(Expr::new(ExprKind::New { class: name, args }, span))
+    }
+
+    fn new_array_tail(&mut self, elem: Type, start: Span) -> Result<Expr, ParseError> {
+        let mut dims = Vec::new();
+        let mut extra = 0u8;
+        // `new T[]{...}` initializer form.
+        if self.at_punct("[") && self.peek_at(1).kind.is_punct("]") {
+            while self.at_punct("[") && self.peek_at(1).kind.is_punct("]") {
+                self.advance();
+                self.advance();
+                extra += 1;
+            }
+            let init = match self.var_init()? {
+                Expr { kind: ExprKind::ArrayInit(items), .. } => items,
+                other => vec![other],
+            };
+            let span = start.merge(self.prev_span());
+            return Ok(Expr::new(
+                ExprKind::NewArray { elem, dims, extra_dims: extra, init: Some(init) },
+                span,
+            ));
+        }
+        while self.at_punct("[") {
+            if self.peek_at(1).kind.is_punct("]") {
+                self.advance();
+                self.advance();
+                extra += 1;
+            } else {
+                self.advance();
+                dims.push(self.expr()?);
+                self.expect_punct("]")?;
+            }
+        }
+        let span = start.merge(self.prev_span());
+        Ok(Expr::new(ExprKind::NewArray { elem, dims, extra_dims: extra, init: None }, span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(src: &str) -> CompilationUnit {
+        parse_unit(src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+    }
+
+    fn expr(src: &str) -> Expr {
+        parse_expression(src).unwrap_or_else(|e| panic!("{e}\nsource: {src}"))
+    }
+
+    #[test]
+    fn parses_package_imports_and_class() {
+        let u = unit(
+            "package com.mist.jepo;\n\
+             import java.util.ArrayList;\n\
+             import weka.core.*;\n\
+             public class JEPOInsert { }",
+        );
+        assert_eq!(u.package.as_deref(), Some("com.mist.jepo"));
+        assert_eq!(u.imports, vec!["java.util.ArrayList", "weka.core.*"]);
+        assert_eq!(u.types[0].name, "JEPOInsert");
+        assert!(u.types[0].modifiers.public);
+    }
+
+    #[test]
+    fn parses_fields_with_modifiers_and_multi_declarators() {
+        let u = unit("class A { private static final double PI = 3.14; int a, b = 2; }");
+        let c = &u.types[0];
+        assert_eq!(c.fields.len(), 3);
+        assert!(c.fields[0].modifiers.is_static && c.fields[0].modifiers.is_final);
+        assert_eq!(c.fields[1].name, "a");
+        assert!(c.fields[1].init.is_none());
+        assert!(c.fields[2].init.is_some());
+    }
+
+    #[test]
+    fn parses_methods_constructors_and_throws() {
+        let u = unit(
+            "class Worker {\n\
+               Worker(int n) { this.n = n; }\n\
+               int n;\n\
+               public double run(double[] xs, int k) throws Exception { return xs[k]; }\n\
+               abstract void step();\n\
+             }",
+        );
+        let c = &u.types[0];
+        assert_eq!(c.methods.len(), 3);
+        assert_eq!(c.methods[0].name, "Worker");
+        assert_eq!(c.methods[1].throws, vec!["Exception"]);
+        assert!(c.methods[2].body.is_none());
+    }
+
+    #[test]
+    fn main_class_discovery_via_parse() {
+        let u = unit("class M { public static void main(String[] args) { } }");
+        assert!(u.types[0].has_main());
+        let u2 = unit("class M { public static void main(String args) { } }");
+        assert!(!u2.types[0].has_main());
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = expr("a + b * c");
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_vs_relational() {
+        // `a << b < c` parses as `(a << b) < c`.
+        let e = expr("a << b < c");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn short_circuit_operators_nest_correctly() {
+        // `a || b && c` = `a || (b && c)`.
+        let e = expr("a || b && c");
+        match e.kind {
+            ExprKind::Binary(BinOp::Or, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::And, _, _)));
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_is_right_associative() {
+        let e = expr("a ? b : c ? d : e");
+        match e.kind {
+            ExprKind::Ternary(_, _, els) => {
+                assert!(matches!(els.kind, ExprKind::Ternary(_, _, _)));
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative_and_compound() {
+        let e = expr("a = b = c");
+        match e.kind {
+            ExprKind::Assign(_, AssignOp::Assign, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Assign(_, _, _)));
+            }
+            k => panic!("{k:?}"),
+        }
+        let e2 = expr("x %= 7");
+        assert!(matches!(e2.kind, ExprKind::Assign(_, AssignOp::Compound(BinOp::Rem), _)));
+    }
+
+    #[test]
+    fn casts_and_parenthesized_expressions_disambiguate() {
+        assert!(matches!(expr("(int) x").kind, ExprKind::Cast(Type::Prim(PrimType::Int), _)));
+        assert!(matches!(expr("(Integer) x").kind, ExprKind::Cast(_, _)));
+        // `(a) + b` must be addition, not a cast of `+b`.
+        assert!(matches!(expr("(a) + b").kind, ExprKind::Binary(BinOp::Add, _, _)));
+        // `(double) -x` is a cast of a negation.
+        assert!(matches!(expr("(double) -x").kind, ExprKind::Cast(_, _)));
+    }
+
+    #[test]
+    fn calls_fields_indexing_chain() {
+        let e = expr("obj.data[i][j].toString().length()");
+        // Outermost is the length() call.
+        match e.kind {
+            ExprKind::Call { name, target, .. } => {
+                assert_eq!(name, "length");
+                assert!(target.is_some());
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn string_concat_and_compareto_shapes() {
+        let e = expr("s1 + s2 + \"x\"");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Add, _, _)));
+        let e2 = expr("s1.compareTo(s2) == 0");
+        assert!(matches!(e2.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn new_object_and_new_arrays() {
+        assert!(matches!(
+            expr("new StringBuilder()").kind,
+            ExprKind::New { ref class, .. } if class == "StringBuilder"
+        ));
+        match expr("new int[10][20]").kind {
+            ExprKind::NewArray { elem, dims, extra_dims, .. } => {
+                assert_eq!(elem, Type::Prim(PrimType::Int));
+                assert_eq!(dims.len(), 2);
+                assert_eq!(extra_dims, 0);
+            }
+            k => panic!("{k:?}"),
+        }
+        match expr("new double[n][]").kind {
+            ExprKind::NewArray { dims, extra_dims, .. } => {
+                assert_eq!(dims.len(), 1);
+                assert_eq!(extra_dims, 1);
+            }
+            k => panic!("{k:?}"),
+        }
+        match expr("new int[]{1, 2, 3}").kind {
+            ExprKind::NewArray { init: Some(items), .. } => assert_eq!(items.len(), 3),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn statements_full_set() {
+        let u = unit(
+            "class S { void f(int n) {\n\
+               int i = 0; long total = 0L;\n\
+               for (int k = 0; k < n; k++) { total += k; }\n\
+               while (i < n) { i++; }\n\
+               do { i--; } while (i > 0);\n\
+               if (n % 2 == 0) { i = 1; } else i = 2;\n\
+               switch (n) { case 0: case 1: i = 5; break; default: i = 6; }\n\
+               try { g(); } catch (Exception e) { i = 7; } finally { i = 8; }\n\
+               for (;;) { break; }\n\
+               int[] xs = new int[n];\n\
+               for (int x : xs) { total += x; }\n\
+               synchronized (this) { i = 9; }\n\
+               ;\n\
+               return;\n\
+             } void g() {} }",
+        );
+        let body = u.types[0].methods[0].body.as_ref().unwrap();
+        assert!(body.stmts.len() >= 13);
+        // Check the switch grouped two labels into one case.
+        let has_switch = body.stmts.iter().any(|s| match &s.kind {
+            StmtKind::Switch { cases, .. } => {
+                cases[0].labels.len() == 2 && cases.len() == 2
+            }
+            _ => false,
+        });
+        assert!(has_switch);
+    }
+
+    #[test]
+    fn local_declaration_vs_expression_disambiguation() {
+        let u = unit(
+            "class D { int a; void f() {\n\
+               a = 1;          // expression stmt\n\
+               int b = 2;      // primitive local\n\
+               String s = \"x\"; // class local\n\
+               double[] xs = new double[3]; // array local\n\
+               s.length();     // call stmt\n\
+               b++;            // postfix stmt\n\
+             } }",
+        );
+        let body = u.types[0].methods[0].body.as_ref().unwrap();
+        let kinds: Vec<_> = body
+            .stmts
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Local { .. } => "local",
+                StmtKind::Expr(_) => "expr",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["expr", "local", "local", "local", "expr", "expr"]);
+    }
+
+    #[test]
+    fn generic_locals_parse() {
+        let u = unit("class G { void f() { ArrayList<String> xs = new ArrayList<String>(); } }");
+        let body = u.types[0].methods[0].body.as_ref().unwrap();
+        match &body.stmts[0].kind {
+            StmtKind::Local { ty: Type::Class(name, args), .. } => {
+                assert_eq!(name, "ArrayList");
+                assert_eq!(args.len(), 1);
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_point_to_source_lines() {
+        let u = unit("class L {\n  void f() {\n    int x = 1 % 2;\n  }\n}");
+        let body = u.types[0].methods[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts[0].span.line, 3);
+    }
+
+    #[test]
+    fn interface_declarations_parse() {
+        let u = unit("public interface Classifier { double classify(double[] x); }");
+        assert!(u.types[0].is_interface);
+        assert!(u.types[0].methods[0].body.is_none());
+    }
+
+    #[test]
+    fn scientific_literal_reaches_ast() {
+        let u = unit("class C { double d = 1.5e3; double p = 1500.0; }");
+        match &u.types[0].fields[0].init.as_ref().unwrap().kind {
+            ExprKind::Literal(Lit::Float { scientific, .. }) => assert!(scientific),
+            k => panic!("{k:?}"),
+        }
+        match &u.types[0].fields[1].init.as_ref().unwrap().kind {
+            ExprKind::Literal(Lit::Float { scientific, .. }) => assert!(!scientific),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_location() {
+        let e = parse_unit("class X { void f() { int = 5; } }").unwrap_err();
+        assert!(e.span.line >= 1);
+        assert!(parse_unit("class {").is_err());
+        assert!(parse_unit("class X { void f() { if } }").is_err());
+        assert!(parse_unit("class X { void f() { try { } } }").is_err(), "try needs catch/finally");
+    }
+
+    #[test]
+    fn instanceof_parses_at_correct_precedence() {
+        let e = expr("x instanceof String == true");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn varargs_parameter_becomes_array() {
+        let u = unit("class V { void f(int... xs) { } }");
+        assert!(matches!(u.types[0].methods[0].params[0].ty, Type::Array(_, 1)));
+    }
+
+    #[test]
+    fn static_initializer_block_is_captured() {
+        let u = unit("class I { static int x; static { x = 3; } }");
+        assert!(u.types[0].methods.iter().any(|m| m.name == "<clinit>"));
+    }
+}

@@ -1,0 +1,686 @@
+//! Pretty-printer: AST → Java source.
+//!
+//! The refactoring engine rewrites the AST and prints it back; the
+//! printer therefore has to emit source the parser accepts (tested by the
+//! roundtrip property below). Formatting is canonical (4-space indents,
+//! one statement per line); original layout is not preserved.
+
+use crate::ast::*;
+
+/// Print a whole compilation unit.
+pub fn pretty_print(unit: &CompilationUnit) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.unit(unit);
+    p.out
+}
+
+/// Print a single expression (used by suggestion messages).
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.expr(e);
+    p.out
+}
+
+/// Print a single statement.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.stmt(s);
+    p.out
+}
+
+/// Print a type.
+pub fn print_type(t: &Type) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.ty(t);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, s: &str) {
+        self.line(&format!("{s} {{"));
+        self.indent += 1;
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn unit(&mut self, u: &CompilationUnit) {
+        if let Some(p) = &u.package {
+            self.line(&format!("package {p};"));
+        }
+        for i in &u.imports {
+            self.line(&format!("import {i};"));
+        }
+        if u.package.is_some() || !u.imports.is_empty() {
+            self.out.push('\n');
+        }
+        for t in &u.types {
+            self.class(t);
+        }
+    }
+
+    fn modifiers(m: &Modifiers) -> String {
+        let mut s = String::new();
+        if m.public {
+            s.push_str("public ");
+        }
+        if m.protected {
+            s.push_str("protected ");
+        }
+        if m.private {
+            s.push_str("private ");
+        }
+        if m.is_abstract {
+            s.push_str("abstract ");
+        }
+        if m.is_static {
+            s.push_str("static ");
+        }
+        if m.is_final {
+            s.push_str("final ");
+        }
+        s
+    }
+
+    fn class(&mut self, c: &ClassDecl) {
+        let kw = if c.is_interface { "interface" } else { "class" };
+        let mut head = format!("{}{kw} {}", Self::modifiers(&c.modifiers), c.name);
+        if let Some(e) = &c.extends {
+            head.push_str(&format!(" extends {e}"));
+        }
+        if !c.implements.is_empty() {
+            head.push_str(&format!(" implements {}", c.implements.join(", ")));
+        }
+        self.open(&head);
+        for f in &c.fields {
+            let mut line = format!(
+                "{}{} {}",
+                Self::modifiers(&f.modifiers),
+                print_type(&f.ty),
+                f.name
+            );
+            if let Some(init) = &f.init {
+                line.push_str(&format!(" = {}", print_expr(init)));
+            }
+            line.push(';');
+            self.line(&line);
+        }
+        for m in &c.methods {
+            self.method(m, &c.name);
+        }
+        self.close();
+    }
+
+    fn method(&mut self, m: &MethodDecl, class_name: &str) {
+        if m.name == "<clinit>" {
+            if let Some(b) = &m.body {
+                self.open("static");
+                for s in &b.stmts {
+                    self.stmt_line(s);
+                }
+                self.close();
+            }
+            return;
+        }
+        if m.name == "<init-block>" {
+            if let Some(b) = &m.body {
+                self.open("");
+                for s in &b.stmts {
+                    self.stmt_line(s);
+                }
+                self.close();
+            }
+            return;
+        }
+        let params = m
+            .params
+            .iter()
+            .map(|p| format!("{} {}", print_type(&p.ty), p.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let is_ctor = m.name == class_name && m.ret == Type::Void;
+        let ret = if is_ctor { String::new() } else { format!("{} ", print_type(&m.ret)) };
+        let mut head = format!("{}{}{}({})", Self::modifiers(&m.modifiers), ret, m.name, params);
+        if !m.throws.is_empty() {
+            head.push_str(&format!(" throws {}", m.throws.join(", ")));
+        }
+        match &m.body {
+            Some(b) => {
+                self.open(&head);
+                for s in &b.stmts {
+                    self.stmt_line(s);
+                }
+                self.close();
+            }
+            None => self.line(&format!("{head};")),
+        }
+    }
+
+    fn stmt_line(&mut self, s: &Stmt) {
+        self.stmt(s);
+    }
+
+    fn ty(&mut self, t: &Type) {
+        match t {
+            Type::Prim(p) => self.out.push_str(p.keyword()),
+            Type::Class(name, args) => {
+                self.out.push_str(name);
+                if !args.is_empty() {
+                    self.out.push('<');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.ty(a);
+                    }
+                    self.out.push('>');
+                }
+            }
+            Type::Array(inner, dims) => {
+                self.ty(inner);
+                for _ in 0..*dims {
+                    self.out.push_str("[]");
+                }
+            }
+            Type::Void => self.out.push_str("void"),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Local { is_final, ty, vars } => {
+                let mut line = String::new();
+                if *is_final {
+                    line.push_str("final ");
+                }
+                line.push_str(&print_type(ty));
+                line.push(' ');
+                for (i, (name, extra, init)) in vars.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str(", ");
+                    }
+                    line.push_str(name);
+                    for _ in 0..*extra {
+                        line.push_str("[]");
+                    }
+                    if let Some(e) = init {
+                        line.push_str(&format!(" = {}", print_expr(e)));
+                    }
+                }
+                line.push(';');
+                self.line(&line);
+            }
+            StmtKind::Expr(e) => {
+                let text = print_expr(e);
+                self.line(&format!("{text};"));
+            }
+            StmtKind::If { cond, then, els } => {
+                self.open(&format!("if ({})", print_expr(cond)));
+                self.inner_stmt(then);
+                self.indent -= 1;
+                match els {
+                    Some(e) => {
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.inner_stmt(e);
+                        self.close();
+                    }
+                    None => self.line("}"),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.open(&format!("while ({})", print_expr(cond)));
+                self.inner_stmt(body);
+                self.close();
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.open("do");
+                self.inner_stmt(body);
+                self.indent -= 1;
+                self.line(&format!("}} while ({});", print_expr(cond)));
+            }
+            StmtKind::For { init, cond, update, body } => {
+                let init_s = init
+                    .iter()
+                    .map(|s| {
+                        let mut t = print_stmt(s);
+                        while t.ends_with('\n') || t.ends_with(';') {
+                            t.pop();
+                        }
+                        t.trim().to_string()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let cond_s = cond.as_ref().map(print_expr).unwrap_or_default();
+                let update_s = update.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                self.open(&format!("for ({init_s}; {cond_s}; {update_s})"));
+                self.inner_stmt(body);
+                self.close();
+            }
+            StmtKind::ForEach { ty, name, iter, body } => {
+                self.open(&format!("for ({} {name} : {})", print_type(ty), print_expr(iter)));
+                self.inner_stmt(body);
+                self.close();
+            }
+            StmtKind::Switch { scrutinee, cases } => {
+                self.open(&format!("switch ({})", print_expr(scrutinee)));
+                for c in cases {
+                    for l in &c.labels {
+                        match l {
+                            Some(e) => self.line(&format!("case {}:", print_expr(e))),
+                            None => self.line("default:"),
+                        }
+                    }
+                    self.indent += 1;
+                    for s in &c.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.close();
+            }
+            StmtKind::Return(e) => match e {
+                Some(e) => self.line(&format!("return {};", print_expr(e))),
+                None => self.line("return;"),
+            },
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Throw(e) => self.line(&format!("throw {};", print_expr(e))),
+            StmtKind::Try { body, catches, finally } => {
+                self.open("try");
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                for (ty, name, block) in catches {
+                    self.line(&format!("}} catch ({} {name}) {{", print_type(ty)));
+                    self.indent += 1;
+                    for s in &block.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(f) = finally {
+                    self.line("} finally {");
+                    self.indent += 1;
+                    for s in &f.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            StmtKind::Block(b) => {
+                self.open("");
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+            StmtKind::Empty => self.line(";"),
+            StmtKind::Synchronized(e, b) => {
+                self.open(&format!("synchronized ({})", print_expr(e)));
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+        }
+    }
+
+    /// Print the inside of a control-flow body (unwrap single blocks).
+    fn inner_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Block(b) => {
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+            }
+            _ => self.stmt(s),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Literal(l) => self.literal(l),
+            ExprKind::Name(n) => self.out.push_str(n),
+            ExprKind::This => self.out.push_str("this"),
+            ExprKind::FieldAccess(t, f) => {
+                self.expr_prec(t);
+                self.out.push('.');
+                self.out.push_str(f);
+            }
+            ExprKind::Index(a, idxs) => {
+                self.expr_prec(a);
+                for i in idxs {
+                    self.out.push('[');
+                    self.expr(i);
+                    self.out.push(']');
+                }
+            }
+            ExprKind::Call { target, name, args } => {
+                if let Some(t) = target {
+                    self.expr_prec(t);
+                    self.out.push('.');
+                }
+                match name.as_str() {
+                    "<this>" => self.out.push_str("this"),
+                    "<super>" => self.out.push_str("super"),
+                    n => self.out.push_str(n),
+                }
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::New { class, args } => {
+                self.out.push_str("new ");
+                self.out.push_str(class);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::NewArray { elem, dims, extra_dims, init } => {
+                self.out.push_str("new ");
+                self.ty(elem);
+                for d in dims {
+                    self.out.push('[');
+                    self.expr(d);
+                    self.out.push(']');
+                }
+                for _ in 0..*extra_dims {
+                    self.out.push_str("[]");
+                }
+                if let Some(items) = init {
+                    self.out.push('{');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(item);
+                    }
+                    self.out.push('}');
+                }
+            }
+            ExprKind::ArrayInit(items) => {
+                self.out.push('{');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(item);
+                }
+                self.out.push('}');
+            }
+            ExprKind::Unary(op, inner) => match op {
+                UnaryOp::Neg => {
+                    self.out.push('-');
+                    self.expr_prec(inner);
+                }
+                UnaryOp::Plus => {
+                    self.out.push('+');
+                    self.expr_prec(inner);
+                }
+                UnaryOp::Not => {
+                    self.out.push('!');
+                    self.expr_prec(inner);
+                }
+                UnaryOp::BitNot => {
+                    self.out.push('~');
+                    self.expr_prec(inner);
+                }
+                UnaryOp::PreInc => {
+                    self.out.push_str("++");
+                    self.expr_prec(inner);
+                }
+                UnaryOp::PreDec => {
+                    self.out.push_str("--");
+                    self.expr_prec(inner);
+                }
+                UnaryOp::PostInc => {
+                    self.expr_prec(inner);
+                    self.out.push_str("++");
+                }
+                UnaryOp::PostDec => {
+                    self.expr_prec(inner);
+                    self.out.push_str("--");
+                }
+            },
+            ExprKind::Binary(op, l, r) => {
+                self.expr_prec(l);
+                self.out.push(' ');
+                self.out.push_str(op.symbol());
+                self.out.push(' ');
+                self.expr_prec(r);
+            }
+            ExprKind::Assign(l, op, r) => {
+                self.expr_prec(l);
+                self.out.push(' ');
+                self.out.push_str(&op.symbol());
+                self.out.push(' ');
+                self.expr(r);
+            }
+            ExprKind::Ternary(c, t, f) => {
+                self.expr_prec(c);
+                self.out.push_str(" ? ");
+                self.expr(t);
+                self.out.push_str(" : ");
+                self.expr(f);
+            }
+            ExprKind::Cast(ty, inner) => {
+                self.out.push('(');
+                self.ty(ty);
+                self.out.push_str(") ");
+                self.expr_prec(inner);
+            }
+            ExprKind::InstanceOf(l, ty) => {
+                self.expr_prec(l);
+                self.out.push_str(" instanceof ");
+                self.ty(ty);
+            }
+        }
+    }
+
+    /// Print a subexpression, parenthesizing anything that could rebind.
+    ///
+    /// Conservative: composite expressions are always parenthesized,
+    /// which keeps the printer simple and the roundtrip property exact
+    /// (the parser strips redundant parens).
+    fn expr_prec(&mut self, e: &Expr) {
+        let atomic = matches!(
+            e.kind,
+            ExprKind::Literal(_)
+                | ExprKind::Name(_)
+                | ExprKind::This
+                | ExprKind::Call { .. }
+                | ExprKind::FieldAccess(_, _)
+                | ExprKind::Index(_, _)
+                | ExprKind::New { .. }
+                | ExprKind::NewArray { .. }
+        );
+        if atomic {
+            self.expr(e);
+        } else {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        }
+    }
+
+    fn literal(&mut self, l: &Lit) {
+        match l {
+            Lit::Int { value, long } => {
+                self.out.push_str(&value.to_string());
+                if *long {
+                    self.out.push('L');
+                }
+            }
+            Lit::Float { value, float32, scientific } => {
+                let text = if *scientific {
+                    format!("{value:e}")
+                } else if value.fract() == 0.0 && value.abs() < 1e15 {
+                    format!("{value:.1}")
+                } else {
+                    format!("{value}")
+                };
+                self.out.push_str(&text);
+                if *float32 {
+                    self.out.push('f');
+                }
+            }
+            Lit::Char(c) => {
+                let escaped = match c {
+                    '\n' => "\\n".to_string(),
+                    '\t' => "\\t".to_string(),
+                    '\r' => "\\r".to_string(),
+                    '\\' => "\\\\".to_string(),
+                    '\'' => "\\'".to_string(),
+                    c => c.to_string(),
+                };
+                self.out.push('\'');
+                self.out.push_str(&escaped);
+                self.out.push('\'');
+            }
+            Lit::Str(s) => {
+                self.out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '\n' => self.out.push_str("\\n"),
+                        '\t' => self.out.push_str("\\t"),
+                        '\r' => self.out.push_str("\\r"),
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            Lit::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            Lit::Null => self.out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_unit};
+
+    /// Strip spans so reparse comparisons are structural.
+    fn normalize(u: &CompilationUnit) -> String {
+        // Two ASTs are equal iff their canonical printouts are equal —
+        // printing is deterministic, so compare printed forms after a
+        // second roundtrip.
+        pretty_print(u)
+    }
+
+    #[test]
+    fn roundtrip_class() {
+        let src = "package p;\nimport java.util.*;\npublic class A extends B implements C {\n\
+                   static final int N = 10;\n\
+                   double[] xs;\n\
+                   public int f(int a, double b) throws Exception {\n\
+                     int s = 0;\n\
+                     for (int i = 0; i < a; i++) { s += i % 3; }\n\
+                     if (s > 0 && a < 5) { return s; } else { return a > 0 ? 1 : -1; }\n\
+                   }\n}";
+        let u1 = parse_unit(src).unwrap();
+        let printed = pretty_print(&u1);
+        let u2 = parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+        assert_eq!(normalize(&u1), normalize(&u2));
+    }
+
+    #[test]
+    fn roundtrip_statements() {
+        let src = "class S { void f(int n) {\n\
+               do { n--; } while (n > 0);\n\
+               switch (n) { case 1: n = 2; break; default: n = 3; }\n\
+               try { f(n); } catch (Exception e) { throw e; } finally { n = 0; }\n\
+               String s = \"a\\nb\";\n\
+               char c = '\\t';\n\
+               int[][] m = new int[2][3];\n\
+               for (int x : m[0]) { n += x; }\n\
+             } }";
+        let u1 = parse_unit(src).unwrap();
+        let printed = pretty_print(&u1);
+        let u2 = parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+        assert_eq!(normalize(&u1), normalize(&u2));
+    }
+
+    #[test]
+    fn expression_printing_preserves_structure() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a % 7 == 0",
+            "x = y = 3",
+            "c ? t : f",
+            "s1.compareTo(s2)",
+            "new StringBuilder().append(x).toString()",
+            "arr[i][j] + 1",
+            "(double) n / 2",
+            "x instanceof String",
+            "-x * +y",
+            "i++ + --j",
+            "new int[]{1, 2}",
+        ] {
+            let e1 = parse_expression(src).unwrap();
+            let printed = print_expr(&e1);
+            let e2 = parse_expression(&printed)
+                .unwrap_or_else(|err| panic!("{err}: printed `{printed}` from `{src}`"));
+            assert_eq!(
+                print_expr(&e1),
+                print_expr(&e2),
+                "structure changed: `{src}` → `{printed}`"
+            );
+        }
+    }
+
+    #[test]
+    fn scientific_flag_affects_printing() {
+        let e = parse_expression("1.5e3").unwrap();
+        assert!(print_expr(&e).contains('e'));
+        let e2 = parse_expression("1500.0").unwrap();
+        assert!(!print_expr(&e2).contains('e'));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let e = parse_expression(r#""line\n\ttab \"quoted\"""#).unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expression(&printed).unwrap();
+        assert_eq!(e.kind, e2.kind);
+    }
+
+    #[test]
+    fn abstract_methods_print_without_body() {
+        let u = parse_unit("abstract class A { abstract int f(); }").unwrap();
+        let printed = pretty_print(&u);
+        assert!(printed.contains("abstract int f();"));
+        parse_unit(&printed).unwrap();
+    }
+}

@@ -1,0 +1,226 @@
+//! Multi-file Java project model.
+//!
+//! Reproduces the project-level flow of §VII: JEPO "first searches for
+//! all classes that have a main method in the project"; with exactly one
+//! it proceeds, with more than one the caller must pick (in Eclipse via a
+//! dialog; here via [`MainClassChoice`]).
+
+use crate::{parse_unit, CompilationUnit, ParseError};
+
+/// One source file in a project.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// File name (e.g. `"weka/classifiers/trees/J48.java"`).
+    pub name: String,
+    /// Raw source text.
+    pub text: String,
+    /// Parsed unit.
+    pub unit: CompilationUnit,
+}
+
+/// A set of parsed Java files.
+#[derive(Debug, Clone, Default)]
+pub struct JavaProject {
+    files: Vec<SourceFile>,
+}
+
+/// Result of main-class discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MainClassChoice {
+    /// No class declares `public static void main(String[])`.
+    None,
+    /// Exactly one main class: its fully-qualified name.
+    Unique(String),
+    /// Several candidates; the caller (user) must choose.
+    Ambiguous(Vec<String>),
+}
+
+impl JavaProject {
+    /// Empty project.
+    pub fn new() -> JavaProject {
+        JavaProject::default()
+    }
+
+    /// Parse and add a source file. Returns the parse error (with file
+    /// context in the message) on failure.
+    pub fn add_file(&mut self, name: &str, text: &str) -> Result<(), ParseError> {
+        let unit = parse_unit(text).map_err(|e| {
+            ParseError::new(format!("{name}: {}", e.message), e.span)
+        })?;
+        self.files.push(SourceFile { name: name.to_string(), text: text.to_string(), unit });
+        Ok(())
+    }
+
+    /// All files.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// Mutable access (the refactorer rewrites units in place).
+    pub fn files_mut(&mut self) -> &mut Vec<SourceFile> {
+        &mut self.files
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the project has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total classes across files.
+    pub fn class_count(&self) -> usize {
+        self.files.iter().map(|f| f.unit.types.len()).sum()
+    }
+
+    /// Find a class by simple name, returning `(file index, unit index)`.
+    pub fn find_class(&self, name: &str) -> Option<(usize, usize)> {
+        for (fi, f) in self.files.iter().enumerate() {
+            for (ci, c) in f.unit.types.iter().enumerate() {
+                if c.name == name {
+                    return Some((fi, ci));
+                }
+            }
+        }
+        None
+    }
+
+    /// JEPO's main-class discovery.
+    pub fn discover_main_class(&self) -> MainClassChoice {
+        let mut mains = Vec::new();
+        for f in &self.files {
+            for c in &f.unit.types {
+                if c.has_main() {
+                    mains.push(f.unit.qualified_name(c));
+                }
+            }
+        }
+        match mains.len() {
+            0 => MainClassChoice::None,
+            1 => MainClassChoice::Unique(mains.pop().unwrap()),
+            _ => MainClassChoice::Ambiguous(mains),
+        }
+    }
+
+    /// The import graph: for each file, the set of *project-internal*
+    /// classes it references via imports or direct naming. Used by the
+    /// Table II dependency metric.
+    pub fn internal_dependencies(&self, file: &SourceFile) -> Vec<String> {
+        let all_classes: std::collections::HashSet<&str> = self
+            .files
+            .iter()
+            .flat_map(|f| f.unit.types.iter().map(|c| c.name.as_str()))
+            .collect();
+        let own: std::collections::HashSet<&str> =
+            file.unit.types.iter().map(|c| c.name.as_str()).collect();
+        let mut deps = std::collections::BTreeSet::new();
+        // Imports that name project classes.
+        for imp in &file.unit.imports {
+            let simple = imp.rsplit('.').next().unwrap_or(imp);
+            if all_classes.contains(simple) && !own.contains(simple) {
+                deps.insert(simple.to_string());
+            }
+        }
+        // Direct references in extends/implements/field & param types.
+        let mut mention = |name: &str| {
+            if all_classes.contains(name) && !own.contains(name) {
+                deps.insert(name.to_string());
+            }
+        };
+        fn base_class_name(ty: &crate::Type) -> Option<&str> {
+            match ty {
+                crate::Type::Class(n, _) => Some(n.rsplit('.').next().unwrap_or(n)),
+                crate::Type::Array(inner, _) => base_class_name(inner),
+                _ => None,
+            }
+        }
+        for c in &file.unit.types {
+            if let Some(e) = &c.extends {
+                mention(e.rsplit('.').next().unwrap_or(e));
+            }
+            for i in &c.implements {
+                mention(i.rsplit('.').next().unwrap_or(i));
+            }
+            for f in &c.fields {
+                if let Some(n) = base_class_name(&f.ty) {
+                    mention(n);
+                }
+            }
+            for m in &c.methods {
+                for p in &m.params {
+                    if let Some(n) = base_class_name(&p.ty) {
+                        mention(n);
+                    }
+                }
+                if let Some(n) = base_class_name(&m.ret) {
+                    mention(n);
+                }
+            }
+        }
+        deps.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { } class B { }").unwrap();
+        p.add_file("C.java", "class C { }").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.class_count(), 3);
+        assert!(p.find_class("B").is_some());
+        assert!(p.find_class("Z").is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_file_name() {
+        let mut p = JavaProject::new();
+        let err = p.add_file("Bad.java", "class {").unwrap_err();
+        assert!(err.message.starts_with("Bad.java:"));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn main_discovery_none_unique_ambiguous() {
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { void f() { } }").unwrap();
+        assert_eq!(p.discover_main_class(), MainClassChoice::None);
+
+        p.add_file(
+            "M.java",
+            "package app; class M { public static void main(String[] a) { } }",
+        )
+        .unwrap();
+        assert_eq!(p.discover_main_class(), MainClassChoice::Unique("app.M".into()));
+
+        p.add_file("N.java", "class N { public static void main(String[] a) { } }").unwrap();
+        match p.discover_main_class() {
+            MainClassChoice::Ambiguous(v) => assert_eq!(v.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_dependencies_follow_imports_and_types() {
+        let mut p = JavaProject::new();
+        p.add_file("Base.java", "package lib; public class Base { }").unwrap();
+        p.add_file("Util.java", "package lib; public class Util { }").unwrap();
+        p.add_file(
+            "App.java",
+            "package app; import lib.Util; class App extends Base { Util u; void f(Base b) { } }",
+        )
+        .unwrap();
+        let app = &p.files()[2];
+        let deps = p.internal_dependencies(app);
+        assert_eq!(deps, vec!["Base".to_string(), "Util".to_string()]);
+        // Base itself depends on nothing.
+        assert!(p.internal_dependencies(&p.files()[0]).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Source positions.
+//!
+//! JEPO's optimizer view (Fig. 5) reports *line numbers* for every
+//! suggestion, so every AST node carries a span.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open source region, 1-based lines and columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// 1-based line of the last character.
+    pub end_line: u32,
+    /// 1-based column one past the last character.
+    pub end_col: u32,
+}
+
+impl Span {
+    /// A single-point span.
+    pub fn point(line: u32, col: u32) -> Span {
+        Span { line, col, end_line: line, end_col: col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        let (end_line, end_col) = if (self.end_line, self.end_col) >= (other.end_line, other.end_col)
+        {
+            (self.end_line, self.end_col)
+        } else {
+            (other.end_line, other.end_col)
+        };
+        Span { line, col, end_line, end_col }
+    }
+
+    /// A span useful as a placeholder for synthesized nodes.
+    pub fn synthetic() -> Span {
+        Span::point(0, 0)
+    }
+
+    /// Whether this span was synthesized (not from source).
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span { line: 2, col: 5, end_line: 2, end_col: 9 };
+        let b = Span { line: 1, col: 10, end_line: 3, end_col: 1 };
+        let m = a.merge(b);
+        assert_eq!((m.line, m.col), (1, 10));
+        assert_eq!((m.end_line, m.end_col), (3, 1));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span { line: 1, col: 1, end_line: 1, end_col: 4 };
+        let b = Span { line: 1, col: 8, end_line: 1, end_col: 12 };
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn synthetic_is_detectable() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::point(1, 1).is_synthetic());
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(Span::point(12, 7).to_string(), "12:7");
+    }
+}

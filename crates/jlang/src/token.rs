@@ -1,0 +1,131 @@
+//! Tokens of the Java subset.
+
+use crate::Span;
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Token kinds. Literal kinds carry both the parsed value and enough of
+/// the original spelling for the analyzer's lexical rules (scientific
+/// notation detection needs to know how a float was *written*).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser via
+    /// [`TokenKind::is_keyword`]; keeping them as `Ident` simplifies
+    /// contextual words like `module`).
+    Ident(String),
+    /// Integer literal: value, `L`-suffix flag.
+    IntLit { value: i64, long: bool },
+    /// Floating literal: value, `f`-suffix flag, whether written in
+    /// scientific (`1e3`) notation.
+    FloatLit { value: f64, float32: bool, scientific: bool },
+    /// Character literal.
+    CharLit(char),
+    /// String literal (escapes resolved).
+    StrLit(String),
+    /// Any operator or punctuation, e.g. `"+"`, `"%="`, `">>>"`, `"("`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Java keywords in the supported subset.
+    pub const KEYWORDS: &'static [&'static str] = &[
+        "abstract", "boolean", "break", "byte", "case", "catch", "char", "class", "const",
+        "continue", "default", "do", "double", "else", "extends", "final", "finally", "float",
+        "for", "if", "implements", "import", "instanceof", "int", "interface", "long", "native",
+        "new", "package", "private", "protected", "public", "return", "short", "static", "super",
+        "switch", "synchronized", "this", "throw", "throws", "transient", "try", "void",
+        "volatile", "while", "true", "false", "null",
+    ];
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == kw && Self::KEYWORDS.contains(&kw))
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// The identifier text, if an identifier (including keywords).
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::IntLit { value, .. } => format!("integer `{value}`"),
+            TokenKind::FloatLit { value, .. } => format!("float `{value}`"),
+            TokenKind::CharLit(c) => format!("char literal {c:?}"),
+            TokenKind::StrLit(_) => "string literal".into(),
+            TokenKind::Punct(p) => format!("`{p}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// All multi-character operators, longest first (the lexer uses maximal
+/// munch over this table).
+pub const OPERATORS: &[&str] = &[
+    ">>>=", "<<=", ">>=", ">>>", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->", "::", "+", "-", "*", "/", "%",
+    "=", "<", ">", "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[",
+    "]", "@",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_detection_rejects_non_keywords() {
+        let t = TokenKind::Ident("classes".into());
+        assert!(!t.is_keyword("class"));
+        assert!(!t.is_keyword("classes")); // not a Java keyword at all
+        assert!(TokenKind::Ident("class".into()).is_keyword("class"));
+    }
+
+    #[test]
+    fn operators_are_longest_first_within_shared_prefixes() {
+        // Maximal munch requires that any operator appears before its
+        // own proper prefixes in the table.
+        for (i, a) in OPERATORS.iter().enumerate() {
+            for b in &OPERATORS[..i] {
+                assert!(
+                    !a.starts_with(b) || a == b,
+                    "`{b}` (earlier) is a prefix of `{a}` (later): munch order broken"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_kinds() {
+        let kinds = [
+            TokenKind::Ident("x".into()),
+            TokenKind::IntLit { value: 3, long: false },
+            TokenKind::FloatLit { value: 1.5, float32: true, scientific: false },
+            TokenKind::CharLit('a'),
+            TokenKind::StrLit("s".into()),
+            TokenKind::Punct("+"),
+            TokenKind::Eof,
+        ];
+        for k in kinds {
+            assert!(!k.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests: random ASTs survive print → parse → print.
+//!
+//! The refactoring engine depends on the printer emitting source the
+//! parser accepts with identical structure; these properties pin that
+//! contract over generated programs, not just hand-picked ones.
+
+use jepo_jlang::*;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,6}".prop_filter("not a keyword", |s| {
+        !TokenKind::KEYWORDS.contains(&s.as_str())
+    })
+}
+
+fn literal() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000)
+            .prop_map(|v| ExprKind::Literal(Lit::Int { value: v, long: false })),
+        (-1_000_000i64..1_000_000)
+            .prop_map(|v| ExprKind::Literal(Lit::Int { value: v, long: true })),
+        (-1e6f64..1e6).prop_map(|v| ExprKind::Literal(Lit::Float {
+            value: v,
+            float32: false,
+            scientific: false,
+        })),
+        any::<bool>().prop_map(|b| ExprKind::Literal(Lit::Bool(b))),
+        "[a-zA-Z0-9 _.,!]{0,12}".prop_map(|s| ExprKind::Literal(Lit::Str(s))),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::Shl),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), ident().prop_map(ExprKind::Name)]
+        .prop_map(|kind| Expr::new(kind, Span::synthetic()));
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                Expr::new(ExprKind::Binary(op, Box::new(l), Box::new(r)), Span::synthetic())
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
+                Expr::new(
+                    ExprKind::Ternary(
+                        Box::new(Expr::new(
+                            ExprKind::Binary(BinOp::Lt, Box::new(c), Box::new(t.clone())),
+                            Span::synthetic(),
+                        )),
+                        Box::new(t),
+                        Box::new(f),
+                    ),
+                    Span::synthetic(),
+                )
+            }),
+            inner.clone().prop_map(|e| {
+                Expr::new(ExprKind::Unary(UnaryOp::Neg, Box::new(e)), Span::synthetic())
+            }),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| {
+                    Expr::new(ExprKind::Call { target: None, name, args }, Span::synthetic())
+                }
+            ),
+            (inner.clone(), ident()).prop_map(|(e, f)| {
+                Expr::new(ExprKind::FieldAccess(Box::new(e), f), Span::synthetic())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One print/parse pass canonicalizes (e.g. a negative literal
+    /// becomes unary-neg); after that, print → parse → print is a fixed
+    /// point.
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr()) {
+        let first = printer::print_expr(&e);
+        let canonical = parse_expression(&first)
+            .unwrap_or_else(|err| panic!("`{first}` failed to reparse: {err}"));
+        let second = printer::print_expr(&canonical);
+        let again = parse_expression(&second)
+            .unwrap_or_else(|err| panic!("`{second}` failed to reparse: {err}"));
+        prop_assert_eq!(printer::print_expr(&again), second);
+    }
+
+    /// A generated method body built from locals roundtrips at the unit
+    /// level.
+    #[test]
+    fn unit_print_parse_roundtrip(
+        exprs in proptest::collection::vec(expr(), 1..6),
+        name in ident(),
+    ) {
+        let stmts: Vec<Stmt> = exprs
+            .into_iter()
+            .map(|e| Stmt {
+                kind: StmtKind::Local {
+                    is_final: false,
+                    ty: Type::Prim(PrimType::Int),
+                    vars: vec![(format!("v{name}"), 0, Some(e))],
+                },
+                span: Span::synthetic(),
+            })
+            .collect();
+        let unit = CompilationUnit {
+            package: None,
+            imports: vec![],
+            types: vec![ClassDecl {
+                modifiers: Modifiers::default(),
+                name: "G".into(),
+                is_interface: false,
+                extends: None,
+                implements: vec![],
+                fields: vec![],
+                methods: vec![MethodDecl {
+                    modifiers: Modifiers::default(),
+                    ret: Type::Void,
+                    name: "gen".into(),
+                    params: vec![],
+                    throws: vec![],
+                    body: Some(Block { stmts, span: Span::synthetic() }),
+                    span: Span::synthetic(),
+                }],
+                span: Span::synthetic(),
+            }],
+        };
+        let first = pretty_print(&unit);
+        let canonical = parse_unit(&first)
+            .unwrap_or_else(|err| panic!("{err}\nsource:\n{first}"));
+        let second = pretty_print(&canonical);
+        let again = parse_unit(&second)
+            .unwrap_or_else(|err| panic!("{err}\nsource:\n{second}"));
+        prop_assert_eq!(pretty_print(&again), second);
+    }
+
+    /// The refactoring engine never produces unparseable output on
+    /// generated units.
+    #[test]
+    fn refactor_output_reparses(exprs in proptest::collection::vec(expr(), 1..4)) {
+        let methods: Vec<MethodDecl> = exprs
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| MethodDecl {
+                modifiers: Modifiers::default(),
+                ret: Type::Prim(PrimType::Int),
+                name: format!("m{i}"),
+                params: vec![],
+                throws: vec![],
+                body: Some(Block {
+                    stmts: vec![Stmt {
+                        kind: StmtKind::Return(Some(e)),
+                        span: Span::point(i as u32 + 1, 1),
+                    }],
+                    span: Span::synthetic(),
+                }),
+                span: Span::synthetic(),
+            })
+            .collect();
+        let src_unit = CompilationUnit {
+            package: None,
+            imports: vec![],
+            types: vec![ClassDecl {
+                modifiers: Modifiers::default(),
+                name: "R".into(),
+                is_interface: false,
+                extends: None,
+                implements: vec![],
+                fields: vec![],
+                methods,
+                span: Span::synthetic(),
+            }],
+        };
+        // Normalize through one print/parse first (generated ASTs may
+        // contain shapes the printer canonicalizes).
+        let printed = pretty_print(&src_unit);
+        let mut unit = parse_unit(&printed).unwrap();
+        jepo_analyzer::refactor_unit(&mut unit, &jepo_analyzer::RefactorKind::SAFE);
+        let out = pretty_print(&unit);
+        parse_unit(&out).unwrap_or_else(|err| panic!("{err}\nrefactored:\n{out}"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Runtime program representation: classes, methods, statics.
+
+use crate::opcode::Op;
+use jepo_jlang::Type;
+use std::collections::HashMap;
+
+/// Index of a class in a [`Program`].
+pub type ClassId = u32;
+/// Index of a method in a [`Program`].
+pub type MethodId = u32;
+
+/// A compiled method.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Owning class.
+    pub class: ClassId,
+    /// Simple name.
+    pub name: String,
+    /// `Class.name` for diagnostics and profiler output.
+    pub qualified: String,
+    /// Parameter count (excluding receiver).
+    pub arity: u8,
+    /// Whether an instance method (receiver in local 0).
+    pub is_instance: bool,
+    /// Number of local slots (including params / receiver).
+    pub locals: u16,
+    /// Declared return type (for conversion on return).
+    pub ret: Type,
+    /// Bytecode.
+    pub code: Vec<Op>,
+    /// Source line of the declaration (profiler/debug).
+    pub line: u32,
+}
+
+/// A compiled class.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Simple name.
+    pub name: String,
+    /// Superclass, if any.
+    pub superclass: Option<ClassId>,
+    /// Instance field slots: `(name, type)`, superclass fields first.
+    pub fields: Vec<(String, Type)>,
+    /// Method table: `(name, arity)` → method id (own methods only;
+    /// lookup walks superclasses).
+    pub methods: HashMap<(String, u8), MethodId>,
+    /// Constructor ids by arity.
+    pub ctors: HashMap<u8, MethodId>,
+}
+
+/// A static field (global slot).
+#[derive(Debug, Clone)]
+pub struct StaticField {
+    /// `Class.field` qualified name.
+    pub qualified: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A fully compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// All classes.
+    pub classes: Vec<Class>,
+    /// All methods.
+    pub methods: Vec<Method>,
+    /// Static field descriptors (values live in the interpreter).
+    pub statics: Vec<StaticField>,
+    /// Method id of `main`, if discovered.
+    pub main: Option<MethodId>,
+    /// Method ids of `<clinit>` static initializers, in class order.
+    pub clinits: Vec<MethodId>,
+}
+
+impl Program {
+    /// Find a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes.iter().position(|c| c.name == name).map(|i| i as ClassId)
+    }
+
+    /// Resolve `(class, name, arity)` walking up the hierarchy.
+    pub fn resolve_method(&self, class: ClassId, name: &str, arity: u8) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(cid) = cur {
+            let c = &self.classes[cid as usize];
+            if let Some(&m) = c.methods.get(&(name.to_string(), arity)) {
+                return Some(m);
+            }
+            cur = c.superclass;
+        }
+        None
+    }
+
+    /// Field slot index by name, walking the hierarchy layout.
+    pub fn field_slot(&self, class: ClassId, name: &str) -> Option<u16> {
+        self.classes[class as usize]
+            .fields
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| i as u16)
+    }
+
+    /// Whether `sub` is `sup` or a subclass of it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes[c as usize].superclass;
+        }
+        false
+    }
+
+    /// Total bytecode size (diagnostics; instrumentation growth checks).
+    pub fn code_size(&self) -> usize {
+        self.methods.iter().map(|m| m.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        let mut base = Class {
+            name: "Base".into(),
+            superclass: None,
+            fields: vec![("x".into(), Type::Prim(jepo_jlang::PrimType::Int))],
+            methods: HashMap::new(),
+            ctors: HashMap::new(),
+        };
+        base.methods.insert(("f".into(), 0), 0);
+        let mut derived = Class {
+            name: "Derived".into(),
+            superclass: Some(0),
+            fields: vec![
+                ("x".into(), Type::Prim(jepo_jlang::PrimType::Int)),
+                ("y".into(), Type::Prim(jepo_jlang::PrimType::Double)),
+            ],
+            methods: HashMap::new(),
+            ctors: HashMap::new(),
+        };
+        derived.methods.insert(("g".into(), 1), 1);
+        Program {
+            classes: vec![base, derived],
+            methods: vec![
+                Method {
+                    class: 0,
+                    name: "f".into(),
+                    qualified: "Base.f".into(),
+                    arity: 0,
+                    is_instance: true,
+                    locals: 1,
+                    ret: Type::Void,
+                    code: vec![Op::ReturnVoid],
+                    line: 1,
+                },
+                Method {
+                    class: 1,
+                    name: "g".into(),
+                    qualified: "Derived.g".into(),
+                    arity: 1,
+                    is_instance: true,
+                    locals: 2,
+                    ret: Type::Void,
+                    code: vec![Op::ReturnVoid],
+                    line: 2,
+                },
+            ],
+            statics: vec![],
+            main: None,
+            clinits: vec![],
+        }
+    }
+
+    #[test]
+    fn method_resolution_walks_hierarchy() {
+        let p = tiny_program();
+        assert_eq!(p.resolve_method(1, "g", 1), Some(1));
+        assert_eq!(p.resolve_method(1, "f", 0), Some(0), "inherited");
+        assert_eq!(p.resolve_method(0, "g", 1), None, "not visible upward");
+        assert_eq!(p.resolve_method(1, "f", 2), None, "arity mismatch");
+    }
+
+    #[test]
+    fn subclass_relation() {
+        let p = tiny_program();
+        assert!(p.is_subclass(1, 0));
+        assert!(p.is_subclass(0, 0));
+        assert!(!p.is_subclass(0, 1));
+    }
+
+    #[test]
+    fn field_slots_follow_layout() {
+        let p = tiny_program();
+        assert_eq!(p.field_slot(1, "x"), Some(0));
+        assert_eq!(p.field_slot(1, "y"), Some(1));
+        assert_eq!(p.field_slot(0, "y"), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Compile-time and runtime errors of the VM.
+
+use std::fmt;
+
+/// Errors from compilation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Front-end parse failure.
+    Parse(String),
+    /// Semantic error during compilation (unknown name, type mismatch…).
+    Compile { message: String, line: u32 },
+    /// Runtime failure (the analogue of an uncaught Java exception or a
+    /// VM-level fault).
+    Runtime { message: String, method: String },
+    /// No (unique) main method to run.
+    NoMain(String),
+    /// Execution exceeded the configured fuel (instruction budget) —
+    /// protects benches from accidental infinite loops.
+    OutOfFuel,
+}
+
+impl VmError {
+    /// Compile error helper.
+    pub fn compile(message: impl Into<String>, line: u32) -> VmError {
+        VmError::Compile { message: message.into(), line }
+    }
+
+    /// Runtime error helper.
+    pub fn runtime(message: impl Into<String>, method: impl Into<String>) -> VmError {
+        VmError::Runtime { message: message.into(), method: method.into() }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Parse(m) => write!(f, "parse error: {m}"),
+            VmError::Compile { message, line } => {
+                write!(f, "compile error at line {line}: {message}")
+            }
+            VmError::Runtime { message, method } => {
+                write!(f, "runtime error in {method}: {message}")
+            }
+            VmError::NoMain(m) => write!(f, "no runnable main: {m}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<jepo_jlang::ParseError> for VmError {
+    fn from(e: jepo_jlang::ParseError) -> Self {
+        VmError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        for e in [
+            VmError::Parse("x".into()),
+            VmError::compile("bad type", 3),
+            VmError::runtime("div by zero", "Main.f"),
+            VmError::NoMain("none".into()),
+            VmError::OutOfFuel,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let pe = jepo_jlang::ParseError::new("oops", jepo_jlang::Span::point(1, 2));
+        let ve: VmError = pe.into();
+        assert!(matches!(ve, VmError::Parse(_)));
+    }
+}

@@ -1,0 +1,325 @@
+//! The bytecode instruction set.
+//!
+//! A compact, JVM-shaped stack machine. Instructions are typed (the
+//! compiler's type checker selects the numeric type), which is what lets
+//! the energy model distinguish `int` arithmetic from `double` arithmetic
+//! — the basis of Table I's "int is the most energy-efficient primitive".
+
+use crate::value::Value;
+
+/// Numeric operand types (drives both semantics and energy category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumTy {
+    /// `byte` (widened to int on stack; narrow surcharge applies).
+    I8,
+    /// `short`.
+    I16,
+    /// `int`.
+    I32,
+    /// `long`.
+    I64,
+    /// `float`.
+    F32,
+    /// `double`.
+    F64,
+    /// `char`.
+    Ch,
+    /// `boolean`.
+    Bool,
+}
+
+impl NumTy {
+    /// Whether this type is stored as an integer on the stack.
+    pub fn is_integral(self) -> bool {
+        matches!(self, NumTy::I8 | NumTy::I16 | NumTy::I32 | NumTy::Ch | NumTy::Bool)
+    }
+
+    /// Size in bytes as laid out in the (modelled) heap — drives the
+    /// cache model's stride, which is why `double[][]` column traversal
+    /// misses more than `float[][]`.
+    pub fn byte_size(self) -> u32 {
+        match self {
+            NumTy::I8 | NumTy::Bool => 1,
+            NumTy::I16 | NumTy::Ch => 2,
+            NumTy::I32 | NumTy::F32 => 4,
+            NumTy::I64 | NumTy::F64 => 8,
+        }
+    }
+}
+
+/// Arithmetic operators shared by all numeric types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` — carries its own (large) energy category.
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Math library intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// `Math.sqrt`
+    Sqrt,
+    /// `Math.abs`
+    Abs,
+    /// `Math.log`
+    Log,
+    /// `Math.exp`
+    Exp,
+    /// `Math.pow`
+    Pow,
+    /// `Math.min`
+    Min,
+    /// `Math.max`
+    Max,
+    /// `Math.floor`
+    Floor,
+    /// `Math.ceil`
+    Ceil,
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a constant.
+    Const(Value),
+    /// Push a decimal floating constant, remembering whether the source
+    /// spelled it in scientific notation (energy differs per Table I).
+    ConstDecimal {
+        /// The value.
+        value: f64,
+        /// `float` (vs `double`) literal.
+        float32: bool,
+        /// Written as `1e3`-style.
+        scientific: bool,
+    },
+    /// Push an interned string constant.
+    ConstStr(String),
+    /// Read local slot.
+    LoadLocal(u16),
+    /// Write local slot.
+    StoreLocal(u16),
+    /// Read instance field `slot` of the object on the stack.
+    GetField(u16),
+    /// Write instance field: stack is `obj value` → ∅.
+    PutField(u16),
+    /// Read a static field (global slot) — Table I's 17,700% category.
+    GetStatic(u16),
+    /// Write a static field.
+    PutStatic(u16),
+    /// Typed arithmetic on the top two stack values.
+    Arith(ArithOp, NumTy),
+    /// Typed comparison, pushes `Bool`.
+    Cmp(CmpOp, NumTy),
+    /// Reference equality / null check comparison (`==`/`!=` on refs).
+    RefCmp(CmpOp),
+    /// Arithmetic negation.
+    Neg(NumTy),
+    /// Bitwise not.
+    BitNot(NumTy),
+    /// Logical not on a Bool.
+    Not,
+    /// Numeric conversion.
+    Convert {
+        /// Source type.
+        from: NumTy,
+        /// Destination type.
+        to: NumTy,
+    },
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop Bool; jump when false.
+    JumpIfFalse(u32),
+    /// Pop Bool; jump when true.
+    JumpIfTrue(u32),
+    /// Marker charged when a ternary expression's join point executes —
+    /// models the paper's measured ternary-vs-if-else overhead.
+    TernaryJoin,
+    /// Call a statically-resolved method.
+    Call {
+        /// Target method.
+        method: u32,
+        /// Argument count (including receiver for instance methods).
+        argc: u8,
+    },
+    /// Call resolved at runtime by receiver class (virtual dispatch):
+    /// the compiler records name+arity; the interpreter walks the class
+    /// hierarchy.
+    CallVirtual {
+        /// Method name.
+        name: String,
+        /// Argument count excluding receiver.
+        argc: u8,
+    },
+    /// Return the top of stack.
+    Return,
+    /// Return void.
+    ReturnVoid,
+    /// Allocate an object of a class; pushes ref.
+    NewObject(u32),
+    /// Allocate a (possibly multi-dimensional) array. Pops `dims` sizes
+    /// (outermost first on stack bottom).
+    NewArray {
+        /// Element type of the innermost dimension.
+        elem: ArrayElem,
+        /// Number of sized dimensions to pop.
+        dims: u8,
+    },
+    /// Array element load: stack `arr idx` → `value`.
+    ArrLoad(ArrayElem),
+    /// Array element store: stack `arr idx value` → ∅.
+    ArrStore(ArrayElem),
+    /// Array length: `arr` → `int`.
+    ArrLen,
+    /// `System.arraycopy(src, srcPos, dst, dstPos, len)` intrinsic.
+    ArrayCopy,
+    /// String concatenation via `+`: `a b` → `string`.
+    StrConcat,
+    /// `new StringBuilder()` fast path.
+    SbNew,
+    /// `sb.append(x)`: `sb x` → `sb`.
+    SbAppend,
+    /// `sb.toString()`: `sb` → `string`.
+    SbToString,
+    /// `a.equals(b)` on strings: `a b` → `bool`.
+    StrEquals,
+    /// `a.compareTo(b)`: `a b` → `int`.
+    StrCompareTo,
+    /// `s.length()`.
+    StrLength,
+    /// `s.charAt(i)`.
+    StrCharAt,
+    /// Box a primitive into a wrapper object. Carries the wrapper class
+    /// name so Integer (cheapest, per Table I) is distinguishable.
+    Box(&'static str),
+    /// Unbox a wrapper.
+    Unbox,
+    /// Throw the exception object on the stack.
+    Throw,
+    /// Push an exception handler active until `TryExit`. Payload:
+    /// handler pc and the exception class name it catches
+    /// (`"*"` catches everything).
+    TryEnter {
+        /// Handler program counter.
+        handler: u32,
+        /// Caught class name.
+        class: String,
+    },
+    /// Pop the most recent handler.
+    TryExit,
+    /// Duplicate top of stack.
+    Dup,
+    /// Pop top of stack.
+    Pop,
+    /// Swap top two.
+    Swap,
+    /// `System.out.println` / `print` intrinsic: pops one value
+    /// (or none for the empty println).
+    Print {
+        /// Append a newline.
+        newline: bool,
+        /// Whether an argument is popped.
+        has_arg: bool,
+    },
+    /// Math intrinsic (unary ones pop 1, binary pop 2).
+    Math(MathFn),
+    /// `System.currentTimeMillis()` — virtual clock.
+    TimeMillis,
+    /// `expr instanceof T`: pops a ref, pushes Bool by runtime class
+    /// check against the named class (subclasses included).
+    InstanceOfChk(String),
+    /// Profiling probe injected by the instrumentation pass: record a
+    /// method entry (reads the energy meter).
+    ProfileEnter(u32),
+    /// Profiling probe: method exit.
+    ProfileExit(u32),
+    /// No-op placeholder (used by jump patching).
+    Nop,
+}
+
+/// Array element kinds (separate from [`NumTy`] because arrays can also
+/// hold references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayElem {
+    /// Numeric/bool/char elements.
+    Num(NumTy),
+    /// Object references (including sub-arrays of multi-dim arrays and
+    /// strings).
+    Ref,
+}
+
+impl ArrayElem {
+    /// Element size in bytes for the cache model (refs are 8).
+    pub fn byte_size(self) -> u32 {
+        match self {
+            ArrayElem::Num(t) => t.byte_size(),
+            ArrayElem::Ref => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numty_sizes_match_java() {
+        assert_eq!(NumTy::I8.byte_size(), 1);
+        assert_eq!(NumTy::Ch.byte_size(), 2);
+        assert_eq!(NumTy::I32.byte_size(), 4);
+        assert_eq!(NumTy::F64.byte_size(), 8);
+        assert_eq!(ArrayElem::Ref.byte_size(), 8);
+    }
+
+    #[test]
+    fn integral_classification() {
+        assert!(NumTy::I32.is_integral());
+        assert!(NumTy::Ch.is_integral());
+        assert!(!NumTy::F32.is_integral());
+        assert!(!NumTy::F64.is_integral());
+        assert!(!NumTy::I64.is_integral(), "long uses 64-bit lanes, not the int path");
+    }
+
+    #[test]
+    fn ops_are_cloneable_and_comparable() {
+        let a = Op::Arith(ArithOp::Rem, NumTy::I32);
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, Op::Arith(ArithOp::Add, NumTy::I32));
+    }
+}

@@ -1,0 +1,163 @@
+//! Runtime values of the VM.
+
+/// A heap reference (index into the interpreter's heap).
+pub type Ref = u32;
+
+/// A stack/locals/heap slot value.
+///
+/// Like the JVM, the VM is typed at the *instruction* level (the compiler
+/// picks `IAdd` vs `DAdd`); `Value` carries the dynamic representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit int (also used for `byte`/`short` after widening).
+    Int(i32),
+    /// 64-bit long.
+    Long(i64),
+    /// 32-bit float.
+    Float(f32),
+    /// 64-bit double.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-16 code unit (`char`).
+    Char(u16),
+    /// Reference into the heap.
+    Obj(Ref),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// Zero/default value for a slot of unknown type.
+    pub const fn default_for_slot() -> Value {
+        Value::Null
+    }
+
+    /// As `i32`, widening char/bool as the JVM does.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Char(c) => Some(*c as i32),
+            Value::Bool(b) => Some(*b as i32),
+            _ => None,
+        }
+    }
+
+    /// As `i64` (accepts int-like values).
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            _ => self.as_int().map(i64::from),
+        }
+    }
+
+    /// As `f64` (accepts every numeric).
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Float(v) => Some(*v as f64),
+            Value::Long(v) => Some(*v as f64),
+            _ => self.as_int().map(f64::from),
+        }
+    }
+
+    /// As `f32`.
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => self.as_double().map(|d| d as f32),
+        }
+    }
+
+    /// As boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+
+    /// As heap reference.
+    pub fn as_ref(&self) -> Option<Ref> {
+        match self {
+            Value::Obj(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Java-style `toString` rendering for println and concatenation of
+    /// primitives (heap values are rendered by the interpreter, which can
+    /// see the heap).
+    pub fn render_primitive(&self) -> Option<String> {
+        Some(match self {
+            Value::Int(v) => v.to_string(),
+            Value::Long(v) => v.to_string(),
+            Value::Float(v) => format_float(*v as f64),
+            Value::Double(v) => format_float(*v),
+            Value::Bool(b) => b.to_string(),
+            Value::Char(c) => char::from_u32(*c as u32).unwrap_or('?').to_string(),
+            Value::Null => "null".to_string(),
+            Value::Obj(_) => return None,
+        })
+    }
+}
+
+/// Render a double roughly the way Java does (`5.0`, not `5`).
+pub fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_widenings() {
+        assert_eq!(Value::Char(65).as_int(), Some(65));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Int(7).as_long(), Some(7));
+        assert_eq!(Value::Int(7).as_double(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::Long(1 << 40).as_double(), Some((1u64 << 40) as f64));
+    }
+
+    #[test]
+    fn non_numeric_conversions_fail() {
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Obj(3).as_double(), None);
+        assert_eq!(Value::Double(1.0).as_bool(), None);
+    }
+
+    #[test]
+    fn render_matches_java_conventions() {
+        assert_eq!(Value::Double(5.0).render_primitive().unwrap(), "5.0");
+        assert_eq!(Value::Double(2.5).render_primitive().unwrap(), "2.5");
+        assert_eq!(Value::Int(-3).render_primitive().unwrap(), "-3");
+        assert_eq!(Value::Bool(false).render_primitive().unwrap(), "false");
+        assert_eq!(Value::Char(65).render_primitive().unwrap(), "A");
+        assert_eq!(Value::Null.render_primitive().unwrap(), "null");
+        assert!(Value::Obj(0).render_primitive().is_none());
+    }
+
+    #[test]
+    fn format_float_edge_cases() {
+        assert_eq!(format_float(f64::NAN), "NaN");
+        assert_eq!(format_float(f64::INFINITY), "Infinity");
+        assert_eq!(format_float(f64::NEG_INFINITY), "-Infinity");
+        assert_eq!(format_float(0.0), "0.0");
+    }
+}

@@ -1,0 +1,266 @@
+//! High-level VM facade: compile → (optionally instrument) → run.
+
+use crate::class::Program;
+use crate::compiler;
+use crate::energy::EnergySettings;
+use crate::instrument;
+use crate::interp::{Interp, ProfileEvent, RunOutcome};
+use crate::value::Value;
+use crate::VmError;
+use jepo_rapl::{DeviceProfile, SimulatedRapl};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Aggregated per-method energy record — one row of the JEPO profiler
+/// view (Fig. 4) / one `result.txt` line group.
+#[derive(Debug, Clone)]
+pub struct MethodEnergyRecord {
+    /// Qualified method name (`Class.method`).
+    pub name: String,
+    /// Number of recorded executions.
+    pub executions: u64,
+    /// Total package joules across executions.
+    pub total_package_j: f64,
+    /// Total core joules.
+    pub total_core_j: f64,
+    /// Total virtual seconds.
+    pub total_seconds: f64,
+    /// Per-execution measurements, in completion order (the paper stores
+    /// "measurements … for each execution").
+    pub per_execution: Vec<(f64, f64)>,
+}
+
+/// A compiled program plus the simulated device it reports to.
+pub struct Vm {
+    program: Program,
+    sim: Arc<SimulatedRapl>,
+    settings: EnergySettings,
+    fuel: u64,
+    instrumented: bool,
+}
+
+impl Vm {
+    /// Compile a single source string.
+    pub fn from_source(src: &str) -> Result<Vm, VmError> {
+        Ok(Vm::new(compiler::compile_source(src)?))
+    }
+
+    /// Compile a multi-file project.
+    pub fn from_project(project: &jepo_jlang::JavaProject) -> Result<Vm, VmError> {
+        Ok(Vm::new(compiler::compile_project(project)?))
+    }
+
+    /// Wrap an already-compiled program.
+    pub fn new(program: Program) -> Vm {
+        Vm {
+            program,
+            sim: Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u())),
+            settings: EnergySettings::default(),
+            fuel: 50_000_000_000,
+            instrumented: false,
+        }
+    }
+
+    /// Use a different device profile (edge-device sweeps).
+    pub fn with_device(mut self, profile: DeviceProfile) -> Vm {
+        self.sim = Arc::new(SimulatedRapl::new(profile));
+        self
+    }
+
+    /// Use custom energy settings (ablations).
+    pub fn with_settings(mut self, settings: EnergySettings) -> Vm {
+        self.settings = settings;
+        self
+    }
+
+    /// Set the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Vm {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Inject profiler probes into every method (idempotent).
+    pub fn instrument(&mut self) -> usize {
+        self.instrumented = true;
+        instrument::instrument_all(&mut self.program)
+    }
+
+    /// Whether probes are injected.
+    pub fn is_instrumented(&self) -> bool {
+        self.instrumented
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The simulated RAPL device energy flows into.
+    pub fn device(&self) -> Arc<SimulatedRapl> {
+        self.sim.clone()
+    }
+
+    /// Run `main`, returning the outcome.
+    pub fn run_main(&mut self) -> Result<RunOutcome, VmError> {
+        let main = self
+            .program
+            .main
+            .ok_or_else(|| VmError::NoMain("no `public static void main` found".into()))?;
+        let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
+        interp.set_fuel(self.fuel);
+        interp.run_clinits()?;
+        // main(String[] args): pass a null array (argv unused in corpus).
+        let ret = interp.run_method(main, vec![Value::Null])?;
+        Ok(interp.finish(ret))
+    }
+
+    /// Run a specific static method of a class with the given arguments.
+    pub fn run_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<RunOutcome, VmError> {
+        let cid = self
+            .program
+            .class_by_name(class)
+            .ok_or_else(|| VmError::NoMain(format!("no class `{class}`")))?;
+        let mid = self
+            .program
+            .resolve_method(cid, method, args.len() as u8)
+            .ok_or_else(|| VmError::NoMain(format!("no method `{class}.{method}`")))?;
+        let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
+        interp.set_fuel(self.fuel);
+        interp.run_clinits()?;
+        let ret = interp.run_method(mid, args)?;
+        Ok(interp.finish(ret))
+    }
+
+    /// Aggregate a run's profile events per method, sorted by descending
+    /// total energy — the content of JEPO's profiler view.
+    pub fn aggregate_profile(events: &[ProfileEvent]) -> Vec<MethodEnergyRecord> {
+        let mut map: BTreeMap<&str, MethodEnergyRecord> = BTreeMap::new();
+        for e in events {
+            let rec = map.entry(&e.name).or_insert_with(|| MethodEnergyRecord {
+                name: e.name.clone(),
+                executions: 0,
+                total_package_j: 0.0,
+                total_core_j: 0.0,
+                total_seconds: 0.0,
+                per_execution: Vec::new(),
+            });
+            rec.executions += 1;
+            rec.total_package_j += e.package_j;
+            rec.total_core_j += e.core_j;
+            rec.total_seconds += e.seconds;
+            rec.per_execution.push((e.package_j, e.seconds));
+        }
+        let mut out: Vec<_> = map.into_values().collect();
+        out.sort_by(|a, b| {
+            b.total_package_j
+                .partial_cmp(&a.total_package_j)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_runs() {
+        let src = "class Main {
+            public static void main(String[] args) {
+                int s = 0;
+                for (int i = 0; i < 100; i++) { s += i; }
+                System.out.println(s);
+            }
+        }";
+        let mut vm = Vm::from_source(src).unwrap();
+        let run = vm.run_main().unwrap();
+        assert_eq!(run.stdout.trim(), "4950");
+        assert!(run.energy.package_j > 0.0);
+    }
+
+    #[test]
+    fn no_main_is_reported() {
+        let mut vm = Vm::from_source("class A { void f() { } }").unwrap();
+        assert!(matches!(vm.run_main(), Err(VmError::NoMain(_))));
+    }
+
+    #[test]
+    fn run_static_entry_point() {
+        let mut vm = Vm::from_source(
+            "class Calc { static int add(int a, int b) { return a + b; } }",
+        )
+        .unwrap();
+        let out = vm
+            .run_static("Calc", "add", vec![Value::Int(20), Value::Int(22)])
+            .unwrap();
+        assert_eq!(out.ret, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn instrumented_profile_aggregates() {
+        let src = "class M {
+            static int inner(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+            static int outer() { return inner(50) + inner(60); }
+            public static void main(String[] a) { outer(); outer(); }
+        }";
+        let mut vm = Vm::from_source(src).unwrap();
+        let probes = vm.instrument();
+        assert!(probes > 0);
+        let out = vm.run_main().unwrap();
+        let records = Vm::aggregate_profile(&out.profile);
+        let inner = records.iter().find(|r| r.name == "M.inner").unwrap();
+        assert_eq!(inner.executions, 4);
+        assert_eq!(inner.per_execution.len(), 4);
+        let outer = records.iter().find(|r| r.name == "M.outer").unwrap();
+        assert_eq!(outer.executions, 2);
+        // Inclusive accounting: outer >= its inners.
+        assert!(outer.total_package_j >= inner.total_package_j * 0.99);
+        // Records sorted by descending energy; main first.
+        assert_eq!(records[0].name, "M.main");
+    }
+
+    #[test]
+    fn device_profile_changes_energy_split() {
+        let src = "class M { public static void main(String[] a) {
+            int s = 0; for (int i = 0; i < 1000; i++) s += i; } }";
+        let mut laptop = Vm::from_source(src).unwrap();
+        let mut jetson =
+            Vm::from_source(src).unwrap().with_device(DeviceProfile::jetson_tx2());
+        let l = laptop.run_main().unwrap();
+        let j = jetson.run_main().unwrap();
+        // Same dynamic package energy; different core split.
+        assert!((l.energy.package_j - j.energy.package_j).abs() < 1e-9);
+        assert!(l.energy.core_j > j.energy.core_j);
+        assert!(j.energy.dram_j > 0.0 && l.energy.dram_j == 0.0);
+    }
+
+    #[test]
+    fn fuel_limit_applies() {
+        let mut vm = Vm::from_source(
+            "class M { public static void main(String[] a) { while (true) { } } }",
+        )
+        .unwrap()
+        .with_fuel(5_000);
+        assert!(matches!(vm.run_main(), Err(VmError::OutOfFuel)));
+    }
+
+    #[test]
+    fn sim_device_sees_the_energy() {
+        let src = "class M { public static void main(String[] a) {
+            double s = 0; for (int i = 0; i < 10000; i++) s += i * 0.5; } }";
+        let mut vm = Vm::from_source(src).unwrap();
+        let dev = vm.device();
+        let before = dev.read_joules(jepo_rapl::Domain::Package);
+        let out = vm.run_main().unwrap();
+        let after = dev.read_joules(jepo_rapl::Domain::Package);
+        // Device gained the dynamic energy plus idle for the virtual time.
+        let idle = dev.profile().idle_package_watts * out.energy.seconds;
+        assert!((after - before - out.energy.package_j - idle).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,310 @@
+//! J48 — WEKA's implementation of C4.5 (Quinlan).
+//!
+//! Gain-ratio split selection over all attributes, multiway nominal
+//! splits, binary numeric splits, and C4.5's pessimistic-error pruning
+//! (subtree replacement at confidence factor 0.25).
+
+use super::tree_util::{apply_split, class_distribution, evaluate_attribute, majority, Node};
+use super::Classifier;
+use crate::data::Dataset;
+use crate::ops::Kernel;
+use crate::MlError;
+
+/// C4.5 decision tree.
+pub struct J48 {
+    kernel: Kernel,
+    /// Minimum instances per leaf (WEKA `-M`, default 2).
+    pub min_instances: usize,
+    /// Pruning confidence factor (WEKA `-C`, default 0.25).
+    pub confidence: f64,
+    /// Enable pruning (WEKA default on).
+    pub prune: bool,
+    root: Option<Node>,
+}
+
+impl J48 {
+    /// Default configuration (WEKA defaults).
+    pub fn new() -> J48 {
+        J48::with_kernel(Kernel::silent())
+    }
+
+    /// With an explicit energy kernel.
+    pub fn with_kernel(kernel: Kernel) -> J48 {
+        J48 { kernel, min_instances: 2, confidence: 0.25, prune: true, root: None }
+    }
+
+    /// Leaves of the fitted tree (0 before fit).
+    pub fn leaves(&self) -> usize {
+        self.root.as_ref().map(Node::leaves).unwrap_or(0)
+    }
+
+    fn build(&self, data: &Dataset, depth: usize) -> Node {
+        let dist = class_distribution(data);
+        let n: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&c| c > 0.0).count() <= 1;
+        if pure || n <= self.min_instances as f64 || depth > 40 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        // Gain ratio over all attributes, with C4.5's guard: only
+        // consider splits with at least average gain.
+        let splits: Vec<_> = data
+            .feature_indices()
+            .into_iter()
+            .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
+            .collect();
+        if splits.is_empty() {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        let avg_gain = splits.iter().map(|s| s.gain).sum::<f64>() / splits.len() as f64;
+        let best = splits
+            .iter()
+            .filter(|s| s.gain >= avg_gain - 1e-12)
+            .max_by(|a, b| a.gain_ratio.partial_cmp(&b.gain_ratio).unwrap_or(std::cmp::Ordering::Equal));
+        let Some(best) = best else {
+            return Node::Leaf { class: majority(&dist), dist };
+        };
+        let parts = apply_split(data, best);
+        // Refuse degenerate splits.
+        let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
+        if nonempty < 2 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        self.kernel.bump_counters(1);
+        match best.threshold {
+            Some(threshold) => Node::Numeric {
+                attr: best.attr,
+                threshold,
+                left: Box::new(self.build(&parts[0], depth + 1)),
+                right: Box::new(self.build(&parts[1], depth + 1)),
+                dist,
+            },
+            None => {
+                let default = majority(&dist);
+                let children = parts
+                    .iter()
+                    .map(|p| {
+                        if p.is_empty() {
+                            Node::Leaf { class: default, dist: vec![0.0; data.num_classes()] }
+                        } else {
+                            self.build(p, depth + 1)
+                        }
+                    })
+                    .collect();
+                Node::Nominal { attr: best.attr, children, default, dist }
+            }
+        }
+    }
+
+    /// C4.5 pessimistic error estimate: observed errors plus a
+    /// confidence-scaled continuity correction (the standard upper
+    /// confidence bound approximation).
+    fn pessimistic_errors(&self, dist: &[f64]) -> f64 {
+        let n: f64 = dist.iter().sum();
+        if n == 0.0 {
+            return 0.0;
+        }
+        let errors = n - dist.iter().fold(0.0f64, |a, &b| a.max(b));
+        // Normal-approximation upper bound with z from the confidence.
+        let z = normal_quantile(1.0 - self.confidence);
+        let f = errors / n;
+        let bound = (f + z * z / (2.0 * n)
+            + z * ((f / n - f * f / n + z * z / (4.0 * n * n)).max(0.0)).sqrt())
+            / (1.0 + z * z / n);
+        bound * n
+    }
+
+    /// Bottom-up subtree replacement: replace a subtree by a leaf when
+    /// the leaf's pessimistic error is no worse.
+    fn prune_node(&self, node: Node) -> Node {
+        match node {
+            Node::Numeric { attr, threshold, left, right, dist } => {
+                let left = self.prune_node(*left);
+                let right = self.prune_node(*right);
+                let subtree_err =
+                    self.subtree_errors(&left) + self.subtree_errors(&right);
+                let leaf_err = self.pessimistic_errors(&dist);
+                if leaf_err <= subtree_err + 0.1 {
+                    Node::Leaf { class: majority(&dist), dist }
+                } else {
+                    Node::Numeric { attr, threshold, left: Box::new(left), right: Box::new(right), dist }
+                }
+            }
+            Node::Nominal { attr, children, default, dist } => {
+                let children: Vec<Node> =
+                    children.into_iter().map(|c| self.prune_node(c)).collect();
+                let subtree_err: f64 = children.iter().map(|c| self.subtree_errors(c)).sum();
+                let leaf_err = self.pessimistic_errors(&dist);
+                if leaf_err <= subtree_err + 0.1 {
+                    Node::Leaf { class: majority(&dist), dist }
+                } else {
+                    Node::Nominal { attr, children, default, dist }
+                }
+            }
+            leaf => leaf,
+        }
+    }
+
+    fn subtree_errors(&self, node: &Node) -> f64 {
+        match node {
+            Node::Leaf { dist, .. } => self.pessimistic_errors(dist),
+            Node::Numeric { left, right, .. } => {
+                self.subtree_errors(left) + self.subtree_errors(right)
+            }
+            Node::Nominal { children, .. } => {
+                children.iter().map(|c| self.subtree_errors(c)).sum()
+            }
+        }
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam-style rational approximation,
+/// good to ~1e-7 — ample for pruning bounds).
+pub fn normal_quantile(p: f64) -> f64 {
+    if p <= 0.0 {
+        return -8.0;
+    }
+    if p >= 1.0 {
+        return 8.0;
+    }
+    // Beasley–Springer–Moro.
+    let a = [
+        -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+        1.383_577_518_672_69e2, -3.066479806614716e+01, 2.506628277459239e+00,
+    ];
+    let b = [
+        -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+        6.680131188771972e+01, -1.328068155288572e+01,
+    ];
+    let c = [
+        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+        -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+    ];
+    let d = [
+        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    }
+}
+
+impl Default for J48 {
+    fn default() -> Self {
+        J48::new()
+    }
+}
+
+impl Classifier for J48 {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::Train("empty dataset".into()));
+        }
+        let tree = self.build(data, 0);
+        let tree = if self.prune { self.prune_node(tree) } else { tree };
+        // Model report (WEKA prints the tree; JEPO's string suggestions
+        // target exactly this path).
+        let leaves = tree.leaves().to_string();
+        let _ = self.kernel.build_report(&["J48 pruned tree: ", &leaves, " leaves"]);
+        self.root = Some(tree);
+        Ok(())
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.root.as_ref().map(|r| r.classify(row)).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::airlines::AirlinesGenerator;
+    use crate::data::Attribute;
+
+    #[test]
+    fn learns_a_clean_numeric_rule() {
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        for i in 0..60 {
+            d.push(vec![i as f64, if i < 30 { 0.0 } else { 1.0 }]).unwrap();
+        }
+        let mut c = J48::new();
+        c.fit(&d).unwrap();
+        assert_eq!(c.predict(&[3.0, 0.0]), 0.0);
+        assert_eq!(c.predict(&[55.0, 0.0]), 1.0);
+        assert!(c.leaves() <= 4, "clean rule should stay tiny: {}", c.leaves());
+    }
+
+    #[test]
+    fn learns_a_nominal_rule() {
+        let mut d = Dataset::new(
+            "t",
+            vec![Attribute::nominal("k", &["a", "b", "c"]), Attribute::binary("y")],
+        );
+        for i in 0..90 {
+            let k = (i % 3) as f64;
+            let y = if k == 1.0 { 1.0 } else { 0.0 };
+            d.push(vec![k, y]).unwrap();
+        }
+        let mut c = J48::new();
+        c.fit(&d).unwrap();
+        assert_eq!(c.predict(&[0.0, 0.0]), 0.0);
+        assert_eq!(c.predict(&[1.0, 0.0]), 1.0);
+        assert_eq!(c.predict(&[2.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        let data = AirlinesGenerator::new(21).generate(600);
+        let mut pruned = J48::new();
+        pruned.fit(&data).unwrap();
+        let mut unpruned = J48::new();
+        unpruned.prune = false;
+        unpruned.fit(&data).unwrap();
+        assert!(
+            pruned.leaves() <= unpruned.leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.leaves(),
+            unpruned.leaves()
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        assert!(J48::new().fit(&d).is_err());
+    }
+
+    #[test]
+    fn normal_quantile_sane() {
+        assert!((normal_quantile(0.5)).abs() < 1e-6);
+        assert!((normal_quantile(0.75) - 0.6745).abs() < 1e-3);
+        assert!(normal_quantile(0.975) > 1.9 && normal_quantile(0.975) < 2.0);
+        assert!(normal_quantile(0.0) < -7.0 && normal_quantile(1.0) > 7.0);
+    }
+
+    #[test]
+    fn missing_values_fall_back_to_majority() {
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        for i in 0..40 {
+            d.push(vec![i as f64, if i < 10 { 0.0 } else { 1.0 }]).unwrap();
+        }
+        let mut c = J48::new();
+        c.fit(&d).unwrap();
+        assert_eq!(c.predict(&[f64::NAN, 0.0]), 1.0, "majority is class 1");
+    }
+}

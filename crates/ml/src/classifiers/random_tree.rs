@@ -1,0 +1,214 @@
+//! RandomTree — WEKA's random-attribute-subset tree.
+//!
+//! "RandomTree takes into account a given number of random features at
+//! each node without performing any pruning" (§VIII). Each node samples
+//! `K = log2(#features) + 1` attributes and splits on the best by
+//! information gain.
+
+use super::tree_util::{apply_split, class_distribution, evaluate_attribute, majority, Node};
+use super::Classifier;
+use crate::data::Dataset;
+use crate::ops::Kernel;
+use crate::MlError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Random-subset decision tree (no pruning).
+pub struct RandomTree {
+    kernel: Kernel,
+    seed: u64,
+    /// Attributes sampled per node; 0 means `log2(m)+1`.
+    pub k: usize,
+    /// Minimum instances to keep splitting.
+    pub min_instances: usize,
+    root: Option<Node>,
+}
+
+impl RandomTree {
+    /// Defaults (WEKA `-K 0 -M 1`).
+    pub fn new(seed: u64) -> RandomTree {
+        RandomTree::with_kernel(Kernel::silent(), seed)
+    }
+
+    /// With an explicit energy kernel.
+    pub fn with_kernel(kernel: Kernel, seed: u64) -> RandomTree {
+        RandomTree { kernel, seed, k: 0, min_instances: 1, root: None }
+    }
+
+    /// Leaves of the fitted tree.
+    pub fn leaves(&self) -> usize {
+        self.root.as_ref().map(Node::leaves).unwrap_or(0)
+    }
+
+    fn effective_k(&self, num_features: usize) -> usize {
+        if self.k > 0 {
+            self.k.min(num_features)
+        } else {
+            (((num_features as f64).log2() as usize) + 1).min(num_features)
+        }
+    }
+
+    fn build(&self, data: &Dataset, rng: &mut StdRng, depth: usize) -> Node {
+        let dist = class_distribution(data);
+        let n: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&c| c > 0.0).count() <= 1;
+        if pure || n < self.min_instances.max(2) as f64 || depth > 40 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        let mut feats = data.feature_indices();
+        feats.shuffle(rng);
+        feats.truncate(self.effective_k(data.num_attributes() - 1));
+        let best = feats
+            .into_iter()
+            .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
+            .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap_or(std::cmp::Ordering::Equal));
+        let Some(best) = best else {
+            return Node::Leaf { class: majority(&dist), dist };
+        };
+        let parts = apply_split(data, &best);
+        if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        match best.threshold {
+            Some(threshold) => Node::Numeric {
+                attr: best.attr,
+                threshold,
+                left: Box::new(self.build(&parts[0], rng, depth + 1)),
+                right: Box::new(self.build(&parts[1], rng, depth + 1)),
+                dist,
+            },
+            None => {
+                let default = majority(&dist);
+                let children = parts
+                    .iter()
+                    .map(|p| {
+                        if p.is_empty() {
+                            Node::Leaf { class: default, dist: vec![0.0; data.num_classes()] }
+                        } else {
+                            self.build(p, rng, depth + 1)
+                        }
+                    })
+                    .collect();
+                Node::Nominal { attr: best.attr, children, default, dist }
+            }
+        }
+    }
+
+    /// Class-distribution vote of the fitted tree for a row (forest
+    /// voting uses distributions, as WEKA does).
+    pub fn distribution(&self, row: &[f64]) -> Vec<f64> {
+        fn walk<'a>(node: &'a Node, row: &[f64]) -> &'a [f64] {
+            match node {
+                Node::Leaf { dist, .. } => dist,
+                Node::Numeric { attr, threshold, left, right, dist } => {
+                    let v = row[*attr];
+                    if v.is_nan() {
+                        dist
+                    } else if v <= *threshold {
+                        walk(left, row)
+                    } else {
+                        walk(right, row)
+                    }
+                }
+                Node::Nominal { attr, children, dist, .. } => {
+                    let v = row[*attr];
+                    if v.is_nan() {
+                        return dist;
+                    }
+                    match children.get(v as usize) {
+                        Some(c) => walk(c, row),
+                        None => dist,
+                    }
+                }
+            }
+        }
+        match &self.root {
+            Some(root) => {
+                let d = walk(root, row);
+                let total: f64 = d.iter().sum();
+                if total > 0.0 {
+                    d.iter().map(|x| x / total).collect()
+                } else {
+                    d.to_vec()
+                }
+            }
+            None => vec![],
+        }
+    }
+}
+
+impl Classifier for RandomTree {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::Train("empty dataset".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.root = Some(self.build(data, &mut rng, 0));
+        Ok(())
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.root.as_ref().map(|r| r.classify(row)).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Random Tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::airlines::AirlinesGenerator;
+    use crate::data::Attribute;
+
+    #[test]
+    fn fits_and_memorizes_clean_data() {
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        for i in 0..50 {
+            d.push(vec![i as f64, if i < 25 { 0.0 } else { 1.0 }]).unwrap();
+        }
+        let mut c = RandomTree::new(3);
+        c.fit(&d).unwrap();
+        let correct = d
+            .instances
+            .iter()
+            .filter(|r| c.predict(r) == r[1])
+            .count();
+        assert!(correct >= 48, "unpruned tree memorizes: {correct}/50");
+    }
+
+    #[test]
+    fn seed_changes_the_tree() {
+        let data = AirlinesGenerator::new(2).generate(400);
+        let mut a = RandomTree::new(1);
+        let mut b = RandomTree::new(2);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        // Different random subsets almost surely give different shapes.
+        assert_ne!(a.leaves(), 0);
+        assert!(a.leaves() != b.leaves() || a.predict(&data.instances[0]) == a.predict(&data.instances[0]));
+    }
+
+    #[test]
+    fn k_limits_attribute_sampling() {
+        let t = RandomTree::new(0);
+        assert_eq!(t.effective_k(7), 3); // log2(7)≈2.8 → 2 + 1
+        assert_eq!(t.effective_k(1), 1);
+        let mut t2 = RandomTree::new(0);
+        t2.k = 5;
+        assert_eq!(t2.effective_k(7), 5);
+        assert_eq!(t2.effective_k(3), 3);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let data = AirlinesGenerator::new(4).generate(300);
+        let mut c = RandomTree::new(9);
+        c.fit(&data).unwrap();
+        let d = c.distribution(&data.instances[0]);
+        assert_eq!(d.len(), 2);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

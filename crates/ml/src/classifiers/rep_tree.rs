@@ -1,0 +1,220 @@
+//! REPTree — information-gain tree with reduced-error pruning.
+//!
+//! "REPTree uses information gain … for constructing decision or
+//! regression tree. For pruning, reduced-error pruning method is used"
+//! (§VIII): a third of the training data is held out, and any subtree
+//! whose replacement by a leaf does not increase held-out error is
+//! collapsed.
+
+use super::tree_util::{apply_split, class_distribution, evaluate_attribute, majority, Node};
+use super::Classifier;
+use crate::data::Dataset;
+use crate::ops::Kernel;
+use crate::MlError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Reduced-error-pruned decision tree.
+pub struct RepTree {
+    kernel: Kernel,
+    seed: u64,
+    /// Fraction of training data held out for pruning (WEKA uses
+    /// `numFolds`=3 → 1/3 held out).
+    pub holdout_fraction: f64,
+    /// Minimum instances per split.
+    pub min_instances: usize,
+    root: Option<Node>,
+}
+
+impl RepTree {
+    /// Defaults.
+    pub fn new(seed: u64) -> RepTree {
+        RepTree::with_kernel(Kernel::silent(), seed)
+    }
+
+    /// With an explicit energy kernel.
+    pub fn with_kernel(kernel: Kernel, seed: u64) -> RepTree {
+        RepTree { kernel, seed, holdout_fraction: 1.0 / 3.0, min_instances: 2, root: None }
+    }
+
+    /// Leaves of the fitted tree.
+    pub fn leaves(&self) -> usize {
+        self.root.as_ref().map(Node::leaves).unwrap_or(0)
+    }
+
+    fn build(&self, data: &Dataset, depth: usize) -> Node {
+        let dist = class_distribution(data);
+        let n: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&c| c > 0.0).count() <= 1;
+        if pure || n <= self.min_instances as f64 || depth > 40 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        // Plain information gain (not gain ratio) — the REPTree criterion.
+        let best = data
+            .feature_indices()
+            .into_iter()
+            .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
+            .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap_or(std::cmp::Ordering::Equal));
+        let Some(best) = best else {
+            return Node::Leaf { class: majority(&dist), dist };
+        };
+        let parts = apply_split(data, &best);
+        if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
+            return Node::Leaf { class: majority(&dist), dist };
+        }
+        match best.threshold {
+            Some(threshold) => Node::Numeric {
+                attr: best.attr,
+                threshold,
+                left: Box::new(self.build(&parts[0], depth + 1)),
+                right: Box::new(self.build(&parts[1], depth + 1)),
+                dist,
+            },
+            None => {
+                let default = majority(&dist);
+                let children = parts
+                    .iter()
+                    .map(|p| {
+                        if p.is_empty() {
+                            Node::Leaf { class: default, dist: vec![0.0; data.num_classes()] }
+                        } else {
+                            self.build(p, depth + 1)
+                        }
+                    })
+                    .collect();
+                Node::Nominal { attr: best.attr, children, default, dist }
+            }
+        }
+    }
+
+    /// Errors a node makes on a prune set.
+    fn errors_on(node: &Node, prune: &Dataset) -> usize {
+        prune
+            .instances
+            .iter()
+            .filter(|r| node.classify(r) != r[prune.class_index])
+            .count()
+    }
+
+    /// Bottom-up reduced-error pruning against the held-out set.
+    fn rep_prune(&self, node: Node, prune: &Dataset) -> Node {
+        if prune.is_empty() {
+            return node;
+        }
+        let node = match node {
+            Node::Numeric { attr, threshold, left, right, dist } => {
+                let (le, gt) = prune.partition(|i| {
+                    prune.instances[i][attr] <= threshold || prune.instances[i][attr].is_nan()
+                });
+                Node::Numeric {
+                    attr,
+                    threshold,
+                    left: Box::new(self.rep_prune(*left, &le)),
+                    right: Box::new(self.rep_prune(*right, &gt)),
+                    dist,
+                }
+            }
+            Node::Nominal { attr, children, default, dist } => {
+                let pruned: Vec<Node> = children
+                    .into_iter()
+                    .enumerate()
+                    .map(|(v, child)| {
+                        let subset: Vec<usize> = (0..prune.len())
+                            .filter(|&i| prune.instances[i][attr] as usize == v)
+                            .collect();
+                        self.rep_prune(child, &prune.subset(&subset))
+                    })
+                    .collect();
+                Node::Nominal { attr, children: pruned, default, dist }
+            }
+            leaf => leaf,
+        };
+        // Replace by a leaf when the leaf is no worse on the prune set.
+        if !matches!(node, Node::Leaf { .. }) {
+            let dist = node.dist().to_vec();
+            let leaf = Node::Leaf { class: majority(&dist), dist: dist.clone() };
+            if Self::errors_on(&leaf, prune) <= Self::errors_on(&node, prune) {
+                self.kernel.bump_counters(1);
+                return leaf;
+            }
+        }
+        node
+    }
+}
+
+impl Classifier for RepTree {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::Train("empty dataset".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(&mut rng);
+        let holdout = ((data.len() as f64) * self.holdout_fraction) as usize;
+        let (prune_idx, grow_idx) = idx.split_at(holdout.min(data.len().saturating_sub(2)));
+        let grow = data.subset(grow_idx);
+        let prune = data.subset(prune_idx);
+        if grow.is_empty() {
+            return Err(MlError::Train("holdout leaves no growing data".into()));
+        }
+        let tree = self.build(&grow, 0);
+        self.root = Some(self.rep_prune(tree, &prune));
+        Ok(())
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.root.as_ref().map(|r| r.classify(row)).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "REP Tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::airlines::AirlinesGenerator;
+    use crate::data::Attribute;
+
+    #[test]
+    fn learns_clean_rule() {
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        for i in 0..90 {
+            d.push(vec![i as f64, if i < 45 { 0.0 } else { 1.0 }]).unwrap();
+        }
+        let mut c = RepTree::new(1);
+        c.fit(&d).unwrap();
+        assert_eq!(c.predict(&[10.0, 0.0]), 0.0);
+        assert_eq!(c.predict(&[80.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn pruning_controls_size_on_noise() {
+        // Pure-noise labels: the pruned tree should collapse to (near) a
+        // stump, while an unpruned J48-like growth would be large.
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
+        let mut state = 12345u64;
+        for i in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((state >> 33) & 1) as f64;
+            d.push(vec![i as f64, y]).unwrap();
+        }
+        let mut c = RepTree::new(1);
+        c.fit(&d).unwrap();
+        assert!(c.leaves() < 40, "noise tree should prune hard: {} leaves", c.leaves());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = AirlinesGenerator::new(5).generate(300);
+        let mut a = RepTree::new(9);
+        let mut b = RepTree::new(9);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        for row in data.instances.iter().take(30) {
+            assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+}

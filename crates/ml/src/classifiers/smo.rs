@@ -1,0 +1,328 @@
+//! SMO — Platt's sequential minimal optimization for SVM training.
+//!
+//! "SMO uses polynomial or Gaussian kernels to implement the sequential
+//! minimal optimization algorithm for training a support vector
+//! classifier [Platt 1998; Keerthi et al. 2001]" (§VIII). This is the
+//! simplified-SMO formulation with an error cache: pairs of Lagrange
+//! multipliers violating the KKT conditions are optimized jointly until
+//! no progress is made.
+
+use super::logistic::Encoder;
+use super::Classifier;
+use crate::data::Dataset;
+use crate::ops::Kernel;
+use crate::MlError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SvmKernel {
+    /// Linear (polynomial of degree 1 — WEKA's default PolyKernel).
+    Linear,
+    /// Polynomial of the given degree.
+    Poly(u32),
+    /// Gaussian RBF with the given gamma.
+    Rbf(f64),
+}
+
+/// Platt SMO support-vector classifier (binary).
+pub struct Smo {
+    kernel: Kernel,
+    seed: u64,
+    /// Kernel function.
+    pub svm_kernel: SvmKernel,
+    /// Soft-margin parameter (WEKA `-C`, default 1.0).
+    pub c: f64,
+    /// KKT tolerance (WEKA epsilon 1e-3).
+    pub tol: f64,
+    /// Maximum optimization passes without progress.
+    pub max_passes: usize,
+    alphas: Vec<f64>,
+    b: f64,
+    support: Vec<(Vec<f64>, f64)>, // (x, y∈{-1,1})
+    /// Explicit weight vector (linear kernel only) — the standard SMO
+    /// optimization that makes f(x) O(dim) instead of O(n·dim).
+    w: Option<Vec<f64>>,
+    encoder: Option<Encoder>,
+}
+
+impl Smo {
+    /// Defaults (linear kernel, C=1).
+    pub fn new(seed: u64) -> Smo {
+        Smo::with_kernel(Kernel::silent(), seed)
+    }
+
+    /// With an explicit energy kernel.
+    pub fn with_kernel(kernel: Kernel, seed: u64) -> Smo {
+        Smo {
+            kernel,
+            seed,
+            svm_kernel: SvmKernel::Linear,
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            alphas: Vec::new(),
+            b: 0.0,
+            support: Vec::new(),
+            w: None,
+            encoder: None,
+        }
+    }
+
+    /// Profile-independent dot: WEKA's SMO runs its kernel evaluations
+    /// through the cached-kernel machinery JEPO's edits never touched,
+    /// which is why the paper measured only 0.05% improvement for SMO.
+    fn raw_dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.kernel.raw_flops(a.len() as u64, a.len() as u64);
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn k(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.svm_kernel {
+            SvmKernel::Linear => self.raw_dot(a, b),
+            SvmKernel::Poly(d) => {
+                let base = self.raw_dot(a, b) + 1.0;
+                self.kernel.quantize(base.powi(d as i32))
+            }
+            SvmKernel::Rbf(gamma) => {
+                let d2 = self.kernel.squared_distance(a, b);
+                self.kernel.exp(-gamma * d2)
+            }
+        }
+    }
+
+    fn decision(&self, x: &[f64]) -> f64 {
+        if let Some(w) = &self.w {
+            return self.raw_dot(w, x) - self.b;
+        }
+        let mut f = -self.b;
+        for (i, (sx, sy)) in self.support.iter().enumerate() {
+            if self.alphas[i] > 0.0 {
+                f += self.alphas[i] * sy * self.k(sx, x);
+            }
+        }
+        f
+    }
+}
+
+impl Classifier for Smo {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::Train("empty dataset".into()));
+        }
+        if data.num_classes() != 2 {
+            return Err(MlError::Unsupported("SMO here is binary (the airlines task)".into()));
+        }
+        let (rows, labels, dim) = data.to_numeric();
+        let n = rows.len();
+        let ys: Vec<f64> = labels.iter().map(|&l| if l == 1.0 { 1.0 } else { -1.0 }).collect();
+        let mut alphas = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let linear = self.svm_kernel == SvmKernel::Linear;
+        // Linear fast path: maintain w so f(x) is O(dim).
+        let mut w = vec![0.0f64; if linear { dim } else { 0 }];
+        let mut rng = StdRng::seed_from_u64(self.kernel.effective_seed(self.seed));
+        let f_of = |alphas: &[f64], b: f64, w: &[f64], this: &Smo, i: usize| -> f64 {
+            if linear {
+                return this.raw_dot(w, &rows[i]) - b;
+            }
+            let mut f = -b;
+            for j in 0..n {
+                if alphas[j] > 0.0 {
+                    f += alphas[j] * ys[j] * this.k(&rows[j], &rows[i]);
+                }
+            }
+            f
+        };
+        let mut passes = 0usize;
+        let mut iter_guard = 0usize;
+        while passes < self.max_passes && iter_guard < 60 {
+            iter_guard += 1;
+            let mut changed = 0usize;
+            self.kernel.bump_counters(1);
+            for i in 0..n {
+                let ei = f_of(&alphas, b, &w, self, i) - ys[i];
+                let viol = (ys[i] * ei < -self.tol && alphas[i] < self.c)
+                    || (ys[i] * ei > self.tol && alphas[i] > 0.0);
+                if !viol {
+                    continue;
+                }
+                // Second choice: random j ≠ i (simplified Platt heuristic).
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f_of(&alphas, b, &w, self, j) - ys[j];
+                let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                let (lo, hi) = if ys[i] != ys[j] {
+                    ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                } else {
+                    ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let kii = self.k(&rows[i], &rows[i]);
+                let kjj = self.k(&rows[j], &rows[j]);
+                let kij = self.k(&rows[i], &rows[j]);
+                let eta = 2.0 * kij - kii - kjj;
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - ys[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
+                // Bias update (Platt's b1/b2 rule).
+                let b1 = b + ei + ys[i] * (ai - ai_old) * kii + ys[j] * (aj - aj_old) * kij;
+                let b2 = b + ej + ys[i] * (ai - ai_old) * kij + ys[j] * (aj - aj_old) * kjj;
+                b = if 0.0 < ai && ai < self.c {
+                    b1
+                } else if 0.0 < aj && aj < self.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                if linear {
+                    self.kernel.raw_flops(2 * w.len() as u64, 2 * w.len() as u64);
+                    for (wk, xk) in w.iter_mut().zip(&rows[i]) {
+                        *wk += ys[i] * (ai - ai_old) * xk;
+                    }
+                    for (wk, xk) in w.iter_mut().zip(&rows[j]) {
+                        *wk += ys[j] * (aj - aj_old) * xk;
+                    }
+                }
+                alphas[i] = ai;
+                alphas[j] = aj;
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        // Keep only support vectors.
+        self.support = Vec::new();
+        let mut kept = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-9 {
+                self.support.push((rows[i].clone(), ys[i]));
+                kept.push(alphas[i]);
+            }
+        }
+        self.alphas = kept;
+        self.b = b;
+        self.w = if linear { Some(w) } else { None };
+        self.encoder = Some(Encoder::fit(data));
+        Ok(())
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let Some(enc) = &self.encoder else {
+            return 0.0;
+        };
+        let x = enc.encode(row);
+        if self.decision(&x) > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SMO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::airlines::AirlinesGenerator;
+    use crate::data::Attribute;
+
+    fn linear_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(
+            "t",
+            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+        );
+        for i in 0..n {
+            let x1 = ((i * 17) % 29) as f64 / 14.0 - 1.0;
+            let x2 = ((i * 11) % 31) as f64 / 15.0 - 1.0;
+            let y = if x1 + 0.5 * x2 > 0.1 { 1.0 } else { 0.0 };
+            d.push(vec![x1, x2, y]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn linear_kernel_separates() {
+        let d = linear_data(200);
+        let mut c = Smo::new(3);
+        c.fit(&d).unwrap();
+        let correct = d.instances.iter().filter(|r| c.predict(r) == r[2]).count();
+        assert!(correct as f64 / 200.0 > 0.9, "{correct}/200");
+        assert!(!c.support.is_empty() && c.support.len() < 200, "sparse SVs: {}", c.support.len());
+    }
+
+    #[test]
+    fn rbf_kernel_handles_nonlinear_rings() {
+        let mut d = Dataset::new(
+            "t",
+            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+        );
+        for i in 0..240 {
+            let angle = i as f64 * 0.5;
+            let r = if i % 2 == 0 { 0.5 } else { 2.0 };
+            d.push(vec![r * angle.cos(), r * angle.sin(), (i % 2) as f64]).unwrap();
+        }
+        let mut c = Smo::new(5);
+        c.svm_kernel = SvmKernel::Rbf(1.0);
+        c.fit(&d).unwrap();
+        let correct = d.instances.iter().filter(|r| c.predict(r) == r[2]).count();
+        assert!(correct as f64 / 240.0 > 0.9, "{correct}/240");
+    }
+
+    #[test]
+    fn poly_kernel_value_is_correct() {
+        let mut c = Smo::new(0);
+        c.svm_kernel = SvmKernel::Poly(2);
+        let v = c.k(&[1.0, 2.0], &[3.0, 1.0]);
+        assert!((v - 36.0).abs() < 1e-6, "(1·3+2·1+1)^2 = 36, got {v}");
+    }
+
+    #[test]
+    fn learns_airlines_better_than_chance() {
+        let data = AirlinesGenerator::new(23).generate(300);
+        let mut c = Smo::new(1);
+        c.fit(&data).unwrap();
+        let correct = data.instances.iter().filter(|r| c.predict(r) == r[7]).count();
+        assert!(correct as f64 / data.len() as f64 > 0.55);
+    }
+
+    #[test]
+    fn multiclass_rejected() {
+        let mut d = Dataset::new(
+            "t",
+            vec![Attribute::numeric("x"), Attribute::nominal("y", &["a", "b", "c"])],
+        );
+        for i in 0..9 {
+            d.push(vec![i as f64, (i % 3) as f64]).unwrap();
+        }
+        assert!(matches!(Smo::new(0).fit(&d), Err(MlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn alphas_respect_box_constraint() {
+        let d = linear_data(120);
+        let mut c = Smo::new(7);
+        c.c = 0.7;
+        c.fit(&d).unwrap();
+        for &a in &c.alphas {
+            assert!(a >= 0.0 && a <= 0.7 + 1e-9, "alpha {a} outside [0, C]");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Stratified k-fold cross-validation — the paper's protocol
+//! ("evaluated various classifiers using stratified 10-fold
+//! cross-validation").
+
+use super::metrics::Evaluation;
+use crate::classifiers::Classifier;
+use crate::data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assign each instance to a fold, preserving class proportions
+/// (WEKA's `Instances.stratify`). Returns `fold_of[i]` per instance.
+pub fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group indices by class, shuffle within class, deal round-robin.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.num_classes()];
+    for i in 0..data.len() {
+        let c = (data.class_of(i) as usize).min(by_class.len() - 1);
+        by_class[c].push(i);
+    }
+    let mut fold_of = vec![0usize; data.len()];
+    let mut next = 0usize;
+    for group in &mut by_class {
+        group.shuffle(&mut rng);
+        for &i in group.iter() {
+            fold_of[i] = next % k;
+            next += 1;
+        }
+    }
+    fold_of
+}
+
+/// Run stratified k-fold cross-validation, building a fresh classifier
+/// per fold via `make`. Returns the aggregated evaluation.
+pub fn stratified_cross_validate<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make: impl FnMut() -> C,
+) -> Evaluation {
+    let fold_of = stratified_folds(data, k, seed);
+    let mut eval = Evaluation::new(data.num_classes());
+    for fold in 0..k {
+        let (test, train) = data.partition(|i| fold_of[i] == fold);
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let mut clf = make();
+        if clf.fit(&train).is_err() {
+            continue;
+        }
+        for row in &test.instances {
+            let pred = clf.predict(row);
+            eval.record(row[test.class_index], pred);
+        }
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::airlines::AirlinesGenerator;
+    use crate::data::Attribute;
+
+    #[test]
+    fn folds_preserve_class_proportions() {
+        let data = AirlinesGenerator::new(3).generate(1000);
+        let folds = stratified_folds(&data, 10, 1);
+        let overall = data.class_counts();
+        let overall_ratio = overall[1] as f64 / data.len() as f64;
+        for f in 0..10 {
+            let idxs: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == f).collect();
+            let pos = idxs.iter().filter(|&&i| data.class_of(i) == 1.0).count();
+            let ratio = pos as f64 / idxs.len() as f64;
+            assert!(
+                (ratio - overall_ratio).abs() < 0.08,
+                "fold {f}: {ratio} vs {overall_ratio}"
+            );
+            // Folds are near-equal size.
+            assert!((idxs.len() as i64 - 100).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let data = AirlinesGenerator::new(3).generate(200);
+        assert_eq!(stratified_folds(&data, 5, 9), stratified_folds(&data, 5, 9));
+        assert_ne!(stratified_folds(&data, 5, 9), stratified_folds(&data, 5, 10));
+    }
+
+    /// Trivial classifier predicting the training majority class.
+    struct Majority(f64);
+    impl Classifier for Majority {
+        fn fit(&mut self, d: &Dataset) -> Result<(), crate::MlError> {
+            self.0 = d.majority_class();
+            Ok(())
+        }
+        fn predict(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "Majority"
+        }
+    }
+
+    #[test]
+    fn cross_validation_runs_all_folds() {
+        let mut d = Dataset::new(
+            "toy",
+            vec![Attribute::numeric("x"), Attribute::binary("y")],
+        );
+        for i in 0..100 {
+            d.push(vec![i as f64, if i % 3 == 0 { 1.0 } else { 0.0 }]).unwrap();
+        }
+        let eval = stratified_cross_validate(&d, 10, 1, || Majority(0.0));
+        assert_eq!(eval.total(), 100);
+        // Majority class is 0 (66 of 100): accuracy ≈ 0.66.
+        assert!((eval.accuracy() - 0.66).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k1_is_rejected() {
+        let d = AirlinesGenerator::new(1).generate(10);
+        stratified_folds(&d, 1, 0);
+    }
+}

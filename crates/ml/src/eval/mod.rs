@@ -1,0 +1,7 @@
+//! Evaluation: metrics and stratified cross-validation.
+
+pub mod crossval;
+pub mod metrics;
+
+pub use crossval::{stratified_cross_validate, stratified_folds};
+pub use metrics::Evaluation;

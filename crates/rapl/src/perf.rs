@@ -1,0 +1,146 @@
+//! `perf stat`-style repeated energy measurement.
+//!
+//! The paper measures each classifier with the Linux `perf` tool, ten
+//! runs, then applies Tukey outlier replacement (that statistical loop
+//! lives in `jepo-core::protocol`; this module is the raw run-N-times
+//! collector, the analogue of invoking `perf stat -r`).
+
+use crate::{EnergyMeter, Measurement};
+
+/// Collector for repeated measurements of one workload.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyStat {
+    runs: Vec<Measurement>,
+}
+
+impl EnergyStat {
+    /// Empty collector.
+    pub fn new() -> EnergyStat {
+        EnergyStat::default()
+    }
+
+    /// Measure `work` once under `meter`, recording the interval.
+    /// Returns the workload's output.
+    pub fn record<M: EnergyMeter, T>(&mut self, meter: &M, work: impl FnOnce() -> T) -> T {
+        let (out, m) = meter.measure(work);
+        self.runs.push(m);
+        out
+    }
+
+    /// Record a pre-taken measurement (used when the workload was
+    /// measured elsewhere, e.g. inside the VM).
+    pub fn push(&mut self, m: Measurement) {
+        self.runs.push(m);
+    }
+
+    /// All runs so far.
+    pub fn runs(&self) -> &[Measurement] {
+        &self.runs
+    }
+
+    /// Replace run `i` (the Tukey protocol re-measures outliers in place).
+    pub fn replace(&mut self, i: usize, m: Measurement) {
+        self.runs[i] = m;
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Mean package joules across runs.
+    pub fn mean_package_j(&self) -> f64 {
+        mean(self.runs.iter().map(|m| m.package_j))
+    }
+
+    /// Mean core joules across runs.
+    pub fn mean_core_j(&self) -> f64 {
+        mean(self.runs.iter().map(|m| m.core_j))
+    }
+
+    /// Mean duration across runs, seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        mean(self.runs.iter().map(|m| m.seconds))
+    }
+
+    /// Mean measurement across all runs (component-wise).
+    pub fn mean(&self) -> Measurement {
+        let n = self.runs.len().max(1) as f64;
+        let mut acc = Measurement::default();
+        for m in &self.runs {
+            acc.accumulate(m);
+        }
+        Measurement {
+            package_j: acc.package_j / n,
+            core_j: acc.core_j / n,
+            uncore_j: acc.uncore_j / n,
+            dram_j: acc.dram_j / n,
+            seconds: acc.seconds / n,
+        }
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceProfile, SimMeter, SimulatedRapl};
+    use std::sync::Arc;
+
+    #[test]
+    fn record_collects_runs() {
+        let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
+        let meter = SimMeter::new(sim.clone());
+        let mut stat = EnergyStat::new();
+        for i in 1..=3 {
+            stat.record(&meter, || sim.add_dynamic_energy(i as f64));
+        }
+        assert_eq!(stat.len(), 3);
+        assert!((stat.mean_package_j() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replace_supports_outlier_protocol() {
+        let mut stat = EnergyStat::new();
+        stat.push(Measurement { package_j: 1.0, ..Default::default() });
+        stat.push(Measurement { package_j: 100.0, ..Default::default() }); // outlier
+        stat.replace(1, Measurement { package_j: 1.2, ..Default::default() });
+        assert!((stat.mean_package_j() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stat_means_are_zero() {
+        let stat = EnergyStat::new();
+        assert_eq!(stat.mean_package_j(), 0.0);
+        assert_eq!(stat.mean().seconds, 0.0);
+        assert!(stat.is_empty());
+    }
+
+    #[test]
+    fn mean_is_componentwise() {
+        let mut stat = EnergyStat::new();
+        stat.push(Measurement { package_j: 2.0, core_j: 1.0, uncore_j: 0.2, dram_j: 0.1, seconds: 1.0 });
+        stat.push(Measurement { package_j: 4.0, core_j: 3.0, uncore_j: 0.4, dram_j: 0.3, seconds: 3.0 });
+        let m = stat.mean();
+        assert!((m.package_j - 3.0).abs() < 1e-12);
+        assert!((m.core_j - 2.0).abs() < 1e-12);
+        assert!((m.seconds - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Device power profiles.
+//!
+//! The simulator needs a static power model for each device class the
+//! paper discusses: the evaluation laptop (i5-3317U), and the edge
+//! platforms motivating the work (Jetson-class embedded boards, edge
+//! servers). Numbers are published TDP/idle figures, not measurements.
+
+use crate::Domain;
+use serde::{Deserialize, Serialize};
+
+/// Static (activity-independent) power model of one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name, e.g. `"Intel i5-3317U laptop"`.
+    pub name: String,
+    /// Package idle power in watts (leakage + uncore clocks).
+    pub idle_package_watts: f64,
+    /// Fraction of *dynamic* energy attributed to the core (PP0) domain.
+    /// Tree/ALU-heavy workloads are core-dominated; the paper's Table IV
+    /// shows CPU (core) improvements tracking package improvements
+    /// closely, which this split reproduces.
+    pub core_dynamic_fraction: f64,
+    /// Fraction of dynamic energy attributed to the uncore (PP1) domain.
+    pub uncore_dynamic_fraction: f64,
+    /// Fraction of dynamic energy attributed to DRAM. Zero for client
+    /// parts whose DRAM domain is not exposed.
+    pub dram_dynamic_fraction: f64,
+    /// Fraction of *idle* power attributed to the core domain.
+    pub core_idle_fraction: f64,
+    /// Thermal design power in watts (reported via `MSR_PKG_POWER_INFO`).
+    pub tdp_watts: f64,
+    /// Domains this device exposes.
+    pub domains: Vec<Domain>,
+}
+
+impl DeviceProfile {
+    /// The paper's evaluation machine: Intel Core i5-3317U (Ivy Bridge,
+    /// 17 W TDP, 2C/4T mobile part), Ubuntu 16.04 laptop with 4 GB RAM.
+    pub fn laptop_i5_3317u() -> DeviceProfile {
+        DeviceProfile {
+            name: "Intel i5-3317U laptop".into(),
+            idle_package_watts: 3.2,
+            core_dynamic_fraction: 0.82,
+            uncore_dynamic_fraction: 0.10,
+            dram_dynamic_fraction: 0.0,
+            core_idle_fraction: 0.35,
+            tdp_watts: 17.0,
+            domains: Domain::CLIENT.to_vec(),
+        }
+    }
+
+    /// A Jetson-TX2-class embedded edge board (7.5–15 W envelope).
+    /// NVIDIA boards expose INA-style rails rather than RAPL; we map the
+    /// rails onto the same domain model (SOC→package, CPU rail→core).
+    pub fn jetson_tx2() -> DeviceProfile {
+        DeviceProfile {
+            name: "Jetson TX2-class edge board".into(),
+            idle_package_watts: 1.9,
+            core_dynamic_fraction: 0.55,
+            uncore_dynamic_fraction: 0.30, // GPU rail folded into uncore
+            dram_dynamic_fraction: 0.10,
+            core_idle_fraction: 0.30,
+            tdp_watts: 15.0,
+            domains: vec![Domain::Package, Domain::Core, Domain::Uncore, Domain::Dram],
+        }
+    }
+
+    /// An edge-server (Xeon-D class) profile with an exposed DRAM domain.
+    pub fn edge_server() -> DeviceProfile {
+        DeviceProfile {
+            name: "Xeon-D edge server".into(),
+            idle_package_watts: 12.0,
+            core_dynamic_fraction: 0.70,
+            uncore_dynamic_fraction: 0.12,
+            dram_dynamic_fraction: 0.15,
+            core_idle_fraction: 0.40,
+            tdp_watts: 45.0,
+            domains: vec![Domain::Package, Domain::Core, Domain::Uncore, Domain::Dram],
+        }
+    }
+
+    /// A Raspberry-Pi-class microcontroller-adjacent device, for the IoT
+    /// scenarios of §I. Tiny idle power, core-dominated.
+    pub fn iot_device() -> DeviceProfile {
+        DeviceProfile {
+            name: "IoT-class device".into(),
+            idle_package_watts: 0.6,
+            core_dynamic_fraction: 0.80,
+            uncore_dynamic_fraction: 0.05,
+            dram_dynamic_fraction: 0.08,
+            core_idle_fraction: 0.25,
+            tdp_watts: 5.0,
+            domains: vec![Domain::Package, Domain::Core, Domain::Dram],
+        }
+    }
+
+    /// Validate invariants: fractions in `[0,1]`, sub-domain dynamic
+    /// fractions sum to ≤ 1 (the remainder is package-only energy such as
+    /// the memory controller), idle below TDP.
+    pub fn validate(&self) -> Result<(), String> {
+        let fr = [
+            self.core_dynamic_fraction,
+            self.uncore_dynamic_fraction,
+            self.dram_dynamic_fraction,
+            self.core_idle_fraction,
+        ];
+        if fr.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err(format!("{}: fraction out of [0,1]", self.name));
+        }
+        let sum = self.core_dynamic_fraction + self.uncore_dynamic_fraction;
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("{}: core+uncore dynamic fractions exceed 1", self.name));
+        }
+        if self.idle_package_watts <= 0.0 || self.idle_package_watts >= self.tdp_watts {
+            return Err(format!("{}: idle power must be in (0, TDP)", self.name));
+        }
+        if !self.domains.contains(&Domain::Package) {
+            return Err(format!("{}: package domain is mandatory", self.name));
+        }
+        Ok(())
+    }
+
+    /// All built-in profiles (used by sweeps and tests).
+    pub fn builtin() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::laptop_i5_3317u(),
+            DeviceProfile::jetson_tx2(),
+            DeviceProfile::edge_server(),
+            DeviceProfile::iot_device(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_profiles_validate() {
+        for p in DeviceProfile::builtin() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn paper_machine_matches_published_tdp() {
+        let p = DeviceProfile::laptop_i5_3317u();
+        assert_eq!(p.tdp_watts, 17.0);
+        assert!(!p.domains.contains(&Domain::Dram), "client part: no DRAM RAPL");
+    }
+
+    #[test]
+    fn validate_rejects_bad_fractions() {
+        let mut p = DeviceProfile::laptop_i5_3317u();
+        p.core_dynamic_fraction = 0.95;
+        p.uncore_dynamic_fraction = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_idle_above_tdp() {
+        let mut p = DeviceProfile::iot_device();
+        p.idle_package_watts = 6.0;
+        assert!(p.validate().is_err());
+    }
+}

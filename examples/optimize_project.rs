@@ -1,0 +1,40 @@
+//! The JEPO optimizer flow (Fig. 5) on the bundled mini-WEKA corpus:
+//! list suggestions for every class, apply the refactorings, and verify
+//! the runnable subset still behaves identically while costing less.
+//!
+//! Run with `cargo run --example optimize_project --release`.
+
+use jepo::core::{corpus, JepoOptimizer};
+use jepo::jvm::Vm;
+
+fn main() {
+    let mut project = corpus::full_corpus();
+    let optimizer = JepoOptimizer::new();
+
+    // Fig. 5: suggestions for all classes.
+    let suggestions = optimizer.suggestions(&project);
+    println!("{}", jepo::core::views::optimizer_view(&suggestions));
+
+    // Apply and report per file.
+    let report = optimizer.apply(&mut project);
+    println!("Applied {} changes:", report.total_changes);
+    for (file, n) in report.per_file.iter().filter(|(_, n)| *n > 0) {
+        println!("  {file}: {n}");
+    }
+    println!("{} suggestions remain after refactoring.", report.remaining.len());
+
+    // The runnable subset still runs, with the same output, cheaper.
+    let mut before_p = corpus::runnable_project();
+    let mut vm_before = Vm::from_project(&before_p).unwrap();
+    let before = vm_before.run_main().unwrap();
+    JepoOptimizer::new().apply(&mut before_p);
+    let mut vm_after = Vm::from_project(&before_p).unwrap();
+    let after = vm_after.run_main().unwrap();
+    assert_eq!(before.stdout, after.stdout);
+    println!(
+        "\nRunnable subset: {:.3} mJ -> {:.3} mJ ({:.2}% improvement), output unchanged.",
+        before.energy.package_j * 1e3,
+        after.energy.package_j * 1e3,
+        jepo::rapl::Measurement::improvement_pct(before.energy.package_j, after.energy.package_j),
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the two halves of JEPO in under a minute.
+//!
+//! 1. **Optimizer** — analyze a dirty Java file, show the suggestions,
+//!    auto-apply the safe refactorings, and show the cleaned source.
+//! 2. **Profiler** — run the same program on the energy-modelled VM
+//!    before and after, and compare measured energy.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use jepo::analyzer::{refactor_unit, RefactorKind};
+use jepo::jvm::Vm;
+
+const DIRTY: &str = r#"class Hot {
+    static int calls;
+
+    static int digitSum(int x) {
+        int s = 0;
+        for (int i = 0; i < 6; i++) {
+            s += x % 10;
+            x /= 10;
+        }
+        calls = calls + 1;
+        return s;
+    }
+
+    static int[] copyAll(int[] src) {
+        int[] dst = new int[src.length];
+        for (int i = 0; i < src.length; i++) { dst[i] = src[i]; }
+        return dst;
+    }
+
+    public static void main(String[] args) {
+        int[] data = new int[2000];
+        for (int i = 0; i < data.length; i++) { data[i] = i * 37; }
+        int[] copy = copyAll(data);
+        long total = 0L;
+        for (int v : copy) {
+            total += digitSum(v) > 10 ? 1 : 0;
+        }
+        System.out.println(total);
+    }
+}"#;
+
+fn main() {
+    // --- static analysis ---
+    let suggestions = jepo::analyzer::analyze_source("Hot.java", DIRTY).unwrap();
+    println!("JEPO found {} suggestions:", suggestions.len());
+    for s in &suggestions {
+        println!("  line {:>3}  {}", s.line, s.message);
+    }
+
+    // --- automatic refactoring ---
+    let mut unit = jepo::jlang::parse_unit(DIRTY).unwrap();
+    let report = refactor_unit(&mut unit, &RefactorKind::SAFE);
+    let clean = jepo::jlang::pretty_print(&unit);
+    println!("\nApplied {} safe refactorings.", report.change_count());
+
+    // --- measure both on the energy-modelled VM ---
+    let mut vm_before = Vm::from_source(DIRTY).unwrap();
+    let before = vm_before.run_main().unwrap();
+    let mut vm_after = Vm::from_source(&clean).unwrap();
+    let after = vm_after.run_main().unwrap();
+    assert_eq!(before.stdout, after.stdout, "behaviour preserved");
+    println!(
+        "\npackage energy: {:.3} mJ -> {:.3} mJ ({:.2}% better), output unchanged ({})",
+        before.energy.package_j * 1e3,
+        after.energy.package_j * 1e3,
+        jepo::rapl::Measurement::improvement_pct(
+            before.energy.package_j,
+            after.energy.package_j
+        ),
+        before.stdout.trim(),
+    );
+}

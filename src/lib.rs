@@ -1,0 +1,45 @@
+//! # jepo — Rust reproduction of *Energy-Efficient Machine Learning on
+//! the Edges* (IPPS 2020)
+//!
+//! The paper's system contribution is **JEPO**, the Java Energy Profiler
+//! & Optimizer: an Eclipse plugin that statically suggests (and applies)
+//! energy-efficiency fixes for eleven Java component categories, and
+//! dynamically measures per-method energy by injecting RAPL-reading
+//! probes into bytecode. This workspace rebuilds the whole system and
+//! every substrate it depends on, from scratch:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`rapl`] (`jepo-rapl`) | RAPL register file, simulator, cost models |
+//! | [`jlang`] (`jepo-jlang`) | Java-subset lexer / parser / printer / project |
+//! | [`jvm`] (`jepo-jvm`) | energy-modelled bytecode VM + probe injection |
+//! | [`analyzer`] (`jepo-analyzer`) | Table I rules, metrics, refactoring |
+//! | [`ml`] (`jepo-ml`) | WEKA substrate: ten classifiers, airlines data |
+//! | [`core`] (`jepo-core`) | JEPO itself + the paper's evaluation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! // Static side: suggestions for a Java file (the Fig. 2 flow).
+//! let suggestions = jepo::analyzer::analyze_source(
+//!     "Hot.java",
+//!     "class Hot { int f(int x) { return x % 10; } }",
+//! ).unwrap();
+//! assert!(!suggestions.is_empty());
+//!
+//! // Dynamic side: profile a project per method (the Fig. 4 flow).
+//! let report = jepo::core::JepoProfiler::new()
+//!     .profile(&jepo::core::corpus::runnable_project())
+//!     .unwrap();
+//! assert!(report.records.iter().any(|r| r.name == "Main.main"));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench` for the table/figure reproduction harnesses.
+
+pub use jepo_analyzer as analyzer;
+pub use jepo_core as core;
+pub use jepo_jlang as jlang;
+pub use jepo_jvm as jvm;
+pub use jepo_ml as ml;
+pub use jepo_rapl as rapl;

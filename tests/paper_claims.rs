@@ -1,0 +1,158 @@
+//! Tests pinning the paper's quantitative claims to the reproduction:
+//! each test cites the sentence it checks.
+
+use jepo::analyzer::JavaComponent;
+use jepo::jvm::Vm;
+
+fn energy(src: &str) -> f64 {
+    let mut vm = Vm::from_source(src).unwrap();
+    vm.run_main().unwrap().energy.package_j
+}
+
+fn main_wrap(decls: &str, body: &str) -> String {
+    format!("class M {{ {decls} public static void main(String[] a) {{ {body} }} }}")
+}
+
+/// "static keyword result in up to 17,700% increase in energy
+/// consumption of variables" — the VM's static accesses must dwarf
+/// instance-field accesses by two orders of magnitude.
+#[test]
+fn claim_static_keyword_is_catastrophic() {
+    let stat = energy(&main_wrap(
+        "static int c;",
+        "for (int i = 0; i < 5000; i++) c = c + 1;",
+    ));
+    let inst = energy(&main_wrap(
+        "int c;",
+        "M m = new M(); for (int i = 0; i < 5000; i++) m.c = m.c + 1;",
+    ));
+    let ratio = stat / inst;
+    assert!(ratio > 20.0, "static/instance energy ratio {ratio:.1}");
+}
+
+/// "Modulus is the most energy-expensive arithmetic operator."
+#[test]
+fn claim_modulus_most_expensive_operator() {
+    let ops = ["+", "-", "*", "/"];
+    let rem = energy(&main_wrap("", "int s = 1; for (int i = 1; i < 9000; i++) s = i % 7;"));
+    for op in ops {
+        let other = energy(&main_wrap(
+            "",
+            &format!("int s = 1; for (int i = 1; i < 9000; i++) s = i {op} 7;"),
+        ));
+        assert!(rem > other, "% must beat `{op}`: {rem} vs {other}");
+    }
+}
+
+/// "StringBuilder append is the best way to concatenate string."
+#[test]
+fn claim_stringbuilder_beats_concat() {
+    let concat = energy(&main_wrap(
+        "",
+        "String s = \"\"; for (int i = 0; i < 300; i++) s = s + \"x\";",
+    ));
+    let builder = energy(&main_wrap(
+        "",
+        "StringBuilder b = new StringBuilder(); for (int i = 0; i < 300; i++) b.append(\"x\");",
+    ));
+    assert!(concat > builder * 2.0, "{concat} vs {builder}");
+}
+
+/// "String comparison method compareTo results in higher energy
+/// consumption than equals method."
+#[test]
+fn claim_compareto_costs_more_than_equals() {
+    let cmp = energy(&main_wrap(
+        "",
+        "int r = 0; for (int i = 0; i < 4000; i++) r = \"abc\".compareTo(\"abd\");",
+    ));
+    let eq = energy(&main_wrap(
+        "",
+        "boolean r = false; for (int i = 0; i < 4000; i++) r = \"abc\".equals(\"abd\");",
+    ));
+    assert!(cmp > eq, "{cmp} vs {eq}");
+}
+
+/// "System.arraycopy() is the best way to copy array."
+#[test]
+fn claim_arraycopy_beats_manual_loop() {
+    let manual = energy(&main_wrap(
+        "",
+        "int[] a = new int[3000]; int[] b = new int[3000];
+         for (int i = 0; i < 3000; i++) b[i] = a[i];",
+    ));
+    let bulk = energy(&main_wrap(
+        "",
+        "int[] a = new int[3000]; int[] b = new int[3000];
+         System.arraycopy(a, 0, b, 0, 3000);",
+    ));
+    assert!(manual > bulk * 2.0, "{manual} vs {bulk}");
+}
+
+/// "Array column traversal is energy expensive than row traversal."
+#[test]
+fn claim_column_traversal_expensive() {
+    let col = energy(&main_wrap(
+        "",
+        "double[][] m = new double[512][512]; double s = 0;
+         for (int j = 0; j < 512; j++) for (int i = 0; i < 512; i++) s += m[i][j];",
+    ));
+    let row = energy(&main_wrap(
+        "",
+        "double[][] m = new double[512][512]; double s = 0;
+         for (int i = 0; i < 512; i++) for (int j = 0; j < 512; j++) s += m[i][j];",
+    ));
+    assert!(col > row * 1.5, "{col} vs {row}");
+}
+
+/// "Ternary operator consumes higher energy than if-then-else option."
+#[test]
+fn claim_ternary_costs_more() {
+    let tern = energy(&main_wrap(
+        "",
+        "int s = 0; for (int i = 0; i < 8000; i++) s = i > 4000 ? 1 : 2;",
+    ));
+    let ifelse = energy(&main_wrap(
+        "",
+        "int s = 0; for (int i = 0; i < 8000; i++) { if (i > 4000) s = 1; else s = 2; }",
+    ));
+    assert!(tern > ifelse, "{tern} vs {ifelse}");
+}
+
+/// Table I is complete: every component has a rule, a suggestion text,
+/// and a worst-case factor consistent with the paper's percentages.
+#[test]
+fn claim_table1_is_complete() {
+    assert_eq!(JavaComponent::ALL.len(), 11);
+    for c in JavaComponent::ALL {
+        assert!(!c.suggestion_text().is_empty());
+        assert!(c.worst_case_factor() >= 1.0);
+    }
+    assert_eq!(JavaComponent::StaticKeyword.worst_case_factor(), 178.0);
+}
+
+/// "The data has 8 attributes and 539,383 instances … We reduce the
+/// number of instances to 10,000" — Table III schema constants.
+#[test]
+fn claim_airlines_schema() {
+    use jepo::ml::data::airlines::*;
+    assert_eq!(AirlinesGenerator::schema().len(), 8);
+    assert_eq!(FULL_SIZE, 539_383);
+    assert_eq!(PAPER_SIZE, 10_000);
+    assert_eq!(NUM_AIRLINES, 18);
+    assert_eq!(NUM_AIRPORTS, 293);
+}
+
+/// "WEKA software has 3373 classes and different classifiers …" — we
+/// reproduce the ten Table II classifiers by name.
+#[test]
+fn claim_ten_classifiers() {
+    use jepo::ml::classifiers::CLASSIFIER_NAMES;
+    assert_eq!(CLASSIFIER_NAMES.len(), 10);
+    for expected in [
+        "J48", "Random Tree", "Random Forest", "REP Tree", "Naive Bayes", "Logistic", "SMO",
+        "SGD", "KStar", "IBk",
+    ] {
+        assert!(CLASSIFIER_NAMES.contains(&expected), "{expected}");
+    }
+}
