@@ -67,7 +67,11 @@ impl DynamicAnalyzer {
                     .filter(|s| !current.contains(s))
                     .cloned()
                     .collect();
-                AnalysisDelta { added, removed, current }
+                AnalysisDelta {
+                    added,
+                    removed,
+                    current,
+                }
             }
             Err(e) => {
                 self.errors.insert(file.to_string(), e);

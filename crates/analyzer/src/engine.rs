@@ -46,8 +46,7 @@ impl Analyzer {
     /// Analyze one parsed unit.
     pub fn analyze_unit(&self, file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
         let ctx = RuleCtx { file, unit };
-        let mut out: Vec<Suggestion> =
-            self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
+        let mut out: Vec<Suggestion> = self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
         out.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
         });
@@ -155,8 +154,10 @@ class Sink {
     #[test]
     fn project_analysis_covers_all_files() {
         let mut p = JavaProject::new();
-        p.add_file("A.java", "class A { int f(int x) { return x % 2; } }").unwrap();
-        p.add_file("B.java", "class B { double d = 0.0001; }").unwrap();
+        p.add_file("A.java", "class A { int f(int x) { return x % 2; } }")
+            .unwrap();
+        p.add_file("B.java", "class B { double d = 0.0001; }")
+            .unwrap();
         let got = analyze_project(&p);
         assert!(got.iter().any(|s| s.file == "A.java"));
         assert!(got.iter().any(|s| s.file == "B.java"));

@@ -59,8 +59,10 @@ pub fn class_metrics(project: &JavaProject, entry_class: &str) -> Option<ClassMe
             }
         }
     }
-    let files: Vec<&SourceFile> =
-        visited_files.iter().map(|&fi| &project.files()[fi]).collect();
+    let files: Vec<&SourceFile> = visited_files
+        .iter()
+        .map(|&fi| &project.files()[fi])
+        .collect();
     let mut deps_classes = BTreeSet::new();
     let mut attributes = 0;
     let mut methods = 0;

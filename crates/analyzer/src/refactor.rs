@@ -10,8 +10,8 @@
 
 use crate::rules::array_copy::match_copy_loop;
 use jepo_jlang::{
-    AssignOp, BinOp, Block, CompilationUnit, Expr, ExprKind, Lit, PrimType, Span, Stmt,
-    StmtKind, Type, UnaryOp,
+    AssignOp, BinOp, Block, CompilationUnit, Expr, ExprKind, Lit, PrimType, Span, Stmt, StmtKind,
+    Type, UnaryOp,
 };
 use serde::{Deserialize, Serialize};
 
@@ -147,7 +147,8 @@ fn stmt_level_rewrite(
         if let Some((dst, src, _)) = match_copy_loop(stmt) {
             if let StmtKind::For { init, cond, .. } = &stmt.kind {
                 if let Some(bound) = copy_loop_bound(init, cond.as_ref()) {
-                    rep.applied.push((RefactorKind::ManualCopyToArrayCopy, line));
+                    rep.applied
+                        .push((RefactorKind::ManualCopyToArrayCopy, line));
                     let call = Expr::new(
                         ExprKind::Call {
                             target: Some(Box::new(Expr::new(
@@ -165,7 +166,10 @@ fn stmt_level_rewrite(
                         },
                         stmt.span,
                     );
-                    return Some(Stmt { kind: StmtKind::Expr(call), span: stmt.span });
+                    return Some(Stmt {
+                        kind: StmtKind::Expr(call),
+                        span: stmt.span,
+                    });
                 }
             }
         }
@@ -217,7 +221,13 @@ fn stmt_level_rewrite(
     }
     // --- column-major nested loops → interchange ---
     if has(kinds, RefactorKind::LoopInterchange) {
-        if let StmtKind::For { init, cond, update, body } = &stmt.kind {
+        if let StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } = &stmt.kind
+        {
             if !crate::rules::array_traversal::column_major_lines(stmt).is_empty() {
                 // Inner loop must be the only statement of the body.
                 let inner = match &body.kind {
@@ -226,7 +236,13 @@ fn stmt_level_rewrite(
                     _ => None,
                 };
                 if let Some(Stmt {
-                    kind: StmtKind::For { init: i2, cond: c2, update: u2, body: b2 },
+                    kind:
+                        StmtKind::For {
+                            init: i2,
+                            cond: c2,
+                            update: u2,
+                            body: b2,
+                        },
                     ..
                 }) = inner
                 {
@@ -306,7 +322,12 @@ fn rewrite_stmt(stmt: &mut Stmt, kinds: &[RefactorKind], rep: &mut RefactorRepor
             rewrite_boxed_stmt(body, kinds, rep);
             rewrite_expr(cond, kinds, rep);
         }
-        StmtKind::For { init, cond, update, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
             for s in init {
                 rewrite_stmt(s, kinds, rep);
             }
@@ -334,7 +355,11 @@ fn rewrite_stmt(stmt: &mut Stmt, kinds: &[RefactorKind], rep: &mut RefactorRepor
                 }
             }
         }
-        StmtKind::Try { body, catches, finally } => {
+        StmtKind::Try {
+            body,
+            catches,
+            finally,
+        } => {
             rewrite_block(body, kinds, rep);
             for (_, _, b) in catches {
                 rewrite_block(b, kinds, rep);
@@ -368,7 +393,10 @@ fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) 
             if parts.len() >= 3 {
                 rep.applied.push((RefactorKind::ConcatToBuilder, line));
                 let mut builder = Expr::new(
-                    ExprKind::New { class: "StringBuilder".into(), args: vec![] },
+                    ExprKind::New {
+                        class: "StringBuilder".into(),
+                        args: vec![],
+                    },
                     e.span,
                 );
                 for p in parts {
@@ -423,7 +451,9 @@ fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) 
                 rewrite_expr(a, kinds, rep);
             }
         }
-        ExprKind::NewArray { elem, dims, init, .. } => {
+        ExprKind::NewArray {
+            elem, dims, init, ..
+        } => {
             rewrite_type(elem, kinds, line, rep);
             for d in dims {
                 rewrite_expr(d, kinds, rep);
@@ -443,7 +473,10 @@ fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) 
     }
     // --- scientific notation ---
     if has(kinds, RefactorKind::ScientificNotation) {
-        if let ExprKind::Literal(Lit::Float { value, scientific, .. }) = &mut e.kind {
+        if let ExprKind::Literal(Lit::Float {
+            value, scientific, ..
+        }) = &mut e.kind
+        {
             let a = value.abs();
             if !*scientific && a != 0.0 && !(0.001..10_000.0).contains(&a) {
                 *scientific = true;
@@ -457,9 +490,14 @@ fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) 
             ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne), l, r) => {
                 let zero = matches!(r.kind, ExprKind::Literal(Lit::Int { value: 0, .. }));
                 match (&l.kind, zero) {
-                    (ExprKind::Call { target: Some(t), name, args }, true)
-                        if name == "compareTo" && args.len() == 1 =>
-                    {
+                    (
+                        ExprKind::Call {
+                            target: Some(t),
+                            name,
+                            args,
+                        },
+                        true,
+                    ) if name == "compareTo" && args.len() == 1 => {
                         Some((*op, t.clone(), args[0].clone()))
                     }
                     _ => None,
@@ -470,7 +508,11 @@ fn rewrite_expr(e: &mut Expr, kinds: &[RefactorKind], rep: &mut RefactorReport) 
         if let Some((op, target, arg)) = rewrite {
             rep.applied.push((RefactorKind::CompareToToEquals, line));
             let equals = Expr::new(
-                ExprKind::Call { target: Some(target), name: "equals".into(), args: vec![arg] },
+                ExprKind::Call {
+                    target: Some(target),
+                    name: "equals".into(),
+                    args: vec![arg],
+                },
                 e.span,
             );
             e.kind = if op == BinOp::Eq {
@@ -516,7 +558,13 @@ fn name_expr(name: &str, span: Span) -> Expr {
 }
 
 fn int_expr(v: i64, span: Span) -> Expr {
-    Expr::new(ExprKind::Literal(Lit::Int { value: v, long: false }), span)
+    Expr::new(
+        ExprKind::Literal(Lit::Int {
+            value: v,
+            long: false,
+        }),
+        span,
+    )
 }
 
 #[cfg(test)]
@@ -622,8 +670,10 @@ mod tests {
             &[RefactorKind::ScientificNotation],
         );
         assert_eq!(rep.change_count(), 1);
-        assert!(out.contains("1.5e6") || out.contains("1.5E6") || out.contains("e6"),
-            "{out}");
+        assert!(
+            out.contains("1.5e6") || out.contains("1.5E6") || out.contains("e6"),
+            "{out}"
+        );
         assert!(out.contains("0.5"));
     }
 
@@ -652,7 +702,10 @@ mod tests {
     fn aggressive_demotions_rewrite_types() {
         let (out, rep) = apply(
             "class A { double x; long y; double f(double d, long l) { double t = d; return t; } }",
-            &[RefactorKind::DemoteDoubleToFloat, RefactorKind::DemoteLongToInt],
+            &[
+                RefactorKind::DemoteDoubleToFloat,
+                RefactorKind::DemoteLongToInt,
+            ],
         );
         assert!(rep.count_of(RefactorKind::DemoteDoubleToFloat) >= 4);
         assert!(rep.count_of(RefactorKind::DemoteLongToInt) >= 2);

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn other_operators_are_fine() {
-        assert!(run_rule(&ArithmeticOperatorsRule, "class A { int f(int x) { return x * 2 + 1; } }")
-            .is_empty());
+        assert!(run_rule(
+            &ArithmeticOperatorsRule,
+            "class A { int f(int x) { return x * 2 + 1; } }"
+        )
+        .is_empty());
     }
 }

@@ -68,15 +68,16 @@ impl Rule for ExceptionInLoopRule {
         for_each_loop_expr(ctx, |c, e| {
             if let ExprKind::New { class, .. } = &e.kind {
                 if (class.ends_with("Exception") || class.ends_with("Error"))
-                    && seen.insert(e.span.line) {
-                        out.push(Suggestion::new(
-                            ctx.file,
-                            &ctx.class_name(c),
-                            e.span.line,
-                            self.component(),
-                            printer::print_expr(e),
-                        ));
-                    }
+                    && seen.insert(e.span.line)
+                {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        printer::print_expr(e),
+                    ));
+                }
             }
         });
         out
@@ -106,7 +107,9 @@ impl Rule for ObjectCreationInLoopRule {
                 loop_vars.push(name.clone());
             }
             jepo_jlang::walk_stmt_exprs(body, &mut |e| {
-                let ExprKind::New { class, args } = &e.kind else { return };
+                let ExprKind::New { class, args } = &e.kind else {
+                    return;
+                };
                 if class.ends_with("Exception") || class.ends_with("Error") {
                     return; // covered by the exception rule
                 }

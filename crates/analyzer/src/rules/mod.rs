@@ -6,10 +6,10 @@
 //! syntactic, so an AST match is the same check with fewer false
 //! positives.
 
-pub mod array_copy;
-pub mod extended;
-pub mod array_traversal;
 pub mod arithmetic_operators;
+pub mod array_copy;
+pub mod array_traversal;
+pub mod extended;
 pub mod primitive_types;
 pub mod scientific_notation;
 pub mod short_circuit;
@@ -159,7 +159,10 @@ pub(crate) mod testutil {
     /// Run a single rule over a source snippet.
     pub fn run_rule(rule: &dyn Rule, src: &str) -> Vec<Suggestion> {
         let unit = jepo_jlang::parse_unit(src).unwrap_or_else(|e| panic!("{e}"));
-        let ctx = RuleCtx { file: "Test.java", unit: &unit };
+        let ctx = RuleCtx {
+            file: "Test.java",
+            unit: &unit,
+        };
         rule.check(&ctx)
     }
 
@@ -191,7 +194,10 @@ mod tests {
             "class A { String f; void m(String p) { String l = \"\"; int n = 0; } }",
         )
         .unwrap();
-        let ctx = RuleCtx { file: "A.java", unit: &unit };
+        let ctx = RuleCtx {
+            file: "A.java",
+            unit: &unit,
+        };
         let names = ctx.string_names(&unit.types[0]);
         assert!(names.contains("f") && names.contains("p") && names.contains("l"));
         assert!(!names.contains("n"));

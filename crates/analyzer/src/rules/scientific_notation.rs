@@ -25,7 +25,12 @@ impl Rule for ScientificNotationRule {
     fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
         let mut out = Vec::new();
         ctx.for_each_expr(|c, e| {
-            if let ExprKind::Literal(Lit::Float { value, scientific: false, .. }) = &e.kind {
+            if let ExprKind::Literal(Lit::Float {
+                value,
+                scientific: false,
+                ..
+            }) = &e.kind
+            {
                 if benefits(*value) {
                     out.push(Suggestion::new(
                         ctx.file,

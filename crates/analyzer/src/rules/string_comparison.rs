@@ -18,7 +18,12 @@ impl Rule for StringComparisonRule {
     fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
         let mut out = Vec::new();
         ctx.for_each_expr(|c, e| {
-            if let ExprKind::Call { name, target: Some(_), args } = &e.kind {
+            if let ExprKind::Call {
+                name,
+                target: Some(_),
+                args,
+            } = &e.kind
+            {
                 if name == "compareTo" && args.len() == 1 {
                     out.push(Suggestion::new(
                         ctx.file,

@@ -13,9 +13,7 @@ fn is_stringish(e: &Expr, strings: &HashSet<String>) -> bool {
     match &e.kind {
         ExprKind::Literal(Lit::Str(_)) => true,
         ExprKind::Name(n) => strings.contains(n),
-        ExprKind::Binary(BinOp::Add, l, r) => {
-            is_stringish(l, strings) || is_stringish(r, strings)
-        }
+        ExprKind::Binary(BinOp::Add, l, r) => is_stringish(l, strings) || is_stringish(r, strings),
         _ => false,
     }
 }
@@ -106,13 +104,19 @@ mod tests {
 
     #[test]
     fn numeric_addition_is_fine() {
-        assert!(run_rule(&StringConcatRule, "class A { int f(int a, int b) { return a + b; } }")
-            .is_empty());
+        assert!(run_rule(
+            &StringConcatRule,
+            "class A { int f(int a, int b) { return a + b; } }"
+        )
+        .is_empty());
     }
 
     #[test]
     fn string_literal_concat_detected_without_declarations() {
-        let got = run_rule(&StringConcatRule, "class A { void m(int n) { String s = \"v=\" + n; } }");
+        let got = run_rule(
+            &StringConcatRule,
+            "class A { void m(int n) { String s = \"v=\" + n; } }",
+        );
         assert_eq!(got.len(), 1);
     }
 }

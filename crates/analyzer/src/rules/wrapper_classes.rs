@@ -4,8 +4,15 @@ use super::{Rule, RuleCtx};
 use crate::suggestion::{JavaComponent, Suggestion};
 use jepo_jlang::{printer, StmtKind, Type};
 
-const WRAPPERS: [&str; 7] =
-    ["Long", "Double", "Float", "Short", "Byte", "Character", "Boolean"];
+const WRAPPERS: [&str; 7] = [
+    "Long",
+    "Double",
+    "Float",
+    "Short",
+    "Byte",
+    "Character",
+    "Boolean",
+];
 
 fn non_integer_wrapper(ty: &Type) -> Option<&str> {
     match ty {
@@ -73,7 +80,10 @@ mod tests {
 
     #[test]
     fn integer_and_primitives_are_fine() {
-        assert!(run_rule(&WrapperClassesRule, "class A { Integer i; int j; double d; }")
-            .is_empty());
+        assert!(run_rule(
+            &WrapperClassesRule,
+            "class A { Integer i; int j; double d; }"
+        )
+        .is_empty());
     }
 }

@@ -133,19 +133,19 @@ impl JavaComponent {
     /// inefficient form relative to the efficient one (1.0 = no claim).
     pub fn worst_case_factor(self) -> f64 {
         match self {
-            JavaComponent::StaticKeyword => 178.0,        // +17,700%
-            JavaComponent::ArithmeticOperators => 17.2,   // +1,620%
-            JavaComponent::ArrayTraversal => 8.93,        // +793%
-            JavaComponent::TernaryOperator => 1.37,       // +37%
-            JavaComponent::StringComparison => 1.33,      // +33%
-            JavaComponent::StringConcatenation => 8.8,    // "much lower"
-            JavaComponent::ArraysCopy => 7.4,             // manual vs bulk
-            JavaComponent::PrimitiveDataTypes => 2.2,     // double vs int ALU
-            JavaComponent::WrapperClasses => 1.35,        // non-Integer surcharge
-            JavaComponent::ScientificNotation => 1.46,    // plain vs sci constant
-            JavaComponent::ShortCircuitOperator => 1.0,   // workload-dependent
-            JavaComponent::ExceptionUsage => 640.0,       // ExceptionThrow vs IntAlu
-            JavaComponent::ObjectCreation => 42.0,        // Alloc vs IntAlu
+            JavaComponent::StaticKeyword => 178.0,      // +17,700%
+            JavaComponent::ArithmeticOperators => 17.2, // +1,620%
+            JavaComponent::ArrayTraversal => 8.93,      // +793%
+            JavaComponent::TernaryOperator => 1.37,     // +37%
+            JavaComponent::StringComparison => 1.33,    // +33%
+            JavaComponent::StringConcatenation => 8.8,  // "much lower"
+            JavaComponent::ArraysCopy => 7.4,           // manual vs bulk
+            JavaComponent::PrimitiveDataTypes => 2.2,   // double vs int ALU
+            JavaComponent::WrapperClasses => 1.35,      // non-Integer surcharge
+            JavaComponent::ScientificNotation => 1.46,  // plain vs sci constant
+            JavaComponent::ShortCircuitOperator => 1.0, // workload-dependent
+            JavaComponent::ExceptionUsage => 640.0,     // ExceptionThrow vs IntAlu
+            JavaComponent::ObjectCreation => 42.0,      // Alloc vs IntAlu
         }
     }
 }
@@ -213,7 +213,13 @@ mod tests {
 
     #[test]
     fn suggestion_carries_pool_text() {
-        let s = Suggestion::new("A.java", "A", 3, JavaComponent::ArithmeticOperators, "x % 2");
+        let s = Suggestion::new(
+            "A.java",
+            "A",
+            3,
+            JavaComponent::ArithmeticOperators,
+            "x % 2",
+        );
         assert!(s.message.contains("1,620%"));
         assert_eq!(s.line, 3);
     }

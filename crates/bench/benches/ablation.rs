@@ -13,17 +13,27 @@ use jepo_rapl::{CostModel, Measurement};
 /// and prints the ablation table (criterion is the workspace's bench
 /// runner; `--bin dimensions` offers the standalone variant).
 fn ablation_report(_c: &mut Criterion) {
-    let exp = WekaExperiment { instances: 600, folds: 4, ..Default::default() };
+    let exp = WekaExperiment {
+        instances: 600,
+        folds: 4,
+        ..Default::default()
+    };
     let data = exp.dataset();
     let (base, _) = exp.measure("Random Forest", EfficiencyProfile::baseline(), &data);
     let (opt, _) = exp.measure("Random Forest", EfficiencyProfile::optimized(), &data);
     let full = Measurement::improvement_pct(base.package_j, opt.package_j);
     println!("\nAblation (Random Forest, 600 instances): full improvement {full:.2}%");
     for dim in EfficiencyProfile::DIMENSIONS {
-        let (partial, _) =
-            exp.measure("Random Forest", EfficiencyProfile::optimized_except(dim), &data);
+        let (partial, _) = exp.measure(
+            "Random Forest",
+            EfficiencyProfile::optimized_except(dim),
+            &data,
+        );
         let pct = Measurement::improvement_pct(base.package_j, partial.package_j);
-        println!("  without `{dim}` fix: {pct:.2}% (lost {:.2} pp)", full - pct);
+        println!(
+            "  without `{dim}` fix: {pct:.2}% (lost {:.2} pp)",
+            full - pct
+        );
     }
     // Cost-model ablation: with uniform per-op costs the improvement
     // collapses — Table IV depends on cost heterogeneity.

@@ -14,7 +14,9 @@ fn bench_analysis(c: &mut Criterion) {
     group.bench_function("dynamic_single_file", |b| {
         let mut da = DynamicAnalyzer::new();
         b.iter(|| {
-            da.update("MathUtils.java", jepo_core::corpus::MATH_UTILS).current.len()
+            da.update("MathUtils.java", jepo_core::corpus::MATH_UTILS)
+                .current
+                .len()
         });
     });
     group.bench_function("refactor_project", |b| {

@@ -31,10 +31,12 @@ fn bench_interpreter(c: &mut Criterion) {
     });
     group.bench_function("cache_model_off", |b| {
         b.iter(|| {
-            let mut vm = Vm::from_source(HOT_LOOP).unwrap().with_settings(EnergySettings {
-                cache_enabled: false,
-                ..Default::default()
-            });
+            let mut vm = Vm::from_source(HOT_LOOP)
+                .unwrap()
+                .with_settings(EnergySettings {
+                    cache_enabled: false,
+                    ..Default::default()
+                });
             vm.run_main().unwrap().ops_executed
         });
     });

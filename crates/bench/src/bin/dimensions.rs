@@ -14,16 +14,24 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let classifier = args.next().unwrap_or_else(|| "Random Forest".into());
     let instances: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1_000);
-    let exp = WekaExperiment { instances, folds: 5, ..Default::default() };
+    let exp = WekaExperiment {
+        instances,
+        folds: 5,
+        ..Default::default()
+    };
     let data = exp.dataset();
     let (base, _) = exp.measure(&classifier, EfficiencyProfile::baseline(), &data);
     let (opt, _) = exp.measure(&classifier, EfficiencyProfile::optimized(), &data);
     let full = Measurement::improvement_pct(base.package_j, opt.package_j);
     println!("{classifier}: full optimization improves package energy by {full:.2}%");
-    println!("{:<18} {:>24}", "dimension reverted", "improvement remaining");
+    println!(
+        "{:<18} {:>24}",
+        "dimension reverted", "improvement remaining"
+    );
     println!("{}", "-".repeat(44));
     for dim in EfficiencyProfile::DIMENSIONS {
-        let (partial, _) = exp.measure(&classifier, EfficiencyProfile::optimized_except(dim), &data);
+        let (partial, _) =
+            exp.measure(&classifier, EfficiencyProfile::optimized_except(dim), &data);
         let pct = Measurement::improvement_pct(base.package_j, partial.package_j);
         println!("{dim:<18} {pct:>23.2}%");
     }

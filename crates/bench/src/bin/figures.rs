@@ -40,8 +40,8 @@ fn fig4() {
 
 fn fig5() {
     jepo_bench::banner("Fig. 5 — optimizer view (all classes of the project)");
-    let project = corpus::full_corpus();
-    print!("{}", JepoOptimizer::new().view(&project));
+    let project = corpus::shared_corpus();
+    print!("{}", JepoOptimizer::new().view(project));
 }
 
 fn main() {

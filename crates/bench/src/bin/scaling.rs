@@ -8,22 +8,47 @@
 //! package-energy improvement at each scale — the trend (bigger data →
 //! bigger matrices → bigger improvement) must be non-decreasing.
 //!
-//! Usage: `scaling [classifier]` (default "Random Forest").
+//! Usage: `scaling [classifier] [--jobs N]` (default "J48", 1 worker).
+//! `--jobs` fans the CV folds of each measurement out over N workers
+//! (0 = one per core); the measurements are bit-identical for every N.
 
 use jepo_core::WekaExperiment;
 use jepo_ml::EfficiencyProfile;
 use jepo_rapl::Measurement;
 
 fn main() {
-    let classifier = std::env::args().nth(1).unwrap_or_else(|| "J48".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let classifier = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let jobs_at = args.iter().position(|x| x == "--jobs");
+            jobs_at.is_none_or(|j| *i != j && *i != j + 1) && !a.starts_with("--")
+        })
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "J48".into());
     println!("Improvement vs dataset size — {classifier}\n");
-    println!("{:>10} {:>16} {:>16} {:>14}", "instances", "baseline (J)", "optimized (J)", "improvement");
+    println!(
+        "{:>10} {:>16} {:>16} {:>14}",
+        "instances", "baseline (J)", "optimized (J)", "improvement"
+    );
     println!("{}", "-".repeat(60));
     for &n in &[250usize, 500, 1_000, 2_000, 4_000] {
-        let exp = WekaExperiment { instances: n, folds: 5, ..Default::default() };
+        let exp = WekaExperiment {
+            instances: n,
+            folds: 5,
+            ..Default::default()
+        };
         let data = exp.dataset();
-        let (base, _) = exp.measure(&classifier, EfficiencyProfile::baseline(), &data);
-        let (opt, _) = exp.measure(&classifier, EfficiencyProfile::optimized(), &data);
+        let (base, _) = exp.measure_jobs(&classifier, EfficiencyProfile::baseline(), &data, jobs);
+        let (opt, _) = exp.measure_jobs(&classifier, EfficiencyProfile::optimized(), &data, jobs);
         let pct = Measurement::improvement_pct(base.package_j, opt.package_j);
         println!(
             "{:>10} {:>16.4} {:>16.4} {:>13.2}%",

@@ -211,7 +211,10 @@ fn microbenches() -> Vec<Micro> {
 
 fn energy_of(src: &str) -> f64 {
     let mut vm = Vm::from_source(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-    vm.run_main().unwrap_or_else(|e| panic!("{e}")).energy.package_j
+    vm.run_main()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .energy
+        .package_j
 }
 
 fn main() {
@@ -224,7 +227,11 @@ fn main() {
     println!("{}", "-".repeat(66));
     for m in microbenches() {
         let ovh = energy_of(&m.overhead);
-        let ovh_good = m.overhead_efficient.as_ref().map(|p| energy_of(p)).unwrap_or(ovh);
+        let ovh_good = m
+            .overhead_efficient
+            .as_ref()
+            .map(|p| energy_of(p))
+            .unwrap_or(ovh);
         let bad = (energy_of(&m.inefficient) - ovh).max(1e-12);
         let good = (energy_of(&m.efficient) - ovh_good).max(1e-12);
         let ratio = bad / good;

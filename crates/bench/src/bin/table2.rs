@@ -8,10 +8,10 @@ use jepo_analyzer::metrics::class_metrics;
 use jepo_core::corpus;
 
 fn main() {
-    let project = corpus::full_corpus();
+    let project = corpus::shared_corpus();
     let metrics: Vec<_> = corpus::ENTRY_CLASSES
         .iter()
-        .filter_map(|e| class_metrics(&project, e))
+        .filter_map(|e| class_metrics(project, e))
         .collect();
     println!("{}", jepo_core::report::table2(&metrics));
     println!(

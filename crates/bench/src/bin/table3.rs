@@ -3,7 +3,9 @@
 //! 18 airlines, 293 airports, 539,383 instances in the original file,
 //! 10,000 used by the paper).
 
-use jepo_ml::data::airlines::{AirlinesGenerator, FULL_SIZE, NUM_AIRLINES, NUM_AIRPORTS, PAPER_SIZE};
+use jepo_ml::data::airlines::{
+    AirlinesGenerator, FULL_SIZE, NUM_AIRLINES, NUM_AIRPORTS, PAPER_SIZE,
+};
 
 fn main() {
     println!("{}", jepo_core::report::table3());

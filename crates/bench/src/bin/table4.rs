@@ -5,28 +5,150 @@
 //! flows through the calibrated cost/latency models into the simulated
 //! RAPL device; the §VIII Tukey protocol produces the means.
 //!
-//! Usage: `table4 [instances] [folds]` (defaults 2000, 10; the paper
-//! used 10,000 — pass it explicitly if you have a few minutes).
+//! With `--jobs N` the ten classifier rows fan out over N workers
+//! (0 = one per core). The runner is deterministic: before reporting,
+//! this harness re-runs the table sequentially, verifies the parallel
+//! output is bit-identical, and records both wall-clock times plus the
+//! speedup in `BENCH_table4.json`.
+//!
+//! Usage: `table4 [instances] [folds] [--jobs N]` (defaults 2000, 10, 1;
+//! the paper used 10,000 instances — pass it explicitly if you have a
+//! few minutes).
 
-use jepo_core::{report, WekaExperiment};
+use jepo_core::{report, ClassifierResult, WekaExperiment};
+use std::time::Instant;
+
+/// Bitwise equality of two result sets (f64s compared by bits — the
+/// determinism contract is *identical output*, not merely close).
+fn bit_identical(a: &[ClassifierResult], b: &[ClassifierResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.changes == y.changes
+                && x.converged == y.converged
+                && [
+                    (x.package_improvement_pct, y.package_improvement_pct),
+                    (x.cpu_improvement_pct, y.cpu_improvement_pct),
+                    (x.time_improvement_pct, y.time_improvement_pct),
+                    (x.accuracy_baseline, y.accuracy_baseline),
+                    (x.accuracy_optimized, y.accuracy_optimized),
+                    (x.baseline.package_j, y.baseline.package_j),
+                    (x.baseline.seconds, y.baseline.seconds),
+                    (x.optimized.package_j, y.optimized.package_j),
+                    (x.optimized.seconds, y.optimized.seconds),
+                ]
+                .iter()
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no JSON dependency).
+fn bench_json(
+    instances: usize,
+    folds: usize,
+    jobs: usize,
+    seq_secs: f64,
+    par_secs: f64,
+    identical: bool,
+    results: &[ClassifierResult],
+) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"classifier\": \"{}\", \"changes\": {}, \
+             \"package_improvement_pct\": {:.6}, \"cpu_improvement_pct\": {:.6}, \
+             \"time_improvement_pct\": {:.6}, \"accuracy_drop_pct\": {:.6}, \
+             \"converged\": {}}}",
+            r.name,
+            r.changes,
+            r.package_improvement_pct,
+            r.cpu_improvement_pct,
+            r.time_improvement_pct,
+            r.accuracy_drop_pct,
+            r.converged
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"table4\",\n  \"instances\": {instances},\n  \
+         \"folds\": {folds},\n  \"jobs\": {jobs},\n  \
+         \"sequential_secs\": {seq_secs:.3},\n  \"parallel_secs\": {par_secs:.3},\n  \
+         \"speedup\": {:.3},\n  \"bit_identical_to_sequential\": {identical},\n  \
+         \"available_cores\": {},\n  \"rows\": [{rows}\n  ]\n}}\n",
+        seq_secs / par_secs.max(1e-9),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let instances: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
-    let folds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
-    let exp = WekaExperiment { instances, folds, ..Default::default() };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let positional: Vec<&String> = {
+        let jobs_at = args.iter().position(|a| a == "--jobs");
+        args.iter()
+            .enumerate()
+            .filter(|(i, _)| jobs_at.is_none_or(|j| *i != j && *i != j + 1))
+            .map(|(_, a)| a)
+            .collect()
+    };
+    let instances: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let folds: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let exp = WekaExperiment {
+        instances,
+        folds,
+        ..Default::default()
+    };
+    let effective = jepo_pool::effective_jobs(jobs);
     eprintln!(
-        "Running {} classifiers × 2 profiles, {instances} instances, {folds}-fold CV…",
+        "Running {} classifiers × 2 profiles, {instances} instances, {folds}-fold CV, \
+         {effective} worker(s)…",
         jepo_ml::classifiers::CLASSIFIER_NAMES.len()
     );
-    let mut results = Vec::new();
-    let data = exp.dataset();
-    for name in jepo_ml::classifiers::CLASSIFIER_NAMES {
-        eprintln!("  {name}…");
-        results.push(exp.run_classifier(name, &data));
-    }
+
+    let t = Instant::now();
+    let results = exp.run_all_jobs(jobs);
+    let par_secs = t.elapsed().as_secs_f64();
+
+    eprintln!("Verifying against the sequential run…");
+    let t = Instant::now();
+    let sequential = exp.run_all_jobs(1);
+    let seq_secs = t.elapsed().as_secs_f64();
+    let identical = bit_identical(&results, &sequential);
+
     println!("{}", report::table4(&results));
     println!("Paper reference (i5-3317U, 10,000 instances): Random Forest best at");
     println!("14.46% package / 14.19% CPU / 12.93% time; Random Tree worst accuracy drop 0.48%.");
+    println!(
+        "\nWall clock: sequential {seq_secs:.2}s, {effective} worker(s) {par_secs:.2}s \
+         (speedup {:.2}×); parallel output bit-identical: {identical}",
+        seq_secs / par_secs.max(1e-9)
+    );
+    if !identical {
+        eprintln!("ERROR: parallel run diverged from the sequential run");
+    }
+
+    let json = bench_json(
+        instances, folds, effective, seq_secs, par_secs, identical, &results,
+    );
+    let path = "BENCH_table4.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path}."),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
     println!("\nMarkdown:\n{}", report::table4_markdown(&results));
+    if !identical {
+        std::process::exit(1);
+    }
 }

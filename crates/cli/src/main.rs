@@ -11,7 +11,10 @@
 //! jepo profile  <dir|file> [--main Class]
 //!                                   instrument + run + per-method energy (Fig. 4)
 //! jepo metrics  <dir> <Class...>    Table II metrics for entry classes
-//! jepo table4   [instances] [folds] the WEKA evaluation
+//! jepo table4   [instances] [folds] [--jobs N]
+//!                                   the WEKA evaluation (N workers;
+//!                                   0 = one per core; output is
+//!                                   identical for every N)
 //! ```
 
 use jepo_core::{corpus, JepoOptimizer, JepoProfiler, WekaExperiment};
@@ -27,7 +30,7 @@ fn usage() -> ExitCode {
          jepo optimize <dir|file> [--write] [--aggressive]\n  \
          jepo profile  <dir|file> [--main <Class>]\n  \
          jepo metrics  <dir> <Class> [<Class>...]\n  \
-         jepo table4   [instances] [folds]\n  \
+         jepo table4   [instances] [folds] [--jobs <N>]\n  \
          jepo demo     (run the bundled mini-WEKA end to end)"
     );
     ExitCode::from(2)
@@ -70,7 +73,10 @@ fn load_project(root: &Path) -> Result<JavaProject, String> {
             .to_string_lossy()
             .into_owned();
         let name = if rel.is_empty() {
-            f.file_name().unwrap_or_default().to_string_lossy().into_owned()
+            f.file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned()
         } else {
             rel
         };
@@ -87,7 +93,11 @@ fn cmd_analyze(path: &Path) -> Result<(), String> {
         return Ok(());
     }
     print!("{}", jepo_core::views::optimizer_view(&suggestions));
-    println!("\n{} suggestions across {} files.", suggestions.len(), project.len());
+    println!(
+        "\n{} suggestions across {} files.",
+        suggestions.len(),
+        project.len()
+    );
     Ok(())
 }
 
@@ -100,11 +110,18 @@ fn cmd_optimize(path: &Path, write: bool, aggressive: bool) -> Result<(), String
         println!("  {file}: {n}");
     }
     if write {
-        let root = if path.is_file() { path.parent().unwrap_or(path) } else { path };
+        let root = if path.is_file() {
+            path.parent().unwrap_or(path)
+        } else {
+            path
+        };
         for f in project.files() {
-            let target = if path.is_file() { path.to_path_buf() } else { root.join(&f.name) };
-            std::fs::write(&target, &f.text)
-                .map_err(|e| format!("{}: {e}", target.display()))?;
+            let target = if path.is_file() {
+                path.to_path_buf()
+            } else {
+                root.join(&f.name)
+            };
+            std::fs::write(&target, &f.text).map_err(|e| format!("{}: {e}", target.display()))?;
         }
         println!("Wrote refactored sources back to {}.", root.display());
     } else {
@@ -128,7 +145,11 @@ fn cmd_profile(path: &Path, chosen_main: Option<String>) -> Result<(), String> {
     );
     print!("{}", report.view());
     // result.txt next to the project, as the plugin does (§VII).
-    let root = if path.is_file() { path.parent().unwrap_or(path) } else { path };
+    let root = if path.is_file() {
+        path.parent().unwrap_or(path)
+    } else {
+        path
+    };
     let result_path = root.join("result.txt");
     std::fs::write(&result_path, &report.result_txt)
         .map_err(|e| format!("{}: {e}", result_path.display()))?;
@@ -150,18 +171,26 @@ fn cmd_metrics(path: &Path, entries: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table4(instances: usize, folds: usize) -> Result<(), String> {
-    let exp = WekaExperiment { instances, folds, ..Default::default() };
-    let results = exp.run_all();
+fn cmd_table4(instances: usize, folds: usize, jobs: usize) -> Result<(), String> {
+    let exp = WekaExperiment {
+        instances,
+        folds,
+        ..Default::default()
+    };
+    let results = exp.run_all_jobs(jobs);
     print!("{}", jepo_core::report::table4(&results));
     Ok(())
 }
 
 fn cmd_demo() -> Result<(), String> {
     println!("== Optimizer over the bundled mini-WEKA ==\n");
-    let project = corpus::full_corpus();
-    let suggestions = JepoOptimizer::new().suggestions(&project);
-    println!("{} suggestions across {} classes.", suggestions.len(), project.class_count());
+    let project = corpus::shared_corpus();
+    let suggestions = JepoOptimizer::new().suggestions(project);
+    println!(
+        "{} suggestions across {} classes.",
+        suggestions.len(),
+        project.class_count()
+    );
     println!("\n== Profiler over the runnable subset ==\n");
     let report = JepoProfiler::new()
         .profile(&corpus::runnable_project())
@@ -201,15 +230,31 @@ fn main() -> ExitCode {
             None => return usage(),
         },
         "metrics" => match rest.split_first() {
-            Some((p, entries)) if !entries.is_empty() => {
-                cmd_metrics(Path::new(p), entries)
-            }
+            Some((p, entries)) if !entries.is_empty() => cmd_metrics(Path::new(p), entries),
             _ => return usage(),
         },
         "table4" => {
-            let instances = rest.first().and_then(|s| s.parse().ok()).unwrap_or(2_000);
-            let folds = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-            cmd_table4(instances, folds)
+            let jobs = match rest.iter().position(|a| a == "--jobs") {
+                Some(i) => match rest.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                },
+                None => 1,
+            };
+            let positional: Vec<&String> = {
+                let jobs_at = rest.iter().position(|a| a == "--jobs");
+                rest.iter()
+                    .enumerate()
+                    .filter(|(i, _)| jobs_at.is_none_or(|j| *i != j && *i != j + 1))
+                    .map(|(_, a)| a)
+                    .collect()
+            };
+            let instances = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2_000);
+            let folds = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+            cmd_table4(instances, folds, jobs)
         }
         "demo" => cmd_demo(),
         _ => return usage(),

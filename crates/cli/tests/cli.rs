@@ -39,8 +39,15 @@ fn temp_project(tag: &str) -> PathBuf {
 #[test]
 fn analyze_reports_suggestions_with_lines() {
     let dir = temp_project("analyze");
-    let out = jepo().args(["analyze", dir.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = jepo()
+        .args(["analyze", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Modulus"), "{stdout}");
     assert!(stdout.contains("Ternary"), "{stdout}");
@@ -53,15 +60,25 @@ fn optimize_dry_run_then_write() {
     let dir = temp_project("optimize");
     let before = fs::read_to_string(dir.join("util/Calc.java")).unwrap();
     // Dry run: no change on disk.
-    let out = jepo().args(["optimize", dir.to_str().unwrap()]).output().unwrap();
+    let out = jepo()
+        .args(["optimize", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
-    assert_eq!(before, fs::read_to_string(dir.join("util/Calc.java")).unwrap());
+    assert_eq!(
+        before,
+        fs::read_to_string(dir.join("util/Calc.java")).unwrap()
+    );
     // --write rewrites the ternary into if/else.
     let out = jepo()
         .args(["optimize", dir.to_str().unwrap(), "--write"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let after = fs::read_to_string(dir.join("util/Calc.java")).unwrap();
     assert_ne!(before, after);
     assert!(!after.contains('?'), "ternary refactored away:\n{after}");
@@ -71,8 +88,15 @@ fn optimize_dry_run_then_write() {
 #[test]
 fn profile_runs_and_writes_result_txt() {
     let dir = temp_project("profile");
-    let out = jepo().args(["profile", dir.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = jepo()
+        .args(["profile", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Calc.mod"), "{stdout}");
     assert!(stdout.contains("Energy Consumed"), "{stdout}");
@@ -88,7 +112,11 @@ fn metrics_prints_table2_columns() {
         .args(["metrics", dir.to_str().unwrap(), "Main", "Calc"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Dependencies"));
     assert!(stdout.contains("Main"));
@@ -99,7 +127,10 @@ fn metrics_prints_table2_columns() {
 fn bad_usage_exits_nonzero() {
     let out = jepo().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = jepo().args(["analyze", "/nonexistent/nowhere"]).output().unwrap();
+    let out = jepo()
+        .args(["analyze", "/nonexistent/nowhere"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -108,8 +139,15 @@ fn optimized_profile_costs_less_on_disk_roundtrip() {
     // Full CLI loop: profile → optimize --write → profile again.
     let dir = temp_project("roundtrip");
     let energy = |dir: &PathBuf| -> f64 {
-        let out = jepo().args(["profile", dir.to_str().unwrap()]).output().unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let out = jepo()
+            .args(["profile", dir.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         let total_line = stdout.lines().find(|l| l.contains("| total")).unwrap();
         total_line

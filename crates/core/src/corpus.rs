@@ -253,27 +253,74 @@ public class {name} {{
     )
 }
 
+/// The full corpus, parsed once per process and shared from then on.
+///
+/// The experiment harness consults the corpus for every classifier's
+/// change count; re-parsing fourteen files per Table IV row was pure
+/// waste and, worse, per-worker waste once rows fan out over threads.
+/// All readers share this one immutable parse instead.
+pub fn shared_corpus() -> &'static JavaProject {
+    static CORPUS: std::sync::OnceLock<JavaProject> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(full_corpus)
+}
+
 /// Build the full corpus: shared core + all ten classifiers + Main.
 pub fn full_corpus() -> JavaProject {
     let mut p = JavaProject::new();
-    p.add_file("weka/core/MathUtils.java", MATH_UTILS).expect("corpus parses");
-    p.add_file("weka/core/Instances.java", INSTANCES).expect("corpus parses");
-    p.add_file("weka/core/StringUtils.java", STRING_UTILS).expect("corpus parses");
-    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES).expect("corpus parses");
+    p.add_file("weka/core/MathUtils.java", MATH_UTILS)
+        .expect("corpus parses");
+    p.add_file("weka/core/Instances.java", INSTANCES)
+        .expect("corpus parses");
+    p.add_file("weka/core/StringUtils.java", STRING_UTILS)
+        .expect("corpus parses");
+    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES)
+        .expect("corpus parses");
     let specs: [(&str, &str, &str); 9] = [
-        ("J48", "double confidence = 0.25;", "double pruned = MathUtils.clamp(adjusted, 0.0, 100000.0);"),
-        ("RandomTree", "short kValue = 3;", "double gain = MathUtils.entropy(weights);"),
+        (
+            "J48",
+            "double confidence = 0.25;",
+            "double pruned = MathUtils.clamp(adjusted, 0.0, 100000.0);",
+        ),
+        (
+            "RandomTree",
+            "short kValue = 3;",
+            "double gain = MathUtils.entropy(weights);",
+        ),
         (
             "RandomForest",
             "int numTrees = 100;",
             "for (int t = 0; t < numTrees; t++) { buildCalls = buildCalls + 1; }",
         ),
-        ("REPTree", "float holdout = 0.3f;", "double err = adjusted * holdout;"),
-        ("Logistic", "Double lastLoss;", "lastLoss = Double.valueOf(adjusted);"),
-        ("SMO", "double complexity = 1.0;", "double margin = MathUtils.clamp(adjusted, 0.0, complexity);"),
-        ("SGD", "double learningRate = 0.01;", "double step = learningRate * adjusted;"),
-        ("KStar", "int blend = 20;", "double kb = adjusted / (blend % 7 + 1);"),
-        ("IBk", "int neighbours = 3;", "double kd = adjusted * neighbours;"),
+        (
+            "REPTree",
+            "float holdout = 0.3f;",
+            "double err = adjusted * holdout;",
+        ),
+        (
+            "Logistic",
+            "Double lastLoss;",
+            "lastLoss = Double.valueOf(adjusted);",
+        ),
+        (
+            "SMO",
+            "double complexity = 1.0;",
+            "double margin = MathUtils.clamp(adjusted, 0.0, complexity);",
+        ),
+        (
+            "SGD",
+            "double learningRate = 0.01;",
+            "double step = learningRate * adjusted;",
+        ),
+        (
+            "KStar",
+            "int blend = 20;",
+            "double kb = adjusted / (blend % 7 + 1);",
+        ),
+        (
+            "IBk",
+            "int neighbours = 3;",
+            "double kd = adjusted * neighbours;",
+        ),
     ];
     for (name, field, hint) in specs {
         let src = classifier_source(name, field, hint);
@@ -288,10 +335,14 @@ pub fn full_corpus() -> JavaProject {
 /// NaiveBayes + Main.
 pub fn runnable_project() -> JavaProject {
     let mut p = JavaProject::new();
-    p.add_file("weka/core/MathUtils.java", MATH_UTILS).expect("corpus parses");
-    p.add_file("weka/core/Instances.java", INSTANCES).expect("corpus parses");
-    p.add_file("weka/core/StringUtils.java", STRING_UTILS).expect("corpus parses");
-    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES).expect("corpus parses");
+    p.add_file("weka/core/MathUtils.java", MATH_UTILS)
+        .expect("corpus parses");
+    p.add_file("weka/core/Instances.java", INSTANCES)
+        .expect("corpus parses");
+    p.add_file("weka/core/StringUtils.java", STRING_UTILS)
+        .expect("corpus parses");
+    p.add_file("weka/classifiers/NaiveBayes.java", NAIVE_BAYES)
+        .expect("corpus parses");
     p.add_file("Main.java", MAIN).expect("corpus parses");
     p
 }
@@ -342,7 +393,10 @@ mod tests {
             .find(|l| l.starts_with("correct="))
             .and_then(|l| l.trim_start_matches("correct=").parse().ok())
             .unwrap();
-        assert!(correct >= 200.0, "NB should fit most of its training data: {correct}/300");
+        assert!(
+            correct >= 200.0,
+            "NB should fit most of its training data: {correct}/300"
+        );
     }
 
     #[test]
@@ -369,7 +423,10 @@ mod tests {
         let deps: Vec<usize> = metrics.iter().map(|m| m.dependencies).collect();
         let min = *deps.iter().min().unwrap();
         let max = *deps.iter().max().unwrap();
-        assert!(max - min <= 1, "closures should be near-identical: {deps:?}");
+        assert!(
+            max - min <= 1,
+            "closures should be near-identical: {deps:?}"
+        );
         for m in &metrics {
             assert!(m.packages >= 2);
             assert!(m.loc > 100);

@@ -15,12 +15,12 @@
 //! paper's 709–877 hand edits.
 
 use crate::corpus;
-use crate::protocol::MeasurementProtocol;
+use crate::protocol::{derived_seed, MeasurementProtocol};
 use jepo_jvm::energy::LatencyModel;
 use jepo_ml::classifiers::by_name;
 use jepo_ml::data::airlines::AirlinesGenerator;
-use jepo_ml::eval::crossval::stratified_cross_validate;
-use jepo_ml::{Dataset, EfficiencyProfile, Kernel};
+use jepo_ml::eval::crossval::stratified_cross_validate_jobs;
+use jepo_ml::{Dataset, EfficiencyProfile};
 use jepo_rapl::{CostModel, DeviceProfile, Measurement, SimulatedRapl};
 use serde::Serialize;
 
@@ -47,6 +47,10 @@ pub struct ClassifierResult {
     pub accuracy_optimized: f64,
     /// Accuracy drop in percentage points (≥ 0; Table IV convention).
     pub accuracy_drop_pct: f64,
+    /// Whether the Tukey protocol reached an outlier-free run set for
+    /// *both* profiles. A `false` here means the means above may still
+    /// carry outlier contamination (the protocol hit its round cap).
+    pub converged: bool,
 }
 
 /// Configuration of the Table IV experiment.
@@ -79,7 +83,10 @@ impl Default for WekaExperiment {
 impl WekaExperiment {
     /// The paper's full-size configuration (10,000 instances).
     pub fn paper_scale() -> WekaExperiment {
-        WekaExperiment { instances: 10_000, ..Default::default() }
+        WekaExperiment {
+            instances: 10_000,
+            ..Default::default()
+        }
     }
 
     /// Generate the experiment's dataset.
@@ -95,11 +102,24 @@ impl WekaExperiment {
         profile: EfficiencyProfile,
         data: &Dataset,
     ) -> (Measurement, f64) {
-        let kernel = Kernel::new(profile);
-        let eval = stratified_cross_validate(data, self.folds, self.seed, || {
-            by_name(name, kernel.clone(), self.seed).expect("known classifier")
-        });
-        let snap = kernel.counter().take();
+        self.measure_jobs(name, profile, data, 1)
+    }
+
+    /// [`WekaExperiment::measure`] with CV folds fanned out over up to
+    /// `jobs` workers (`0` = one per core). Each fold gets its own
+    /// kernel/op-counter; fold results merge in fold order, so the
+    /// measurement is bit-identical for every `jobs` value.
+    pub fn measure_jobs(
+        &self,
+        name: &str,
+        profile: EfficiencyProfile,
+        data: &Dataset,
+        jobs: usize,
+    ) -> (Measurement, f64) {
+        let (eval, snap) =
+            stratified_cross_validate_jobs(data, self.folds, self.seed, jobs, profile, |kernel| {
+                by_name(name, kernel, self.seed).expect("known classifier")
+            });
         let joules = CostModel::paper_calibrated().joules_for(&snap);
         let seconds = LatencyModel::paper_calibrated().seconds_for(&snap);
         let sim = SimulatedRapl::new(self.device.clone());
@@ -117,7 +137,10 @@ impl WekaExperiment {
 
     /// Change count for a classifier: refactor the corpus files in its
     /// dependency closure (aggressive set, as the paper's edits were).
-    pub fn change_count(name: &str) -> usize {
+    /// Returns `None` when the classifier has no corpus entry —
+    /// previously this silently reported `0`, indistinguishable from a
+    /// real "nothing to change" result.
+    pub fn change_count(name: &str) -> Option<usize> {
         let corpus_name = match name {
             "Random Tree" => "RandomTree",
             "Random Forest" => "RandomForest",
@@ -125,9 +148,8 @@ impl WekaExperiment {
             "Naive Bayes" => "NaiveBayes",
             other => other,
         };
-        let project = corpus::full_corpus();
-        let metrics = jepo_analyzer::metrics::class_metrics(&project, corpus_name);
-        let Some(_) = metrics else { return 0 };
+        let project = corpus::shared_corpus();
+        jepo_analyzer::metrics::class_metrics(project, corpus_name)?;
         // Closure files: the classifier's own file + the shared core.
         let mut total = 0;
         for file in project.files() {
@@ -137,52 +159,78 @@ impl WekaExperiment {
                 continue;
             }
             let mut unit = file.unit.clone();
-            let rep =
-                jepo_analyzer::refactor_unit(&mut unit, &jepo_analyzer::RefactorKind::ALL);
+            let rep = jepo_analyzer::refactor_unit(&mut unit, &jepo_analyzer::RefactorKind::ALL);
             total += rep.change_count();
         }
-        total
+        Some(total)
     }
 
     /// Run one classifier: Table IV row.
     pub fn run_classifier(&self, name: &str, data: &Dataset) -> ClassifierResult {
+        self.run_classifier_jobs(name, data, 1)
+    }
+
+    /// [`WekaExperiment::run_classifier`] with fold-level parallelism.
+    pub fn run_classifier_jobs(&self, name: &str, data: &Dataset, jobs: usize) -> ClassifierResult {
         // Deterministic single measurements; the Tukey protocol layers
         // seeded RAPL-style noise on top and converges back to them, as
         // the paper's 10-run loop does on the real laptop.
-        let (base_m, base_acc) = self.measure(name, EfficiencyProfile::baseline(), data);
-        let (opt_m, opt_acc) = self.measure(name, EfficiencyProfile::optimized(), data);
-        // Paired runs: both profiles see the same noise stream, as the
-        // paper's back-to-back runs on one idle laptop do — run-to-run
-        // conditions are shared, so the difference isolates the edits.
-        let base = self.protocol.run(|| base_m);
-        let opt = self.protocol.run(|| opt_m);
+        let (base_m, base_acc) = self.measure_jobs(name, EfficiencyProfile::baseline(), data, jobs);
+        let (opt_m, opt_acc) = self.measure_jobs(name, EfficiencyProfile::optimized(), data, jobs);
+        // Each classifier draws its noise from a stream derived from
+        // (protocol seed, classifier): streams are fixed by that pair
+        // alone, so rows can run on any worker in any order without
+        // perturbing each other's noise. Within a classifier the runs
+        // stay *paired* — both profiles see the same stream, as the
+        // paper's back-to-back runs on one idle laptop do — so the
+        // difference isolates the edits.
+        let noise_seed = derived_seed(self.protocol.seed, name);
+        let base = self.protocol.run_with_seed(noise_seed, || base_m);
+        let opt = self.protocol.run_with_seed(noise_seed, || opt_m);
         ClassifierResult {
             name: name.to_string(),
-            changes: Self::change_count(name),
+            changes: Self::change_count(name).expect("known classifier"),
             package_improvement_pct: Measurement::improvement_pct(
                 base.mean.package_j,
                 opt.mean.package_j,
             ),
             cpu_improvement_pct: Measurement::improvement_pct(base.mean.core_j, opt.mean.core_j),
-            time_improvement_pct: Measurement::improvement_pct(
-                base.mean.seconds,
-                opt.mean.seconds,
-            ),
+            time_improvement_pct: Measurement::improvement_pct(base.mean.seconds, opt.mean.seconds),
             baseline: base.mean,
             optimized: opt.mean,
             accuracy_baseline: base_acc,
             accuracy_optimized: opt_acc,
             accuracy_drop_pct: ((base_acc - opt_acc) * 100.0).max(0.0),
+            converged: base.converged && opt.converged,
         }
     }
 
     /// Run all ten classifiers (Table IV).
     pub fn run_all(&self) -> Vec<ClassifierResult> {
+        self.run_all_jobs(1)
+    }
+
+    /// Run all ten classifiers (Table IV) with rows fanned out over up
+    /// to `jobs` workers (`0` = one per core, `1` = sequential).
+    ///
+    /// Deterministic by construction: the dataset is generated once and
+    /// shared read-only; the corpus is parsed once
+    /// ([`corpus::shared_corpus`]) instead of once per row; each row's
+    /// op-counting uses per-fold kernels merged in fold order; and each
+    /// row's noise stream is derived from `(protocol seed, classifier)`
+    /// rather than shared mutable RNG state. The output is therefore
+    /// bit-identical to `run_all()` for any `jobs`.
+    ///
+    /// Rows parallelize here; each row's CV runs sequentially (ten rows
+    /// saturate small machines without oversubscribing `jobs²` threads;
+    /// use [`WekaExperiment::run_classifier_jobs`] directly for
+    /// fold-level fan-out of a single classifier).
+    pub fn run_all_jobs(&self, jobs: usize) -> Vec<ClassifierResult> {
         let data = self.dataset();
-        jepo_ml::classifiers::CLASSIFIER_NAMES
-            .iter()
-            .map(|name| self.run_classifier(name, &data))
-            .collect()
+        // Warm the shared corpus before workers would race to init it.
+        let _ = corpus::shared_corpus();
+        let names = jepo_ml::classifiers::CLASSIFIER_NAMES;
+        jepo_pool::parallel_map(&names, jobs, |_, name| self.run_classifier(name, &data))
     }
 }
 
@@ -191,7 +239,11 @@ mod tests {
     use super::*;
 
     fn small() -> WekaExperiment {
-        WekaExperiment { instances: 400, folds: 4, ..Default::default() }
+        WekaExperiment {
+            instances: 400,
+            folds: 4,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -200,7 +252,7 @@ mod tests {
         // core dominates. Same shape here at corpus scale.
         let counts: Vec<usize> = ["J48", "Random Tree", "IBk"]
             .iter()
-            .map(|n| WekaExperiment::change_count(n))
+            .map(|n| WekaExperiment::change_count(n).expect("known classifier"))
             .collect();
         for &c in &counts {
             assert!(c > 5, "{counts:?}");
@@ -246,7 +298,81 @@ mod tests {
             rf.package_improvement_pct,
             rt.package_improvement_pct
         );
-        assert!(rf.package_improvement_pct > 5.0, "RF wins big: {:.2}%", rf.package_improvement_pct);
+        assert!(
+            rf.package_improvement_pct > 5.0,
+            "RF wins big: {:.2}%",
+            rf.package_improvement_pct
+        );
+    }
+
+    #[test]
+    fn unknown_classifier_has_no_change_count() {
+        assert_eq!(WekaExperiment::change_count("Quantum Boost"), None);
+        assert!(WekaExperiment::change_count("Naive Bayes").unwrap() > 0);
+    }
+
+    #[test]
+    fn parallel_run_all_is_bit_identical_to_sequential() {
+        let exp = WekaExperiment {
+            instances: 200,
+            folds: 3,
+            ..Default::default()
+        };
+        let seq = exp.run_all_jobs(1);
+        for jobs in [2, 4] {
+            let par = exp.run_all_jobs(jobs);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.changes, b.changes);
+                assert_eq!(a.converged, b.converged);
+                let floats = [
+                    (a.package_improvement_pct, b.package_improvement_pct),
+                    (a.cpu_improvement_pct, b.cpu_improvement_pct),
+                    (a.time_improvement_pct, b.time_improvement_pct),
+                    (a.accuracy_baseline, b.accuracy_baseline),
+                    (a.accuracy_optimized, b.accuracy_optimized),
+                    (a.accuracy_drop_pct, b.accuracy_drop_pct),
+                    (a.baseline.package_j, b.baseline.package_j),
+                    (a.baseline.core_j, b.baseline.core_j),
+                    (a.baseline.uncore_j, b.baseline.uncore_j),
+                    (a.baseline.dram_j, b.baseline.dram_j),
+                    (a.baseline.seconds, b.baseline.seconds),
+                    (a.optimized.package_j, b.optimized.package_j),
+                    (a.optimized.core_j, b.optimized.core_j),
+                    (a.optimized.uncore_j, b.optimized.uncore_j),
+                    (a.optimized.dram_j, b.optimized.dram_j),
+                    (a.optimized.seconds, b.optimized.seconds),
+                ];
+                for (i, (x, y)) in floats.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: field {i} differs with jobs={jobs}: {x} vs {y}",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_classifier_noise_streams_are_paired_within_a_row() {
+        // Pairing is what makes the improvement columns exact: both
+        // profiles of one classifier share a noise stream, so the noise
+        // factors cancel in the percentage.
+        let exp = small();
+        let data = exp.dataset();
+        let r = exp.run_classifier("Naive Bayes", &data);
+        let (base_m, _) = exp.measure("Naive Bayes", EfficiencyProfile::baseline(), &data);
+        let (opt_m, _) = exp.measure("Naive Bayes", EfficiencyProfile::optimized(), &data);
+        let exact = jepo_rapl::Measurement::improvement_pct(base_m.package_j, opt_m.package_j);
+        assert!(
+            (r.package_improvement_pct - exact).abs() < 1e-6,
+            "noise should cancel: {} vs exact {}",
+            r.package_improvement_pct,
+            exact
+        );
     }
 
     #[test]

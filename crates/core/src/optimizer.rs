@@ -47,8 +47,11 @@ impl JepoOptimizer {
     /// Apply refactorings in place; sources are re-printed from the
     /// rewritten ASTs so the project stays parseable.
     pub fn apply(&self, project: &mut JavaProject) -> OptimizeReport {
-        let kinds: &[RefactorKind] =
-            if self.aggressive { &RefactorKind::ALL } else { &RefactorKind::SAFE };
+        let kinds: &[RefactorKind] = if self.aggressive {
+            &RefactorKind::ALL
+        } else {
+            &RefactorKind::SAFE
+        };
         let mut per_file = Vec::new();
         let mut total = 0;
         for file in project.files_mut().iter_mut() {
@@ -61,7 +64,11 @@ impl JepoOptimizer {
             per_file.push((file.name.clone(), n));
         }
         let remaining = analyze_project(project);
-        OptimizeReport { per_file, total_changes: total, remaining }
+        OptimizeReport {
+            per_file,
+            total_changes: total,
+            remaining,
+        }
     }
 }
 
@@ -74,7 +81,11 @@ mod tests {
     fn suggestions_cover_the_corpus() {
         let p = corpus::full_corpus();
         let s = JepoOptimizer::new().suggestions(&p);
-        assert!(s.len() > 30, "corpus is deliberately dirty: {} suggestions", s.len());
+        assert!(
+            s.len() > 30,
+            "corpus is deliberately dirty: {} suggestions",
+            s.len()
+        );
         let view = JepoOptimizer::new().view(&p);
         assert!(view.contains("Class") && view.contains("Line"));
     }
@@ -84,7 +95,11 @@ mod tests {
         let mut p = corpus::full_corpus();
         let before = JepoOptimizer::new().suggestions(&p).len();
         let report = JepoOptimizer::new().apply(&mut p);
-        assert!(report.total_changes > 10, "changes: {}", report.total_changes);
+        assert!(
+            report.total_changes > 10,
+            "changes: {}",
+            report.total_changes
+        );
         assert!(
             report.remaining.len() < before,
             "{} → {}",
@@ -126,7 +141,10 @@ mod tests {
         JepoOptimizer::new().apply(&mut p);
         let mut vm_after = jepo_jvm::Vm::from_project(&p).unwrap();
         let after = vm_after.run_main().unwrap();
-        assert_eq!(before.stdout, after.stdout, "safe refactorings preserve behaviour");
+        assert_eq!(
+            before.stdout, after.stdout,
+            "safe refactorings preserve behaviour"
+        );
         assert!(
             after.energy.package_j < before.energy.package_j,
             "optimized project must cost less: {} vs {}",
@@ -147,6 +165,9 @@ mod tests {
             .iter()
             .find(|(f, _)| f.contains("Instances"))
             .unwrap();
-        assert!(instances.1 > 0, "Instances.java has a copy loop + column scan");
+        assert!(
+            instances.1 > 0,
+            "Instances.java has a copy loop + column scan"
+        );
     }
 }

@@ -114,14 +114,19 @@ mod tests {
 
     #[test]
     fn profiles_the_bundled_project() {
-        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        let report = JepoProfiler::new()
+            .profile(&corpus::runnable_project())
+            .unwrap();
         assert_eq!(report.main_class, "Main");
         assert!(report.probes_injected > 10);
         assert!(!report.records.is_empty());
         // Hot methods from the corpus appear.
         let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"Main.main"), "{names:?}");
-        assert!(names.iter().any(|n| n.starts_with("NaiveBayes.")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("NaiveBayes.")),
+            "{names:?}"
+        );
         // Sorted by descending energy, main (inclusive) first.
         assert_eq!(report.records[0].name, "Main.main");
         // result.txt has one line per execution.
@@ -134,7 +139,9 @@ mod tests {
 
     #[test]
     fn classify_is_called_once_per_instance() {
-        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        let report = JepoProfiler::new()
+            .profile(&corpus::runnable_project())
+            .unwrap();
         let classify = report
             .records
             .iter()
@@ -157,8 +164,16 @@ mod tests {
     #[test]
     fn ambiguous_main_requires_choice() {
         let mut p = JavaProject::new();
-        p.add_file("A.java", "class A { public static void main(String[] a) { } }").unwrap();
-        p.add_file("B.java", "class B { public static void main(String[] a) { } }").unwrap();
+        p.add_file(
+            "A.java",
+            "class A { public static void main(String[] a) { } }",
+        )
+        .unwrap();
+        p.add_file(
+            "B.java",
+            "class B { public static void main(String[] a) { } }",
+        )
+        .unwrap();
         let plain = JepoProfiler::new();
         assert!(matches!(plain.profile(&p), Err(VmError::NoMain(_))));
         let mut chosen = JepoProfiler::new();
@@ -172,7 +187,9 @@ mod tests {
 
     #[test]
     fn energy_is_positive_and_inclusive() {
-        let report = JepoProfiler::new().profile(&corpus::runnable_project()).unwrap();
+        let report = JepoProfiler::new()
+            .profile(&corpus::runnable_project())
+            .unwrap();
         assert!(report.energy.package_j > 0.0);
         let main_rec = &report.records[0];
         // Main's inclusive energy ≈ the whole run's dynamic energy.

@@ -29,14 +29,22 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { jitter: 0.02, spike_prob: 0.08, spike_factor: 1.6 }
+        NoiseModel {
+            jitter: 0.02,
+            spike_prob: 0.08,
+            spike_factor: 1.6,
+        }
     }
 }
 
 impl NoiseModel {
     /// No noise (deterministic runs; protocol converges immediately).
     pub fn none() -> NoiseModel {
-        NoiseModel { jitter: 0.0, spike_prob: 0.0, spike_factor: 1.0 }
+        NoiseModel {
+            jitter: 0.0,
+            spike_prob: 0.0,
+            spike_factor: 1.0,
+        }
     }
 
     fn sample(&self, rng: &mut StdRng) -> f64 {
@@ -65,7 +73,12 @@ pub struct MeasurementProtocol {
 
 impl Default for MeasurementProtocol {
     fn default() -> Self {
-        MeasurementProtocol { runs: 10, noise: NoiseModel::default(), seed: 1, max_rounds: 50 }
+        MeasurementProtocol {
+            runs: 10,
+            noise: NoiseModel::default(),
+            seed: 1,
+            max_rounds: 50,
+        }
     }
 }
 
@@ -80,13 +93,48 @@ pub struct ProtocolOutcome {
     pub total_measurements: usize,
     /// Outliers replaced.
     pub outliers_replaced: usize,
+    /// Whether the Tukey loop actually reached an outlier-free set. If
+    /// `false`, the loop exhausted `max_rounds` and the final runs (and
+    /// the mean) may still be contaminated by outliers — report such a
+    /// mean with a caveat, never silently.
+    pub converged: bool,
+}
+
+/// Derive an independent, reproducible seed for a labelled workload
+/// from a base seed (splitmix-style mixing over an FNV-1a hash of the
+/// label). Each `(base, label)` pair gets its own noise stream, so
+/// fanning workloads out over threads cannot perturb any stream:
+/// the stream never depends on execution order.
+pub fn derived_seed(base: u64, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = base ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl MeasurementProtocol {
     /// Execute the protocol: `measure()` produces one (noise-free)
-    /// measurement per call; noise is layered on top per run.
-    pub fn run(&self, mut measure: impl FnMut() -> Measurement) -> ProtocolOutcome {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+    /// measurement per call; noise is layered on top per run. The noise
+    /// stream is seeded from `self.seed`.
+    pub fn run(&self, measure: impl FnMut() -> Measurement) -> ProtocolOutcome {
+        self.run_with_seed(self.seed, measure)
+    }
+
+    /// [`MeasurementProtocol::run`] with an explicit noise seed — the
+    /// parallel experiment runner derives one seed per classifier (see
+    /// [`derived_seed`]) so that every workload's noise stream is fixed
+    /// by `(seed, label)` alone, independent of scheduling.
+    pub fn run_with_seed(
+        &self,
+        seed: u64,
+        mut measure: impl FnMut() -> Measurement,
+    ) -> ProtocolOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
         let take = |rng: &mut StdRng, measure: &mut dyn FnMut() -> Measurement| {
             let m = measure();
             let f = self.noise.sample(rng);
@@ -98,17 +146,25 @@ impl MeasurementProtocol {
                 seconds: m.seconds * f,
             }
         };
-        let mut runs: Vec<Measurement> =
-            (0..self.runs).map(|_| take(&mut rng, &mut measure)).collect();
+        let mut runs: Vec<Measurement> = (0..self.runs)
+            .map(|_| take(&mut rng, &mut measure))
+            .collect();
         let mut total = self.runs;
         let mut replaced = 0;
-        for _ in 0..self.max_rounds {
+        let mut converged = false;
+        for round in 0..=self.max_rounds {
             // The paper checks each metric; package energy is the
             // headline metric and the noise is fully correlated across
             // metrics here, so one check covers all.
             let pkg: Vec<f64> = runs.iter().map(|m| m.package_j).collect();
             let outliers = stats::tukey_outliers(&pkg);
             if outliers.is_empty() {
+                converged = true;
+                break;
+            }
+            if round == self.max_rounds {
+                // Replacement budget exhausted with outliers still
+                // present: the mean below is contaminated.
                 break;
             }
             for i in outliers {
@@ -133,6 +189,7 @@ impl MeasurementProtocol {
             runs,
             total_measurements: total,
             outliers_replaced: replaced,
+            converged,
         }
     }
 }
@@ -142,7 +199,13 @@ mod tests {
     use super::*;
 
     fn constant_measure() -> Measurement {
-        Measurement { package_j: 100.0, core_j: 80.0, uncore_j: 10.0, dram_j: 0.0, seconds: 2.0 }
+        Measurement {
+            package_j: 100.0,
+            core_j: 80.0,
+            uncore_j: 10.0,
+            dram_j: 0.0,
+            seconds: 2.0,
+        }
     }
 
     #[test]
@@ -172,7 +235,11 @@ mod tests {
         for seed in 0..20 {
             let p = MeasurementProtocol {
                 runs: 10,
-                noise: NoiseModel { jitter: 0.01, spike_prob: 0.1, spike_factor: 3.0 },
+                noise: NoiseModel {
+                    jitter: 0.01,
+                    spike_prob: 0.1,
+                    spike_factor: 3.0,
+                },
                 seed,
                 max_rounds: 100,
             };
@@ -198,19 +265,83 @@ mod tests {
     }
 
     #[test]
+    fn clean_runs_report_convergence() {
+        let p = MeasurementProtocol {
+            runs: 10,
+            noise: NoiseModel::none(),
+            seed: 1,
+            max_rounds: 10,
+        };
+        assert!(p.run(constant_measure).converged);
+    }
+
+    #[test]
+    fn exhausted_rounds_are_flagged_as_unconverged() {
+        // A workload the Tukey loop can never settle: the tenth and
+        // every later draw spikes, so each replacement reintroduces the
+        // outlier it was meant to remove. With a finite budget the
+        // protocol must say so instead of returning a contaminated mean
+        // as fact.
+        let mut draw = 0u32;
+        let p = MeasurementProtocol {
+            runs: 10,
+            noise: NoiseModel::none(),
+            seed: 1,
+            max_rounds: 3,
+        };
+        let out = p.run(|| {
+            draw += 1;
+            let pkg = if draw >= 10 { 5_000.0 } else { 100.0 };
+            Measurement {
+                package_j: pkg,
+                ..constant_measure()
+            }
+        });
+        assert!(!out.converged, "replaced {} times", out.outliers_replaced);
+        assert!(out.outliers_replaced > 0);
+    }
+
+    #[test]
+    fn run_with_seed_matches_run_for_same_seed() {
+        let p = MeasurementProtocol::default();
+        let a = p.run(constant_measure);
+        let b = p.run_with_seed(p.seed, constant_measure);
+        assert_eq!(a.mean.package_j.to_bits(), b.mean.package_j.to_bits());
+        assert_eq!(a.total_measurements, b.total_measurements);
+    }
+
+    #[test]
+    fn derived_seeds_separate_labels_and_bases() {
+        let a = derived_seed(42, "Random Forest");
+        assert_eq!(a, derived_seed(42, "Random Forest"), "stable");
+        assert_ne!(a, derived_seed(42, "J48"));
+        assert_ne!(a, derived_seed(43, "Random Forest"));
+    }
+
+    #[test]
     fn comparisons_survive_noise() {
         // The whole point of the protocol: a 10% real difference must be
         // resolvable under 2% jitter + spikes.
-        let base = MeasurementProtocol { seed: 3, ..Default::default() }.run(constant_measure);
-        let better = MeasurementProtocol { seed: 4, ..Default::default() }.run(|| Measurement {
+        let base = MeasurementProtocol {
+            seed: 3,
+            ..Default::default()
+        }
+        .run(constant_measure);
+        let better = MeasurementProtocol {
+            seed: 4,
+            ..Default::default()
+        }
+        .run(|| Measurement {
             package_j: 90.0,
             core_j: 72.0,
             uncore_j: 9.0,
             dram_j: 0.0,
             seconds: 1.9,
         });
-        let improvement =
-            Measurement::improvement_pct(base.mean.package_j, better.mean.package_j);
-        assert!((improvement - 10.0).abs() < 4.0, "improvement {improvement}");
+        let improvement = Measurement::improvement_pct(base.mean.package_j, better.mean.package_j);
+        assert!(
+            (improvement - 10.0).abs() < 4.0,
+            "improvement {improvement}"
+        );
     }
 }

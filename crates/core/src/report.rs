@@ -33,7 +33,14 @@ pub fn table2(metrics: &[ClassMetrics]) -> String {
         .collect();
     let mut out = String::from("TABLE II: CLASSIFIER METRICS (corpus scale)\n");
     out.push_str(&render_table(
-        &["Classifiers", "Dependencies", "Attributes", "Methods", "Packages", "LOC"],
+        &[
+            "Classifiers",
+            "Dependencies",
+            "Attributes",
+            "Methods",
+            "Packages",
+            "LOC",
+        ],
         &rows,
     ));
     out
@@ -51,13 +58,33 @@ pub fn table3() -> String {
     out
 }
 
+/// Footnote marker for rows whose Tukey protocol hit its round cap.
+fn convergence_mark(r: &ClassifierResult) -> &'static str {
+    if r.converged {
+        ""
+    } else {
+        " †"
+    }
+}
+
+/// Footnote explaining the marker, or empty if every row converged.
+fn convergence_footnote(results: &[ClassifierResult]) -> String {
+    if results.iter().all(|r| r.converged) {
+        String::new()
+    } else {
+        "† measurement protocol hit its round cap before reaching an \
+         outlier-free run set; means may carry outlier contamination.\n"
+            .to_string()
+    }
+}
+
 /// Render Table IV (the WEKA evaluation).
 pub fn table4(results: &[ClassifierResult]) -> String {
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             vec![
-                r.name.clone(),
+                format!("{}{}", r.name, convergence_mark(r)),
                 r.changes.to_string(),
                 format!("{:.2}", r.package_improvement_pct),
                 format!("{:.2}", r.cpu_improvement_pct),
@@ -78,6 +105,7 @@ pub fn table4(results: &[ClassifierResult]) -> String {
         ],
         &rows,
     ));
+    out.push_str(&convergence_footnote(results));
     out
 }
 
@@ -89,8 +117,9 @@ pub fn table4_markdown(results: &[ClassifierResult]) -> String {
     );
     for r in results {
         out.push_str(&format!(
-            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            "| {}{} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
             r.name,
+            convergence_mark(r),
             r.changes,
             r.package_improvement_pct,
             r.cpu_improvement_pct,
@@ -98,6 +127,7 @@ pub fn table4_markdown(results: &[ClassifierResult]) -> String {
             r.accuracy_drop_pct
         ));
     }
+    out.push_str(&convergence_footnote(results));
     out
 }
 
@@ -110,14 +140,21 @@ mod tests {
         ClassifierResult {
             name: name.into(),
             changes: 42,
-            baseline: Measurement { package_j: 100.0, ..Default::default() },
-            optimized: Measurement { package_j: 100.0 - pkg, ..Default::default() },
+            baseline: Measurement {
+                package_j: 100.0,
+                ..Default::default()
+            },
+            optimized: Measurement {
+                package_j: 100.0 - pkg,
+                ..Default::default()
+            },
             package_improvement_pct: pkg,
             cpu_improvement_pct: pkg - 0.3,
             time_improvement_pct: pkg - 1.5,
             accuracy_baseline: 0.65,
             accuracy_optimized: 0.648,
             accuracy_drop_pct: 0.2,
+            converged: true,
         }
     }
 
@@ -139,12 +176,28 @@ mod tests {
 
     #[test]
     fn table4_text_and_markdown() {
-        let rs = vec![fake_result("J48", 4.44), fake_result("Random Forest", 14.46)];
+        let rs = vec![
+            fake_result("J48", 4.44),
+            fake_result("Random Forest", 14.46),
+        ];
         let t = table4(&rs);
         assert!(t.contains("14.46"));
         assert!(t.contains("Package Improvement"));
         let md = table4_markdown(&rs);
         assert!(md.starts_with("| Classifier"));
         assert_eq!(md.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn unconverged_rows_are_flagged() {
+        let mut rs = vec![fake_result("J48", 4.44), fake_result("SMO", 1.0)];
+        assert!(!table4(&rs).contains('†'), "clean runs carry no marker");
+        rs[1].converged = false;
+        let t = table4(&rs);
+        assert!(t.contains("SMO †"));
+        assert!(t.contains("round cap"));
+        let md = table4_markdown(&rs);
+        assert!(md.contains("| SMO † |"));
+        assert!(md.lines().count() > 2 + 2, "footnote line present");
     }
 }

@@ -36,7 +36,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &mut out);
+    line(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
     let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
     out.push_str(&"-".repeat(rule));
     out.push('\n');
@@ -48,8 +51,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Fig. 1 — the JEPO toolbar button.
 pub fn toolbar() -> String {
-    "[ JEPO ]  (opens the JEPO view and shows suggestions for the open Java file)\n"
-        .to_string()
+    "[ JEPO ]  (opens the JEPO view and shows suggestions for the open Java file)\n".to_string()
 }
 
 /// Fig. 3 — the project pop-up menu.
@@ -148,7 +150,10 @@ mod tests {
     fn table_alignment_handles_ragged_content() {
         let t = render_table(
             &["A", "Bbbb"],
-            &[vec!["xxxxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+            &[
+                vec!["xxxxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -197,7 +202,13 @@ mod tests {
 
     #[test]
     fn optimizer_view_has_fig5_columns() {
-        let s = Suggestion::new("A.java", "weka.core.A", 12, JavaComponent::StaticKeyword, "static int x");
+        let s = Suggestion::new(
+            "A.java",
+            "weka.core.A",
+            12,
+            JavaComponent::StaticKeyword,
+            "static int x",
+        );
         let v = optimizer_view(&[s]);
         assert!(v.contains("Class"));
         assert!(v.contains("Line"));

@@ -372,9 +372,7 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match &self.kind {
-            ExprKind::Unary(_, e) | ExprKind::Cast(_, e) | ExprKind::InstanceOf(e, _) => {
-                e.walk(f)
-            }
+            ExprKind::Unary(_, e) | ExprKind::Cast(_, e) | ExprKind::InstanceOf(e, _) => e.walk(f),
             ExprKind::Binary(_, l, r) | ExprKind::Assign(l, _, r) => {
                 l.walk(f);
                 r.walk(f);
@@ -651,7 +649,12 @@ pub fn walk_stmt_exprs(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
             walk_stmt_exprs(body, f);
             cond.walk(f);
         }
-        StmtKind::For { init, cond, update, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
             for s in init {
                 walk_stmt_exprs(s, f);
             }
@@ -678,7 +681,11 @@ pub fn walk_stmt_exprs(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
                 }
             }
         }
-        StmtKind::Try { body, catches, finally } => {
+        StmtKind::Try {
+            body,
+            catches,
+            finally,
+        } => {
             for s in &body.stmts {
                 walk_stmt_exprs(s, f);
             }
@@ -733,7 +740,11 @@ pub fn walk_stmts(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
                 }
             }
         }
-        StmtKind::Try { body, catches, finally } => {
+        StmtKind::Try {
+            body,
+            catches,
+            finally,
+        } => {
             for s in &body.stmts {
                 walk_stmts(s, f);
             }
@@ -793,24 +804,36 @@ mod tests {
             implements: vec![],
             fields: vec![],
             methods: vec![MethodDecl {
-                modifiers: Modifiers { is_static, ..Default::default() },
+                modifiers: Modifiers {
+                    is_static,
+                    ..Default::default()
+                },
                 ret: Type::Void,
                 name: "main".into(),
                 params,
                 throws: vec![],
-                body: Some(Block { stmts: vec![], span: Span::synthetic() }),
+                body: Some(Block {
+                    stmts: vec![],
+                    span: Span::synthetic(),
+                }),
                 span: Span::synthetic(),
             }],
             span: Span::synthetic(),
         };
         let good = mk(
             true,
-            vec![Param { ty: Type::Array(Box::new(Type::class("String")), 1), name: "args".into() }],
+            vec![Param {
+                ty: Type::Array(Box::new(Type::class("String")), 1),
+                name: "args".into(),
+            }],
         );
         assert!(good.has_main());
         let not_static = mk(
             false,
-            vec![Param { ty: Type::Array(Box::new(Type::class("String")), 1), name: "args".into() }],
+            vec![Param {
+                ty: Type::Array(Box::new(Type::class("String")), 1),
+                name: "args".into(),
+            }],
         );
         assert!(!not_static.has_main());
         let wrong_params = mk(true, vec![]);
@@ -844,12 +867,18 @@ mod tests {
 
     #[test]
     fn walk_stmts_reaches_nested_bodies() {
-        let inner = Stmt { kind: StmtKind::Break, span: Span::synthetic() };
+        let inner = Stmt {
+            kind: StmtKind::Break,
+            span: Span::synthetic(),
+        };
         let loop_stmt = Stmt {
             kind: StmtKind::While {
                 cond: e(ExprKind::Literal(Lit::Bool(true))),
                 body: Box::new(Stmt {
-                    kind: StmtKind::Block(Block { stmts: vec![inner], span: Span::synthetic() }),
+                    kind: StmtKind::Block(Block {
+                        stmts: vec![inner],
+                        span: Span::synthetic(),
+                    }),
                     span: Span::synthetic(),
                 }),
             },
@@ -878,7 +907,11 @@ mod tests {
             types: vec![class.clone()],
         };
         assert_eq!(unit.qualified_name(&class), "com.mist.jepo.Foo");
-        let unit2 = CompilationUnit { package: None, imports: vec![], types: vec![class.clone()] };
+        let unit2 = CompilationUnit {
+            package: None,
+            imports: vec![],
+            types: vec![class.clone()],
+        };
         assert_eq!(unit2.qualified_name(&class), "Foo");
     }
 
@@ -886,9 +919,25 @@ mod tests {
     fn binop_symbols_are_distinct() {
         use std::collections::HashSet;
         let ops = [
-            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem, BinOp::Shl, BinOp::Shr,
-            BinOp::UShr, BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor, BinOp::And, BinOp::Or,
-            BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::UShr,
+            BinOp::BitAnd,
+            BinOp::BitOr,
+            BinOp::BitXor,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
         ];
         let set: HashSet<_> = ops.iter().map(|o| o.symbol()).collect();
         assert_eq!(set.len(), ops.len());

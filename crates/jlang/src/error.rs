@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct at a span.
     pub fn new(message: impl Into<String>, span: Span) -> ParseError {
-        ParseError { message: message.into(), span }
+        ParseError {
+            message: message.into(),
+            span,
+        }
     }
 }
 

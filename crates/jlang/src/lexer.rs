@@ -26,7 +26,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, ParseError> {
@@ -35,7 +40,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.here();
             if self.pos >= self.src.len() {
-                out.push(Token { kind: TokenKind::Eof, span: start });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: start,
+                });
                 return Ok(out);
             }
             let c = self.src[self.pos];
@@ -137,13 +145,15 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 let radix = if next == b'x' { 16 } else { 2 };
                 let digits_start = self.pos;
-                while self.src.get(self.pos).is_some_and(|b| {
-                    b.is_ascii_hexdigit() || *b == b'_'
-                }) {
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_hexdigit() || *b == b'_')
+                {
                     self.bump();
                 }
-                let text: String = String::from_utf8_lossy(&self.src[digits_start..self.pos])
-                    .replace('_', "");
+                let text: String =
+                    String::from_utf8_lossy(&self.src[digits_start..self.pos]).replace('_', "");
                 let long = self.eat_suffix(b'l');
                 let value = i64::from_str_radix(&text, radix).map_err(|e| {
                     ParseError::new(format!("bad radix-{radix} literal: {e}"), start_span)
@@ -190,8 +200,7 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
         }
-        let mut text: String =
-            String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+        let mut text: String = String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
         // Suffixes.
         if let Some(b) = self.src.get(self.pos) {
             match b.to_ascii_lowercase() {
@@ -200,7 +209,11 @@ impl<'a> Lexer<'a> {
                     let value: f64 = text.parse().map_err(|e| {
                         ParseError::new(format!("bad float literal: {e}"), start_span)
                     })?;
-                    return Ok(TokenKind::FloatLit { value, float32: true, scientific });
+                    return Ok(TokenKind::FloatLit {
+                        value,
+                        float32: true,
+                        scientific,
+                    });
                 }
                 b'd' => {
                     self.bump();
@@ -220,7 +233,11 @@ impl<'a> Lexer<'a> {
             let value: f64 = text
                 .parse()
                 .map_err(|e| ParseError::new(format!("bad float literal: {e}"), start_span))?;
-            Ok(TokenKind::FloatLit { value, float32: false, scientific })
+            Ok(TokenKind::FloatLit {
+                value,
+                float32: false,
+                scientific,
+            })
         } else {
             // Leading-zero octal (Java legacy); "0" itself is decimal.
             let value = if text.len() > 1 && text.starts_with('0') {
@@ -236,9 +253,8 @@ impl<'a> Lexer<'a> {
                 if text.is_empty() {
                     text.push('0');
                 }
-                text.parse().map_err(|e| {
-                    ParseError::new(format!("bad int literal: {e}"), start_span)
-                })?
+                text.parse()
+                    .map_err(|e| ParseError::new(format!("bad int literal: {e}"), start_span))?
             };
             Ok(TokenKind::IntLit { value, long: false })
         }
@@ -323,12 +339,11 @@ impl<'a> Lexer<'a> {
                     }
                     let d = self.bump();
                     v = v * 16
-                        + (d as char).to_digit(16).ok_or_else(|| {
-                            ParseError::new("bad hex digit in \\u escape", open)
-                        })?;
+                        + (d as char)
+                            .to_digit(16)
+                            .ok_or_else(|| ParseError::new("bad hex digit in \\u escape", open))?;
                 }
-                char::from_u32(v)
-                    .ok_or_else(|| ParseError::new("invalid \\u code point", open))?
+                char::from_u32(v).ok_or_else(|| ParseError::new("invalid \\u code point", open))?
             }
             c => {
                 return Err(ParseError::new(
@@ -375,11 +390,41 @@ mod tests {
 
     #[test]
     fn lexes_integer_radices() {
-        assert_eq!(kinds("0x1F")[0], TokenKind::IntLit { value: 31, long: false });
-        assert_eq!(kinds("0b101")[0], TokenKind::IntLit { value: 5, long: false });
-        assert_eq!(kinds("017")[0], TokenKind::IntLit { value: 15, long: false });
-        assert_eq!(kinds("1_000_000L")[0], TokenKind::IntLit { value: 1_000_000, long: true });
-        assert_eq!(kinds("0")[0], TokenKind::IntLit { value: 0, long: false });
+        assert_eq!(
+            kinds("0x1F")[0],
+            TokenKind::IntLit {
+                value: 31,
+                long: false
+            }
+        );
+        assert_eq!(
+            kinds("0b101")[0],
+            TokenKind::IntLit {
+                value: 5,
+                long: false
+            }
+        );
+        assert_eq!(
+            kinds("017")[0],
+            TokenKind::IntLit {
+                value: 15,
+                long: false
+            }
+        );
+        assert_eq!(
+            kinds("1_000_000L")[0],
+            TokenKind::IntLit {
+                value: 1_000_000,
+                long: true
+            }
+        );
+        assert_eq!(
+            kinds("0")[0],
+            TokenKind::IntLit {
+                value: 0,
+                long: false
+            }
+        );
     }
 
     #[test]
@@ -389,14 +434,20 @@ mod tests {
             k => panic!("{k:?}"),
         }
         match &kinds("0.001")[0] {
-            TokenKind::FloatLit { scientific, value, .. } => {
+            TokenKind::FloatLit {
+                scientific, value, ..
+            } => {
                 assert!(!scientific);
                 assert!((value - 0.001).abs() < 1e-12);
             }
             k => panic!("{k:?}"),
         }
         match &kinds("1e-3f")[0] {
-            TokenKind::FloatLit { scientific, float32, .. } => {
+            TokenKind::FloatLit {
+                scientific,
+                float32,
+                ..
+            } => {
                 assert!(*scientific && *float32);
             }
             k => panic!("{k:?}"),
@@ -407,15 +458,27 @@ mod tests {
     fn float_suffixes() {
         assert_eq!(
             kinds("2.5f")[0],
-            TokenKind::FloatLit { value: 2.5, float32: true, scientific: false }
+            TokenKind::FloatLit {
+                value: 2.5,
+                float32: true,
+                scientific: false
+            }
         );
         assert_eq!(
             kinds("2.5d")[0],
-            TokenKind::FloatLit { value: 2.5, float32: false, scientific: false }
+            TokenKind::FloatLit {
+                value: 2.5,
+                float32: false,
+                scientific: false
+            }
         );
         assert_eq!(
             kinds(".5")[0],
-            TokenKind::FloatLit { value: 0.5, float32: false, scientific: false }
+            TokenKind::FloatLit {
+                value: 0.5,
+                float32: false,
+                scientific: false
+            }
         );
     }
 
@@ -423,13 +486,22 @@ mod tests {
     fn method_call_on_int_literal_is_not_a_float() {
         // `5.toString()` style: the dot binds to the call, not the number.
         let ks = kinds("x = 5.equals(y)");
-        assert_eq!(ks[2], TokenKind::IntLit { value: 5, long: false });
+        assert_eq!(
+            ks[2],
+            TokenKind::IntLit {
+                value: 5,
+                long: false
+            }
+        );
         assert!(ks[3].is_punct("."));
     }
 
     #[test]
     fn string_and_char_escapes() {
-        assert_eq!(kinds(r#""a\tb\nA""#)[0], TokenKind::StrLit("a\tb\nA".into()));
+        assert_eq!(
+            kinds(r#""a\tb\nA""#)[0],
+            TokenKind::StrLit("a\tb\nA".into())
+        );
         assert_eq!(kinds(r"'\n'")[0], TokenKind::CharLit('\n'));
         assert_eq!(kinds("'x'")[0], TokenKind::CharLit('x'));
     }

@@ -142,7 +142,11 @@ impl Parser {
         while !matches!(self.peek().kind, TokenKind::Eof) {
             types.push(self.class_decl()?);
         }
-        Ok(CompilationUnit { package, imports, types })
+        Ok(CompilationUnit {
+            package,
+            imports,
+            types,
+        })
     }
 
     fn qualified_name(&mut self) -> Result<String, ParseError> {
@@ -178,8 +182,7 @@ impl Parser {
                 m.is_abstract = true;
             } else if self.at_kw("synchronized") && !self.peek_at(1).kind.is_punct("(") {
                 self.advance(); // method modifier; ignored semantically
-            } else if self.eat_kw("native") || self.eat_kw("transient") || self.eat_kw("volatile")
-            {
+            } else if self.eat_kw("native") || self.eat_kw("transient") || self.eat_kw("volatile") {
                 // accepted, not modelled
             } else {
                 return m;
@@ -284,7 +287,11 @@ impl Parser {
             methods.push(MethodDecl {
                 modifiers,
                 ret: Type::Void,
-                name: if modifiers.is_static { "<clinit>".into() } else { "<init-block>".into() },
+                name: if modifiers.is_static {
+                    "<clinit>".into()
+                } else {
+                    "<init-block>".into()
+                },
                 params: vec![],
                 throws: vec![],
                 body: Some(body),
@@ -309,7 +316,11 @@ impl Parser {
                 return Ok(());
             }
         }
-        let ret = if self.eat_kw("void") { Type::Void } else { self.parse_type()? };
+        let ret = if self.eat_kw("void") {
+            Type::Void
+        } else {
+            self.parse_type()?
+        };
         let (name, _) = self.expect_ident()?;
         if self.at_punct("(") {
             let (params, throws, body) = self.method_tail()?;
@@ -338,7 +349,11 @@ impl Parser {
                         other => Type::Array(Box::new(other), extra),
                     };
                 }
-                let init = if self.eat_punct("=") { Some(self.var_init()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.var_init()?)
+                } else {
+                    None
+                };
                 fields.push(FieldDecl {
                     modifiers,
                     ty,
@@ -396,7 +411,11 @@ impl Parser {
                 }
             }
         }
-        let body = if self.eat_punct(";") { None } else { Some(self.block()?) };
+        let body = if self.eat_punct(";") {
+            None
+        } else {
+            Some(self.block()?)
+        };
         Ok((params, throws, body))
     }
 
@@ -421,7 +440,11 @@ impl Parser {
             self.advance();
             dims += 1;
         }
-        Ok(if dims > 0 { Type::Array(Box::new(base), dims) } else { base })
+        Ok(if dims > 0 {
+            Type::Array(Box::new(base), dims)
+        } else {
+            base
+        })
     }
 
     fn maybe_type_args(&mut self) -> Result<Vec<Type>, ParseError> {
@@ -478,7 +501,10 @@ impl Parser {
             stmts.push(self.stmt()?);
         }
         let end = self.expect_punct("}")?;
-        Ok(Block { stmts, span: start.merge(end) })
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -492,13 +518,20 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then = Box::new(self.stmt()?);
-            let els = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
             StmtKind::If { cond, then, els }
         } else if self.eat_kw("while") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
-            StmtKind::While { cond, body: Box::new(self.stmt()?) }
+            StmtKind::While {
+                cond,
+                body: Box::new(self.stmt()?),
+            }
         } else if self.eat_kw("do") {
             let body = Box::new(self.stmt()?);
             if !self.eat_kw("while") {
@@ -514,7 +547,11 @@ impl Parser {
         } else if self.eat_kw("switch") {
             self.switch_stmt()?
         } else if self.eat_kw("return") {
-            let e = if self.at_punct(";") { None } else { Some(self.expr()?) };
+            let e = if self.at_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             StmtKind::Return(e)
         } else if self.eat_kw("break") {
@@ -557,7 +594,10 @@ impl Parser {
                 }
             }
         };
-        Ok(Stmt { kind, span: start.merge(self.prev_span()) })
+        Ok(Stmt {
+            kind,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     /// Attempt to parse a local variable declaration; backtracks and
@@ -568,8 +608,7 @@ impl Parser {
         let looks_like_type = match &self.peek().kind {
             TokenKind::Ident(id) => {
                 PrimType::from_keyword(id).is_some()
-                    || (!TokenKind::KEYWORDS.contains(&id.as_str())
-                        && self.decl_lookahead())
+                    || (!TokenKind::KEYWORDS.contains(&id.as_str()) && self.decl_lookahead())
             }
             _ => false,
         };
@@ -590,9 +629,13 @@ impl Parser {
         // Must now see `ident` then one of `= , ; [`.
         let ok_shape = matches!(&self.peek().kind, TokenKind::Ident(s)
             if !TokenKind::KEYWORDS.contains(&s.as_str()))
-            && matches!(&self.peek_at(1).kind,
-                TokenKind::Punct("=") | TokenKind::Punct(",") | TokenKind::Punct(";")
-                | TokenKind::Punct("["));
+            && matches!(
+                &self.peek_at(1).kind,
+                TokenKind::Punct("=")
+                    | TokenKind::Punct(",")
+                    | TokenKind::Punct(";")
+                    | TokenKind::Punct("[")
+            );
         if !ok_shape {
             self.pos = save;
             return Ok(None);
@@ -605,7 +648,11 @@ impl Parser {
                 self.expect_punct("]")?;
                 extra += 1;
             }
-            let init = if self.eat_punct("=") { Some(self.var_init()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.var_init()?)
+            } else {
+                None
+            };
             vars.push((name, extra, init));
             if !self.eat_punct(",") {
                 break;
@@ -701,7 +748,12 @@ impl Parser {
         if let Ok(Some((ty, name, iter))) = self.try_foreach_header() {
             self.expect_punct(")")?;
             let body = Box::new(self.stmt()?);
-            return Ok(StmtKind::ForEach { ty, name, iter, body });
+            return Ok(StmtKind::ForEach {
+                ty,
+                name,
+                iter,
+                body,
+            });
         }
         self.pos = save;
         // Classic for.
@@ -709,12 +761,18 @@ impl Parser {
         if !self.eat_punct(";") {
             let start = self.span();
             match self.try_local_decl()? {
-                Some(kind) => init.push(Stmt { kind, span: start.merge(self.prev_span()) }),
+                Some(kind) => init.push(Stmt {
+                    kind,
+                    span: start.merge(self.prev_span()),
+                }),
                 None => {
                     loop {
                         let e = self.expr()?;
                         let sp = e.span;
-                        init.push(Stmt { kind: StmtKind::Expr(e), span: sp });
+                        init.push(Stmt {
+                            kind: StmtKind::Expr(e),
+                            span: sp,
+                        });
                         if !self.eat_punct(",") {
                             break;
                         }
@@ -723,7 +781,11 @@ impl Parser {
                 }
             }
         }
-        let cond = if self.at_punct(";") { None } else { Some(self.expr()?) };
+        let cond = if self.at_punct(";") {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect_punct(";")?;
         let mut update = Vec::new();
         if !self.at_punct(")") {
@@ -736,7 +798,12 @@ impl Parser {
         }
         self.expect_punct(")")?;
         let body = Box::new(self.stmt()?);
-        Ok(StmtKind::For { init, cond, update, body })
+        Ok(StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        })
     }
 
     fn try_foreach_header(&mut self) -> Result<Option<(Type, String, Expr)>, ParseError> {
@@ -771,13 +838,19 @@ impl Parser {
                 self.expect_punct(":")?;
                 match cases.last_mut() {
                     Some(c) if c.body.is_empty() => c.labels.push(label),
-                    _ => cases.push(SwitchCase { labels: vec![label], body: vec![] }),
+                    _ => cases.push(SwitchCase {
+                        labels: vec![label],
+                        body: vec![],
+                    }),
                 }
             } else if self.eat_kw("default") {
                 self.expect_punct(":")?;
                 match cases.last_mut() {
                     Some(c) if c.body.is_empty() => c.labels.push(None),
-                    _ => cases.push(SwitchCase { labels: vec![None], body: vec![] }),
+                    _ => cases.push(SwitchCase {
+                        labels: vec![None],
+                        body: vec![],
+                    }),
                 }
             } else {
                 let stmt = self.stmt()?;
@@ -802,11 +875,19 @@ impl Parser {
             self.expect_punct(")")?;
             catches.push((ty, name, self.block()?));
         }
-        let finally = if self.eat_kw("finally") { Some(self.block()?) } else { None };
+        let finally = if self.eat_kw("finally") {
+            Some(self.block()?)
+        } else {
+            None
+        };
         if catches.is_empty() && finally.is_none() {
             return Err(self.unexpected("`catch` or `finally`"));
         }
-        Ok(StmtKind::Try { body, catches, finally })
+        Ok(StmtKind::Try {
+            body,
+            catches,
+            finally,
+        })
     }
 
     // ---- expressions ---------------------------------------------------
@@ -842,7 +923,10 @@ impl Parser {
             self.advance();
             let rhs = self.assignment()?; // right-associative
             let span = lhs.span.merge(rhs.span);
-            Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), span))
+            Ok(Expr::new(
+                ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
+                span,
+            ))
         } else {
             Ok(lhs)
         }
@@ -971,7 +1055,9 @@ impl Parser {
             self.pos = save;
             return Ok(None);
         }
-        if is_prim && !operand_start && !self.peek_at(1).kind.is_punct("-")
+        if is_prim
+            && !operand_start
+            && !self.peek_at(1).kind.is_punct("-")
             && !self.peek_at(1).kind.is_punct("+")
         {
             self.pos = save;
@@ -993,7 +1079,11 @@ impl Parser {
                     let args = self.arg_list()?;
                     let span = e.span.merge(self.prev_span());
                     e = Expr::new(
-                        ExprKind::Call { target: Some(Box::new(e)), name, args },
+                        ExprKind::Call {
+                            target: Some(Box::new(e)),
+                            name,
+                            args,
+                        },
                         span,
                     );
                 } else {
@@ -1048,12 +1138,23 @@ impl Parser {
         match tok {
             TokenKind::IntLit { value, long } => {
                 self.advance();
-                Ok(Expr::new(ExprKind::Literal(Lit::Int { value, long }), start))
+                Ok(Expr::new(
+                    ExprKind::Literal(Lit::Int { value, long }),
+                    start,
+                ))
             }
-            TokenKind::FloatLit { value, float32, scientific } => {
+            TokenKind::FloatLit {
+                value,
+                float32,
+                scientific,
+            } => {
                 self.advance();
                 Ok(Expr::new(
-                    ExprKind::Literal(Lit::Float { value, float32, scientific }),
+                    ExprKind::Literal(Lit::Float {
+                        value,
+                        float32,
+                        scientific,
+                    }),
                     start,
                 ))
             }
@@ -1087,7 +1188,11 @@ impl Parser {
                         let args = self.arg_list()?;
                         let span = start.merge(self.prev_span());
                         return Ok(Expr::new(
-                            ExprKind::Call { target: None, name: "<this>".into(), args },
+                            ExprKind::Call {
+                                target: None,
+                                name: "<this>".into(),
+                                args,
+                            },
                             span,
                         ));
                     }
@@ -1099,7 +1204,11 @@ impl Parser {
                         let args = self.arg_list()?;
                         let span = start.merge(self.prev_span());
                         return Ok(Expr::new(
-                            ExprKind::Call { target: None, name: "<super>".into(), args },
+                            ExprKind::Call {
+                                target: None,
+                                name: "<super>".into(),
+                                args,
+                            },
                             span,
                         ));
                     }
@@ -1140,7 +1249,14 @@ impl Parser {
                 if self.at_punct("(") {
                     let args = self.arg_list()?;
                     let span = start.merge(self.prev_span());
-                    return Ok(Expr::new(ExprKind::Call { target: None, name: id, args }, span));
+                    return Ok(Expr::new(
+                        ExprKind::Call {
+                            target: None,
+                            name: id,
+                            args,
+                        },
+                        span,
+                    ));
                 }
                 Ok(Expr::new(ExprKind::Name(id), start))
             }
@@ -1150,7 +1266,7 @@ impl Parser {
 
     fn new_expr(&mut self) -> Result<Expr, ParseError> {
         let start = self.advance().span; // new
-        // Primitive array?
+                                         // Primitive array?
         if let TokenKind::Ident(id) = &self.peek().kind {
             if let Some(p) = PrimType::from_keyword(id) {
                 self.advance();
@@ -1178,12 +1294,20 @@ impl Parser {
                 extra += 1;
             }
             let init = match self.var_init()? {
-                Expr { kind: ExprKind::ArrayInit(items), .. } => items,
+                Expr {
+                    kind: ExprKind::ArrayInit(items),
+                    ..
+                } => items,
                 other => vec![other],
             };
             let span = start.merge(self.prev_span());
             return Ok(Expr::new(
-                ExprKind::NewArray { elem, dims, extra_dims: extra, init: Some(init) },
+                ExprKind::NewArray {
+                    elem,
+                    dims,
+                    extra_dims: extra,
+                    init: Some(init),
+                },
                 span,
             ));
         }
@@ -1199,7 +1323,15 @@ impl Parser {
             }
         }
         let span = start.merge(self.prev_span());
-        Ok(Expr::new(ExprKind::NewArray { elem, dims, extra_dims: extra, init: None }, span))
+        Ok(Expr::new(
+            ExprKind::NewArray {
+                elem,
+                dims,
+                extra_dims: extra,
+                init: None,
+            },
+            span,
+        ))
     }
 }
 
@@ -1316,15 +1448,24 @@ mod tests {
             k => panic!("{k:?}"),
         }
         let e2 = expr("x %= 7");
-        assert!(matches!(e2.kind, ExprKind::Assign(_, AssignOp::Compound(BinOp::Rem), _)));
+        assert!(matches!(
+            e2.kind,
+            ExprKind::Assign(_, AssignOp::Compound(BinOp::Rem), _)
+        ));
     }
 
     #[test]
     fn casts_and_parenthesized_expressions_disambiguate() {
-        assert!(matches!(expr("(int) x").kind, ExprKind::Cast(Type::Prim(PrimType::Int), _)));
+        assert!(matches!(
+            expr("(int) x").kind,
+            ExprKind::Cast(Type::Prim(PrimType::Int), _)
+        ));
         assert!(matches!(expr("(Integer) x").kind, ExprKind::Cast(_, _)));
         // `(a) + b` must be addition, not a cast of `+b`.
-        assert!(matches!(expr("(a) + b").kind, ExprKind::Binary(BinOp::Add, _, _)));
+        assert!(matches!(
+            expr("(a) + b").kind,
+            ExprKind::Binary(BinOp::Add, _, _)
+        ));
         // `(double) -x` is a cast of a negation.
         assert!(matches!(expr("(double) -x").kind, ExprKind::Cast(_, _)));
     }
@@ -1357,7 +1498,12 @@ mod tests {
             ExprKind::New { ref class, .. } if class == "StringBuilder"
         ));
         match expr("new int[10][20]").kind {
-            ExprKind::NewArray { elem, dims, extra_dims, .. } => {
+            ExprKind::NewArray {
+                elem,
+                dims,
+                extra_dims,
+                ..
+            } => {
                 assert_eq!(elem, Type::Prim(PrimType::Int));
                 assert_eq!(dims.len(), 2);
                 assert_eq!(extra_dims, 0);
@@ -1365,14 +1511,18 @@ mod tests {
             k => panic!("{k:?}"),
         }
         match expr("new double[n][]").kind {
-            ExprKind::NewArray { dims, extra_dims, .. } => {
+            ExprKind::NewArray {
+                dims, extra_dims, ..
+            } => {
                 assert_eq!(dims.len(), 1);
                 assert_eq!(extra_dims, 1);
             }
             k => panic!("{k:?}"),
         }
         match expr("new int[]{1, 2, 3}").kind {
-            ExprKind::NewArray { init: Some(items), .. } => assert_eq!(items.len(), 3),
+            ExprKind::NewArray {
+                init: Some(items), ..
+            } => assert_eq!(items.len(), 3),
             k => panic!("{k:?}"),
         }
     }
@@ -1400,9 +1550,7 @@ mod tests {
         assert!(body.stmts.len() >= 13);
         // Check the switch grouped two labels into one case.
         let has_switch = body.stmts.iter().any(|s| match &s.kind {
-            StmtKind::Switch { cases, .. } => {
-                cases[0].labels.len() == 2 && cases.len() == 2
-            }
+            StmtKind::Switch { cases, .. } => cases[0].labels.len() == 2 && cases.len() == 2,
             _ => false,
         });
         assert!(has_switch);
@@ -1430,7 +1578,10 @@ mod tests {
                 _ => "other",
             })
             .collect();
-        assert_eq!(kinds, vec!["expr", "local", "local", "local", "expr", "expr"]);
+        assert_eq!(
+            kinds,
+            vec!["expr", "local", "local", "local", "expr", "expr"]
+        );
     }
 
     #[test]
@@ -1438,7 +1589,10 @@ mod tests {
         let u = unit("class G { void f() { ArrayList<String> xs = new ArrayList<String>(); } }");
         let body = u.types[0].methods[0].body.as_ref().unwrap();
         match &body.stmts[0].kind {
-            StmtKind::Local { ty: Type::Class(name, args), .. } => {
+            StmtKind::Local {
+                ty: Type::Class(name, args),
+                ..
+            } => {
                 assert_eq!(name, "ArrayList");
                 assert_eq!(args.len(), 1);
             }
@@ -1479,7 +1633,10 @@ mod tests {
         assert!(e.span.line >= 1);
         assert!(parse_unit("class {").is_err());
         assert!(parse_unit("class X { void f() { if } }").is_err());
-        assert!(parse_unit("class X { void f() { try { } } }").is_err(), "try needs catch/finally");
+        assert!(
+            parse_unit("class X { void f() { try { } } }").is_err(),
+            "try needs catch/finally"
+        );
     }
 
     #[test]
@@ -1491,7 +1648,10 @@ mod tests {
     #[test]
     fn varargs_parameter_becomes_array() {
         let u = unit("class V { void f(int... xs) { } }");
-        assert!(matches!(u.types[0].methods[0].params[0].ty, Type::Array(_, 1)));
+        assert!(matches!(
+            u.types[0].methods[0].params[0].ty,
+            Type::Array(_, 1)
+        ));
     }
 
     #[test]

@@ -9,28 +9,40 @@ use crate::ast::*;
 
 /// Print a whole compilation unit.
 pub fn pretty_print(unit: &CompilationUnit) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.unit(unit);
     p.out
 }
 
 /// Print a single expression (used by suggestion messages).
 pub fn print_expr(e: &Expr) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.expr(e);
     p.out
 }
 
 /// Print a single statement.
 pub fn print_stmt(s: &Stmt) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.stmt(s);
     p.out
 }
 
 /// Print a type.
 pub fn print_type(t: &Type) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.ty(t);
     p.out
 }
@@ -154,8 +166,18 @@ impl Printer {
             .collect::<Vec<_>>()
             .join(", ");
         let is_ctor = m.name == class_name && m.ret == Type::Void;
-        let ret = if is_ctor { String::new() } else { format!("{} ", print_type(&m.ret)) };
-        let mut head = format!("{}{}{}({})", Self::modifiers(&m.modifiers), ret, m.name, params);
+        let ret = if is_ctor {
+            String::new()
+        } else {
+            format!("{} ", print_type(&m.ret))
+        };
+        let mut head = format!(
+            "{}{}{}({})",
+            Self::modifiers(&m.modifiers),
+            ret,
+            m.name,
+            params
+        );
         if !m.throws.is_empty() {
             head.push_str(&format!(" throws {}", m.throws.join(", ")));
         }
@@ -254,7 +276,12 @@ impl Printer {
                 self.indent -= 1;
                 self.line(&format!("}} while ({});", print_expr(cond)));
             }
-            StmtKind::For { init, cond, update, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 let init_s = init
                     .iter()
                     .map(|s| {
@@ -272,8 +299,17 @@ impl Printer {
                 self.inner_stmt(body);
                 self.close();
             }
-            StmtKind::ForEach { ty, name, iter, body } => {
-                self.open(&format!("for ({} {name} : {})", print_type(ty), print_expr(iter)));
+            StmtKind::ForEach {
+                ty,
+                name,
+                iter,
+                body,
+            } => {
+                self.open(&format!(
+                    "for ({} {name} : {})",
+                    print_type(ty),
+                    print_expr(iter)
+                ));
                 self.inner_stmt(body);
                 self.close();
             }
@@ -301,7 +337,11 @@ impl Printer {
             StmtKind::Break => self.line("break;"),
             StmtKind::Continue => self.line("continue;"),
             StmtKind::Throw(e) => self.line(&format!("throw {};", print_expr(e))),
-            StmtKind::Try { body, catches, finally } => {
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
                 self.open("try");
                 for s in &body.stmts {
                     self.stmt(s);
@@ -404,7 +444,12 @@ impl Printer {
                 }
                 self.out.push(')');
             }
-            ExprKind::NewArray { elem, dims, extra_dims, init } => {
+            ExprKind::NewArray {
+                elem,
+                dims,
+                extra_dims,
+                init,
+            } => {
                 self.out.push_str("new ");
                 self.ty(elem);
                 for d in dims {
@@ -539,7 +584,11 @@ impl Printer {
                     self.out.push('L');
                 }
             }
-            Lit::Float { value, float32, scientific } => {
+            Lit::Float {
+                value,
+                float32,
+                scientific,
+            } => {
                 let text = if *scientific {
                     format!("{value:e}")
                 } else if value.fract() == 0.0 && value.abs() < 1e15 {

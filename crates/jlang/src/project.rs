@@ -44,10 +44,13 @@ impl JavaProject {
     /// Parse and add a source file. Returns the parse error (with file
     /// context in the message) on failure.
     pub fn add_file(&mut self, name: &str, text: &str) -> Result<(), ParseError> {
-        let unit = parse_unit(text).map_err(|e| {
-            ParseError::new(format!("{name}: {}", e.message), e.span)
-        })?;
-        self.files.push(SourceFile { name: name.to_string(), text: text.to_string(), unit });
+        let unit = parse_unit(text)
+            .map_err(|e| ParseError::new(format!("{name}: {}", e.message), e.span))?;
+        self.files.push(SourceFile {
+            name: name.to_string(),
+            text: text.to_string(),
+            unit,
+        });
         Ok(())
     }
 
@@ -198,9 +201,16 @@ mod tests {
             "package app; class M { public static void main(String[] a) { } }",
         )
         .unwrap();
-        assert_eq!(p.discover_main_class(), MainClassChoice::Unique("app.M".into()));
+        assert_eq!(
+            p.discover_main_class(),
+            MainClassChoice::Unique("app.M".into())
+        );
 
-        p.add_file("N.java", "class N { public static void main(String[] a) { } }").unwrap();
+        p.add_file(
+            "N.java",
+            "class N { public static void main(String[] a) { } }",
+        )
+        .unwrap();
         match p.discover_main_class() {
             MainClassChoice::Ambiguous(v) => assert_eq!(v.len(), 2),
             other => panic!("{other:?}"),
@@ -210,8 +220,10 @@ mod tests {
     #[test]
     fn internal_dependencies_follow_imports_and_types() {
         let mut p = JavaProject::new();
-        p.add_file("Base.java", "package lib; public class Base { }").unwrap();
-        p.add_file("Util.java", "package lib; public class Util { }").unwrap();
+        p.add_file("Base.java", "package lib; public class Base { }")
+            .unwrap();
+        p.add_file("Util.java", "package lib; public class Util { }")
+            .unwrap();
         p.add_file(
             "App.java",
             "package app; import lib.Util; class App extends Base { Util u; void f(Base b) { } }",

@@ -21,7 +21,12 @@ pub struct Span {
 impl Span {
     /// A single-point span.
     pub fn point(line: u32, col: u32) -> Span {
-        Span { line, col, end_line: line, end_col: col }
+        Span {
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -31,13 +36,18 @@ impl Span {
         } else {
             (other.line, other.col)
         };
-        let (end_line, end_col) = if (self.end_line, self.end_col) >= (other.end_line, other.end_col)
-        {
-            (self.end_line, self.end_col)
-        } else {
-            (other.end_line, other.end_col)
-        };
-        Span { line, col, end_line, end_col }
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
     }
 
     /// A span useful as a placeholder for synthesized nodes.
@@ -69,8 +79,18 @@ mod tests {
 
     #[test]
     fn merge_takes_extremes() {
-        let a = Span { line: 2, col: 5, end_line: 2, end_col: 9 };
-        let b = Span { line: 1, col: 10, end_line: 3, end_col: 1 };
+        let a = Span {
+            line: 2,
+            col: 5,
+            end_line: 2,
+            end_col: 9,
+        };
+        let b = Span {
+            line: 1,
+            col: 10,
+            end_line: 3,
+            end_col: 1,
+        };
         let m = a.merge(b);
         assert_eq!((m.line, m.col), (1, 10));
         assert_eq!((m.end_line, m.end_col), (3, 1));
@@ -78,8 +98,18 @@ mod tests {
 
     #[test]
     fn merge_is_commutative() {
-        let a = Span { line: 1, col: 1, end_line: 1, end_col: 4 };
-        let b = Span { line: 1, col: 8, end_line: 1, end_col: 12 };
+        let a = Span {
+            line: 1,
+            col: 1,
+            end_line: 1,
+            end_col: 4,
+        };
+        let b = Span {
+            line: 1,
+            col: 8,
+            end_line: 1,
+            end_col: 12,
+        };
         assert_eq!(a.merge(b), b.merge(a));
     }
 

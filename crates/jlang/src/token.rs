@@ -24,7 +24,11 @@ pub enum TokenKind {
     IntLit { value: i64, long: bool },
     /// Floating literal: value, `f`-suffix flag, whether written in
     /// scientific (`1e3`) notation.
-    FloatLit { value: f64, float32: bool, scientific: bool },
+    FloatLit {
+        value: f64,
+        float32: bool,
+        scientific: bool,
+    },
     /// Character literal.
     CharLit(char),
     /// String literal (escapes resolved).
@@ -38,12 +42,55 @@ pub enum TokenKind {
 impl TokenKind {
     /// Java keywords in the supported subset.
     pub const KEYWORDS: &'static [&'static str] = &[
-        "abstract", "boolean", "break", "byte", "case", "catch", "char", "class", "const",
-        "continue", "default", "do", "double", "else", "extends", "final", "finally", "float",
-        "for", "if", "implements", "import", "instanceof", "int", "interface", "long", "native",
-        "new", "package", "private", "protected", "public", "return", "short", "static", "super",
-        "switch", "synchronized", "this", "throw", "throws", "transient", "try", "void",
-        "volatile", "while", "true", "false", "null",
+        "abstract",
+        "boolean",
+        "break",
+        "byte",
+        "case",
+        "catch",
+        "char",
+        "class",
+        "const",
+        "continue",
+        "default",
+        "do",
+        "double",
+        "else",
+        "extends",
+        "final",
+        "finally",
+        "float",
+        "for",
+        "if",
+        "implements",
+        "import",
+        "instanceof",
+        "int",
+        "interface",
+        "long",
+        "native",
+        "new",
+        "package",
+        "private",
+        "protected",
+        "public",
+        "return",
+        "short",
+        "static",
+        "super",
+        "switch",
+        "synchronized",
+        "this",
+        "throw",
+        "throws",
+        "transient",
+        "try",
+        "void",
+        "volatile",
+        "while",
+        "true",
+        "false",
+        "null",
     ];
 
     /// Whether this token is the given keyword.
@@ -81,10 +128,9 @@ impl TokenKind {
 /// All multi-character operators, longest first (the lexer uses maximal
 /// munch over this table).
 pub const OPERATORS: &[&str] = &[
-    ">>>=", "<<=", ">>=", ">>>", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=",
-    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->", "::", "+", "-", "*", "/", "%",
-    "=", "<", ">", "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[",
-    "]", "@",
+    ">>>=", "<<=", ">>=", ">>>", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->", "::", "+", "-", "*", "/", "%", "=", "<",
+    ">", "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]", "@",
 ];
 
 #[cfg(test)]
@@ -117,8 +163,15 @@ mod tests {
     fn describe_is_nonempty_for_all_kinds() {
         let kinds = [
             TokenKind::Ident("x".into()),
-            TokenKind::IntLit { value: 3, long: false },
-            TokenKind::FloatLit { value: 1.5, float32: true, scientific: false },
+            TokenKind::IntLit {
+                value: 3,
+                long: false,
+            },
+            TokenKind::FloatLit {
+                value: 1.5,
+                float32: true,
+                scientific: false,
+            },
             TokenKind::CharLit('a'),
             TokenKind::StrLit("s".into()),
             TokenKind::Punct("+"),

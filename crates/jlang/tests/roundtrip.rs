@@ -15,10 +15,14 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn literal() -> impl Strategy<Value = ExprKind> {
     prop_oneof![
-        (-1_000_000i64..1_000_000)
-            .prop_map(|v| ExprKind::Literal(Lit::Int { value: v, long: false })),
-        (-1_000_000i64..1_000_000)
-            .prop_map(|v| ExprKind::Literal(Lit::Int { value: v, long: true })),
+        (-1_000_000i64..1_000_000).prop_map(|v| ExprKind::Literal(Lit::Int {
+            value: v,
+            long: false
+        })),
+        (-1_000_000i64..1_000_000).prop_map(|v| ExprKind::Literal(Lit::Int {
+            value: v,
+            long: true
+        })),
         (-1e6f64..1e6).prop_map(|v| ExprKind::Literal(Lit::Float {
             value: v,
             float32: false,
@@ -48,7 +52,10 @@ fn expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
-                Expr::new(ExprKind::Binary(op, Box::new(l), Box::new(r)), Span::synthetic())
+                Expr::new(
+                    ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                    Span::synthetic(),
+                )
             }),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
                 Expr::new(
@@ -64,13 +71,21 @@ fn expr() -> impl Strategy<Value = Expr> {
                 )
             }),
             inner.clone().prop_map(|e| {
-                Expr::new(ExprKind::Unary(UnaryOp::Neg, Box::new(e)), Span::synthetic())
+                Expr::new(
+                    ExprKind::Unary(UnaryOp::Neg, Box::new(e)),
+                    Span::synthetic(),
+                )
             }),
-            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| {
-                    Expr::new(ExprKind::Call { target: None, name, args }, Span::synthetic())
-                }
-            ),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::new(
+                    ExprKind::Call {
+                        target: None,
+                        name,
+                        args,
+                    },
+                    Span::synthetic(),
+                )
+            }),
             (inner.clone(), ident()).prop_map(|(e, f)| {
                 Expr::new(ExprKind::FieldAccess(Box::new(e), f), Span::synthetic())
             }),

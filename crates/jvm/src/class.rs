@@ -75,7 +75,10 @@ pub struct Program {
 impl Program {
     /// Find a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes.iter().position(|c| c.name == name).map(|i| i as ClassId)
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as ClassId)
     }
 
     /// Resolve `(class, name, arity)` walking up the hierarchy.

@@ -18,8 +18,11 @@ use std::collections::HashMap;
 
 /// Compile a whole project.
 pub fn compile_project(project: &JavaProject) -> Result<Program, VmError> {
-    let classes: Vec<&ClassDecl> =
-        project.files().iter().flat_map(|f| f.unit.types.iter()).collect();
+    let classes: Vec<&ClassDecl> = project
+        .files()
+        .iter()
+        .flat_map(|f| f.unit.types.iter())
+        .collect();
     compile_classes(&classes)
 }
 
@@ -118,7 +121,10 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
     let mut names: HashMap<String, ClassId> = HashMap::new();
     for (i, d) in decls.iter().enumerate() {
         if names.insert(d.name.clone(), i as ClassId).is_some() {
-            return Err(VmError::compile(format!("duplicate class `{}`", d.name), d.span.line));
+            return Err(VmError::compile(
+                format!("duplicate class `{}`", d.name),
+                d.span.line,
+            ));
         }
     }
     // Pass 1b: field layouts (instance) with inheritance, statics table.
@@ -159,7 +165,10 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
             if f.modifiers.is_static {
                 let qualified = format!("{}.{}", decls[i].name, f.name);
                 static_slots.insert(qualified.clone(), statics.len() as u16);
-                statics.push(StaticField { qualified, ty: f.ty.clone() });
+                statics.push(StaticField {
+                    qualified,
+                    ty: f.ty.clone(),
+                });
             }
         }
     }
@@ -169,9 +178,10 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
     let mut program = Program::default();
     let mut method_sigs: Vec<(usize, MethodDecl)> = Vec::new(); // (class idx, decl)
     for (i, d) in decls.iter().enumerate() {
-        let superclass = d.extends.as_ref().and_then(|s| {
-            names.get(s.rsplit('.').next().unwrap_or(s)).copied()
-        });
+        let superclass = d
+            .extends
+            .as_ref()
+            .and_then(|s| names.get(s.rsplit('.').next().unwrap_or(s)).copied());
         let mut class = Class {
             name: d.name.clone(),
             superclass,
@@ -211,8 +221,12 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
     // Pass 2: compile bodies, replacing the placeholders.
     let mut compiled_methods = Vec::with_capacity(method_sigs.len());
     {
-        let ctx =
-            GlobalCtx { decls, names: &names, static_slots: &static_slots, program: &program };
+        let ctx = GlobalCtx {
+            decls,
+            names: &names,
+            static_slots: &static_slots,
+            program: &program,
+        };
         for (ci, m) in &method_sigs {
             compiled_methods.push(MethodCompiler::compile(&ctx, *ci, m)?);
         }
@@ -250,7 +264,12 @@ fn synthesize_static_inits(
         if inits.is_empty() {
             continue;
         }
-        let ctx = GlobalCtx { decls, names, static_slots, program };
+        let ctx = GlobalCtx {
+            decls,
+            names,
+            static_slots,
+            program,
+        };
         let mut mc = MethodCompiler::new(&ctx, i, false);
         for f in &inits {
             let slot = static_slots[&format!("{}.{}", d.name, f.name)];
@@ -370,7 +389,11 @@ impl<'a> MethodCompiler<'a> {
         }
     }
 
-    fn compile(ctx: &'a GlobalCtx<'a>, class_idx: usize, m: &MethodDecl) -> Result<Method, VmError> {
+    fn compile(
+        ctx: &'a GlobalCtx<'a>,
+        class_idx: usize,
+        m: &MethodDecl,
+    ) -> Result<Method, VmError> {
         let is_ctor = m.name == ctx.decls[class_idx].name;
         let is_instance = !m.modifiers.is_static || is_ctor;
         let mut mc = MethodCompiler::new(ctx, class_idx, is_instance);
@@ -391,7 +414,13 @@ impl<'a> MethodCompiler<'a> {
                 for f in ctx.decls[ci].fields.iter() {
                     if !f.modifiers.is_static {
                         if let Some(init) = &f.init {
-                            init_fields.push((ci, f.name.clone(), f.ty.clone(), init.clone(), f.span.line));
+                            init_fields.push((
+                                ci,
+                                f.name.clone(),
+                                f.ty.clone(),
+                                init.clone(),
+                                f.span.line,
+                            ));
                         }
                     }
                 }
@@ -440,7 +469,10 @@ impl<'a> MethodCompiler<'a> {
         let slot = self.next_slot;
         self.next_slot += 1;
         self.max_slot = self.max_slot.max(self.next_slot);
-        self.scopes.last_mut().unwrap().insert(name.to_string(), (slot, ty));
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), (slot, ty));
         slot
     }
 
@@ -530,7 +562,10 @@ impl<'a> MethodCompiler<'a> {
                 let top = self.code.len() as u32;
                 self.bool_expr(cond, line)?;
                 let jf = self.emit_placeholder();
-                self.loops.push(LoopLabels { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopLabels {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.stmt(body)?;
                 let labels = self.loops.pop().unwrap();
                 for c in labels.continue_jumps {
@@ -545,7 +580,10 @@ impl<'a> MethodCompiler<'a> {
             }
             StmtKind::DoWhile { body, cond } => {
                 let top = self.code.len() as u32;
-                self.loops.push(LoopLabels { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopLabels {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.stmt(body)?;
                 let labels = self.loops.pop().unwrap();
                 let cond_pc = self.code.len() as u32;
@@ -559,7 +597,12 @@ impl<'a> MethodCompiler<'a> {
                     self.patch(b, Op::Jump(end));
                 }
             }
-            StmtKind::For { init, cond, update, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 self.push_scope();
                 for s in init {
                     self.stmt(s)?;
@@ -572,7 +615,10 @@ impl<'a> MethodCompiler<'a> {
                     }
                     None => None,
                 };
-                self.loops.push(LoopLabels { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopLabels {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.stmt(body)?;
                 let labels = self.loops.pop().unwrap();
                 let update_pc = self.code.len() as u32;
@@ -595,7 +641,12 @@ impl<'a> MethodCompiler<'a> {
                 }
                 self.pop_scope();
             }
-            StmtKind::ForEach { ty, name, iter, body } => {
+            StmtKind::ForEach {
+                ty,
+                name,
+                iter,
+                body,
+            } => {
                 // Desugar to an index loop over the array.
                 self.push_scope();
                 let arr_t = self.expr(iter)?;
@@ -621,7 +672,10 @@ impl<'a> MethodCompiler<'a> {
                 self.code.push(Op::ArrLoad(elem_t.elem_kind()));
                 self.coerce(elem_t.clone(), &declared_t, line)?;
                 self.code.push(Op::StoreLocal(var_slot));
-                self.loops.push(LoopLabels { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopLabels {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 self.stmt(body)?;
                 let labels = self.loops.pop().unwrap();
                 let update_pc = self.code.len() as u32;
@@ -674,7 +728,10 @@ impl<'a> MethodCompiler<'a> {
                 let after_dispatch = self.emit_placeholder_jump();
                 // Bodies.
                 let mut case_pcs = Vec::with_capacity(cases.len());
-                self.loops.push(LoopLabels { break_jumps: vec![], continue_jumps: vec![] });
+                self.loops.push(LoopLabels {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
                 for c in cases {
                     case_pcs.push(self.code.len() as u32);
                     for s in &c.body {
@@ -701,17 +758,15 @@ impl<'a> MethodCompiler<'a> {
                 }
                 self.pop_scope();
             }
-            StmtKind::Return(e) => {
-                match e {
-                    Some(e) => {
-                        let want = self.ret_type.clone();
-                        let got = self.expr_with_target(e, Some(&want))?;
-                        self.coerce(got, &want, line)?;
-                        self.code.push(Op::Return);
-                    }
-                    None => self.code.push(Op::ReturnVoid),
+            StmtKind::Return(e) => match e {
+                Some(e) => {
+                    let want = self.ret_type.clone();
+                    let got = self.expr_with_target(e, Some(&want))?;
+                    self.coerce(got, &want, line)?;
+                    self.code.push(Op::Return);
                 }
-            }
+                None => self.code.push(Op::ReturnVoid),
+            },
             StmtKind::Break => {
                 let j = self.emit_placeholder_jump();
                 match self.loops.last_mut() {
@@ -730,7 +785,11 @@ impl<'a> MethodCompiler<'a> {
                 self.expr(e)?;
                 self.code.push(Op::Throw);
             }
-            StmtKind::Try { body, catches, finally } => {
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
                 // Single-catch-at-a-time lowering: nest TryEnter per catch.
                 let enter_idxs: Vec<usize> = catches
                     .iter()
@@ -760,7 +819,10 @@ impl<'a> MethodCompiler<'a> {
                         Type::Class(n, _) => n.rsplit('.').next().unwrap_or(n).to_string(),
                         _ => "*".to_string(),
                     };
-                    self.code[enter_idxs[i]] = Op::TryEnter { handler: hpc, class };
+                    self.code[enter_idxs[i]] = Op::TryEnter {
+                        handler: hpc,
+                        class,
+                    };
                     self.push_scope();
                     let slot = self.declare(name, CType::RefAny);
                     self.code.push(Op::StoreLocal(slot)); // exception ref pushed by unwinder
@@ -812,7 +874,10 @@ impl<'a> MethodCompiler<'a> {
                 self.code.push(Op::Unbox);
                 Ok(())
             }
-            other => Err(VmError::compile(format!("condition is not boolean: {other:?}"), line)),
+            other => Err(VmError::compile(
+                format!("condition is not boolean: {other:?}"),
+                line,
+            )),
         }
     }
 
@@ -822,9 +887,11 @@ impl<'a> MethodCompiler<'a> {
     fn expr_stmt(&mut self, e: &Expr) -> Result<CType, VmError> {
         match &e.kind {
             // Assignments in statement position: avoid leaving a value.
-            ExprKind::Assign(..) | ExprKind::Unary(UnaryOp::PostInc | UnaryOp::PostDec | UnaryOp::PreInc | UnaryOp::PreDec, _) => {
-                self.assign_like(e, false)
-            }
+            ExprKind::Assign(..)
+            | ExprKind::Unary(
+                UnaryOp::PostInc | UnaryOp::PostDec | UnaryOp::PreInc | UnaryOp::PreDec,
+                _,
+            ) => self.assign_like(e, false),
             _ => self.expr(e),
         }
     }
@@ -848,9 +915,7 @@ impl<'a> MethodCompiler<'a> {
                     return Ok(t);
                 }
                 if self.is_instance {
-                    if let Some((slot, t)) =
-                        self.ctx.field_slot(self.class_idx as ClassId, n)
-                    {
+                    if let Some((slot, t)) = self.ctx.field_slot(self.class_idx as ClassId, n) {
                         self.code.push(Op::LoadLocal(0));
                         self.code.push(Op::GetField(slot));
                         return Ok(t);
@@ -901,11 +966,13 @@ impl<'a> MethodCompiler<'a> {
                             return Ok(CType::Prim(NumTy::F64));
                         }
                         if cn == "Math" && fname == "PI" {
-                            self.code.push(Op::Const(Value::Double(std::f64::consts::PI)));
+                            self.code
+                                .push(Op::Const(Value::Double(std::f64::consts::PI)));
                             return Ok(CType::Prim(NumTy::F64));
                         }
                         if cn == "Math" && fname == "E" {
-                            self.code.push(Op::Const(Value::Double(std::f64::consts::E)));
+                            self.code
+                                .push(Op::Const(Value::Double(std::f64::consts::E)));
                             return Ok(CType::Prim(NumTy::F64));
                         }
                         if cn == "System" && fname == "out" {
@@ -928,10 +995,7 @@ impl<'a> MethodCompiler<'a> {
                             self.code.push(Op::GetField(slot));
                             Ok(ft)
                         }
-                        None => Err(VmError::compile(
-                            format!("unknown field `{fname}`"),
-                            line,
-                        )),
+                        None => Err(VmError::compile(format!("unknown field `{fname}`"), line)),
                     },
                     _ => Err(VmError::compile(
                         format!("field access `{fname}` on non-object"),
@@ -944,12 +1008,7 @@ impl<'a> MethodCompiler<'a> {
                 for (k, i) in idxs.iter().enumerate() {
                     let elem = match &t {
                         CType::Array(e) => (**e).clone(),
-                        _ => {
-                            return Err(VmError::compile(
-                                "indexing into non-array",
-                                line,
-                            ))
-                        }
+                        _ => return Err(VmError::compile("indexing into non-array", line)),
                     };
                     let it = self.expr(i)?;
                     self.coerce(it, &CType::Prim(NumTy::I32), line)?;
@@ -961,13 +1020,21 @@ impl<'a> MethodCompiler<'a> {
             }
             ExprKind::Call { .. } => self.call(e, target),
             ExprKind::New { class, args } => self.new_object(class, args, line),
-            ExprKind::NewArray { elem, dims, extra_dims, init } => {
+            ExprKind::NewArray {
+                elem,
+                dims,
+                extra_dims,
+                init,
+            } => {
                 let base = CType::from_ast(elem, self.ctx.names);
                 if let Some(items) = init {
                     // `new T[]{...}` — allocate exact size and store items.
                     let n = items.len();
                     self.code.push(Op::Const(Value::Int(n as i32)));
-                    self.code.push(Op::NewArray { elem: base.elem_kind(), dims: 1 });
+                    self.code.push(Op::NewArray {
+                        elem: base.elem_kind(),
+                        dims: 1,
+                    });
                     for (i, item) in items.iter().enumerate() {
                         self.code.push(Op::Dup);
                         self.code.push(Op::Const(Value::Int(i as i32)));
@@ -1005,7 +1072,10 @@ impl<'a> MethodCompiler<'a> {
                 };
                 let n = items.len();
                 self.code.push(Op::Const(Value::Int(n as i32)));
-                self.code.push(Op::NewArray { elem: elem.elem_kind(), dims: 1 });
+                self.code.push(Op::NewArray {
+                    elem: elem.elem_kind(),
+                    dims: 1,
+                });
                 for (i, item) in items.iter().enumerate() {
                     self.code.push(Op::Dup);
                     self.code.push(Op::Const(Value::Int(i as i32)));
@@ -1121,9 +1191,12 @@ impl<'a> MethodCompiler<'a> {
                     CType::Prim(NumTy::I32)
                 }
             }
-            Lit::Float { value, float32, scientific } => {
-                let f32_wanted =
-                    *float32 || matches!(target, Some(CType::Prim(NumTy::F32)));
+            Lit::Float {
+                value,
+                float32,
+                scientific,
+            } => {
+                let f32_wanted = *float32 || matches!(target, Some(CType::Prim(NumTy::F32)));
                 self.code.push(Op::ConstDecimal {
                     value: *value,
                     float32: f32_wanted,
@@ -1221,10 +1294,21 @@ impl<'a> MethodCompiler<'a> {
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                 let lt = self.expr(l)?;
                 // Reference comparisons (null checks etc.).
-                if matches!(lt, CType::Str | CType::Builder | CType::Class(_) | CType::RefAny | CType::Array(_) | CType::Boxed(_))
-                {
+                if matches!(
+                    lt,
+                    CType::Str
+                        | CType::Builder
+                        | CType::Class(_)
+                        | CType::RefAny
+                        | CType::Array(_)
+                        | CType::Boxed(_)
+                ) {
                     let _rt = self.expr(r)?;
-                    let cmp = if op == BinOp::Eq { CmpOp::Eq } else { CmpOp::Ne };
+                    let cmp = if op == BinOp::Eq {
+                        CmpOp::Eq
+                    } else {
+                        CmpOp::Ne
+                    };
                     if !matches!(op, BinOp::Eq | BinOp::Ne) {
                         return Err(VmError::compile("ordering on references", line));
                     }
@@ -1359,7 +1443,10 @@ impl<'a> MethodCompiler<'a> {
                 let target_prim = boxed_prim(w);
                 if let CType::Prim(f) = got {
                     if f != target_prim && f != NumTy::Bool {
-                        self.code.push(Op::Convert { from: f, to: target_prim });
+                        self.code.push(Op::Convert {
+                            from: f,
+                            to: target_prim,
+                        });
                     }
                 }
                 self.code.push(Op::Box(wrapper_static(w)));
@@ -1463,7 +1550,10 @@ impl<'a> MethodCompiler<'a> {
                         return Ok(CType::Void);
                     }
                 }
-                Err(VmError::compile(format!("unknown assignment target `{n}`"), line))
+                Err(VmError::compile(
+                    format!("unknown assignment target `{n}`"),
+                    line,
+                ))
             }
             ExprKind::FieldAccess(obj, fname) => {
                 // Static `Class.field = ...`?
@@ -1678,7 +1768,10 @@ impl<'a> MethodCompiler<'a> {
         // pre-value + adjustment only when observed — adequate for the
         // corpus, where non-local post-inc value uses don't occur).
         let one = Expr::new(
-            ExprKind::Literal(Lit::Int { value: 1, long: false }),
+            ExprKind::Literal(Lit::Int {
+                value: 1,
+                long: false,
+            }),
             lv.span,
         );
         let op = if delta > 0 { BinOp::Add } else { BinOp::Sub };
@@ -1729,7 +1822,10 @@ impl<'a> MethodCompiler<'a> {
                 let target_prim = boxed_prim(simple);
                 if let CType::Prim(f) = got {
                     if f != target_prim && f != NumTy::Bool {
-                        self.code.push(Op::Convert { from: f, to: target_prim });
+                        self.code.push(Op::Convert {
+                            from: f,
+                            to: target_prim,
+                        });
                     }
                 }
                 self.code.push(Op::Box(w));
@@ -1753,7 +1849,10 @@ impl<'a> MethodCompiler<'a> {
                     let got = self.expr_with_target(a, Some(&want))?;
                     self.coerce(got, &want, line)?;
                 }
-                self.code.push(Op::Call { method: ctor, argc: arity + 1 });
+                self.code.push(Op::Call {
+                    method: ctor,
+                    argc: arity + 1,
+                });
             } else if !args.is_empty() {
                 return Err(VmError::compile(
                     format!("no constructor of arity {} on `{simple}`", args.len()),
@@ -1776,7 +1875,10 @@ impl<'a> MethodCompiler<'a> {
         self.code.push(Op::ConstStr(simple.to_string()));
         self.code.push(Op::Swap);
         // interpreter builds Exception{class, message} from two strings
-        self.code.push(Op::CallVirtual { name: "<makeExc>".into(), argc: 1 });
+        self.code.push(Op::CallVirtual {
+            name: "<makeExc>".into(),
+            argc: 1,
+        });
         Ok(CType::RefAny)
     }
 
@@ -1842,7 +1944,10 @@ impl<'a> MethodCompiler<'a> {
                             if t != CType::Str {
                                 return Err(VmError::compile("parseInt needs a string", line));
                             }
-                            self.code.push(Op::CallVirtual { name: "<parseInt>".into(), argc: 0 });
+                            self.code.push(Op::CallVirtual {
+                                name: "<parseInt>".into(),
+                                argc: 0,
+                            });
                             return Ok(CType::Prim(NumTy::I32));
                         }
                         ("Double", "parseDouble") => {
@@ -1850,18 +1955,26 @@ impl<'a> MethodCompiler<'a> {
                             if t != CType::Str {
                                 return Err(VmError::compile("parseDouble needs a string", line));
                             }
-                            self.code
-                                .push(Op::CallVirtual { name: "<parseDouble>".into(), argc: 0 });
+                            self.code.push(Op::CallVirtual {
+                                name: "<parseDouble>".into(),
+                                argc: 0,
+                            });
                             return Ok(CType::Prim(NumTy::F64));
                         }
-                        ("Integer" | "Long" | "Double" | "Float" | "Short" | "Byte"
-                        | "Character" | "Boolean", "valueOf") => {
+                        (
+                            "Integer" | "Long" | "Double" | "Float" | "Short" | "Byte"
+                            | "Character" | "Boolean",
+                            "valueOf",
+                        ) => {
                             let w = wrapper_static(recv);
                             let got = self.expr(&args[0])?;
                             let target_prim = boxed_prim(recv);
                             if let CType::Prim(f) = got {
                                 if f != target_prim && f != NumTy::Bool {
-                                    self.code.push(Op::Convert { from: f, to: target_prim });
+                                    self.code.push(Op::Convert {
+                                        from: f,
+                                        to: target_prim,
+                                    });
                                 }
                             }
                             self.code.push(Op::Box(w));
@@ -1870,11 +1983,9 @@ impl<'a> MethodCompiler<'a> {
                         _ => {
                             // Static method of a project class?
                             if let Some(&cid) = self.ctx.names.get(recv.as_str()) {
-                                if let Some(mid) = self.ctx.program.resolve_method(
-                                    cid,
-                                    name,
-                                    args.len() as u8,
-                                ) {
+                                if let Some(mid) =
+                                    self.ctx.program.resolve_method(cid, name, args.len() as u8)
+                                {
                                     return self.emit_static_call(mid, args, line);
                                 }
                             }
@@ -1891,7 +2002,10 @@ impl<'a> MethodCompiler<'a> {
                             if has_arg {
                                 self.expr(&args[0])?;
                             }
-                            self.code.push(Op::Print { newline: name == "println", has_arg });
+                            self.code.push(Op::Print {
+                                newline: name == "println",
+                                has_arg,
+                            });
                             return Ok(CType::Void);
                         }
                     }
@@ -1925,7 +2039,10 @@ impl<'a> MethodCompiler<'a> {
                     }
                     (CType::Str, "toString") => Ok(CType::Str),
                     (CType::Str, "hashCode") => {
-                        self.code.push(Op::CallVirtual { name: "<strHash>".into(), argc: 0 });
+                        self.code.push(Op::CallVirtual {
+                            name: "<strHash>".into(),
+                            argc: 0,
+                        });
                         Ok(CType::Prim(NumTy::I32))
                     }
                     (CType::Str, "isEmpty") => {
@@ -1948,8 +2065,10 @@ impl<'a> MethodCompiler<'a> {
                         self.code.push(Op::StrLength);
                         Ok(CType::Prim(NumTy::I32))
                     }
-                    (CType::Boxed(w), "intValue") | (CType::Boxed(w), "doubleValue")
-                    | (CType::Boxed(w), "floatValue") | (CType::Boxed(w), "longValue") => {
+                    (CType::Boxed(w), "intValue")
+                    | (CType::Boxed(w), "doubleValue")
+                    | (CType::Boxed(w), "floatValue")
+                    | (CType::Boxed(w), "longValue") => {
                         self.code.push(Op::Unbox);
                         let from = boxed_prim(w);
                         let to = match name.as_str() {
@@ -1964,7 +2083,10 @@ impl<'a> MethodCompiler<'a> {
                         Ok(CType::Prim(to))
                     }
                     (CType::RefAny, "getMessage") => {
-                        self.code.push(Op::CallVirtual { name: "<excMessage>".into(), argc: 0 });
+                        self.code.push(Op::CallVirtual {
+                            name: "<excMessage>".into(),
+                            argc: 0,
+                        });
                         Ok(CType::Str)
                     }
                     (CType::Class(cid), _) => {
@@ -1973,8 +2095,7 @@ impl<'a> MethodCompiler<'a> {
                             Some(mid) => {
                                 let param_types = self.param_types_of(mid);
                                 for (i, a) in args.iter().enumerate() {
-                                    let want =
-                                        param_types.get(i).cloned().unwrap_or(CType::RefAny);
+                                    let want = param_types.get(i).cloned().unwrap_or(CType::RefAny);
                                     let got = self.expr_with_target(a, Some(&want))?;
                                     self.coerce(got, &want, line)?;
                                 }
@@ -2020,7 +2141,12 @@ impl<'a> MethodCompiler<'a> {
                                 Some(d) => !d.modifiers.is_static,
                                 None => {
                                     // inherited; check the program table
-                                    self.ctx.program.methods.get(mid as usize).map(|m| m.is_instance).unwrap_or(false)
+                                    self.ctx
+                                        .program
+                                        .methods
+                                        .get(mid as usize)
+                                        .map(|m| m.is_instance)
+                                        .unwrap_or(false)
                                 }
                             }
                         };
@@ -2065,8 +2191,16 @@ impl<'a> MethodCompiler<'a> {
             let got = self.expr_with_target(a, Some(&want))?;
             self.coerce(got, &want, line)?;
         }
-        self.code.push(Op::Call { method: mid, argc: args.len() as u8 });
-        let ret = self.ctx.program.methods.get(mid as usize).map(|m| m.ret.clone());
+        self.code.push(Op::Call {
+            method: mid,
+            argc: args.len() as u8,
+        });
+        let ret = self
+            .ctx
+            .program
+            .methods
+            .get(mid as usize)
+            .map(|m| m.ret.clone());
         Ok(match ret {
             Some(t) => CType::from_ast(&t, self.ctx.names),
             None => CType::RefAny,
@@ -2195,14 +2329,14 @@ mod tests {
     #[test]
     fn numeric_promotion_int_plus_double() {
         let p = compile("class A { static double f(int a, double b) { return a + b; } }");
-        assert!(p.methods[0].code.contains(&Op::Arith(ArithOp::Add, NumTy::F64)));
+        assert!(p.methods[0]
+            .code
+            .contains(&Op::Arith(ArithOp::Add, NumTy::F64)));
     }
 
     #[test]
     fn string_concat_compiles_to_strconcat() {
-        let p = compile(
-            "class A { static String f(String s, int n) { return s + n; } }",
-        );
+        let p = compile("class A { static String f(String s, int n) { return s + n; } }");
         assert!(p.methods[0].code.contains(&Op::StrConcat));
     }
 
@@ -2237,9 +2371,7 @@ mod tests {
 
     #[test]
     fn instance_fields_compile_to_field_ops() {
-        let p = compile(
-            "class A { int x; int get() { return x; } void set(int v) { x = v; } }",
-        );
+        let p = compile("class A { int x; int get() { return x; } void set(int v) { x = v; } }");
         let get = p.methods.iter().find(|m| m.name == "get").unwrap();
         assert!(get.code.contains(&Op::GetField(0)));
         let set = p.methods.iter().find(|m| m.name == "set").unwrap();
@@ -2255,15 +2387,21 @@ mod tests {
     #[test]
     fn scientific_notation_reaches_bytecode() {
         let p = compile("class A { static double f() { return 1.5e3; } }");
-        assert!(p.methods[0]
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::ConstDecimal { scientific: true, .. })));
+        assert!(p.methods[0].code.iter().any(|op| matches!(
+            op,
+            Op::ConstDecimal {
+                scientific: true,
+                ..
+            }
+        )));
         let q = compile("class A { static double f() { return 1500.0; } }");
-        assert!(q.methods[0]
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::ConstDecimal { scientific: false, .. })));
+        assert!(q.methods[0].code.iter().any(|op| matches!(
+            op,
+            Op::ConstDecimal {
+                scientific: false,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl LatencyModel {
 
     /// Uniform latency (ablation).
     pub fn uniform(ns_per_op: f64) -> LatencyModel {
-        LatencyModel { ns: vec![ns_per_op; OpCategory::COUNT] }
+        LatencyModel {
+            ns: vec![ns_per_op; OpCategory::COUNT],
+        }
     }
 
     /// Nanoseconds for one op of `cat`.
@@ -57,7 +59,9 @@ impl LatencyModel {
 
     /// Seconds for a counter snapshot.
     pub fn seconds_for(&self, snap: &jepo_rapl::activity::OpSnapshot) -> f64 {
-        snap.nonzero().map(|(c, n)| n as f64 * self.nanos(c) * 1e-9).sum()
+        snap.nonzero()
+            .map(|(c, n)| n as f64 * self.nanos(c) * 1e-9)
+            .sum()
     }
 }
 
@@ -233,15 +237,28 @@ mod tests {
 
     #[test]
     fn static_vs_field_access_categories() {
-        assert_eq!(category_for(&Op::GetStatic(0)), Some(OpCategory::StaticAccess));
-        assert_eq!(category_for(&Op::GetField(0)), Some(OpCategory::FieldAccess));
+        assert_eq!(
+            category_for(&Op::GetStatic(0)),
+            Some(OpCategory::StaticAccess)
+        );
+        assert_eq!(
+            category_for(&Op::GetField(0)),
+            Some(OpCategory::FieldAccess)
+        );
     }
 
     #[test]
     fn scientific_constants_are_cheaper_category() {
-        let sci = category_for(&Op::ConstDecimal { value: 1e3, float32: false, scientific: true });
-        let plain =
-            category_for(&Op::ConstDecimal { value: 1000.0, float32: false, scientific: false });
+        let sci = category_for(&Op::ConstDecimal {
+            value: 1e3,
+            float32: false,
+            scientific: true,
+        });
+        let plain = category_for(&Op::ConstDecimal {
+            value: 1000.0,
+            float32: false,
+            scientific: false,
+        });
         assert_eq!(sci, Some(OpCategory::ConstScientific));
         assert_eq!(plain, Some(OpCategory::ConstDecimal));
     }
@@ -268,7 +285,10 @@ mod tests {
             Op::Call { method: 0, argc: 0 },
             Op::Return,
             Op::NewObject(0),
-            Op::NewArray { elem: ArrayElem::Num(NumTy::I32), dims: 1 },
+            Op::NewArray {
+                elem: ArrayElem::Num(NumTy::I32),
+                dims: 1,
+            },
             Op::ArrLoad(ArrayElem::Num(NumTy::F64)),
             Op::ArrayCopy,
             Op::StrConcat,
@@ -278,9 +298,15 @@ mod tests {
             Op::Box("Integer"),
             Op::Unbox,
             Op::Throw,
-            Op::TryEnter { handler: 0, class: "*".into() },
+            Op::TryEnter {
+                handler: 0,
+                class: "*".into(),
+            },
             Op::Math(MathFn::Sqrt),
-            Op::Print { newline: true, has_arg: true },
+            Op::Print {
+                newline: true,
+                has_arg: true,
+            },
         ];
         for op in ops {
             assert!(category_for(&op).is_some(), "{op:?} has no category");
@@ -292,7 +318,8 @@ mod tests {
         let cost = jepo_rapl::CostModel::paper_calibrated();
         let lat = LatencyModel::paper_calibrated();
         // energy ratio static/field = 178; latency ratio must be smaller.
-        let e_ratio = cost.nanojoules(OpCategory::StaticAccess) / cost.nanojoules(OpCategory::FieldAccess);
+        let e_ratio =
+            cost.nanojoules(OpCategory::StaticAccess) / cost.nanojoules(OpCategory::FieldAccess);
         let t_ratio = lat.nanos(OpCategory::StaticAccess) / lat.nanos(OpCategory::FieldAccess);
         assert!(t_ratio < e_ratio);
         assert!(t_ratio > 1.0, "static access is still slower");

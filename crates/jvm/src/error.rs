@@ -22,12 +22,18 @@ pub enum VmError {
 impl VmError {
     /// Compile error helper.
     pub fn compile(message: impl Into<String>, line: u32) -> VmError {
-        VmError::Compile { message: message.into(), line }
+        VmError::Compile {
+            message: message.into(),
+            line,
+        }
     }
 
     /// Runtime error helper.
     pub fn runtime(message: impl Into<String>, method: impl Into<String>) -> VmError {
-        VmError::Runtime { message: message.into(), method: method.into() }
+        VmError::Runtime {
+            message: message.into(),
+            method: method.into(),
+        }
     }
 }
 

@@ -63,7 +63,10 @@ pub struct Heap {
 impl Heap {
     /// Fresh heap. Address 0 is reserved so `base_addr > 0` always holds.
     pub fn new() -> Heap {
-        Heap { cells: Vec::new(), next_addr: 64 }
+        Heap {
+            cells: Vec::new(),
+            next_addr: 64,
+        }
     }
 
     /// Allocate a cell, returning its reference.
@@ -77,14 +80,22 @@ impl Heap {
     pub fn alloc_array(&mut self, len: usize, elem_size: u32, fill: Value) -> Ref {
         let base_addr = self.next_addr;
         self.next_addr += (len as u64) * elem_size as u64 + 16; // +header
-        self.alloc(HeapObj::Array { data: vec![fill; len], elem_size, base_addr })
+        self.alloc(HeapObj::Array {
+            data: vec![fill; len],
+            elem_size,
+            base_addr,
+        })
     }
 
     /// Allocate a plain object with `nfields` null-initialized slots.
     pub fn alloc_object(&mut self, class: u32, nfields: usize) -> Ref {
         let base_addr = self.next_addr;
         self.next_addr += (nfields as u64) * 8 + 16;
-        self.alloc(HeapObj::Object { class, fields: vec![Value::Null; nfields], base_addr })
+        self.alloc(HeapObj::Object {
+            class,
+            fields: vec![Value::Null; nfields],
+            base_addr,
+        })
     }
 
     /// Borrow a cell.
@@ -226,7 +237,10 @@ mod tests {
         let s = h.alloc(HeapObj::Str("hi".into()));
         assert_eq!(h.render(&Value::Obj(s)), "hi");
         assert_eq!(h.render(&Value::Int(3)), "3");
-        let b = h.alloc(HeapObj::Boxed { wrapper: "Integer", value: Value::Int(9) });
+        let b = h.alloc(HeapObj::Boxed {
+            wrapper: "Integer",
+            value: Value::Int(9),
+        });
         assert_eq!(h.render(&Value::Obj(b)), "9");
     }
 
@@ -293,7 +307,7 @@ mod tests {
     #[test]
     fn lru_keeps_hot_lines() {
         let mut c = CacheModel::new(1024, 2, 64); // tiny: 8 sets × 2 ways
-        // Two lines in the same set, accessed alternately: both stay.
+                                                  // Two lines in the same set, accessed alternately: both stay.
         let a = 0u64;
         let b = 8 * 64u64; // same set (8 sets)
         c.access(a);
@@ -305,7 +319,10 @@ mod tests {
         // A third line in the set evicts the LRU one.
         let d = 16 * 64u64;
         c.access(d);
-        assert!(!c.access(a) || !c.access(b), "one of a/b must have been evicted");
+        assert!(
+            !c.access(a) || !c.access(b),
+            "one of a/b must have been evicted"
+        );
     }
 
     #[test]

@@ -53,9 +53,7 @@ fn instrument_method(program: &mut Program, mid: MethodId) -> usize {
             _ => 1,
         };
     }
-    let remap = |t: u32| -> u32 {
-        offset.get(t as usize).copied().unwrap_or(new_len as u32)
-    };
+    let remap = |t: u32| -> u32 { offset.get(t as usize).copied().unwrap_or(new_len as u32) };
     let mut out = Vec::with_capacity(new_len);
     out.push(Op::ProfileEnter(mid));
     let mut probes = 1;
@@ -64,9 +62,10 @@ fn instrument_method(program: &mut Program, mid: MethodId) -> usize {
             Op::Jump(t) => out.push(Op::Jump(remap(t))),
             Op::JumpIfFalse(t) => out.push(Op::JumpIfFalse(remap(t))),
             Op::JumpIfTrue(t) => out.push(Op::JumpIfTrue(remap(t))),
-            Op::TryEnter { handler, class } => {
-                out.push(Op::TryEnter { handler: remap(handler), class })
-            }
+            Op::TryEnter { handler, class } => out.push(Op::TryEnter {
+                handler: remap(handler),
+                class,
+            }),
             Op::Return => {
                 out.push(Op::ProfileExit(mid));
                 probes += 1;
@@ -163,15 +162,13 @@ mod tests {
         let sim = std::sync::Arc::new(jepo_rapl::SimulatedRapl::new(
             jepo_rapl::DeviceProfile::laptop_i5_3317u(),
         ));
-        let mut interp =
-            crate::interp::Interp::new(&p, crate::EnergySettings::default(), sim);
+        let mut interp = crate::interp::Interp::new(&p, crate::EnergySettings::default(), sim);
         interp.run_clinits().unwrap();
         interp
             .run_method(p.main.unwrap(), vec![crate::Value::Null])
             .unwrap();
         let out = interp.finish(None);
-        let works: Vec<_> =
-            out.profile.iter().filter(|e| e.name == "M.work").collect();
+        let works: Vec<_> = out.profile.iter().filter(|e| e.name == "M.work").collect();
         assert_eq!(works.len(), 3, "one event per execution");
         // The big execution dominates.
         assert!(works[1].package_j > works[0].package_j * 10.0);
@@ -189,8 +186,7 @@ mod tests {
         let sim = std::sync::Arc::new(jepo_rapl::SimulatedRapl::new(
             jepo_rapl::DeviceProfile::laptop_i5_3317u(),
         ));
-        let mut interp =
-            crate::interp::Interp::new(&p, crate::EnergySettings::default(), sim);
+        let mut interp = crate::interp::Interp::new(&p, crate::EnergySettings::default(), sim);
         interp.run_clinits().unwrap();
         interp
             .run_method(p.main.unwrap(), vec![crate::Value::Null])

@@ -98,7 +98,11 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     /// New interpreter over a program, reporting to `sim`.
     pub fn new(program: &'p Program, settings: EnergySettings, sim: Arc<SimulatedRapl>) -> Self {
-        let statics = program.statics.iter().map(|s| default_value(&s.ty)).collect();
+        let statics = program
+            .statics
+            .iter()
+            .map(|s| default_value(&s.ty))
+            .collect();
         Interp {
             program,
             heap: Heap::new(),
@@ -174,7 +178,11 @@ impl<'p> Interp<'p> {
     }
 
     /// Run a method to completion, returning its value (if any).
-    pub fn run_method(&mut self, mid: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+    pub fn run_method(
+        &mut self,
+        mid: MethodId,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
         self.handlers.clear();
         let base_depth = self.frames.len();
         self.push_frame(mid, args);
@@ -218,7 +226,12 @@ impl<'p> Interp<'p> {
         let m = &self.program.methods[mid as usize];
         let mut locals = vec![Value::Null; (m.locals as usize).max(args.len())];
         locals[..args.len()].copy_from_slice(&args);
-        self.frames.push(Frame { method: mid, pc: 0, locals, stack: Vec::with_capacity(8) });
+        self.frames.push(Frame {
+            method: mid,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+        });
     }
 
     fn method_name(&self, mid: MethodId) -> &str {
@@ -284,9 +297,9 @@ impl<'p> Interp<'p> {
                 Op::GetField(slot) => {
                     let r = self.pop_ref("field access on null")?;
                     let got = match self.heap.get(r) {
-                        HeapObj::Object { fields, base_addr, .. } => {
-                            Some((fields[slot as usize], *base_addr + slot as u64 * 8))
-                        }
+                        HeapObj::Object {
+                            fields, base_addr, ..
+                        } => Some((fields[slot as usize], *base_addr + slot as u64 * 8)),
                         _ => None,
                     };
                     match got {
@@ -338,7 +351,9 @@ impl<'p> Interp<'p> {
                 Op::BitNot(ty) => {
                     let v = self.pop()?;
                     let out = match ty {
-                        NumTy::I64 => Value::Long(!v.as_long().ok_or_else(|| self.rt_err("~ on non-long"))?),
+                        NumTy::I64 => {
+                            Value::Long(!v.as_long().ok_or_else(|| self.rt_err("~ on non-long"))?)
+                        }
                         _ => Value::Int(!v.as_int().ok_or_else(|| self.rt_err("~ on non-int"))?),
                     };
                     self.push(out);
@@ -388,8 +403,11 @@ impl<'p> Interp<'p> {
                 }
                 Op::NewObject(cid) => {
                     let class = &self.program.classes[cid as usize];
-                    let defaults: Vec<Value> =
-                        class.fields.iter().map(|(_, ty)| default_value(ty)).collect();
+                    let defaults: Vec<Value> = class
+                        .fields
+                        .iter()
+                        .map(|(_, ty)| default_value(ty))
+                        .collect();
                     let r = self.heap.alloc_object(cid, defaults.len());
                     if let HeapObj::Object { fields, .. } = self.heap.get_mut(r) {
                         fields.copy_from_slice(&defaults);
@@ -419,26 +437,26 @@ impl<'p> Interp<'p> {
                         .as_int()
                         .ok_or_else(|| self.rt_err("index not int"))?;
                     let r = self.pop_ref("array load on null")?;
-                    let fetched: Result<(Value, u64), (String, String)> =
-                        match self.heap.get(r) {
-                            HeapObj::Array { data, elem_size, base_addr } => {
-                                if idx < 0 || idx as usize >= data.len() {
-                                    Err((
-                                        "ArrayIndexOutOfBoundsException".into(),
-                                        format!(
-                                            "index {idx} out of bounds for length {}",
-                                            data.len()
-                                        ),
-                                    ))
-                                } else {
-                                    Ok((
-                                        data[idx as usize],
-                                        base_addr + idx as u64 * *elem_size as u64,
-                                    ))
-                                }
+                    let fetched: Result<(Value, u64), (String, String)> = match self.heap.get(r) {
+                        HeapObj::Array {
+                            data,
+                            elem_size,
+                            base_addr,
+                        } => {
+                            if idx < 0 || idx as usize >= data.len() {
+                                Err((
+                                    "ArrayIndexOutOfBoundsException".into(),
+                                    format!("index {idx} out of bounds for length {}", data.len()),
+                                ))
+                            } else {
+                                Ok((
+                                    data[idx as usize],
+                                    base_addr + idx as u64 * *elem_size as u64,
+                                ))
                             }
-                            _ => Err(("NullPointerException".into(), "not an array".into())),
-                        };
+                        }
+                        _ => Err(("NullPointerException".into(), "not an array".into())),
+                    };
                     match fetched {
                         Ok((v, addr)) => {
                             self.cache_access(addr);
@@ -458,14 +476,15 @@ impl<'p> Interp<'p> {
                         .ok_or_else(|| self.rt_err("index not int"))?;
                     let r = self.pop_ref("array store on null")?;
                     let stored: Result<u64, (String, String)> = match self.heap.get_mut(r) {
-                        HeapObj::Array { data, elem_size, base_addr } => {
+                        HeapObj::Array {
+                            data,
+                            elem_size,
+                            base_addr,
+                        } => {
                             if idx < 0 || idx as usize >= data.len() {
                                 Err((
                                     "ArrayIndexOutOfBoundsException".into(),
-                                    format!(
-                                        "index {idx} out of bounds for length {}",
-                                        data.len()
-                                    ),
+                                    format!("index {idx} out of bounds for length {}", data.len()),
                                 ))
                             } else {
                                 data[idx as usize] = v;
@@ -590,10 +609,8 @@ impl<'p> Interp<'p> {
                     };
                     match c {
                         Some(Some(c)) => self.push(Value::Char(c as u16)),
-                        Some(None) => self.throw_vm(
-                            "StringIndexOutOfBoundsException",
-                            &format!("index {idx}"),
-                        )?,
+                        Some(None) => self
+                            .throw_vm("StringIndexOutOfBoundsException", &format!("index {idx}"))?,
                         None => self.throw_vm("NullPointerException", "not a string")?,
                     }
                 }
@@ -648,8 +665,7 @@ impl<'p> Interp<'p> {
                     self.handlers.pop();
                 }
                 Op::Dup => {
-                    let v = *self
-                        .frames[frame_idx]
+                    let v = *self.frames[frame_idx]
                         .stack
                         .last()
                         .ok_or_else(|| self.rt_err("dup on empty stack"))?;
@@ -753,7 +769,8 @@ impl<'p> Interp<'p> {
 
     fn pop_bool(&mut self) -> Result<bool, VmError> {
         let v = self.pop()?;
-        v.as_bool().ok_or_else(|| self.rt_err(format!("expected boolean, got {v:?}")))
+        v.as_bool()
+            .ok_or_else(|| self.rt_err(format!("expected boolean, got {v:?}")))
     }
 
     fn pop_ref(&mut self, ctx: &str) -> Result<Ref, VmError> {
@@ -824,7 +841,9 @@ impl<'p> Interp<'p> {
                     b.as_long().ok_or_else(|| self.rt_err("long operand"))?,
                 );
                 if matches!(op, ArithOp::Div | ArithOp::Rem) && y == 0 {
-                    return self.throw_vm("ArithmeticException", "/ by zero").map(|_| ());
+                    return self
+                        .throw_vm("ArithmeticException", "/ by zero")
+                        .map(|_| ());
                 }
                 Value::Long(match op {
                     ArithOp::Add => x.wrapping_add(y),
@@ -847,7 +866,9 @@ impl<'p> Interp<'p> {
                     b.as_int().ok_or_else(|| self.rt_err("int operand"))?,
                 );
                 if matches!(op, ArithOp::Div | ArithOp::Rem) && y == 0 {
-                    return self.throw_vm("ArithmeticException", "/ by zero").map(|_| ());
+                    return self
+                        .throw_vm("ArithmeticException", "/ by zero")
+                        .map(|_| ());
                 }
                 Value::Int(match op {
                     ArithOp::Add => x.wrapping_add(y),
@@ -874,8 +895,10 @@ impl<'p> Interp<'p> {
         let res = match ty {
             NumTy::F32 | NumTy::F64 => {
                 let (x, y) = (
-                    a.as_double().ok_or_else(|| self.rt_err("numeric compare"))?,
-                    b.as_double().ok_or_else(|| self.rt_err("numeric compare"))?,
+                    a.as_double()
+                        .ok_or_else(|| self.rt_err("numeric compare"))?,
+                    b.as_double()
+                        .ok_or_else(|| self.rt_err("numeric compare"))?,
                 );
                 cmp_apply(op, x.partial_cmp(&y))
             }
@@ -902,13 +925,19 @@ impl<'p> Interp<'p> {
         Ok(match ty {
             NumTy::F64 => Value::Double(-v.as_double().ok_or_else(|| self.rt_err("neg"))?),
             NumTy::F32 => Value::Float(-v.as_float().ok_or_else(|| self.rt_err("neg"))?),
-            NumTy::I64 => Value::Long(v.as_long().ok_or_else(|| self.rt_err("neg"))?.wrapping_neg()),
+            NumTy::I64 => Value::Long(
+                v.as_long()
+                    .ok_or_else(|| self.rt_err("neg"))?
+                    .wrapping_neg(),
+            ),
             _ => Value::Int(v.as_int().ok_or_else(|| self.rt_err("neg"))?.wrapping_neg()),
         })
     }
 
     fn convert_value(&self, v: Value, to: NumTy) -> Result<Value, VmError> {
-        let d = v.as_double().ok_or_else(|| self.rt_err("conversion of non-numeric"))?;
+        let d = v
+            .as_double()
+            .ok_or_else(|| self.rt_err("conversion of non-numeric"))?;
         Ok(match to {
             NumTy::I8 => Value::Int((d as i64 as i8) as i32),
             NumTy::I16 => Value::Int((d as i64 as i16) as i32),
@@ -1003,7 +1032,9 @@ impl<'p> Interp<'p> {
             return Ok(self.heap.alloc_array(n, elem.byte_size(), fill));
         }
         let n = sizes[0];
-        let outer = self.heap.alloc_array(n, ArrayElem::Ref.byte_size(), Value::Null);
+        let outer = self
+            .heap
+            .alloc_array(n, ArrayElem::Ref.byte_size(), Value::Null);
         for i in 0..n {
             let inner = self.alloc_multi(&sizes[1..], elem)?;
             if let HeapObj::Array { data, .. } = self.heap.get_mut(outer) {
@@ -1014,13 +1045,24 @@ impl<'p> Interp<'p> {
     }
 
     fn arraycopy(&mut self) -> Result<(), VmError> {
-        let len = self.pop()?.as_int().ok_or_else(|| self.rt_err("arraycopy len"))?;
-        let dst_pos = self.pop()?.as_int().ok_or_else(|| self.rt_err("arraycopy dstPos"))?;
+        let len = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("arraycopy len"))?;
+        let dst_pos = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("arraycopy dstPos"))?;
         let dst = self.pop_ref("arraycopy dst null")?;
-        let src_pos = self.pop()?.as_int().ok_or_else(|| self.rt_err("arraycopy srcPos"))?;
+        let src_pos = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("arraycopy srcPos"))?;
         let src = self.pop_ref("arraycopy src null")?;
         if len < 0 || src_pos < 0 || dst_pos < 0 {
-            return self.throw_vm("ArrayIndexOutOfBoundsException", "negative").map(|_| ());
+            return self
+                .throw_vm("ArrayIndexOutOfBoundsException", "negative")
+                .map(|_| ());
         }
         let (len, sp, dp) = (len as usize, src_pos as usize, dst_pos as usize);
         let src_data = match self.heap.get(src) {
@@ -1032,7 +1074,11 @@ impl<'p> Interp<'p> {
                 }
                 data[sp..sp + len].to_vec()
             }
-            _ => return self.throw_vm("ArrayStoreException", "src not array").map(|_| ()),
+            _ => {
+                return self
+                    .throw_vm("ArrayStoreException", "src not array")
+                    .map(|_| ())
+            }
         };
         match self.heap.get_mut(dst) {
             HeapObj::Array { data, .. } => {
@@ -1043,7 +1089,11 @@ impl<'p> Interp<'p> {
                 }
                 data[dp..dp + len].copy_from_slice(&src_data);
             }
-            _ => return self.throw_vm("ArrayStoreException", "dst not array").map(|_| ()),
+            _ => {
+                return self
+                    .throw_vm("ArrayStoreException", "dst not array")
+                    .map(|_| ())
+            }
         }
         // Bulk copy: one cheap charge per element + streamed cache lines.
         self.counts[OpCategory::ArrayCopyBulk.index()] += len as u64;
@@ -1072,9 +1122,7 @@ impl<'p> Interp<'p> {
                         self.push(Value::Int(v));
                         Ok(())
                     }
-                    Err(_) => self
-                        .throw_vm("NumberFormatException", &text)
-                        .map(|_| ()),
+                    Err(_) => self.throw_vm("NumberFormatException", &text).map(|_| ()),
                 };
             }
             "<parseDouble>" => {
@@ -1085,9 +1133,7 @@ impl<'p> Interp<'p> {
                         self.push(Value::Double(v));
                         Ok(())
                     }
-                    Err(_) => self
-                        .throw_vm("NumberFormatException", &text)
-                        .map(|_| ()),
+                    Err(_) => self.throw_vm("NumberFormatException", &text).map(|_| ()),
                 };
             }
             "<strHash>" => {
@@ -1496,7 +1542,9 @@ mod tests {
         .unwrap();
         let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
         let mut interp = Interp::new(&program, EnergySettings::default(), sim);
-        let err = interp.run_method(program.main.unwrap(), vec![Value::Null]).unwrap_err();
+        let err = interp
+            .run_method(program.main.unwrap(), vec![Value::Null])
+            .unwrap_err();
         assert!(err.to_string().contains("ArrayIndexOutOfBounds"), "{err}");
     }
 
@@ -1571,20 +1619,18 @@ mod tests {
         let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
         let mut interp = Interp::new(&program, EnergySettings::default(), sim);
         interp.set_fuel(10_000);
-        let err = interp.run_method(program.main.unwrap(), vec![Value::Null]).unwrap_err();
+        let err = interp
+            .run_method(program.main.unwrap(), vec![Value::Null])
+            .unwrap_err();
         assert_eq!(err, VmError::OutOfFuel);
     }
 
     #[test]
     fn energy_accrues_and_scales_with_work() {
-        let small = run(
-            "class M { public static void main(String[] a) {
-               int s = 0; for (int i = 0; i < 100; i++) s += i; } }",
-        );
-        let large = run(
-            "class M { public static void main(String[] a) {
-               int s = 0; for (int i = 0; i < 100000; i++) s += i; } }",
-        );
+        let small = run("class M { public static void main(String[] a) {
+               int s = 0; for (int i = 0; i < 100; i++) s += i; } }");
+        let large = run("class M { public static void main(String[] a) {
+               int s = 0; for (int i = 0; i < 100000; i++) s += i; } }");
         assert!(small.energy.package_j > 0.0);
         assert!(large.energy.package_j > small.energy.package_j * 100.0);
         assert!(large.energy.seconds > small.energy.seconds);
@@ -1593,14 +1639,10 @@ mod tests {
 
     #[test]
     fn modulus_costs_more_than_addition() {
-        let add = run(
-            "class M { public static void main(String[] a) {
-               int s = 0; for (int i = 1; i < 50000; i++) s = s + i; System.out.println(s); } }",
-        );
-        let rem = run(
-            "class M { public static void main(String[] a) {
-               int s = 0; for (int i = 1; i < 50000; i++) s = s % i; System.out.println(s); } }",
-        );
+        let add = run("class M { public static void main(String[] a) {
+               int s = 0; for (int i = 1; i < 50000; i++) s = s + i; System.out.println(s); } }");
+        let rem = run("class M { public static void main(String[] a) {
+               int s = 0; for (int i = 1; i < 50000; i++) s = s % i; System.out.println(s); } }");
         assert!(
             rem.energy.package_j > add.energy.package_j * 1.5,
             "rem {} vs add {}",
@@ -1611,20 +1653,16 @@ mod tests {
 
     #[test]
     fn column_traversal_misses_more_than_row() {
-        let row = run(
-            "class M { public static void main(String[] a) {
+        let row = run("class M { public static void main(String[] a) {
                double[][] m = new double[512][512];
                double s = 0;
                for (int i = 0; i < 512; i++) for (int j = 0; j < 512; j++) s += m[i][j];
-             } }",
-        );
-        let col = run(
-            "class M { public static void main(String[] a) {
+             } }");
+        let col = run("class M { public static void main(String[] a) {
                double[][] m = new double[512][512];
                double s = 0;
                for (int j = 0; j < 512; j++) for (int i = 0; i < 512; i++) s += m[i][j];
-             } }",
-        );
+             } }");
         assert!(
             col.cache_misses > row.cache_misses * 3,
             "col {} vs row {}",

@@ -31,7 +31,10 @@ pub enum NumTy {
 impl NumTy {
     /// Whether this type is stored as an integer on the stack.
     pub fn is_integral(self) -> bool {
-        matches!(self, NumTy::I8 | NumTy::I16 | NumTy::I32 | NumTy::Ch | NumTy::Bool)
+        matches!(
+            self,
+            NumTy::I8 | NumTy::I16 | NumTy::I32 | NumTy::Ch | NumTy::Bool
+        )
     }
 
     /// Size in bytes as laid out in the (modelled) heap — drives the
@@ -313,7 +316,10 @@ mod tests {
         assert!(NumTy::Ch.is_integral());
         assert!(!NumTy::F32.is_integral());
         assert!(!NumTy::F64.is_integral());
-        assert!(!NumTy::I64.is_integral(), "long uses 64-bit lanes, not the int path");
+        assert!(
+            !NumTy::I64.is_integral(),
+            "long uses 64-bit lanes, not the int path"
+        );
     }
 
     #[test]

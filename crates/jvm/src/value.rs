@@ -113,7 +113,11 @@ pub fn format_float(v: f64) -> String {
     if v.is_nan() {
         "NaN".into()
     } else if v.is_infinite() {
-        if v > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+        if v > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
     } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}")
     } else {

@@ -192,10 +192,9 @@ mod tests {
 
     #[test]
     fn run_static_entry_point() {
-        let mut vm = Vm::from_source(
-            "class Calc { static int add(int a, int b) { return a + b; } }",
-        )
-        .unwrap();
+        let mut vm =
+            Vm::from_source("class Calc { static int add(int a, int b) { return a + b; } }")
+                .unwrap();
         let out = vm
             .run_static("Calc", "add", vec![Value::Int(20), Value::Int(22)])
             .unwrap();
@@ -230,8 +229,9 @@ mod tests {
         let src = "class M { public static void main(String[] a) {
             int s = 0; for (int i = 0; i < 1000; i++) s += i; } }";
         let mut laptop = Vm::from_source(src).unwrap();
-        let mut jetson =
-            Vm::from_source(src).unwrap().with_device(DeviceProfile::jetson_tx2());
+        let mut jetson = Vm::from_source(src)
+            .unwrap()
+            .with_device(DeviceProfile::jetson_tx2());
         let l = laptop.run_main().unwrap();
         let j = jetson.run_main().unwrap();
         // Same dynamic package energy; different core split.
@@ -242,11 +242,10 @@ mod tests {
 
     #[test]
     fn fuel_limit_applies() {
-        let mut vm = Vm::from_source(
-            "class M { public static void main(String[] a) { while (true) { } } }",
-        )
-        .unwrap()
-        .with_fuel(5_000);
+        let mut vm =
+            Vm::from_source("class M { public static void main(String[] a) { while (true) { } } }")
+                .unwrap()
+                .with_fuel(5_000);
         assert!(matches!(vm.run_main(), Err(VmError::OutOfFuel)));
     }
 

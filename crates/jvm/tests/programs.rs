@@ -10,8 +10,7 @@ fn run(src: &str) -> String {
 
 #[test]
 fn bubble_sort() {
-    let out = run(
-        "class Sort {
+    let out = run("class Sort {
             static void bubble(int[] a) {
                 for (int i = 0; i < a.length - 1; i++) {
                     for (int j = 0; j < a.length - 1 - i; j++) {
@@ -30,15 +29,13 @@ fn bubble_sort() {
                 for (int v : a) { sb.append(v).append(\" \"); }
                 System.out.println(sb.toString());
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "1 2 3 5 7 9");
 }
 
 #[test]
 fn sieve_of_eratosthenes() {
-    let out = run(
-        "class Sieve {
+    let out = run("class Sieve {
             public static void main(String[] args) {
                 int n = 50;
                 boolean[] composite = new boolean[n + 1];
@@ -51,15 +48,13 @@ fn sieve_of_eratosthenes() {
                 }
                 System.out.println(count);
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "15"); // primes ≤ 50
 }
 
 #[test]
 fn matrix_multiply() {
-    let out = run(
-        "class MatMul {
+    let out = run("class MatMul {
             public static void main(String[] args) {
                 int n = 8;
                 double[][] a = new double[n][n];
@@ -79,30 +74,26 @@ fn matrix_multiply() {
                 for (int i = 0; i < n; i++) trace += c[i][i];
                 System.out.println(trace);
             }
-        }",
-    );
+        }");
     // identity multiply: trace of a = Σ 2i = 56.
     assert_eq!(out.trim(), "56.0");
 }
 
 #[test]
 fn gcd_recursion_and_modulus() {
-    let out = run(
-        "class Gcd {
+    let out = run("class Gcd {
             static int gcd(int a, int b) { return b == 0 ? a : gcd(b, a % b); }
             public static void main(String[] args) {
                 System.out.println(gcd(1071, 462));
                 System.out.println(gcd(17, 5));
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "21\n1");
 }
 
 #[test]
 fn string_processing() {
-    let out = run(
-        "class Words {
+    let out = run("class Words {
             public static void main(String[] args) {
                 String s = \"energy\";
                 int vowels = 0;
@@ -113,15 +104,13 @@ fn string_processing() {
                 System.out.println(vowels);
                 System.out.println(s + \"-efficient\");
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "2\nenergy-efficient");
 }
 
 #[test]
 fn exception_driven_control_flow() {
-    let out = run(
-        "class Parse {
+    let out = run("class Parse {
             static int tryParse(String s, int fallback) {
                 try { return Integer.parseInt(s); }
                 catch (NumberFormatException e) { return fallback; }
@@ -131,15 +120,13 @@ fn exception_driven_control_flow() {
                 System.out.println(tryParse(\"oops\", -1));
                 System.out.println(tryParse(\" 7 \", -1));
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "42\n-1\n7");
 }
 
 #[test]
 fn nested_try_rethrow() {
-    let out = run(
-        "class Nest {
+    let out = run("class Nest {
             public static void main(String[] args) {
                 try {
                     try {
@@ -152,15 +139,13 @@ fn nested_try_rethrow() {
                     System.out.println(\"again-\" + e.getMessage());
                 }
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "caught-inner\nagain-outer");
 }
 
 #[test]
 fn polymorphic_shapes() {
-    let out = run(
-        "class Shape {
+    let out = run("class Shape {
             double area() { return 0.0; }
         }
         class Square extends Shape {
@@ -181,24 +166,21 @@ fn polymorphic_shapes() {
                 System.out.println(a instanceof Square);
                 System.out.println(b instanceof Square);
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "true\ntrue\nfalse");
 }
 
 #[test]
 fn fixed_point_iteration_with_doubles() {
     // Newton's method for sqrt(2): checks double precision in the VM.
-    let out = run(
-        "class Newton {
+    let out = run("class Newton {
             public static void main(String[] args) {
                 double x = 1.0;
                 for (int i = 0; i < 20; i++) { x = 0.5 * (x + 2.0 / x); }
                 double err = Math.abs(x * x - 2.0);
                 System.out.println(err < 1.0e-12);
             }
-        }",
-    );
+        }");
     assert_eq!(out.trim(), "true");
 }
 

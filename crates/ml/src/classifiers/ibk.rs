@@ -155,7 +155,11 @@ impl Classifier for IBk {
         }
         let mut votes = vec![0.0; self.num_classes];
         for &(d, c) in &best {
-            let w = if self.distance_weighting { 1.0 / (d + 1e-6) } else { 1.0 };
+            let w = if self.distance_weighting {
+                1.0 / (d + 1e-6)
+            } else {
+                1.0
+            };
             votes[c as usize] += w;
         }
         super::tree_util::majority(&votes)
@@ -174,7 +178,11 @@ mod tests {
     fn blobs() -> Dataset {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x"), Attribute::numeric("y"), Attribute::binary("c")],
+            vec![
+                Attribute::numeric("x"),
+                Attribute::numeric("y"),
+                Attribute::binary("c"),
+            ],
         );
         for i in 0..30 {
             let j = (i % 6) as f64 * 0.1;
@@ -222,10 +230,7 @@ mod tests {
 
     #[test]
     fn distance_weighting_prefers_close_votes() {
-        let mut d = Dataset::new(
-            "t",
-            vec![Attribute::numeric("x"), Attribute::binary("y")],
-        );
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         // Two far 1s, one near 0: k=3 unweighted votes 1, weighted votes 0.
         d.push(vec![0.0, 0.0]).unwrap();
         d.push(vec![10.0, 1.0]).unwrap();

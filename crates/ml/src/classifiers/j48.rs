@@ -30,7 +30,13 @@ impl J48 {
 
     /// With an explicit energy kernel.
     pub fn with_kernel(kernel: Kernel) -> J48 {
-        J48 { kernel, min_instances: 2, confidence: 0.25, prune: true, root: None }
+        J48 {
+            kernel,
+            min_instances: 2,
+            confidence: 0.25,
+            prune: true,
+            root: None,
+        }
     }
 
     /// Leaves of the fitted tree (0 before fit).
@@ -43,7 +49,10 @@ impl J48 {
         let n: f64 = dist.iter().sum();
         let pure = dist.iter().filter(|&&c| c > 0.0).count() <= 1;
         if pure || n <= self.min_instances as f64 || depth > 40 {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         }
         // Gain ratio over all attributes, with C4.5's guard: only
         // consider splits with at least average gain.
@@ -53,21 +62,34 @@ impl J48 {
             .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
             .collect();
         if splits.is_empty() {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         }
         let avg_gain = splits.iter().map(|s| s.gain).sum::<f64>() / splits.len() as f64;
         let best = splits
             .iter()
             .filter(|s| s.gain >= avg_gain - 1e-12)
-            .max_by(|a, b| a.gain_ratio.partial_cmp(&b.gain_ratio).unwrap_or(std::cmp::Ordering::Equal));
+            .max_by(|a, b| {
+                a.gain_ratio
+                    .partial_cmp(&b.gain_ratio)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
         let Some(best) = best else {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         };
         let parts = apply_split(data, best);
         // Refuse degenerate splits.
         let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
         if nonempty < 2 {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         }
         self.kernel.bump_counters(1);
         match best.threshold {
@@ -84,13 +106,21 @@ impl J48 {
                     .iter()
                     .map(|p| {
                         if p.is_empty() {
-                            Node::Leaf { class: default, dist: vec![0.0; data.num_classes()] }
+                            Node::Leaf {
+                                class: default,
+                                dist: vec![0.0; data.num_classes()],
+                            }
                         } else {
                             self.build(p, depth + 1)
                         }
                     })
                     .collect();
-                Node::Nominal { attr: best.attr, children, default, dist }
+                Node::Nominal {
+                    attr: best.attr,
+                    children,
+                    default,
+                    dist,
+                }
             }
         }
     }
@@ -107,7 +137,8 @@ impl J48 {
         // Normal-approximation upper bound with z from the confidence.
         let z = normal_quantile(1.0 - self.confidence);
         let f = errors / n;
-        let bound = (f + z * z / (2.0 * n)
+        let bound = (f
+            + z * z / (2.0 * n)
             + z * ((f / n - f * f / n + z * z / (4.0 * n * n)).max(0.0)).sqrt())
             / (1.0 + z * z / n);
         bound * n
@@ -117,27 +148,54 @@ impl J48 {
     /// the leaf's pessimistic error is no worse.
     fn prune_node(&self, node: Node) -> Node {
         match node {
-            Node::Numeric { attr, threshold, left, right, dist } => {
+            Node::Numeric {
+                attr,
+                threshold,
+                left,
+                right,
+                dist,
+            } => {
                 let left = self.prune_node(*left);
                 let right = self.prune_node(*right);
-                let subtree_err =
-                    self.subtree_errors(&left) + self.subtree_errors(&right);
+                let subtree_err = self.subtree_errors(&left) + self.subtree_errors(&right);
                 let leaf_err = self.pessimistic_errors(&dist);
                 if leaf_err <= subtree_err + 0.1 {
-                    Node::Leaf { class: majority(&dist), dist }
+                    Node::Leaf {
+                        class: majority(&dist),
+                        dist,
+                    }
                 } else {
-                    Node::Numeric { attr, threshold, left: Box::new(left), right: Box::new(right), dist }
+                    Node::Numeric {
+                        attr,
+                        threshold,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        dist,
+                    }
                 }
             }
-            Node::Nominal { attr, children, default, dist } => {
+            Node::Nominal {
+                attr,
+                children,
+                default,
+                dist,
+            } => {
                 let children: Vec<Node> =
                     children.into_iter().map(|c| self.prune_node(c)).collect();
                 let subtree_err: f64 = children.iter().map(|c| self.subtree_errors(c)).sum();
                 let leaf_err = self.pessimistic_errors(&dist);
                 if leaf_err <= subtree_err + 0.1 {
-                    Node::Leaf { class: majority(&dist), dist }
+                    Node::Leaf {
+                        class: majority(&dist),
+                        dist,
+                    }
                 } else {
-                    Node::Nominal { attr, children, default, dist }
+                    Node::Nominal {
+                        attr,
+                        children,
+                        default,
+                        dist,
+                    }
                 }
             }
             leaf => leaf,
@@ -150,9 +208,7 @@ impl J48 {
             Node::Numeric { left, right, .. } => {
                 self.subtree_errors(left) + self.subtree_errors(right)
             }
-            Node::Nominal { children, .. } => {
-                children.iter().map(|c| self.subtree_errors(c)).sum()
-            }
+            Node::Nominal { children, .. } => children.iter().map(|c| self.subtree_errors(c)).sum(),
         }
     }
 }
@@ -168,19 +224,32 @@ pub fn normal_quantile(p: f64) -> f64 {
     }
     // Beasley–Springer–Moro.
     let a = [
-        -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
-        1.383_577_518_672_69e2, -3.066479806614716e+01, 2.506628277459239e+00,
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
     ];
     let b = [
-        -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
-        6.680131188771972e+01, -1.328068155288572e+01,
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
     ];
     let c = [
-        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
-        -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
     ];
     let d = [
-        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
         3.754408661907416e+00,
     ];
     let plow = 0.02425;
@@ -212,11 +281,17 @@ impl Classifier for J48 {
             return Err(MlError::Train("empty dataset".into()));
         }
         let tree = self.build(data, 0);
-        let tree = if self.prune { self.prune_node(tree) } else { tree };
+        let tree = if self.prune {
+            self.prune_node(tree)
+        } else {
+            tree
+        };
         // Model report (WEKA prints the tree; JEPO's string suggestions
         // target exactly this path).
         let leaves = tree.leaves().to_string();
-        let _ = self.kernel.build_report(&["J48 pruned tree: ", &leaves, " leaves"]);
+        let _ = self
+            .kernel
+            .build_report(&["J48 pruned tree: ", &leaves, " leaves"]);
         self.root = Some(tree);
         Ok(())
     }
@@ -240,20 +315,28 @@ mod tests {
     fn learns_a_clean_numeric_rule() {
         let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..60 {
-            d.push(vec![i as f64, if i < 30 { 0.0 } else { 1.0 }]).unwrap();
+            d.push(vec![i as f64, if i < 30 { 0.0 } else { 1.0 }])
+                .unwrap();
         }
         let mut c = J48::new();
         c.fit(&d).unwrap();
         assert_eq!(c.predict(&[3.0, 0.0]), 0.0);
         assert_eq!(c.predict(&[55.0, 0.0]), 1.0);
-        assert!(c.leaves() <= 4, "clean rule should stay tiny: {}", c.leaves());
+        assert!(
+            c.leaves() <= 4,
+            "clean rule should stay tiny: {}",
+            c.leaves()
+        );
     }
 
     #[test]
     fn learns_a_nominal_rule() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::nominal("k", &["a", "b", "c"]), Attribute::binary("y")],
+            vec![
+                Attribute::nominal("k", &["a", "b", "c"]),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..90 {
             let k = (i % 3) as f64;
@@ -301,7 +384,8 @@ mod tests {
     fn missing_values_fall_back_to_majority() {
         let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..40 {
-            d.push(vec![i as f64, if i < 10 { 0.0 } else { 1.0 }]).unwrap();
+            d.push(vec![i as f64, if i < 10 { 0.0 } else { 1.0 }])
+                .unwrap();
         }
         let mut c = J48::new();
         c.fit(&d).unwrap();

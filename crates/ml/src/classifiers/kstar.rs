@@ -108,8 +108,7 @@ impl Classifier for KStar {
                     return 1.0;
                 }
                 let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                let mad =
-                    vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len() as f64;
+                let mad = vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len() as f64;
                 (mad * self.blend / 0.2).max(1e-9)
             })
             .collect();
@@ -129,7 +128,11 @@ impl Classifier for KStar {
         if self.train.is_empty() {
             return 0.0;
         }
-        let q: Vec<f64> = self.feats.iter().map(|&f| row.get(f).copied().unwrap_or(f64::NAN)).collect();
+        let q: Vec<f64> = self
+            .feats
+            .iter()
+            .map(|&f| row.get(f).copied().unwrap_or(f64::NAN))
+            .collect();
         let mut scores = vec![0.0f64; self.num_classes];
         self.kernel.bump_counters(1);
         for (x, c) in &self.train {
@@ -161,10 +164,7 @@ mod tests {
 
     #[test]
     fn classifies_separated_blobs() {
-        let mut d = Dataset::new(
-            "t",
-            vec![Attribute::numeric("x"), Attribute::binary("y")],
-        );
+        let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..20 {
             d.push(vec![i as f64 * 0.1, 0.0]).unwrap();
             d.push(vec![8.0 + i as f64 * 0.1, 1.0]).unwrap();
@@ -179,7 +179,10 @@ mod tests {
     fn nominal_transformation_prefers_matching_values() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::nominal("k", &["a", "b", "c"]), Attribute::binary("y")],
+            vec![
+                Attribute::nominal("k", &["a", "b", "c"]),
+                Attribute::binary("y"),
+            ],
         );
         for _ in 0..20 {
             d.push(vec![0.0, 0.0]).unwrap();
@@ -209,21 +212,34 @@ mod tests {
         let mut sharp = KStar::new();
         sharp.blend = 0.05;
         sharp.fit(&d).unwrap();
-        assert_eq!(sharp.predict(&[0.0, 0.0]), 0.0, "sharp blend respects the match");
+        assert_eq!(
+            sharp.predict(&[0.0, 0.0]),
+            0.0,
+            "sharp blend respects the match"
+        );
         let mut smooth = KStar::new();
         smooth.blend = 0.99;
         smooth.fit(&d).unwrap();
-        assert_eq!(smooth.predict(&[0.0, 0.0]), 1.0, "uniform blend follows the majority");
+        assert_eq!(
+            smooth.predict(&[0.0, 0.0]),
+            1.0,
+            "uniform blend follows the majority"
+        );
     }
 
     #[test]
     fn attr_prob_is_a_probability() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x"), Attribute::nominal("k", &["a", "b"]), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x"),
+                Attribute::nominal("k", &["a", "b"]),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..10 {
-            d.push(vec![i as f64, (i % 2) as f64, (i % 2) as f64]).unwrap();
+            d.push(vec![i as f64, (i % 2) as f64, (i % 2) as f64])
+                .unwrap();
         }
         let mut c = KStar::new();
         c.fit(&d).unwrap();

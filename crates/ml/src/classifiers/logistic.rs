@@ -34,7 +34,14 @@ impl Logistic {
 
     /// With an explicit energy kernel.
     pub fn with_kernel(kernel: Kernel) -> Logistic {
-        Logistic { kernel, ridge: 1e-4, max_iter: 150, weights: Vec::new(), num_classes: 0, encoder: None }
+        Logistic {
+            kernel,
+            ridge: 1e-4,
+            max_iter: 150,
+            weights: Vec::new(),
+            num_classes: 0,
+            encoder: None,
+        }
     }
 
     fn sigmoid(&self, z: f64) -> f64 {
@@ -118,12 +125,17 @@ impl Classifier for Logistic {
         self.num_classes = data.num_classes();
         self.weights.clear();
         if self.num_classes == 2 {
-            let targets: Vec<f64> = labels.iter().map(|&l| if l == 1.0 { 1.0 } else { 0.0 }).collect();
+            let targets: Vec<f64> = labels
+                .iter()
+                .map(|&l| if l == 1.0 { 1.0 } else { 0.0 })
+                .collect();
             self.weights.push(self.train_binary(&rows, &targets));
         } else {
             for c in 0..self.num_classes {
-                let targets: Vec<f64> =
-                    labels.iter().map(|&l| if l as usize == c { 1.0 } else { 0.0 }).collect();
+                let targets: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l as usize == c { 1.0 } else { 0.0 })
+                    .collect();
                 self.weights.push(self.train_binary(&rows, &targets));
             }
         }
@@ -207,12 +219,24 @@ impl Encoder {
         for (k, &f) in feats.iter().enumerate() {
             if kinds[k].0 && !data.is_empty() {
                 let mean = data.instances.iter().map(|r| r[f]).sum::<f64>() / n;
-                let var = data.instances.iter().map(|r| (r[f] - mean).powi(2)).sum::<f64>() / n;
+                let var = data
+                    .instances
+                    .iter()
+                    .map(|r| (r[f] - mean).powi(2))
+                    .sum::<f64>()
+                    / n;
                 means[k] = mean;
                 stds[k] = var.sqrt().max(1e-12);
             }
         }
-        Encoder { feats, offsets, kinds, means, stds, dim }
+        Encoder {
+            feats,
+            offsets,
+            kinds,
+            means,
+            stds,
+            dim,
+        }
     }
 
     /// Encode one raw instance row.
@@ -246,7 +270,11 @@ mod tests {
     fn separates_linear_data() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x1"),
+                Attribute::numeric("x2"),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..200 {
             let x1 = (i % 20) as f64 / 10.0 - 1.0;
@@ -286,7 +314,8 @@ mod tests {
         let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         // Perfectly separable: unregularized weights would diverge.
         for i in 0..50 {
-            d.push(vec![i as f64, if i < 25 { 0.0 } else { 1.0 }]).unwrap();
+            d.push(vec![i as f64, if i < 25 { 0.0 } else { 1.0 }])
+                .unwrap();
         }
         let mut c = Logistic::new();
         c.ridge = 0.1;

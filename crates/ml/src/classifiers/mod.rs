@@ -62,9 +62,7 @@ pub fn by_name(name: &str, kernel: crate::Kernel, seed: u64) -> Option<Box<dyn C
     Some(match name {
         "J48" => Box::new(j48::J48::with_kernel(kernel)),
         "Random Tree" => Box::new(random_tree::RandomTree::with_kernel(kernel, seed)),
-        "Random Forest" => {
-            Box::new(random_forest::RandomForest::with_kernel(kernel, seed))
-        }
+        "Random Forest" => Box::new(random_forest::RandomForest::with_kernel(kernel, seed)),
         "REP Tree" => Box::new(rep_tree::RepTree::with_kernel(kernel, seed)),
         "Naive Bayes" => Box::new(naive_bayes::NaiveBayes::with_kernel(kernel)),
         "Logistic" => Box::new(logistic::Logistic::with_kernel(kernel)),
@@ -98,8 +96,7 @@ mod tests {
         use crate::eval::crossval::stratified_cross_validate;
         let data = AirlinesGenerator::new(11).generate(400);
         let counts = data.class_counts();
-        let majority =
-            counts.iter().copied().max().unwrap() as f64 / data.len() as f64;
+        let majority = counts.iter().copied().max().unwrap() as f64 / data.len() as f64;
         for name in CLASSIFIER_NAMES {
             let eval = stratified_cross_validate(&data, 4, 7, || {
                 ByNameWrapper(by_name(name, Kernel::silent(), 3).unwrap())

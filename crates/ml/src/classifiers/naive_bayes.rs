@@ -32,7 +32,11 @@ impl NaiveBayes {
 
     /// With an explicit energy kernel.
     pub fn with_kernel(kernel: Kernel) -> NaiveBayes {
-        NaiveBayes { kernel, priors: Vec::new(), models: Vec::new() }
+        NaiveBayes {
+            kernel,
+            priors: Vec::new(),
+            models: Vec::new(),
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl Classifier for NaiveBayes {
         let n = data.len() as f64;
         // Priors with Laplace smoothing.
         let counts = data.class_counts();
-        self.priors = counts.iter().map(|&c| (c as f64 + 1.0) / (n + k as f64)).collect();
+        self.priors = counts
+            .iter()
+            .map(|&c| (c as f64 + 1.0) / (n + k as f64))
+            .collect();
         self.models.clear();
         for attr in data.feature_indices() {
             // NB's estimator pass is instance-major (sequential) in
@@ -191,7 +198,8 @@ mod tests {
     fn missing_values_are_skipped() {
         let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..20 {
-            d.push(vec![i as f64, if i < 10 { 0.0 } else { 1.0 }]).unwrap();
+            d.push(vec![i as f64, if i < 10 { 0.0 } else { 1.0 }])
+                .unwrap();
         }
         d.push(vec![f64::NAN, 0.0]).unwrap();
         let mut c = NaiveBayes::new();

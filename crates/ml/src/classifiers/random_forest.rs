@@ -1,9 +1,9 @@
 //! RandomForest — bagging over RandomTrees.
 //!
 //! "RandomForest uses bagging on ensemble of random trees" (§VIII).
-//! Trees are built in parallel with rayon (the hpc-parallel idiom for
-//! this embarrassingly-parallel ensemble); the kernel's shared atomic
-//! counter makes concurrent energy accounting lossless.
+//! Trees are built in parallel on the jepo-pool scoped worker pool
+//! (the ensemble is embarrassingly parallel); the kernel's shared
+//! atomic counter makes concurrent energy accounting lossless.
 
 use super::random_tree::RandomTree;
 use super::Classifier;
@@ -12,7 +12,6 @@ use crate::ops::Kernel;
 use crate::MlError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Bagged ensemble of random trees.
 pub struct RandomForest {
@@ -33,7 +32,13 @@ impl RandomForest {
 
     /// With an explicit energy kernel.
     pub fn with_kernel(kernel: Kernel, seed: u64) -> RandomForest {
-        RandomForest { kernel, seed, n_trees: 30, parallel: true, trees: Vec::new() }
+        RandomForest {
+            kernel,
+            seed,
+            n_trees: 30,
+            parallel: true,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted trees.
@@ -80,11 +85,13 @@ impl Classifier for RandomForest {
             let mut tree = RandomTree::with_kernel(self.kernel.clone(), *tree_seed);
             tree.fit(sample)?;
             let leaves = tree.leaves().to_string();
-            let _ = self.kernel.build_report(&["RandomTree: ", &leaves, " leaves\n"]);
+            let _ = self
+                .kernel
+                .build_report(&["RandomTree: ", &leaves, " leaves\n"]);
             Ok(tree)
         };
         self.trees = if self.parallel {
-            samples.par_iter().map(build).collect::<Result<Vec<_>, _>>()?
+            jepo_pool::try_parallel_map(&samples, 0, |_, s| build(s))?
         } else {
             samples.iter().map(build).collect::<Result<Vec<_>, _>>()?
         };
@@ -129,8 +136,7 @@ mod tests {
             f.n_trees = 15;
             f
         });
-        let tree_eval =
-            stratified_cross_validate(&data, 4, 5, || RandomTree::new(1));
+        let tree_eval = stratified_cross_validate(&data, 4, 5, || RandomTree::new(1));
         assert!(
             forest_eval.accuracy() + 0.02 >= tree_eval.accuracy(),
             "forest {:.3} vs tree {:.3}",
@@ -173,7 +179,10 @@ mod tests {
         f.n_trees = 3;
         f.fit(&data).unwrap();
         let snap = kernel.counter().snapshot();
-        assert!(snap.get(OpCategory::ArrayCopyElem) >= 300, "manual copies counted");
+        assert!(
+            snap.get(OpCategory::ArrayCopyElem) >= 300,
+            "manual copies counted"
+        );
         assert!(snap.get(OpCategory::StaticAccess) > 0);
         assert!(snap.get(OpCategory::StringConcat) > 0);
     }

@@ -33,7 +33,13 @@ impl RandomTree {
 
     /// With an explicit energy kernel.
     pub fn with_kernel(kernel: Kernel, seed: u64) -> RandomTree {
-        RandomTree { kernel, seed, k: 0, min_instances: 1, root: None }
+        RandomTree {
+            kernel,
+            seed,
+            k: 0,
+            min_instances: 1,
+            root: None,
+        }
     }
 
     /// Leaves of the fitted tree.
@@ -54,7 +60,10 @@ impl RandomTree {
         let n: f64 = dist.iter().sum();
         let pure = dist.iter().filter(|&&c| c > 0.0).count() <= 1;
         if pure || n < self.min_instances.max(2) as f64 || depth > 40 {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         }
         let mut feats = data.feature_indices();
         feats.shuffle(rng);
@@ -62,13 +71,23 @@ impl RandomTree {
         let best = feats
             .into_iter()
             .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
-            .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap_or(std::cmp::Ordering::Equal));
+            .max_by(|a, b| {
+                a.gain
+                    .partial_cmp(&b.gain)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
         let Some(best) = best else {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         };
         let parts = apply_split(data, &best);
         if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
-            return Node::Leaf { class: majority(&dist), dist };
+            return Node::Leaf {
+                class: majority(&dist),
+                dist,
+            };
         }
         match best.threshold {
             Some(threshold) => Node::Numeric {
@@ -84,13 +103,21 @@ impl RandomTree {
                     .iter()
                     .map(|p| {
                         if p.is_empty() {
-                            Node::Leaf { class: default, dist: vec![0.0; data.num_classes()] }
+                            Node::Leaf {
+                                class: default,
+                                dist: vec![0.0; data.num_classes()],
+                            }
                         } else {
                             self.build(p, rng, depth + 1)
                         }
                     })
                     .collect();
-                Node::Nominal { attr: best.attr, children, default, dist }
+                Node::Nominal {
+                    attr: best.attr,
+                    children,
+                    default,
+                    dist,
+                }
             }
         }
     }
@@ -101,7 +128,13 @@ impl RandomTree {
         fn walk<'a>(node: &'a Node, row: &[f64]) -> &'a [f64] {
             match node {
                 Node::Leaf { dist, .. } => dist,
-                Node::Numeric { attr, threshold, left, right, dist } => {
+                Node::Numeric {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                    dist,
+                } => {
                     let v = row[*attr];
                     if v.is_nan() {
                         dist
@@ -111,7 +144,12 @@ impl RandomTree {
                         walk(right, row)
                     }
                 }
-                Node::Nominal { attr, children, dist, .. } => {
+                Node::Nominal {
+                    attr,
+                    children,
+                    dist,
+                    ..
+                } => {
                     let v = row[*attr];
                     if v.is_nan() {
                         return dist;
@@ -167,15 +205,12 @@ mod tests {
     fn fits_and_memorizes_clean_data() {
         let mut d = Dataset::new("t", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..50 {
-            d.push(vec![i as f64, if i < 25 { 0.0 } else { 1.0 }]).unwrap();
+            d.push(vec![i as f64, if i < 25 { 0.0 } else { 1.0 }])
+                .unwrap();
         }
         let mut c = RandomTree::new(3);
         c.fit(&d).unwrap();
-        let correct = d
-            .instances
-            .iter()
-            .filter(|r| c.predict(r) == r[1])
-            .count();
+        let correct = d.instances.iter().filter(|r| c.predict(r) == r[1]).count();
         assert!(correct >= 48, "unpruned tree memorizes: {correct}/50");
     }
 
@@ -188,7 +223,10 @@ mod tests {
         b.fit(&data).unwrap();
         // Different random subsets almost surely give different shapes.
         assert_ne!(a.leaves(), 0);
-        assert!(a.leaves() != b.leaves() || a.predict(&data.instances[0]) == a.predict(&data.instances[0]));
+        assert!(
+            a.leaves() != b.leaves()
+                || a.predict(&data.instances[0]) == a.predict(&data.instances[0])
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Classifier for Sgd {
             return Err(MlError::Train("empty dataset".into()));
         }
         if data.num_classes() != 2 {
-            return Err(MlError::Unsupported("SGD here is binary (the airlines task)".into()));
+            return Err(MlError::Unsupported(
+                "SGD here is binary (the airlines task)".into(),
+            ));
         }
         let (rows, labels, dim) = data.to_numeric();
         let n = rows.len();
@@ -154,7 +156,11 @@ mod tests {
     fn separates_linear_data_with_hinge() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x1"),
+                Attribute::numeric("x2"),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..300 {
             let x1 = ((i * 13) % 41) as f64 / 20.0 - 1.0;
@@ -175,8 +181,11 @@ mod tests {
             let mut c = Sgd::new(1);
             c.loss = loss;
             c.fit(&data).unwrap();
-            let correct =
-                data.instances.iter().filter(|r| c.predict(r) == r[7]).count();
+            let correct = data
+                .instances
+                .iter()
+                .filter(|r| c.predict(r) == r[7])
+                .count();
             assert!(
                 correct as f64 / data.len() as f64 > 0.55,
                 "{loss:?}: {correct}/{}",
@@ -189,7 +198,10 @@ mod tests {
     fn multiclass_is_rejected() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x"), Attribute::nominal("y", &["a", "b", "c"])],
+            vec![
+                Attribute::numeric("x"),
+                Attribute::nominal("y", &["a", "b", "c"]),
+            ],
         );
         d.push(vec![1.0, 0.0]).unwrap();
         d.push(vec![2.0, 1.0]).unwrap();

@@ -112,11 +112,16 @@ impl Classifier for Smo {
             return Err(MlError::Train("empty dataset".into()));
         }
         if data.num_classes() != 2 {
-            return Err(MlError::Unsupported("SMO here is binary (the airlines task)".into()));
+            return Err(MlError::Unsupported(
+                "SMO here is binary (the airlines task)".into(),
+            ));
         }
         let (rows, labels, dim) = data.to_numeric();
         let n = rows.len();
-        let ys: Vec<f64> = labels.iter().map(|&l| if l == 1.0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1.0 { 1.0 } else { -1.0 })
+            .collect();
         let mut alphas = vec![0.0f64; n];
         let mut b = 0.0f64;
         let linear = self.svm_kernel == SvmKernel::Linear;
@@ -156,9 +161,15 @@ impl Classifier for Smo {
                 let ej = f_of(&alphas, b, &w, self, j) - ys[j];
                 let (ai_old, aj_old) = (alphas[i], alphas[j]);
                 let (lo, hi) = if ys[i] != ys[j] {
-                    ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (self.c + aj_old - ai_old).min(self.c),
+                    )
                 } else {
-                    ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                    (
+                        (ai_old + aj_old - self.c).max(0.0),
+                        (ai_old + aj_old).min(self.c),
+                    )
                 };
                 if (hi - lo).abs() < 1e-12 {
                     continue;
@@ -187,7 +198,8 @@ impl Classifier for Smo {
                     (b1 + b2) / 2.0
                 };
                 if linear {
-                    self.kernel.raw_flops(2 * w.len() as u64, 2 * w.len() as u64);
+                    self.kernel
+                        .raw_flops(2 * w.len() as u64, 2 * w.len() as u64);
                     for (wk, xk) in w.iter_mut().zip(&rows[i]) {
                         *wk += ys[i] * (ai - ai_old) * xk;
                     }
@@ -247,7 +259,11 @@ mod tests {
     fn linear_data(n: usize) -> Dataset {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x1"),
+                Attribute::numeric("x2"),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..n {
             let x1 = ((i * 17) % 29) as f64 / 14.0 - 1.0;
@@ -265,19 +281,28 @@ mod tests {
         c.fit(&d).unwrap();
         let correct = d.instances.iter().filter(|r| c.predict(r) == r[2]).count();
         assert!(correct as f64 / 200.0 > 0.9, "{correct}/200");
-        assert!(!c.support.is_empty() && c.support.len() < 200, "sparse SVs: {}", c.support.len());
+        assert!(
+            !c.support.is_empty() && c.support.len() < 200,
+            "sparse SVs: {}",
+            c.support.len()
+        );
     }
 
     #[test]
     fn rbf_kernel_handles_nonlinear_rings() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x1"), Attribute::numeric("x2"), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x1"),
+                Attribute::numeric("x2"),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..240 {
             let angle = i as f64 * 0.5;
             let r = if i % 2 == 0 { 0.5 } else { 2.0 };
-            d.push(vec![r * angle.cos(), r * angle.sin(), (i % 2) as f64]).unwrap();
+            d.push(vec![r * angle.cos(), r * angle.sin(), (i % 2) as f64])
+                .unwrap();
         }
         let mut c = Smo::new(5);
         c.svm_kernel = SvmKernel::Rbf(1.0);
@@ -299,7 +324,11 @@ mod tests {
         let data = AirlinesGenerator::new(23).generate(300);
         let mut c = Smo::new(1);
         c.fit(&data).unwrap();
-        let correct = data.instances.iter().filter(|r| c.predict(r) == r[7]).count();
+        let correct = data
+            .instances
+            .iter()
+            .filter(|r| c.predict(r) == r[7])
+            .count();
         assert!(correct as f64 / data.len() as f64 > 0.55);
     }
 
@@ -307,7 +336,10 @@ mod tests {
     fn multiclass_rejected() {
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x"), Attribute::nominal("y", &["a", "b", "c"])],
+            vec![
+                Attribute::numeric("x"),
+                Attribute::nominal("y", &["a", "b", "c"]),
+            ],
         );
         for i in 0..9 {
             d.push(vec![i as f64, (i % 3) as f64]).unwrap();
@@ -322,7 +354,7 @@ mod tests {
         c.c = 0.7;
         c.fit(&d).unwrap();
         for &a in &c.alphas {
-            assert!(a >= 0.0 && a <= 0.7 + 1e-9, "alpha {a} outside [0, C]");
+            assert!((0.0..=0.7 + 1e-9).contains(&a), "alpha {a} outside [0, C]");
         }
     }
 }

@@ -48,7 +48,13 @@ impl Node {
     pub fn classify(&self, row: &[f64]) -> f64 {
         match self {
             Node::Leaf { class, .. } => *class,
-            Node::Numeric { attr, threshold, left, right, dist } => {
+            Node::Numeric {
+                attr,
+                threshold,
+                left,
+                right,
+                dist,
+            } => {
                 let v = row[*attr];
                 if v.is_nan() {
                     return majority(dist);
@@ -59,7 +65,12 @@ impl Node {
                     right.classify(row)
                 }
             }
-            Node::Nominal { attr, children, default, .. } => {
+            Node::Nominal {
+                attr,
+                children,
+                default,
+                ..
+            } => {
                 let v = row[*attr];
                 if v.is_nan() {
                     return *default;
@@ -197,9 +208,17 @@ pub fn evaluate_attribute(data: &Dataset, attr: usize, kernel: &Kernel) -> Optio
             if gain <= 1e-10 {
                 return None;
             }
-            let gain_ratio =
-                if split_info > 1e-10 { kernel.quantize(gain / split_info) } else { gain };
-            Some(Split { attr, threshold: None, gain, gain_ratio })
+            let gain_ratio = if split_info > 1e-10 {
+                kernel.quantize(gain / split_info)
+            } else {
+                gain
+            };
+            Some(Split {
+                attr,
+                threshold: None,
+                gain,
+                gain_ratio,
+            })
         }
         AttributeKind::Numeric => {
             // Sort values; test midpoints between class-changing values.
@@ -236,12 +255,13 @@ pub fn evaluate_attribute(data: &Dataset, attr: usize, kernel: &Kernel) -> Optio
                 }
                 let nl = (w + 1) as f64;
                 let nr = n - nl;
-                let child_h = (nl / n) * entropy(&left, kernel) + (nr / n) * entropy(&right, kernel);
+                let child_h =
+                    (nl / n) * entropy(&left, kernel) + (nr / n) * entropy(&right, kernel);
                 let gain = kernel.quantize(parent - child_h);
                 let wl = nl / n;
                 let wr = nr / n;
-                let split_info =
-                    -(wl * (wl.ln() / std::f64::consts::LN_2) + wr * (wr.ln() / std::f64::consts::LN_2));
+                let split_info = -(wl * (wl.ln() / std::f64::consts::LN_2)
+                    + wr * (wr.ln() / std::f64::consts::LN_2));
                 let threshold = (v + next_v) / 2.0;
                 if best.map(|(_, g, _)| gain > g).unwrap_or(gain > 1e-10) {
                     best = Some((threshold, gain, split_info));
@@ -265,8 +285,9 @@ pub fn evaluate_attribute(data: &Dataset, attr: usize, kernel: &Kernel) -> Optio
 pub fn apply_split(data: &Dataset, split: &Split) -> Vec<Dataset> {
     match split.threshold {
         Some(t) => {
-            let (le, gt) =
-                data.partition(|i| data.instances[i][split.attr] <= t || data.instances[i][split.attr].is_nan());
+            let (le, gt) = data.partition(|i| {
+                data.instances[i][split.attr] <= t || data.instances[i][split.attr].is_nan()
+            });
             vec![le, gt]
         }
         None => {
@@ -293,7 +314,11 @@ mod tests {
         // x <= 5 → class 0; x > 5 → class 1 (clean numeric split at 5.5).
         let mut d = Dataset::new(
             "t",
-            vec![Attribute::numeric("x"), Attribute::nominal("c", &["a", "b"]), Attribute::binary("y")],
+            vec![
+                Attribute::numeric("x"),
+                Attribute::nominal("c", &["a", "b"]),
+                Attribute::binary("y"),
+            ],
         );
         for i in 0..10 {
             let y = if i > 5 { 1.0 } else { 0.0 };
@@ -347,8 +372,14 @@ mod tests {
 
     #[test]
     fn node_classify_and_stats() {
-        let leaf0 = Node::Leaf { class: 0.0, dist: vec![3.0, 0.0] };
-        let leaf1 = Node::Leaf { class: 1.0, dist: vec![0.0, 4.0] };
+        let leaf0 = Node::Leaf {
+            class: 0.0,
+            dist: vec![3.0, 0.0],
+        };
+        let leaf1 = Node::Leaf {
+            class: 1.0,
+            dist: vec![0.0, 4.0],
+        };
         let tree = Node::Numeric {
             attr: 0,
             threshold: 5.5,
@@ -358,7 +389,11 @@ mod tests {
         };
         assert_eq!(tree.classify(&[2.0, 0.0, 0.0]), 0.0);
         assert_eq!(tree.classify(&[9.0, 0.0, 0.0]), 1.0);
-        assert_eq!(tree.classify(&[f64::NAN, 0.0, 0.0]), 1.0, "missing → majority");
+        assert_eq!(
+            tree.classify(&[f64::NAN, 0.0, 0.0]),
+            1.0,
+            "missing → majority"
+        );
         assert_eq!(tree.leaves(), 2);
         assert_eq!(tree.depth(), 2);
     }

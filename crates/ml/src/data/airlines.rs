@@ -37,10 +37,17 @@ impl AirlinesGenerator {
     /// Create with a seed (same seed → identical dataset).
     pub fn new(seed: u64) -> AirlinesGenerator {
         let mut rng = StdRng::seed_from_u64(seed);
-        let airline_bias = (0..NUM_AIRLINES).map(|_| rng.gen_range(-0.8..0.8)).collect();
-        let airport_congestion =
-            (0..NUM_AIRPORTS).map(|_| rng.gen_range(0.0..1.0f64).powi(2)).collect();
-        AirlinesGenerator { rng, airline_bias, airport_congestion }
+        let airline_bias = (0..NUM_AIRLINES)
+            .map(|_| rng.gen_range(-0.8..0.8))
+            .collect();
+        let airport_congestion = (0..NUM_AIRPORTS)
+            .map(|_| rng.gen_range(0.0..1.0f64).powi(2))
+            .collect();
+        AirlinesGenerator {
+            rng,
+            airline_bias,
+            airport_congestion,
+        }
     }
 
     /// The Table III schema.
@@ -49,7 +56,10 @@ impl AirlinesGenerator {
         let airports: Vec<String> = (0..NUM_AIRPORTS).map(|i| format!("AP{i:03}")).collect();
         let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
         vec![
-            Attribute::nominal("Airline", &airlines.iter().map(|s| s.as_str()).collect::<Vec<_>>()),
+            Attribute::nominal(
+                "Airline",
+                &airlines.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            ),
             Attribute::numeric("Flight"),
             Attribute::nominal(
                 "Airport From",
@@ -101,7 +111,11 @@ impl AirlinesGenerator {
                 + 0.7 * self.airport_congestion[to]
                 + 0.0006 * (length - 300.0);
             let p = 1.0 / (1.0 + (-logit).exp());
-            let delay = if self.rng.gen_bool(p.clamp(0.02, 0.98)) { 1.0 } else { 0.0 };
+            let delay = if self.rng.gen_bool(p.clamp(0.02, 0.98)) {
+                1.0
+            } else {
+                0.0
+            };
             d.push(vec![
                 airline as f64,
                 flight,
@@ -130,14 +144,23 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Airline", "Flight", "Airport From", "Airport To", "Day Of Week", "Time",
-                "Length", "Delay"
+                "Airline",
+                "Flight",
+                "Airport From",
+                "Airport To",
+                "Day Of Week",
+                "Time",
+                "Length",
+                "Delay"
             ]
         );
         let types: Vec<&str> = schema.iter().map(|a| a.type_name()).collect();
         assert_eq!(
             types,
-            vec!["Nominal", "Numeric", "Nominal", "Nominal", "Nominal", "Numeric", "Numeric", "Binary"]
+            vec![
+                "Nominal", "Numeric", "Nominal", "Nominal", "Nominal", "Numeric", "Numeric",
+                "Binary"
+            ]
         );
         assert_eq!(schema[0].cardinality(), NUM_AIRLINES);
         assert_eq!(schema[2].cardinality(), NUM_AIRPORTS);

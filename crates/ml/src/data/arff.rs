@@ -19,7 +19,11 @@ pub fn parse(text: &str) -> Result<Dataset, MlError> {
         if !in_data {
             let lower = line.to_ascii_lowercase();
             if lower.starts_with("@relation") {
-                relation = line[9..].trim().trim_matches('\'').trim_matches('"').to_string();
+                relation = line[9..]
+                    .trim()
+                    .trim_matches('\'')
+                    .trim_matches('"')
+                    .to_string();
             } else if lower.starts_with("@attribute") {
                 attributes.push(parse_attribute(line, lineno + 1)?);
             } else if lower.starts_with("@data") {
@@ -28,31 +32,40 @@ pub fn parse(text: &str) -> Result<Dataset, MlError> {
                 }
                 in_data = true;
             } else {
-                return Err(MlError::Data(format!("line {}: unknown directive", lineno + 1)));
+                return Err(MlError::Data(format!(
+                    "line {}: unknown directive",
+                    lineno + 1
+                )));
             }
         } else {
             let mut row = Vec::with_capacity(attributes.len());
             for (i, field) in line.split(',').enumerate() {
                 let field = field.trim().trim_matches('\'').trim_matches('"');
                 if i >= attributes.len() {
-                    return Err(MlError::Data(format!("line {}: too many fields", lineno + 1)));
+                    return Err(MlError::Data(format!(
+                        "line {}: too many fields",
+                        lineno + 1
+                    )));
                 }
                 let v = if field == "?" {
                     f64::NAN
                 } else {
                     match &attributes[i].kind {
                         AttributeKind::Numeric => field.parse::<f64>().map_err(|e| {
-                            MlError::Data(format!("line {}: bad numeric `{field}`: {e}", lineno + 1))
+                            MlError::Data(format!(
+                                "line {}: bad numeric `{field}`: {e}",
+                                lineno + 1
+                            ))
                         })?,
-                        AttributeKind::Nominal(_) => attributes[i]
-                            .index_of(field)
-                            .ok_or_else(|| {
+                        AttributeKind::Nominal(_) => {
+                            attributes[i].index_of(field).ok_or_else(|| {
                                 MlError::Data(format!(
                                     "line {}: unknown label `{field}` for {}",
                                     lineno + 1,
                                     attributes[i].name
                                 ))
-                            })? as f64,
+                            })? as f64
+                        }
                     }
                 };
                 row.push(v);
@@ -69,16 +82,21 @@ pub fn parse(text: &str) -> Result<Dataset, MlError> {
         }
     }
     let class_index = attributes.len().saturating_sub(1);
-    Ok(Dataset { relation, attributes, class_index, instances })
+    Ok(Dataset {
+        relation,
+        attributes,
+        class_index,
+        instances,
+    })
 }
 
 fn parse_attribute(line: &str, lineno: usize) -> Result<Attribute, MlError> {
     let rest = line[10..].trim();
     // Name may be quoted (contains spaces).
     let (name, tail) = if let Some(stripped) = rest.strip_prefix('\'') {
-        let end = stripped.find('\'').ok_or_else(|| {
-            MlError::Data(format!("line {lineno}: unterminated attribute name"))
-        })?;
+        let end = stripped
+            .find('\'')
+            .ok_or_else(|| MlError::Data(format!("line {lineno}: unterminated attribute name")))?;
         (stripped[..end].to_string(), stripped[end + 1..].trim())
     } else {
         let mut parts = rest.splitn(2, char::is_whitespace);
@@ -86,7 +104,9 @@ fn parse_attribute(line: &str, lineno: usize) -> Result<Attribute, MlError> {
         (name, parts.next().unwrap_or("").trim())
     };
     if name.is_empty() {
-        return Err(MlError::Data(format!("line {lineno}: missing attribute name")));
+        return Err(MlError::Data(format!(
+            "line {lineno}: missing attribute name"
+        )));
     }
     let kind = if tail.starts_with('{') {
         let inner = tail
@@ -118,11 +138,13 @@ pub fn write(d: &Dataset) -> String {
     out.push_str(&format!("@relation '{}'\n\n", d.relation));
     for a in &d.attributes {
         match &a.kind {
-            AttributeKind::Numeric => {
-                out.push_str(&format!("@attribute '{}' numeric\n", a.name))
-            }
+            AttributeKind::Numeric => out.push_str(&format!("@attribute '{}' numeric\n", a.name)),
             AttributeKind::Nominal(labels) => {
-                out.push_str(&format!("@attribute '{}' {{{}}}\n", a.name, labels.join(",")));
+                out.push_str(&format!(
+                    "@attribute '{}' {{{}}}\n",
+                    a.name,
+                    labels.join(",")
+                ));
             }
         }
     }
@@ -137,9 +159,7 @@ pub fn write(d: &Dataset) -> String {
                 } else {
                     match &a.kind {
                         AttributeKind::Numeric => format!("{v}"),
-                        AttributeKind::Nominal(_) => {
-                            a.label(*v).unwrap_or("?").to_string()
-                        }
+                        AttributeKind::Nominal(_) => a.label(*v).unwrap_or("?").to_string(),
                     }
                 }
             })

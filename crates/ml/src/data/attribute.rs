@@ -24,7 +24,10 @@ pub struct Attribute {
 impl Attribute {
     /// A numeric attribute.
     pub fn numeric(name: &str) -> Attribute {
-        Attribute { name: name.to_string(), kind: AttributeKind::Numeric }
+        Attribute {
+            name: name.to_string(),
+            kind: AttributeKind::Numeric,
+        }
     }
 
     /// A nominal attribute with the given labels.
@@ -98,7 +101,10 @@ mod tests {
     #[test]
     fn type_names_match_table3() {
         assert_eq!(Attribute::numeric("Time").type_name(), "Numeric");
-        assert_eq!(Attribute::nominal("Airline", &["a", "b", "c"]).type_name(), "Nominal");
+        assert_eq!(
+            Attribute::nominal("Airline", &["a", "b", "c"]).type_name(),
+            "Nominal"
+        );
         assert_eq!(Attribute::binary("Delay").type_name(), "Binary");
     }
 }

@@ -22,7 +22,12 @@ impl Dataset {
     /// Empty dataset with a schema; class is the last attribute.
     pub fn new(relation: &str, attributes: Vec<Attribute>) -> Dataset {
         let class_index = attributes.len().saturating_sub(1);
-        Dataset { relation: relation.to_string(), attributes, class_index, instances: Vec::new() }
+        Dataset {
+            relation: relation.to_string(),
+            attributes,
+            class_index,
+            instances: Vec::new(),
+        }
     }
 
     /// Add an instance (must match the schema length).
@@ -65,7 +70,9 @@ impl Dataset {
 
     /// Attribute indices excluding the class.
     pub fn feature_indices(&self) -> Vec<usize> {
-        (0..self.attributes.len()).filter(|&i| i != self.class_index).collect()
+        (0..self.attributes.len())
+            .filter(|&i| i != self.class_index)
+            .collect()
     }
 
     /// Class distribution (counts per label).
@@ -130,8 +137,12 @@ impl Dataset {
             if self.attributes[f].is_numeric() && !self.is_empty() {
                 let n = self.len() as f64;
                 let mean = self.instances.iter().map(|r| r[f]).sum::<f64>() / n;
-                let var =
-                    self.instances.iter().map(|r| (r[f] - mean).powi(2)).sum::<f64>() / n;
+                let var = self
+                    .instances
+                    .iter()
+                    .map(|r| (r[f] - mean).powi(2))
+                    .sum::<f64>()
+                    / n;
                 means[k] = mean;
                 stds[k] = var.sqrt().max(1e-12);
             }

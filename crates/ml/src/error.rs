@@ -33,6 +33,8 @@ mod tests {
     fn display_variants() {
         assert!(MlError::Data("x".into()).to_string().contains("data"));
         assert!(MlError::Train("x".into()).to_string().contains("training"));
-        assert!(MlError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(MlError::Unsupported("x".into())
+            .to_string()
+            .contains("unsupported"));
     }
 }

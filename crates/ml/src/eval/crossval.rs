@@ -1,10 +1,18 @@
 //! Stratified k-fold cross-validation — the paper's protocol
 //! ("evaluated various classifiers using stratified 10-fold
 //! cross-validation").
+//!
+//! Folds are independent, so [`stratified_cross_validate_jobs`] fans
+//! them out over the jepo-pool scoped worker pool with one fresh
+//! [`Kernel`]/op-counter per fold. Per-fold evaluations and op
+//! snapshots are merged **in fold order** at join, which makes the
+//! parallel run bit-identical to the sequential one for any `jobs`.
 
 use super::metrics::Evaluation;
 use crate::classifiers::Classifier;
 use crate::data::Dataset;
+use crate::ops::{EfficiencyProfile, Kernel};
+use jepo_rapl::OpSnapshot;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,6 +67,48 @@ pub fn stratified_cross_validate<C: Classifier>(
     eval
 }
 
+/// Counted, optionally parallel cross-validation.
+///
+/// Each fold gets a **fresh** [`Kernel`] (and thus its own op-counter);
+/// `make` builds the fold's classifier around it. Folds run on up to
+/// `jobs` workers (`0` = one per core, `1` = sequential). Per-fold
+/// results are committed by fold index and merged in fold order, so the
+/// returned `(Evaluation, OpSnapshot)` is identical — bit for bit — to
+/// the sequential run: confusion-matrix and op-count merging are sums
+/// of per-fold integers, which commute.
+pub fn stratified_cross_validate_jobs<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    jobs: usize,
+    profile: EfficiencyProfile,
+    make: impl Fn(Kernel) -> C + Sync,
+) -> (Evaluation, OpSnapshot) {
+    let fold_of = stratified_folds(data, k, seed);
+    let folds: Vec<usize> = (0..k).collect();
+    let per_fold = jepo_pool::parallel_map(&folds, jobs, |_, &fold| {
+        let kernel = Kernel::new(profile);
+        let mut eval = Evaluation::new(data.num_classes());
+        let (test, train) = data.partition(|i| fold_of[i] == fold);
+        if !train.is_empty() && !test.is_empty() {
+            let mut clf = make(kernel.clone());
+            if clf.fit(&train).is_ok() {
+                for row in &test.instances {
+                    eval.record(row[test.class_index], clf.predict(row));
+                }
+            }
+        }
+        (eval, kernel.counter().take())
+    });
+    let mut eval = Evaluation::new(data.num_classes());
+    let mut ops = OpSnapshot::default();
+    for (e, s) in &per_fold {
+        eval.merge(e);
+        ops.merge(s);
+    }
+    (eval, ops)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,7 +138,10 @@ mod tests {
     fn folds_are_deterministic_per_seed() {
         let data = AirlinesGenerator::new(3).generate(200);
         assert_eq!(stratified_folds(&data, 5, 9), stratified_folds(&data, 5, 9));
-        assert_ne!(stratified_folds(&data, 5, 9), stratified_folds(&data, 5, 10));
+        assert_ne!(
+            stratified_folds(&data, 5, 9),
+            stratified_folds(&data, 5, 10)
+        );
     }
 
     /// Trivial classifier predicting the training majority class.
@@ -108,17 +161,38 @@ mod tests {
 
     #[test]
     fn cross_validation_runs_all_folds() {
-        let mut d = Dataset::new(
-            "toy",
-            vec![Attribute::numeric("x"), Attribute::binary("y")],
-        );
+        let mut d = Dataset::new("toy", vec![Attribute::numeric("x"), Attribute::binary("y")]);
         for i in 0..100 {
-            d.push(vec![i as f64, if i % 3 == 0 { 1.0 } else { 0.0 }]).unwrap();
+            d.push(vec![i as f64, if i % 3 == 0 { 1.0 } else { 0.0 }])
+                .unwrap();
         }
         let eval = stratified_cross_validate(&d, 10, 1, || Majority(0.0));
         assert_eq!(eval.total(), 100);
         // Majority class is 0 (66 of 100): accuracy ≈ 0.66.
         assert!((eval.accuracy() - 0.66).abs() < 0.05);
+    }
+
+    #[test]
+    fn parallel_folds_match_sequential_bit_for_bit() {
+        use crate::classifiers::by_name;
+        let data = AirlinesGenerator::new(7).generate(300);
+        let profile = EfficiencyProfile::baseline();
+        let run = |jobs| {
+            stratified_cross_validate_jobs(&data, 5, 7, jobs, profile, |kernel| {
+                by_name("Naive Bayes", kernel, 7).unwrap()
+            })
+        };
+        let (eval1, ops1) = run(1);
+        for jobs in [2, 3, 8] {
+            let (evaln, opsn) = run(jobs);
+            assert_eq!(eval1, evaln, "jobs={jobs}");
+            assert_eq!(ops1, opsn, "jobs={jobs}");
+        }
+        // And the counted path agrees with the plain sequential API.
+        let plain = stratified_cross_validate(&data, 5, 7, || {
+            by_name("Naive Bayes", Kernel::new(profile), 7).unwrap()
+        });
+        assert_eq!(plain, eval1);
     }
 
     #[test]

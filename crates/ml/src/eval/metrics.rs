@@ -12,7 +12,9 @@ pub struct Evaluation {
 impl Evaluation {
     /// Empty evaluation for `num_classes`.
     pub fn new(num_classes: usize) -> Evaluation {
-        Evaluation { confusion: vec![vec![0; num_classes]; num_classes] }
+        Evaluation {
+            confusion: vec![vec![0; num_classes]; num_classes],
+        }
     }
 
     /// Record one prediction.
@@ -38,7 +40,9 @@ impl Evaluation {
 
     /// Correctly classified instances.
     pub fn correct(&self) -> u64 {
-        (0..self.confusion.len()).map(|i| self.confusion[i][i]).sum()
+        (0..self.confusion.len())
+            .map(|i| self.confusion[i][i])
+            .sum()
     }
 
     /// Accuracy in `[0,1]`.

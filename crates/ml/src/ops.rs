@@ -135,7 +135,10 @@ pub struct Kernel {
 impl Kernel {
     /// Kernel with a fresh counter.
     pub fn new(profile: EfficiencyProfile) -> Kernel {
-        Kernel { profile, counter: Arc::new(OpCounter::new()) }
+        Kernel {
+            profile,
+            counter: Arc::new(OpCounter::new()),
+        }
     }
 
     /// Kernel sharing an existing counter (the experiment harness owns it).
@@ -357,7 +360,8 @@ impl Kernel {
             Layout::RowMajor => {
                 let per_line = (64 / 8) as u64;
                 self.counter.add(OpCategory::CacheMiss, rows_u / per_line);
-                self.counter.add(OpCategory::Load, rows_u - rows_u / per_line);
+                self.counter
+                    .add(OpCategory::Load, rows_u - rows_u / per_line);
             }
         }
     }
@@ -450,7 +454,8 @@ impl Kernel {
             }
             out
         } else {
-            self.counter.add(OpCategory::StringConcat, parts.len() as u64);
+            self.counter
+                .add(OpCategory::StringConcat, parts.len() as u64);
             let mut out = String::new();
             for p in parts {
                 // Concatenation semantics: each `+` builds a fresh string.
@@ -524,7 +529,12 @@ mod tests {
         // leaves the strided baseline measurably more expensive.
         base.charge_attribute_scan(10_000, 64);
         opt.charge_attribute_scan(10_000, 64);
-        assert!(joules(&base) > joules(&opt) * 1.15, "{} vs {}", joules(&base), joules(&opt));
+        assert!(
+            joules(&base) > joules(&opt) * 1.15,
+            "{} vs {}",
+            joules(&base),
+            joules(&opt)
+        );
     }
 
     #[test]

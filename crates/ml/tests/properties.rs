@@ -31,7 +31,13 @@ fn small_dataset() -> impl Strategy<Value = Dataset> {
             let y = next() * 10.0;
             let c = if x + y > 10.0 { 1.0 } else { 0.0 };
             // Force both classes to exist.
-            let c = if i == 0 { 0.0 } else if i == 1 { 1.0 } else { c };
+            let c = if i == 0 {
+                0.0
+            } else if i == 1 {
+                1.0
+            } else {
+                c
+            };
             d.push(vec![x, y, c]).unwrap();
         }
         d

@@ -1,0 +1,141 @@
+//! # jepo-pool — deterministic parallel map
+//!
+//! The paper's evaluation is ten classifiers × two profiles × k CV
+//! folds run back-to-back; every unit is independent, so the harness
+//! fans them out over a scoped worker pool. The contract that makes
+//! parallelism safe to put under a *measurement* harness is
+//! determinism: [`parallel_map`] returns exactly what the sequential
+//! loop would return, for any worker count and any scheduling, because
+//! each slot's result is a pure function of `(index, item)` and results
+//! are committed by index.
+//!
+//! Work distribution is self-scheduling (a shared atomic cursor), so a
+//! slow item (Random Forest) doesn't leave workers idle the way static
+//! chunking would.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a requested job count: `0` means "one per available core".
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` worker threads (`0` = one per
+/// core), returning results in item order.
+///
+/// Determinism: the output is identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` provided
+/// `f` itself depends only on its arguments (no shared mutable state
+/// with ordering sensitivity — commutative accumulation like atomic
+/// counters is fine).
+///
+/// Panics in `f` are propagated after all workers stop.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap()
+                .unwrap_or_else(|| panic!("worker died before finishing item {i}"))
+        })
+        .collect()
+}
+
+/// [`parallel_map`] over owned results that may fail: first error *by
+/// item index* wins (deterministic, unlike "whichever worker errored
+/// first").
+pub fn try_parallel_map<T, R, E, F>(items: &[T], jobs: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = parallel_map(items, jobs, f);
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, jobs, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert!(effective_jobs(0) >= 1);
+        let got = parallel_map(&[1, 2, 3], 0, |i, &x| (i, x));
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn try_map_reports_first_error_by_index() {
+        let items: Vec<u32> = (0..50).collect();
+        let r: Result<Vec<u32>, String> = try_parallel_map(&items, 4, |_, &x| {
+            if x == 7 || x == 33 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "bad 7");
+    }
+
+    #[test]
+    fn self_scheduling_covers_unbalanced_work() {
+        // Heavier early items must not serialize the tail.
+        let items: Vec<u64> = (0..32).collect();
+        let got = parallel_map(&items, 4, |_, &x| {
+            if x < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(got, (1..33).collect::<Vec<_>>());
+    }
+}

@@ -223,7 +223,9 @@ impl CostModel {
     /// ablation baseline showing how much of Table IV's improvement
     /// depends on cost heterogeneity.
     pub fn uniform(nj: f64) -> CostModel {
-        CostModel { nanojoules: vec![nj; OpCategory::COUNT] }
+        CostModel {
+            nanojoules: vec![nj; OpCategory::COUNT],
+        }
     }
 
     /// Nanojoules for one operation of `cat`.
@@ -264,6 +266,18 @@ impl OpSnapshot {
         self.counts.iter().sum()
     }
 
+    /// Add another snapshot's counts into this one (worker-counter
+    /// merging: addition commutes, so any merge order yields the same
+    /// totals as one shared counter would).
+    pub fn merge(&mut self, other: &OpSnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
     /// Per-category difference `self - earlier` (saturating).
     pub fn delta_since(&self, earlier: &OpSnapshot) -> OpSnapshot {
         let counts = OpCategory::ALL
@@ -295,7 +309,9 @@ pub struct OpCounter {
 
 impl Default for OpCounter {
     fn default() -> Self {
-        OpCounter { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+        OpCounter {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 }
 
@@ -320,14 +336,22 @@ impl OpCounter {
     /// Snapshot current counts.
     pub fn snapshot(&self) -> OpSnapshot {
         OpSnapshot {
-            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
     /// Reset all counts to zero, returning the pre-reset snapshot.
     pub fn take(&self) -> OpSnapshot {
         OpSnapshot {
-            counts: self.counts.iter().map(|c| c.swap(0, Ordering::Relaxed)).collect(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.swap(0, Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -373,7 +397,12 @@ mod tests {
         // Scientific-notation constants are cheaper.
         assert!(m.nanojoules(OpCategory::ConstScientific) < m.nanojoules(OpCategory::ConstDecimal));
         // int is the cheapest primitive ALU.
-        for c in [OpCategory::LongAlu, OpCategory::FloatAlu, OpCategory::DoubleAlu, OpCategory::NarrowAlu] {
+        for c in [
+            OpCategory::LongAlu,
+            OpCategory::FloatAlu,
+            OpCategory::DoubleAlu,
+            OpCategory::NarrowAlu,
+        ] {
             assert!(m.nanojoules(c) > m.nanojoules(OpCategory::IntAlu), "{c:?}");
         }
     }

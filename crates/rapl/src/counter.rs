@@ -29,7 +29,11 @@ impl EnergyCounter {
     /// raw counts (use a nonzero offset in tests to catch code that
     /// assumes counters start at zero).
     pub fn new(units: RaplUnits, start_offset: u32) -> Self {
-        EnergyCounter { units, total_joules: 0.0, start_offset }
+        EnergyCounter {
+            units,
+            total_joules: 0.0,
+            start_offset,
+        }
     }
 
     /// Accrue energy.
@@ -74,7 +78,12 @@ impl CounterReader {
     /// Create a reader; the first [`CounterReader::update`] call
     /// establishes the baseline and contributes no energy.
     pub fn new(units: RaplUnits) -> Self {
-        CounterReader { units, last_raw: None, accumulated_joules: 0.0, wraps_observed: 0 }
+        CounterReader {
+            units,
+            last_raw: None,
+            accumulated_joules: 0.0,
+            wraps_observed: 0,
+        }
     }
 
     /// Feed a new raw sample; returns the joules elapsed since the
@@ -222,6 +231,37 @@ mod tests {
                 prop_assert!(now >= prev, "no wrap possible for small adds");
                 prev = now;
             }
+        }
+
+        #[test]
+        fn reader_is_wrap_correct_across_the_u32_boundary(
+            below in 1u32..1_000,
+            chunks in proptest::collection::vec(1u64..5_000, 1..20),
+        ) {
+            // Start the raw counter just below the wrap point so small
+            // additions force a crossing, and check the reader both
+            // detects the wrap exactly when the boundary is crossed and
+            // loses at most quantization error through it.
+            let u = units();
+            let mut c = EnergyCounter::new(u, u32::MAX - below);
+            let mut r = CounterReader::new(u);
+            r.update(c.read_raw());
+            let mut exact_counts = 0u64;
+            for counts in chunks {
+                c.add_joules(u.raw_to_joules(counts));
+                exact_counts += counts;
+                r.update(c.read_raw());
+            }
+            let expected_wraps = u64::from(exact_counts > below as u64);
+            prop_assert_eq!(r.wraps_observed(), expected_wraps);
+            // Per-sample floors telescope: total error ≤ one count.
+            prop_assert!(
+                (r.total_joules() - u.raw_to_joules(exact_counts)).abs()
+                    <= u.joules_per_count() * 2.0,
+                "reader {} vs exact {}",
+                r.total_joules(),
+                u.raw_to_joules(exact_counts)
+            );
         }
     }
 }

@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn msr_roundtrip() {
         for d in Domain::ALL {
-            assert_eq!(Domain::from_energy_status_msr(d.energy_status_msr()), Some(d));
+            assert_eq!(
+                Domain::from_energy_status_msr(d.energy_status_msr()),
+                Some(d)
+            );
         }
     }
 

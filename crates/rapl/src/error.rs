@@ -62,7 +62,7 @@ mod tests {
             RaplError::UnknownRegister(0x611),
             RaplError::UnsupportedDomain(crate::Domain::Psys),
             RaplError::BackendUnavailable("no msr module".into()),
-            RaplError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            RaplError::Io(std::io::Error::other("x")),
             RaplError::Malformed("bad unit field".into()),
         ];
         for v in variants {

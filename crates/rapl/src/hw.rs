@@ -15,23 +15,24 @@ use std::path::PathBuf;
 /// injected Javassist code uses (requires the `msr` kernel module and
 /// root or `CAP_SYS_RAWIO`).
 pub struct MsrFileDevice {
-    file: parking_lot::Mutex<fs::File>,
+    file: std::sync::Mutex<fs::File>,
 }
 
 impl MsrFileDevice {
     /// Open the MSR device for `cpu`.
     pub fn open(cpu: u32) -> Result<MsrFileDevice, RaplError> {
         let path = format!("/dev/cpu/{cpu}/msr");
-        let file = fs::File::open(&path).map_err(|e| {
-            RaplError::BackendUnavailable(format!("cannot open {path}: {e}"))
-        })?;
-        Ok(MsrFileDevice { file: parking_lot::Mutex::new(file) })
+        let file = fs::File::open(&path)
+            .map_err(|e| RaplError::BackendUnavailable(format!("cannot open {path}: {e}")))?;
+        Ok(MsrFileDevice {
+            file: std::sync::Mutex::new(file),
+        })
     }
 }
 
 impl MsrDevice for MsrFileDevice {
     fn read_msr(&self, addr: u32) -> Result<u64, RaplError> {
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         f.seek(SeekFrom::Start(addr as u64))?;
         let mut buf = [0u8; 8];
         f.read_exact(&mut buf)?;
@@ -168,7 +169,10 @@ mod tests {
         fs::write(zone.join("name"), "core\n").unwrap();
         fs::write(zone.join("energy_uj"), "not-a-number\n").unwrap();
         let reader = PowercapReader::discover_in(dir.to_str().unwrap()).unwrap();
-        assert!(matches!(reader.read_joules(Domain::Core), Err(RaplError::Malformed(_))));
+        assert!(matches!(
+            reader.read_joules(Domain::Core),
+            Err(RaplError::Malformed(_))
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -142,7 +142,7 @@ impl EnergyMeter for SimMeter {
 /// so it works unchanged against real hardware.
 pub struct MsrMeter<D: MsrDevice> {
     device: D,
-    epoch: parking_lot::Mutex<MsrEpoch>,
+    epoch: std::sync::Mutex<MsrEpoch>,
 }
 
 struct MsrEpoch {
@@ -169,16 +169,25 @@ impl<D: MsrDevice> MsrMeter<D> {
         }
         Ok(MsrMeter {
             device,
-            epoch: parking_lot::Mutex::new(MsrEpoch { readers, start: std::time::Instant::now() }),
+            epoch: std::sync::Mutex::new(MsrEpoch {
+                readers,
+                start: std::time::Instant::now(),
+            }),
         })
     }
 }
 
 impl<D: MsrDevice> EnergyMeter for MsrMeter<D> {
     fn read(&self) -> EnergyReading {
-        let mut ep = self.epoch.lock();
+        let mut ep = self.epoch.lock().unwrap();
         let seconds = ep.start.elapsed().as_secs_f64();
-        let mut reading = EnergyReading { package_j: 0.0, core_j: 0.0, uncore_j: 0.0, dram_j: 0.0, seconds };
+        let mut reading = EnergyReading {
+            package_j: 0.0,
+            core_j: 0.0,
+            uncore_j: 0.0,
+            dram_j: 0.0,
+            seconds,
+        };
         for (d, r) in ep.readers.iter_mut() {
             if let Ok(raw) = self.device.read_energy_raw(*d) {
                 r.update(raw);
@@ -232,7 +241,11 @@ mod tests {
 
     #[test]
     fn avg_power_is_energy_over_time() {
-        let mv = Measurement { package_j: 10.0, seconds: 2.0, ..Default::default() };
+        let mv = Measurement {
+            package_j: 10.0,
+            seconds: 2.0,
+            ..Default::default()
+        };
         assert!((mv.avg_package_watts() - 5.0).abs() < 1e-12);
         let zero = Measurement::default();
         assert_eq!(zero.avg_package_watts(), 0.0);
@@ -248,8 +261,20 @@ mod tests {
 
     #[test]
     fn accumulate_sums_componentwise() {
-        let mut a = Measurement { package_j: 1.0, core_j: 0.5, uncore_j: 0.1, dram_j: 0.0, seconds: 2.0 };
-        a.accumulate(&Measurement { package_j: 2.0, core_j: 1.0, uncore_j: 0.2, dram_j: 0.0, seconds: 3.0 });
+        let mut a = Measurement {
+            package_j: 1.0,
+            core_j: 0.5,
+            uncore_j: 0.1,
+            dram_j: 0.0,
+            seconds: 2.0,
+        };
+        a.accumulate(&Measurement {
+            package_j: 2.0,
+            core_j: 1.0,
+            uncore_j: 0.2,
+            dram_j: 0.0,
+            seconds: 3.0,
+        });
         assert!((a.package_j - 3.0).abs() < 1e-12);
         assert!((a.seconds - 5.0).abs() < 1e-12);
     }

@@ -35,7 +35,9 @@ pub trait MsrDevice: Send + Sync {
     /// Decode the unit register. Default implementation reads
     /// [`MSR_RAPL_POWER_UNIT`] and parses the bit-fields.
     fn units(&self) -> Result<crate::RaplUnits, RaplError> {
-        Ok(crate::RaplUnits::from_msr(self.read_msr(MSR_RAPL_POWER_UNIT)?))
+        Ok(crate::RaplUnits::from_msr(
+            self.read_msr(MSR_RAPL_POWER_UNIT)?,
+        ))
     }
 
     /// Read a domain's raw (hardware-unit) energy counter.
@@ -103,7 +105,11 @@ mod tests {
     #[test]
     fn power_info_roundtrip() {
         let unit = 1.0 / 8.0; // default RAPL power unit: 1/8 W
-        let info = PowerInfo { tdp_watts: 17.0, min_watts: 4.0, max_watts: 25.0 };
+        let info = PowerInfo {
+            tdp_watts: 17.0,
+            min_watts: 4.0,
+            max_watts: 25.0,
+        };
         let decoded = PowerInfo::from_msr(info.to_msr(unit), unit);
         assert!((decoded.tdp_watts - 17.0).abs() < 1e-9);
         assert!((decoded.min_watts - 4.0).abs() < 1e-9);
@@ -114,7 +120,11 @@ mod tests {
     fn power_info_fields_are_15_bits() {
         let unit = 0.125;
         // 0x7FFF * 0.125 = 4095.875 W is the max encodable value.
-        let info = PowerInfo { tdp_watts: 1e9, min_watts: 0.0, max_watts: 0.0 };
+        let info = PowerInfo {
+            tdp_watts: 1e9,
+            min_watts: 0.0,
+            max_watts: 0.0,
+        };
         let raw = info.to_msr(unit);
         assert_eq!(raw & !0x7FFF_u64, raw & 0xFFFF_FFFF_FFFF_0000 & raw); // nothing spills
         assert!(PowerInfo::from_msr(raw, unit).tdp_watts <= 4096.0);

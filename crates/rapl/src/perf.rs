@@ -119,9 +119,21 @@ mod tests {
     #[test]
     fn replace_supports_outlier_protocol() {
         let mut stat = EnergyStat::new();
-        stat.push(Measurement { package_j: 1.0, ..Default::default() });
-        stat.push(Measurement { package_j: 100.0, ..Default::default() }); // outlier
-        stat.replace(1, Measurement { package_j: 1.2, ..Default::default() });
+        stat.push(Measurement {
+            package_j: 1.0,
+            ..Default::default()
+        });
+        stat.push(Measurement {
+            package_j: 100.0,
+            ..Default::default()
+        }); // outlier
+        stat.replace(
+            1,
+            Measurement {
+                package_j: 1.2,
+                ..Default::default()
+            },
+        );
         assert!((stat.mean_package_j() - 1.1).abs() < 1e-9);
     }
 
@@ -136,8 +148,20 @@ mod tests {
     #[test]
     fn mean_is_componentwise() {
         let mut stat = EnergyStat::new();
-        stat.push(Measurement { package_j: 2.0, core_j: 1.0, uncore_j: 0.2, dram_j: 0.1, seconds: 1.0 });
-        stat.push(Measurement { package_j: 4.0, core_j: 3.0, uncore_j: 0.4, dram_j: 0.3, seconds: 3.0 });
+        stat.push(Measurement {
+            package_j: 2.0,
+            core_j: 1.0,
+            uncore_j: 0.2,
+            dram_j: 0.1,
+            seconds: 1.0,
+        });
+        stat.push(Measurement {
+            package_j: 4.0,
+            core_j: 3.0,
+            uncore_j: 0.4,
+            dram_j: 0.3,
+            seconds: 3.0,
+        });
         let m = stat.mean();
         assert!((m.package_j - 3.0).abs() < 1e-12);
         assert!((m.core_j - 2.0).abs() < 1e-12);

@@ -109,7 +109,10 @@ impl DeviceProfile {
         }
         let sum = self.core_dynamic_fraction + self.uncore_dynamic_fraction;
         if sum > 1.0 + 1e-9 {
-            return Err(format!("{}: core+uncore dynamic fractions exceed 1", self.name));
+            return Err(format!(
+                "{}: core+uncore dynamic fractions exceed 1",
+                self.name
+            ));
         }
         if self.idle_package_watts <= 0.0 || self.idle_package_watts >= self.tdp_watts {
             return Err(format!("{}: idle power must be in (0, TDP)", self.name));
@@ -146,7 +149,10 @@ mod tests {
     fn paper_machine_matches_published_tdp() {
         let p = DeviceProfile::laptop_i5_3317u();
         assert_eq!(p.tdp_watts, 17.0);
-        assert!(!p.domains.contains(&Domain::Dram), "client part: no DRAM RAPL");
+        assert!(
+            !p.domains.contains(&Domain::Dram),
+            "client part: no DRAM RAPL"
+        );
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! The paper's tooling reads RAPL at method boundaries; operators also
 //! want a wall-clock time series (power over time). The sampler spawns a
 //! thread that reads an [`crate::EnergyMeter`] at a fixed interval and
-//! streams [`PowerSample`]s over a crossbeam channel — and doubles as a
+//! streams [`PowerSample`]s over a bounded mpsc channel — and doubles as a
 //! stress test of the meter's thread-safety.
 
 use crate::{EnergyMeter, EnergyReading};
-use crossbeam::channel::{bounded, Receiver};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,7 +40,7 @@ impl Sampler {
         interval: Duration,
         capacity: usize,
     ) -> Sampler {
-        let (tx, rx) = bounded(capacity);
+        let (tx, rx) = sync_channel(capacity);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let handle = std::thread::spawn(move || {
@@ -59,17 +59,27 @@ impl Sampler {
                     }
                     None => 0.0,
                 };
-                let sample = PowerSample { index, reading, package_watts };
-                if tx.is_full() {
-                    let _ = rx_drain_one(&tx);
+                let sample = PowerSample {
+                    index,
+                    reading,
+                    package_watts,
+                };
+                // When the buffer is full the sample is dropped on the
+                // floor: monitoring must never block the measured system.
+                match tx.try_send(sample) {
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
-                let _ = tx.try_send(sample);
                 prev = Some(reading);
                 index += 1;
                 std::thread::sleep(interval);
             }
         });
-        Sampler { stop, handle: Some(handle), rx }
+        Sampler {
+            stop,
+            handle: Some(handle),
+            rx,
+        }
     }
 
     /// Receive-side of the sample stream.
@@ -96,13 +106,6 @@ impl Drop for Sampler {
     }
 }
 
-fn rx_drain_one(tx: &crossbeam::channel::Sender<PowerSample>) -> bool {
-    // bounded channels have no direct pop-from-sender; dropping the
-    // sample on the floor when full is the documented behaviour.
-    let _ = tx;
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +124,10 @@ mod tests {
         let samples = sampler.stop();
         assert!(samples.len() >= 3, "got {}", samples.len());
         for w in samples.windows(2) {
-            assert!(w[1].reading.package_j >= w[0].reading.package_j, "monotone energy");
+            assert!(
+                w[1].reading.package_j >= w[0].reading.package_j,
+                "monotone energy"
+            );
             assert_eq!(w[1].index, w[0].index + 1);
         }
     }

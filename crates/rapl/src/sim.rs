@@ -12,14 +12,14 @@
 //!   counters) via [`SimulatedRapl::add_dynamic_energy`], split by the
 //!   profile's dynamic fractions.
 //!
-//! The device is shared-state and thread-safe (`parking_lot::Mutex`);
+//! The device is shared-state and thread-safe (`std::sync::Mutex`);
 //! worker threads report energy concurrently during parallel training.
 
 use crate::{
     counter::EnergyCounter, msr, power::DeviceProfile, Domain, MsrDevice, RaplError, RaplUnits,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Duration;
 
 #[derive(Debug)]
@@ -57,7 +57,12 @@ impl SimulatedRapl {
             .domains
             .iter()
             .enumerate()
-            .map(|(i, &d)| (d, EnergyCounter::new(units, 0x1000_0000u32.wrapping_mul(i as u32 + 1))))
+            .map(|(i, &d)| {
+                (
+                    d,
+                    EnergyCounter::new(units, 0x1000_0000u32.wrapping_mul(i as u32 + 1)),
+                )
+            })
             .collect();
         SimulatedRapl {
             profile: Arc::new(profile),
@@ -84,7 +89,7 @@ impl SimulatedRapl {
     pub fn advance_seconds(&self, dt: f64) {
         assert!(dt >= 0.0, "time cannot run backwards");
         let idle_j = self.profile.idle_package_watts * dt;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.clock_seconds += dt;
         for (d, c) in st.counters.iter_mut() {
             let share = match d {
@@ -102,7 +107,7 @@ impl SimulatedRapl {
     /// domain sees all of it (package ⊇ core ∪ uncore).
     pub fn add_dynamic_energy(&self, joules: f64) {
         assert!(joules >= 0.0, "energy cannot be negative");
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.dynamic_joules += joules;
         for (d, c) in st.counters.iter_mut() {
             let share = match d {
@@ -118,7 +123,7 @@ impl SimulatedRapl {
     /// Exact joules accrued on a domain since construction
     /// (simulator-internal; real hardware only exposes the raw counter).
     pub fn read_joules(&self, domain: Domain) -> f64 {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         st.counters
             .iter()
             .find(|(d, _)| *d == domain)
@@ -128,12 +133,12 @@ impl SimulatedRapl {
 
     /// Virtual clock value in seconds.
     pub fn clock_seconds(&self) -> f64 {
-        self.state.lock().clock_seconds
+        self.state.lock().unwrap().clock_seconds
     }
 
     /// Total dynamic joules ever reported.
     pub fn total_dynamic_joules(&self) -> f64 {
-        self.state.lock().dynamic_joules
+        self.state.lock().unwrap().dynamic_joules
     }
 
     /// The units this device reports through `MSR_RAPL_POWER_UNIT`.
@@ -156,7 +161,7 @@ impl MsrDevice for SimulatedRapl {
             return Ok(info.to_msr(self.units.watts_per_count()));
         }
         if let Some(domain) = Domain::from_energy_status_msr(addr) {
-            let st = self.state.lock();
+            let st = self.state.lock().unwrap();
             return st
                 .counters
                 .iter()
@@ -229,7 +234,10 @@ mod tests {
 
     #[test]
     fn unknown_msr_errors() {
-        assert!(matches!(dev().read_msr(0x1234), Err(RaplError::UnknownRegister(_))));
+        assert!(matches!(
+            dev().read_msr(0x1234),
+            Err(RaplError::UnknownRegister(_))
+        ));
     }
 
     #[test]

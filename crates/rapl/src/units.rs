@@ -26,7 +26,11 @@ impl Default for RaplUnits {
     /// The values virtually all Core-family parts report, including the
     /// paper's i5-3317U.
     fn default() -> Self {
-        RaplUnits { power_exp: 3, energy_exp: 16, time_exp: 10 }
+        RaplUnits {
+            power_exp: 3,
+            energy_exp: 16,
+            time_exp: 10,
+        }
     }
 }
 

@@ -21,7 +21,10 @@ fn main() {
     for (file, n) in report.per_file.iter().filter(|(_, n)| *n > 0) {
         println!("  {file}: {n}");
     }
-    println!("{} suggestions remain after refactoring.", report.remaining.len());
+    println!(
+        "{} suggestions remain after refactoring.",
+        report.remaining.len()
+    );
 
     // The runnable subset still runs, with the same output, cheaper.
     let mut before_p = corpus::runnable_project();

@@ -22,7 +22,11 @@ fn main() {
     }
 
     // --- the WEKA evaluation, scaled down for example runtime ---
-    let exp = WekaExperiment { instances: 800, folds: 5, ..Default::default() };
+    let exp = WekaExperiment {
+        instances: 800,
+        folds: 5,
+        ..Default::default()
+    };
     let data = exp.dataset();
     println!("\nTable IV rows (800 instances, 5-fold CV):");
     for name in ["Random Forest", "Naive Bayes", "Logistic"] {

@@ -65,10 +65,7 @@ fn main() {
         "\npackage energy: {:.3} mJ -> {:.3} mJ ({:.2}% better), output unchanged ({})",
         before.energy.package_j * 1e3,
         after.energy.package_j * 1e3,
-        jepo::rapl::Measurement::improvement_pct(
-            before.energy.package_j,
-            after.energy.package_j
-        ),
+        jepo::rapl::Measurement::improvement_pct(before.energy.package_j, after.energy.package_j),
         before.stdout.trim(),
     );
 }

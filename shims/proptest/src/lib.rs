@@ -1,0 +1,184 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of the proptest 1.x API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_recursive`, range and tuple strategies,
+//! [`collection::vec`], a small regex-subset string strategy, the
+//! [`prop_oneof!`] union, and the [`proptest!`] test macro with
+//! `pat in strategy` and `binding: Type` argument forms.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message;
+//!   rerunning is deterministic (cases derive from a fixed seed), so the
+//!   failure reproduces exactly.
+//! * **Fixed seeding.** There is no persistence file; every run explores
+//!   the same cases. Good for CI determinism, weaker for exploration.
+
+use rand::prelude::*;
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Test-harness configuration (`cases` is the only knob used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                strategy::from_fn(|rng| {
+                    let raw = rng.next_u64();
+                    raw as $t
+                })
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        strategy::from_fn(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        // Finite, sign-balanced values across magnitudes.
+        strategy::from_fn(|rng| {
+            let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let exp = rng.gen_range(-64i32..64) as f64;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mantissa * exp.exp2()
+        })
+    }
+}
+
+/// Canonical strategy for a type — `any::<bool>()` etc.
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+/// The deterministic per-property RNG used by the [`proptest!`] macro
+/// expansion. Seeded from the property name so distinct tests explore
+/// distinct streams, stable across runs.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, ProptestConfig};
+}
+
+/// Assert inside a property; panics with context (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Union of strategies with a common value type; arms may carry
+/// `weight =>` prefixes like upstream.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// The property-test macro: wraps each `fn name(args) { body }` into a
+/// `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $crate::proptest!(@bind rng, $($args)*);
+                $body
+            }
+        }
+    )*};
+    // Argument binder: `pat in strategy` form.
+    (@bind $rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $( $crate::proptest!(@bind $rng, $($rest)*); )?
+    };
+    // Argument binder: `name: Type` form (canonical strategy).
+    (@bind $rng:ident, $pat:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $pat: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $( $crate::proptest!(@bind $rng, $($rest)*); )?
+    };
+    // Trailing comma / empty tail.
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident) => {};
+    // No config attribute: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

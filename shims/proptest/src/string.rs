@@ -1,0 +1,193 @@
+//! String strategies from a small regex subset.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. The
+//! workspace only uses a small sliver, which this module supports:
+//!
+//! * character classes `[a-z09_ .,!?]` (literals and `a-z` ranges)
+//! * the printable-class escape `\PC`
+//! * literal characters
+//! * quantifiers `*`, `+`, `{n}`, `{m,n}` after any atom
+//!
+//! Anything else panics loudly so a future test addition fails fast
+//! instead of silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use rand::prelude::*;
+
+const UNQUANTIFIED_MAX: usize = 1; // bare atom = exactly one
+const STAR_MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate chars (classes are expanded eagerly).
+    Class(Vec<char>),
+    /// Any printable char (`\PC`): ASCII-heavy with occasional BMP
+    /// code points, never control characters.
+    Printable,
+    /// A single literal char.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in `{pattern}`"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in `{pattern}`");
+                        set.extend((lo..=hi).filter(|c| !c.is_control()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let rest: String = chars[i + 1..].iter().take(2).collect();
+                if rest.starts_with("PC") {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    // Escaped literal.
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling \\ in `{pattern}`"));
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, STAR_MAX)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (UNQUANTIFIED_MAX, UNQUANTIFIED_MAX),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Class(set) => set[rng.gen_range(0..set.len())],
+        Atom::Literal(c) => *c,
+        Atom::Printable => {
+            if rng.gen_bool(0.85) {
+                // Printable ASCII.
+                rng.gen_range(0x20u32..0x7F) as u8 as char
+            } else {
+                // Printable BMP: retry until a non-control scalar value.
+                loop {
+                    let cp = rng.gen_range(0xA0u32..0xD800);
+                    if let Some(c) = char::from_u32(cp) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `&str` as a strategy: generate strings matching the pattern subset.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.gen_range(p.min..=p.max);
+            for _ in 0..n {
+                out.push(gen_char(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_rng;
+
+    #[test]
+    fn identifier_pattern_shape() {
+        let mut rng = test_rng("identifier_pattern_shape");
+        for _ in 0..200 {
+            let s = "[a-z][a-zA-Z0-9]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn printable_star_never_emits_control_chars() {
+        let mut rng = test_rng("printable");
+        for _ in 0..200 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_count_quantifier() {
+        let mut rng = test_rng("literal");
+        let s = "ab{3}c".generate(&mut rng);
+        assert_eq!(s, "abbbc");
+    }
+}

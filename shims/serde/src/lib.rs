@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but
+//! never drives an actual serializer (JSON artifacts are hand-rendered,
+//! see `jepo-bench`). With no crates.io access, this shim keeps the
+//! derive attributes compiling: the traits exist as empty markers and
+//! the derive macros expand to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

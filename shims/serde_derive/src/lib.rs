@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` trait is a marker no code
+/// path requires an implementation of.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

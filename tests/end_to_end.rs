@@ -38,12 +38,16 @@ fn optimize_then_profile_shows_energy_drop() {
 fn suggestions_are_actionable() {
     let src = "class A { boolean f(String a, String b) { return a.compareTo(b) == 0; } }";
     let before = jepo::analyzer::analyze_source("A.java", src).unwrap();
-    assert!(before.iter().any(|s| s.component == JavaComponent::StringComparison));
+    assert!(before
+        .iter()
+        .any(|s| s.component == JavaComponent::StringComparison));
     let mut unit = jepo::jlang::parse_unit(src).unwrap();
     jepo::analyzer::refactor_unit(&mut unit, &[RefactorKind::CompareToToEquals]);
     let fixed = jepo::jlang::pretty_print(&unit);
     let after = jepo::analyzer::analyze_source("A.java", &fixed).unwrap();
-    assert!(!after.iter().any(|s| s.component == JavaComponent::StringComparison));
+    assert!(!after
+        .iter()
+        .any(|s| s.component == JavaComponent::StringComparison));
 }
 
 /// Instrumentation must not change observable behaviour, only add
@@ -66,7 +70,11 @@ fn instrumentation_preserves_behaviour() {
 /// classifier's accuracy survives within half a point.
 #[test]
 fn table4_headline_shape() {
-    let exp = WekaExperiment { instances: 600, folds: 4, ..Default::default() };
+    let exp = WekaExperiment {
+        instances: 600,
+        folds: 4,
+        ..Default::default()
+    };
     let data = exp.dataset();
     let rf = exp.run_classifier("Random Forest", &data);
     assert!(
@@ -154,7 +162,7 @@ fn multi_file_project_full_stack() {
 /// against the simulator behave like hardware.
 #[test]
 fn rapl_substrate_register_roundtrip() {
-    use jepo::rapl::{Domain, DeviceProfile, MsrDevice, SimulatedRapl};
+    use jepo::rapl::{DeviceProfile, Domain, MsrDevice, SimulatedRapl};
     let sim = SimulatedRapl::new(DeviceProfile::laptop_i5_3317u());
     let units = sim.units().unwrap();
     let r0 = sim.read_energy_raw(Domain::Package).unwrap();

@@ -34,7 +34,10 @@ fn claim_static_keyword_is_catastrophic() {
 #[test]
 fn claim_modulus_most_expensive_operator() {
     let ops = ["+", "-", "*", "/"];
-    let rem = energy(&main_wrap("", "int s = 1; for (int i = 1; i < 9000; i++) s = i % 7;"));
+    let rem = energy(&main_wrap(
+        "",
+        "int s = 1; for (int i = 1; i < 9000; i++) s = i % 7;",
+    ));
     for op in ops {
         let other = energy(&main_wrap(
             "",
@@ -150,8 +153,16 @@ fn claim_ten_classifiers() {
     use jepo::ml::classifiers::CLASSIFIER_NAMES;
     assert_eq!(CLASSIFIER_NAMES.len(), 10);
     for expected in [
-        "J48", "Random Tree", "Random Forest", "REP Tree", "Naive Bayes", "Logistic", "SMO",
-        "SGD", "KStar", "IBk",
+        "J48",
+        "Random Tree",
+        "Random Forest",
+        "REP Tree",
+        "Naive Bayes",
+        "Logistic",
+        "SMO",
+        "SGD",
+        "KStar",
+        "IBk",
     ] {
         assert!(CLASSIFIER_NAMES.contains(&expected), "{expected}");
     }
