@@ -43,7 +43,7 @@ fn ablation_report(_c: &mut Criterion) {
         stratified_cross_validate(&data, 4, exp.seed, || {
             by_name("Random Forest", kernel.clone(), exp.seed).unwrap()
         });
-        uniform.joules_for(&kernel.counter().take())
+        uniform.joules_for(&kernel.take_snapshot())
     };
     let b = joules_under(EfficiencyProfile::baseline());
     let o = joules_under(EfficiencyProfile::optimized());

@@ -6,7 +6,9 @@
 //! RAPL device; the §VIII Tukey protocol produces the means.
 //!
 //! With `--jobs N` the ten classifier rows fan out over N workers
-//! (0 = one per core). The runner is deterministic: before reporting,
+//! (0 = one per core; values beyond the available cores are clamped,
+//! since oversubscription only adds scheduler noise to the timing).
+//! The runner is deterministic: before reporting,
 //! this harness re-runs the table sequentially, verifies the parallel
 //! output is bit-identical, and records both wall-clock times plus the
 //! speedup in `BENCH_table4.json`.
@@ -43,10 +45,14 @@ fn bit_identical(a: &[ClassifierResult], b: &[ClassifierResult]) -> bool {
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no JSON dependency).
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     instances: usize,
     folds: usize,
+    requested_jobs: usize,
     jobs: usize,
+    cores: usize,
+    note: &str,
     seq_secs: f64,
     par_secs: f64,
     identical: bool,
@@ -73,14 +79,13 @@ fn bench_json(
     }
     format!(
         "{{\n  \"bench\": \"table4\",\n  \"instances\": {instances},\n  \
-         \"folds\": {folds},\n  \"jobs\": {jobs},\n  \
+         \"folds\": {folds},\n  \"requested_jobs\": {requested_jobs},\n  \
+         \"jobs\": {jobs},\n  \"available_cores\": {cores},\n  \
+         \"note\": \"{note}\",\n  \
          \"sequential_secs\": {seq_secs:.3},\n  \"parallel_secs\": {par_secs:.3},\n  \
          \"speedup\": {:.3},\n  \"bit_identical_to_sequential\": {identical},\n  \
-         \"available_cores\": {},\n  \"rows\": [{rows}\n  ]\n}}\n",
+         \"rows\": [{rows}\n  ]\n}}\n",
         seq_secs / par_secs.max(1e-9),
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
     )
 }
 
@@ -110,7 +115,25 @@ fn main() {
         folds,
         ..Default::default()
     };
-    let effective = jepo_pool::effective_jobs(jobs);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Oversubscribing the timing run only adds scheduler noise (workers
+    // time-slice one core and the "speedup" reads below 1×), so clamp
+    // to the cores actually available and record what happened.
+    let requested = jepo_pool::effective_jobs(jobs);
+    let effective = requested.min(cores);
+    let note = if requested > effective {
+        eprintln!(
+            "warning: --jobs {requested} exceeds the {cores} available core(s); \
+             clamping to {effective} (oversubscription only adds scheduler noise)"
+        );
+        format!(
+            "requested {requested} worker(s) clamped to {effective} ({cores} core(s) available)"
+        )
+    } else {
+        format!("{effective} worker(s) on {cores} core(s)")
+    };
     eprintln!(
         "Running {} classifiers × 2 profiles, {instances} instances, {folds}-fold CV, \
          {effective} worker(s)…",
@@ -118,7 +141,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let results = exp.run_all_jobs(jobs);
+    let results = exp.run_all_jobs(effective);
     let par_secs = t.elapsed().as_secs_f64();
 
     eprintln!("Verifying against the sequential run…");
@@ -140,7 +163,8 @@ fn main() {
     }
 
     let json = bench_json(
-        instances, folds, effective, seq_secs, par_secs, identical, &results,
+        instances, folds, requested, effective, cores, &note, seq_secs, par_secs, identical,
+        &results,
     );
     let path = "BENCH_table4.json";
     match std::fs::write(path, &json) {

@@ -14,6 +14,10 @@
 //! | Table III | `cargo run -p jepo-bench --bin table3 --release` |
 //! | Table IV  | `cargo run -p jepo-bench --bin table4 --release` |
 //! | Figs 1–5  | `cargo run -p jepo-bench --bin figures --release` |
+//!
+//! Perf microbenches (not paper artifacts): `--bin kernel` measures the
+//! op-accounting hot path (thread-local scoreboards vs the old per-op
+//! atomic design) and writes `BENCH_kernel.json`.
 
 /// Shared helper: print a section banner.
 pub fn banner(title: &str) {

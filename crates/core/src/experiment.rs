@@ -216,10 +216,12 @@ impl WekaExperiment {
     /// Deterministic by construction: the dataset is generated once and
     /// shared read-only; the corpus is parsed once
     /// ([`corpus::shared_corpus`]) instead of once per row; each row's
-    /// op-counting uses per-fold kernels merged in fold order; and each
-    /// row's noise stream is derived from `(protocol seed, classifier)`
-    /// rather than shared mutable RNG state. The output is therefore
-    /// bit-identical to `run_all()` for any `jobs`.
+    /// op-counting uses per-fold kernels (local scoreboards flushed into
+    /// striped counters before every fold snapshot) merged in fold
+    /// order; and each row's noise stream is derived from
+    /// `(protocol seed, classifier)` rather than shared mutable RNG
+    /// state. The output is therefore bit-identical to `run_all()` for
+    /// any `jobs`.
     ///
     /// Rows parallelize here; each row's CV runs sequentially (ten rows
     /// saturate small machines without oversubscribing `jobs²` threads;
@@ -313,13 +315,17 @@ mod tests {
 
     #[test]
     fn parallel_run_all_is_bit_identical_to_sequential() {
+        // Regression guard for the scoreboard flush-ordering discipline:
+        // every fold kernel (and each clone a classifier takes) must
+        // flush before the fold snapshot is taken, or counts would leak
+        // across the fold-ordered merge and break bit-identity.
         let exp = WekaExperiment {
             instances: 200,
             folds: 3,
             ..Default::default()
         };
         let seq = exp.run_all_jobs(1);
-        for jobs in [2, 4] {
+        for jobs in [1, 2, 4] {
             let par = exp.run_all_jobs(jobs);
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {

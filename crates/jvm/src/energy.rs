@@ -170,6 +170,18 @@ pub fn category_for(op: &Op) -> Option<OpCategory> {
     })
 }
 
+/// Precomputed pc-indexed category table for a method body.
+///
+/// The interpreter charges each executed instruction by indexing this
+/// table instead of re-running the [`category_for`] match on every
+/// dispatch — the table is built once per method when an interpreter is
+/// constructed, amortizing the categorization over the whole run (the
+/// scoreboard analogue of batching counter *reads*; cf. the per-op
+/// accounting rework in `jepo-ml`).
+pub fn category_table(code: &[Op]) -> Box<[Option<OpCategory>]> {
+    code.iter().map(category_for).collect()
+}
+
 fn arith_category(op: ArithOp, ty: NumTy) -> OpCategory {
     match (op, ty) {
         (ArithOp::Rem, _) => OpCategory::Modulus,
@@ -261,6 +273,24 @@ mod tests {
         });
         assert_eq!(sci, Some(OpCategory::ConstScientific));
         assert_eq!(plain, Some(OpCategory::ConstDecimal));
+    }
+
+    #[test]
+    fn category_table_matches_per_op_categorization() {
+        let code = vec![
+            Op::Const(crate::value::Value::Int(1)),
+            Op::Nop,
+            Op::Arith(ArithOp::Rem, NumTy::I32),
+            Op::ProfileEnter(0),
+            Op::GetStatic(0),
+        ];
+        let table = category_table(&code);
+        assert_eq!(table.len(), code.len());
+        for (op, &cached) in code.iter().zip(table.iter()) {
+            assert_eq!(cached, category_for(op));
+        }
+        assert_eq!(table[2], Some(OpCategory::Modulus));
+        assert_eq!(table[1], None);
     }
 
     #[test]

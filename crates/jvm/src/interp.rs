@@ -14,7 +14,7 @@ use crate::heap::{CacheModel, Heap, HeapObj};
 use crate::opcode::{ArithOp, ArrayElem, CmpOp, MathFn, NumTy, Op};
 use crate::value::{Ref, Value};
 use crate::VmError;
-use jepo_rapl::{OpCategory, SimulatedRapl};
+use jepo_rapl::{OpCategory, Scoreboard, SimulatedRapl};
 use std::sync::Arc;
 
 /// Result of one program/method run.
@@ -82,7 +82,13 @@ pub struct Interp<'p> {
     cache: CacheModel,
     settings: EnergySettings,
     sim: Arc<SimulatedRapl>,
-    counts: [u64; OpCategory::COUNT],
+    /// Local scoreboard (same batched-accounting type the ML kernel
+    /// uses): per-instruction charges are plain adds here, converted to
+    /// joules/seconds and flushed to `sim` only at run boundaries.
+    board: Scoreboard,
+    /// Per-method pc-indexed category tables, precomputed once so the
+    /// dispatch loop charges by lookup instead of re-matching the op.
+    cats: Vec<Box<[Option<OpCategory>]>>,
     /// Joules/seconds accumulated and already flushed to `sim`.
     flushed_j: f64,
     flushed_s: f64,
@@ -103,6 +109,11 @@ impl<'p> Interp<'p> {
             .iter()
             .map(|s| default_value(&s.ty))
             .collect();
+        let cats = program
+            .methods
+            .iter()
+            .map(|m| energy::category_table(&m.code))
+            .collect();
         Interp {
             program,
             heap: Heap::new(),
@@ -110,7 +121,8 @@ impl<'p> Interp<'p> {
             cache: CacheModel::default(),
             settings,
             sim,
-            counts: [0; OpCategory::COUNT],
+            board: Scoreboard::new(),
+            cats,
             flushed_j: 0.0,
             flushed_s: 0.0,
             stdout: String::new(),
@@ -130,7 +142,7 @@ impl<'p> Interp<'p> {
 
     #[inline]
     fn charge(&mut self, cat: OpCategory) {
-        self.counts[cat.index()] += 1;
+        self.board.bump(cat);
     }
 
     /// Current accumulated (package joules, core joules, seconds)
@@ -138,7 +150,7 @@ impl<'p> Interp<'p> {
     fn energy_now(&self) -> (f64, f64, f64) {
         let mut j = 0.0;
         let mut s = 0.0;
-        for (i, &n) in self.counts.iter().enumerate() {
+        for (i, n) in self.board.counts().into_iter().enumerate() {
             if n > 0 {
                 let c = OpCategory::ALL[i];
                 j += n as f64 * self.settings.cost.nanojoules(c) * 1e-9;
@@ -155,12 +167,11 @@ impl<'p> Interp<'p> {
     fn flush(&mut self) {
         let mut j = 0.0;
         let mut s = 0.0;
-        for (i, n) in self.counts.iter_mut().enumerate() {
-            if *n > 0 {
+        for (i, n) in self.board.drain().into_iter().enumerate() {
+            if n > 0 {
                 let c = OpCategory::ALL[i];
-                j += *n as f64 * self.settings.cost.nanojoules(c) * 1e-9;
-                s += *n as f64 * self.settings.latency.nanos(c) * 1e-9;
-                *n = 0;
+                j += n as f64 * self.settings.cost.nanojoules(c) * 1e-9;
+                s += n as f64 * self.settings.latency.nanos(c) * 1e-9;
             }
         }
         self.sim.add_dynamic_energy(j);
@@ -266,7 +277,7 @@ impl<'p> Interp<'p> {
             let op = code[pc].clone();
             self.frames[frame_idx].pc = pc + 1;
             self.ops_executed += 1;
-            if let Some(cat) = energy::category_for(&op) {
+            if let Some(cat) = self.cats[mid as usize][pc] {
                 self.charge(cat);
             }
             match op {
@@ -1096,7 +1107,7 @@ impl<'p> Interp<'p> {
             }
         }
         // Bulk copy: one cheap charge per element + streamed cache lines.
-        self.counts[OpCategory::ArrayCopyBulk.index()] += len as u64;
+        self.board.bump_n(OpCategory::ArrayCopyBulk, len as u64);
         Ok(())
     }
 

@@ -65,8 +65,8 @@ impl IBk {
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         // Per-neighbour neutral overhead: the search's heap bookkeeping
         // and `Instance` accessor calls.
-        self.kernel.counter().add(jepo_rapl::OpCategory::Call, 4);
-        self.kernel.counter().add(jepo_rapl::OpCategory::Load, 10);
+        self.kernel.charge(jepo_rapl::OpCategory::Call, 4);
+        self.kernel.charge(jepo_rapl::OpCategory::Load, 10);
         // Numeric dims go through the counted squared-distance; nominal
         // dims contribute 0/1 via counted label-style comparison.
         let mut d = 0.0;

@@ -137,8 +137,8 @@ impl Classifier for KStar {
         self.kernel.bump_counters(1);
         for (x, c) in &self.train {
             // Neutral per-instance overhead (accessors, loop control).
-            self.kernel.counter().add(jepo_rapl::OpCategory::Call, 2);
-            self.kernel.counter().add(jepo_rapl::OpCategory::Load, 6);
+            self.kernel.charge(jepo_rapl::OpCategory::Call, 2);
+            self.kernel.charge(jepo_rapl::OpCategory::Load, 6);
             // Product of per-attribute transformation probabilities.
             let mut p = 1.0;
             for k in 0..q.len() {

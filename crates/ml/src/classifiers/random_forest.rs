@@ -2,8 +2,10 @@
 //!
 //! "RandomForest uses bagging on ensemble of random trees" (§VIII).
 //! Trees are built in parallel on the jepo-pool scoped worker pool
-//! (the ensemble is embarrassingly parallel); the kernel's shared
-//! atomic counter makes concurrent energy accounting lossless.
+//! (the ensemble is embarrassingly parallel); each worker charges a
+//! per-tree kernel whose local scoreboard flushes into its own stripe
+//! of the shared counter, so concurrent accounting is lossless *and*
+//! contention-free.
 
 use super::random_tree::RandomTree;
 use super::Classifier;
@@ -81,13 +83,18 @@ impl Classifier for RandomForest {
                 .map(|t| (self.bootstrap(data, &mut rng), self.seed ^ (t as u64) << 17))
                 .collect()
         };
-        let build = |(sample, tree_seed): &(Dataset, u64)| -> Result<RandomTree, MlError> {
-            let mut tree = RandomTree::with_kernel(self.kernel.clone(), *tree_seed);
+        // A scoreboard-carrying Kernel is !Sync, so workers cannot share
+        // `&self.kernel`; each build constructs its own kernel around
+        // the shared striped counter instead (counts are exact sums, so
+        // the split changes nothing in the totals).
+        let profile = self.kernel.profile();
+        let counter = self.kernel.counter();
+        let build = move |(sample, tree_seed): &(Dataset, u64)| -> Result<RandomTree, MlError> {
+            let kernel = Kernel::with_counter(profile, counter.clone());
+            let mut tree = RandomTree::with_kernel(kernel.clone(), *tree_seed);
             tree.fit(sample)?;
             let leaves = tree.leaves().to_string();
-            let _ = self
-                .kernel
-                .build_report(&["RandomTree: ", &leaves, " leaves\n"]);
+            let _ = kernel.build_report(&["RandomTree: ", &leaves, " leaves\n"]);
             Ok(tree)
         };
         self.trees = if self.parallel {
@@ -178,7 +185,10 @@ mod tests {
         let mut f = RandomForest::with_kernel(kernel.clone(), 3);
         f.n_trees = 3;
         f.fit(&data).unwrap();
-        let snap = kernel.counter().snapshot();
+        // Trees keep their kernels until the forest drops; drop it so
+        // every scoreboard flushes before reading the shared counter.
+        drop(f);
+        let snap = kernel.snapshot();
         assert!(
             snap.get(OpCategory::ArrayCopyElem) >= 300,
             "manual copies counted"

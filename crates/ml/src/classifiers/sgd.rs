@@ -217,7 +217,8 @@ mod tests {
         let mut c = Sgd::with_kernel(kernel.clone(), 1);
         c.epochs = 2;
         c.fit(&data).unwrap();
-        let snap = kernel.counter().snapshot();
+        drop(c); // flush the classifier's scoreboard
+        let snap = kernel.snapshot();
         assert!(snap.get(OpCategory::Modulus) >= 200);
         assert!(snap.get(OpCategory::StaticAccess) >= 200);
     }

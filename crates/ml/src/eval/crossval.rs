@@ -98,7 +98,10 @@ pub fn stratified_cross_validate_jobs<C: Classifier>(
                 }
             }
         }
-        (eval, kernel.counter().take())
+        // The classifier (and every kernel clone it held) has dropped by
+        // here, flushing all scoreboards; `take_snapshot` flushes the
+        // fold kernel's own board and drains the shared counter.
+        (eval, kernel.take_snapshot())
     });
     let mut eval = Evaluation::new(data.num_classes());
     let mut ops = OpSnapshot::default();

@@ -4,7 +4,8 @@
 //! Every classifier routes its hot loops through a [`Kernel`]. The
 //! kernel does two things per primitive:
 //!
-//! 1. **counts operations** into a shared [`jepo_rapl::OpCounter`] with
+//! 1. **counts operations** — into a thread-local [`jepo_rapl::Scoreboard`]
+//!    flushed in bulk to a shared striped [`jepo_rapl::OpCounter`] — with
 //!    the category the active [`EfficiencyProfile`] implies (e.g. a
 //!    multiply counts `DoubleMul` under the baseline profile and
 //!    `FloatMul` under the optimized one; an attribute-matrix scan
@@ -18,7 +19,7 @@
 //! calibrated cost/latency models and reports them to the simulated RAPL
 //! device, closing the loop to Table IV.
 
-use jepo_rapl::{OpCategory, OpCounter};
+use jepo_rapl::{OpCategory, OpCounter, Scoreboard};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -126,24 +127,61 @@ impl EfficiencyProfile {
 }
 
 /// Counted numeric kernel shared by all classifiers.
-#[derive(Clone)]
+///
+/// Accounting is two-tier: every hot-path method bumps a **local
+/// scoreboard** (a plain non-atomic [`Scoreboard`] cell array), and the
+/// accumulated block flushes in bulk into the kernel's stripe of the
+/// shared striped [`OpCounter`] — on [`Kernel::flush`], on every
+/// [`Kernel::snapshot`]/[`Kernel::take_snapshot`], and on `Drop`. A
+/// `clone` starts a fresh scoreboard on its own stripe slot, so clones
+/// handed to worker threads never contend on a cache line; because every
+/// tier is a sum of `u64` increments, totals are exact for any clone
+/// count, flush order, or thread schedule.
+///
+/// The scoreboard makes `Kernel` deliberately `!Sync` (a scoreboard
+/// belongs to one thread); it stays `Send`, so the pattern is "clone,
+/// move the clone into the worker, let its drop flush".
 pub struct Kernel {
     profile: EfficiencyProfile,
     counter: Arc<OpCounter>,
+    slot: usize,
+    board: Scoreboard,
+}
+
+impl Clone for Kernel {
+    fn clone(&self) -> Kernel {
+        Kernel {
+            profile: self.profile,
+            counter: self.counter.clone(),
+            slot: self.counter.assign_slot(),
+            board: Scoreboard::new(),
+        }
+    }
+}
+
+impl Drop for Kernel {
+    /// Unflushed scoreboard counts are never lost: the kernel flushes
+    /// them to the shared counter when it goes out of scope.
+    fn drop(&mut self) {
+        self.flush();
+    }
 }
 
 impl Kernel {
     /// Kernel with a fresh counter.
     pub fn new(profile: EfficiencyProfile) -> Kernel {
-        Kernel {
-            profile,
-            counter: Arc::new(OpCounter::new()),
-        }
+        Kernel::with_counter(profile, Arc::new(OpCounter::new()))
     }
 
     /// Kernel sharing an existing counter (the experiment harness owns it).
     pub fn with_counter(profile: EfficiencyProfile, counter: Arc<OpCounter>) -> Kernel {
-        Kernel { profile, counter }
+        let slot = counter.assign_slot();
+        Kernel {
+            profile,
+            counter,
+            slot,
+            board: Scoreboard::new(),
+        }
     }
 
     /// The active profile.
@@ -152,8 +190,38 @@ impl Kernel {
     }
 
     /// The shared counter.
+    ///
+    /// Reading it directly sees only *flushed* counts; use
+    /// [`Kernel::snapshot`] (or drop the clones first) when local
+    /// scoreboards may still hold work.
     pub fn counter(&self) -> Arc<OpCounter> {
         self.counter.clone()
+    }
+
+    /// Flush this kernel's local scoreboard into its stripe of the
+    /// shared counter. Clones flush themselves (on their own drop or
+    /// explicit `flush`); counts never transfer between scoreboards.
+    pub fn flush(&self) {
+        self.counter.add_slab(self.slot, &self.board.drain());
+    }
+
+    /// Flush, then snapshot the shared counter.
+    pub fn snapshot(&self) -> jepo_rapl::OpSnapshot {
+        self.flush();
+        self.counter.snapshot()
+    }
+
+    /// Flush, then drain the shared counter (snapshot + reset).
+    pub fn take_snapshot(&self) -> jepo_rapl::OpSnapshot {
+        self.flush();
+        self.counter.take()
+    }
+
+    /// Charge `n` operations of an explicit category (neutral overhead
+    /// classifiers account outside the arithmetic helpers).
+    #[inline]
+    pub fn charge(&self, cat: OpCategory, n: u64) {
+        self.board.bump_n(cat, n);
     }
 
     /// A no-cost kernel for tests that don't care about energy.
@@ -200,50 +268,57 @@ impl Kernel {
         }
     }
 
+    #[inline]
+    fn div_cat(&self) -> OpCategory {
+        match self.profile.precision {
+            Precision::F64 => OpCategory::DoubleDiv,
+            Precision::F32 => OpCategory::FloatDiv,
+        }
+    }
+
     // --- arithmetic --------------------------------------------------------
 
     /// Counted add.
     #[inline]
     pub fn add(&self, a: f64, b: f64) -> f64 {
-        self.counter.incr(self.alu());
+        self.board.bump(self.alu());
         self.quantize(a + b)
     }
 
     /// Counted subtract.
     #[inline]
     pub fn sub(&self, a: f64, b: f64) -> f64 {
-        self.counter.incr(self.alu());
+        self.board.bump(self.alu());
         self.quantize(a - b)
     }
 
     /// Counted multiply.
     #[inline]
     pub fn mul(&self, a: f64, b: f64) -> f64 {
-        self.counter.incr(self.mul_cat());
+        self.board.bump(self.mul_cat());
         self.quantize(a * b)
     }
 
     /// Counted divide.
     #[inline]
     pub fn div(&self, a: f64, b: f64) -> f64 {
-        self.counter.incr(match self.profile.precision {
-            Precision::F64 => OpCategory::DoubleDiv,
-            Precision::F32 => OpCategory::FloatDiv,
-        });
+        self.board.bump(self.div_cat());
         self.quantize(a / b)
     }
 
-    /// Counted natural log (transcendental ≈ divide cost).
+    /// Counted natural log (transcendental ≈ divide cost). Follows the
+    /// active precision like [`Kernel::div`]: the `double`→`float`
+    /// demotion reaches `Math.log` call sites too.
     #[inline]
     pub fn ln(&self, a: f64) -> f64 {
-        self.counter.incr(OpCategory::DoubleDiv);
+        self.board.bump(self.div_cat());
         self.quantize(a.ln())
     }
 
-    /// Counted exp.
+    /// Counted exp (precision-following, as [`Kernel::ln`]).
     #[inline]
     pub fn exp(&self, a: f64) -> f64 {
-        self.counter.incr(OpCategory::DoubleDiv);
+        self.board.bump(self.div_cat());
         self.quantize(a.exp())
     }
 
@@ -254,17 +329,17 @@ impl Kernel {
     /// raw per-op ratios.
     #[inline]
     fn charge_elem_overhead(&self, n: u64) {
-        self.counter.add(OpCategory::ArrayIndex, 2 * n);
-        self.counter.add(OpCategory::Branch, n);
-        self.counter.add(OpCategory::IntAlu, 2 * n);
+        self.board.bump_n(OpCategory::ArrayIndex, 2 * n);
+        self.board.bump_n(OpCategory::Branch, n);
+        self.board.bump_n(OpCategory::IntAlu, 2 * n);
     }
 
     /// Profile-*independent* floating work (library routines JEPO's
     /// rewrites never touched, e.g. WEKA Logistic's optimizer core).
     pub fn raw_flops(&self, adds: u64, muls: u64) {
-        self.counter.add(OpCategory::DoubleAlu, adds);
-        self.counter.add(OpCategory::DoubleMul, muls);
-        self.counter.add(OpCategory::Load, adds + muls);
+        self.board.bump_n(OpCategory::DoubleAlu, adds);
+        self.board.bump_n(OpCategory::DoubleMul, muls);
+        self.board.bump_n(OpCategory::Load, adds + muls);
         self.charge_elem_overhead((adds + muls) / 2);
     }
 
@@ -275,10 +350,10 @@ impl Kernel {
             return;
         }
         let work = (n as f64 * (n as f64).log2()) as u64;
-        self.counter.add(OpCategory::IntAlu, work);
-        self.counter.add(OpCategory::Load, work);
-        self.counter.add(OpCategory::Store, work / 2);
-        self.counter.add(OpCategory::Branch, work);
+        self.board.bump_n(OpCategory::IntAlu, work);
+        self.board.bump_n(OpCategory::Load, work);
+        self.board.bump_n(OpCategory::Store, work / 2);
+        self.board.bump_n(OpCategory::Branch, work);
     }
 
     /// Counted dot product.
@@ -286,9 +361,9 @@ impl Kernel {
         debug_assert_eq!(a.len(), b.len());
         let n = a.len() as u64;
         self.charge_elem_overhead(n);
-        self.counter.add(self.mul_cat(), n);
-        self.counter.add(self.alu(), n);
-        self.counter.add(OpCategory::Load, 2 * n);
+        self.board.bump_n(self.mul_cat(), n);
+        self.board.bump_n(self.alu(), n);
+        self.board.bump_n(OpCategory::Load, 2 * n);
         let mut s = 0.0;
         for (x, y) in a.iter().zip(b) {
             s += x * y;
@@ -301,9 +376,9 @@ impl Kernel {
         debug_assert_eq!(a.len(), b.len());
         let n = a.len() as u64;
         self.charge_elem_overhead(n);
-        self.counter.add(self.mul_cat(), n);
-        self.counter.add(self.alu(), 2 * n);
-        self.counter.add(OpCategory::Load, 2 * n);
+        self.board.bump_n(self.mul_cat(), n);
+        self.board.bump_n(self.alu(), 2 * n);
+        self.board.bump_n(OpCategory::Load, 2 * n);
         let mut s = 0.0;
         for (x, y) in a.iter().zip(b) {
             let d = x - y;
@@ -317,10 +392,10 @@ impl Kernel {
         debug_assert_eq!(x.len(), y.len());
         let n = x.len() as u64;
         self.charge_elem_overhead(n);
-        self.counter.add(self.mul_cat(), n);
-        self.counter.add(self.alu(), n);
-        self.counter.add(OpCategory::Load, n);
-        self.counter.add(OpCategory::Store, n);
+        self.board.bump_n(self.mul_cat(), n);
+        self.board.bump_n(self.alu(), n);
+        self.board.bump_n(OpCategory::Load, n);
+        self.board.bump_n(OpCategory::Store, n);
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi = self.quantize(*yi + alpha * xi);
         }
@@ -340,28 +415,28 @@ impl Kernel {
         let rows_u = rows as u64;
         // Per-row neutral work: the `instance(i).value(attr)` call chain,
         // bounds checks and loop control — untouched by any suggestion.
-        self.counter.add(OpCategory::ArrayIndex, rows_u);
-        self.counter.add(OpCategory::Call, rows_u);
-        self.counter.add(OpCategory::IntAlu, 2 * rows_u);
+        self.board.bump_n(OpCategory::ArrayIndex, rows_u);
+        self.board.bump_n(OpCategory::Call, rows_u);
+        self.board.bump_n(OpCategory::IntAlu, 2 * rows_u);
         match self.profile.layout {
             Layout::ColMajor => {
                 let matrix_bytes = rows * row_bytes;
                 if matrix_bytes > 32 * 1024 {
                     // Strided but constant-stride: the hardware
                     // prefetcher hides ~80% of the would-be misses.
-                    self.counter.add(OpCategory::CacheMiss, rows_u / 5);
-                    self.counter.add(OpCategory::Load, rows_u - rows_u / 5);
+                    self.board.bump_n(OpCategory::CacheMiss, rows_u / 5);
+                    self.board.bump_n(OpCategory::Load, rows_u - rows_u / 5);
                 } else {
                     // Fits in L1: one miss per line on first touch.
-                    self.counter.add(OpCategory::CacheMiss, rows_u / 8);
-                    self.counter.add(OpCategory::Load, rows_u - rows_u / 8);
+                    self.board.bump_n(OpCategory::CacheMiss, rows_u / 8);
+                    self.board.bump_n(OpCategory::Load, rows_u - rows_u / 8);
                 }
             }
             Layout::RowMajor => {
                 let per_line = (64 / 8) as u64;
-                self.counter.add(OpCategory::CacheMiss, rows_u / per_line);
-                self.counter
-                    .add(OpCategory::Load, rows_u - rows_u / per_line);
+                self.board.bump_n(OpCategory::CacheMiss, rows_u / per_line);
+                self.board
+                    .bump_n(OpCategory::Load, rows_u - rows_u / per_line);
             }
         }
     }
@@ -369,8 +444,8 @@ impl Kernel {
     /// Charge a sequential pass over `n` values (always cache-friendly).
     pub fn charge_sequential_scan(&self, n: usize) {
         let n = n as u64;
-        self.counter.add(OpCategory::Load, n);
-        self.counter.add(OpCategory::CacheMiss, n / 8);
+        self.board.bump_n(OpCategory::Load, n);
+        self.board.bump_n(OpCategory::CacheMiss, n / 8);
     }
 
     /// Copy a slice, counted as manual per-element copy or bulk
@@ -380,10 +455,10 @@ impl Kernel {
         dst.extend_from_slice(src);
         let n = src.len() as u64;
         if self.profile.bulk_copy {
-            self.counter.add(OpCategory::ArrayCopyBulk, n);
+            self.board.bump_n(OpCategory::ArrayCopyBulk, n);
         } else {
-            self.counter.add(OpCategory::ArrayCopyElem, n);
-            self.counter.add(OpCategory::ArrayIndex, 2 * n);
+            self.board.bump_n(OpCategory::ArrayCopyElem, n);
+            self.board.bump_n(OpCategory::ArrayIndex, 2 * n);
         }
     }
 
@@ -394,9 +469,9 @@ impl Kernel {
     #[inline]
     pub fn bump_counters(&self, n: u64) {
         if self.profile.static_counters {
-            self.counter.add(OpCategory::StaticAccess, n);
+            self.board.bump_n(OpCategory::StaticAccess, n);
         } else {
-            self.counter.add(OpCategory::FieldAccess, n);
+            self.board.bump_n(OpCategory::FieldAccess, n);
         }
     }
 
@@ -406,10 +481,10 @@ impl Kernel {
     pub fn hash_bucket(&self, h: u64, buckets: usize) -> usize {
         debug_assert!(buckets.is_power_of_two());
         if self.profile.modulus_hash {
-            self.counter.incr(OpCategory::Modulus);
+            self.board.bump(OpCategory::Modulus);
             (h % buckets as u64) as usize
         } else {
-            self.counter.incr(OpCategory::IntAlu);
+            self.board.bump(OpCategory::IntAlu);
             (h & (buckets as u64 - 1)) as usize
         }
     }
@@ -419,10 +494,10 @@ impl Kernel {
     #[inline]
     pub fn labels_equal(&self, a: &str, b: &str) -> bool {
         if self.profile.compare_to {
-            self.counter.incr(OpCategory::StringCompareTo);
+            self.board.bump(OpCategory::StringCompareTo);
             a.cmp(b) == std::cmp::Ordering::Equal
         } else {
-            self.counter.incr(OpCategory::StringEquals);
+            self.board.bump(OpCategory::StringEquals);
             a == b
         }
     }
@@ -432,9 +507,9 @@ impl Kernel {
     #[inline]
     pub fn select(&self, cond: bool, a: f64, b: f64) -> f64 {
         if self.profile.ternary_selects {
-            self.counter.incr(OpCategory::Select);
+            self.board.bump(OpCategory::Select);
         } else {
-            self.counter.incr(OpCategory::Branch);
+            self.board.bump(OpCategory::Branch);
         }
         if cond {
             a
@@ -447,15 +522,15 @@ impl Kernel {
     /// baseline WEKA's `toString`/logging, `StringBuilder` after.
     pub fn build_report(&self, parts: &[&str]) -> String {
         if self.profile.builder_strings {
-            self.counter.add(OpCategory::SbAppend, parts.len() as u64);
+            self.board.bump_n(OpCategory::SbAppend, parts.len() as u64);
             let mut out = String::new();
             for p in parts {
                 out.push_str(p);
             }
             out
         } else {
-            self.counter
-                .add(OpCategory::StringConcat, parts.len() as u64);
+            self.board
+                .bump_n(OpCategory::StringConcat, parts.len() as u64);
             let mut out = String::new();
             for p in parts {
                 // Concatenation semantics: each `+` builds a fresh string.
@@ -472,7 +547,8 @@ mod tests {
     use jepo_rapl::CostModel;
 
     fn joules(k: &Kernel) -> f64 {
-        CostModel::paper_calibrated().joules_for(&k.counter().snapshot())
+        // `snapshot()` flushes the local scoreboard first.
+        CostModel::paper_calibrated().joules_for(&k.snapshot())
     }
 
     #[test]
@@ -592,6 +668,8 @@ mod tests {
 
     #[test]
     fn kernel_is_shareable_across_threads() {
+        // Clones move into workers; each drop-flushes its scoreboard
+        // into its own stripe, so the shared counter sees every op.
         let k = Kernel::new(EfficiencyProfile::optimized());
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -605,5 +683,54 @@ mod tests {
         });
         let snap = k.counter().snapshot();
         assert_eq!(snap.get(OpCategory::FloatAlu), 4000);
+    }
+
+    #[test]
+    fn dropping_an_unflushed_kernel_never_loses_counts() {
+        let k = Kernel::new(EfficiencyProfile::baseline());
+        let counter = k.counter();
+        let clone = k.clone();
+        clone.add(1.0, 2.0);
+        clone.mul(2.0, 3.0);
+        k.bump_counters(5);
+        // Nothing flushed yet: the shared counter is still empty.
+        assert_eq!(counter.snapshot().total_ops(), 0);
+        drop(clone);
+        assert_eq!(counter.snapshot().get(OpCategory::DoubleAlu), 1);
+        assert_eq!(counter.snapshot().get(OpCategory::DoubleMul), 1);
+        drop(k);
+        assert_eq!(counter.snapshot().get(OpCategory::StaticAccess), 5);
+    }
+
+    #[test]
+    fn snapshot_flushes_the_local_scoreboard() {
+        let k = Kernel::new(EfficiencyProfile::baseline());
+        k.add(1.0, 2.0);
+        k.charge(OpCategory::Call, 3);
+        // Direct counter read misses unflushed scoreboard work…
+        assert_eq!(k.counter().snapshot().total_ops(), 0);
+        // …but the kernel-level snapshot flushes first.
+        let snap = k.snapshot();
+        assert_eq!(snap.get(OpCategory::DoubleAlu), 1);
+        assert_eq!(snap.get(OpCategory::Call), 3);
+        // take_snapshot drains.
+        assert_eq!(k.take_snapshot().total_ops(), 4);
+        assert_eq!(k.snapshot().total_ops(), 0);
+    }
+
+    #[test]
+    fn ln_and_exp_follow_the_precision_profile() {
+        let base = Kernel::new(EfficiencyProfile::baseline());
+        let opt = Kernel::new(EfficiencyProfile::optimized());
+        base.ln(2.0);
+        base.exp(1.0);
+        opt.ln(2.0);
+        opt.exp(1.0);
+        let bs = base.snapshot();
+        let os = opt.snapshot();
+        assert_eq!(bs.get(OpCategory::DoubleDiv), 2);
+        assert_eq!(bs.get(OpCategory::FloatDiv), 0);
+        assert_eq!(os.get(OpCategory::FloatDiv), 2);
+        assert_eq!(os.get(OpCategory::DoubleDiv), 0);
     }
 }

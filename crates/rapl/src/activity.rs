@@ -16,7 +16,8 @@
 //! reports ratios, so only ratios matter.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Categories of work instrumented code may report.
 ///
@@ -296,35 +297,152 @@ impl OpSnapshot {
     }
 }
 
-/// A lock-free, shareable operation counter.
+/// A thread-local (non-atomic) operation scoreboard.
 ///
-/// Counting uses relaxed atomics: counts from concurrent workers may
-/// interleave arbitrarily but never get lost, which is all energy
-/// accounting needs (c.f. *Rust Atomics and Locks*, ch. 2 — statistics
-/// counters are the canonical relaxed-ordering use case).
+/// The batching half of the two-tier accounting scheme: hot paths bump a
+/// plain [`Cell`] slot (one machine add, no RMW, no cache-line
+/// ping-pong) and the accumulated block of counts is flushed in bulk
+/// into a shared [`OpCounter`] stripe at coarse-grained points (drop,
+/// explicit flush, snapshot). `Cell` makes the type `!Sync`, which is
+/// exactly the contract: a scoreboard belongs to one thread; the striped
+/// counter is the cross-thread rendezvous.
 #[derive(Debug)]
-pub struct OpCounter {
+pub struct Scoreboard {
+    counts: [Cell<u64>; OpCategory::COUNT],
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard::new()
+    }
+}
+
+impl Scoreboard {
+    /// New zeroed scoreboard.
+    pub fn new() -> Scoreboard {
+        Scoreboard {
+            counts: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+
+    /// Record one operation of `cat`.
+    #[inline]
+    pub fn bump(&self, cat: OpCategory) {
+        self.bump_n(cat, 1);
+    }
+
+    /// Record `n` operations of `cat`.
+    #[inline]
+    pub fn bump_n(&self, cat: OpCategory, n: u64) {
+        let c = &self.counts[cat.index()];
+        c.set(c.get().wrapping_add(n));
+    }
+
+    /// Current count for one category.
+    #[inline]
+    pub fn get(&self, cat: OpCategory) -> u64 {
+        self.counts[cat.index()].get()
+    }
+
+    /// Non-destructive copy of all counts.
+    pub fn counts(&self) -> [u64; OpCategory::COUNT] {
+        std::array::from_fn(|i| self.counts[i].get())
+    }
+
+    /// Copy all counts out and reset the scoreboard to zero.
+    pub fn drain(&self) -> [u64; OpCategory::COUNT] {
+        std::array::from_fn(|i| self.counts[i].replace(0))
+    }
+
+    /// Total operations currently recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(Cell::get).sum()
+    }
+}
+
+/// One cache-line-aligned lane of a striped [`OpCounter`].
+///
+/// The alignment guarantees two workers flushing to *different* stripes
+/// never write the same cache line, eliminating the false sharing that
+/// made the original single-array counter a parallel scaling wall.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Stripe {
     counts: [AtomicU64; OpCategory::COUNT],
 }
 
-impl Default for OpCounter {
-    fn default() -> Self {
-        OpCounter {
+impl Stripe {
+    fn zeroed() -> Stripe {
+        Stripe {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
 
+/// A lock-free, shareable operation counter, striped per worker slot.
+///
+/// Counting uses relaxed atomics: counts from concurrent workers may
+/// interleave arbitrarily but never get lost, which is all energy
+/// accounting needs (c.f. *Rust Atomics and Locks*, ch. 2 — statistics
+/// counters are the canonical relaxed-ordering use case).
+///
+/// Internally the counter is an array of cache-line-aligned stripes.
+/// Each producer (a [`Scoreboard`] owner) takes a stripe slot via
+/// [`OpCounter::assign_slot`] and flushes whole count blocks with
+/// [`OpCounter::add_slab`]; [`OpCounter::snapshot`] sums the stripes.
+/// Because every path is a sum of `u64` increments, the totals are
+/// *exact* — identical for any stripe count, slot assignment, or flush
+/// interleaving — which is what keeps parallel Table IV output
+/// bit-identical to sequential.
+#[derive(Debug)]
+pub struct OpCounter {
+    stripes: Box<[Stripe]>,
+    next_slot: AtomicUsize,
+}
+
+impl Default for OpCounter {
+    fn default() -> Self {
+        OpCounter::new()
+    }
+}
+
 impl OpCounter {
-    /// New zeroed counter.
+    /// New zeroed counter with one stripe per available core (rounded up
+    /// to a power of two, capped at 16).
     pub fn new() -> OpCounter {
-        OpCounter::default()
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        OpCounter::striped(cores.min(16))
     }
 
-    /// Record `n` operations of `cat`.
+    /// New zeroed counter with at least `slots` stripes (rounded up to a
+    /// power of two so slot assignment is a mask).
+    pub fn striped(slots: usize) -> OpCounter {
+        let n = slots.max(1).next_power_of_two();
+        OpCounter {
+            stripes: (0..n).map(|_| Stripe::zeroed()).collect(),
+            next_slot: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Claim a stripe slot for a new producer (round-robin). One atomic
+    /// RMW per *producer lifetime*, not per operation.
+    pub fn assign_slot(&self) -> usize {
+        self.next_slot.fetch_add(1, Ordering::Relaxed) & (self.stripes.len() - 1)
+    }
+
+    /// Record `n` operations of `cat` (unbatched compatibility path:
+    /// one atomic RMW on stripe 0 — prefer a [`Scoreboard`] +
+    /// [`OpCounter::add_slab`] in hot loops).
     #[inline]
     pub fn add(&self, cat: OpCategory, n: u64) {
-        self.counts[cat.index()].fetch_add(n, Ordering::Relaxed);
+        self.stripes[0].counts[cat.index()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record a single operation of `cat`.
@@ -333,26 +451,38 @@ impl OpCounter {
         self.add(cat, 1);
     }
 
-    /// Snapshot current counts.
-    pub fn snapshot(&self) -> OpSnapshot {
-        OpSnapshot {
-            counts: self
-                .counts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+    /// Bulk-add a drained scoreboard block into stripe `slot`. Zero
+    /// entries are skipped, so a flush costs at most one relaxed RMW per
+    /// *touched category*, amortized over the whole batch.
+    pub fn add_slab(&self, slot: usize, counts: &[u64; OpCategory::COUNT]) {
+        let stripe = &self.stripes[slot & (self.stripes.len() - 1)];
+        for (i, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                stripe.counts[i].fetch_add(n, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Snapshot current counts (sum over stripes).
+    pub fn snapshot(&self) -> OpSnapshot {
+        let mut counts = vec![0u64; OpCategory::COUNT];
+        for stripe in self.stripes.iter() {
+            for (a, c) in counts.iter_mut().zip(&stripe.counts) {
+                *a += c.load(Ordering::Relaxed);
+            }
+        }
+        OpSnapshot { counts }
     }
 
     /// Reset all counts to zero, returning the pre-reset snapshot.
     pub fn take(&self) -> OpSnapshot {
-        OpSnapshot {
-            counts: self
-                .counts
-                .iter()
-                .map(|c| c.swap(0, Ordering::Relaxed))
-                .collect(),
+        let mut counts = vec![0u64; OpCategory::COUNT];
+        for stripe in self.stripes.iter() {
+            for (a, c) in counts.iter_mut().zip(&stripe.counts) {
+                *a += c.swap(0, Ordering::Relaxed);
+            }
         }
+        OpSnapshot { counts }
     }
 
     /// Convert current counts to joules under `model`, reset the counter,
@@ -464,6 +594,79 @@ mod tests {
             }
         });
         assert_eq!(ctr.snapshot().get(OpCategory::IntAlu), 80_000);
+    }
+
+    #[test]
+    fn scoreboard_accumulates_and_drains() {
+        let sb = Scoreboard::new();
+        sb.bump(OpCategory::IntAlu);
+        sb.bump_n(OpCategory::DoubleMul, 41);
+        assert_eq!(sb.get(OpCategory::DoubleMul), 41);
+        assert_eq!(sb.total(), 42);
+        let counts = sb.drain();
+        assert_eq!(counts[OpCategory::IntAlu.index()], 1);
+        assert_eq!(counts[OpCategory::DoubleMul.index()], 41);
+        assert_eq!(sb.total(), 0, "drain resets");
+    }
+
+    #[test]
+    fn add_slab_lands_in_the_requested_stripe_and_sums_globally() {
+        let ctr = OpCounter::striped(4);
+        assert_eq!(ctr.stripe_count(), 4);
+        let mut slab = [0u64; OpCategory::COUNT];
+        slab[OpCategory::Load.index()] = 7;
+        for slot in 0..ctr.stripe_count() {
+            ctr.add_slab(slot, &slab);
+        }
+        // Out-of-range slots wrap instead of panicking.
+        ctr.add_slab(ctr.stripe_count() + 1, &slab);
+        assert_eq!(ctr.snapshot().get(OpCategory::Load), 7 * 5);
+    }
+
+    #[test]
+    fn slot_assignment_round_robins_over_a_power_of_two() {
+        let ctr = OpCounter::striped(3); // rounds up to 4
+        assert_eq!(ctr.stripe_count(), 4);
+        let slots: Vec<usize> = (0..8).map(|_| ctr.assign_slot()).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    proptest! {
+        /// The exactness contract behind the parallel Table IV runner:
+        /// a striped counter's snapshot equals the arithmetic sum of
+        /// every increment, no matter how many jepo-pool workers flush
+        /// scoreboard slabs into it concurrently.
+        #[test]
+        fn striped_snapshot_is_exact_under_concurrent_pool_writers(
+            per_worker in proptest::collection::vec(
+                proptest::collection::vec((0usize..OpCategory::COUNT, 0u64..500), 1..12),
+                1..6,
+            ),
+            stripes in 1usize..8,
+        ) {
+            let ctr = OpCounter::striped(stripes);
+            // Each worker drains its adds through a thread-local
+            // scoreboard into its own assigned stripe, exactly as a
+            // Kernel flush does.
+            jepo_pool::parallel_map(&per_worker, 0, |_, adds| {
+                let slot = ctr.assign_slot();
+                let sb = Scoreboard::new();
+                for &(i, n) in adds {
+                    sb.bump_n(OpCategory::ALL[i], n);
+                }
+                ctr.add_slab(slot, &sb.drain());
+            });
+            let mut expect = vec![0u64; OpCategory::COUNT];
+            for adds in &per_worker {
+                for &(i, n) in adds {
+                    expect[i] += n;
+                }
+            }
+            let snap = ctr.snapshot();
+            for (i, &n) in expect.iter().enumerate() {
+                prop_assert_eq!(snap.get(OpCategory::ALL[i]), n);
+            }
+        }
     }
 
     proptest! {

@@ -59,7 +59,7 @@ pub mod sampler;
 pub mod sim;
 pub mod units;
 
-pub use activity::{CostModel, OpCategory, OpCounter, OpSnapshot};
+pub use activity::{CostModel, OpCategory, OpCounter, OpSnapshot, Scoreboard};
 pub use counter::{CounterReader, EnergyCounter};
 pub use domain::Domain;
 pub use error::RaplError;

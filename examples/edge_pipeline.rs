@@ -21,7 +21,10 @@ fn serve_stream(profile: EfficiencyProfile, device: &DeviceProfile) -> Measureme
     for q in &queries.instances {
         clf.predict(q);
     }
-    let snap = kernel.counter().take();
+    // Drop the classifier so its kernel clones flush their scoreboards,
+    // then drain the shared counter.
+    drop(clf);
+    let snap = kernel.take_snapshot();
     let joules = CostModel::paper_calibrated().joules_for(&snap);
     let seconds = jepo::jvm::LatencyModel::paper_calibrated().seconds_for(&snap);
     let sim = SimulatedRapl::new(device.clone());
