@@ -4,14 +4,41 @@
 //! Java project"; its view lists class name, line number, and suggestion
 //! (Fig. 5). The engine runs every Table I rule over every file and
 //! returns the suggestion rows sorted the way the view shows them.
+//!
+//! Two analysis modes:
+//! * [`AnalysisMode::Syntactic`] — the original line-local rules, no
+//!   dataflow. Kept as the ablation baseline for the analyzer bench.
+//! * [`AnalysisMode::FlowSensitive`] (default) — builds per-method CFGs
+//!   and dataflow facts ([`crate::dataflow::UnitFlow`]) first; rules
+//!   consult them to suppress false positives (e.g. a `String`
+//!   concatenation onto a per-iteration local) and the two flow-only
+//!   rules become able to fire. Suggestions are additionally annotated
+//!   with loop depth and estimated impact ([`crate::impact`]).
+//!
+//! Output-order invariant: both [`Analyzer::analyze_unit`] and
+//! [`Analyzer::analyze_project`] return rows sorted and deduplicated by
+//! `(file, line, component)`. Project analysis parallelizes over files
+//! via `jepo-pool` and re-establishes the same global order afterwards,
+//! so its output is bit-identical for any job count.
 
+use crate::dataflow::UnitFlow;
 use crate::rules::{all_rules, Rule, RuleCtx};
 use crate::suggestion::Suggestion;
 use jepo_jlang::{CompilationUnit, JavaProject, ParseError};
 
+/// Whether rules see dataflow facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Line-local pattern matching only (the original JEPO behavior).
+    Syntactic,
+    /// CFG + dataflow facts available to every rule; impact annotated.
+    FlowSensitive,
+}
+
 /// A configured analyzer (rule set is pluggable for ablations).
 pub struct Analyzer {
     rules: Vec<Box<dyn Rule>>,
+    mode: AnalysisMode,
 }
 
 impl Default for Analyzer {
@@ -21,21 +48,51 @@ impl Default for Analyzer {
 }
 
 impl Analyzer {
-    /// Analyzer with all Table I rules.
+    /// Analyzer with all Table I rules, flow-sensitive.
     pub fn new() -> Analyzer {
-        Analyzer { rules: all_rules() }
+        Analyzer {
+            rules: all_rules(),
+            mode: AnalysisMode::FlowSensitive,
+        }
     }
 
-    /// Analyzer with a custom rule subset.
+    /// Analyzer with all Table I rules but no dataflow — the syntactic
+    /// baseline (what JEPO's original line scanner saw).
+    pub fn syntactic() -> Analyzer {
+        Analyzer {
+            rules: all_rules(),
+            mode: AnalysisMode::Syntactic,
+        }
+    }
+
+    /// Analyzer with a custom rule subset (flow-sensitive).
     pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Analyzer {
-        Analyzer { rules }
+        Analyzer {
+            rules,
+            mode: AnalysisMode::FlowSensitive,
+        }
     }
 
-    /// All Table I rules plus the extension rules (exceptions/objects).
+    /// All Table I rules plus the extension rules (exceptions/objects
+    /// and the flow-only loop-invariant/dead-store rules).
     pub fn with_extensions() -> Analyzer {
         let mut rules = all_rules();
         rules.extend(crate::rules::extended_rules());
-        Analyzer { rules }
+        Analyzer {
+            rules,
+            mode: AnalysisMode::FlowSensitive,
+        }
+    }
+
+    /// Switch analysis mode, builder-style.
+    pub fn with_mode(mut self, mode: AnalysisMode) -> Analyzer {
+        self.mode = mode;
+        self
+    }
+
+    /// The active analysis mode.
+    pub fn mode(&self) -> AnalysisMode {
+        self.mode
     }
 
     /// Number of active rules.
@@ -45,8 +102,35 @@ impl Analyzer {
 
     /// Analyze one parsed unit.
     pub fn analyze_unit(&self, file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
-        let ctx = RuleCtx { file, unit };
+        let flow = match self.mode {
+            AnalysisMode::Syntactic => None,
+            AnalysisMode::FlowSensitive => Some(UnitFlow::build(unit)),
+        };
+        let ctx = RuleCtx {
+            file,
+            unit,
+            flow: flow.as_ref(),
+        };
         let mut out: Vec<Suggestion> = self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
+        out.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
+        });
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.component == b.component);
+        if let Some(f) = &flow {
+            crate::impact::annotate(&mut out, f);
+        }
+        out
+    }
+
+    /// Analyze every file of a project (Fig. 5's "all the classes in a
+    /// Java project"), in parallel over `jobs` worker threads (0 =
+    /// auto). Output is globally sorted/deduped by `(file, line,
+    /// component)` — bit-identical for every job count.
+    pub fn analyze_project_jobs(&self, project: &JavaProject, jobs: usize) -> Vec<Suggestion> {
+        let per_file = jepo_pool::parallel_map(project.files(), jobs, |_, f| {
+            self.analyze_unit(&f.name, &f.unit)
+        });
+        let mut out: Vec<Suggestion> = per_file.into_iter().flatten().collect();
         out.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
         });
@@ -54,14 +138,9 @@ impl Analyzer {
         out
     }
 
-    /// Analyze every file of a project (Fig. 5's "all the classes in a
-    /// Java project").
+    /// Analyze every file of a project with automatic parallelism.
     pub fn analyze_project(&self, project: &JavaProject) -> Vec<Suggestion> {
-        let mut out = Vec::new();
-        for f in project.files() {
-            out.extend(self.analyze_unit(&f.name, &f.unit));
-        }
-        out
+        self.analyze_project_jobs(project, 0)
     }
 }
 
@@ -116,6 +195,8 @@ class Sink {
     }
 
     long slow(short k) { return k; }
+
+    void bump() { hits = hits + 1; }
 }
 "#;
 
@@ -127,6 +208,39 @@ class Sink {
         for c in JavaComponent::ALL {
             assert!(fired.contains(&c), "{c:?} did not fire\nall: {fired:?}");
         }
+    }
+
+    #[test]
+    fn syntactic_mode_matches_legacy_behavior() {
+        // The kitchen sink is written so every hit is a true positive:
+        // flow-sensitive mode must not lose any component there either.
+        let unit = jepo_jlang::parse_unit(KITCHEN_SINK).unwrap();
+        let got = Analyzer::syntactic().analyze_unit("Sink.java", &unit);
+        let fired: std::collections::HashSet<JavaComponent> =
+            got.iter().map(|s| s.component).collect();
+        for c in JavaComponent::ALL {
+            assert!(fired.contains(&c), "{c:?} did not fire syntactically");
+        }
+    }
+
+    #[test]
+    fn flow_mode_annotates_loop_depth_and_impact() {
+        let got = analyze_source("Sink.java", KITCHEN_SINK).unwrap();
+        let concat = got
+            .iter()
+            .find(|s| s.component == JavaComponent::StringConcatenation)
+            .expect("concat fires");
+        assert_eq!(concat.loop_depth, 1, "s += parts[i] sits in one loop");
+        assert!(
+            concat.impact > JavaComponent::StringConcatenation.worst_case_factor(),
+            "in-loop hit must outrank the bare factor: {}",
+            concat.impact
+        );
+        let ternary = got
+            .iter()
+            .find(|s| s.component == JavaComponent::TernaryOperator)
+            .expect("ternary fires");
+        assert_eq!(ternary.loop_depth, 0);
     }
 
     #[test]
@@ -161,6 +275,36 @@ class Sink {
         let got = analyze_project(&p);
         assert!(got.iter().any(|s| s.file == "A.java"));
         assert!(got.iter().any(|s| s.file == "B.java"));
+    }
+
+    #[test]
+    fn project_analysis_is_globally_sorted_and_parallel_identical() {
+        let mut p = JavaProject::new();
+        // Deliberately added out of name order: the output must still be
+        // globally sorted by (file, line, component).
+        p.add_file("Z.java", "class Z { int f(int x) { return x % 2; } }")
+            .unwrap();
+        p.add_file("A.java", "class A { double d = 0.0001; short s; }")
+            .unwrap();
+        p.add_file(
+            "M.java",
+            "class M { boolean e(String a, String b) { return a.compareTo(b) == 0; } }",
+        )
+        .unwrap();
+        let analyzer = Analyzer::with_extensions();
+        let seq = analyzer.analyze_project_jobs(&p, 1);
+        for w in seq.windows(2) {
+            let a = (&w[0].file, w[0].line, w[0].component);
+            let b = (&w[1].file, w[1].line, w[1].component);
+            assert!(a <= b, "unsorted: {a:?} > {b:?}");
+        }
+        for jobs in [2, 4] {
+            assert_eq!(
+                seq,
+                analyzer.analyze_project_jobs(&p, jobs),
+                "jobs={jobs} differs from sequential"
+            );
+        }
     }
 
     #[test]

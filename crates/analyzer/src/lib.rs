@@ -10,8 +10,16 @@
 //!   and worst-case energy factor.
 //! * [`rules`] — one detection rule per component, pattern-matching the
 //!   [`jepo_jlang`] AST (with spans, so every suggestion lands on a line).
+//! * [`cfg`] — per-method control-flow graphs lowered from the AST, with
+//!   structural natural-loop detection and trip-count estimates.
+//! * [`dataflow`] — a generic worklist solver (forward/backward)
+//!   instantiated for reaching definitions, live variables, and
+//!   dominators; packaged per unit as [`dataflow::UnitFlow`].
+//! * [`impact`] — estimated-impact scoring: Table I energy factor ×
+//!   loop trip-count product, ranking the Fig. 5 optimizer view.
 //! * [`engine`] — runs all rules over a file or project (the *JEPO
-//!   optimizer* flow of Fig. 5).
+//!   optimizer* flow of Fig. 5), flow-sensitively by default, in
+//!   parallel over files with deterministic output order.
 //! * [`dynamic`] — incremental per-edit analysis (the *dynamic suggestion*
 //!   flow of Fig. 2: re-analyze the open file, report what changed).
 //! * [`metrics`] — the code metrics of Table II (dependencies, attributes,
@@ -27,15 +35,19 @@
 //! assert!(suggestions.iter().any(|s| s.line == 1));
 //! ```
 
+pub mod cfg;
+pub mod dataflow;
 pub mod dynamic;
 pub mod engine;
+pub mod impact;
 pub mod metrics;
 pub mod refactor;
 pub mod rules;
 pub mod suggestion;
 
+pub use dataflow::UnitFlow;
 pub use dynamic::DynamicAnalyzer;
-pub use engine::{analyze_project, analyze_source, analyze_unit, Analyzer};
+pub use engine::{analyze_project, analyze_source, analyze_unit, AnalysisMode, Analyzer};
 pub use metrics::{project_metrics, ClassMetrics};
 pub use refactor::{refactor_unit, RefactorKind, RefactorReport};
 pub use suggestion::{JavaComponent, Suggestion};

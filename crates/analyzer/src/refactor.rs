@@ -145,6 +145,12 @@ fn stmt_level_rewrite(
     // --- manual copy loop → System.arraycopy ---
     if has(kinds, RefactorKind::ManualCopyToArrayCopy) {
         if let Some((dst, src, _)) = match_copy_loop(stmt) {
+            // Safety gate: `a[i] = a[i]` self-copies have aliasing dst
+            // and src; `System.arraycopy` with identical arrays is legal
+            // but the rewrite of a degenerate loop is not worth proving.
+            if dst == src {
+                return None;
+            }
             if let StmtKind::For { init, cond, .. } = &stmt.kind {
                 if let Some(bound) = copy_loop_bound(init, cond.as_ref()) {
                     rep.applied
@@ -246,6 +252,51 @@ fn stmt_level_rewrite(
                     ..
                 }) = inner
                 {
+                    // Dataflow safety proof, part 1: the inner header
+                    // must not read any outer loop variable (a
+                    // triangular loop `for j { for i < j }` changes its
+                    // iteration space under interchange).
+                    let outer_vars: Vec<&str> = init
+                        .iter()
+                        .filter_map(|s| match &s.kind {
+                            StmtKind::Local { vars, .. } => {
+                                Some(vars.iter().map(|(n, _, _)| n.as_str()))
+                            }
+                            _ => None,
+                        })
+                        .flatten()
+                        .collect();
+                    let mut inner_header_reads: Vec<String> = Vec::new();
+                    for s in i2 {
+                        jepo_jlang::walk_stmt_exprs(s, &mut |e| {
+                            inner_header_reads.extend(e.collect_names())
+                        });
+                    }
+                    if let Some(c) = c2 {
+                        inner_header_reads.extend(c.collect_names());
+                    }
+                    for u in u2 {
+                        inner_header_reads.extend(u.collect_names());
+                    }
+                    if inner_header_reads
+                        .iter()
+                        .any(|n| outer_vars.contains(&n.as_str()))
+                    {
+                        return None;
+                    }
+                    // Part 2: both loop bounds must be invariant — the
+                    // innermost body must not assign any name either
+                    // condition reads (reaching definitions inside the
+                    // body would invalidate the swapped headers).
+                    let body_assigns = crate::cfg::assigned_names(b2);
+                    let bound_reads: Vec<String> = cond
+                        .iter()
+                        .chain(c2.iter())
+                        .flat_map(|c| c.collect_names())
+                        .collect();
+                    if bound_reads.iter().any(|n| body_assigns.contains(n)) {
+                        return None;
+                    }
                     rep.applied.push((RefactorKind::LoopInterchange, line));
                     // Swap headers, keep the innermost body.
                     let new_inner = Stmt {
@@ -661,6 +712,60 @@ mod tests {
         let i_pos = out.find("int i = 0").unwrap();
         let j_pos = out.find("int j = 0").unwrap();
         assert!(i_pos < j_pos, "i loop should now be outer:\n{out}");
+    }
+
+    #[test]
+    fn triangular_loops_are_not_interchanged() {
+        // Inner bound reads the outer variable: interchange would change
+        // the iteration space, so the safety gate must refuse.
+        let (out, rep) = apply(
+            "class A { double f(double[][] m, int n) {
+               double s = 0;
+               for (int j = 0; j < n; j++) {
+                 for (int i = 0; i < j; i++) {
+                   s += m[i][j];
+                 }
+               }
+               return s;
+             } }",
+            &[RefactorKind::LoopInterchange],
+        );
+        assert_eq!(rep.count_of(RefactorKind::LoopInterchange), 0);
+        let j_pos = out.find("int j = 0").unwrap();
+        let i_pos = out.find("int i = 0").unwrap();
+        assert!(j_pos < i_pos, "loop order must be untouched:\n{out}");
+    }
+
+    #[test]
+    fn bound_mutating_body_blocks_interchange() {
+        // The body assigns `n`, which both conditions read — the bounds
+        // are not invariant, so the rewrite is unsafe.
+        let (_, rep) = apply(
+            "class A { double f(double[][] m, int n) {
+               double s = 0;
+               for (int j = 0; j < n; j++) {
+                 for (int i = 0; i < n; i++) {
+                   s += m[i][j];
+                   n = n - 1;
+                 }
+               }
+               return s;
+             } }",
+            &[RefactorKind::LoopInterchange],
+        );
+        assert_eq!(rep.count_of(RefactorKind::LoopInterchange), 0);
+    }
+
+    #[test]
+    fn self_copy_loop_is_left_alone() {
+        let (out, rep) = apply(
+            "class A { void m(int[] a, int n) {
+               for (int i = 0; i < n; i++) { a[i] = a[i]; }
+             } }",
+            &[RefactorKind::ManualCopyToArrayCopy],
+        );
+        assert_eq!(rep.change_count(), 0);
+        assert!(out.contains("for ("), "{out}");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Flow-only rule: dead stores.
+//!
+//! A value computed into a local that no later statement reads is pure
+//! wasted energy: the ALU work, the store, and (for objects) the
+//! allocation all buy nothing. Detection is the textbook liveness
+//! query — a definition of `v` at node `n` is dead when `v` is not in
+//! `live-out(n)`. Only method locals and parameters qualify: a field
+//! write escapes the method, and the CFG's def extraction deliberately
+//! conflates same-named fields and locals toward *more* liveness (see
+//! [`crate::cfg`]), so a hit here is a real dead store.
+
+use super::{Rule, RuleCtx};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, ExprKind, StmtKind};
+use std::collections::HashSet;
+
+/// A computed local definition with no live reader.
+pub struct DeadStoreRule;
+
+impl Rule for DeadStoreRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::DeadStore
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let Some(flow) = ctx.flow else {
+            // Flow-only: the syntactic baseline has no liveness facts.
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        ctx.for_each_stmt(|c, m, s| {
+            // Which local does this statement define, and is the stored
+            // value actually *computed* (a bare `int x = 0;` or `x = y;`
+            // costs nothing worth reporting)?
+            let defined: Vec<(String, String)> = match &s.kind {
+                StmtKind::Local { vars, .. } => vars
+                    .iter()
+                    .filter_map(|(n, _, init)| {
+                        init.as_ref()
+                            .filter(|e| is_computation(e))
+                            .map(|e| (n.clone(), printer::print_expr(e)))
+                    })
+                    .collect(),
+                StmtKind::Expr(e) => match &e.kind {
+                    ExprKind::Assign(l, _, r) if is_computation(r) => match &l.kind {
+                        ExprKind::Name(n) => vec![(n.clone(), printer::print_expr(e))],
+                        _ => vec![],
+                    },
+                    _ => vec![],
+                },
+                _ => return,
+            };
+            if defined.is_empty() {
+                return;
+            }
+            // Find the method's flow + this statement's node.
+            let Some((ci, mi)) = super::method_index(ctx, c, m) else {
+                return;
+            };
+            let Some(mf) = flow.method(ci, mi) else {
+                return;
+            };
+            let Some(node) = mf.node_at(s.span) else {
+                return; // unlowered statement: stay silent, never guess
+            };
+            for (name, snippet) in defined {
+                if mf.is_local(&name)
+                    && !mf.live_after(node, &name)
+                    && seen.insert((s.span.line, name.clone()))
+                {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        s.span.line,
+                        JavaComponent::DeadStore,
+                        snippet,
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+/// Whether the stored value involves real work (operator, call,
+/// allocation, indexing) rather than a constant or bare copy.
+fn is_computation(e: &jepo_jlang::Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if matches!(
+            x.kind,
+            ExprKind::Binary(..)
+                | ExprKind::Unary(..)
+                | ExprKind::Call { .. }
+                | ExprKind::New { .. }
+                | ExprKind::NewArray { .. }
+                | ExprKind::Index(..)
+                | ExprKind::Ternary(..)
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    const DEAD: &str = "class A { int f(int x) {
+        int dead = x * 2;
+        int used = x + 1;
+        return used;
+    } }";
+
+    #[test]
+    fn silent_without_flow() {
+        assert!(run_rule(&DeadStoreRule, DEAD).is_empty());
+    }
+
+    #[test]
+    fn dead_computation_fires() {
+        let got = run_rule_flow(&DeadStoreRule, DEAD);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[0].component, JavaComponent::DeadStore);
+    }
+
+    #[test]
+    fn cheap_dead_constant_is_ignored() {
+        // `int dead = 0;` wastes nothing worth a suggestion row.
+        assert!(run_rule_flow(
+            &DeadStoreRule,
+            "class A { int f(int x) { int dead = 0; return x; } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn overwritten_before_read_fires() {
+        let got = run_rule_flow(
+            &DeadStoreRule,
+            "class A { int f(int x) {
+               int a = x * 3;
+               a = x * 5;
+               return a;
+             } }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn loop_carried_value_is_live() {
+        assert!(run_rule_flow(
+            &DeadStoreRule,
+            "class A { int f(int n) {
+               int s = 1 * n;
+               for (int i = 0; i < n; i++) { s = s + i; }
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn field_store_never_fires() {
+        assert!(run_rule_flow(
+            &DeadStoreRule,
+            "class A { int f; void g(int x) { this.f = x * 2; } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn branch_read_keeps_store_alive() {
+        assert!(run_rule_flow(
+            &DeadStoreRule,
+            "class A { int f(int x) {
+               int a = x * 2;
+               if (x > 0) { return a; }
+               return 0;
+             } }",
+        )
+        .is_empty());
+    }
+}

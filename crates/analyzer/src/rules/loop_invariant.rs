@@ -1,0 +1,277 @@
+//! Flow-only rule: loop-invariant expensive operations.
+//!
+//! Table I prices modulus at +1,620% over other arithmetic; `Math.*`
+//! library calls and division sit in the same expensive tier. When every
+//! operand of such an operation is *invariant* in its innermost
+//! enclosing loop — no name it reads is assigned anywhere in the loop
+//! body — the operation recomputes the same value every iteration and
+//! can be hoisted to pay its energy cost once. A syntactic rule cannot
+//! see this: invariance is a property of the loop's assignments, which
+//! is exactly what [`crate::cfg::assigned_names`] summarizes.
+
+use super::{Rule, RuleCtx};
+use crate::cfg::assigned_names;
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, BinOp, Expr, ExprKind, Stmt};
+use std::collections::HashSet;
+
+/// Expensive op (`%`, `/`, `Math.*` call) with all operands
+/// loop-invariant.
+pub struct LoopInvariantOpRule;
+
+/// Whether `e` is an expensive operation worth hoisting.
+fn is_expensive(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Binary(op, _, _) => matches!(op, BinOp::Rem | BinOp::Div),
+        ExprKind::Call { target, .. } => {
+            matches!(target.as_deref(), Some(t) if matches!(&t.kind, ExprKind::Name(n) if n == "Math"))
+        }
+        _ => false,
+    }
+}
+
+/// Whether the operand tree is simple enough to reason about: names,
+/// literals, field reads, and pure operators only. Calls (other than the
+/// candidate's own `Math` receiver), indexing, allocation, and
+/// assignments make invariance undecidable here — bail out.
+fn is_analyzable(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |x| match &x.kind {
+        ExprKind::Literal(_)
+        | ExprKind::Name(_)
+        | ExprKind::This
+        | ExprKind::FieldAccess(_, _)
+        | ExprKind::Binary(_, _, _)
+        | ExprKind::Cast(_, _) => {}
+        ExprKind::Unary(op, _) => {
+            use jepo_jlang::UnaryOp::*;
+            if matches!(op, PreInc | PreDec | PostInc | PostDec) {
+                ok = false;
+            }
+        }
+        _ => ok = false,
+    });
+    ok
+}
+
+fn operands(e: &Expr) -> Vec<&Expr> {
+    match &e.kind {
+        ExprKind::Binary(_, a, b) => vec![a, b],
+        ExprKind::Call { args, .. } => args.iter().collect(),
+        _ => vec![],
+    }
+}
+
+/// Names an operand reads: simple names plus field names reached through
+/// any field access (`this.f`, `obj.f` both contribute `f` — coarse, but
+/// errs toward "variant", never toward a wrong hoist).
+fn operand_names(e: &Expr) -> Vec<String> {
+    let mut out = e.collect_names();
+    e.walk(&mut |x| {
+        if let ExprKind::FieldAccess(_, f) = &x.kind {
+            out.push(f.clone());
+        }
+    });
+    out
+}
+
+/// Field names assigned anywhere in the loop through a field-access
+/// target (`this.f = …`, `obj.f++`) — invisible to
+/// [`assigned_names`], which only tracks simple-name targets.
+fn assigned_fields(stmt: &Stmt) -> HashSet<String> {
+    use jepo_jlang::UnaryOp::*;
+    let mut out = HashSet::new();
+    jepo_jlang::walk_stmt_exprs(stmt, &mut |e| {
+        let target = match &e.kind {
+            ExprKind::Assign(l, _, _) => Some(l),
+            ExprKind::Unary(PreInc | PreDec | PostInc | PostDec, inner) => Some(inner),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if let ExprKind::FieldAccess(_, f) = &t.kind {
+                out.insert(f.clone());
+            }
+        }
+    });
+    out
+}
+
+fn scan_loop(
+    ctx: &RuleCtx,
+    class: &jepo_jlang::ClassDecl,
+    body: &Stmt,
+    assigned: &HashSet<String>,
+    skip_lines: &HashSet<u32>,
+    out: &mut Vec<Suggestion>,
+    seen: &mut HashSet<u32>,
+) {
+    jepo_jlang::walk_stmt_exprs(body, &mut |e| {
+        if !is_expensive(e) || skip_lines.contains(&e.span.line) {
+            return;
+        }
+        let ops = operands(e);
+        if ops.is_empty() || !ops.iter().all(|o| is_analyzable(o)) {
+            return;
+        }
+        let invariant = ops
+            .iter()
+            .flat_map(|o| operand_names(o))
+            .all(|n| !assigned.contains(&n));
+        if invariant && seen.insert(e.span.line) {
+            out.push(Suggestion::new(
+                ctx.file,
+                &ctx.class_name(class),
+                e.span.line,
+                JavaComponent::LoopInvariantOp,
+                printer::print_expr(e),
+            ));
+        }
+    });
+}
+
+impl Rule for LoopInvariantOpRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::LoopInvariantOp
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        // Flow-only: without dataflow mode the rule stays silent (the
+        // syntactic baseline has no invariance oracle).
+        if ctx.flow.is_none() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        ctx.for_each_stmt(|c, _m, s| {
+            if let Some(body) = s.loop_body() {
+                // Assignments anywhere in the loop (header update exprs
+                // included via the full statement subtree), plus fields
+                // written through field-access targets.
+                let mut assigned = assigned_names(s);
+                assigned.extend(assigned_fields(s));
+                // Only report against the *innermost* loop: an op inside
+                // a nested loop is that loop's business. Skip ops that
+                // sit inside an inner loop of this body.
+                let mut inner_lines: HashSet<u32> = HashSet::new();
+                jepo_jlang::walk_stmts(body, &mut |st| {
+                    if st.is_loop() {
+                        jepo_jlang::walk_stmt_exprs(st, &mut |e| {
+                            inner_lines.insert(e.span.line);
+                        });
+                    }
+                });
+                scan_loop(ctx, c, body, &assigned, &inner_lines, &mut out, &mut seen);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    #[test]
+    fn silent_without_flow() {
+        assert!(run_rule(
+            &LoopInvariantOpRule,
+            "class A { int f(int n, int b) {
+               int s = 0;
+               for (int i = 0; i < n; i++) { s = s + b % 7; }
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn invariant_modulus_fires() {
+        let got = run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { int f(int n, int b) {
+               int s = 0;
+               for (int i = 0; i < n; i++) { s = s + b % 7; }
+               return s;
+             } }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].component, JavaComponent::LoopInvariantOp);
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn variant_modulus_is_fine() {
+        assert!(run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { int f(int n) {
+               int s = 0;
+               for (int i = 0; i < n; i++) { s = s + i % 7; }
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn invariant_math_call_fires_variant_does_not() {
+        let got = run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { double f(int n, double x) {
+               double s = 0;
+               for (int i = 0; i < n; i++) {
+                 s = s + Math.sqrt(x);
+                 s = s + Math.sqrt(s);
+               }
+               return s;
+             } }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn inner_loop_owns_its_ops() {
+        // `b % 7` is invariant w.r.t. both loops; it must be reported
+        // once (for the inner loop), not twice.
+        let got = run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { int f(int n, int b) {
+               int s = 0;
+               for (int i = 0; i < n; i++)
+                 for (int j = 0; j < n; j++)
+                   s = s + b % 7;
+               return s;
+             } }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn field_written_in_loop_means_variant() {
+        assert!(run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { int count;
+             int f(int n) {
+               int s = 0;
+               for (int i = 0; i < n; i++) { this.count = this.count + 1; s = s + this.count % 7; }
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn assigned_in_loop_means_variant() {
+        assert!(run_rule_flow(
+            &LoopInvariantOpRule,
+            "class A { int f(int n, int b) {
+               int s = 0;
+               for (int i = 0; i < n; i++) { b = b + 1; s = s + b % 7; }
+               return s;
+             } }",
+        )
+        .is_empty());
+    }
+}

@@ -9,7 +9,9 @@
 pub mod arithmetic_operators;
 pub mod array_copy;
 pub mod array_traversal;
+pub mod dead_store;
 pub mod extended;
+pub mod loop_invariant;
 pub mod primitive_types;
 pub mod scientific_notation;
 pub mod short_circuit;
@@ -19,16 +21,22 @@ pub mod string_concat;
 pub mod ternary_operator;
 pub mod wrapper_classes;
 
+use crate::dataflow::UnitFlow;
 use crate::suggestion::{JavaComponent, Suggestion};
 use jepo_jlang::{ClassDecl, CompilationUnit, Expr, MethodDecl, PrimType, Stmt, Type};
 use std::collections::HashSet;
 
-/// Context a rule sees: one file's parsed unit.
+/// Context a rule sees: one file's parsed unit, plus (in flow-sensitive
+/// mode) the unit's dataflow facts.
 pub struct RuleCtx<'a> {
     /// File name for suggestion rows.
     pub file: &'a str,
     /// Parsed unit.
     pub unit: &'a CompilationUnit,
+    /// Dataflow facts, when the engine runs flow-sensitively. `None`
+    /// means syntactic baseline: rules must fall back to their original
+    /// line-local behavior.
+    pub flow: Option<&'a UnitFlow>,
 }
 
 impl<'a> RuleCtx<'a> {
@@ -111,11 +119,14 @@ pub trait Rule: Sync + Send {
     fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion>;
 }
 
-/// The two extension rules (abstract's "exception, objects" categories).
+/// The extension rules: the abstract's "exception, objects" categories
+/// plus the two flow-only rules (loop-invariant op, dead store).
 pub fn extended_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(extended::ExceptionInLoopRule),
         Box::new(extended::ObjectCreationInLoopRule),
+        Box::new(loop_invariant::LoopInvariantOpRule),
+        Box::new(dead_store::DeadStoreRule),
     ]
 }
 
@@ -134,6 +145,22 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(array_copy::ArrayCopyRule),
         Box::new(array_traversal::ArrayTraversalRule),
     ]
+}
+
+/// Locate the `(class index, method index)` of a class/method pair
+/// inside the context's unit (rules get `&ClassDecl`/`&MethodDecl`
+/// references out of the unit itself, so pointer identity is exact).
+pub(crate) fn method_index(
+    ctx: &RuleCtx,
+    class: &ClassDecl,
+    method: &MethodDecl,
+) -> Option<(usize, usize)> {
+    let ci = ctx.unit.types.iter().position(|c| std::ptr::eq(c, class))?;
+    let mi = ctx.unit.types[ci]
+        .methods
+        .iter()
+        .position(|m| std::ptr::eq(m, method))?;
+    Some((ci, mi))
 }
 
 /// Whether a type is a non-`int` numeric primitive (the
@@ -156,12 +183,25 @@ pub fn is_non_int_numeric(ty: &Type) -> bool {
 pub(crate) mod testutil {
     use super::*;
 
-    /// Run a single rule over a source snippet.
+    /// Run a single rule over a source snippet (syntactic baseline).
     pub fn run_rule(rule: &dyn Rule, src: &str) -> Vec<Suggestion> {
         let unit = jepo_jlang::parse_unit(src).unwrap_or_else(|e| panic!("{e}"));
         let ctx = RuleCtx {
             file: "Test.java",
             unit: &unit,
+            flow: None,
+        };
+        rule.check(&ctx)
+    }
+
+    /// Run a single rule over a source snippet with dataflow facts.
+    pub fn run_rule_flow(rule: &dyn Rule, src: &str) -> Vec<Suggestion> {
+        let unit = jepo_jlang::parse_unit(src).unwrap_or_else(|e| panic!("{e}"));
+        let flow = UnitFlow::build(&unit);
+        let ctx = RuleCtx {
+            file: "Test.java",
+            unit: &unit,
+            flow: Some(&flow),
         };
         rule.check(&ctx)
     }
@@ -197,6 +237,7 @@ mod tests {
         let ctx = RuleCtx {
             file: "A.java",
             unit: &unit,
+            flow: None,
         };
         let names = ctx.string_names(&unit.types[0]);
         assert!(names.contains("f") && names.contains("p") && names.contains("l"));

@@ -1,4 +1,10 @@
 //! Rule: `static` variables (Table I row 4 — the 17,700% outlier).
+//!
+//! Flow-sensitive refinement: a `static` field that is never assigned
+//! anywhere in the unit (neither inside its own class's methods nor
+//! through a qualified `Other.field = …` write) is *effectively final* —
+//! the JVM treats it like the exempt `static final` constant — so the
+//! definition-aware mode suppresses it.
 
 use super::{Rule, RuleCtx};
 use crate::suggestion::{JavaComponent, Suggestion};
@@ -17,10 +23,17 @@ impl Rule for StaticKeywordRule {
 
     fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
         let mut out = Vec::new();
-        for c in &ctx.unit.types {
+        for (ci, c) in ctx.unit.types.iter().enumerate() {
             let class = ctx.class_name(c);
             for f in &c.fields {
                 if f.modifiers.is_static && !f.modifiers.is_final {
+                    // Definition-aware gate: never-assigned statics are
+                    // effectively final constants.
+                    if let Some(flow) = ctx.flow {
+                        if !flow.field_is_assigned(ci, &f.name) {
+                            continue;
+                        }
+                    }
                     out.push(Suggestion::new(
                         ctx.file,
                         &class,
@@ -47,5 +60,34 @@ mod tests {
             "class A {\nstatic int counter;\nstatic final int LIMIT = 5;\nint normal;\n}",
         );
         assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn flow_suppresses_effectively_final_static() {
+        let src = "class A {
+            static int mutated;
+            static int untouched;
+            void bump() { mutated = mutated + 1; }
+        }";
+        // Syntactic: both non-final statics fire.
+        let syn: Vec<u32> = run_rule(&StaticKeywordRule, src)
+            .iter()
+            .map(|s| s.line)
+            .collect();
+        assert_eq!(syn, vec![2, 3]);
+        // Flow: the never-assigned one is effectively final.
+        let flow: Vec<u32> = run_rule_flow(&StaticKeywordRule, src)
+            .iter()
+            .map(|s| s.line)
+            .collect();
+        assert_eq!(flow, vec![2]);
+    }
+
+    #[test]
+    fn flow_sees_cross_class_writes() {
+        let src = "class A { static int shared; }
+            class B { void poke() { A.shared = 9; } }";
+        let got = run_rule_flow(&StaticKeywordRule, src);
+        assert_eq!(got.len(), 1, "write through A.shared keeps it mutable");
     }
 }

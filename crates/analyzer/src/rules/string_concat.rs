@@ -1,9 +1,16 @@
 //! Rule: string concatenation with `+` (Table I row 8).
+//!
+//! Flow-sensitive refinement: inside a loop, concatenation is only the
+//! quadratic `StringBuilder`-worthy pattern when it *accumulates* — the
+//! target variable is loop-carried (its in-loop definition reaches the
+//! loop header) and not a per-iteration local. A `String t = s + "x";`
+//! on a fresh local each iteration is linear work the syntactic rule
+//! used to flag anyway; with dataflow facts available it is suppressed.
 
 use super::{Rule, RuleCtx};
 use crate::suggestion::{JavaComponent, Suggestion};
-use jepo_jlang::{printer, AssignOp, BinOp, Expr, ExprKind, Lit};
-use std::collections::HashSet;
+use jepo_jlang::{printer, AssignOp, BinOp, Expr, ExprKind, Lit, StmtKind};
+use std::collections::{HashMap, HashSet};
 
 /// Flags string concatenation via `+`/`+=` ("StringBuilder append method
 /// consumes much lower energy than String concatenation operator").
@@ -26,7 +33,7 @@ impl Rule for StringConcatRule {
     fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        for c in &ctx.unit.types {
+        for (ci, c) in ctx.unit.types.iter().enumerate() {
             let class = ctx.class_name(c);
             // Field-level strings are visible to every method; params and
             // locals are scoped per method so `int add(int a, int b)` is
@@ -37,7 +44,7 @@ impl Rule for StringConcatRule {
                 .filter(|f| matches!(&f.ty, jepo_jlang::Type::Class(n, _) if n == "String"))
                 .map(|f| f.name.clone())
                 .collect();
-            for m in &c.methods {
+            for (mi, m) in c.methods.iter().enumerate() {
                 let mut strings = field_strings.clone();
                 for p in &m.params {
                     if matches!(&p.ty, jepo_jlang::Type::Class(n, _) if n == "String") {
@@ -58,6 +65,29 @@ impl Rule for StringConcatRule {
                     }
                 }
                 if let Some(body) = &m.body {
+                    // Flow mode: which lines *accumulate* into a named
+                    // variable (`s += …` or `s = s + …`).
+                    let flow_m = ctx.flow.and_then(|f| f.method(ci, mi));
+                    let mut accum: HashMap<u32, String> = HashMap::new();
+                    if flow_m.is_some() {
+                        for s in &body.stmts {
+                            jepo_jlang::walk_stmts(s, &mut |st| {
+                                let StmtKind::Expr(e) = &st.kind else { return };
+                                let ExprKind::Assign(l, op, r) = &e.kind else {
+                                    return;
+                                };
+                                let ExprKind::Name(n) = &l.kind else { return };
+                                let accumulates = match op {
+                                    AssignOp::Compound(BinOp::Add) => true,
+                                    AssignOp::Assign => r.collect_names().contains(n),
+                                    _ => false,
+                                };
+                                if accumulates {
+                                    accum.insert(e.span.line, n.clone());
+                                }
+                            });
+                        }
+                    }
                     for s in &body.stmts {
                         jepo_jlang::walk_stmt_exprs(s, &mut |e| {
                             let hit = match &e.kind {
@@ -69,8 +99,23 @@ impl Rule for StringConcatRule {
                                 }
                                 _ => false,
                             };
+                            if !hit {
+                                return;
+                            }
+                            // Flow gate: inside a loop, only loop-carried
+                            // accumulation is the quadratic pattern.
+                            if let Some(mf) = flow_m {
+                                if let Some(lp) = mf.innermost_loop_at_line(e.span.line) {
+                                    let carried = accum.get(&e.span.line).is_some_and(|n| {
+                                        mf.is_loop_carried(lp, n) && !mf.declared_in(lp, n)
+                                    });
+                                    if !carried {
+                                        return;
+                                    }
+                                }
+                            }
                             // Report the outermost concat per line only.
-                            if hit && seen.insert(e.span.line) {
+                            if seen.insert(e.span.line) {
                                 out.push(Suggestion::new(
                                     ctx.file,
                                     &class,
@@ -118,5 +163,54 @@ mod tests {
             "class A { void m(int n) { String s = \"v=\" + n; } }",
         );
         assert_eq!(got.len(), 1);
+    }
+
+    const FRESH_LOCAL_IN_LOOP: &str = "class A { void m(String[] parts, int n) {
+        for (int i = 0; i < n; i++) {
+            String t = \"<\" + parts[i];
+        }
+    } }";
+
+    #[test]
+    fn syntactic_flags_fresh_local_in_loop() {
+        assert_eq!(run_rule(&StringConcatRule, FRESH_LOCAL_IN_LOOP).len(), 1);
+    }
+
+    #[test]
+    fn flow_suppresses_fresh_local_in_loop() {
+        // The per-iteration local is not an accumulator: no quadratic
+        // growth, so dataflow removes the syntactic false positive.
+        assert!(run_rule_flow(&StringConcatRule, FRESH_LOCAL_IN_LOOP).is_empty());
+    }
+
+    #[test]
+    fn flow_keeps_loop_carried_accumulator() {
+        let src = "class A { String m(String[] parts, int n) {
+            String s = \"\";
+            for (int i = 0; i < n; i++) { s += parts[i]; }
+            return s;
+        } }";
+        let got = run_rule_flow(&StringConcatRule, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn flow_keeps_plain_assign_accumulator() {
+        let src = "class A { String m(String[] parts, int n) {
+            String s = \"\";
+            for (int i = 0; i < n; i++) { s = s + parts[i]; }
+            return s;
+        } }";
+        assert_eq!(run_rule_flow(&StringConcatRule, src).len(), 1);
+    }
+
+    #[test]
+    fn flow_keeps_straight_line_concat() {
+        let got = run_rule_flow(
+            &StringConcatRule,
+            "class A { void m(int n) { String s = \"v=\" + n; } }",
+        );
+        assert_eq!(got.len(), 1, "outside loops behavior is unchanged");
     }
 }

@@ -1,4 +1,10 @@
 //! Rule: non-`Integer` wrapper classes (Table I row 3).
+//!
+//! Flow-sensitive refinement: a wrapper *local* whose value is never
+//! read anywhere in the method is a write-only box — the dead-store
+//! rule owns that pattern, and suggesting "replace with Integer" for a
+//! value nobody reads is noise. Definition-aware mode suppresses those
+//! declarations (fields always fire: they escape the method).
 
 use super::{Rule, RuleCtx};
 use crate::suggestion::{JavaComponent, Suggestion};
@@ -46,9 +52,27 @@ impl Rule for WrapperClassesRule {
                 }
             }
         }
-        ctx.for_each_stmt(|c, _m, s| {
+        ctx.for_each_stmt(|c, m, s| {
             if let StmtKind::Local { ty, vars, .. } = &s.kind {
                 if non_integer_wrapper(ty).is_some() {
+                    // Definition-aware gate: skip write-only wrapper
+                    // locals (no name of this declaration is ever read
+                    // in the method). Lookup failures err toward firing.
+                    if let Some(flow) = ctx.flow {
+                        if let Some(mf) =
+                            super::method_index(ctx, c, m).and_then(|(ci, mi)| flow.method(ci, mi))
+                        {
+                            let read_somewhere = vars.iter().any(|(n, _, _)| {
+                                mf.cfg
+                                    .nodes
+                                    .iter()
+                                    .any(|node| node.uses.iter().any(|u| u == n))
+                            });
+                            if !read_somewhere {
+                                return;
+                            }
+                        }
+                    }
                     let names: Vec<&str> = vars.iter().map(|(n, _, _)| n.as_str()).collect();
                     out.push(Suggestion::new(
                         ctx.file,
@@ -76,6 +100,27 @@ mod tests {
             "class A {\nDouble d;\nvoid m() {\nLong l = 0L;\nInteger ok = 1;\n}\n}",
         );
         assert_eq!(lines, vec![2, 4]);
+    }
+
+    #[test]
+    fn flow_suppresses_write_only_wrapper_local() {
+        let src = "class A { void m() { Long l = 0L; } }";
+        assert_eq!(run_rule(&WrapperClassesRule, src).len(), 1);
+        assert!(
+            run_rule_flow(&WrapperClassesRule, src).is_empty(),
+            "nobody reads l — the dead-store rule owns this line"
+        );
+    }
+
+    #[test]
+    fn flow_keeps_read_wrapper_local_and_fields() {
+        let src = "class A {
+            Double d;
+            long m() { Long l = 0L; return l + 1; }
+        }";
+        let got = run_rule_flow(&WrapperClassesRule, src);
+        let lines: Vec<u32> = got.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![2, 3], "{got:?}");
     }
 
     #[test]

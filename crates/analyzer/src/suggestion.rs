@@ -36,6 +36,12 @@ pub enum JavaComponent {
     /// EXTENSION (abstract's "objects" category; not a Table I row):
     /// hoistable object creation in loops.
     ObjectCreation,
+    /// EXTENSION (flow-only): expensive op (modulus/division/`Math`
+    /// call) whose operands are all loop-invariant — hoistable.
+    LoopInvariantOp,
+    /// EXTENSION (flow-only): a computed value with no live reader —
+    /// energy spent on a dead store.
+    DeadStore,
 }
 
 impl JavaComponent {
@@ -57,8 +63,12 @@ impl JavaComponent {
     /// Extension components beyond Table I (the abstract's "exception,
     /// objects" categories; the paper's conclusion lists "more
     /// suggestions" as future work).
-    pub const EXTENDED: [JavaComponent; 2] =
-        [JavaComponent::ExceptionUsage, JavaComponent::ObjectCreation];
+    pub const EXTENDED: [JavaComponent; 4] = [
+        JavaComponent::ExceptionUsage,
+        JavaComponent::ObjectCreation,
+        JavaComponent::LoopInvariantOp,
+        JavaComponent::DeadStore,
+    ];
 
     /// The Table I "Java Components" column label.
     pub fn label(self) -> &'static str {
@@ -76,6 +86,8 @@ impl JavaComponent {
             JavaComponent::ArrayTraversal => "Array traversal",
             JavaComponent::ExceptionUsage => "Exceptions (extension)",
             JavaComponent::ObjectCreation => "Objects (extension)",
+            JavaComponent::LoopInvariantOp => "Loop-invariant operation (flow)",
+            JavaComponent::DeadStore => "Dead store (flow)",
         }
     }
 
@@ -126,6 +138,14 @@ impl JavaComponent {
             JavaComponent::ArrayTraversal => {
                 "Two-dimensional Array column traversal result in up to 793% more energy."
             }
+            JavaComponent::LoopInvariantOp => {
+                "Expensive operation is loop-invariant (all operands defined outside the \
+                 loop); hoist it before the loop to pay its energy cost once."
+            }
+            JavaComponent::DeadStore => {
+                "Value is computed but never read afterwards; the energy spent on this \
+                 store is wasted. Remove the dead assignment."
+            }
         }
     }
 
@@ -146,6 +166,8 @@ impl JavaComponent {
             JavaComponent::ShortCircuitOperator => 1.0, // workload-dependent
             JavaComponent::ExceptionUsage => 640.0,     // ExceptionThrow vs IntAlu
             JavaComponent::ObjectCreation => 42.0,      // Alloc vs IntAlu
+            JavaComponent::LoopInvariantOp => 17.2,     // same scale as modulus row
+            JavaComponent::DeadStore => 2.2,            // wasted ALU + store
         }
     }
 }
@@ -165,6 +187,12 @@ pub struct Suggestion {
     pub message: String,
     /// A short snippet of what was matched (for the dynamic view).
     pub matched: String,
+    /// Loop nesting depth of the line (0 = straight-line; filled in by
+    /// flow-sensitive analysis, stays 0 under the syntactic baseline).
+    pub loop_depth: u32,
+    /// Estimated impact: Table I worst-case factor × expected execution
+    /// count (see [`crate::impact`]). Defaults to the bare factor.
+    pub impact: f64,
 }
 
 impl Suggestion {
@@ -183,6 +211,8 @@ impl Suggestion {
             component,
             message: component.suggestion_text().to_string(),
             matched: matched.into(),
+            loop_depth: 0,
+            impact: component.worst_case_factor(),
         }
     }
 }

@@ -1,0 +1,280 @@
+//! Analyzer microbench + corpus self-check — the numbers behind the
+//! flow-sensitive analysis layer.
+//!
+//! Four legs over the bundled WEKA-flavoured corpus, all with the
+//! extended (Table I + flow-only) rule set:
+//!
+//! * **syntactic ×1** — the PR-2 baseline: pattern rules only.
+//! * **syntactic ×N** — the same, fanned over `jepo-pool`.
+//! * **flow ×1** — CFG construction + reaching defs + liveness +
+//!   dominators per method, then the definition-aware rules.
+//! * **flow ×N** — the flow pipeline over `jepo-pool`.
+//!
+//! The interesting ratios are `flow_overhead_1t` (what the dataflow
+//! facts cost over pure pattern matching) and the per-mode parallel
+//! speedups. After every leg the harness asserts the suggestion count
+//! is identical across thread counts for that mode — the speedup never
+//! trades away determinism (the acceptance criterion is bit-identical
+//! output for jobs ∈ {1, 2, 4}; counts are the cheap proxy asserted on
+//! every run, and the full equality is pinned in `tests/flow_analysis.rs`).
+//!
+//! Results land in `BENCH_analyzer.json`.
+//!
+//! A second role: `--selfcheck` runs the flow-sensitive extended
+//! analyzer over the corpus and compares per-component suggestion
+//! counts against the checked-in `expected_analyzer_counts.json`. Any
+//! panic or count drift fails the process — CI runs this on every push
+//! so a rule regression shows up as a reviewable diff in the
+//! expectation file, not a silent behaviour change. Regenerate with
+//! `--update-expected` after an intentional rule change.
+//!
+//! Usage: `analyzer [reps] [--threads N] [--selfcheck] [--update-expected]`
+//! (reps defaults to 40; threads defaults to `max(2, cores)`).
+
+use jepo_analyzer::{AnalysisMode, Analyzer, JavaComponent, Suggestion};
+use jepo_core::corpus;
+use jepo_jlang::JavaProject;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Every component the extended analyzer can emit, in a stable order.
+fn all_components() -> Vec<JavaComponent> {
+    let mut v: Vec<JavaComponent> = JavaComponent::ALL.to_vec();
+    v.extend(JavaComponent::EXTENDED);
+    v
+}
+
+/// Per-component counts as stable `(name, count)` rows.
+fn component_counts(suggestions: &[Suggestion]) -> Vec<(String, usize)> {
+    all_components()
+        .into_iter()
+        .map(|c| {
+            let n = suggestions.iter().filter(|s| s.component == c).count();
+            (format!("{c:?}"), n)
+        })
+        .collect()
+}
+
+fn counts_json(counts: &[(String, usize)], total: usize) -> String {
+    let rows: Vec<String> = counts
+        .iter()
+        .map(|(name, n)| format!("    \"{name}\": {n}"))
+        .collect();
+    format!(
+        "{{\n  \"mode\": \"flow+extended\",\n  \"total\": {total},\n  \
+         \"components\": {{\n{}\n  }}\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Minimal reader for the expectation file: every `"Name": N` pair.
+/// Tolerates whitespace and trailing commas; ignores non-count lines.
+fn parse_counts(json: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "mode" || key == "components" {
+            continue;
+        }
+        if let Ok(n) = value.trim().parse::<usize>() {
+            out.push((key.to_string(), n));
+        }
+    }
+    out
+}
+
+const EXPECTED_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/expected_analyzer_counts.json");
+
+/// Compare corpus counts against the checked-in expectation; any drift
+/// is a hard failure with a per-component diff.
+fn selfcheck(project: &JavaProject) -> Result<(), String> {
+    let suggestions = Analyzer::with_extensions().analyze_project(project);
+    let got = component_counts(&suggestions);
+    let expected_src = std::fs::read_to_string(EXPECTED_PATH)
+        .map_err(|e| format!("cannot read {EXPECTED_PATH}: {e} (run --update-expected)"))?;
+    let expected = parse_counts(&expected_src);
+    let mut drift = Vec::new();
+    let lookup =
+        |rows: &[(String, usize)], key: &str| rows.iter().find(|(k, _)| k == key).map(|(_, n)| *n);
+    if let Some(t) = lookup(&expected, "total") {
+        if t != suggestions.len() {
+            drift.push(format!("total: expected {t}, got {}", suggestions.len()));
+        }
+    }
+    for (name, n) in &got {
+        match lookup(&expected, name) {
+            Some(e) if e == *n => {}
+            Some(e) => drift.push(format!("{name}: expected {e}, got {n}")),
+            None => drift.push(format!("{name}: not in expectation file, got {n}")),
+        }
+    }
+    if drift.is_empty() {
+        println!(
+            "selfcheck OK: {} suggestions across {} components match {}",
+            suggestions.len(),
+            got.iter().filter(|(_, n)| *n > 0).count(),
+            EXPECTED_PATH
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "suggestion counts drifted from {EXPECTED_PATH}:\n  {}\n\
+             (if intentional, regenerate with --update-expected)",
+            drift.join("\n  ")
+        ))
+    }
+}
+
+struct Leg {
+    mode: &'static str,
+    threads: usize,
+    runs_per_s: f64,
+    secs_per_run: f64,
+    suggestions: usize,
+}
+
+/// Time `reps` full-project analyses at a given mode and job count.
+fn run_leg(project: &JavaProject, mode: AnalysisMode, jobs: usize, reps: u32) -> Leg {
+    let analyzer = Analyzer::with_extensions().with_mode(mode);
+    // Warm-up run also yields the suggestion count for the invariance
+    // assertion below.
+    let first = analyzer.analyze_project_jobs(project, jobs);
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(analyzer.analyze_project_jobs(project, jobs));
+    }
+    let secs = t.elapsed().as_secs_f64();
+    Leg {
+        mode: match mode {
+            AnalysisMode::Syntactic => "syntactic",
+            AnalysisMode::FlowSensitive => "flow",
+        },
+        threads: jobs,
+        runs_per_s: reps as f64 / secs.max(1e-12),
+        secs_per_run: secs / reps as f64,
+        suggestions: first.len(),
+    }
+}
+
+fn leg_json(leg: &Leg) -> String {
+    format!(
+        "    {{\"mode\": \"{}\", \"threads\": {}, \"runs_per_s\": {:.2}, \
+         \"ms_per_run\": {:.3}, \"suggestions\": {}}}",
+        leg.mode,
+        leg.threads,
+        leg.runs_per_s,
+        leg.secs_per_run * 1e3,
+        leg.suggestions
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let project = corpus::full_corpus();
+
+    if args.iter().any(|a| a == "--update-expected") {
+        let suggestions = Analyzer::with_extensions().analyze_project(&project);
+        let counts = component_counts(&suggestions);
+        let json = counts_json(&counts, suggestions.len());
+        std::fs::write(EXPECTED_PATH, &json)
+            .unwrap_or_else(|e| panic!("cannot write {EXPECTED_PATH}: {e}"));
+        println!("Wrote {EXPECTED_PATH} ({} suggestions).", suggestions.len());
+        return;
+    }
+    if args.iter().any(|a| a == "--selfcheck") {
+        if let Err(msg) = selfcheck(&project) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let threads_flag: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let reps: u32 = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(40);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = threads_flag.unwrap_or_else(|| cores.max(2)).max(1);
+
+    eprintln!(
+        "analyzer microbench: {} corpus files, {reps} reps per leg, \
+         1 vs {threads} job(s), {cores} core(s)…",
+        project.files().len()
+    );
+
+    let mut legs = Vec::new();
+    for (mode, jobs) in [
+        (AnalysisMode::Syntactic, 1),
+        (AnalysisMode::Syntactic, threads),
+        (AnalysisMode::FlowSensitive, 1),
+        (AnalysisMode::FlowSensitive, threads),
+    ] {
+        let leg = run_leg(&project, mode, jobs, reps);
+        println!(
+            "{:>9} ×{}: {:>8.2} runs/s ({:.3} ms/run, {} suggestions)",
+            leg.mode,
+            leg.threads,
+            leg.runs_per_s,
+            leg.secs_per_run * 1e3,
+            leg.suggestions
+        );
+        legs.push(leg);
+    }
+
+    // Determinism proxy: thread count must never change what the
+    // analyzer finds (the full bit-identity is a tier-1 test).
+    for mode in ["syntactic", "flow"] {
+        let counts: Vec<usize> = legs
+            .iter()
+            .filter(|l| l.mode == mode)
+            .map(|l| l.suggestions)
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{mode} suggestion count varies with thread count: {counts:?}"
+        );
+    }
+
+    let time_of = |mode: &str, t: usize| {
+        legs.iter()
+            .find(|l| l.mode == mode && l.threads == t)
+            .map(|l| l.secs_per_run)
+            .unwrap_or(f64::NAN)
+    };
+    let flow_overhead_1t = time_of("flow", 1) / time_of("syntactic", 1).max(1e-12);
+    let flow_speedup = time_of("flow", 1) / time_of("flow", threads).max(1e-12);
+    let syntactic_speedup = time_of("syntactic", 1) / time_of("syntactic", threads).max(1e-12);
+    println!(
+        "flow overhead ×1: {flow_overhead_1t:.2}×; parallel speedup ×{threads}: \
+         syntactic {syntactic_speedup:.2}×, flow {flow_speedup:.2}×"
+    );
+
+    let rows: Vec<String> = legs.iter().map(leg_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"analyzer\",\n  \"corpus_files\": {},\n  \
+         \"reps\": {reps},\n  \"threads\": {threads},\n  \
+         \"available_cores\": {cores},\n  \
+         \"flow_overhead_1t\": {flow_overhead_1t:.2},\n  \
+         \"syntactic_speedup\": {syntactic_speedup:.2},\n  \
+         \"flow_speedup\": {flow_speedup:.2},\n  \"legs\": [\n{}\n  ]\n}}\n",
+        project.files().len(),
+        rows.join(",\n")
+    );
+    let path = "BENCH_analyzer.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path}."),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -87,7 +87,7 @@ fn load_project(root: &Path) -> Result<JavaProject, String> {
 
 fn cmd_analyze(path: &Path) -> Result<(), String> {
     let project = load_project(path)?;
-    let suggestions = jepo_analyzer::analyze_project(&project);
+    let suggestions = JepoOptimizer::new().suggestions(&project);
     if suggestions.is_empty() {
         println!("No suggestions — the project is energy-clean.");
         return Ok(());

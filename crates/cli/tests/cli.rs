@@ -16,7 +16,7 @@ fn temp_project(tag: &str) -> PathBuf {
         "package util;
          public class Calc {
              static int calls;
-             public static int mod(int a, int b) { return a % b; }
+             public static int mod(int a, int b) { calls = calls + 1; return a % b; }
              public static int pick(int x) { return x > 0 ? x : 0 - x; }
          }",
     )

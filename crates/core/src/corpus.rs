@@ -46,6 +46,14 @@ public class MathUtils {
         }
         return h;
     }
+
+    public static double normalize(double[] p, int buckets) {
+        double s = 0.0;
+        for (int i = 0; i < p.length; i++) {
+            s = s + p[i] * (buckets % 7 + 1);
+        }
+        return s;
+    }
 }
 "#;
 
@@ -107,6 +115,15 @@ public class StringUtils {
 
     public static String describe(String name, double value) {
         return name + "=" + value;
+    }
+
+    public static int tagLengths(String[] parts, int n) {
+        int total = 0;
+        for (int i = 0; i < n; i++) {
+            String t = "<" + parts[i];
+            total = total + t.length();
+        }
+        return total;
     }
 }
 "#;

@@ -34,9 +34,13 @@ impl JepoOptimizer {
         JepoOptimizer { aggressive: false }
     }
 
-    /// Analyze all classes (the Fig. 5 list).
+    /// Analyze all classes (the Fig. 5 list), ranked by estimated
+    /// impact (Table I energy factor × loop trip-count product) with a
+    /// deterministic `(impact desc, file, line, component)` total order.
     pub fn suggestions(&self, project: &JavaProject) -> Vec<Suggestion> {
-        analyze_project(project)
+        let mut out = analyze_project(project);
+        jepo_analyzer::impact::rank(&mut out);
+        out
     }
 
     /// The Fig. 5 view.
@@ -63,7 +67,8 @@ impl JepoOptimizer {
             total += n;
             per_file.push((file.name.clone(), n));
         }
-        let remaining = analyze_project(project);
+        let mut remaining = analyze_project(project);
+        jepo_analyzer::impact::rank(&mut remaining);
         OptimizeReport {
             per_file,
             total_changes: total,

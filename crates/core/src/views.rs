@@ -101,14 +101,25 @@ pub fn profiler_view(records: &[MethodEnergyRecord]) -> String {
     out
 }
 
-/// Fig. 5 — the optimizer view: class / line / suggestion.
+/// Fig. 5 — the optimizer view: class / line / suggestion / estimated
+/// impact (rows arrive pre-ranked by impact from the optimizer).
 pub fn optimizer_view(suggestions: &[Suggestion]) -> String {
     let rows: Vec<Vec<String>> = suggestions
         .iter()
-        .map(|s| vec![s.class.clone(), s.line.to_string(), s.message.clone()])
+        .map(|s| {
+            vec![
+                s.class.clone(),
+                s.line.to_string(),
+                s.message.clone(),
+                format!("{:.1}", s.impact),
+            ]
+        })
         .collect();
     let mut out = String::from("JEPO optimizer view\n");
-    out.push_str(&render_table(&["Class", "Line", "Suggestion"], &rows));
+    out.push_str(&render_table(
+        &["Class", "Line", "Suggestion", "Impact"],
+        &rows,
+    ));
     out
 }
 
@@ -212,8 +223,10 @@ mod tests {
         let v = optimizer_view(&[s]);
         assert!(v.contains("Class"));
         assert!(v.contains("Line"));
+        assert!(v.contains("Impact"));
         assert!(v.contains("weka.core.A"));
         assert!(v.contains("12"));
         assert!(v.contains("17,700%"));
+        assert!(v.contains("178.0"), "bare static factor renders:\n{v}");
     }
 }

@@ -620,6 +620,44 @@ impl AssignOp {
     }
 }
 
+impl Stmt {
+    /// Whether this statement is one of the four loop forms.
+    pub fn is_loop(&self) -> bool {
+        matches!(
+            self.kind,
+            StmtKind::While { .. }
+                | StmtKind::DoWhile { .. }
+                | StmtKind::For { .. }
+                | StmtKind::ForEach { .. }
+        )
+    }
+
+    /// The body of a loop statement, if this is one.
+    pub fn loop_body(&self) -> Option<&Stmt> {
+        match &self.kind {
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::ForEach { body, .. } => Some(body),
+            _ => None,
+        }
+    }
+}
+
+impl Expr {
+    /// Every simple [`ExprKind::Name`] mentioned in this expression tree,
+    /// pre-order, with duplicates.
+    pub fn collect_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ExprKind::Name(n) = &e.kind {
+                out.push(n.clone());
+            }
+        });
+        out
+    }
+}
+
 /// Walk every expression in a statement tree (pre-order), including
 /// sub-statements.
 pub fn walk_stmt_exprs(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
