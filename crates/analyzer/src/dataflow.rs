@@ -458,12 +458,24 @@ pub struct MethodFlow {
 impl MethodFlow {
     /// Lower and solve one method. `None` for bodyless methods.
     pub fn build(method: &jepo_jlang::MethodDecl) -> Option<MethodFlow> {
+        let reg = jepo_trace::Registry::global();
+        let timed = reg.is_enabled();
+        let t0 = timed.then(std::time::Instant::now);
         let cfg = Cfg::build(method)?;
+        if let Some(t0) = t0 {
+            reg.histogram("analyzer.phase.cfg_ns", &jepo_trace::TIME_NS_BUCKETS)
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        let t0 = timed.then(std::time::Instant::now);
         let mut vars = VarTable::default();
         let live = Liveness::build(&cfg, &mut vars);
         let live_sol = solve(&cfg, &live);
         let reach = ReachingDefs::build(&cfg, &mut vars);
         let reach_sol = solve(&cfg, &reach);
+        if let Some(t0) = t0 {
+            reg.histogram("analyzer.phase.dataflow_ns", &jepo_trace::TIME_NS_BUCKETS)
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
         let mut locals: HashSet<String> = method.params.iter().map(|p| p.name.clone()).collect();
         for node in &cfg.nodes {
             locals.extend(node.decls.iter().cloned());

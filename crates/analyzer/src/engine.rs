@@ -101,23 +101,58 @@ impl Analyzer {
     }
 
     /// Analyze one parsed unit.
+    ///
+    /// When tracing is live this opens a `file/<name>` track (so per-file
+    /// spans stay deterministic regardless of which pool worker picks the
+    /// file up) and records per-phase wall time in the metrics registry.
     pub fn analyze_unit(&self, file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
-        let flow = match self.mode {
-            AnalysisMode::Syntactic => None,
-            AnalysisMode::FlowSensitive => Some(UnitFlow::build(unit)),
+        let _track = jepo_trace::would_trace().then(|| jepo_trace::track(&format!("file/{file}")));
+        let reg = jepo_trace::Registry::global();
+        let timed = reg.is_enabled();
+        let flow = {
+            let _s = jepo_trace::span("analyze/flow");
+            let t0 = timed.then(std::time::Instant::now);
+            let flow = match self.mode {
+                AnalysisMode::Syntactic => None,
+                AnalysisMode::FlowSensitive => Some(UnitFlow::build(unit)),
+            };
+            if let Some(t0) = t0 {
+                reg.histogram("analyzer.phase.flow_ns", &jepo_trace::TIME_NS_BUCKETS)
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+            flow
         };
         let ctx = RuleCtx {
             file,
             unit,
             flow: flow.as_ref(),
         };
-        let mut out: Vec<Suggestion> = self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
+        let mut out: Vec<Suggestion> = {
+            let _s = jepo_trace::span("analyze/rules");
+            let t0 = timed.then(std::time::Instant::now);
+            let out: Vec<Suggestion> = self.rules.iter().flat_map(|r| r.check(&ctx)).collect();
+            if let Some(t0) = t0 {
+                reg.histogram("analyzer.phase.rules_ns", &jepo_trace::TIME_NS_BUCKETS)
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+            out
+        };
         out.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
         });
         out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.component == b.component);
         if let Some(f) = &flow {
+            let _s = jepo_trace::span("analyze/impact");
+            let t0 = timed.then(std::time::Instant::now);
             crate::impact::annotate(&mut out, f);
+            if let Some(t0) = t0 {
+                reg.histogram("analyzer.phase.impact_ns", &jepo_trace::TIME_NS_BUCKETS)
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        if timed {
+            reg.counter("analyzer.units").incr();
+            reg.counter("analyzer.suggestions").add(out.len() as u64);
         }
         out
     }
@@ -146,7 +181,17 @@ impl Analyzer {
 
 /// Convenience: parse and analyze one source string.
 pub fn analyze_source(file: &str, src: &str) -> Result<Vec<Suggestion>, ParseError> {
-    let unit = jepo_jlang::parse_unit(src)?;
+    let unit = {
+        let _s = jepo_trace::span("analyze/parse");
+        let reg = jepo_trace::Registry::global();
+        let t0 = reg.is_enabled().then(std::time::Instant::now);
+        let unit = jepo_jlang::parse_unit(src)?;
+        if let Some(t0) = t0 {
+            reg.histogram("analyzer.phase.parse_ns", &jepo_trace::TIME_NS_BUCKETS)
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        unit
+    };
     Ok(Analyzer::new().analyze_unit(file, &unit))
 }
 

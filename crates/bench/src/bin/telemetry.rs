@@ -1,0 +1,344 @@
+//! Telemetry self-measurement — how much does `jepo-trace` cost?
+//!
+//! An observability layer inside an *energy measurement* harness must
+//! itself be close to free, or it perturbs the quantity being measured.
+//! This bench pins that down in two regimes:
+//!
+//! * **Kernel micro legs** — a fixed arithmetic workload run three ways:
+//!   with no instrumentation site at all (`no_site`), with a span site
+//!   while tracing is disabled (`disabled_site` — the thread-local read
+//!   and branch every shipped call site pays), and with tracing enabled
+//!   and recording (`enabled_site`). Reps of the three legs are
+//!   *interleaved* so frequency drift hits all legs equally; medians are
+//!   reported. The selfcheck gate requires the disabled-site overhead to
+//!   be statistically indistinguishable from zero: within
+//!   `max(2%, 3 × measured noise)` of the uninstrumented leg.
+//! * **Table IV off/on** — the real experiment harness run with
+//!   telemetry fully off and fully on (global tracer + registry),
+//!   reporting wall-clock overhead. The traced `--jobs` ∈ {1, 2, 4}
+//!   runs are exported, structurally validated (balanced spans, monotone
+//!   timestamps, nonnegative energy), and their *masked* content is
+//!   required to be bit-identical across job counts.
+//!
+//! Results land in `BENCH_telemetry.json`. With `--selfcheck` the
+//! process exits nonzero when any gate fails (CI's telemetry smoke).
+//!
+//! Usage: `telemetry [outer_iters] [work_per_iter] [--reps R]
+//!         [--instances N] [--folds K] [--selfcheck]`
+//! (defaults 200,000 / 200 / 7 reps / 400 instances / 2 folds).
+
+use jepo_core::WekaExperiment;
+use jepo_trace::{Registry, Tracer};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Fixed arithmetic unit (splitmix64 steps, xor-folded): the "real
+/// work" an instrumentation site sits next to.
+#[inline]
+fn workload(steps: u64, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..steps {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= z ^ (z >> 31);
+    }
+    x
+}
+
+/// ns per outer iteration for the uninstrumented loop.
+fn leg_no_site(outer: u64, work: u64) -> f64 {
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..outer {
+        acc ^= workload(work, i);
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / outer as f64
+}
+
+/// Same loop with a span site per iteration, tracing disabled — every
+/// site costs one thread-local read + branch.
+fn leg_disabled_site(outer: u64, work: u64) -> f64 {
+    assert!(!Tracer::global().is_enabled(), "leg requires tracing off");
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..outer {
+        let _s = jepo_trace::span("bench/unit");
+        acc ^= workload(work, i);
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / outer as f64
+}
+
+/// Same loop recording into an instance tracer (the enabled price:
+/// two lock acquisitions and two events per span).
+fn leg_enabled_site(tracer: &Tracer, outer: u64, work: u64) -> f64 {
+    tracer.clear();
+    let _track = tracer.track("bench");
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..outer {
+        let _s = jepo_trace::span("bench/unit");
+        acc ^= workload(work, i);
+    }
+    black_box(acc);
+    let ns = t.elapsed().as_nanos() as f64 / outer as f64;
+    assert_eq!(
+        tracer.data().span_count(),
+        outer as usize,
+        "enabled leg must have recorded every span"
+    );
+    ns
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+struct MicroResult {
+    no_site_ns: f64,
+    disabled_ns: f64,
+    enabled_ns: f64,
+    noise_pct: f64,
+    overhead_disabled_pct: f64,
+    overhead_enabled_pct: f64,
+}
+
+/// Run the three micro legs `reps` times, interleaved; report medians
+/// and the no-site leg's rep-to-rep spread as the noise floor.
+fn micro(outer: u64, work: u64, reps: usize) -> MicroResult {
+    let tracer = Tracer::new();
+    tracer.enable();
+    // One warmup round outside the books.
+    leg_no_site(outer / 4 + 1, work);
+    leg_disabled_site(outer / 4 + 1, work);
+    leg_enabled_site(&tracer, outer / 4 + 1, work);
+    let (mut no, mut dis, mut en) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps {
+        no.push(leg_no_site(outer, work));
+        dis.push(leg_disabled_site(outer, work));
+        en.push(leg_enabled_site(&tracer, outer, work));
+    }
+    let no_min = no.iter().cloned().fold(f64::INFINITY, f64::min);
+    let no_max = no.iter().cloned().fold(0.0f64, f64::max);
+    let no_site_ns = median(&mut no);
+    let disabled_ns = median(&mut dis);
+    let enabled_ns = median(&mut en);
+    MicroResult {
+        no_site_ns,
+        disabled_ns,
+        enabled_ns,
+        noise_pct: 100.0 * (no_max - no_min) / (2.0 * no_site_ns),
+        overhead_disabled_pct: 100.0 * (disabled_ns - no_site_ns) / no_site_ns,
+        overhead_enabled_pct: 100.0 * (enabled_ns - no_site_ns) / no_site_ns,
+    }
+}
+
+struct Table4Result {
+    off_secs: f64,
+    on_secs: f64,
+    overhead_pct: f64,
+    stats: jepo_trace::validate::TraceStats,
+    metric_lines: usize,
+    deterministic: bool,
+    trace_errors: Vec<String>,
+}
+
+/// Off/on Table IV legs plus the cross-jobs determinism check.
+fn table4_legs(instances: usize, folds: usize) -> Table4Result {
+    let exp = WekaExperiment {
+        instances,
+        folds,
+        ..Default::default()
+    };
+    let tracer = Tracer::global();
+    let registry = Registry::global();
+    assert!(!tracer.is_enabled() && !registry.is_enabled());
+
+    // Off leg (telemetry fully disabled, the shipped default).
+    let t = Instant::now();
+    let off_rows = exp.run_all_jobs(4);
+    let off_secs = t.elapsed().as_secs_f64();
+
+    // On legs: jobs ∈ {1, 2, 4}, each exported and validated; the
+    // jobs=4 leg is the timed one (matches the off leg).
+    tracer.enable();
+    registry.enable();
+    let mut masked: Vec<String> = Vec::new();
+    let mut trace_errors = Vec::new();
+    let mut on_secs = 0.0;
+    let mut stats = jepo_trace::validate::TraceStats::default();
+    for jobs in [1usize, 2, 4] {
+        tracer.clear();
+        let t = Instant::now();
+        let rows = exp.run_all_jobs(jobs);
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(rows.len(), off_rows.len(), "jobs={jobs} row count");
+        let json = tracer.export_chrome(false);
+        match jepo_trace::validate::validate_chrome(&json) {
+            Ok(s) => {
+                if jobs == 4 {
+                    on_secs = secs;
+                    stats = s;
+                }
+            }
+            Err(e) => trace_errors.push(format!("jobs={jobs}: {e}")),
+        }
+        masked.push(jepo_trace::validate::masked_content(&json));
+    }
+    let metric_lines = registry.jsonl().lines().count();
+    tracer.disable();
+    registry.disable();
+    tracer.clear();
+    registry.clear();
+    Table4Result {
+        off_secs,
+        on_secs,
+        overhead_pct: 100.0 * (on_secs - off_secs) / off_secs.max(1e-12),
+        stats,
+        metric_lines,
+        deterministic: masked.windows(2).all(|w| w[0] == w[1]),
+        trace_errors,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
+    let flag_positions: Vec<usize> = ["--reps", "--instances", "--folds"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f))
+        .flat_map(|i| [i, i + 1])
+        .chain(args.iter().position(|a| a == "--selfcheck"))
+        .collect();
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !flag_positions.contains(i))
+        .map(|(_, a)| a)
+        .collect();
+    let outer: u64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let work: u64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let reps = flag("--reps").unwrap_or(7).max(1);
+    let instances = flag("--instances").unwrap_or(400);
+    let folds = flag("--folds").unwrap_or(2);
+
+    eprintln!(
+        "telemetry bench: {outer} sites × {work} splitmix steps × {reps} reps; \
+         Table IV at {instances} instances / {folds} folds…"
+    );
+
+    let m = micro(outer, work, reps);
+    println!(
+        "micro: no_site {:.2} ns, disabled_site {:.2} ns ({:+.3}%), \
+         enabled_site {:.2} ns ({:+.1}%), noise ±{:.3}%",
+        m.no_site_ns,
+        m.disabled_ns,
+        m.overhead_disabled_pct,
+        m.enabled_ns,
+        m.overhead_enabled_pct,
+        m.noise_pct
+    );
+
+    let t4 = table4_legs(instances, folds);
+    println!(
+        "table4: off {:.3} s, on {:.3} s ({:+.1}%); trace {} events / {} spans / \
+         {} tracks, {:.3} J attributed; {} metric lines; deterministic: {}",
+        t4.off_secs,
+        t4.on_secs,
+        t4.overhead_pct,
+        t4.stats.events,
+        t4.stats.spans,
+        t4.stats.tracks,
+        t4.stats.total_package_j,
+        t4.metric_lines,
+        t4.deterministic
+    );
+    for e in &t4.trace_errors {
+        eprintln!("trace validation failed: {e}");
+    }
+
+    // Selfcheck gates.
+    let disabled_gate = f64::max(2.0, 3.0 * m.noise_pct);
+    let disabled_ok = m.overhead_disabled_pct <= disabled_gate;
+    let traces_ok = t4.trace_errors.is_empty() && t4.stats.spans > 0;
+    let failures: Vec<&str> = [
+        (!disabled_ok).then_some("disabled-site overhead above the noise gate"),
+        (!traces_ok).then_some("Chrome trace failed structural validation"),
+        (!t4.deterministic).then_some("masked trace content differs across --jobs"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \
+         \"outer_iters\": {outer},\n  \"work_per_iter\": {work},\n  \"reps\": {reps},\n  \
+         \"micro\": {{\n    \
+         \"no_site_ns\": {:.3},\n    \"disabled_site_ns\": {:.3},\n    \
+         \"enabled_site_ns\": {:.3},\n    \"noise_pct\": {:.3},\n    \
+         \"overhead_disabled_pct\": {:.3},\n    \"overhead_enabled_pct\": {:.3},\n    \
+         \"disabled_gate_pct\": {:.3}\n  }},\n  \
+         \"table4\": {{\n    \
+         \"instances\": {instances},\n    \"folds\": {folds},\n    \
+         \"off_secs\": {:.4},\n    \"on_secs\": {:.4},\n    \
+         \"overhead_pct\": {:.2},\n    \"trace_events\": {},\n    \
+         \"trace_spans\": {},\n    \"trace_tracks\": {},\n    \
+         \"trace_package_j\": {:.6},\n    \"metric_lines\": {},\n    \
+         \"deterministic_across_jobs\": {}\n  }},\n  \
+         \"selfcheck\": {{\n    \"enforced\": {selfcheck},\n    \"passed\": {},\n    \
+         \"failures\": [{}]\n  }}\n}}\n",
+        m.no_site_ns,
+        m.disabled_ns,
+        m.enabled_ns,
+        m.noise_pct,
+        m.overhead_disabled_pct,
+        m.overhead_enabled_pct,
+        disabled_gate,
+        t4.off_secs,
+        t4.on_secs,
+        t4.overhead_pct,
+        t4.stats.events,
+        t4.stats.spans,
+        t4.stats.tracks,
+        t4.stats.total_package_j,
+        t4.metric_lines,
+        t4.deterministic,
+        failures.is_empty(),
+        failures
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let path = "BENCH_telemetry.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path}."),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if selfcheck && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("selfcheck FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    if selfcheck {
+        println!("selfcheck passed.");
+    }
+}

@@ -16,6 +16,11 @@
 //!                                   0 = one per core; output is
 //!                                   identical for every N)
 //! ```
+//!
+//! Every subcommand also accepts the global telemetry flags
+//! `--trace <out.json>` (Chrome trace-event export of the run) and
+//! `--metrics <out.jsonl>` (metrics-registry dump, one JSON object per
+//! line).
 
 use jepo_core::{corpus, JepoOptimizer, JepoProfiler, WekaExperiment};
 use jepo_jlang::JavaProject;
@@ -31,9 +36,44 @@ fn usage() -> ExitCode {
          jepo profile  <dir|file> [--main <Class>]\n  \
          jepo metrics  <dir> <Class> [<Class>...]\n  \
          jepo table4   [instances] [folds] [--jobs <N>]\n  \
-         jepo demo     (run the bundled mini-WEKA end to end)"
+         jepo demo     (run the bundled mini-WEKA end to end)\n\n\
+         telemetry (any subcommand):\n  \
+         --trace <out.json>     write a Chrome trace-event file of the run\n  \
+                                (load in about:tracing or ui.perfetto.dev)\n  \
+         --metrics <out.jsonl>  write the metrics registry as JSON lines"
     );
     ExitCode::from(2)
+}
+
+/// Pop `flag <value>` out of `args` (any position). `Err` = flag present
+/// but missing its value.
+fn extract_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<PathBuf>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    args.remove(i);
+    Ok(Some(PathBuf::from(args.remove(i))))
+}
+
+/// Export the run's telemetry after a successful subcommand.
+fn write_telemetry(trace: Option<&Path>, metrics: Option<&Path>) -> Result<(), String> {
+    if let Some(p) = trace {
+        let json = jepo_trace::Tracer::global().export_chrome(false);
+        std::fs::write(p, &json).map_err(|e| format!("{}: {e}", p.display()))?;
+        eprintln!(
+            "wrote Chrome trace to {} (load in about:tracing / ui.perfetto.dev)",
+            p.display()
+        );
+    }
+    if let Some(p) = metrics {
+        let jsonl = jepo_trace::Registry::global().jsonl();
+        std::fs::write(p, &jsonl).map_err(|e| format!("{}: {e}", p.display()))?;
+        eprintln!("wrote metrics to {}", p.display());
+    }
+    Ok(())
 }
 
 /// Collect `.java` files under a path (file or directory, recursive).
@@ -200,7 +240,20 @@ fn cmd_demo() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Telemetry flags are global: strip them before positional parsing.
+    let Ok(trace_out) = extract_flag_value(&mut args, "--trace") else {
+        return usage();
+    };
+    let Ok(metrics_out) = extract_flag_value(&mut args, "--metrics") else {
+        return usage();
+    };
+    if trace_out.is_some() {
+        jepo_trace::Tracer::global().enable();
+    }
+    if metrics_out.is_some() {
+        jepo_trace::Registry::global().enable();
+    }
     let Some(cmd) = args.first() else {
         return usage();
     };
@@ -259,7 +312,7 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(),
         _ => return usage(),
     };
-    match result {
+    match result.and_then(|()| write_telemetry(trace_out.as_deref(), metrics_out.as_deref())) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -135,6 +135,111 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn table4_writes_valid_trace_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("jepo-cli-telemetry-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t4.json");
+    let metrics = dir.join("t4.jsonl");
+    let out = jepo()
+        .args([
+            "table4",
+            "200",
+            "2",
+            "--jobs",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The trace must pass the structural gate: balanced spans, monotone
+    // timestamps, nonnegative energy.
+    let json = fs::read_to_string(&trace).unwrap();
+    let stats = jepo_trace::validate::validate_chrome(&json).expect("valid Chrome trace");
+    assert!(stats.spans >= 10 * 3, "a span triple per Table IV row");
+    assert!(json.contains("row/Naive Bayes"), "per-row track present");
+    assert!(json.contains("table4/dataset"));
+    // The metrics dump carries the pool's per-worker accounting.
+    let m = fs::read_to_string(&metrics).unwrap();
+    assert!(m.contains("\"metric\":\"pool.items\""), "{m}");
+    assert!(m.contains("\"metric\":\"pool.worker.busy_ns\""), "{m}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_content_is_identical_for_any_job_count() {
+    let dir = std::env::temp_dir().join(format!("jepo-cli-tracedet-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str, name: &str| -> String {
+        let path = dir.join(name);
+        let out = jepo()
+            .args([
+                "table4",
+                "120",
+                "2",
+                "--jobs",
+                jobs,
+                "--trace",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        jepo_trace::validate::masked_content(&fs::read_to_string(&path).unwrap())
+    };
+    let j1 = run("1", "j1.json");
+    let j2 = run("2", "j2.json");
+    let j4 = run("4", "j4.json");
+    assert_eq!(j1, j2, "span content must not depend on --jobs");
+    assert_eq!(j1, j4);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_trace_carries_vm_spans_with_energy() {
+    let dir = temp_project("trace-profile");
+    let trace = dir.join("profile-trace.json");
+    let out = jepo()
+        .args([
+            "profile",
+            dir.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = fs::read_to_string(&trace).unwrap();
+    let stats = jepo_trace::validate::validate_chrome(&json).expect("valid Chrome trace");
+    assert!(json.contains("profile/run"), "{json}");
+    assert!(json.contains("vm/main"), "{json}");
+    // The VM binds a RAPL probe, so the run's spans carry energy.
+    assert!(stats.total_package_j > 0.0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_flag_without_value_is_a_usage_error() {
+    let out = jepo().args(["table4", "--trace"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn optimized_profile_costs_less_on_disk_roundtrip() {
     // Full CLI loop: profile → optimize --write → profile again.
     let dir = temp_project("roundtrip");

@@ -172,11 +172,25 @@ impl WekaExperiment {
 
     /// [`WekaExperiment::run_classifier`] with fold-level parallelism.
     pub fn run_classifier_jobs(&self, name: &str, data: &Dataset, jobs: usize) -> ClassifierResult {
+        // One trace track per Table IV row: span content is keyed to the
+        // classifier, not to whichever pool worker ran it, so traces are
+        // bit-identical (timestamps aside) for any `--jobs`.
+        let _track = jepo_trace::would_trace().then(|| jepo_trace::track(&format!("row/{name}")));
         // Deterministic single measurements; the Tukey protocol layers
         // seeded RAPL-style noise on top and converges back to them, as
         // the paper's 10-run loop does on the real laptop.
-        let (base_m, base_acc) = self.measure_jobs(name, EfficiencyProfile::baseline(), data, jobs);
-        let (opt_m, opt_acc) = self.measure_jobs(name, EfficiencyProfile::optimized(), data, jobs);
+        let (base_m, base_acc) = {
+            let mut s = jepo_trace::span("measure/baseline");
+            let r = self.measure_jobs(name, EfficiencyProfile::baseline(), data, jobs);
+            s.add_joules(r.0.package_j);
+            r
+        };
+        let (opt_m, opt_acc) = {
+            let mut s = jepo_trace::span("measure/optimized");
+            let r = self.measure_jobs(name, EfficiencyProfile::optimized(), data, jobs);
+            s.add_joules(r.0.package_j);
+            r
+        };
         // Each classifier draws its noise from a stream derived from
         // (protocol seed, classifier): streams are fixed by that pair
         // alone, so rows can run on any worker in any order without
@@ -185,11 +199,19 @@ impl WekaExperiment {
         // paper's back-to-back runs on one idle laptop do — so the
         // difference isolates the edits.
         let noise_seed = derived_seed(self.protocol.seed, name);
-        let base = self.protocol.run_with_seed(noise_seed, || base_m);
-        let opt = self.protocol.run_with_seed(noise_seed, || opt_m);
+        let (base, opt) = {
+            let _s = jepo_trace::span("protocol");
+            let base = self.protocol.run_with_seed(noise_seed, || base_m);
+            let opt = self.protocol.run_with_seed(noise_seed, || opt_m);
+            (base, opt)
+        };
+        let changes = {
+            let _s = jepo_trace::span("changes");
+            Self::change_count(name).expect("known classifier")
+        };
         ClassifierResult {
             name: name.to_string(),
-            changes: Self::change_count(name).expect("known classifier"),
+            changes,
             package_improvement_pct: Measurement::improvement_pct(
                 base.mean.package_j,
                 opt.mean.package_j,
@@ -228,9 +250,16 @@ impl WekaExperiment {
     /// use [`WekaExperiment::run_classifier_jobs`] directly for
     /// fold-level fan-out of a single classifier).
     pub fn run_all_jobs(&self, jobs: usize) -> Vec<ClassifierResult> {
-        let data = self.dataset();
+        let _track = jepo_trace::would_trace().then(|| jepo_trace::track("table4"));
+        let data = {
+            let _s = jepo_trace::span("table4/dataset");
+            self.dataset()
+        };
         // Warm the shared corpus before workers would race to init it.
-        let _ = corpus::shared_corpus();
+        {
+            let _s = jepo_trace::span("table4/corpus");
+            let _ = corpus::shared_corpus();
+        }
         let names = jepo_ml::classifiers::CLASSIFIER_NAMES;
         jepo_pool::parallel_map(&names, jobs, |_, name| self.run_classifier(name, &data))
     }

@@ -69,33 +69,48 @@ impl JepoProfiler {
 
     /// Profile a project end to end.
     pub fn profile(&self, project: &JavaProject) -> Result<ProfileReport, VmError> {
+        let _track = jepo_trace::would_trace().then(|| jepo_trace::track("profile"));
         // Main-class discovery per §VII.
-        let main_class = match project.discover_main_class() {
-            MainClassChoice::Unique(name) => name,
-            MainClassChoice::None => {
-                return Err(VmError::NoMain("project has no main class".into()))
+        let main_class = {
+            let _s = jepo_trace::span("profile/discover");
+            match project.discover_main_class() {
+                MainClassChoice::Unique(name) => name,
+                MainClassChoice::None => {
+                    return Err(VmError::NoMain("project has no main class".into()))
+                }
+                MainClassChoice::Ambiguous(candidates) => match &self.chosen_main {
+                    Some(choice) if candidates.contains(choice) => choice.clone(),
+                    Some(choice) => {
+                        return Err(VmError::NoMain(format!(
+                            "chosen main `{choice}` not among candidates {candidates:?}"
+                        )))
+                    }
+                    None => {
+                        return Err(VmError::NoMain(format!(
+                            "several main classes, a choice is required: {candidates:?}"
+                        )))
+                    }
+                },
             }
-            MainClassChoice::Ambiguous(candidates) => match &self.chosen_main {
-                Some(choice) if candidates.contains(choice) => choice.clone(),
-                Some(choice) => {
-                    return Err(VmError::NoMain(format!(
-                        "chosen main `{choice}` not among candidates {candidates:?}"
-                    )))
-                }
-                None => {
-                    return Err(VmError::NoMain(format!(
-                        "several main classes, a choice is required: {candidates:?}"
-                    )))
-                }
-            },
         };
-        let mut vm = Vm::from_project(project)?
-            .with_device(self.device.clone())
-            .with_fuel(self.fuel);
-        let probes = vm.instrument();
-        let out = vm.run_main()?;
-        let records = Vm::aggregate_profile(&out.profile);
-        let result_txt = views::result_txt(&records);
+        let (mut vm, probes) = {
+            let _s = jepo_trace::span("profile/compile");
+            let mut vm = Vm::from_project(project)?
+                .with_device(self.device.clone())
+                .with_fuel(self.fuel);
+            let probes = vm.instrument();
+            (vm, probes)
+        };
+        let out = {
+            let _s = jepo_trace::span("profile/run");
+            vm.run_main()?
+        };
+        let (records, result_txt) = {
+            let _s = jepo_trace::span("profile/report");
+            let records = Vm::aggregate_profile(&out.profile);
+            let result_txt = views::result_txt(&records);
+            (records, result_txt)
+        };
         Ok(ProfileReport {
             main_class,
             probes_injected: probes,

@@ -211,6 +211,17 @@ impl<'p> Interp<'p> {
     /// Finish a run: flush energy and build the outcome.
     pub fn finish(mut self, ret: Option<Value>) -> RunOutcome {
         self.flush();
+        let reg = jepo_trace::Registry::global();
+        if reg.is_enabled() {
+            reg.counter("jvm.runs").incr();
+            reg.counter("jvm.ops_executed").add(self.ops_executed);
+            reg.counter("jvm.cache_hits").add(self.cache.hits());
+            reg.counter("jvm.cache_misses").add(self.cache.misses());
+            reg.counter("jvm.profile_events")
+                .add(self.profile_out.len() as u64);
+            reg.histogram("jvm.heap_objects", &jepo_trace::COUNT_BUCKETS)
+                .observe(self.heap.len() as u64);
+        }
         RunOutcome {
             stdout: std::mem::take(&mut self.stdout),
             ret,

@@ -100,17 +100,38 @@ impl Vm {
         self.sim.clone()
     }
 
+    /// When a `jepo-trace` track is open on this thread, bind a
+    /// wrap-aware package probe over this VM's device so spans opened
+    /// during the run carry real energy deltas. `None` (and zero cost
+    /// beyond one thread-local read) when tracing is off.
+    fn bind_trace_probe(&self) -> Option<jepo_trace::ProbeGuard> {
+        if !jepo_trace::active() {
+            return None;
+        }
+        jepo_rapl::probe::package_probe(&self.sim)
+            .ok()
+            .map(|p| jepo_trace::bind_probe(Arc::new(p)))
+    }
+
     /// Run `main`, returning the outcome.
     pub fn run_main(&mut self) -> Result<RunOutcome, VmError> {
         let main = self
             .program
             .main
             .ok_or_else(|| VmError::NoMain("no `public static void main` found".into()))?;
+        let _probe = self.bind_trace_probe();
+        let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
         interp.set_fuel(self.fuel);
-        interp.run_clinits()?;
+        {
+            let _s = jepo_trace::span("vm/clinit");
+            interp.run_clinits()?;
+        }
         // main(String[] args): pass a null array (argv unused in corpus).
-        let ret = interp.run_method(main, vec![Value::Null])?;
+        let ret = {
+            let _s = jepo_trace::span("vm/main");
+            interp.run_method(main, vec![Value::Null])?
+        };
         Ok(interp.finish(ret))
     }
 
@@ -129,10 +150,18 @@ impl Vm {
             .program
             .resolve_method(cid, method, args.len() as u8)
             .ok_or_else(|| VmError::NoMain(format!("no method `{class}.{method}`")))?;
+        let _probe = self.bind_trace_probe();
+        let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
         interp.set_fuel(self.fuel);
-        interp.run_clinits()?;
-        let ret = interp.run_method(mid, args)?;
+        {
+            let _s = jepo_trace::span("vm/clinit");
+            interp.run_clinits()?;
+        }
+        let ret = {
+            let _s = jepo_trace::span("vm/main");
+            interp.run_method(mid, args)?
+        };
         Ok(interp.finish(ret))
     }
 

@@ -15,15 +15,68 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// Resolve a requested job count: `0` means "one per available core".
+/// Resolve a requested job count: `0` means "use the `JEPO_JOBS`
+/// environment variable if set, else one per available core". An
+/// explicit request (CLI `--jobs`, API argument) always wins over the
+/// environment.
 pub fn effective_jobs(requested: usize) -> usize {
+    effective_jobs_with(requested, std::env::var("JEPO_JOBS").ok().as_deref())
+}
+
+/// [`effective_jobs`] with the environment value passed explicitly
+/// (testable without touching process-global state).
+pub fn effective_jobs_with(requested: usize, env_jobs: Option<&str>) -> usize {
     if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        return requested;
+    }
+    if let Some(n) = env_jobs.and_then(|s| s.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Per-worker metric handles, resolved once per [`parallel_map`] call
+/// (never per item) and only while the global `jepo-trace` registry is
+/// collecting — the disabled-path cost of pool instrumentation is a
+/// single atomic load per map call.
+struct WorkerStats {
+    items: jepo_trace::Counter,
+    retries: jepo_trace::Counter,
+    worker_items: jepo_trace::Histogram,
+    busy_ns: jepo_trace::Histogram,
+    idle_ns: jepo_trace::Histogram,
+}
+
+impl WorkerStats {
+    /// `Some` while collecting; also counts the map invocation.
+    fn handles() -> Option<WorkerStats> {
+        let reg = jepo_trace::Registry::global();
+        if !reg.is_enabled() {
+            return None;
+        }
+        reg.counter("pool.runs").incr();
+        Some(WorkerStats {
+            items: reg.counter("pool.items"),
+            retries: reg.counter("pool.cursor_retries"),
+            worker_items: reg.histogram("pool.worker.items", &jepo_trace::COUNT_BUCKETS),
+            busy_ns: reg.histogram("pool.worker.busy_ns", &jepo_trace::TIME_NS_BUCKETS),
+            idle_ns: reg.histogram("pool.worker.idle_ns", &jepo_trace::TIME_NS_BUCKETS),
+        })
+    }
+
+    /// One observation per worker per map call.
+    fn record(&self, executed: u64, busy_ns: u64, idle_ns: u64, retries: u64) {
+        self.items.add(executed);
+        self.retries.add(retries);
+        self.worker_items.observe(executed);
+        self.busy_ns.observe(busy_ns);
+        self.idle_ns.observe(idle_ns);
     }
 }
 
@@ -44,20 +97,58 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let jobs = effective_jobs(jobs).min(items.len().max(1));
+    let stats = WorkerStats::handles();
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let t0 = stats.as_ref().map(|_| Instant::now());
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let (Some(s), Some(t0)) = (&stats, t0) {
+            s.record(items.len() as u64, t0.elapsed().as_nanos() as u64, 0, 0);
+        }
+        return out;
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let started = stats.as_ref().map(|_| Instant::now());
+                let mut executed = 0u64;
+                let mut busy_ns = 0u64;
+                let mut retries = 0u64;
+                loop {
+                    // Claim an item by CAS so contention is observable:
+                    // each failed exchange is one cursor retry.
+                    let mut cur = cursor.load(Ordering::Relaxed);
+                    let claimed = loop {
+                        if cur >= items.len() {
+                            break None;
+                        }
+                        match cursor.compare_exchange_weak(
+                            cur,
+                            cur + 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break Some(cur),
+                            Err(actual) => {
+                                retries += 1;
+                                cur = actual;
+                            }
+                        }
+                    };
+                    let Some(i) = claimed else { break };
+                    let t0 = started.map(|_| Instant::now());
+                    let r = f(i, &items[i]);
+                    if let Some(t0) = t0 {
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    executed += 1;
+                    *slots[i].lock().unwrap() = Some(r);
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                if let (Some(s), Some(started)) = (&stats, started) {
+                    let total_ns = started.elapsed().as_nanos() as u64;
+                    s.record(executed, busy_ns, total_ns.saturating_sub(busy_ns), retries);
+                }
             });
         }
     });
@@ -105,6 +196,62 @@ mod tests {
         assert!(effective_jobs(0) >= 1);
         let got = parallel_map(&[1, 2, 3], 0, |i, &x| (i, x));
         assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn explicit_request_beats_env_which_beats_autodetect() {
+        // CLI flag wins over JEPO_JOBS...
+        assert_eq!(effective_jobs_with(3, Some("8")), 3);
+        // ...JEPO_JOBS fills in for `0`...
+        assert_eq!(effective_jobs_with(0, Some("8")), 8);
+        assert_eq!(effective_jobs_with(0, Some(" 2 ")), 2);
+        // ...and malformed/zero env values fall through to autodetect.
+        let auto = effective_jobs_with(0, None);
+        assert!(auto >= 1);
+        assert_eq!(effective_jobs_with(0, Some("0")), auto);
+        assert_eq!(effective_jobs_with(0, Some("lots")), auto);
+    }
+
+    #[test]
+    fn jepo_jobs_env_var_is_honored() {
+        // The one test that touches the real environment.
+        std::env::set_var("JEPO_JOBS", "5");
+        assert_eq!(effective_jobs(0), 5);
+        assert_eq!(effective_jobs(2), 2, "explicit request still wins");
+        std::env::remove_var("JEPO_JOBS");
+    }
+
+    #[test]
+    fn worker_stats_flow_into_the_registry_when_enabled() {
+        let reg = jepo_trace::Registry::global();
+        let before = reg.counter("pool.items").value();
+        reg.enable();
+        let items: Vec<u64> = (0..40).collect();
+        let got = parallel_map(&items, 4, |_, &x| x * 2);
+        reg.disable();
+        assert_eq!(got[39], 78);
+        // Other tests may run maps concurrently, so assert growth, not
+        // exact deltas.
+        assert!(
+            reg.counter("pool.items").value() >= before + 40,
+            "items counted"
+        );
+        assert!(reg.counter("pool.runs").value() >= 1);
+        assert!(
+            reg.histogram("pool.worker.items", &jepo_trace::COUNT_BUCKETS)
+                .count()
+                >= 1
+        );
+        assert!(
+            reg.histogram("pool.worker.busy_ns", &jepo_trace::TIME_NS_BUCKETS)
+                .count()
+                >= 1
+        );
+        assert!(
+            reg.histogram("pool.worker.idle_ns", &jepo_trace::TIME_NS_BUCKETS)
+                .count()
+                >= 1
+        );
     }
 
     #[test]

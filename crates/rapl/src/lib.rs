@@ -55,6 +55,7 @@ pub mod meter;
 pub mod msr;
 pub mod perf;
 pub mod power;
+pub mod probe;
 pub mod sampler;
 pub mod sim;
 pub mod units;
@@ -67,6 +68,7 @@ pub use meter::{EnergyMeter, EnergyReading, Measurement, SimMeter};
 pub use msr::MsrDevice;
 pub use perf::EnergyStat;
 pub use power::DeviceProfile;
+pub use probe::CounterProbe;
 pub use sampler::{PowerSample, Sampler};
 pub use sim::SimulatedRapl;
 pub use units::RaplUnits;

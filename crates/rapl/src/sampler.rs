@@ -48,6 +48,10 @@ impl Sampler {
             let mut index = 0u64;
             while !stop2.load(Ordering::Relaxed) {
                 let reading = meter.read();
+                let reg = jepo_trace::Registry::global();
+                if reg.is_enabled() {
+                    reg.counter("rapl.samples").incr();
+                }
                 let package_watts = match prev {
                     Some(p) => {
                         let dt = reading.seconds - p.seconds;

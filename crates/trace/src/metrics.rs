@@ -1,0 +1,403 @@
+//! The metrics registry — counters, gauges, fixed-bucket histograms.
+//!
+//! Hot-path writes reuse the PR-2 striped-counter idea: a [`Counter`]
+//! holds a fixed array of cache-line-padded atomic lanes; each thread
+//! hashes to a lane once (thread-local) and all its `add`s hit that lane
+//! with a relaxed `fetch_add` — no locks, no cross-core ping-pong under
+//! the worker counts we run. Sums are exact u64 totals, so metric values
+//! are identical for any job count.
+//!
+//! The registry itself (name → handle) is a mutex-guarded map; sites
+//! look handles up at coarse boundaries (per run, per file, per worker)
+//! and never inside per-op loops.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bucket bounds (ns) for phase/latency histograms: 1 µs … 10 s.
+pub const TIME_NS_BUCKETS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Bucket bounds for item/size histograms: powers of four.
+pub const COUNT_BUCKETS: [u64; 8] = [1, 4, 16, 64, 256, 1024, 4096, 16384];
+
+const LANES: usize = 16;
+
+static NEXT_LANE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread writes one fixed lane (round-robin assignment), the
+    /// same discipline `OpCounter::assign_slot` uses in jepo-rapl.
+    static LANE: usize = NEXT_LANE.fetch_add(1, Ordering::Relaxed) % LANES;
+}
+
+/// One cache line per lane so concurrent writers don't false-share.
+#[repr(align(64))]
+struct Lane(AtomicU64);
+
+struct CounterCore {
+    lanes: [Lane; LANES],
+}
+
+/// A monotone counter with a striped lock-free hot path.
+#[derive(Clone)]
+pub struct Counter {
+    core: Arc<CounterCore>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            core: Arc::new(CounterCore {
+                lanes: std::array::from_fn(|_| Lane(AtomicU64::new(0))),
+            }),
+        }
+    }
+
+    /// Add `n` on this thread's lane.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let lane = LANE.with(|l| *l);
+        self.core.lanes[lane].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Exact total across all lanes.
+    pub fn value(&self) -> u64 {
+        self.core
+            .lanes
+            .iter()
+            .map(|l| l.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-write-wins f64 gauge (bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistCore {
+    /// Inclusive upper bounds, ascending; one overflow bucket past the end.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram (`observe` is two relaxed fetch_adds plus a
+/// branchless bucket search over ≤ a dozen bounds).
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        Histogram {
+            core: Arc::new(HistCore {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let i = self.core.bounds.partition_point(|&b| b < v);
+        self.core.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.core.total.fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    C(Counter),
+    G(Gauge),
+    H(Histogram),
+}
+
+/// A snapshot value for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram: total count, sum, per-bucket `(upper_bound, count)`,
+    /// overflow count.
+    Histogram {
+        count: u64,
+        sum: u64,
+        buckets: Vec<(u64, u64)>,
+        overflow: u64,
+    },
+}
+
+/// One named metric at snapshot time.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric name (`subsystem.metric` convention).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The named-metric registry (see module docs).
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<std::collections::BTreeMap<String, Handle>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, disabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// The process-wide registry instrumentation sites report to.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Start collecting (sites check this before recording).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop collecting.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether sites should record. One relaxed-ish atomic load — this
+    /// is the entire disabled-path cost of an instrumentation site.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::C(Counter::new()))
+        {
+            Handle::C(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::G(Gauge::new()))
+        {
+            Handle::G(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Get or create a histogram with the given bucket bounds (bounds
+    /// are fixed at first registration).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::H(Histogram::new(bounds)))
+        {
+            Handle::H(h) => h.clone(),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .map(|(name, h)| MetricSnapshot {
+                name: name.clone(),
+                value: match h {
+                    Handle::C(c) => MetricValue::Counter(c.value()),
+                    Handle::G(g) => MetricValue::Gauge(g.value()),
+                    Handle::H(h) => {
+                        let counts: Vec<u64> = h
+                            .core
+                            .counts
+                            .iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect();
+                        let buckets = h
+                            .core
+                            .bounds
+                            .iter()
+                            .zip(&counts)
+                            .map(|(&b, &c)| (b, c))
+                            .collect();
+                        MetricValue::Histogram {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets,
+                            overflow: *counts.last().unwrap_or(&0),
+                        }
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Drop every registered metric.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Snapshot rendered as JSONL (see [`crate::export::metrics_jsonl`]).
+    pub fn jsonl(&self) -> String {
+        crate::export::metrics_jsonl(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads_exactly() {
+        let reg = Registry::new();
+        let c = reg.counter("t.ops");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(reg.counter("t.ops").value(), 80_000, "same handle by name");
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let reg = Registry::new();
+        let g = reg.gauge("t.load");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.value(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.lat", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5122);
+        let snap = reg.snapshot();
+        let MetricValue::Histogram {
+            buckets, overflow, ..
+        } = &snap[0].value
+        else {
+            panic!("not a histogram")
+        };
+        // ≤10: {1,10}; ≤100: {11,100}; ≤1000: {}; overflow: {5000}.
+        assert_eq!(buckets, &[(10, 2), (100, 2), (1000, 0)]);
+        assert_eq!(*overflow, 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("z.last");
+        reg.counter("a.first");
+        reg.gauge("m.mid");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("t.x");
+        reg.gauge("t.x");
+    }
+
+    #[test]
+    fn enable_flag_round_trips() {
+        let reg = Registry::new();
+        assert!(!reg.is_enabled());
+        reg.enable();
+        assert!(reg.is_enabled());
+        reg.disable();
+        assert!(!reg.is_enabled());
+    }
+}

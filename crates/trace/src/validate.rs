@@ -1,0 +1,266 @@
+//! Structural validation of emitted Chrome traces — the `--selfcheck`
+//! gate for CI and the telemetry bench.
+//!
+//! The workspace has no JSON dependency (serde is a no-op shim), so the
+//! validator parses the exporter's own line-oriented format: one event
+//! object per line inside `traceEvents`. It checks exactly what the
+//! acceptance criteria name: balanced begin/end spans, monotone
+//! per-thread timestamps, and a nonnegative energy delta on every span.
+
+/// Summary statistics from a validated trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Begin/end event count (metadata excluded).
+    pub events: usize,
+    /// Completed span count.
+    pub spans: usize,
+    /// Distinct event tids (= tracks).
+    pub tracks: usize,
+    /// Sum of every span's energy delta.
+    pub total_package_j: f64,
+    /// Deepest nesting observed.
+    pub max_depth: usize,
+}
+
+/// Extract a string field (`"key":"value"`) from an event line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extract a numeric field (`"key":123.45`) from an event line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate a Chrome trace produced by [`crate::export::chrome_trace`].
+///
+/// Returns stats on success; a description of the first structural
+/// violation otherwise.
+pub fn validate_chrome(json: &str) -> Result<TraceStats, String> {
+    if !json.trim_start().starts_with("{\"traceEvents\":[") {
+        return Err("missing traceEvents envelope".to_string());
+    }
+    if !json.trim_end().ends_with("]}") {
+        return Err("unterminated traceEvents array".to_string());
+    }
+    // Per-tid open-span stacks and timestamp high-water marks.
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = Default::default();
+    let mut stats = TraceStats {
+        events: 0,
+        spans: 0,
+        tracks: 0,
+        total_package_j: 0.0,
+        max_depth: 0,
+    };
+    let mut tids = std::collections::BTreeSet::new();
+    for (lineno, line) in json.lines().enumerate() {
+        let Some(ph) = str_field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue;
+        }
+        if ph != "B" && ph != "E" {
+            return Err(format!("line {}: unexpected phase `{ph}`", lineno + 1));
+        }
+        let tid = num_field(line, "tid")
+            .ok_or_else(|| format!("line {}: event without tid", lineno + 1))?
+            as i64;
+        let ts = num_field(line, "ts")
+            .ok_or_else(|| format!("line {}: event without ts", lineno + 1))?;
+        let span_id = str_field(line, "span_id")
+            .ok_or_else(|| format!("line {}: event without span_id", lineno + 1))?
+            .to_string();
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "line {}: tid {tid} timestamp regressed ({ts} < {prev})",
+                    lineno + 1
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        tids.insert(tid);
+        stats.events += 1;
+        let stack = stacks.entry(tid).or_default();
+        if ph == "B" {
+            stack.push(span_id);
+            stats.max_depth = stats.max_depth.max(stack.len());
+        } else {
+            let energy = num_field(line, "package_j")
+                .ok_or_else(|| format!("line {}: end event without package_j", lineno + 1))?;
+            if energy < 0.0 {
+                return Err(format!(
+                    "line {}: negative span energy {energy}",
+                    lineno + 1
+                ));
+            }
+            match stack.pop() {
+                Some(open) if open == span_id => {}
+                Some(open) => {
+                    return Err(format!(
+                        "line {}: end of span {span_id} while {open} is open (unbalanced nesting)",
+                        lineno + 1
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "line {}: end of span {span_id} with no span open on tid {tid}",
+                        lineno + 1
+                    ));
+                }
+            }
+            stats.spans += 1;
+            stats.total_package_j += energy;
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never closed: {:?}",
+                stack.len(),
+                stack
+            ));
+        }
+    }
+    stats.tracks = tids.len();
+    Ok(stats)
+}
+
+/// Zero a numeric field's value in one event line.
+fn zero_num(line: &str, key: &str, replacement: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return line.to_string();
+    };
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    format!("{}{}{}", &line[..start], replacement, &rest[end..])
+}
+
+/// Strip the run-varying fields (`ts`, `package_j`) from an *unmasked*
+/// Chrome trace so two runs can be compared for span content alone.
+/// A trace exported with `mask_timing = true` is a fixed point.
+pub fn masked_content(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    for line in json.lines() {
+        if str_field(line, "ph").is_some() {
+            let line = zero_num(line, "ts", "0.000");
+            let line = zero_num(&line, "package_j", "0.000000000");
+            out.push_str(&line);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{span, Tracer};
+
+    fn sample_trace() -> String {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _g = t.track("work");
+            let mut a = span("outer");
+            a.add_joules(1.0);
+            {
+                let _b = span("inner");
+            }
+        }
+        {
+            let _g = t.track("other");
+            let _s = span("solo");
+        }
+        t.export_chrome(false)
+    }
+
+    #[test]
+    fn valid_trace_passes_with_stats() {
+        let stats = validate_chrome(&sample_trace()).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.tracks, 2);
+        assert_eq!(stats.max_depth, 2);
+        assert!((stats.total_package_j - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_trace_is_rejected() {
+        let json = sample_trace();
+        // Drop the last end event: some span never closes.
+        let mut lines: Vec<&str> = json.lines().collect();
+        let last_end = lines
+            .iter()
+            .rposition(|l| l.contains("\"ph\":\"E\""))
+            .unwrap();
+        lines.remove(last_end);
+        let broken = lines.join("\n");
+        let err = validate_chrome(&broken).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn timestamp_regression_is_rejected() {
+        let json = sample_trace();
+        // Force the final event's ts to 0 — regresses unless already 0.
+        let mut lines: Vec<String> = json.lines().map(String::from).collect();
+        let last_end = lines
+            .iter()
+            .rposition(|l| l.contains("\"ph\":\"E\""))
+            .unwrap();
+        lines[last_end] = zero_num(&lines[last_end], "ts", "-1.0");
+        let err = validate_chrome(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn negative_energy_is_rejected() {
+        let json = sample_trace();
+        let mut lines: Vec<String> = json.lines().map(String::from).collect();
+        let end = lines
+            .iter()
+            .position(|l| l.contains("\"ph\":\"E\""))
+            .unwrap();
+        lines[end] = zero_num(&lines[end], "package_j", "-0.5");
+        let err = validate_chrome(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(validate_chrome("not json").is_err());
+        assert!(validate_chrome("{\"traceEvents\":[").is_err());
+    }
+
+    #[test]
+    fn masking_agrees_with_the_exporters_masked_mode() {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _g = t.track("work");
+            let mut s = span("step");
+            s.add_joules(0.25);
+        }
+        let unmasked = t.export_chrome(false);
+        let masked = t.export_chrome(true);
+        assert_eq!(masked_content(&unmasked), masked_content(&masked));
+        assert_eq!(masked_content(&masked), masked);
+    }
+}

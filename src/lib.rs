@@ -16,6 +16,7 @@
 //! | [`analyzer`] (`jepo-analyzer`) | Table I rules, metrics, refactoring |
 //! | [`ml`] (`jepo-ml`) | WEKA substrate: ten classifiers, airlines data |
 //! | [`core`] (`jepo-core`) | JEPO itself + the paper's evaluation |
+//! | [`trace`] (`jepo-trace`) | energy-attributed spans, metrics, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -43,3 +44,4 @@ pub use jepo_jlang as jlang;
 pub use jepo_jvm as jvm;
 pub use jepo_ml as ml;
 pub use jepo_rapl as rapl;
+pub use jepo_trace as trace;

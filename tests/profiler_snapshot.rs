@@ -1,0 +1,33 @@
+//! Snapshot pin of the Fig. 4 profiler view, mirroring the optimizer
+//! view pin in `flow_analysis.rs`: the per-method energy table over the
+//! bundled runnable corpus is fully deterministic (virtual clock,
+//! simulated RAPL), so any drift in method ranking, energy accounting,
+//! or formatting shows up as a reviewable diff.
+//!
+//! Regenerate with
+//! `UPDATE_SNAPSHOTS=1 cargo test -p jepo --test profiler_snapshot`.
+
+use jepo::core::{corpus, JepoProfiler};
+
+#[test]
+fn profiler_view_matches_snapshot() {
+    let report = JepoProfiler::new()
+        .profile(&corpus::runnable_project())
+        .unwrap();
+    let view = report.view();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/snapshots/profiler_view.txt"
+    );
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(path, &view).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("snapshot missing — run with UPDATE_SNAPSHOTS=1 to create it");
+    assert_eq!(
+        view, expected,
+        "profiler view drifted from tests/snapshots/profiler_view.txt; \
+         if intentional, regenerate with UPDATE_SNAPSHOTS=1"
+    );
+}
