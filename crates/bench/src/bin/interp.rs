@@ -1,0 +1,229 @@
+//! Interpreter dispatch benchmark: legacy `Vec<Op>` clone-per-op loop
+//! vs the pre-decoded threaded engine (interned symbols, inline caches,
+//! pooled frames).
+//!
+//! Two legs:
+//!
+//! 1. **Microbench** — a dispatch-bound synthetic workload (virtual
+//!    calls through a polymorphic site, field traffic, string building,
+//!    tight integer arithmetic) run uninstrumented through both
+//!    engines. Reported as ops/sec; the acceptance bar is ≥ 2×.
+//! 2. **End-to-end** — the instrumented profiler pipeline over the
+//!    runnable WEKA corpus (mini-NaiveBayes, the workload behind every
+//!    profiler-view number), timed under both engines.
+//!
+//! `--selfcheck` additionally reruns both legs comparing every
+//! observable bit-for-bit (stdout, op counts, energy joule bits,
+//! `result.txt`) and fails the process on any divergence — the same
+//! contract the differential test suite enforces, wired into the
+//! benchmark artifact so a perf run can never silently report numbers
+//! from diverging engines.
+//!
+//! Usage: `interp [reps] [--selfcheck]` (default reps 200000).
+//! Emits `BENCH_interp.json`.
+
+use jepo_core::{corpus, JepoProfiler, ProfileReport};
+use jepo_jvm::interp::RunOutcome;
+use jepo_jvm::{Dispatch, Vm};
+use std::time::Instant;
+
+/// Dispatch-heavy microbench source: two receiver classes behind one
+/// call site (inline-cache traffic), a static helper, field reads and
+/// writes, and periodic string work.
+fn microbench_src(reps: usize) -> String {
+    format!(
+        "class Base {{
+            int v;
+            int step(int x) {{ return x + v; }}
+            int twice(int x) {{ return step(x) + step(x + 1); }}
+        }}
+        class Derived extends Base {{
+            int step(int x) {{ return x * 2 - v; }}
+            int twice(int x) {{ return step(x) + step(x + 3); }}
+        }}
+        class Main {{
+            static int helper(int a, int b) {{ return (a * 31 + b) % 1000003; }}
+            public static void main(String[] args) {{
+                Base a = new Base();
+                Base b = new Derived();
+                a.v = 3; b.v = 5;
+                int acc = 0;
+                for (int i = 0; i < {reps}; i++) {{
+                    acc = helper(a.twice(i), b.twice(acc));
+                    int t = a.step(i) + b.step(acc);
+                    t = a.step(t) + b.step(t);
+                    t = a.step(t) + b.step(t);
+                    t = a.step(t) + b.step(t);
+                    acc = (acc + t) % 1000003;
+                    a.v = acc % 17;
+                    b.v = acc % 13;
+                    if (\"k\".equals(\"k\")) {{ acc += 1; }}
+                }}
+                System.out.println(acc);
+            }}
+        }}"
+    )
+}
+
+/// Time one engine pass.
+fn micro_pass(src: &str, dispatch: Dispatch) -> (RunOutcome, f64) {
+    let mut vm = Vm::from_source(src)
+        .expect("microbench compiles")
+        .with_dispatch(dispatch);
+    let t = Instant::now();
+    let run = vm.run_main().expect("microbench runs");
+    (run, t.elapsed().as_secs_f64())
+}
+
+/// Run both engines in alternating rounds (so throttle/noise windows on
+/// a busy machine hit both equally) and keep each engine's best time.
+fn run_micro(src: &str) -> (RunOutcome, f64, RunOutcome, f64) {
+    let mut legacy_best = f64::INFINITY;
+    let mut decoded_best = f64::INFINITY;
+    let mut legacy_out = None;
+    let mut decoded_out = None;
+    for _ in 0..5 {
+        let (run, secs) = micro_pass(src, Dispatch::Legacy);
+        legacy_best = legacy_best.min(secs);
+        legacy_out = Some(run);
+        let (run, secs) = micro_pass(src, Dispatch::Decoded);
+        decoded_best = decoded_best.min(secs);
+        decoded_out = Some(run);
+    }
+    (
+        legacy_out.unwrap(),
+        legacy_best,
+        decoded_out.unwrap(),
+        decoded_best,
+    )
+}
+
+fn run_profiler(dispatch: Dispatch) -> (ProfileReport, f64) {
+    let project = corpus::runnable_project();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..2 {
+        let profiler = JepoProfiler::new().with_dispatch(dispatch);
+        let t = Instant::now();
+        let report = profiler.profile(&project).expect("corpus profiles");
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(report);
+    }
+    (out.unwrap(), best)
+}
+
+/// Bitwise outcome comparison (`f64` by bits): the selfcheck gate.
+fn outcomes_identical(l: &RunOutcome, d: &RunOutcome) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if l.stdout != d.stdout {
+        diffs.push("stdout".into());
+    }
+    if l.ops_executed != d.ops_executed {
+        diffs.push(format!(
+            "ops_executed ({} vs {})",
+            l.ops_executed, d.ops_executed
+        ));
+    }
+    if l.cache_hits != d.cache_hits || l.cache_misses != d.cache_misses {
+        diffs.push("cache stats".into());
+    }
+    for (name, a, b) in [
+        ("package_j", l.energy.package_j, d.energy.package_j),
+        ("core_j", l.energy.core_j, d.energy.core_j),
+        ("seconds", l.energy.seconds, d.energy.seconds),
+    ] {
+        if a.to_bits() != b.to_bits() {
+            diffs.push(format!("energy.{name} ({a} vs {b})"));
+        }
+    }
+    diffs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
+    let reps: usize = args
+        .iter()
+        .find(|a| *a != "--selfcheck")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    let src = microbench_src(reps);
+    eprintln!("Microbench: {reps} iterations through both engines…");
+    let (legacy_out, legacy_secs, decoded_out, decoded_secs) = run_micro(&src);
+    assert_eq!(
+        legacy_out.stdout, decoded_out.stdout,
+        "microbench outputs diverged"
+    );
+    let ops = decoded_out.ops_executed;
+    let legacy_ops_sec = ops as f64 / legacy_secs.max(1e-9);
+    let decoded_ops_sec = ops as f64 / decoded_secs.max(1e-9);
+    let micro_speedup = decoded_ops_sec / legacy_ops_sec.max(1e-9);
+    let ic_total = decoded_out.ic_hits + decoded_out.ic_misses;
+    let ic_hit_rate = decoded_out.ic_hits as f64 / (ic_total.max(1)) as f64;
+    eprintln!(
+        "  legacy  {legacy_secs:.3}s ({legacy_ops_sec:.0} ops/s)\n  \
+         decoded {decoded_secs:.3}s ({decoded_ops_sec:.0} ops/s)  speedup {micro_speedup:.2}×  \
+         IC hit rate {:.2}%",
+        100.0 * ic_hit_rate
+    );
+
+    eprintln!("End-to-end: instrumented profiler over the runnable corpus…");
+    let (legacy_report, e2e_legacy_secs) = run_profiler(Dispatch::Legacy);
+    let (decoded_report, e2e_decoded_secs) = run_profiler(Dispatch::Decoded);
+    let e2e_speedup = e2e_legacy_secs / e2e_decoded_secs.max(1e-9);
+    eprintln!(
+        "  legacy {e2e_legacy_secs:.3}s, decoded {e2e_decoded_secs:.3}s  (speedup {e2e_speedup:.2}×)"
+    );
+
+    let mut selfcheck_status = "skipped";
+    if selfcheck {
+        eprintln!("Selfcheck: bit-exact comparison of both engines…");
+        let mut diffs = outcomes_identical(&legacy_out, &decoded_out);
+        if legacy_report.result_txt != decoded_report.result_txt {
+            diffs.push("profiler result.txt".into());
+        }
+        if legacy_report.stdout != decoded_report.stdout {
+            diffs.push("profiler stdout".into());
+        }
+        if legacy_report.energy.package_j.to_bits() != decoded_report.energy.package_j.to_bits() {
+            diffs.push("profiler energy".into());
+        }
+        if diffs.is_empty() {
+            selfcheck_status = "pass";
+            eprintln!("  ok — all observables identical");
+        } else {
+            eprintln!("ERROR: engines diverged in: {}", diffs.join(", "));
+            std::process::exit(1);
+        }
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no JSON dep).
+    let json = format!(
+        "{{\n  \"bench\": \"interp\",\n  \"reps\": {reps},\n  \
+         \"microbench\": {{\n    \"ops_executed\": {ops},\n    \
+         \"legacy_secs\": {legacy_secs:.6},\n    \"decoded_secs\": {decoded_secs:.6},\n    \
+         \"legacy_ops_per_sec\": {legacy_ops_sec:.0},\n    \
+         \"decoded_ops_per_sec\": {decoded_ops_sec:.0},\n    \
+         \"speedup\": {micro_speedup:.3},\n    \
+         \"ic_hits\": {},\n    \"ic_misses\": {},\n    \"ic_hit_rate\": {ic_hit_rate:.6}\n  }},\n  \
+         \"end_to_end\": {{\n    \
+         \"workload\": \"instrumented profiler, runnable WEKA corpus (NaiveBayes)\",\n    \
+         \"legacy_secs\": {e2e_legacy_secs:.6},\n    \"decoded_secs\": {e2e_decoded_secs:.6},\n    \
+         \"speedup\": {e2e_speedup:.3}\n  }},\n  \
+         \"selfcheck\": \"{selfcheck_status}\"\n}}\n",
+        decoded_out.ic_hits, decoded_out.ic_misses,
+    );
+    let path = "BENCH_interp.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("Wrote {path}"),
+        Err(e) => {
+            eprintln!("ERROR: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if micro_speedup < 2.0 {
+        eprintln!("WARNING: microbench speedup {micro_speedup:.2}× is below the 2× acceptance bar");
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::views;
 use jepo_jlang::{JavaProject, MainClassChoice};
-use jepo_jvm::{MethodEnergyRecord, Vm, VmError};
+use jepo_jvm::{Dispatch, MethodEnergyRecord, Vm, VmError};
 use jepo_rapl::DeviceProfile;
 
 /// Result of a profiling run.
@@ -43,6 +43,10 @@ pub struct JepoProfiler {
     pub chosen_main: Option<String>,
     /// Instruction budget for the run.
     pub fuel: u64,
+    /// Which interpreter engine runs the instrumented program (both are
+    /// bit-identical; `Legacy` exists for differential tests and as the
+    /// benchmark baseline).
+    pub dispatch: Dispatch,
 }
 
 impl Default for JepoProfiler {
@@ -58,12 +62,19 @@ impl JepoProfiler {
             device: DeviceProfile::laptop_i5_3317u(),
             chosen_main: None,
             fuel: 2_000_000_000,
+            dispatch: Dispatch::default(),
         }
     }
 
     /// Use a different device profile.
     pub fn with_device(mut self, device: DeviceProfile) -> JepoProfiler {
         self.device = device;
+        self
+    }
+
+    /// Select the interpreter engine for the instrumented run.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> JepoProfiler {
+        self.dispatch = dispatch;
         self
     }
 
@@ -97,7 +108,8 @@ impl JepoProfiler {
             let _s = jepo_trace::span("profile/compile");
             let mut vm = Vm::from_project(project)?
                 .with_device(self.device.clone())
-                .with_fuel(self.fuel);
+                .with_fuel(self.fuel)
+                .with_dispatch(self.dispatch);
             let probes = vm.instrument();
             (vm, probes)
         };

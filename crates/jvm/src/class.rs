@@ -33,7 +33,7 @@ pub struct Method {
 }
 
 /// A compiled class.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Class {
     /// Simple name.
     pub name: String,
@@ -41,11 +41,34 @@ pub struct Class {
     pub superclass: Option<ClassId>,
     /// Instance field slots: `(name, type)`, superclass fields first.
     pub fields: Vec<(String, Type)>,
-    /// Method table: `(name, arity)` → method id (own methods only;
-    /// lookup walks superclasses).
-    pub methods: HashMap<(String, u8), MethodId>,
+    /// Method table: name → overloads by arity (own methods only; lookup
+    /// walks superclasses). Keyed by name alone so runtime resolution
+    /// can probe with a borrowed `&str` — the old `(String, u8)` key
+    /// forced a `String` allocation on every virtual call site.
+    pub methods: HashMap<String, Vec<(u8, MethodId)>>,
     /// Constructor ids by arity.
     pub ctors: HashMap<u8, MethodId>,
+}
+
+impl Class {
+    /// Register an own method under `(name, arity)`.
+    pub fn add_method(&mut self, name: &str, arity: u8, mid: MethodId) {
+        match self.methods.get_mut(name) {
+            Some(overloads) => overloads.push((arity, mid)),
+            None => {
+                self.methods.insert(name.to_string(), vec![(arity, mid)]);
+            }
+        }
+    }
+
+    /// Own method by `(name, arity)` — no allocation, no hierarchy walk.
+    pub fn own_method(&self, name: &str, arity: u8) -> Option<MethodId> {
+        self.methods
+            .get(name)?
+            .iter()
+            .find(|(a, _)| *a == arity)
+            .map(|&(_, m)| m)
+    }
 }
 
 /// A static field (global slot).
@@ -70,15 +93,37 @@ pub struct Program {
     pub main: Option<MethodId>,
     /// Method ids of `<clinit>` static initializers, in class order.
     pub clinits: Vec<MethodId>,
+    /// Prebuilt name → class-id index. The compiler populates it once
+    /// at program construction ([`Program::rebuild_class_index`]); when
+    /// present, [`Program::class_by_name`] is a hash probe instead of a
+    /// linear scan over every class (`instanceof` and exception-class
+    /// resolution sit on the interpreter hot path).
+    pub class_index: HashMap<String, ClassId>,
 }
 
 impl Program {
+    /// (Re)build the name → class-id index. Call after all classes are
+    /// pushed; hand-assembled programs that skip it fall back to the
+    /// linear scan.
+    pub fn rebuild_class_index(&mut self) {
+        self.class_index = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i as ClassId))
+            .collect();
+    }
+
     /// Find a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| i as ClassId)
+        if self.class_index.is_empty() {
+            return self
+                .classes
+                .iter()
+                .position(|c| c.name == name)
+                .map(|i| i as ClassId);
+        }
+        self.class_index.get(name).copied()
     }
 
     /// Resolve `(class, name, arity)` walking up the hierarchy.
@@ -86,7 +131,7 @@ impl Program {
         let mut cur = Some(class);
         while let Some(cid) = cur {
             let c = &self.classes[cid as usize];
-            if let Some(&m) = c.methods.get(&(name.to_string(), arity)) {
+            if let Some(m) = c.own_method(name, arity) {
                 return Some(m);
             }
             cur = c.superclass;
@@ -130,10 +175,9 @@ mod tests {
             name: "Base".into(),
             superclass: None,
             fields: vec![("x".into(), Type::Prim(jepo_jlang::PrimType::Int))],
-            methods: HashMap::new(),
-            ctors: HashMap::new(),
+            ..Class::default()
         };
-        base.methods.insert(("f".into(), 0), 0);
+        base.add_method("f", 0, 0);
         let mut derived = Class {
             name: "Derived".into(),
             superclass: Some(0),
@@ -141,11 +185,10 @@ mod tests {
                 ("x".into(), Type::Prim(jepo_jlang::PrimType::Int)),
                 ("y".into(), Type::Prim(jepo_jlang::PrimType::Double)),
             ],
-            methods: HashMap::new(),
-            ctors: HashMap::new(),
+            ..Class::default()
         };
-        derived.methods.insert(("g".into(), 1), 1);
-        Program {
+        derived.add_method("g", 1, 1);
+        let mut p = Program {
             classes: vec![base, derived],
             methods: vec![
                 Method {
@@ -174,7 +217,10 @@ mod tests {
             statics: vec![],
             main: None,
             clinits: vec![],
-        }
+            ..Program::default()
+        };
+        p.rebuild_class_index();
+        p
     }
 
     #[test]

@@ -186,8 +186,7 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
             name: d.name.clone(),
             superclass,
             fields: layouts[i].clone(),
-            methods: HashMap::new(),
-            ctors: HashMap::new(),
+            ..Class::default()
         };
         for m in &d.methods {
             if m.body.is_none() {
@@ -199,7 +198,7 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
             if is_ctor {
                 class.ctors.insert(arity, mid);
             } else if m.name != "<clinit>" && m.name != "<init-block>" {
-                class.methods.insert((m.name.clone(), arity), mid);
+                class.add_method(&m.name, arity, mid);
             }
             program.methods.push(Method {
                 class: i as ClassId,
@@ -216,6 +215,7 @@ fn compile_classes(decls: &[&ClassDecl]) -> Result<Program, VmError> {
         }
         program.classes.push(class);
     }
+    program.rebuild_class_index();
     program.statics = statics;
 
     // Pass 2: compile bodies, replacing the placeholders.

@@ -1,0 +1,640 @@
+//! Pre-decoding: lower each method's `Vec<Op>` into a dense,
+//! pre-resolved code form for the zero-clone dispatch loop.
+//!
+//! The legacy dispatch loop clones the [`Op`] on every executed
+//! instruction — including heap-allocated `String` payloads
+//! (`ConstStr`, `CallVirtual { name }`, `InstanceOfChk`,
+//! `TryEnter { class }`) — and re-resolves virtual call targets through
+//! the class method tables at every call site. The decoded form removes
+//! all of that from the hot path:
+//!
+//! * **Interned symbols** — string payloads become `u32` indices into a
+//!   program-wide [`Interner`]; the dispatch loop never allocates to
+//!   *read* an operand.
+//! * **Pre-resolved sites** — static `Call` targets are already
+//!   `MethodId`s (the compiler resolves them); intrinsic virtual calls
+//!   (`<makeExc>`, `<parseInt>`, …) are recognized once at decode time
+//!   and become dedicated opcodes; remaining `CallVirtual` and
+//!   `InstanceOfChk` sites are assigned monomorphic [`InlineCache`]
+//!   slots keyed on the receiver's `ClassId`, with a slow path that
+//!   preserves the legacy resolution semantics exactly. `GetField` needs
+//!   no cache: the compiler already resolves field names to slot
+//!   indices, so there is nothing left to look up at runtime.
+//! * **Folded accounting** — the pc-indexed energy category table is
+//!   computed from the *original* ops ([`energy::category_for`]) and
+//!   stored next to each decoded instruction, so op scoreboards stay
+//!   bit-identical to the legacy path by construction.
+//!
+//! A [`DecodedProgram`] is immutable after [`decode`] and holds no
+//! interior mutability — it can be shared freely across runs and
+//! threads. All mutable inline-cache *state* lives in the interpreter
+//! (one flat `Vec<InlineCache>` indexed by site id, fresh per run), so
+//! parallel experiment runners stay deterministic.
+
+use crate::class::{MethodId, Program};
+use crate::energy;
+use crate::opcode::{ArithOp, ArrayElem, CmpOp, MathFn, NumTy, Op};
+use crate::value::Value;
+use jepo_rapl::OpCategory;
+use std::collections::HashMap;
+
+/// Index into the program-wide string [`Interner`].
+pub type Sym = u32;
+
+/// Sentinel for "no class resolved" in [`InstChk::target`].
+pub const NO_CLASS: u32 = u32::MAX;
+
+/// Program-wide string pool. Built once during [`decode`]; lookups on
+/// the hot path are an index into a `Vec`.
+#[derive(Debug, Default)]
+pub struct Interner {
+    syms: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Intern `s`, returning its stable symbol index.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = self.syms.len() as Sym;
+        self.syms.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    #[inline]
+    pub fn get(&self, sym: Sym) -> &str {
+        &self.syms[sym as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+}
+
+/// One monomorphic inline-cache slot: the last receiver class seen at a
+/// site and the resolution it produced. Lives in the interpreter (per
+/// run), not in the shared [`DecodedProgram`].
+#[derive(Debug, Clone, Copy)]
+pub struct InlineCache {
+    /// Receiver `ClassId` the cached value is valid for.
+    pub key: u32,
+    /// Cached resolution: a `MethodId` for call sites, 0/1 for
+    /// `instanceof` sites.
+    pub val: u32,
+}
+
+impl InlineCache {
+    /// An empty slot (never matches: `NO_CLASS` is not a valid class).
+    pub const EMPTY: InlineCache = InlineCache {
+        key: NO_CLASS,
+        val: 0,
+    };
+}
+
+/// Pre-resolved `instanceof` check: every name comparison the legacy
+/// interpreter performs per execution is answered once at decode time.
+#[derive(Debug, Clone, Copy)]
+pub struct InstChk {
+    /// The checked class name (for `Boxed`/`Exception` receivers whose
+    /// runtime class is itself a string).
+    pub name: Sym,
+    /// Resolved user-class target, or [`NO_CLASS`].
+    pub target: u32,
+    /// `name == "Object"`.
+    pub is_object: bool,
+    /// `name == "String"`.
+    pub is_string: bool,
+    /// `name == "StringBuilder"`.
+    pub is_builder: bool,
+    /// `name == "Number"`.
+    pub is_number: bool,
+    /// `name ∈ {Exception, Throwable, RuntimeException}`.
+    pub is_exc_family: bool,
+}
+
+/// A decoded instruction: plain-old-data, `Copy`, no owned payloads.
+#[derive(Debug, Clone, Copy)]
+pub enum DOp {
+    /// Push a constant.
+    Const(Value),
+    /// Push a decimal float constant (`scientific` is folded into the
+    /// category).
+    ConstF {
+        /// The value.
+        value: f64,
+        /// `float` (vs `double`) literal.
+        float32: bool,
+    },
+    /// Push an interned string constant.
+    ConstStr(Sym),
+    /// Read local slot.
+    LoadLocal(u16),
+    /// Write local slot.
+    StoreLocal(u16),
+    /// Read instance field slot.
+    GetField(u16),
+    /// Write instance field slot.
+    PutField(u16),
+    /// Read static slot.
+    GetStatic(u16),
+    /// Write static slot.
+    PutStatic(u16),
+    /// Typed arithmetic.
+    Arith(ArithOp, NumTy),
+    /// Typed comparison.
+    Cmp(CmpOp, NumTy),
+    /// Reference comparison.
+    RefCmp(CmpOp),
+    /// Negation.
+    Neg(NumTy),
+    /// Bitwise not.
+    BitNot(NumTy),
+    /// Logical not.
+    Not,
+    /// Numeric conversion to the given type.
+    Convert(NumTy),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Jump when false.
+    JumpIfFalse(u32),
+    /// Jump when true.
+    JumpIfTrue(u32),
+    /// Ternary join marker.
+    TernaryJoin,
+    /// Statically-resolved call (`method` is a `MethodId` already).
+    Call {
+        /// Target method.
+        method: MethodId,
+        /// Argument count (including receiver for instance methods).
+        argc: u8,
+    },
+    /// Virtual call through an inline-cache site.
+    CallVirtual {
+        /// Interned method name (slow-path resolution key).
+        name: Sym,
+        /// Argument count excluding receiver.
+        argc: u8,
+        /// Inline-cache slot index.
+        site: u32,
+    },
+    /// `<makeExc>` intrinsic: pop message + class strings, push an
+    /// exception object.
+    MakeExc,
+    /// `Integer.parseInt` intrinsic.
+    ParseInt,
+    /// `Double.parseDouble` intrinsic.
+    ParseDouble,
+    /// `String.hashCode` intrinsic.
+    StrHash,
+    /// `Throwable.getMessage` intrinsic.
+    ExcMessage,
+    /// Return top of stack.
+    Return,
+    /// Return void.
+    ReturnVoid,
+    /// Allocate an object.
+    NewObject(u32),
+    /// Allocate a (multi-dimensional) array.
+    NewArray {
+        /// Innermost element type.
+        elem: ArrayElem,
+        /// Sized dimensions to pop.
+        dims: u8,
+    },
+    /// Array load.
+    ArrLoad(ArrayElem),
+    /// Array store.
+    ArrStore(ArrayElem),
+    /// Array length.
+    ArrLen,
+    /// `System.arraycopy` intrinsic.
+    ArrayCopy,
+    /// String concatenation.
+    StrConcat,
+    /// `new StringBuilder()`.
+    SbNew,
+    /// `sb.append(x)`.
+    SbAppend,
+    /// `sb.toString()`.
+    SbToString,
+    /// String equality.
+    StrEquals,
+    /// String ordering.
+    StrCompareTo,
+    /// String length.
+    StrLength,
+    /// String charAt.
+    StrCharAt,
+    /// Box a primitive (`surcharge` pre-resolves the non-Integer
+    /// wrapper energy surcharge).
+    Box {
+        /// Wrapper class name.
+        wrapper: &'static str,
+        /// Charge [`OpCategory::WrapperSurcharge`].
+        surcharge: bool,
+    },
+    /// Unbox a wrapper.
+    Unbox,
+    /// Throw the exception on the stack.
+    Throw,
+    /// Push an exception handler.
+    TryEnter {
+        /// Handler pc.
+        handler: u32,
+        /// Interned caught class name.
+        class: Sym,
+        /// Pre-resolved: class ∈ {`*`, Exception, Throwable,
+        /// RuntimeException} matches every exception.
+        catch_all: bool,
+    },
+    /// Pop the newest handler.
+    TryExit,
+    /// Duplicate top of stack.
+    Dup,
+    /// Pop top of stack.
+    Pop,
+    /// Swap top two.
+    Swap,
+    /// Print intrinsic.
+    Print {
+        /// Append newline.
+        newline: bool,
+        /// Pops an argument.
+        has_arg: bool,
+    },
+    /// Math intrinsic.
+    Math(MathFn),
+    /// Virtual clock read.
+    TimeMillis,
+    /// `instanceof` through a pre-resolved check + inline-cache site.
+    InstanceOfChk {
+        /// Inline-cache slot (receiver class → verdict).
+        site: u32,
+        /// Decode-time resolved check.
+        chk: InstChk,
+    },
+    /// Profiler entry probe.
+    ProfileEnter(u32),
+    /// Profiler exit probe.
+    ProfileExit(u32),
+    /// No-op.
+    Nop,
+}
+
+/// A decoded instruction plus its pre-folded energy category (the PR-2
+/// pc-indexed table, stored inline so dispatch is one indexed load).
+#[derive(Debug, Clone, Copy)]
+pub struct DInstr {
+    /// The operation.
+    pub op: DOp,
+    /// Energy category charged on execution (`None` for free pseudo-ops).
+    pub cat: Option<OpCategory>,
+}
+
+/// A fully decoded program: per-method dense code, the string pool, and
+/// the number of inline-cache sites the interpreter must allocate.
+#[derive(Debug)]
+pub struct DecodedProgram {
+    /// Decoded code per method, indexed by `MethodId` (1:1 with
+    /// `Program::methods`; pcs are unchanged).
+    pub methods: Vec<Box<[DInstr]>>,
+    /// The string pool symbols resolve against.
+    pub interner: Interner,
+    /// Total inline-cache sites assigned across all methods.
+    pub ic_sites: u32,
+}
+
+/// Decode a compiled (possibly instrumented) program. Call again after
+/// any mutation of method bodies — decoded code does not track the
+/// source program.
+pub fn decode(program: &Program) -> DecodedProgram {
+    debug_assert!((program.classes.len() as u64) < NO_CLASS as u64);
+    let mut interner = Interner::default();
+    let mut sites: u32 = 0;
+    let methods = program
+        .methods
+        .iter()
+        .map(|m| {
+            m.code
+                .iter()
+                .map(|op| DInstr {
+                    op: decode_op(op, program, &mut interner, &mut sites),
+                    cat: energy::category_for(op),
+                })
+                .collect()
+        })
+        .collect();
+    DecodedProgram {
+        methods,
+        interner,
+        ic_sites: sites,
+    }
+}
+
+fn decode_op(op: &Op, program: &Program, interner: &mut Interner, sites: &mut u32) -> DOp {
+    let mut next_site = || {
+        let s = *sites;
+        *sites += 1;
+        s
+    };
+    match op {
+        Op::Const(v) => DOp::Const(*v),
+        Op::ConstDecimal { value, float32, .. } => DOp::ConstF {
+            value: *value,
+            float32: *float32,
+        },
+        Op::ConstStr(s) => DOp::ConstStr(interner.intern(s)),
+        Op::LoadLocal(i) => DOp::LoadLocal(*i),
+        Op::StoreLocal(i) => DOp::StoreLocal(*i),
+        Op::GetField(s) => DOp::GetField(*s),
+        Op::PutField(s) => DOp::PutField(*s),
+        Op::GetStatic(s) => DOp::GetStatic(*s),
+        Op::PutStatic(s) => DOp::PutStatic(*s),
+        Op::Arith(a, t) => DOp::Arith(*a, *t),
+        Op::Cmp(c, t) => DOp::Cmp(*c, *t),
+        Op::RefCmp(c) => DOp::RefCmp(*c),
+        Op::Neg(t) => DOp::Neg(*t),
+        Op::BitNot(t) => DOp::BitNot(*t),
+        Op::Not => DOp::Not,
+        Op::Convert { to, .. } => DOp::Convert(*to),
+        Op::Jump(t) => DOp::Jump(*t),
+        Op::JumpIfFalse(t) => DOp::JumpIfFalse(*t),
+        Op::JumpIfTrue(t) => DOp::JumpIfTrue(*t),
+        Op::TernaryJoin => DOp::TernaryJoin,
+        Op::Call { method, argc } => DOp::Call {
+            method: *method,
+            argc: *argc,
+        },
+        Op::CallVirtual { name, argc } => match name.as_str() {
+            "<makeExc>" => DOp::MakeExc,
+            "<parseInt>" => DOp::ParseInt,
+            "<parseDouble>" => DOp::ParseDouble,
+            "<strHash>" => DOp::StrHash,
+            "<excMessage>" => DOp::ExcMessage,
+            _ => DOp::CallVirtual {
+                name: interner.intern(name),
+                argc: *argc,
+                site: next_site(),
+            },
+        },
+        Op::Return => DOp::Return,
+        Op::ReturnVoid => DOp::ReturnVoid,
+        Op::NewObject(c) => DOp::NewObject(*c),
+        Op::NewArray { elem, dims } => DOp::NewArray {
+            elem: *elem,
+            dims: *dims,
+        },
+        Op::ArrLoad(e) => DOp::ArrLoad(*e),
+        Op::ArrStore(e) => DOp::ArrStore(*e),
+        Op::ArrLen => DOp::ArrLen,
+        Op::ArrayCopy => DOp::ArrayCopy,
+        Op::StrConcat => DOp::StrConcat,
+        Op::SbNew => DOp::SbNew,
+        Op::SbAppend => DOp::SbAppend,
+        Op::SbToString => DOp::SbToString,
+        Op::StrEquals => DOp::StrEquals,
+        Op::StrCompareTo => DOp::StrCompareTo,
+        Op::StrLength => DOp::StrLength,
+        Op::StrCharAt => DOp::StrCharAt,
+        Op::Box(wrapper) => DOp::Box {
+            wrapper,
+            surcharge: *wrapper != "Integer",
+        },
+        Op::Unbox => DOp::Unbox,
+        Op::Throw => DOp::Throw,
+        Op::TryEnter { handler, class } => DOp::TryEnter {
+            handler: *handler,
+            class: interner.intern(class),
+            catch_all: matches!(
+                class.as_str(),
+                "*" | "Exception" | "Throwable" | "RuntimeException"
+            ),
+        },
+        Op::TryExit => DOp::TryExit,
+        Op::Dup => DOp::Dup,
+        Op::Pop => DOp::Pop,
+        Op::Swap => DOp::Swap,
+        Op::Print { newline, has_arg } => DOp::Print {
+            newline: *newline,
+            has_arg: *has_arg,
+        },
+        Op::Math(f) => DOp::Math(*f),
+        Op::TimeMillis => DOp::TimeMillis,
+        Op::InstanceOfChk(name) => DOp::InstanceOfChk {
+            site: next_site(),
+            chk: InstChk {
+                name: interner.intern(name),
+                target: program.class_by_name(name).unwrap_or(NO_CLASS),
+                is_object: name == "Object",
+                is_string: name == "String",
+                is_builder: name == "StringBuilder",
+                is_number: name == "Number",
+                is_exc_family: matches!(
+                    name.as_str(),
+                    "Exception" | "Throwable" | "RuntimeException"
+                ),
+            },
+        },
+        Op::ProfileEnter(m) => DOp::ProfileEnter(*m),
+        Op::ProfileExit(m) => DOp::ProfileExit(*m),
+        Op::Nop => DOp::Nop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile_source;
+
+    #[test]
+    fn interner_dedups_and_roundtrips() {
+        let mut i = Interner::default();
+        let a = i.intern("hello");
+        let b = i.intern("world");
+        let a2 = i.intern("hello");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.get(a), "hello");
+        assert_eq!(i.get(b), "world");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn decode_preserves_shape_and_categories() {
+        let program = compile_source(
+            "class M { public static void main(String[] a) {
+                String s = \"x\" + 1;
+                int n = s.length();
+                System.out.println(n % 3);
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        assert_eq!(dp.methods.len(), program.methods.len());
+        for (m, d) in program.methods.iter().zip(dp.methods.iter()) {
+            assert_eq!(m.code.len(), d.len(), "pc mapping must be 1:1");
+            for (op, di) in m.code.iter().zip(d.iter()) {
+                assert_eq!(di.cat, energy::category_for(op), "folded category drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn intrinsic_virtual_calls_become_dedicated_ops() {
+        let program = compile_source(
+            "class M { public static void main(String[] a) {
+                int n = Integer.parseInt(\"42\");
+                double d = Double.parseDouble(\"1.5\");
+                System.out.println(n + d);
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        let all: Vec<&DInstr> = dp.methods.iter().flat_map(|c| c.iter()).collect();
+        assert!(all.iter().any(|i| matches!(i.op, DOp::ParseInt)));
+        assert!(all.iter().any(|i| matches!(i.op, DOp::ParseDouble)));
+        // No CallVirtual site may carry an intrinsic name.
+        for i in &all {
+            if let DOp::CallVirtual { name, .. } = i.op {
+                assert!(!dp.interner.get(name).starts_with('<'));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_and_instanceof_sites_are_distinct() {
+        let program = compile_source(
+            "class A { int f() { return 1; } }
+             class M { public static void main(String[] x) {
+                A a = new A();
+                System.out.println(a.f());
+                System.out.println(a.f());
+                Object o = a;
+                System.out.println(o instanceof A);
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        let mut seen = std::collections::HashSet::new();
+        let mut n = 0u32;
+        for c in &dp.methods {
+            for i in c.iter() {
+                match i.op {
+                    DOp::CallVirtual { site, .. } | DOp::InstanceOfChk { site, .. } => {
+                        assert!(seen.insert(site), "site {site} reused");
+                        n += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(n, dp.ic_sites);
+        assert!(n >= 3, "two virtual calls + one instanceof");
+    }
+
+    #[test]
+    fn instanceof_targets_resolve_at_decode_time() {
+        let program = compile_source(
+            "class Animal { }
+             class Dog extends Animal { }
+             class M { public static void main(String[] a) {
+                Object d = new Dog();
+                System.out.println(d instanceof Animal);
+                System.out.println(d instanceof String);
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        let chks: Vec<InstChk> = dp
+            .methods
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter_map(|i| match i.op {
+                DOp::InstanceOfChk { chk, .. } => Some(chk),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chks.len(), 2);
+        let animal = chks
+            .iter()
+            .find(|c| dp.interner.get(c.name) == "Animal")
+            .unwrap();
+        assert_eq!(
+            animal.target,
+            program.class_by_name("Animal").unwrap(),
+            "user class resolved at decode time"
+        );
+        let string = chks
+            .iter()
+            .find(|c| dp.interner.get(c.name) == "String")
+            .unwrap();
+        assert!(string.is_string);
+        assert_eq!(string.target, NO_CLASS);
+    }
+
+    #[test]
+    fn catch_all_handlers_preresolved() {
+        let program = compile_source(
+            "class M { public static void main(String[] a) {
+                try { int z = 1 / 0; } catch (ArithmeticException e) { }
+                try { int z = 1 / 0; } catch (Exception e) { }
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        let handlers: Vec<(Sym, bool)> = dp
+            .methods
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter_map(|i| match i.op {
+                DOp::TryEnter {
+                    class, catch_all, ..
+                } => Some((class, catch_all)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(handlers.len(), 2);
+        let arith = handlers
+            .iter()
+            .find(|(s, _)| dp.interner.get(*s) == "ArithmeticException")
+            .unwrap();
+        assert!(!arith.1);
+        let exc = handlers
+            .iter()
+            .find(|(s, _)| dp.interner.get(*s) == "Exception")
+            .unwrap();
+        assert!(exc.1, "catch(Exception) matches everything");
+    }
+
+    #[test]
+    fn box_surcharge_is_preresolved() {
+        let program = compile_source(
+            "class M { public static void main(String[] a) {
+                Integer i = 1; Double d = 2.5;
+             } }",
+        )
+        .unwrap();
+        let dp = decode(&program);
+        let boxes: Vec<(&str, bool)> = dp
+            .methods
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter_map(|i| match i.op {
+                DOp::Box { wrapper, surcharge } => Some((wrapper, surcharge)),
+                _ => None,
+            })
+            .collect();
+        assert!(boxes.contains(&("Integer", false)));
+        assert!(boxes.contains(&("Double", true)));
+    }
+}

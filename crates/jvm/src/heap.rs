@@ -121,18 +121,39 @@ impl Heap {
 
     /// Render any value (including heap values) as Java's `toString`.
     pub fn render(&self, v: &Value) -> String {
+        let mut out = String::new();
+        self.render_to(v, &mut out);
+        out
+    }
+
+    /// Render into an existing buffer — the allocation-free form used on
+    /// the interpreter's `Print`/`StrConcat` hot path.
+    pub fn render_to(&self, v: &Value, out: &mut String) {
+        use std::fmt::Write as _;
         match v {
             Value::Obj(r) => match self.get(*r) {
-                HeapObj::Str(s) => s.clone(),
-                HeapObj::Builder(s) => s.clone(),
+                HeapObj::Str(s) => out.push_str(s),
+                HeapObj::Builder(s) => out.push_str(s),
                 HeapObj::Boxed { value, .. } => {
-                    value.render_primitive().unwrap_or_else(|| "<boxed>".into())
+                    if !value.render_primitive_to(out) {
+                        out.push_str("<boxed>");
+                    }
                 }
-                HeapObj::Array { data, .. } => format!("[array of {}]", data.len()),
-                HeapObj::Object { class, .. } => format!("Object@{class}#{r}"),
-                HeapObj::Exception { class, message } => format!("{class}: {message}"),
+                HeapObj::Array { data, .. } => {
+                    let _ = write!(out, "[array of {}]", data.len());
+                }
+                HeapObj::Object { class, .. } => {
+                    let _ = write!(out, "Object@{class}#{r}");
+                }
+                HeapObj::Exception { class, message } => {
+                    let _ = write!(out, "{class}: {message}");
+                }
             },
-            other => other.render_primitive().unwrap_or_else(|| "?".into()),
+            other => {
+                if !other.render_primitive_to(out) {
+                    out.push('?');
+                }
+            }
         }
     }
 }

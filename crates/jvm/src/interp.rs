@@ -8,7 +8,8 @@
 //! device so the profiler's probes see exactly what real RAPL probes
 //! would: a monotone energy counter advancing with the program's work.
 
-use crate::class::{MethodId, Program};
+use crate::class::{ClassId, MethodId, Program};
+use crate::decode::{DInstr, DOp, DecodedProgram, InlineCache, Sym, NO_CLASS};
 use crate::energy::{self, EnergySettings};
 use crate::heap::{CacheModel, Heap, HeapObj};
 use crate::opcode::{ArithOp, ArrayElem, CmpOp, MathFn, NumTy, Op};
@@ -16,6 +17,10 @@ use crate::value::{Ref, Value};
 use crate::VmError;
 use jepo_rapl::{OpCategory, Scoreboard, SimulatedRapl};
 use std::sync::Arc;
+
+/// Upper bound on pooled (recycled) frames — enough for the corpus call
+/// depths while keeping retained capacity bounded.
+const FRAME_POOL_MAX: usize = 64;
 
 /// Result of one program/method run.
 #[derive(Debug, Clone)]
@@ -34,6 +39,10 @@ pub struct RunOutcome {
     pub cache_hits: u64,
     /// Cache misses.
     pub cache_misses: u64,
+    /// Inline-cache hits (decoded dispatch only; 0 on the legacy path).
+    pub ic_hits: u64,
+    /// Inline-cache misses (decoded dispatch only).
+    pub ic_misses: u64,
 }
 
 /// One recorded method execution (the profiler stores one entry per
@@ -60,11 +69,20 @@ struct Frame {
     stack: Vec<Value>,
 }
 
+/// The exception class a handler catches. The legacy path owns the
+/// string (it arrives in the cloned `Op`); the decoded path stores the
+/// interned symbol plus the decode-time catch-all verdict, so pushing a
+/// handler never allocates.
+enum HandlerClass {
+    Owned(String),
+    Interned { sym: Sym, catch_all: bool },
+}
+
 struct Handler {
     frame_depth: usize,
     stack_depth: usize,
     handler_pc: u32,
-    class: String,
+    class: HandlerClass,
 }
 
 struct ProfileEntry {
@@ -77,6 +95,18 @@ struct ProfileEntry {
 /// Interpreter state for one run.
 pub struct Interp<'p> {
     program: &'p Program,
+    /// Pre-decoded code; when set, [`Interp::run_method`] uses the
+    /// zero-clone dispatch loop instead of the legacy `Vec<Op>` walk.
+    decoded: Option<&'p DecodedProgram>,
+    /// Inline-cache state, indexed by decode-time site id. Fresh per
+    /// interpreter, so runs stay deterministic and the shared
+    /// [`DecodedProgram`] stays immutable.
+    ics: Vec<InlineCache>,
+    ic_hits: u64,
+    ic_misses: u64,
+    /// Recycled frames: locals/stack vectors keep their capacity across
+    /// invocations instead of being reallocated per call.
+    pool: Vec<Frame>,
     heap: Heap,
     statics: Vec<Value>,
     cache: CacheModel,
@@ -116,6 +146,11 @@ impl<'p> Interp<'p> {
             .collect();
         Interp {
             program,
+            decoded: None,
+            ics: Vec::new(),
+            ic_hits: 0,
+            ic_misses: 0,
+            pool: Vec::new(),
             heap: Heap::new(),
             statics,
             cache: CacheModel::default(),
@@ -133,6 +168,14 @@ impl<'p> Interp<'p> {
             profile_out: Vec::new(),
             ops_executed: 0,
         }
+    }
+
+    /// Switch to the pre-decoded dispatch loop. The decoded program must
+    /// have been built from the same (identically instrumented) program
+    /// this interpreter was constructed over.
+    pub fn set_decoded(&mut self, dp: &'p DecodedProgram) {
+        self.ics = vec![InlineCache::EMPTY; dp.ic_sites as usize];
+        self.decoded = Some(dp);
     }
 
     /// Limit the instruction budget.
@@ -197,7 +240,10 @@ impl<'p> Interp<'p> {
         self.handlers.clear();
         let base_depth = self.frames.len();
         self.push_frame(mid, args);
-        let result = self.execute(base_depth);
+        let result = match self.decoded {
+            Some(dp) => self.execute_decoded(base_depth, dp),
+            None => self.execute(base_depth),
+        };
         match result {
             Ok(v) => Ok(v),
             Err(e) => {
@@ -221,6 +267,10 @@ impl<'p> Interp<'p> {
                 .add(self.profile_out.len() as u64);
             reg.histogram("jvm.heap_objects", &jepo_trace::COUNT_BUCKETS)
                 .observe(self.heap.len() as u64);
+            if self.decoded.is_some() {
+                reg.counter("vm.ic.hit").add(self.ic_hits);
+                reg.counter("vm.ic.miss").add(self.ic_misses);
+            }
         }
         RunOutcome {
             stdout: std::mem::take(&mut self.stdout),
@@ -236,6 +286,8 @@ impl<'p> Interp<'p> {
             ops_executed: self.ops_executed,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            ic_hits: self.ic_hits,
+            ic_misses: self.ic_misses,
         }
     }
 
@@ -308,44 +360,9 @@ impl<'p> Interp<'p> {
                     let v = self.frames[frame_idx].locals[i as usize];
                     self.push(v);
                 }
-                Op::StoreLocal(i) => {
-                    let v = self.pop()?;
-                    let f = self.frames.last_mut().unwrap();
-                    if (i as usize) >= f.locals.len() {
-                        f.locals.resize(i as usize + 1, Value::Null);
-                    }
-                    f.locals[i as usize] = v;
-                }
-                Op::GetField(slot) => {
-                    let r = self.pop_ref("field access on null")?;
-                    let got = match self.heap.get(r) {
-                        HeapObj::Object {
-                            fields, base_addr, ..
-                        } => Some((fields[slot as usize], *base_addr + slot as u64 * 8)),
-                        _ => None,
-                    };
-                    match got {
-                        Some((v, addr)) => {
-                            self.cache_access(addr);
-                            self.push(v);
-                        }
-                        None => self.throw_vm("NullPointerException", "not an object")?,
-                    }
-                }
-                Op::PutField(slot) => {
-                    let v = self.pop()?;
-                    let r = self.pop_ref("field store on null")?;
-                    let ok = match self.heap.get_mut(r) {
-                        HeapObj::Object { fields, .. } => {
-                            fields[slot as usize] = v;
-                            true
-                        }
-                        _ => false,
-                    };
-                    if !ok {
-                        self.throw_vm("NullPointerException", "not an object")?;
-                    }
-                }
+                Op::StoreLocal(i) => self.op_store_local(i)?,
+                Op::GetField(slot) => self.op_get_field(slot)?,
+                Op::PutField(slot) => self.op_put_field(slot)?,
                 Op::GetStatic(slot) => {
                     let v = self.statics[slot as usize];
                     self.push(v);
@@ -356,30 +373,12 @@ impl<'p> Interp<'p> {
                 }
                 Op::Arith(aop, ty) => self.arith(aop, ty)?,
                 Op::Cmp(cop, ty) => self.compare(cop, ty)?,
-                Op::RefCmp(cop) => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let eq = match (a, b) {
-                        (Value::Null, Value::Null) => true,
-                        (Value::Obj(x), Value::Obj(y)) => x == y,
-                        _ => false,
-                    };
-                    self.push(Value::Bool(if cop == CmpOp::Eq { eq } else { !eq }));
-                }
+                Op::RefCmp(cop) => self.op_ref_cmp(cop)?,
                 Op::Neg(ty) => {
                     let v = self.pop()?;
                     self.push(self.neg_value(v, ty)?);
                 }
-                Op::BitNot(ty) => {
-                    let v = self.pop()?;
-                    let out = match ty {
-                        NumTy::I64 => {
-                            Value::Long(!v.as_long().ok_or_else(|| self.rt_err("~ on non-long"))?)
-                        }
-                        _ => Value::Int(!v.as_int().ok_or_else(|| self.rt_err("~ on non-int"))?),
-                    };
-                    self.push(out);
-                }
+                Op::BitNot(ty) => self.op_bit_not(ty)?,
                 Op::Not => {
                     let v = self.pop_bool()?;
                     self.push(Value::Bool(!v));
@@ -423,276 +422,38 @@ impl<'p> Interp<'p> {
                         return Ok(None);
                     }
                 }
-                Op::NewObject(cid) => {
-                    let class = &self.program.classes[cid as usize];
-                    let defaults: Vec<Value> = class
-                        .fields
-                        .iter()
-                        .map(|(_, ty)| default_value(ty))
-                        .collect();
-                    let r = self.heap.alloc_object(cid, defaults.len());
-                    if let HeapObj::Object { fields, .. } = self.heap.get_mut(r) {
-                        fields.copy_from_slice(&defaults);
-                    }
-                    self.push(Value::Obj(r));
-                }
-                Op::NewArray { elem, dims } => {
-                    let mut sizes = Vec::with_capacity(dims as usize);
-                    for _ in 0..dims {
-                        let n = self
-                            .pop()?
-                            .as_int()
-                            .ok_or_else(|| self.rt_err("array size not int"))?;
-                        if n < 0 {
-                            self.throw_vm("NegativeArraySizeException", &format!("{n}"))?;
-                            continue;
-                        }
-                        sizes.push(n as usize);
-                    }
-                    sizes.reverse();
-                    let r = self.alloc_multi(&sizes, elem)?;
-                    self.push(Value::Obj(r));
-                }
-                Op::ArrLoad(elem) => {
-                    let idx = self
-                        .pop()?
-                        .as_int()
-                        .ok_or_else(|| self.rt_err("index not int"))?;
-                    let r = self.pop_ref("array load on null")?;
-                    let fetched: Result<(Value, u64), (String, String)> = match self.heap.get(r) {
-                        HeapObj::Array {
-                            data,
-                            elem_size,
-                            base_addr,
-                        } => {
-                            if idx < 0 || idx as usize >= data.len() {
-                                Err((
-                                    "ArrayIndexOutOfBoundsException".into(),
-                                    format!("index {idx} out of bounds for length {}", data.len()),
-                                ))
-                            } else {
-                                Ok((
-                                    data[idx as usize],
-                                    base_addr + idx as u64 * *elem_size as u64,
-                                ))
-                            }
-                        }
-                        _ => Err(("NullPointerException".into(), "not an array".into())),
-                    };
-                    match fetched {
-                        Ok((v, addr)) => {
-                            self.cache_access(addr);
-                            let _ = elem;
-                            self.push(v);
-                        }
-                        Err((class, msg)) => {
-                            self.throw_vm(&class, &msg)?;
-                        }
-                    }
-                }
-                Op::ArrStore(elem) => {
-                    let v = self.pop()?;
-                    let idx = self
-                        .pop()?
-                        .as_int()
-                        .ok_or_else(|| self.rt_err("index not int"))?;
-                    let r = self.pop_ref("array store on null")?;
-                    let stored: Result<u64, (String, String)> = match self.heap.get_mut(r) {
-                        HeapObj::Array {
-                            data,
-                            elem_size,
-                            base_addr,
-                        } => {
-                            if idx < 0 || idx as usize >= data.len() {
-                                Err((
-                                    "ArrayIndexOutOfBoundsException".into(),
-                                    format!("index {idx} out of bounds for length {}", data.len()),
-                                ))
-                            } else {
-                                data[idx as usize] = v;
-                                Ok(*base_addr + idx as u64 * *elem_size as u64)
-                            }
-                        }
-                        _ => Err(("NullPointerException".into(), "not an array".into())),
-                    };
-                    match stored {
-                        Ok(addr) => {
-                            self.cache_access(addr);
-                            let _ = elem;
-                        }
-                        Err((class, msg)) => {
-                            self.throw_vm(&class, &msg)?;
-                        }
-                    }
-                }
-                Op::ArrLen => {
-                    let r = self.pop_ref("length of null")?;
-                    let n: Option<i32> = match self.heap.get(r) {
-                        HeapObj::Array { data, .. } => Some(data.len() as i32),
-                        HeapObj::Str(s) => Some(s.chars().count() as i32),
-                        _ => None,
-                    };
-                    match n {
-                        Some(n) => self.push(Value::Int(n)),
-                        None => self.throw_vm("NullPointerException", "not an array")?,
-                    }
-                }
+                Op::NewObject(cid) => self.op_new_object(cid),
+                Op::NewArray { elem, dims } => self.op_new_array(elem, dims)?,
+                Op::ArrLoad(_) => self.op_arr_load()?,
+                Op::ArrStore(_) => self.op_arr_store()?,
+                Op::ArrLen => self.op_arr_len()?,
                 Op::ArrayCopy => self.arraycopy()?,
-                Op::StrConcat => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let mut s = self.heap.render(&a);
-                    s.push_str(&self.heap.render(&b));
-                    let r = self.heap.alloc(HeapObj::Str(s));
-                    self.push(Value::Obj(r));
-                }
+                Op::StrConcat => self.op_str_concat()?,
                 Op::SbNew => {
                     let r = self.heap.alloc(HeapObj::Builder(String::new()));
                     self.push(Value::Obj(r));
                 }
-                Op::SbAppend => {
-                    let v = self.pop()?;
-                    let text = self.heap.render(&v);
-                    let r = self.pop_ref("append on null")?;
-                    let ok = match self.heap.get_mut(r) {
-                        HeapObj::Builder(s) => {
-                            s.push_str(&text);
-                            true
-                        }
-                        _ => false,
-                    };
-                    if ok {
-                        self.push(Value::Obj(r));
-                    } else {
-                        self.throw_vm("NullPointerException", "not a builder")?;
-                    }
-                }
-                Op::SbToString => {
-                    let r = self.pop_ref("toString on null")?;
-                    let text: Option<String> = match self.heap.get(r) {
-                        HeapObj::Builder(s) => Some(s.clone()),
-                        HeapObj::Str(s) => Some(s.clone()),
-                        _ => None,
-                    };
-                    match text {
-                        Some(text) => {
-                            let nr = self.heap.alloc(HeapObj::Str(text));
-                            self.push(Value::Obj(nr));
-                        }
-                        None => self.throw_vm("NullPointerException", "not a builder")?,
-                    }
-                }
-                Op::StrEquals => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let eq = match (self.try_str(&a), self.try_str(&b)) {
-                        (Some(x), Some(y)) => x == y,
-                        _ => false,
-                    };
-                    self.push(Value::Bool(eq));
-                }
-                Op::StrCompareTo => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let (x, y) = match (self.try_str(&a), self.try_str(&b)) {
-                        (Some(x), Some(y)) => (x, y),
-                        _ => {
-                            self.throw_vm("NullPointerException", "compareTo on null")?;
-                            continue;
-                        }
-                    };
-                    let ord = match x.cmp(&y) {
-                        std::cmp::Ordering::Less => -1,
-                        std::cmp::Ordering::Equal => 0,
-                        std::cmp::Ordering::Greater => 1,
-                    };
-                    self.push(Value::Int(ord));
-                }
-                Op::StrLength => {
-                    let r = self.pop_ref("length() on null")?;
-                    let n: Option<i32> = match self.heap.get(r) {
-                        HeapObj::Str(s) => Some(s.chars().count() as i32),
-                        _ => None,
-                    };
-                    match n {
-                        Some(n) => self.push(Value::Int(n)),
-                        None => self.throw_vm("NullPointerException", "not a string")?,
-                    }
-                }
-                Op::StrCharAt => {
-                    let idx = self
-                        .pop()?
-                        .as_int()
-                        .ok_or_else(|| self.rt_err("charAt index"))?;
-                    let r = self.pop_ref("charAt on null")?;
-                    let c: Option<Option<char>> = match self.heap.get(r) {
-                        HeapObj::Str(s) => Some(s.chars().nth(idx.max(0) as usize)),
-                        _ => None,
-                    };
-                    match c {
-                        Some(Some(c)) => self.push(Value::Char(c as u16)),
-                        Some(None) => self
-                            .throw_vm("StringIndexOutOfBoundsException", &format!("index {idx}"))?,
-                        None => self.throw_vm("NullPointerException", "not a string")?,
-                    }
-                }
-                Op::Box(wrapper) => {
-                    if wrapper != "Integer" {
-                        // Non-Integer wrappers carry the Table I surcharge.
-                        self.charge(OpCategory::WrapperSurcharge);
-                    }
-                    let v = self.pop()?;
-                    let r = self.heap.alloc(HeapObj::Boxed { wrapper, value: v });
-                    self.push(Value::Obj(r));
-                }
-                Op::Unbox => {
-                    let v = self.pop()?;
-                    match v {
-                        Value::Obj(r) => {
-                            let inner: Option<Value> = match self.heap.get(r) {
-                                HeapObj::Boxed { value, .. } => Some(*value),
-                                _ => None,
-                            };
-                            match inner {
-                                Some(value) => self.push(value),
-                                None => self.throw_vm("ClassCastException", "not a wrapper")?,
-                            }
-                        }
-                        Value::Null => {
-                            self.throw_vm("NullPointerException", "unboxing null")?;
-                        }
-                        prim => self.push(prim), // already primitive: no-op
-                    }
-                }
-                Op::Throw => {
-                    let v = self.pop()?;
-                    let r = match v {
-                        Value::Obj(r) => r,
-                        _ => {
-                            self.throw_vm("NullPointerException", "throw null")?;
-                            continue;
-                        }
-                    };
-                    self.unwind(r)?;
-                }
+                Op::SbAppend => self.op_sb_append()?,
+                Op::SbToString => self.op_sb_to_string()?,
+                Op::StrEquals => self.op_str_equals()?,
+                Op::StrCompareTo => self.op_str_compare()?,
+                Op::StrLength => self.op_str_length()?,
+                Op::StrCharAt => self.op_str_char_at()?,
+                Op::Box(wrapper) => self.op_box(wrapper, wrapper != "Integer")?,
+                Op::Unbox => self.op_unbox()?,
+                Op::Throw => self.op_throw()?,
                 Op::TryEnter { handler, class } => {
                     self.handlers.push(Handler {
                         frame_depth: self.frames.len(),
                         stack_depth: self.frames[frame_idx].stack.len(),
                         handler_pc: handler,
-                        class,
+                        class: HandlerClass::Owned(class),
                     });
                 }
                 Op::TryExit => {
                     self.handlers.pop();
                 }
-                Op::Dup => {
-                    let v = *self.frames[frame_idx]
-                        .stack
-                        .last()
-                        .ok_or_else(|| self.rt_err("dup on empty stack"))?;
-                    self.push(v);
-                }
+                Op::Dup => self.op_dup()?,
                 Op::Pop => {
                     self.pop()?;
                 }
@@ -702,16 +463,7 @@ impl<'p> Interp<'p> {
                     self.push(b);
                     self.push(a);
                 }
-                Op::Print { newline, has_arg } => {
-                    if has_arg {
-                        let v = self.pop()?;
-                        let text = self.heap.render(&v);
-                        self.stdout.push_str(&text);
-                    }
-                    if newline {
-                        self.stdout.push('\n');
-                    }
-                }
+                Op::Print { newline, has_arg } => self.op_print(newline, has_arg)?,
                 Op::Math(f) => self.math(f)?,
                 Op::TimeMillis => {
                     let (_, _, s) = self.energy_now();
@@ -745,16 +497,7 @@ impl<'p> Interp<'p> {
                     };
                     self.push(Value::Bool(is));
                 }
-                Op::ProfileEnter(mid) => {
-                    self.flush();
-                    let (j, core, s) = self.energy_now();
-                    self.profile_stack.push(ProfileEntry {
-                        method: mid,
-                        start_j: j,
-                        start_core_j: core,
-                        start_s: s,
-                    });
-                }
+                Op::ProfileEnter(mid) => self.op_profile_enter(mid),
                 Op::ProfileExit(mid) => {
                     self.flush();
                     self.record_profile_exit(mid);
@@ -762,6 +505,750 @@ impl<'p> Interp<'p> {
                 Op::Nop => {}
             }
         }
+    }
+
+    /// The zero-clone dispatch loop over pre-decoded code. Instructions
+    /// are read by reference from the shared [`DecodedProgram`] (whose
+    /// lifetime is `'p`, independent of `&mut self`), so no per-op clone
+    /// or `String` allocation happens to *fetch* an operand. Energy
+    /// accounting, heap allocation order, stdout, and profile events are
+    /// bit-identical to [`Interp::execute`] — enforced by the
+    /// differential test suite.
+    fn execute_decoded(
+        &mut self,
+        base_depth: usize,
+        dp: &'p DecodedProgram,
+    ) -> Result<Option<Value>, VmError> {
+        loop {
+            if self.ops_executed >= self.fuel {
+                return Err(VmError::OutOfFuel);
+            }
+            let frame_idx = self.frames.len() - 1;
+            let (mid, pc) = {
+                let f = &self.frames[frame_idx];
+                (f.method, f.pc)
+            };
+            let code: &'p [DInstr] = &dp.methods[mid as usize];
+            if pc >= code.len() {
+                return Err(self.rt_err("fell off end of bytecode"));
+            }
+            let instr: &'p DInstr = &code[pc];
+            self.frames[frame_idx].pc = pc + 1;
+            self.ops_executed += 1;
+            if let Some(cat) = instr.cat {
+                self.charge(cat);
+            }
+            match instr.op {
+                DOp::Const(v) => self.push(v),
+                DOp::ConstF { value, float32 } => {
+                    if float32 {
+                        self.push(Value::Float(value as f32));
+                    } else {
+                        self.push(Value::Double(value));
+                    }
+                }
+                DOp::ConstStr(sym) => {
+                    let r = self
+                        .heap
+                        .alloc(HeapObj::Str(dp.interner.get(sym).to_string()));
+                    self.push(Value::Obj(r));
+                }
+                DOp::LoadLocal(i) => {
+                    let v = self.frames[frame_idx].locals[i as usize];
+                    self.push(v);
+                }
+                DOp::StoreLocal(i) => self.op_store_local(i)?,
+                DOp::GetField(slot) => self.op_get_field(slot)?,
+                DOp::PutField(slot) => self.op_put_field(slot)?,
+                DOp::GetStatic(slot) => {
+                    let v = self.statics[slot as usize];
+                    self.push(v);
+                }
+                DOp::PutStatic(slot) => {
+                    let v = self.pop()?;
+                    self.statics[slot as usize] = v;
+                }
+                DOp::Arith(aop, ty) => self.arith(aop, ty)?,
+                DOp::Cmp(cop, ty) => self.compare(cop, ty)?,
+                DOp::RefCmp(cop) => self.op_ref_cmp(cop)?,
+                DOp::Neg(ty) => {
+                    let v = self.pop()?;
+                    self.push(self.neg_value(v, ty)?);
+                }
+                DOp::BitNot(ty) => self.op_bit_not(ty)?,
+                DOp::Not => {
+                    let v = self.pop_bool()?;
+                    self.push(Value::Bool(!v));
+                }
+                DOp::Convert(to) => {
+                    let v = self.pop()?;
+                    self.push(self.convert_value(v, to)?);
+                }
+                DOp::Jump(t) => self.frames[frame_idx].pc = t as usize,
+                DOp::JumpIfFalse(t) => {
+                    if !self.pop_bool()? {
+                        self.frames[frame_idx].pc = t as usize;
+                    }
+                }
+                DOp::JumpIfTrue(t) => {
+                    if self.pop_bool()? {
+                        self.frames[frame_idx].pc = t as usize;
+                    }
+                }
+                DOp::TernaryJoin => {}
+                DOp::Call { method, argc } => self.invoke_pooled(method, argc as usize)?,
+                DOp::CallVirtual { name, argc, site } => {
+                    self.call_virtual_decoded(dp, name, argc as usize, site)?;
+                }
+                DOp::MakeExc => {
+                    let msg = self.pop()?;
+                    let class_v = self.pop()?;
+                    let class = self.try_str(&class_v).unwrap_or("Exception").to_string();
+                    let message = self.try_str(&msg).unwrap_or("").to_string();
+                    let r = self.heap.alloc(HeapObj::Exception { class, message });
+                    self.push(Value::Obj(r));
+                }
+                DOp::ParseInt => {
+                    let s = self.pop()?;
+                    match self.try_str(&s).unwrap_or("").trim().parse::<i32>() {
+                        Ok(v) => self.push(Value::Int(v)),
+                        Err(_) => {
+                            let text = self.try_str(&s).unwrap_or("").to_string();
+                            self.throw_vm("NumberFormatException", &text)?;
+                        }
+                    }
+                }
+                DOp::ParseDouble => {
+                    let s = self.pop()?;
+                    match self.try_str(&s).unwrap_or("").trim().parse::<f64>() {
+                        Ok(v) => self.push(Value::Double(v)),
+                        Err(_) => {
+                            let text = self.try_str(&s).unwrap_or("").to_string();
+                            self.throw_vm("NumberFormatException", &text)?;
+                        }
+                    }
+                }
+                DOp::StrHash => {
+                    let s = self.pop()?;
+                    let mut h: i32 = 0;
+                    if let Some(text) = self.try_str(&s) {
+                        for c in text.encode_utf16() {
+                            h = h.wrapping_mul(31).wrapping_add(c as i32);
+                        }
+                    }
+                    self.push(Value::Int(h));
+                }
+                DOp::ExcMessage => self.op_exc_message()?,
+                DOp::Return => {
+                    let v = self.pop()?;
+                    self.pop_frame_profile();
+                    if let Some(f) = self.frames.pop() {
+                        self.recycle_frame(f);
+                    }
+                    if self.frames.len() == base_depth {
+                        return Ok(Some(v));
+                    }
+                    self.push(v);
+                }
+                DOp::ReturnVoid => {
+                    self.pop_frame_profile();
+                    if let Some(f) = self.frames.pop() {
+                        self.recycle_frame(f);
+                    }
+                    if self.frames.len() == base_depth {
+                        return Ok(None);
+                    }
+                }
+                DOp::NewObject(cid) => self.op_new_object(cid),
+                DOp::NewArray { elem, dims } => self.op_new_array(elem, dims)?,
+                DOp::ArrLoad(_) => self.op_arr_load()?,
+                DOp::ArrStore(_) => self.op_arr_store()?,
+                DOp::ArrLen => self.op_arr_len()?,
+                DOp::ArrayCopy => self.arraycopy()?,
+                DOp::StrConcat => self.op_str_concat()?,
+                DOp::SbNew => {
+                    let r = self.heap.alloc(HeapObj::Builder(String::new()));
+                    self.push(Value::Obj(r));
+                }
+                DOp::SbAppend => self.op_sb_append()?,
+                DOp::SbToString => self.op_sb_to_string()?,
+                DOp::StrEquals => self.op_str_equals()?,
+                DOp::StrCompareTo => self.op_str_compare()?,
+                DOp::StrLength => self.op_str_length()?,
+                DOp::StrCharAt => self.op_str_char_at()?,
+                DOp::Box { wrapper, surcharge } => self.op_box(wrapper, surcharge)?,
+                DOp::Unbox => self.op_unbox()?,
+                DOp::Throw => self.op_throw()?,
+                DOp::TryEnter {
+                    handler,
+                    class,
+                    catch_all,
+                } => {
+                    self.handlers.push(Handler {
+                        frame_depth: self.frames.len(),
+                        stack_depth: self.frames[frame_idx].stack.len(),
+                        handler_pc: handler,
+                        class: HandlerClass::Interned {
+                            sym: class,
+                            catch_all,
+                        },
+                    });
+                }
+                DOp::TryExit => {
+                    self.handlers.pop();
+                }
+                DOp::Dup => self.op_dup()?,
+                DOp::Pop => {
+                    self.pop()?;
+                }
+                DOp::Swap => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.push(b);
+                    self.push(a);
+                }
+                DOp::Print { newline, has_arg } => self.op_print(newline, has_arg)?,
+                DOp::Math(f) => self.math(f)?,
+                DOp::TimeMillis => {
+                    let (_, _, s) = self.energy_now();
+                    self.push(Value::Long((s * 1000.0) as i64));
+                }
+                DOp::InstanceOfChk { site, chk } => {
+                    let v = self.pop()?;
+                    let is = match v {
+                        Value::Obj(r) => {
+                            // Non-Object receivers are fully answered by
+                            // decode-time flags; Object receivers fall
+                            // through to the inline cache.
+                            let quick: Result<bool, u32> = match self.heap.get(r) {
+                                HeapObj::Str(_) => Ok(chk.is_string || chk.is_object),
+                                HeapObj::Builder(_) => Ok(chk.is_builder || chk.is_object),
+                                HeapObj::Boxed { wrapper, .. } => Ok(dp.interner.get(chk.name)
+                                    == *wrapper
+                                    || chk.is_object
+                                    || chk.is_number),
+                                HeapObj::Exception { class, .. } => Ok(class
+                                    == dp.interner.get(chk.name)
+                                    || chk.is_exc_family
+                                    || chk.is_object),
+                                HeapObj::Object { class, .. } => Err(*class),
+                                HeapObj::Array { .. } => Ok(chk.is_object),
+                            };
+                            match quick {
+                                Ok(b) => b,
+                                Err(cls) => {
+                                    if self.ics[site as usize].key == cls {
+                                        self.ic_hits += 1;
+                                        self.ics[site as usize].val != 0
+                                    } else {
+                                        self.ic_misses += 1;
+                                        let b = if chk.target == NO_CLASS {
+                                            chk.is_object
+                                        } else {
+                                            self.program.is_subclass(cls, chk.target)
+                                        };
+                                        self.ics[site as usize] = InlineCache {
+                                            key: cls,
+                                            val: b as u32,
+                                        };
+                                        b
+                                    }
+                                }
+                            }
+                        }
+                        _ => false,
+                    };
+                    self.push(Value::Bool(is));
+                }
+                DOp::ProfileEnter(pmid) => self.op_profile_enter(pmid),
+                DOp::ProfileExit(pmid) => {
+                    self.flush();
+                    self.record_profile_exit(pmid);
+                }
+                DOp::Nop => {}
+            }
+        }
+    }
+
+    /// Virtual call through the decoded path's monomorphic inline cache.
+    ///
+    /// Fast path: the receiver (peeked beneath the arguments) is a plain
+    /// `Object` and the site's cache matches its class — the target
+    /// `MethodId` comes from one compare, and the arguments are moved
+    /// stack→locals directly via [`Interp::invoke_pooled`]. Everything
+    /// else (string/exception receivers, null, primitives, underflow)
+    /// falls back to the legacy [`Interp::call_virtual`], preserving its
+    /// semantics exactly.
+    fn call_virtual_decoded(
+        &mut self,
+        dp: &'p DecodedProgram,
+        name: Sym,
+        argc: usize,
+        site: u32,
+    ) -> Result<(), VmError> {
+        let frame = self.frames.last().unwrap();
+        let len = frame.stack.len();
+        if len > argc {
+            if let Value::Obj(r) = frame.stack[len - argc - 1] {
+                if let HeapObj::Object { class, .. } = self.heap.get(r) {
+                    let class = *class;
+                    let mid = if self.ics[site as usize].key == class {
+                        self.ic_hits += 1;
+                        self.ics[site as usize].val
+                    } else {
+                        self.ic_misses += 1;
+                        let name_str = dp.interner.get(name);
+                        let m = self
+                            .program
+                            .resolve_method(class, name_str, argc as u8)
+                            .ok_or_else(|| {
+                                self.rt_err(format!("unresolved virtual `{name_str}/{argc}`"))
+                            })?;
+                        self.ics[site as usize] = InlineCache { key: class, val: m };
+                        m
+                    };
+                    // Receiver + args transfer as one contiguous copy.
+                    return self.invoke_pooled(mid, argc + 1);
+                }
+            }
+        }
+        self.call_virtual(dp.interner.get(name), argc)
+    }
+
+    // ---- frame pool -------------------------------------------------------
+
+    /// Return a popped frame's `Vec` capacity to the pool for reuse.
+    fn recycle_frame(&mut self, mut f: Frame) {
+        if self.pool.len() < FRAME_POOL_MAX {
+            f.locals.clear();
+            f.stack.clear();
+            self.pool.push(f);
+        }
+    }
+
+    /// Push a callee frame without allocating: arguments are the top
+    /// `nargs` caller-stack values, moved into (pooled) locals as one
+    /// contiguous copy — replacing the legacy `pop_n` + fresh-`Vec`
+    /// double allocation per call.
+    fn invoke_pooled(&mut self, mid: MethodId, nargs: usize) -> Result<(), VmError> {
+        let m = &self.program.methods[mid as usize];
+        let nlocals = (m.locals as usize).max(nargs);
+        let mut f = self.pool.pop().unwrap_or_else(|| Frame {
+            method: mid,
+            pc: 0,
+            locals: Vec::new(),
+            stack: Vec::new(),
+        });
+        f.method = mid;
+        f.pc = 0;
+        f.locals.clear();
+        f.locals.resize(nlocals, Value::Null);
+        {
+            let caller = self.frames.last_mut().unwrap();
+            let len = caller.stack.len();
+            if len < nargs {
+                return Err(VmError::runtime("operand stack underflow", "?"));
+            }
+            f.locals[..nargs].copy_from_slice(&caller.stack[len - nargs..]);
+            caller.stack.truncate(len - nargs);
+        }
+        self.frames.push(f);
+        Ok(())
+    }
+
+    // ---- op bodies shared by both dispatch loops --------------------------
+    //
+    // Each method below is the single implementation of its opcode's
+    // semantics, called from both `execute` (legacy `Vec<Op>`) and
+    // `execute_decoded`. Sharing the body is what makes the bit-identity
+    // contract cheap to uphold: there is exactly one place where heap
+    // allocation order, throw behavior, and surcharge accounting live.
+
+    fn op_store_local(&mut self, i: u16) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let f = self.frames.last_mut().unwrap();
+        if (i as usize) >= f.locals.len() {
+            f.locals.resize(i as usize + 1, Value::Null);
+        }
+        f.locals[i as usize] = v;
+        Ok(())
+    }
+
+    fn op_get_field(&mut self, slot: u16) -> Result<(), VmError> {
+        let r = self.pop_ref("field access on null")?;
+        let got = match self.heap.get(r) {
+            HeapObj::Object {
+                fields, base_addr, ..
+            } => Some((fields[slot as usize], *base_addr + slot as u64 * 8)),
+            _ => None,
+        };
+        match got {
+            Some((v, addr)) => {
+                self.cache_access(addr);
+                self.push(v);
+            }
+            None => self.throw_vm("NullPointerException", "not an object")?,
+        }
+        Ok(())
+    }
+
+    fn op_put_field(&mut self, slot: u16) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let r = self.pop_ref("field store on null")?;
+        let ok = match self.heap.get_mut(r) {
+            HeapObj::Object { fields, .. } => {
+                fields[slot as usize] = v;
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            self.throw_vm("NullPointerException", "not an object")?;
+        }
+        Ok(())
+    }
+
+    fn op_ref_cmp(&mut self, cop: CmpOp) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let eq = match (a, b) {
+            (Value::Null, Value::Null) => true,
+            (Value::Obj(x), Value::Obj(y)) => x == y,
+            _ => false,
+        };
+        self.push(Value::Bool(if cop == CmpOp::Eq { eq } else { !eq }));
+        Ok(())
+    }
+
+    fn op_bit_not(&mut self, ty: NumTy) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let out = match ty {
+            NumTy::I64 => Value::Long(!v.as_long().ok_or_else(|| self.rt_err("~ on non-long"))?),
+            _ => Value::Int(!v.as_int().ok_or_else(|| self.rt_err("~ on non-int"))?),
+        };
+        self.push(out);
+        Ok(())
+    }
+
+    fn op_new_object(&mut self, cid: ClassId) {
+        let class = &self.program.classes[cid as usize];
+        let defaults: Vec<Value> = class
+            .fields
+            .iter()
+            .map(|(_, ty)| default_value(ty))
+            .collect();
+        let r = self.heap.alloc_object(cid, defaults.len());
+        if let HeapObj::Object { fields, .. } = self.heap.get_mut(r) {
+            fields.copy_from_slice(&defaults);
+        }
+        self.push(Value::Obj(r));
+    }
+
+    fn op_new_array(&mut self, elem: ArrayElem, dims: u8) -> Result<(), VmError> {
+        let mut sizes = Vec::with_capacity(dims as usize);
+        for _ in 0..dims {
+            let n = self
+                .pop()?
+                .as_int()
+                .ok_or_else(|| self.rt_err("array size not int"))?;
+            if n < 0 {
+                self.throw_vm("NegativeArraySizeException", &format!("{n}"))?;
+                continue;
+            }
+            sizes.push(n as usize);
+        }
+        sizes.reverse();
+        let r = self.alloc_multi(&sizes, elem)?;
+        self.push(Value::Obj(r));
+        Ok(())
+    }
+
+    fn op_arr_load(&mut self) -> Result<(), VmError> {
+        let idx = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("index not int"))?;
+        let r = self.pop_ref("array load on null")?;
+        let fetched: Result<(Value, u64), (String, String)> = match self.heap.get(r) {
+            HeapObj::Array {
+                data,
+                elem_size,
+                base_addr,
+            } => {
+                if idx < 0 || idx as usize >= data.len() {
+                    Err((
+                        "ArrayIndexOutOfBoundsException".into(),
+                        format!("index {idx} out of bounds for length {}", data.len()),
+                    ))
+                } else {
+                    Ok((
+                        data[idx as usize],
+                        base_addr + idx as u64 * *elem_size as u64,
+                    ))
+                }
+            }
+            _ => Err(("NullPointerException".into(), "not an array".into())),
+        };
+        match fetched {
+            Ok((v, addr)) => {
+                self.cache_access(addr);
+                self.push(v);
+            }
+            Err((class, msg)) => {
+                self.throw_vm(&class, &msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn op_arr_store(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let idx = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("index not int"))?;
+        let r = self.pop_ref("array store on null")?;
+        let stored: Result<u64, (String, String)> = match self.heap.get_mut(r) {
+            HeapObj::Array {
+                data,
+                elem_size,
+                base_addr,
+            } => {
+                if idx < 0 || idx as usize >= data.len() {
+                    Err((
+                        "ArrayIndexOutOfBoundsException".into(),
+                        format!("index {idx} out of bounds for length {}", data.len()),
+                    ))
+                } else {
+                    data[idx as usize] = v;
+                    Ok(*base_addr + idx as u64 * *elem_size as u64)
+                }
+            }
+            _ => Err(("NullPointerException".into(), "not an array".into())),
+        };
+        match stored {
+            Ok(addr) => {
+                self.cache_access(addr);
+            }
+            Err((class, msg)) => {
+                self.throw_vm(&class, &msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn op_arr_len(&mut self) -> Result<(), VmError> {
+        let r = self.pop_ref("length of null")?;
+        let n: Option<i32> = match self.heap.get(r) {
+            HeapObj::Array { data, .. } => Some(data.len() as i32),
+            HeapObj::Str(s) => Some(s.chars().count() as i32),
+            _ => None,
+        };
+        match n {
+            Some(n) => self.push(Value::Int(n)),
+            None => self.throw_vm("NullPointerException", "not an array")?,
+        }
+        Ok(())
+    }
+
+    fn op_str_concat(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let mut s = String::new();
+        self.heap.render_to(&a, &mut s);
+        self.heap.render_to(&b, &mut s);
+        let r = self.heap.alloc(HeapObj::Str(s));
+        self.push(Value::Obj(r));
+        Ok(())
+    }
+
+    fn op_sb_append(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        // Rendered into a temporary: `sb.append(sb)` would otherwise
+        // alias the builder borrowed mutably below.
+        let mut text = String::new();
+        self.heap.render_to(&v, &mut text);
+        let r = self.pop_ref("append on null")?;
+        let ok = match self.heap.get_mut(r) {
+            HeapObj::Builder(s) => {
+                s.push_str(&text);
+                true
+            }
+            _ => false,
+        };
+        if ok {
+            self.push(Value::Obj(r));
+        } else {
+            self.throw_vm("NullPointerException", "not a builder")?;
+        }
+        Ok(())
+    }
+
+    fn op_sb_to_string(&mut self) -> Result<(), VmError> {
+        let r = self.pop_ref("toString on null")?;
+        let text: Option<String> = match self.heap.get(r) {
+            HeapObj::Builder(s) => Some(s.clone()),
+            HeapObj::Str(s) => Some(s.clone()),
+            _ => None,
+        };
+        match text {
+            Some(text) => {
+                let nr = self.heap.alloc(HeapObj::Str(text));
+                self.push(Value::Obj(nr));
+            }
+            None => self.throw_vm("NullPointerException", "not a builder")?,
+        }
+        Ok(())
+    }
+
+    fn op_str_equals(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let eq = match (self.try_str(&a), self.try_str(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        };
+        self.push(Value::Bool(eq));
+        Ok(())
+    }
+
+    fn op_str_compare(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let ord: Option<i32> = match (self.try_str(&a), self.try_str(&b)) {
+            (Some(x), Some(y)) => Some(match x.cmp(y) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }),
+            _ => None,
+        };
+        match ord {
+            Some(o) => self.push(Value::Int(o)),
+            None => self.throw_vm("NullPointerException", "compareTo on null")?,
+        }
+        Ok(())
+    }
+
+    fn op_str_length(&mut self) -> Result<(), VmError> {
+        let r = self.pop_ref("length() on null")?;
+        let n: Option<i32> = match self.heap.get(r) {
+            HeapObj::Str(s) => Some(s.chars().count() as i32),
+            _ => None,
+        };
+        match n {
+            Some(n) => self.push(Value::Int(n)),
+            None => self.throw_vm("NullPointerException", "not a string")?,
+        }
+        Ok(())
+    }
+
+    fn op_str_char_at(&mut self) -> Result<(), VmError> {
+        let idx = self
+            .pop()?
+            .as_int()
+            .ok_or_else(|| self.rt_err("charAt index"))?;
+        let r = self.pop_ref("charAt on null")?;
+        let c: Option<Option<char>> = match self.heap.get(r) {
+            HeapObj::Str(s) => Some(s.chars().nth(idx.max(0) as usize)),
+            _ => None,
+        };
+        match c {
+            Some(Some(c)) => self.push(Value::Char(c as u16)),
+            Some(None) => {
+                self.throw_vm("StringIndexOutOfBoundsException", &format!("index {idx}"))?
+            }
+            None => self.throw_vm("NullPointerException", "not a string")?,
+        }
+        Ok(())
+    }
+
+    fn op_box(&mut self, wrapper: &'static str, surcharge: bool) -> Result<(), VmError> {
+        if surcharge {
+            // Non-Integer wrappers carry the Table I surcharge.
+            self.charge(OpCategory::WrapperSurcharge);
+        }
+        let v = self.pop()?;
+        let r = self.heap.alloc(HeapObj::Boxed { wrapper, value: v });
+        self.push(Value::Obj(r));
+        Ok(())
+    }
+
+    fn op_unbox(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        match v {
+            Value::Obj(r) => {
+                let inner: Option<Value> = match self.heap.get(r) {
+                    HeapObj::Boxed { value, .. } => Some(*value),
+                    _ => None,
+                };
+                match inner {
+                    Some(value) => self.push(value),
+                    None => self.throw_vm("ClassCastException", "not a wrapper")?,
+                }
+            }
+            Value::Null => {
+                self.throw_vm("NullPointerException", "unboxing null")?;
+            }
+            prim => self.push(prim), // already primitive: no-op
+        }
+        Ok(())
+    }
+
+    fn op_throw(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        match v {
+            Value::Obj(r) => self.unwind(r),
+            _ => self.throw_vm("NullPointerException", "throw null"),
+        }
+    }
+
+    fn op_dup(&mut self) -> Result<(), VmError> {
+        let v = match self.frames.last().unwrap().stack.last() {
+            Some(v) => *v,
+            None => return Err(self.rt_err("dup on empty stack")),
+        };
+        self.push(v);
+        Ok(())
+    }
+
+    fn op_print(&mut self, newline: bool, has_arg: bool) -> Result<(), VmError> {
+        if has_arg {
+            let v = self.pop()?;
+            // Render straight into the captured stdout buffer — the
+            // borrows are field-disjoint, so no temporary `String`.
+            let Interp { heap, stdout, .. } = self;
+            heap.render_to(&v, stdout);
+        }
+        if newline {
+            self.stdout.push('\n');
+        }
+        Ok(())
+    }
+
+    fn op_exc_message(&mut self) -> Result<(), VmError> {
+        let e = self.pop()?;
+        let msg = match e {
+            Value::Obj(r) => match self.heap.get(r) {
+                HeapObj::Exception { message, .. } => message.clone(),
+                _ => String::new(),
+            },
+            _ => String::new(),
+        };
+        let r = self.heap.alloc(HeapObj::Str(msg));
+        self.push(Value::Obj(r));
+        Ok(())
+    }
+
+    fn op_profile_enter(&mut self, mid: MethodId) {
+        self.flush();
+        let (j, core, s) = self.energy_now();
+        self.profile_stack.push(ProfileEntry {
+            method: mid,
+            start_j: j,
+            start_core_j: core,
+            start_s: s,
+        });
     }
 
     // ---- stack helpers ---------------------------------------------------
@@ -803,11 +1290,14 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn try_str(&self, v: &Value) -> Option<String> {
+    /// Borrowed view of a string-like heap value. Returning `&str`
+    /// (instead of the old `Option<String>`) keeps `StrEquals` /
+    /// `StrCompareTo` / parse intrinsics allocation-free on the hot path.
+    fn try_str(&self, v: &Value) -> Option<&str> {
         match v {
             Value::Obj(r) => match self.heap.get(*r) {
-                HeapObj::Str(s) => Some(s.clone()),
-                HeapObj::Builder(s) => Some(s.clone()),
+                HeapObj::Str(s) => Some(s.as_str()),
+                HeapObj::Builder(s) => Some(s.as_str()),
                 _ => None,
             },
             _ => None,
@@ -1129,60 +1619,56 @@ impl<'p> Interp<'p> {
         match name {
             "<makeExc>" => {
                 let msg = self.pop()?;
-                let class = self.pop()?;
-                let class = self.try_str(&class).unwrap_or_else(|| "Exception".into());
-                let message = self.try_str(&msg).unwrap_or_default();
+                let class_v = self.pop()?;
+                let class = self.try_str(&class_v).unwrap_or("Exception").to_string();
+                let message = self.try_str(&msg).unwrap_or("").to_string();
                 let r = self.heap.alloc(HeapObj::Exception { class, message });
                 self.push(Value::Obj(r));
                 return Ok(());
             }
             "<parseInt>" => {
                 let s = self.pop()?;
-                let text = self.try_str(&s).unwrap_or_default();
-                return match text.trim().parse::<i32>() {
+                let parsed = self.try_str(&s).unwrap_or("").trim().parse::<i32>();
+                return match parsed {
                     Ok(v) => {
                         self.push(Value::Int(v));
                         Ok(())
                     }
-                    Err(_) => self.throw_vm("NumberFormatException", &text).map(|_| ()),
+                    Err(_) => {
+                        // Cold path: the error message carries the
+                        // untrimmed original text, so re-extract owned.
+                        let text = self.try_str(&s).unwrap_or("").to_string();
+                        self.throw_vm("NumberFormatException", &text).map(|_| ())
+                    }
                 };
             }
             "<parseDouble>" => {
                 let s = self.pop()?;
-                let text = self.try_str(&s).unwrap_or_default();
-                return match text.trim().parse::<f64>() {
+                let parsed = self.try_str(&s).unwrap_or("").trim().parse::<f64>();
+                return match parsed {
                     Ok(v) => {
                         self.push(Value::Double(v));
                         Ok(())
                     }
-                    Err(_) => self.throw_vm("NumberFormatException", &text).map(|_| ()),
+                    Err(_) => {
+                        let text = self.try_str(&s).unwrap_or("").to_string();
+                        self.throw_vm("NumberFormatException", &text).map(|_| ())
+                    }
                 };
             }
             "<strHash>" => {
                 let s = self.pop()?;
-                let text = self.try_str(&s).unwrap_or_default();
                 let mut h: i32 = 0;
-                for c in text.encode_utf16() {
-                    h = h.wrapping_mul(31).wrapping_add(c as i32);
+                if let Some(text) = self.try_str(&s) {
+                    for c in text.encode_utf16() {
+                        h = h.wrapping_mul(31).wrapping_add(c as i32);
+                    }
                 }
                 self.push(Value::Int(h));
                 return Ok(());
             }
             "<excMessage>" => {
-                let e = self.pop()?;
-                let msg = match e {
-                    Value::Obj(r) => match self.heap.get(r) {
-                        HeapObj::Exception { message, .. } => message.clone(),
-                        other => {
-                            let _ = other;
-                            String::new()
-                        }
-                    },
-                    _ => String::new(),
-                };
-                let r = self.heap.alloc(HeapObj::Str(msg));
-                self.push(Value::Obj(r));
-                return Ok(());
+                return self.op_exc_message();
             }
             _ => {}
         }
@@ -1243,42 +1729,71 @@ impl<'p> Interp<'p> {
 
     /// Unwind to the nearest matching handler (`Ok`), or report the
     /// uncaught exception (`Err`).
+    ///
+    /// Two-phase and allocation-free on the caught path: the winner is
+    /// found by an immutable scan (the exception class stays a borrowed
+    /// `&str`), then frames are popped. This is equivalent to the old
+    /// pop-as-you-scan loop: a handler whose `frame_depth` exceeds the
+    /// live frame count is stale and was always skipped without popping
+    /// anything, so the frame count is constant during the scan and the
+    /// winner is simply the topmost matching handler with
+    /// `frame_depth <= frames.len()`.
     fn unwind(&mut self, exc: Ref) -> Result<(), VmError> {
-        let exc_class = match self.heap.get(exc) {
-            HeapObj::Exception { class, .. } => class.clone(),
-            HeapObj::Object { class, .. } => self.program.classes[*class as usize].name.clone(),
-            _ => "Exception".to_string(),
+        let winner: Option<usize> = {
+            let exc_class: &str = match self.heap.get(exc) {
+                HeapObj::Exception { class, .. } => class,
+                HeapObj::Object { class, .. } => &self.program.classes[*class as usize].name,
+                _ => "Exception",
+            };
+            let dp = self.decoded;
+            let depth = self.frames.len();
+            self.handlers.iter().enumerate().rev().find_map(|(i, h)| {
+                let matches = match &h.class {
+                    HandlerClass::Owned(c) => {
+                        c == "*"
+                            || c == exc_class
+                            || c == "Exception"
+                            || c == "Throwable"
+                            || c == "RuntimeException"
+                    }
+                    HandlerClass::Interned { sym, catch_all } => {
+                        *catch_all || dp.map(|d| d.interner.get(*sym) == exc_class) == Some(true)
+                    }
+                };
+                (matches && h.frame_depth <= depth).then_some(i)
+            })
         };
-        // Find the innermost matching handler.
-        while let Some(h) = self.handlers.pop() {
-            let matches = h.class == "*"
-                || h.class == exc_class
-                || h.class == "Exception"
-                || h.class == "Throwable"
-                || h.class == "RuntimeException";
-            if !matches {
-                continue;
+        match winner {
+            Some(i) => {
+                let h = self.handlers.remove(i);
+                self.handlers.truncate(i);
+                // Record profile exits for frames we abandon.
+                while self.frames.len() > h.frame_depth {
+                    self.pop_frame_profile();
+                    if let Some(f) = self.frames.pop() {
+                        self.recycle_frame(f);
+                    }
+                }
+                let f = self.frames.last_mut().unwrap();
+                f.stack.truncate(h.stack_depth);
+                f.stack.push(Value::Obj(exc));
+                f.pc = h.handler_pc as usize;
+                Ok(())
             }
-            // Record profile exits for frames we abandon.
-            while self.frames.len() > h.frame_depth {
-                self.pop_frame_profile();
-                self.frames.pop();
+            None => {
+                // Uncaught: surface as a runtime error (cold — clones ok).
+                self.handlers.clear();
+                let (class, message) = match self.heap.get(exc) {
+                    HeapObj::Exception { class, message } => (class.clone(), message.clone()),
+                    HeapObj::Object { class, .. } => (
+                        self.program.classes[*class as usize].name.clone(),
+                        String::new(),
+                    ),
+                    _ => ("Exception".to_string(), String::new()),
+                };
+                Err(self.rt_err(format!("uncaught {class}: {message}")))
             }
-            if self.frames.len() < h.frame_depth || self.frames.is_empty() {
-                continue; // stale handler from an unwound frame
-            }
-            let f = self.frames.last_mut().unwrap();
-            f.stack.truncate(h.stack_depth);
-            f.stack.push(Value::Obj(exc));
-            f.pc = h.handler_pc as usize;
-            return Ok(());
         }
-        // Uncaught: surface as a runtime error.
-        let (class, message) = match self.heap.get(exc) {
-            HeapObj::Exception { class, message } => (class.clone(), message.clone()),
-            _ => (exc_class, String::new()),
-        };
-        Err(self.rt_err(format!("uncaught {class}: {message}")))
     }
 
     fn pop_frame_profile(&mut self) {

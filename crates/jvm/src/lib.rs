@@ -44,6 +44,7 @@
 
 pub mod class;
 pub mod compiler;
+pub mod decode;
 pub mod energy;
 pub mod error;
 pub mod heap;
@@ -55,10 +56,11 @@ pub mod vm;
 
 pub use class::{ClassId, MethodId, Program};
 pub use compiler::compile_project;
+pub use decode::{decode, DecodedProgram};
 pub use energy::{EnergySettings, LatencyModel};
 pub use error::VmError;
 pub use instrument::instrument_all;
 pub use interp::{Interp, RunOutcome};
 pub use opcode::{NumTy, Op};
 pub use value::Value;
-pub use vm::{MethodEnergyRecord, Vm};
+pub use vm::{Dispatch, MethodEnergyRecord, Vm};

@@ -95,33 +95,56 @@ impl Value {
     /// primitives (heap values are rendered by the interpreter, which can
     /// see the heap).
     pub fn render_primitive(&self) -> Option<String> {
-        Some(match self {
-            Value::Int(v) => v.to_string(),
-            Value::Long(v) => v.to_string(),
-            Value::Float(v) => format_float(*v as f64),
-            Value::Double(v) => format_float(*v),
-            Value::Bool(b) => b.to_string(),
-            Value::Char(c) => char::from_u32(*c as u32).unwrap_or('?').to_string(),
-            Value::Null => "null".to_string(),
-            Value::Obj(_) => return None,
-        })
+        let mut out = String::new();
+        self.render_primitive_to(&mut out).then_some(out)
+    }
+
+    /// Buffer-writing form of [`Value::render_primitive`]; returns
+    /// `false` (writing nothing) for heap references.
+    pub fn render_primitive_to(&self, out: &mut String) -> bool {
+        use std::fmt::Write as _;
+        match self {
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Long(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => format_float_to(*v as f64, out),
+            Value::Double(v) => format_float_to(*v, out),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Char(c) => out.push(char::from_u32(*c as u32).unwrap_or('?')),
+            Value::Null => out.push_str("null"),
+            Value::Obj(_) => return false,
+        }
+        true
     }
 }
 
 /// Render a double roughly the way Java does (`5.0`, not `5`).
 pub fn format_float(v: f64) -> String {
+    let mut out = String::new();
+    format_float_to(v, &mut out);
+    out
+}
+
+/// Buffer-writing form of [`format_float`].
+pub fn format_float_to(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if v.is_nan() {
-        "NaN".into()
+        out.push_str("NaN");
     } else if v.is_infinite() {
         if v > 0.0 {
-            "Infinity".into()
+            out.push_str("Infinity");
         } else {
-            "-Infinity".into()
+            out.push_str("-Infinity");
         }
     } else if v == v.trunc() && v.abs() < 1e15 {
-        format!("{v:.1}")
+        let _ = write!(out, "{v:.1}");
     } else {
-        format!("{v}")
+        let _ = write!(out, "{v}");
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::class::Program;
 use crate::compiler;
+use crate::decode::{self, DecodedProgram};
 use crate::energy::EnergySettings;
 use crate::instrument;
 use crate::interp::{Interp, ProfileEvent, RunOutcome};
@@ -30,6 +31,22 @@ pub struct MethodEnergyRecord {
     pub per_execution: Vec<(f64, f64)>,
 }
 
+/// Which execution engine a [`Vm`] runs bytecode on.
+///
+/// Both engines are bit-identical in every observable (stdout, op
+/// scoreboards, profile events, energy joules) — enforced by the
+/// differential test suite. `Decoded` is the default; `Legacy` remains
+/// as the differential reference and benchmark baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Pre-decoded threaded interpreter: interned symbols, inline
+    /// caches, pooled frames, zero-clone dispatch.
+    #[default]
+    Decoded,
+    /// The original `Vec<Op>` clone-per-instruction loop.
+    Legacy,
+}
+
 /// A compiled program plus the simulated device it reports to.
 pub struct Vm {
     program: Program,
@@ -37,6 +54,10 @@ pub struct Vm {
     settings: EnergySettings,
     fuel: u64,
     instrumented: bool,
+    dispatch: Dispatch,
+    /// Lazily built pre-decoded form; invalidated when the program's
+    /// bytecode changes (instrumentation).
+    decoded: Option<DecodedProgram>,
 }
 
 impl Vm {
@@ -58,7 +79,20 @@ impl Vm {
             settings: EnergySettings::default(),
             fuel: 50_000_000_000,
             instrumented: false,
+            dispatch: Dispatch::default(),
+            decoded: None,
         }
+    }
+
+    /// Select the execution engine (default: [`Dispatch::Decoded`]).
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Vm {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The active execution engine.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// Use a different device profile (edge-device sweeps).
@@ -82,7 +116,20 @@ impl Vm {
     /// Inject profiler probes into every method (idempotent).
     pub fn instrument(&mut self) -> usize {
         self.instrumented = true;
+        self.decoded = None; // bytecode changed: decoded form is stale
         instrument::instrument_all(&mut self.program)
+    }
+
+    /// Build (once) and return the pre-decoded program, if the decoded
+    /// engine is selected.
+    fn ensure_decoded(&mut self) -> Option<&DecodedProgram> {
+        if self.dispatch != Dispatch::Decoded {
+            return None;
+        }
+        if self.decoded.is_none() {
+            self.decoded = Some(decode::decode(&self.program));
+        }
+        self.decoded.as_ref()
     }
 
     /// Whether probes are injected.
@@ -119,9 +166,13 @@ impl Vm {
             .program
             .main
             .ok_or_else(|| VmError::NoMain("no `public static void main` found".into()))?;
+        self.ensure_decoded();
         let _probe = self.bind_trace_probe();
         let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
+        if let Some(dp) = self.decoded.as_ref() {
+            interp.set_decoded(dp);
+        }
         interp.set_fuel(self.fuel);
         {
             let _s = jepo_trace::span("vm/clinit");
@@ -150,9 +201,13 @@ impl Vm {
             .program
             .resolve_method(cid, method, args.len() as u8)
             .ok_or_else(|| VmError::NoMain(format!("no method `{class}.{method}`")))?;
+        self.ensure_decoded();
         let _probe = self.bind_trace_probe();
         let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
+        if let Some(dp) = self.decoded.as_ref() {
+            interp.set_decoded(dp);
+        }
         interp.set_fuel(self.fuel);
         {
             let _s = jepo_trace::span("vm/clinit");
