@@ -1,16 +1,18 @@
 //! Interpreter dispatch benchmark: legacy `Vec<Op>` clone-per-op loop
 //! vs the pre-decoded threaded engine (interned symbols, inline caches,
-//! pooled frames).
+//! pooled frames) vs the register-IR compilation tier (basic blocks,
+//! constant folding, DCE, inlining, LICM, per-block bulk accounting).
 //!
 //! Two legs:
 //!
 //! 1. **Microbench** — a dispatch-bound synthetic workload (virtual
 //!    calls through a polymorphic site, field traffic, string building,
-//!    tight integer arithmetic) run uninstrumented through both
-//!    engines. Reported as ops/sec; the acceptance bar is ≥ 2×.
+//!    tight integer arithmetic) run uninstrumented through all three
+//!    engines. Reported as ops/sec; the acceptance bar is ≥ 2× for
+//!    decoded and ≥ 3.5× for the IR tier, both over legacy.
 //! 2. **End-to-end** — the instrumented profiler pipeline over the
 //!    runnable WEKA corpus (mini-NaiveBayes, the workload behind every
-//!    profiler-view number), timed under both engines.
+//!    profiler-view number), timed under all engines.
 //!
 //! `--selfcheck` additionally reruns both legs comparing every
 //! observable bit-for-bit (stdout, op counts, energy joule bits,
@@ -75,27 +77,21 @@ fn micro_pass(src: &str, dispatch: Dispatch) -> (RunOutcome, f64) {
     (run, t.elapsed().as_secs_f64())
 }
 
-/// Run both engines in alternating rounds (so throttle/noise windows on
-/// a busy machine hit both equally) and keep each engine's best time.
-fn run_micro(src: &str) -> (RunOutcome, f64, RunOutcome, f64) {
-    let mut legacy_best = f64::INFINITY;
-    let mut decoded_best = f64::INFINITY;
-    let mut legacy_out = None;
-    let mut decoded_out = None;
+const ENGINES: [Dispatch; 3] = [Dispatch::Legacy, Dispatch::Decoded, Dispatch::Ir];
+
+/// Run all engines in alternating rounds (so throttle/noise windows on
+/// a busy machine hit each equally) and keep each engine's best time.
+fn run_micro(src: &str) -> Vec<(RunOutcome, f64)> {
+    let mut best = vec![f64::INFINITY; ENGINES.len()];
+    let mut outs: Vec<Option<RunOutcome>> = vec![None; ENGINES.len()];
     for _ in 0..5 {
-        let (run, secs) = micro_pass(src, Dispatch::Legacy);
-        legacy_best = legacy_best.min(secs);
-        legacy_out = Some(run);
-        let (run, secs) = micro_pass(src, Dispatch::Decoded);
-        decoded_best = decoded_best.min(secs);
-        decoded_out = Some(run);
+        for (i, &dispatch) in ENGINES.iter().enumerate() {
+            let (run, secs) = micro_pass(src, dispatch);
+            best[i] = best[i].min(secs);
+            outs[i] = Some(run);
+        }
     }
-    (
-        legacy_out.unwrap(),
-        legacy_best,
-        decoded_out.unwrap(),
-        decoded_best,
-    )
+    outs.into_iter().map(Option::unwrap).zip(best).collect()
 }
 
 fn run_profiler(dispatch: Dispatch) -> (ProfileReport, f64) {
@@ -139,6 +135,21 @@ fn outcomes_identical(l: &RunOutcome, d: &RunOutcome) -> Vec<String> {
     diffs
 }
 
+/// Bitwise profiler report comparison: the end-to-end selfcheck gate.
+fn reports_identical(l: &ProfileReport, d: &ProfileReport, tag: &str) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if l.result_txt != d.result_txt {
+        diffs.push(format!("profiler result.txt ({tag})"));
+    }
+    if l.stdout != d.stdout {
+        diffs.push(format!("profiler stdout ({tag})"));
+    }
+    if l.energy.package_j.to_bits() != d.energy.package_j.to_bits() {
+        diffs.push(format!("profiler energy ({tag})"));
+    }
+    diffs
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selfcheck = args.iter().any(|a| a == "--selfcheck");
@@ -149,49 +160,65 @@ fn main() {
         .unwrap_or(200_000);
 
     let src = microbench_src(reps);
-    eprintln!("Microbench: {reps} iterations through both engines…");
-    let (legacy_out, legacy_secs, decoded_out, decoded_secs) = run_micro(&src);
+    eprintln!("Microbench: {reps} iterations through all three engines…");
+    let micro = run_micro(&src);
+    let (legacy_out, legacy_secs) = &micro[0];
+    let (decoded_out, decoded_secs) = &micro[1];
+    let (ir_out, ir_secs) = &micro[2];
     assert_eq!(
         legacy_out.stdout, decoded_out.stdout,
-        "microbench outputs diverged"
+        "microbench outputs diverged (decoded)"
+    );
+    assert_eq!(
+        legacy_out.stdout, ir_out.stdout,
+        "microbench outputs diverged (ir)"
     );
     let ops = decoded_out.ops_executed;
     let legacy_ops_sec = ops as f64 / legacy_secs.max(1e-9);
     let decoded_ops_sec = ops as f64 / decoded_secs.max(1e-9);
+    let ir_ops_sec = ops as f64 / ir_secs.max(1e-9);
     let micro_speedup = decoded_ops_sec / legacy_ops_sec.max(1e-9);
+    let ir_vs_legacy = ir_ops_sec / legacy_ops_sec.max(1e-9);
+    let ir_vs_decoded = ir_ops_sec / decoded_ops_sec.max(1e-9);
     let ic_total = decoded_out.ic_hits + decoded_out.ic_misses;
     let ic_hit_rate = decoded_out.ic_hits as f64 / (ic_total.max(1)) as f64;
     eprintln!(
         "  legacy  {legacy_secs:.3}s ({legacy_ops_sec:.0} ops/s)\n  \
-         decoded {decoded_secs:.3}s ({decoded_ops_sec:.0} ops/s)  speedup {micro_speedup:.2}×  \
-         IC hit rate {:.2}%",
+         decoded {decoded_secs:.3}s ({decoded_ops_sec:.0} ops/s)  speedup {micro_speedup:.2}×\n  \
+         ir      {ir_secs:.3}s ({ir_ops_sec:.0} ops/s)  speedup {ir_vs_legacy:.2}× vs legacy, \
+         {ir_vs_decoded:.2}× vs decoded\n  IC hit rate {:.2}%",
         100.0 * ic_hit_rate
     );
 
     eprintln!("End-to-end: instrumented profiler over the runnable corpus…");
     let (legacy_report, e2e_legacy_secs) = run_profiler(Dispatch::Legacy);
     let (decoded_report, e2e_decoded_secs) = run_profiler(Dispatch::Decoded);
+    let (ir_report, e2e_ir_secs) = run_profiler(Dispatch::Ir);
     let e2e_speedup = e2e_legacy_secs / e2e_decoded_secs.max(1e-9);
+    let e2e_ir_speedup = e2e_legacy_secs / e2e_ir_secs.max(1e-9);
     eprintln!(
-        "  legacy {e2e_legacy_secs:.3}s, decoded {e2e_decoded_secs:.3}s  (speedup {e2e_speedup:.2}×)"
+        "  legacy {e2e_legacy_secs:.3}s, decoded {e2e_decoded_secs:.3}s \
+         (speedup {e2e_speedup:.2}×), ir {e2e_ir_secs:.3}s (speedup {e2e_ir_speedup:.2}×)"
     );
 
     let mut selfcheck_status = "skipped";
     if selfcheck {
-        eprintln!("Selfcheck: bit-exact comparison of both engines…");
-        let mut diffs = outcomes_identical(&legacy_out, &decoded_out);
-        if legacy_report.result_txt != decoded_report.result_txt {
-            diffs.push("profiler result.txt".into());
-        }
-        if legacy_report.stdout != decoded_report.stdout {
-            diffs.push("profiler stdout".into());
-        }
-        if legacy_report.energy.package_j.to_bits() != decoded_report.energy.package_j.to_bits() {
-            diffs.push("profiler energy".into());
-        }
+        eprintln!("Selfcheck: bit-exact comparison of all engines…");
+        let mut diffs = outcomes_identical(legacy_out, decoded_out);
+        diffs.extend(
+            outcomes_identical(legacy_out, ir_out)
+                .into_iter()
+                .map(|d| format!("{d} (ir)")),
+        );
+        diffs.extend(reports_identical(
+            &legacy_report,
+            &decoded_report,
+            "decoded",
+        ));
+        diffs.extend(reports_identical(&legacy_report, &ir_report, "ir"));
         if diffs.is_empty() {
             selfcheck_status = "pass";
-            eprintln!("  ok — all observables identical");
+            eprintln!("  ok — all observables identical across all three engines");
         } else {
             eprintln!("ERROR: engines diverged in: {}", diffs.join(", "));
             std::process::exit(1);
@@ -203,14 +230,20 @@ fn main() {
         "{{\n  \"bench\": \"interp\",\n  \"reps\": {reps},\n  \
          \"microbench\": {{\n    \"ops_executed\": {ops},\n    \
          \"legacy_secs\": {legacy_secs:.6},\n    \"decoded_secs\": {decoded_secs:.6},\n    \
+         \"ir_secs\": {ir_secs:.6},\n    \
          \"legacy_ops_per_sec\": {legacy_ops_sec:.0},\n    \
          \"decoded_ops_per_sec\": {decoded_ops_sec:.0},\n    \
+         \"ir_ops_per_sec\": {ir_ops_sec:.0},\n    \
          \"speedup\": {micro_speedup:.3},\n    \
+         \"ir_vs_legacy\": {ir_vs_legacy:.3},\n    \
+         \"ir_vs_decoded\": {ir_vs_decoded:.3},\n    \
          \"ic_hits\": {},\n    \"ic_misses\": {},\n    \"ic_hit_rate\": {ic_hit_rate:.6}\n  }},\n  \
          \"end_to_end\": {{\n    \
          \"workload\": \"instrumented profiler, runnable WEKA corpus (NaiveBayes)\",\n    \
          \"legacy_secs\": {e2e_legacy_secs:.6},\n    \"decoded_secs\": {e2e_decoded_secs:.6},\n    \
-         \"speedup\": {e2e_speedup:.3}\n  }},\n  \
+         \"ir_secs\": {e2e_ir_secs:.6},\n    \
+         \"speedup\": {e2e_speedup:.3},\n    \
+         \"ir_speedup\": {e2e_ir_speedup:.3}\n  }},\n  \
          \"selfcheck\": \"{selfcheck_status}\"\n}}\n",
         decoded_out.ic_hits, decoded_out.ic_misses,
     );
@@ -225,5 +258,10 @@ fn main() {
 
     if micro_speedup < 2.0 {
         eprintln!("WARNING: microbench speedup {micro_speedup:.2}× is below the 2× acceptance bar");
+    }
+    if ir_vs_legacy < 3.5 {
+        eprintln!(
+            "WARNING: IR microbench speedup {ir_vs_legacy:.2}× is below the 3.5× acceptance bar"
+        );
     }
 }

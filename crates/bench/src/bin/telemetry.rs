@@ -94,7 +94,7 @@ fn leg_enabled_site(tracer: &Tracer, outer: u64, work: u64) -> f64 {
 }
 
 fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs[xs.len() / 2]
 }
 

@@ -22,8 +22,11 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// `(Q1, median, Q3)` by the linear-interpolation convention.
 pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
     assert!(!xs.is_empty(), "quartiles of empty sample");
+    // `total_cmp`: NaN samples would otherwise land wherever the sort's
+    // comparison order happened to leave them, making the percentile
+    // depend on input order; the total order pins NaN above +inf.
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         let h = (v.len() as f64 - 1.0) * p;
         let lo = h.floor() as usize;
@@ -87,6 +90,22 @@ mod tests {
     fn clean_sample_has_no_outliers() {
         let xs = [10.0, 10.2, 9.9, 10.1, 10.0, 10.3, 9.8];
         assert!(tukey_outliers(&xs).is_empty());
+    }
+
+    #[test]
+    fn quartiles_with_nan_are_input_order_independent() {
+        // A poisoned sample (NaN joule reading) must yield the same
+        // quartiles no matter how the input was ordered: `total_cmp`
+        // pins NaN above +inf, so the finite quartiles stay finite and
+        // stable.
+        let a = [1.0, f64::NAN, 3.0, 2.0, 4.0];
+        let b = [4.0, 2.0, 3.0, f64::NAN, 1.0];
+        let (a1, a2, a3) = quartiles(&a);
+        let (b1, b2, b3) = quartiles(&b);
+        assert_eq!(a1.to_bits(), b1.to_bits());
+        assert_eq!(a2.to_bits(), b2.to_bits());
+        assert_eq!(a3.to_bits(), b3.to_bits());
+        assert_eq!((a1, a2, a3), (2.0, 3.0, 4.0));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! End-to-end differential tests for the pre-decoded interpreter: the
+//! End-to-end differential tests for the optimized interpreters: the
 //! whole profiler pipeline (corpus compile → instrument → run → report)
-//! must produce byte-identical output under both engines, the masked
-//! telemetry trace must match, and the Table IV report text must be
-//! invariant across `--jobs` — the decoded engine is only allowed to be
-//! *faster*, never *different*.
+//! must produce byte-identical output under all engines (legacy,
+//! pre-decoded, register-IR), the masked telemetry trace must match,
+//! and the Table IV report text must be invariant across `--jobs` —
+//! the optimized engines are only allowed to be *faster*, never
+//! *different*.
 
 use jepo_core::corpus;
 use jepo_core::report;
@@ -63,12 +64,14 @@ fn assert_reports_identical(l: &ProfileReport, d: &ProfileReport) {
 }
 
 /// The interpreter-bound end-to-end path: the instrumented WEKA corpus
-/// run (mini-NaiveBayes over 300 instances) through both engines.
+/// run (mini-NaiveBayes over 300 instances) through all three engines.
 #[test]
 fn corpus_profile_is_bit_identical_across_engines() {
     let legacy = profile_with(Dispatch::Legacy);
     let decoded = profile_with(Dispatch::Decoded);
     assert_reports_identical(&legacy, &decoded);
+    let ir = profile_with(Dispatch::Ir);
+    assert_reports_identical(&legacy, &ir);
 }
 
 /// Same comparison with telemetry on: the masked Chrome trace (span
@@ -79,7 +82,7 @@ fn masked_trace_is_identical_across_engines() {
     let tracer = jepo_trace::Tracer::global();
     tracer.enable();
     let mut masked = Vec::new();
-    for dispatch in [Dispatch::Legacy, Dispatch::Decoded] {
+    for dispatch in [Dispatch::Legacy, Dispatch::Decoded, Dispatch::Ir] {
         tracer.clear();
         let _report = profile_with(dispatch);
         let json = tracer.export_chrome(false);
@@ -88,7 +91,8 @@ fn masked_trace_is_identical_across_engines() {
     }
     tracer.disable();
     tracer.clear();
-    assert_eq!(masked[0], masked[1], "masked trace diverged");
+    assert_eq!(masked[0], masked[1], "masked trace diverged (decoded)");
+    assert_eq!(masked[0], masked[2], "masked trace diverged (ir)");
 }
 
 /// Small Table IV experiment: report text must be byte-identical for

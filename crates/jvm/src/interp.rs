@@ -62,11 +62,11 @@ pub struct ProfileEvent {
     pub seconds: f64,
 }
 
-struct Frame {
-    method: MethodId,
-    pc: usize,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+pub(crate) struct Frame {
+    pub(crate) method: MethodId,
+    pub(crate) pc: usize,
+    pub(crate) locals: Vec<Value>,
+    pub(crate) stack: Vec<Value>,
 }
 
 /// The exception class a handler catches. The legacy path owns the
@@ -92,43 +92,59 @@ struct ProfileEntry {
     start_s: f64,
 }
 
+/// Result of the value-level arithmetic core: either a computed value or
+/// an integer division/modulus by zero, which the caller converts into a
+/// VM `ArithmeticException` from its own control-flow context.
+pub(crate) enum ArithOutcome {
+    Value(Value),
+    DivByZero,
+}
+
 /// Interpreter state for one run.
 pub struct Interp<'p> {
-    program: &'p Program,
+    pub(crate) program: &'p Program,
     /// Pre-decoded code; when set, [`Interp::run_method`] uses the
     /// zero-clone dispatch loop instead of the legacy `Vec<Op>` walk.
-    decoded: Option<&'p DecodedProgram>,
+    pub(crate) decoded: Option<&'p DecodedProgram>,
+    /// Compiled register IR; when set (alongside `decoded`, which stays
+    /// available as the deoptimization target), [`Interp::run_method`]
+    /// enters through the IR tier.
+    pub(crate) ir: Option<&'p crate::ir::IrProgram>,
     /// Inline-cache state, indexed by decode-time site id. Fresh per
     /// interpreter, so runs stay deterministic and the shared
     /// [`DecodedProgram`] stays immutable.
-    ics: Vec<InlineCache>,
-    ic_hits: u64,
-    ic_misses: u64,
+    pub(crate) ics: Vec<InlineCache>,
+    pub(crate) ic_hits: u64,
+    pub(crate) ic_misses: u64,
     /// Recycled frames: locals/stack vectors keep their capacity across
     /// invocations instead of being reallocated per call.
-    pool: Vec<Frame>,
-    heap: Heap,
-    statics: Vec<Value>,
+    pub(crate) pool: Vec<Frame>,
+    pub(crate) heap: Heap,
+    pub(crate) statics: Vec<Value>,
     cache: CacheModel,
     settings: EnergySettings,
     sim: Arc<SimulatedRapl>,
     /// Local scoreboard (same batched-accounting type the ML kernel
     /// uses): per-instruction charges are plain adds here, converted to
     /// joules/seconds and flushed to `sim` only at run boundaries.
-    board: Scoreboard,
+    pub(crate) board: Scoreboard,
     /// Per-method pc-indexed category tables, precomputed once so the
     /// dispatch loop charges by lookup instead of re-matching the op.
     cats: Vec<Box<[Option<OpCategory>]>>,
     /// Joules/seconds accumulated and already flushed to `sim`.
     flushed_j: f64,
     flushed_s: f64,
-    stdout: String,
-    fuel: u64,
-    frames: Vec<Frame>,
+    pub(crate) stdout: String,
+    pub(crate) fuel: u64,
+    pub(crate) frames: Vec<Frame>,
     handlers: Vec<Handler>,
     profile_stack: Vec<ProfileEntry>,
     profile_out: Vec<ProfileEvent>,
-    ops_executed: u64,
+    pub(crate) ops_executed: u64,
+    /// Number of successful unwinds (caught exceptions) so far. The IR
+    /// tier snapshots this around bridged ops to detect that control has
+    /// transferred to a handler frame and it must deoptimize.
+    pub(crate) unwound: u64,
 }
 
 impl<'p> Interp<'p> {
@@ -147,6 +163,7 @@ impl<'p> Interp<'p> {
         Interp {
             program,
             decoded: None,
+            ir: None,
             ics: Vec::new(),
             ic_hits: 0,
             ic_misses: 0,
@@ -167,6 +184,7 @@ impl<'p> Interp<'p> {
             profile_stack: Vec::new(),
             profile_out: Vec::new(),
             ops_executed: 0,
+            unwound: 0,
         }
     }
 
@@ -178,19 +196,28 @@ impl<'p> Interp<'p> {
         self.decoded = Some(dp);
     }
 
+    /// Enter runs through the register-IR tier. Requires [`Interp::set_decoded`]
+    /// to have been called with the decoded form the IR was compiled
+    /// from: the decoded program remains the deoptimization target for
+    /// exception paths and non-compiled methods.
+    pub fn set_ir(&mut self, ir: &'p crate::ir::IrProgram) {
+        debug_assert!(self.decoded.is_some(), "IR tier requires the decoded form");
+        self.ir = Some(ir);
+    }
+
     /// Limit the instruction budget.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
     }
 
     #[inline]
-    fn charge(&mut self, cat: OpCategory) {
+    pub(crate) fn charge(&mut self, cat: OpCategory) {
         self.board.bump(cat);
     }
 
     /// Current accumulated (package joules, core joules, seconds)
     /// including not-yet-flushed counts.
-    fn energy_now(&self) -> (f64, f64, f64) {
+    pub(crate) fn energy_now(&self) -> (f64, f64, f64) {
         let mut j = 0.0;
         let mut s = 0.0;
         for (i, n) in self.board.counts().into_iter().enumerate() {
@@ -207,7 +234,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Flush counts to the simulated device (dynamic energy + clock).
-    fn flush(&mut self) {
+    pub(crate) fn flush(&mut self) {
         let mut j = 0.0;
         let mut s = 0.0;
         for (i, n) in self.board.drain().into_iter().enumerate() {
@@ -240,9 +267,10 @@ impl<'p> Interp<'p> {
         self.handlers.clear();
         let base_depth = self.frames.len();
         self.push_frame(mid, args);
-        let result = match self.decoded {
-            Some(dp) => self.execute_decoded(base_depth, dp),
-            None => self.execute(base_depth),
+        let result = match (self.ir, self.decoded) {
+            (Some(irp), Some(dp)) => self.execute_ir(base_depth, dp, irp),
+            (_, Some(dp)) => self.execute_decoded(base_depth, dp),
+            _ => self.execute(base_depth),
         };
         match result {
             Ok(v) => Ok(v),
@@ -308,11 +336,11 @@ impl<'p> Interp<'p> {
         });
     }
 
-    fn method_name(&self, mid: MethodId) -> &str {
+    pub(crate) fn method_name(&self, mid: MethodId) -> &str {
         &self.program.methods[mid as usize].qualified
     }
 
-    fn rt_err(&self, msg: impl Into<String>) -> VmError {
+    pub(crate) fn rt_err(&self, msg: impl Into<String>) -> VmError {
         let name = self
             .frames
             .last()
@@ -514,7 +542,7 @@ impl<'p> Interp<'p> {
     /// accounting, heap allocation order, stdout, and profile events are
     /// bit-identical to [`Interp::execute`] — enforced by the
     /// differential test suite.
-    fn execute_decoded(
+    pub(crate) fn execute_decoded(
         &mut self,
         base_depth: usize,
         dp: &'p DecodedProgram,
@@ -600,44 +628,10 @@ impl<'p> Interp<'p> {
                 DOp::CallVirtual { name, argc, site } => {
                     self.call_virtual_decoded(dp, name, argc as usize, site)?;
                 }
-                DOp::MakeExc => {
-                    let msg = self.pop()?;
-                    let class_v = self.pop()?;
-                    let class = self.try_str(&class_v).unwrap_or("Exception").to_string();
-                    let message = self.try_str(&msg).unwrap_or("").to_string();
-                    let r = self.heap.alloc(HeapObj::Exception { class, message });
-                    self.push(Value::Obj(r));
-                }
-                DOp::ParseInt => {
-                    let s = self.pop()?;
-                    match self.try_str(&s).unwrap_or("").trim().parse::<i32>() {
-                        Ok(v) => self.push(Value::Int(v)),
-                        Err(_) => {
-                            let text = self.try_str(&s).unwrap_or("").to_string();
-                            self.throw_vm("NumberFormatException", &text)?;
-                        }
-                    }
-                }
-                DOp::ParseDouble => {
-                    let s = self.pop()?;
-                    match self.try_str(&s).unwrap_or("").trim().parse::<f64>() {
-                        Ok(v) => self.push(Value::Double(v)),
-                        Err(_) => {
-                            let text = self.try_str(&s).unwrap_or("").to_string();
-                            self.throw_vm("NumberFormatException", &text)?;
-                        }
-                    }
-                }
-                DOp::StrHash => {
-                    let s = self.pop()?;
-                    let mut h: i32 = 0;
-                    if let Some(text) = self.try_str(&s) {
-                        for c in text.encode_utf16() {
-                            h = h.wrapping_mul(31).wrapping_add(c as i32);
-                        }
-                    }
-                    self.push(Value::Int(h));
-                }
+                DOp::MakeExc => self.op_make_exc()?,
+                DOp::ParseInt => self.op_parse_int()?,
+                DOp::ParseDouble => self.op_parse_double()?,
+                DOp::StrHash => self.op_str_hash()?,
                 DOp::ExcMessage => self.op_exc_message()?,
                 DOp::Return => {
                     let v = self.pop()?;
@@ -818,7 +812,7 @@ impl<'p> Interp<'p> {
     // ---- frame pool -------------------------------------------------------
 
     /// Return a popped frame's `Vec` capacity to the pool for reuse.
-    fn recycle_frame(&mut self, mut f: Frame) {
+    pub(crate) fn recycle_frame(&mut self, mut f: Frame) {
         if self.pool.len() < FRAME_POOL_MAX {
             f.locals.clear();
             f.stack.clear();
@@ -830,7 +824,7 @@ impl<'p> Interp<'p> {
     /// `nargs` caller-stack values, moved into (pooled) locals as one
     /// contiguous copy — replacing the legacy `pop_n` + fresh-`Vec`
     /// double allocation per call.
-    fn invoke_pooled(&mut self, mid: MethodId, nargs: usize) -> Result<(), VmError> {
+    pub(crate) fn invoke_pooled(&mut self, mid: MethodId, nargs: usize) -> Result<(), VmError> {
         let m = &self.program.methods[mid as usize];
         let nlocals = (m.locals as usize).max(nargs);
         let mut f = self.pool.pop().unwrap_or_else(|| Frame {
@@ -930,7 +924,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_new_object(&mut self, cid: ClassId) {
+    pub(crate) fn op_new_object(&mut self, cid: ClassId) {
         let class = &self.program.classes[cid as usize];
         let defaults: Vec<Value> = class
             .fields
@@ -944,7 +938,7 @@ impl<'p> Interp<'p> {
         self.push(Value::Obj(r));
     }
 
-    fn op_new_array(&mut self, elem: ArrayElem, dims: u8) -> Result<(), VmError> {
+    pub(crate) fn op_new_array(&mut self, elem: ArrayElem, dims: u8) -> Result<(), VmError> {
         let mut sizes = Vec::with_capacity(dims as usize);
         for _ in 0..dims {
             let n = self
@@ -1051,7 +1045,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_str_concat(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_str_concat(&mut self) -> Result<(), VmError> {
         let b = self.pop()?;
         let a = self.pop()?;
         let mut s = String::new();
@@ -1062,7 +1056,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_sb_append(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_sb_append(&mut self) -> Result<(), VmError> {
         let v = self.pop()?;
         // Rendered into a temporary: `sb.append(sb)` would otherwise
         // alias the builder borrowed mutably below.
@@ -1084,7 +1078,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_sb_to_string(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_sb_to_string(&mut self) -> Result<(), VmError> {
         let r = self.pop_ref("toString on null")?;
         let text: Option<String> = match self.heap.get(r) {
             HeapObj::Builder(s) => Some(s.clone()),
@@ -1112,7 +1106,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_str_compare(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_str_compare(&mut self) -> Result<(), VmError> {
         let b = self.pop()?;
         let a = self.pop()?;
         let ord: Option<i32> = match (self.try_str(&a), self.try_str(&b)) {
@@ -1130,7 +1124,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_str_length(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_str_length(&mut self) -> Result<(), VmError> {
         let r = self.pop_ref("length() on null")?;
         let n: Option<i32> = match self.heap.get(r) {
             HeapObj::Str(s) => Some(s.chars().count() as i32),
@@ -1143,7 +1137,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_str_char_at(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_str_char_at(&mut self) -> Result<(), VmError> {
         let idx = self
             .pop()?
             .as_int()
@@ -1163,7 +1157,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_box(&mut self, wrapper: &'static str, surcharge: bool) -> Result<(), VmError> {
+    pub(crate) fn op_box(&mut self, wrapper: &'static str, surcharge: bool) -> Result<(), VmError> {
         if surcharge {
             // Non-Integer wrappers carry the Table I surcharge.
             self.charge(OpCategory::WrapperSurcharge);
@@ -1174,7 +1168,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_unbox(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_unbox(&mut self) -> Result<(), VmError> {
         let v = self.pop()?;
         match v {
             Value::Obj(r) => {
@@ -1226,7 +1220,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_exc_message(&mut self) -> Result<(), VmError> {
+    pub(crate) fn op_exc_message(&mut self) -> Result<(), VmError> {
         let e = self.pop()?;
         let msg = match e {
             Value::Obj(r) => match self.heap.get(r) {
@@ -1240,7 +1234,53 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn op_profile_enter(&mut self, mid: MethodId) {
+    pub(crate) fn op_make_exc(&mut self) -> Result<(), VmError> {
+        let msg = self.pop()?;
+        let class_v = self.pop()?;
+        let class = self.try_str(&class_v).unwrap_or("Exception").to_string();
+        let message = self.try_str(&msg).unwrap_or("").to_string();
+        let r = self.heap.alloc(HeapObj::Exception { class, message });
+        self.push(Value::Obj(r));
+        Ok(())
+    }
+
+    pub(crate) fn op_parse_int(&mut self) -> Result<(), VmError> {
+        let s = self.pop()?;
+        match self.try_str(&s).unwrap_or("").trim().parse::<i32>() {
+            Ok(v) => self.push(Value::Int(v)),
+            Err(_) => {
+                let text = self.try_str(&s).unwrap_or("").to_string();
+                self.throw_vm("NumberFormatException", &text)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn op_parse_double(&mut self) -> Result<(), VmError> {
+        let s = self.pop()?;
+        match self.try_str(&s).unwrap_or("").trim().parse::<f64>() {
+            Ok(v) => self.push(Value::Double(v)),
+            Err(_) => {
+                let text = self.try_str(&s).unwrap_or("").to_string();
+                self.throw_vm("NumberFormatException", &text)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn op_str_hash(&mut self) -> Result<(), VmError> {
+        let s = self.pop()?;
+        let mut h: i32 = 0;
+        if let Some(text) = self.try_str(&s) {
+            for c in text.encode_utf16() {
+                h = h.wrapping_mul(31).wrapping_add(c as i32);
+            }
+        }
+        self.push(Value::Int(h));
+        Ok(())
+    }
+
+    pub(crate) fn op_profile_enter(&mut self, mid: MethodId) {
         self.flush();
         let (j, core, s) = self.energy_now();
         self.profile_stack.push(ProfileEntry {
@@ -1254,12 +1294,12 @@ impl<'p> Interp<'p> {
     // ---- stack helpers ---------------------------------------------------
 
     #[inline]
-    fn push(&mut self, v: Value) {
+    pub(crate) fn push(&mut self, v: Value) {
         self.frames.last_mut().unwrap().stack.push(v);
     }
 
     #[inline]
-    fn pop(&mut self) -> Result<Value, VmError> {
+    pub(crate) fn pop(&mut self) -> Result<Value, VmError> {
         self.frames
             .last_mut()
             .unwrap()
@@ -1293,7 +1333,7 @@ impl<'p> Interp<'p> {
     /// Borrowed view of a string-like heap value. Returning `&str`
     /// (instead of the old `Option<String>`) keeps `StrEquals` /
     /// `StrCompareTo` / parse intrinsics allocation-free on the hot path.
-    fn try_str(&self, v: &Value) -> Option<&str> {
+    pub(crate) fn try_str(&self, v: &Value) -> Option<&str> {
         match v {
             Value::Obj(r) => match self.heap.get(*r) {
                 HeapObj::Str(s) => Some(s.as_str()),
@@ -1304,7 +1344,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn cache_access(&mut self, addr: u64) {
+    pub(crate) fn cache_access(&mut self, addr: u64) {
         if self.settings.cache_enabled {
             let hit = self.cache.access(addr);
             self.charge(energy::array_access_extra(hit));
@@ -1318,6 +1358,28 @@ impl<'p> Interp<'p> {
     fn arith(&mut self, op: ArithOp, ty: NumTy) -> Result<(), VmError> {
         let b = self.pop()?;
         let a = self.pop()?;
+        match self.arith_value(op, ty, a, b)? {
+            ArithOutcome::Value(v) => {
+                self.push(v);
+                Ok(())
+            }
+            ArithOutcome::DivByZero => self
+                .throw_vm("ArithmeticException", "/ by zero")
+                .map(|_| ()),
+        }
+    }
+
+    /// Value-level arithmetic core shared by the stack loops and the IR
+    /// tier. Division/modulus by zero on integer lanes is reported as
+    /// [`ArithOutcome::DivByZero`] so each caller throws from its own
+    /// control-flow context.
+    pub(crate) fn arith_value(
+        &self,
+        op: ArithOp,
+        ty: NumTy,
+        a: Value,
+        b: Value,
+    ) -> Result<ArithOutcome, VmError> {
         let out = match ty {
             NumTy::F64 => {
                 let (x, y) = (
@@ -1353,9 +1415,7 @@ impl<'p> Interp<'p> {
                     b.as_long().ok_or_else(|| self.rt_err("long operand"))?,
                 );
                 if matches!(op, ArithOp::Div | ArithOp::Rem) && y == 0 {
-                    return self
-                        .throw_vm("ArithmeticException", "/ by zero")
-                        .map(|_| ());
+                    return Ok(ArithOutcome::DivByZero);
                 }
                 Value::Long(match op {
                     ArithOp::Add => x.wrapping_add(y),
@@ -1378,9 +1438,7 @@ impl<'p> Interp<'p> {
                     b.as_int().ok_or_else(|| self.rt_err("int operand"))?,
                 );
                 if matches!(op, ArithOp::Div | ArithOp::Rem) && y == 0 {
-                    return self
-                        .throw_vm("ArithmeticException", "/ by zero")
-                        .map(|_| ());
+                    return Ok(ArithOutcome::DivByZero);
                 }
                 Value::Int(match op {
                     ArithOp::Add => x.wrapping_add(y),
@@ -1397,13 +1455,25 @@ impl<'p> Interp<'p> {
                 })
             }
         };
-        self.push(out);
-        Ok(())
+        Ok(ArithOutcome::Value(out))
     }
 
     fn compare(&mut self, op: CmpOp, ty: NumTy) -> Result<(), VmError> {
         let b = self.pop()?;
         let a = self.pop()?;
+        let res = self.compare_value(op, ty, a, b)?;
+        self.push(Value::Bool(res));
+        Ok(())
+    }
+
+    /// Value-level comparison core shared with the IR tier.
+    pub(crate) fn compare_value(
+        &self,
+        op: CmpOp,
+        ty: NumTy,
+        a: Value,
+        b: Value,
+    ) -> Result<bool, VmError> {
         let res = match ty {
             NumTy::F32 | NumTy::F64 => {
                 let (x, y) = (
@@ -1429,11 +1499,10 @@ impl<'p> Interp<'p> {
                 cmp_apply(op, Some(x.cmp(&y)))
             }
         };
-        self.push(Value::Bool(res));
-        Ok(())
+        Ok(res)
     }
 
-    fn neg_value(&self, v: Value, ty: NumTy) -> Result<Value, VmError> {
+    pub(crate) fn neg_value(&self, v: Value, ty: NumTy) -> Result<Value, VmError> {
         Ok(match ty {
             NumTy::F64 => Value::Double(-v.as_double().ok_or_else(|| self.rt_err("neg"))?),
             NumTy::F32 => Value::Float(-v.as_float().ok_or_else(|| self.rt_err("neg"))?),
@@ -1446,7 +1515,7 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn convert_value(&self, v: Value, to: NumTy) -> Result<Value, VmError> {
+    pub(crate) fn convert_value(&self, v: Value, to: NumTy) -> Result<Value, VmError> {
         let d = v
             .as_double()
             .ok_or_else(|| self.rt_err("conversion of non-numeric"))?;
@@ -1463,68 +1532,68 @@ impl<'p> Interp<'p> {
     }
 
     fn math(&mut self, f: MathFn) -> Result<(), VmError> {
-        let binary = matches!(f, MathFn::Pow | MathFn::Min | MathFn::Max);
-        if binary {
+        let v = if matches!(f, MathFn::Pow | MathFn::Min | MathFn::Max) {
             let b = self.pop()?;
             let a = self.pop()?;
-            // Preserve integer typing for min/max on ints.
-            if matches!(f, MathFn::Min | MathFn::Max) {
-                if let (Value::Int(x), Value::Int(y)) = (a, b) {
-                    let r = if f == MathFn::Min { x.min(y) } else { x.max(y) };
-                    self.push(Value::Int(r));
-                    return Ok(());
-                }
-                if let (Some(x), Some(y)) = (a.as_long(), b.as_long()) {
-                    if matches!(a, Value::Long(_)) || matches!(b, Value::Long(_)) {
-                        let r = if f == MathFn::Min { x.min(y) } else { x.max(y) };
-                        self.push(Value::Long(r));
-                        return Ok(());
-                    }
-                }
-            }
-            let (x, y) = (
-                a.as_double().ok_or_else(|| self.rt_err("math operand"))?,
-                b.as_double().ok_or_else(|| self.rt_err("math operand"))?,
-            );
-            let r = match f {
-                MathFn::Pow => x.powf(y),
-                MathFn::Min => x.min(y),
-                MathFn::Max => x.max(y),
-                _ => unreachable!(),
-            };
-            self.push(Value::Double(r));
+            self.math2_value(f, a, b)?
         } else {
             let a = self.pop()?;
-            if f == MathFn::Abs {
-                match a {
-                    Value::Int(x) => {
-                        self.push(Value::Int(x.wrapping_abs()));
-                        return Ok(());
-                    }
-                    Value::Long(x) => {
-                        self.push(Value::Long(x.wrapping_abs()));
-                        return Ok(());
-                    }
-                    Value::Float(x) => {
-                        self.push(Value::Float(x.abs()));
-                        return Ok(());
-                    }
-                    _ => {}
+            self.math1_value(f, a)?
+        };
+        self.push(v);
+        Ok(())
+    }
+
+    /// Binary math intrinsic core (`Pow`/`Min`/`Max`), shared with the
+    /// IR tier. Preserves integer typing for min/max on ints.
+    pub(crate) fn math2_value(&self, f: MathFn, a: Value, b: Value) -> Result<Value, VmError> {
+        if matches!(f, MathFn::Min | MathFn::Max) {
+            if let (Value::Int(x), Value::Int(y)) = (a, b) {
+                let r = if f == MathFn::Min { x.min(y) } else { x.max(y) };
+                return Ok(Value::Int(r));
+            }
+            if let (Some(x), Some(y)) = (a.as_long(), b.as_long()) {
+                if matches!(a, Value::Long(_)) || matches!(b, Value::Long(_)) {
+                    let r = if f == MathFn::Min { x.min(y) } else { x.max(y) };
+                    return Ok(Value::Long(r));
                 }
             }
-            let x = a.as_double().ok_or_else(|| self.rt_err("math operand"))?;
-            let r = match f {
-                MathFn::Sqrt => x.sqrt(),
-                MathFn::Abs => x.abs(),
-                MathFn::Log => x.ln(),
-                MathFn::Exp => x.exp(),
-                MathFn::Floor => x.floor(),
-                MathFn::Ceil => x.ceil(),
-                _ => unreachable!(),
-            };
-            self.push(Value::Double(r));
         }
-        Ok(())
+        let (x, y) = (
+            a.as_double().ok_or_else(|| self.rt_err("math operand"))?,
+            b.as_double().ok_or_else(|| self.rt_err("math operand"))?,
+        );
+        let r = match f {
+            MathFn::Pow => x.powf(y),
+            MathFn::Min => x.min(y),
+            MathFn::Max => x.max(y),
+            _ => unreachable!(),
+        };
+        Ok(Value::Double(r))
+    }
+
+    /// Unary math intrinsic core, shared with the IR tier. `Abs`
+    /// preserves the operand's numeric type.
+    pub(crate) fn math1_value(&self, f: MathFn, a: Value) -> Result<Value, VmError> {
+        if f == MathFn::Abs {
+            match a {
+                Value::Int(x) => return Ok(Value::Int(x.wrapping_abs())),
+                Value::Long(x) => return Ok(Value::Long(x.wrapping_abs())),
+                Value::Float(x) => return Ok(Value::Float(x.abs())),
+                _ => {}
+            }
+        }
+        let x = a.as_double().ok_or_else(|| self.rt_err("math operand"))?;
+        let r = match f {
+            MathFn::Sqrt => x.sqrt(),
+            MathFn::Abs => x.abs(),
+            MathFn::Log => x.ln(),
+            MathFn::Exp => x.exp(),
+            MathFn::Floor => x.floor(),
+            MathFn::Ceil => x.ceil(),
+            _ => unreachable!(),
+        };
+        Ok(Value::Double(r))
     }
 
     // ---- arrays -----------------------------------------------------------
@@ -1556,7 +1625,7 @@ impl<'p> Interp<'p> {
         Ok(outer)
     }
 
-    fn arraycopy(&mut self) -> Result<(), VmError> {
+    pub(crate) fn arraycopy(&mut self) -> Result<(), VmError> {
         let len = self
             .pop()?
             .as_int()
@@ -1614,7 +1683,7 @@ impl<'p> Interp<'p> {
 
     // ---- calls & exceptions -----------------------------------------------
 
-    fn call_virtual(&mut self, name: &str, argc: usize) -> Result<(), VmError> {
+    pub(crate) fn call_virtual(&mut self, name: &str, argc: usize) -> Result<(), VmError> {
         // VM-internal helpers first.
         match name {
             "<makeExc>" => {
@@ -1718,7 +1787,7 @@ impl<'p> Interp<'p> {
     /// Raise a VM-level exception (bounds, arithmetic, NPE) as a
     /// catchable heap exception. `Ok(())` means a handler was found and
     /// the pc now points at it; `Err` means the exception is uncaught.
-    fn throw_vm(&mut self, class: &str, msg: &str) -> Result<(), VmError> {
+    pub(crate) fn throw_vm(&mut self, class: &str, msg: &str) -> Result<(), VmError> {
         let r = self.heap.alloc(HeapObj::Exception {
             class: class.to_string(),
             message: msg.to_string(),
@@ -1738,7 +1807,7 @@ impl<'p> Interp<'p> {
     /// anything, so the frame count is constant during the scan and the
     /// winner is simply the topmost matching handler with
     /// `frame_depth <= frames.len()`.
-    fn unwind(&mut self, exc: Ref) -> Result<(), VmError> {
+    pub(crate) fn unwind(&mut self, exc: Ref) -> Result<(), VmError> {
         let winner: Option<usize> = {
             let exc_class: &str = match self.heap.get(exc) {
                 HeapObj::Exception { class, .. } => class,
@@ -1765,6 +1834,7 @@ impl<'p> Interp<'p> {
         };
         match winner {
             Some(i) => {
+                self.unwound += 1;
                 let h = self.handlers.remove(i);
                 self.handlers.truncate(i);
                 // Record profile exits for frames we abandon.
@@ -1796,7 +1866,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn pop_frame_profile(&mut self) {
+    pub(crate) fn pop_frame_profile(&mut self) {
         // Only pops the *matching* profile entry: the instrumentation
         // pass emits ProfileExit before every return, so under normal
         // control flow the stack is already popped; this handles
@@ -1810,7 +1880,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn record_profile_exit(&mut self, mid: MethodId) {
+    pub(crate) fn record_profile_exit(&mut self, mid: MethodId) {
         let (j, core, s) = self.energy_now();
         // Find the matching entry (top of stack in well-nested code).
         if let Some(pos) = self.profile_stack.iter().rposition(|e| e.method == mid) {
@@ -1841,7 +1911,7 @@ fn default_value(ty: &jepo_jlang::Type) -> Value {
     }
 }
 
-fn cmp_apply(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+pub(crate) fn cmp_apply(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
     use std::cmp::Ordering::*;
     match (op, ord) {
         (CmpOp::Eq, Some(Equal)) => true,

@@ -1,0 +1,439 @@
+//! IR optimization passes: per-block dead-code elimination and
+//! loop-invariant code motion.
+//!
+//! Both passes transform only the *computation* (`Segment::code`);
+//! they never touch the accounting summaries (`k`, `charges`), so the
+//! observables — fuel, op counts, energy totals at every observation
+//! point — are untouched by construction (the "as-if" contract
+//! described in the module docs).
+
+use super::{op_operands, Block, BlockId, IrMethod, IrOp, PassStats, Segment, Src, Term};
+use crate::opcode::{ArithOp, NumTy};
+use jepo_rapl::OpCategory;
+
+/// Run all passes over one compiled method.
+pub(super) fn run(m: &mut IrMethod, stats: &mut PassStats) {
+    thread_jumps(m, stats);
+    dce(m, stats);
+    licm(m, stats);
+}
+
+/// Jump threading: a block ending in `Jump(t)` absorbs a small target
+/// block's segments and terminator, eliminating one dispatch round per
+/// execution (and rotating loops when the latch absorbs the header).
+/// Duplicating segments is accounting-exact — each dynamic path still
+/// charges every decoded op exactly once — and the absorbed copy's
+/// first segment is fused into the predecessor's open segment, saving
+/// a fuel check. The original target stays for its other predecessors
+/// (dead copies are simply never executed).
+fn thread_jumps(m: &mut IrMethod, stats: &mut PassStats) {
+    const MAX_CLONE_OPS: usize = 12;
+    // A couple of rounds unwind jump chains (variant → continuation →
+    // next small block); growth stays bounded by the per-round cap.
+    for _ in 0..2 {
+        let mut changed = false;
+        thread_jumps_round(m, stats, MAX_CLONE_OPS, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn thread_jumps_round(m: &mut IrMethod, stats: &mut PassStats, max_ops: usize, changed: &mut bool) {
+    for b in 0..m.blocks.len() {
+        let Term::Jump(t) = m.blocks[b].term else {
+            continue;
+        };
+        let t = t as usize;
+        if t == b {
+            continue;
+        }
+        let tgt = &m.blocks[t];
+        let ops: usize = tgt.segs.iter().map(|s| s.code.len()).sum();
+        if ops > max_ops || tgt.segs.len() > 2 {
+            continue;
+        }
+        let mut segs = tgt.segs.clone();
+        let term = tgt.term.clone();
+        let exit_depth = tgt.exit_depth;
+        let blk = &mut m.blocks[b];
+        // Fuse the seam: the predecessor's trailing segment ended only
+        // because the block did, so the target's first segment can fold
+        // into it (one bulk check covers both runs).
+        if let (Some(last), true) = (blk.segs.last_mut(), !segs.is_empty()) {
+            let first = segs.remove(0);
+            last.k += first.k;
+            last.code.extend(first.code);
+            if !first.charges.is_empty() {
+                let mut merged: Vec<(OpCategory, u64)> = last.charges.to_vec();
+                for &(cat, n) in first.charges.iter() {
+                    match merged.iter_mut().find(|(c, _)| *c == cat) {
+                        Some((_, m)) => *m += n,
+                        None => merged.push((cat, n)),
+                    }
+                }
+                last.charges = merged.into_boxed_slice();
+            }
+        }
+        blk.segs.append(&mut segs);
+        blk.term = term;
+        blk.exit_depth = exit_depth;
+        stats.jumps_threaded += 1;
+        *changed = true;
+    }
+}
+
+/// Whether deleting the op (when its result is dead) is unobservable:
+/// no heap/static/stdout effect, no charge, no catchable throw. Ops
+/// that can unwind (integer div/rem, field/array access) stay — a
+/// caught `ArithmeticException` is an observable even if the quotient
+/// is dead.
+fn deletable(op: &IrOp) -> bool {
+    match op {
+        IrOp::Arith { op, ty, .. } => {
+            !matches!(op, ArithOp::Div | ArithOp::Rem) || matches!(ty, NumTy::F32 | NumTy::F64)
+        }
+        IrOp::Mov { .. }
+        | IrOp::Cmp { .. }
+        | IrOp::RefCmp { .. }
+        | IrOp::Neg { .. }
+        | IrOp::BitNot { .. }
+        | IrOp::Not { .. }
+        | IrOp::Convert { .. }
+        | IrOp::Math1 { .. }
+        | IrOp::Math2 { .. }
+        | IrOp::GetStatic { .. }
+        | IrOp::StrEquals { .. } => true,
+        // Allocating ops (ConstStr/SbNew/bridges) change heap ref
+        // assignment order; InstanceOf mutates inline-cache state;
+        // field/array ops charge the cache model; the rest have
+        // obvious effects.
+        _ => false,
+    }
+}
+
+/// Per-block backward liveness. Live-out is conservative: every
+/// decoded local (they survive into successor blocks and deopt), the
+/// canonical stack up to the block's exit depth, and the terminator's
+/// operands.
+fn dce(m: &mut IrMethod, stats: &mut PassStats) {
+    let canon = m.canon as usize;
+    let nregs = m.nregs as usize;
+    for b in &mut m.blocks {
+        let mut live = vec![false; nregs];
+        for l in live.iter_mut().take(canon) {
+            *l = true;
+        }
+        for j in 0..b.exit_depth as usize {
+            if canon + j < nregs {
+                live[canon + j] = true;
+            }
+        }
+        let mark = |s: &Src, live: &mut Vec<bool>| {
+            if let Src::Reg(r) = s {
+                live[*r as usize] = true;
+            }
+        };
+        match &b.term {
+            Term::Branch { cond, .. } => mark(cond, &mut live),
+            Term::Ret(Some(s)) | Term::Throw(s) => mark(s, &mut live),
+            _ => {}
+        }
+        for seg in b.segs.iter_mut().rev() {
+            let code = &mut seg.code;
+            let mut keep = vec![true; code.len()];
+            for (i, op) in code.iter().enumerate().rev() {
+                let (srcs, dst) = op_operands(op);
+                if deletable(op) {
+                    match dst {
+                        Some(d) if !live[d as usize] => {
+                            keep[i] = false;
+                            stats.ops_deleted += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(d) = dst {
+                    live[d as usize] = false;
+                }
+                for s in &srcs {
+                    if let Src::Reg(r) = s {
+                        live[*r as usize] = true;
+                    }
+                }
+            }
+            let mut it = keep.iter();
+            code.retain(|_| *it.next().unwrap());
+        }
+    }
+}
+
+/// Successor blocks of a terminator (`cont` edges included — control
+/// reaches the continuation after the callee returns; a virtual site's
+/// guarded inline variants are direct successors).
+fn succs(t: &Term) -> Vec<BlockId> {
+    match t {
+        Term::Jump(b) => vec![*b],
+        Term::Branch {
+            on_true, on_false, ..
+        } => vec![*on_true, *on_false],
+        Term::Call { cont, .. } => vec![*cont],
+        Term::CallVirtual { cont, variants, .. } => {
+            let mut s = vec![*cont];
+            s.extend(variants.iter().map(|&(_, b)| b));
+            s
+        }
+        Term::Ret(_) | Term::Throw(_) | Term::Trap => Vec::new(),
+    }
+}
+
+/// Retarget every edge of `t` pointing at `from` to `to`.
+fn retarget(t: &mut Term, from: BlockId, to: BlockId) {
+    match t {
+        Term::Jump(b) if *b == from => *b = to,
+        Term::Branch {
+            on_true, on_false, ..
+        } => {
+            if *on_true == from {
+                *on_true = to;
+            }
+            if *on_false == from {
+                *on_false = to;
+            }
+        }
+        Term::Call { cont, .. } | Term::CallVirtual { cont, .. } if *cont == from => *cont = to,
+        _ => {}
+    }
+}
+
+/// Whether an op may be executed one extra time on the loop-entry path
+/// (hoisted to a preheader): pure register computation with no charge,
+/// no heap/IC state, no catchable throw.
+fn hoistable(op: &IrOp) -> bool {
+    match op {
+        IrOp::Arith { op, ty, .. } => {
+            !matches!(op, ArithOp::Div | ArithOp::Rem) || matches!(ty, NumTy::F32 | NumTy::F64)
+        }
+        IrOp::Cmp { .. }
+        | IrOp::RefCmp { .. }
+        | IrOp::Neg { .. }
+        | IrOp::BitNot { .. }
+        | IrOp::Not { .. }
+        | IrOp::Convert { .. }
+        | IrOp::Math1 { .. }
+        | IrOp::Math2 { .. } => true,
+        _ => false,
+    }
+}
+
+/// Loop-invariant code motion over natural loops.
+///
+/// Scope is deliberately tight: candidates are the leading pure-op
+/// prefix of the loop *header's* first segment — those execute exactly
+/// once per iteration, unconditionally, so evaluating one once in a
+/// preheader is behavior-preserving whenever its inputs are not
+/// written anywhere in the loop. The hoisted op is replaced in place
+/// by a register copy from a fresh temporary (accounting summaries
+/// unchanged); the preheader segment carries `k = 0`, so it adds no
+/// fuel or energy.
+fn licm(m: &mut IrMethod, stats: &mut PassStats) {
+    let n = m.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let succ: Vec<Vec<usize>> = m
+        .blocks
+        .iter()
+        .map(|b| succs(&b.term).into_iter().map(|s| s as usize).collect())
+        .collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ss) in succ.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(i);
+        }
+    }
+    // Reachability from entry.
+    let entry = m.entry as usize;
+    let mut reach = vec![false; n];
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reach[b], true) {
+            continue;
+        }
+        stack.extend(succ[b].iter().copied().filter(|&s| !reach[s]));
+    }
+    // Iterative dominators over the reachable subgraph.
+    let mut dom: Vec<Vec<bool>> = (0..n)
+        .map(|b| {
+            if b == entry {
+                let mut d = vec![false; n];
+                d[b] = true;
+                d
+            } else {
+                vec![true; n]
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if b == entry || !reach[b] {
+                continue;
+            }
+            let mut new = vec![true; n];
+            let mut any_pred = false;
+            for &p in &preds[b] {
+                if !reach[p] {
+                    continue;
+                }
+                any_pred = true;
+                for (x, np) in new.iter_mut().zip(dom[p].iter()) {
+                    *x = *x && *np;
+                }
+            }
+            if !any_pred {
+                new = vec![false; n];
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    // Natural loops, merged per header.
+    let mut loops: Vec<(usize, Vec<bool>)> = Vec::new();
+    for p in 0..n {
+        if !reach[p] {
+            continue;
+        }
+        for &h in &succ[p] {
+            if !dom[p][h] {
+                continue; // not a back edge
+            }
+            let idx = match loops.iter().position(|(hh, _)| *hh == h) {
+                Some(i) => i,
+                None => {
+                    let mut fresh = vec![false; n];
+                    fresh[h] = true;
+                    loops.push((h, fresh));
+                    loops.len() - 1
+                }
+            };
+            let body = &mut loops[idx].1;
+            // Backward walk from the latch, stopping at the header.
+            let mut work = vec![p];
+            while let Some(b) = work.pop() {
+                if body[b] {
+                    continue;
+                }
+                body[b] = true;
+                if b != h {
+                    work.extend(preds[b].iter().copied().filter(|&q| reach[q]));
+                }
+            }
+        }
+    }
+    for (header, body) in loops {
+        // Registers written anywhere in the loop (op destinations and
+        // call-return slots) are loop-variant.
+        let mut defs = vec![false; m.nregs as usize];
+        for (bi, in_body) in body.iter().enumerate() {
+            if !in_body {
+                continue;
+            }
+            let b = &m.blocks[bi];
+            for seg in &b.segs {
+                for op in &seg.code {
+                    if let (_, Some(d)) = op_operands(op) {
+                        defs[d as usize] = true;
+                    }
+                }
+            }
+            match &b.term {
+                Term::Call { abase, has_ret, .. } | Term::CallVirtual { abase, has_ret, .. }
+                    if *has_ret =>
+                {
+                    defs[*abase as usize] = true;
+                }
+                _ => {}
+            }
+        }
+        // Candidate scan over the header's first segment.
+        let mut hoisted: Vec<IrOp> = Vec::new();
+        {
+            let Some(seg0) = m.blocks[header].segs.first_mut() else {
+                continue;
+            };
+            for op in seg0.code.iter_mut() {
+                if !hoistable(op) {
+                    break;
+                }
+                let (srcs, dst) = op_operands(op);
+                let invariant = srcs.iter().all(|s| match s {
+                    Src::Reg(r) => !defs[*r as usize],
+                    Src::Const(_) => true,
+                });
+                let Some(d) = dst else { break };
+                if invariant {
+                    let t = m.nregs;
+                    m.nregs += 1;
+                    let mut moved = std::mem::replace(
+                        op,
+                        IrOp::Mov {
+                            dst: d,
+                            src: Src::Reg(t),
+                        },
+                    );
+                    set_dst(&mut moved, t);
+                    hoisted.push(moved);
+                    stats.ops_hoisted += 1;
+                }
+                // A non-invariant pure op doesn't end the prefix: later
+                // prefix ops are still unconditional per iteration.
+            }
+        }
+        if hoisted.is_empty() {
+            continue;
+        }
+        // Preheader: zero-accounting block in front of the header.
+        let ph = m.blocks.len() as BlockId;
+        m.blocks.push(Block {
+            segs: vec![Segment {
+                k: 0,
+                charges: Box::new([]),
+                code: hoisted,
+            }],
+            term: Term::Jump(header as BlockId),
+            exit_depth: 0,
+        });
+        for (bi, in_body) in body.iter().enumerate() {
+            if *in_body || bi == ph as usize {
+                continue; // back edges keep pointing at the header
+            }
+            retarget(&mut m.blocks[bi].term, header as BlockId, ph);
+        }
+        if m.entry as usize == header {
+            m.entry = ph;
+        }
+    }
+}
+
+/// Rewrite the destination register of a pure op.
+fn set_dst(op: &mut IrOp, new: u16) {
+    match op {
+        IrOp::Mov { dst, .. }
+        | IrOp::Arith { dst, .. }
+        | IrOp::Cmp { dst, .. }
+        | IrOp::RefCmp { dst, .. }
+        | IrOp::Neg { dst, .. }
+        | IrOp::BitNot { dst, .. }
+        | IrOp::Not { dst, .. }
+        | IrOp::Convert { dst, .. }
+        | IrOp::Math1 { dst, .. }
+        | IrOp::Math2 { dst, .. } => *dst = new,
+        _ => unreachable!("set_dst on effectful op"),
+    }
+}

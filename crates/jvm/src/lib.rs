@@ -50,6 +50,7 @@ pub mod error;
 pub mod heap;
 pub mod instrument;
 pub mod interp;
+pub mod ir;
 pub mod opcode;
 pub mod value;
 pub mod vm;

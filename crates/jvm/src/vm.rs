@@ -33,15 +33,20 @@ pub struct MethodEnergyRecord {
 
 /// Which execution engine a [`Vm`] runs bytecode on.
 ///
-/// Both engines are bit-identical in every observable (stdout, op
+/// All engines are bit-identical in every observable (stdout, op
 /// scoreboards, profile events, energy joules) — enforced by the
-/// differential test suite. `Decoded` is the default; `Legacy` remains
-/// as the differential reference and benchmark baseline.
+/// differential test suite. `Ir` is the default; `Decoded` and
+/// `Legacy` remain as differential references and benchmark baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dispatch {
+    /// Register-IR compilation tier: basic blocks lowered from the
+    /// decoded form, optimized (folding, DCE, inlining, LICM), with
+    /// per-block bulk accounting. Falls back to `Decoded` per-frame
+    /// for constructs the compiler bails on (try/catch methods).
+    #[default]
+    Ir,
     /// Pre-decoded threaded interpreter: interned symbols, inline
     /// caches, pooled frames, zero-clone dispatch.
-    #[default]
     Decoded,
     /// The original `Vec<Op>` clone-per-instruction loop.
     Legacy,
@@ -58,6 +63,9 @@ pub struct Vm {
     /// Lazily built pre-decoded form; invalidated when the program's
     /// bytecode changes (instrumentation).
     decoded: Option<DecodedProgram>,
+    /// Lazily built register-IR form (requires `decoded`); invalidated
+    /// alongside it.
+    ir: Option<crate::ir::IrProgram>,
 }
 
 impl Vm {
@@ -81,6 +89,7 @@ impl Vm {
             instrumented: false,
             dispatch: Dispatch::default(),
             decoded: None,
+            ir: None,
         }
     }
 
@@ -117,19 +126,23 @@ impl Vm {
     pub fn instrument(&mut self) -> usize {
         self.instrumented = true;
         self.decoded = None; // bytecode changed: decoded form is stale
+        self.ir = None; // ditto for the IR built from it
         instrument::instrument_all(&mut self.program)
     }
 
-    /// Build (once) and return the pre-decoded program, if the decoded
-    /// engine is selected.
-    fn ensure_decoded(&mut self) -> Option<&DecodedProgram> {
-        if self.dispatch != Dispatch::Decoded {
-            return None;
+    /// Build (once) the pre-decoded program — and, for the IR tier, the
+    /// compiled register-IR program on top of it.
+    fn ensure_decoded(&mut self) {
+        if self.dispatch == Dispatch::Legacy {
+            return;
         }
         if self.decoded.is_none() {
             self.decoded = Some(decode::decode(&self.program));
         }
-        self.decoded.as_ref()
+        if self.dispatch == Dispatch::Ir && self.ir.is_none() {
+            let dp = self.decoded.as_ref().expect("decoded just built");
+            self.ir = Some(crate::ir::compile(&self.program, dp));
+        }
     }
 
     /// Whether probes are injected.
@@ -173,6 +186,9 @@ impl Vm {
         if let Some(dp) = self.decoded.as_ref() {
             interp.set_decoded(dp);
         }
+        if let Some(irp) = self.ir.as_ref() {
+            interp.set_ir(irp);
+        }
         interp.set_fuel(self.fuel);
         {
             let _s = jepo_trace::span("vm/clinit");
@@ -208,6 +224,9 @@ impl Vm {
         if let Some(dp) = self.decoded.as_ref() {
             interp.set_decoded(dp);
         }
+        if let Some(irp) = self.ir.as_ref() {
+            interp.set_ir(irp);
+        }
         interp.set_fuel(self.fuel);
         {
             let _s = jepo_trace::span("vm/clinit");
@@ -240,11 +259,10 @@ impl Vm {
             rec.per_execution.push((e.package_j, e.seconds));
         }
         let mut out: Vec<_> = map.into_values().collect();
-        out.sort_by(|a, b| {
-            b.total_package_j
-                .partial_cmp(&a.total_package_j)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+        // total (however unlikely) must sort deterministically, not
+        // wherever the comparison sort happens to leave it.
+        out.sort_by(|a, b| b.total_package_j.total_cmp(&a.total_package_j));
         out
     }
 }

@@ -1,10 +1,13 @@
-//! Differential tests: the pre-decoded engine must be **bit-identical**
-//! to the legacy `Vec<Op>` engine in every observable — stdout, return
-//! value, instruction count, cache statistics, energy joules (compared
-//! as raw `f64` bits), and profile events. The energy model is driven by
-//! op counts, so any divergence here would silently corrupt every
-//! Table II–IV number; these tests are the enforcement mechanism the
-//! decoded engine ships under.
+//! Differential tests: the pre-decoded engine **and** the register-IR
+//! tier must be **bit-identical** to the legacy `Vec<Op>` engine in
+//! every observable — stdout, return value, instruction count, cache
+//! statistics, energy joules (compared as raw `f64` bits), and profile
+//! events. The energy model is driven by op counts, so any divergence
+//! here would silently corrupt every Table II–IV number; these tests
+//! are the enforcement mechanism the optimized engines ship under.
+
+/// The engines that must agree with `Dispatch::Legacy` bit-for-bit.
+const OPTIMIZED: [Dispatch; 2] = [Dispatch::Decoded, Dispatch::Ir];
 
 use jepo_jvm::interp::RunOutcome;
 use jepo_jvm::{Dispatch, Vm, VmError};
@@ -69,23 +72,25 @@ fn assert_outcomes_eq(l: &RunOutcome, d: &RunOutcome, ctx: &str) {
     }
 }
 
-/// Run `src` through both engines, plain and instrumented, and demand
+/// Run `src` through all engines, plain and instrumented, and demand
 /// identical outcomes (or identical errors).
 fn assert_identical(src: &str) {
     for instrument in [false, true] {
         let legacy = run_with(src, Dispatch::Legacy, instrument);
-        let decoded = run_with(src, Dispatch::Decoded, instrument);
-        let ctx = format!("instrument={instrument}");
-        match (&legacy, &decoded) {
-            (Ok(l), Ok(d)) => assert_outcomes_eq(l, d, &ctx),
-            (Err(l), Err(d)) => {
-                assert_eq!(format!("{l:?}"), format!("{d:?}"), "errors diverged: {ctx}")
+        for engine in OPTIMIZED {
+            let other = run_with(src, engine, instrument);
+            let ctx = format!("engine={engine:?} instrument={instrument}");
+            match (&legacy, &other) {
+                (Ok(l), Ok(d)) => assert_outcomes_eq(l, d, &ctx),
+                (Err(l), Err(d)) => {
+                    assert_eq!(format!("{l:?}"), format!("{d:?}"), "errors diverged: {ctx}")
+                }
+                _ => panic!(
+                    "engines disagree on success ({ctx}): legacy={:?} other={:?}",
+                    legacy.as_ref().map(|o| &o.stdout),
+                    other.as_ref().map(|o| &o.stdout)
+                ),
             }
-            _ => panic!(
-                "engines disagree on success ({ctx}): legacy={:?} decoded={:?}",
-                legacy.as_ref().map(|o| &o.stdout),
-                decoded.as_ref().map(|o| &o.stdout)
-            ),
         }
     }
 }
@@ -326,7 +331,7 @@ fn exception_tostring_and_time() {
 #[test]
 fn out_of_fuel_errors_identically() {
     let src = "class M { public static void main(String[] a) { while (true) { } } }";
-    for dispatch in [Dispatch::Legacy, Dispatch::Decoded] {
+    for dispatch in [Dispatch::Legacy, Dispatch::Decoded, Dispatch::Ir] {
         let mut vm = Vm::from_source(src)
             .unwrap()
             .with_dispatch(dispatch)
@@ -355,6 +360,11 @@ fn decoded_reports_inline_cache_traffic() {
     let legacy = run_with(src, Dispatch::Legacy, false).unwrap();
     assert_eq!(legacy.ic_hits, 0);
     assert_eq!(legacy.ic_misses, 0);
+    // The IR tier devirtualizes the site but still drives the inline
+    // cache, so its IC traffic matches the decoded engine exactly.
+    let ir = run_with(src, Dispatch::Ir, false).unwrap();
+    assert_eq!(ir.ic_hits, out.ic_hits, "IR IC hits");
+    assert_eq!(ir.ic_misses, out.ic_misses, "IR IC misses");
 }
 
 // ---- generative differential ------------------------------------------
@@ -426,11 +436,13 @@ proptest! {
             }}"
         );
         let legacy = run_with(&src, Dispatch::Legacy, true);
-        let decoded = run_with(&src, Dispatch::Decoded, true);
-        match (&legacy, &decoded) {
-            (Ok(l), Ok(d)) => assert_outcomes_eq(l, d, "random program"),
-            (Err(l), Err(d)) => prop_assert_eq!(format!("{l:?}"), format!("{d:?}")),
-            _ => prop_assert!(false, "engines disagree on success:\n{}", src),
+        for engine in OPTIMIZED {
+            let other = run_with(&src, engine, true);
+            match (&legacy, &other) {
+                (Ok(l), Ok(d)) => assert_outcomes_eq(l, d, &format!("random program ({engine:?})")),
+                (Err(l), Err(d)) => prop_assert_eq!(format!("{l:?}"), format!("{d:?}")),
+                _ => prop_assert!(false, "engines disagree on success ({:?}):\n{}", engine, src),
+            }
         }
     }
 }

@@ -71,11 +71,9 @@ impl J48 {
         let best = splits
             .iter()
             .filter(|s| s.gain >= avg_gain - 1e-12)
-            .max_by(|a, b| {
-                a.gain_ratio
-                    .partial_cmp(&b.gain_ratio)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // `total_cmp`: a NaN gain ratio (degenerate split-info)
+            // must not make the winner depend on candidate order.
+            .max_by(|a, b| a.gain_ratio.total_cmp(&b.gain_ratio));
         let Some(best) = best else {
             return Node::Leaf {
                 class: majority(&dist),

@@ -71,11 +71,8 @@ impl RandomTree {
         let best = feats
             .into_iter()
             .filter_map(|a| evaluate_attribute(data, a, &self.kernel))
-            .max_by(|a, b| {
-                a.gain
-                    .partial_cmp(&b.gain)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // `total_cmp`: NaN-safe, order-independent winner.
+            .max_by(|a, b| a.gain.total_cmp(&b.gain));
         let Some(best) = best else {
             return Node::Leaf {
                 class: majority(&dist),

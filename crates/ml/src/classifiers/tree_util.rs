@@ -117,7 +117,9 @@ impl Node {
 pub fn majority(dist: &[f64]) -> f64 {
     dist.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        // `total_cmp`: a NaN count (poisoned weight) picks one class
+        // deterministically instead of whichever the scan saw last.
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i as f64)
         .unwrap_or(0.0)
 }
@@ -232,7 +234,9 @@ pub fn evaluate_attribute(data: &Dataset, attr: usize, kernel: &Kernel) -> Optio
                 return None;
             }
             kernel.charge_sort(pairs.len());
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            // NaNs are filtered above; `total_cmp` keeps the sort a
+            // total order regardless (and pins `-0.0 < 0.0`).
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             let k = data.num_classes();
             let total_dist = {
                 let mut d = vec![0.0; k];
@@ -402,5 +406,45 @@ mod tests {
     fn majority_handles_ties_and_empty() {
         assert_eq!(majority(&[1.0, 5.0, 2.0]), 1.0);
         assert_eq!(majority(&[]), 0.0);
+    }
+
+    #[test]
+    fn majority_with_nan_count_is_deterministic() {
+        // A poisoned (NaN) weight sorts above every finite count under
+        // `total_cmp`, so the picked class is fixed by position, not by
+        // scan order.
+        assert_eq!(majority(&[1.0, f64::NAN, 2.0]), 1.0);
+        assert_eq!(majority(&[f64::NAN, 5.0]), 0.0);
+        assert_eq!(majority(&[5.0, f64::NAN]), 1.0);
+    }
+
+    #[test]
+    fn split_winner_is_input_order_independent_with_nan_gain() {
+        // The same selection expression the tree builders use: a NaN
+        // gain (degenerate entropy arithmetic) must not make the
+        // winning attribute depend on candidate scan order.
+        let mk = |attr, gain| Split {
+            attr,
+            threshold: None,
+            gain,
+            gain_ratio: gain,
+        };
+        let splits = [mk(0, 0.3), mk(1, f64::NAN), mk(2, 0.7)];
+        let fwd = splits
+            .iter()
+            .max_by(|a, b| a.gain.total_cmp(&b.gain))
+            .unwrap()
+            .attr;
+        let rev = splits
+            .iter()
+            .rev()
+            .max_by(|a, b| a.gain.total_cmp(&b.gain))
+            .unwrap()
+            .attr;
+        assert_eq!(fwd, rev, "winner must not depend on scan order");
+        assert_eq!(
+            fwd, 1,
+            "NaN sorts above all finite gains — surfaced, not hidden"
+        );
     }
 }

@@ -31,14 +31,33 @@ pub fn effective_jobs_with(requested: usize, env_jobs: Option<&str>) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = env_jobs.and_then(|s| s.trim().parse::<usize>().ok()) {
-        if n > 0 {
-            return n;
+    if let Some(s) = env_jobs {
+        match parse_env_jobs(s) {
+            Some(n) => return n,
+            // A malformed or zero JEPO_JOBS silently autodetecting
+            // looks exactly like the variable working — warn once so a
+            // typo (`JEPO_JOBS=fourscore`) doesn't skew a measurement
+            // run undetected.
+            None => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "jepo-pool: ignoring JEPO_JOBS={s:?} \
+                         (expected a positive integer); autodetecting cores"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// `Some(n)` for a positive integer (surrounding whitespace allowed),
+/// `None` for anything else.
+fn parse_env_jobs(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// Per-worker metric handles, resolved once per [`parallel_map`] call
@@ -210,6 +229,17 @@ mod tests {
         assert!(auto >= 1);
         assert_eq!(effective_jobs_with(0, Some("0")), auto);
         assert_eq!(effective_jobs_with(0, Some("lots")), auto);
+    }
+
+    #[test]
+    fn env_jobs_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_env_jobs("8"), Some(8));
+        assert_eq!(parse_env_jobs(" 2 "), Some(2));
+        assert_eq!(parse_env_jobs("0"), None);
+        assert_eq!(parse_env_jobs("-4"), None);
+        assert_eq!(parse_env_jobs("4.0"), None);
+        assert_eq!(parse_env_jobs("lots"), None);
+        assert_eq!(parse_env_jobs(""), None);
     }
 
     #[test]

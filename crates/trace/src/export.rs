@@ -263,12 +263,10 @@ pub fn summary_view(data: &TraceData) -> String {
     }
     let mut rows: Vec<(&str, u64, u64, f64)> =
         agg.into_iter().map(|(n, (c, w, j))| (n, c, w, j)).collect();
-    rows.sort_by(|a, b| {
-        b.3.partial_cmp(&a.3)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(b.2.cmp(&a.2))
-            .then(a.0.cmp(b.0))
-    });
+    // `total_cmp`: a NaN joule total (poisoned counter) must still sort
+    // deterministically — `partial_cmp(..).unwrap_or(Equal)` makes the
+    // row order depend on the comparison sequence.
+    rows.sort_by(|a, b| b.3.total_cmp(&a.3).then(b.2.cmp(&a.2)).then(a.0.cmp(b.0)));
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(n, c, w, j)| {
@@ -395,6 +393,50 @@ mod tests {
         assert!(view.contains("Energy (mJ)"), "{view}");
         assert!(view.contains("outer"), "{view}");
         assert!(view.contains("2000.000"), "2 J = 2000 mJ:\n{view}");
+    }
+
+    #[test]
+    fn summary_view_sorts_nan_energy_deterministically() {
+        // A span whose joule reading was poisoned (NaN probe delta —
+        // `add_joules` clamps, but the probe path doesn't) must land in
+        // a fixed position: `total_cmp` puts NaN above every finite
+        // total, so the poisoned row leads and is visible, instead of
+        // floating wherever the sort's comparison order left it.
+        use crate::span::{Event, EventKind};
+        let mut events = Vec::new();
+        for (i, (id, name, j)) in [(1u64, "alpha", f64::NAN), (2, "beta", 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            events.push(Event {
+                track: 0,
+                seq: 2 * i as u64,
+                ts_ns: 0,
+                kind: EventKind::Begin {
+                    span_id: id,
+                    parent_id: 0,
+                    name: name.to_string(),
+                },
+            });
+            events.push(Event {
+                track: 0,
+                seq: 2 * i as u64 + 1,
+                ts_ns: 0,
+                kind: EventKind::End {
+                    span_id: id,
+                    package_j: j,
+                },
+            });
+        }
+        let data = TraceData {
+            tracks: vec!["work".into()],
+            events,
+        };
+        let view = summary_view(&data);
+        let alpha = view.find("alpha").expect("alpha row");
+        let beta = view.find("beta").expect("beta row");
+        assert!(alpha < beta, "NaN row sorts first:\n{view}");
+        assert!(view.contains("NaN"), "{view}");
     }
 
     #[test]
