@@ -21,6 +21,7 @@
 //! via `jepo-pool` and re-establishes the same global order afterwards,
 //! so its output is bit-identical for any job count.
 
+use crate::cache::{content_hash, fnv1a64, AnalysisCache};
 use crate::dataflow::UnitFlow;
 use crate::rules::{all_rules, Rule, RuleCtx};
 use crate::suggestion::Suggestion;
@@ -176,6 +177,98 @@ impl Analyzer {
     /// Analyze every file of a project with automatic parallelism.
     pub fn analyze_project(&self, project: &JavaProject) -> Vec<Suggestion> {
         self.analyze_project_jobs(project, 0)
+    }
+
+    /// Deterministic fingerprint of everything a cached result depends
+    /// on besides the source text: the analysis mode and the active rule
+    /// set (identified by component, which is 1:1 with rule types).
+    /// Caches are scoped to this value, so switching mode or rule subset
+    /// can never serve a stale answer.
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = format!("v{};{:?};", crate::cache::CACHE_FORMAT_VERSION, self.mode);
+        for r in &self.rules {
+            desc.push_str(&format!("{:?},", r.component()));
+        }
+        fnv1a64(desc.as_bytes())
+    }
+
+    /// A cache bound to this analyzer's [`Analyzer::fingerprint`].
+    pub fn new_cache(&self) -> AnalysisCache {
+        AnalysisCache::new(self.fingerprint())
+    }
+
+    /// Incremental project analysis: reuse `cache` for every file whose
+    /// content hash is unchanged and fan only the dirty files over
+    /// `jepo-pool` ([`jepo_pool::parallel_map_subset`]). The merged
+    /// output is bit-identical to [`Analyzer::analyze_project_jobs`] —
+    /// same global `(file, line, component)` sort/dedup — for any job
+    /// count and any warm/cold split.
+    ///
+    /// A cache built under a different [`Analyzer::fingerprint`] is
+    /// reset wholesale (all files go cold); entries for files no longer
+    /// in the project are pruned. Hit/miss counts land in the cache's
+    /// [`AnalysisCache::stats`] and, when the `jepo-trace` registry is
+    /// collecting, in the `analyzer.cache.hit` / `analyzer.cache.miss`
+    /// counters.
+    pub fn analyze_project_incremental_jobs(
+        &self,
+        project: &JavaProject,
+        cache: &mut AnalysisCache,
+        jobs: usize,
+    ) -> Vec<Suggestion> {
+        let fingerprint = self.fingerprint();
+        if cache.config() != fingerprint {
+            cache.reset(fingerprint);
+        }
+        let files = project.files();
+        let hashes: Vec<u64> = files.iter().map(|f| content_hash(&f.text)).collect();
+        // Resolve hits before any insert so a duplicate file name (two
+        // project entries, same path) can't evict a row set mid-run.
+        let mut rows: Vec<Option<Vec<Suggestion>>> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                cache
+                    .lookup(&f.name, hashes[i])
+                    .map(|e| e.suggestions.clone())
+            })
+            .collect();
+        let dirty: Vec<usize> = (0..files.len()).filter(|&i| rows[i].is_none()).collect();
+        let fresh = jepo_pool::parallel_map_subset(files, &dirty, jobs, |_, f| {
+            self.analyze_unit(&f.name, &f.unit)
+        });
+        for (&i, r) in dirty.iter().zip(fresh) {
+            cache.insert(&files[i].name, hashes[i], r.clone());
+            rows[i] = Some(r);
+        }
+        let live: std::collections::HashSet<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        cache.retain_files(&live);
+
+        let hits = (files.len() - dirty.len()) as u64;
+        let misses = dirty.len() as u64;
+        cache.record_run(hits, misses);
+        let reg = jepo_trace::Registry::global();
+        if reg.is_enabled() {
+            reg.counter("analyzer.cache.hit").add(hits);
+            reg.counter("analyzer.cache.miss").add(misses);
+        }
+
+        let mut out: Vec<Suggestion> = rows.into_iter().flatten().flatten().collect();
+        out.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.component).cmp(&(b.file.as_str(), b.line, b.component))
+        });
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.component == b.component);
+        out
+    }
+
+    /// [`Analyzer::analyze_project_incremental_jobs`] with automatic
+    /// parallelism.
+    pub fn analyze_project_incremental(
+        &self,
+        project: &JavaProject,
+        cache: &mut AnalysisCache,
+    ) -> Vec<Suggestion> {
+        self.analyze_project_incremental_jobs(project, cache, 0)
     }
 }
 
@@ -350,6 +443,95 @@ class Sink {
                 "jobs={jobs} differs from sequential"
             );
         }
+    }
+
+    #[test]
+    fn incremental_matches_cold_and_counts_hits() {
+        let mut p = JavaProject::new();
+        p.add_file("Z.java", "class Z { int f(int x) { return x % 2; } }")
+            .unwrap();
+        p.add_file("A.java", "class A { double d = 0.0001; short s; }")
+            .unwrap();
+        p.add_file(
+            "M.java",
+            "class M { boolean e(String a, String b) { return a.compareTo(b) == 0; } }",
+        )
+        .unwrap();
+        let analyzer = Analyzer::with_extensions();
+        let cold = analyzer.analyze_project_jobs(&p, 1);
+
+        let mut cache = analyzer.new_cache();
+        let first = analyzer.analyze_project_incremental_jobs(&p, &mut cache, 1);
+        assert_eq!(first, cold, "all-miss incremental run == cold");
+        assert_eq!(cache.stats().last_misses, 3);
+        assert_eq!(cache.stats().last_hits, 0);
+
+        for jobs in [1, 2, 4] {
+            let warm = analyzer.analyze_project_incremental_jobs(&p, &mut cache, jobs);
+            assert_eq!(warm, cold, "all-hit warm run == cold (jobs={jobs})");
+            assert_eq!(cache.stats().last_hits, 3);
+            assert_eq!(cache.stats().last_misses, 0);
+        }
+
+        // Edit one file: exactly that file goes dirty, output tracks it.
+        let mut p2 = JavaProject::new();
+        p2.add_file("Z.java", "class Z { int f(int x) { return x & 1; } }")
+            .unwrap();
+        p2.add_file("A.java", "class A { double d = 0.0001; short s; }")
+            .unwrap();
+        p2.add_file(
+            "M.java",
+            "class M { boolean e(String a, String b) { return a.compareTo(b) == 0; } }",
+        )
+        .unwrap();
+        let warm2 = analyzer.analyze_project_incremental_jobs(&p2, &mut cache, 2);
+        assert_eq!(cache.stats().last_misses, 1, "only the edited file");
+        assert_eq!(cache.stats().last_hits, 2);
+        assert_eq!(warm2, analyzer.analyze_project_jobs(&p2, 1));
+    }
+
+    #[test]
+    fn fingerprint_scopes_the_cache() {
+        let flow = Analyzer::with_extensions();
+        let syn = Analyzer::syntactic();
+        assert_ne!(flow.fingerprint(), syn.fingerprint());
+        assert_ne!(Analyzer::new().fingerprint(), flow.fingerprint());
+        assert_eq!(
+            Analyzer::with_extensions().fingerprint(),
+            flow.fingerprint(),
+            "fingerprint is a pure function of the configuration"
+        );
+
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { int f(int x) { return x % 2; } }")
+            .unwrap();
+        // A cache warmed under flow rules must go cold under syntactic.
+        let mut cache = flow.new_cache();
+        flow.analyze_project_incremental_jobs(&p, &mut cache, 1);
+        let got = syn.analyze_project_incremental_jobs(&p, &mut cache, 1);
+        assert_eq!(cache.stats().last_misses, 1, "config change invalidates");
+        assert_eq!(got, syn.analyze_project_jobs(&p, 1));
+    }
+
+    #[test]
+    fn incremental_prunes_removed_files() {
+        let analyzer = Analyzer::new();
+        let mut p = JavaProject::new();
+        p.add_file("A.java", "class A { int f(int x) { return x % 2; } }")
+            .unwrap();
+        p.add_file("B.java", "class B { double d = 0.0001; }")
+            .unwrap();
+        let mut cache = analyzer.new_cache();
+        analyzer.analyze_project_incremental_jobs(&p, &mut cache, 1);
+        assert_eq!(cache.len(), 2);
+
+        let mut smaller = JavaProject::new();
+        smaller
+            .add_file("A.java", "class A { int f(int x) { return x % 2; } }")
+            .unwrap();
+        let got = analyzer.analyze_project_incremental_jobs(&smaller, &mut cache, 1);
+        assert_eq!(cache.len(), 1, "B.java pruned");
+        assert!(got.iter().all(|s| s.file == "A.java"));
     }
 
     #[test]

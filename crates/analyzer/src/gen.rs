@@ -1,0 +1,303 @@
+//! Deterministic corpus generator — thousands of Java-subset files with
+//! controlled anti-pattern rates.
+//!
+//! The bundled mini-WEKA corpus is 14 files; incremental analysis only
+//! shows its worth when cold-vs-warm legs measure real work at corpus
+//! scale. [`generate_project`] synthesizes an arbitrary number of
+//! parseable Java-subset files from a seed: each file is a pure function
+//! of `(seed, index, rev)`, so file `i` is byte-identical across runs,
+//! machines, and corpus sizes, and bumping `rev` for a subset of indices
+//! models an edit (the invalidation tests and the `warm_1pct_dirty`
+//! bench leg lean on this).
+//!
+//! Method bodies are drawn from two template menus: *clean* bodies that
+//! trip no Table I rule, and *dirty* bodies each seeded with a specific
+//! anti-pattern (string concat in a loop, modulus in a loop, manual
+//! array copy, column-major traversal, ternary, `compareTo`,
+//! loop-invariant op, short-circuit chains). [`GenConfig::pattern_rate`]
+//! sets the per-method probability of drawing from the dirty menu, so a
+//! corpus can range from energy-clean to saturated.
+
+use jepo_jlang::JavaProject;
+use rand::prelude::*;
+
+/// Knobs for corpus synthesis. All fields feed the per-file seed, so any
+/// change regenerates different (but still deterministic) sources.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of files (one public class per file).
+    pub files: usize,
+    /// Master seed; file `i` derives its stream from `(seed, i)`.
+    pub seed: u64,
+    /// Methods per class.
+    pub methods_per_class: usize,
+    /// Probability that a method body carries a Table I anti-pattern.
+    pub pattern_rate: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            files: 1000,
+            seed: 42,
+            methods_per_class: 6,
+            pattern_rate: 0.35,
+        }
+    }
+}
+
+/// Project-relative name of generated file `index`.
+pub fn file_name(index: usize) -> String {
+    format!("gen/Gen{index:05}.java")
+}
+
+fn derived_rng(cfg: &GenConfig, index: usize) -> StdRng {
+    let mix = crate::cache::fnv1a64(
+        format!(
+            "gen;{};{};{};{:.6};{index}",
+            cfg.seed, cfg.files, cfg.methods_per_class, cfg.pattern_rate
+        )
+        .as_bytes(),
+    );
+    StdRng::seed_from_u64(mix)
+}
+
+/// Generate the source text of file `index` at revision `rev`.
+///
+/// The random stream depends only on `(cfg, index)`; `rev` is stamped
+/// into a trivial `revision()` method body, so bumping it changes the
+/// content hash (the file reads as *edited*) without changing what the
+/// analyzer finds — exactly what the warm-leg benches and invalidation
+/// tests need to isolate re-analysis cost from result drift.
+pub fn generate_source(cfg: &GenConfig, index: usize, rev: u64) -> String {
+    let mut rng = derived_rng(cfg, index);
+    let class = format!("Gen{index:05}");
+    let mut src = String::with_capacity(2048);
+    src.push_str("package gen;\n\n");
+    src.push_str(&format!("public class {class} {{\n"));
+    src.push_str(&format!("    int base = {};\n", rng.gen_range(1..100)));
+    src.push_str(&format!(
+        "    public long revision() {{ return {rev}L; }}\n\n"
+    ));
+    for m in 0..cfg.methods_per_class.max(1) {
+        let dirty = rng.gen_bool(cfg.pattern_rate.clamp(0.0, 1.0));
+        let body = if dirty {
+            dirty_method(&mut rng, m)
+        } else {
+            clean_method(&mut rng, m)
+        };
+        src.push_str(&body);
+        src.push('\n');
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// A method that trips no rule (modelled on the engine's
+/// `clean_code_has_no_suggestions` fixtures): `int` arithmetic,
+/// `String.equals`, `System.arraycopy`, plain `if/else`.
+fn clean_method(rng: &mut StdRng, m: usize) -> String {
+    let c = rng.gen_range(2..50);
+    match rng.gen_range(0..4u32) {
+        0 => format!(
+            "    public int sum{m}(int[] a) {{\n        int s = {c};\n        \
+             for (int i = 0; i < a.length; i++) {{\n            s = s + a[i];\n        }}\n        \
+             return s;\n    }}\n"
+        ),
+        1 => format!(
+            "    public boolean eq{m}(String a, String b) {{\n        \
+             return a.equals(b);\n    }}\n"
+        ),
+        2 => format!(
+            "    public void copy{m}(int[] a, int[] b) {{\n        \
+             System.arraycopy(a, 0, b, 0, a.length);\n    }}\n"
+        ),
+        _ => format!(
+            "    public int scale{m}(int x, int y) {{\n        \
+             if (x > y) {{\n            return x * {c};\n        }}\n        \
+             return y + {c};\n    }}\n"
+        ),
+    }
+}
+
+/// A method seeded with one specific Table I anti-pattern.
+fn dirty_method(rng: &mut StdRng, m: usize) -> String {
+    let c = rng.gen_range(2..50);
+    match rng.gen_range(0..8u32) {
+        // String concatenation onto a loop-carried accumulator.
+        0 => format!(
+            "    public String join{m}(String[] parts, int n) {{\n        \
+             String s = \"\";\n        \
+             for (int i = 0; i < n; i++) {{\n            s += parts[i];\n        }}\n        \
+             return s;\n    }}\n"
+        ),
+        // Modulus inside a loop.
+        1 => format!(
+            "    public int hash{m}(int[] a) {{\n        int h = 0;\n        \
+             for (int i = 0; i < a.length; i++) {{\n            \
+             h = h + a[i] % {c};\n        }}\n        return h;\n    }}\n"
+        ),
+        // Manual element-by-element array copy.
+        2 => format!(
+            "    public void mcopy{m}(int[] a, int[] b, int n) {{\n        \
+             for (int i = 0; i < n; i++) {{\n            b[i] = a[i];\n        }}\n    }}\n"
+        ),
+        // Column-major 2-D traversal.
+        3 => format!(
+            "    public double colsum{m}(double[][] mat, int n) {{\n        \
+             double s = 0.0;\n        \
+             for (int j = 0; j < n; j++) {{\n            \
+             for (int i = 0; i < n; i++) {{\n                s += mat[i][j];\n            \
+             }}\n        }}\n        return s;\n    }}\n"
+        ),
+        // Ternary operator.
+        4 => format!(
+            "    public int pick{m}(int x) {{\n        \
+             return x > {c} ? x : {c} - x;\n    }}\n"
+        ),
+        // String.compareTo used for equality.
+        5 => format!(
+            "    public boolean same{m}(String a, String b) {{\n        \
+             return a.compareTo(b) == 0;\n    }}\n"
+        ),
+        // Loop-invariant expensive op (modulus of loop-invariant operands).
+        6 => format!(
+            "    public double norm{m}(double[] p, int buckets) {{\n        \
+             double s = 0.0;\n        \
+             for (int i = 0; i < p.length; i++) {{\n            \
+             s = s + p[i] * (buckets % {c} + 1);\n        }}\n        return s;\n    }}\n"
+        ),
+        // Short-circuit chain (operand-order suggestion).
+        _ => format!(
+            "    public boolean range{m}(int x) {{\n        \
+             return x >= 0 && x <= {c} && x != {};\n    }}\n",
+            c / 2
+        ),
+    }
+}
+
+/// Generate the whole corpus at revision 0.
+///
+/// Panics on a parse failure — the generator only emits the subset the
+/// parser accepts, so a failure is a generator bug, not an input
+/// problem (pinned by the `every_template_parses` test).
+pub fn generate_project(cfg: &GenConfig) -> JavaProject {
+    generate_project_with(cfg, |_| 0)
+}
+
+/// Generate the corpus with a per-file revision (models a changeset:
+/// `rev(i) > 0` marks file `i` as edited relative to revision 0).
+pub fn generate_project_with(cfg: &GenConfig, rev: impl Fn(usize) -> u64) -> JavaProject {
+    let mut project = JavaProject::new();
+    for i in 0..cfg.files {
+        let name = file_name(i);
+        let src = generate_source(cfg, i, rev(i));
+        project
+            .add_file(&name, &src)
+            .unwrap_or_else(|e| panic!("generated {name} does not parse: {e}"));
+    }
+    project
+}
+
+/// Write the corpus under `dir` (used by `jepo gen-corpus` so CI can
+/// stage two on-disk revisions and diff them).
+pub fn write_corpus(dir: &std::path::Path, cfg: &GenConfig) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir.join("gen"))?;
+    for i in 0..cfg.files {
+        std::fs::write(dir.join(file_name(i)), generate_source(cfg, i, 0))?;
+    }
+    Ok(cfg.files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Analyzer;
+
+    fn small(files: usize, rate: f64) -> GenConfig {
+        GenConfig {
+            files,
+            seed: 7,
+            methods_per_class: 6,
+            pattern_rate: rate,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small(20, 0.4);
+        for i in [0, 7, 19] {
+            assert_eq!(generate_source(&cfg, i, 0), generate_source(&cfg, i, 0));
+        }
+        assert_ne!(
+            generate_source(&cfg, 0, 0),
+            generate_source(&cfg, 1, 0),
+            "files differ from each other"
+        );
+        let other_seed = GenConfig { seed: 8, ..cfg };
+        assert_ne!(
+            generate_source(&cfg, 0, 0),
+            generate_source(&other_seed, 0, 0),
+            "seed changes content"
+        );
+    }
+
+    #[test]
+    fn every_template_parses() {
+        // A high-rate and a zero-rate corpus together exercise every
+        // clean and dirty template arm many times over.
+        generate_project(&small(60, 1.0));
+        generate_project(&small(60, 0.0));
+    }
+
+    #[test]
+    fn rev_changes_hash_but_not_findings() {
+        let cfg = small(8, 0.5);
+        let analyzer = Analyzer::with_extensions();
+        for i in 0..cfg.files {
+            let a = generate_source(&cfg, i, 0);
+            let b = generate_source(&cfg, i, 1);
+            assert_ne!(
+                crate::cache::content_hash(&a),
+                crate::cache::content_hash(&b),
+                "rev must dirty the file"
+            );
+            let ua = jepo_jlang::parse_unit(&a).unwrap();
+            let ub = jepo_jlang::parse_unit(&b).unwrap();
+            let name = file_name(i);
+            assert_eq!(
+                analyzer.analyze_unit(&name, &ua),
+                analyzer.analyze_unit(&name, &ub),
+                "rev is analysis-neutral"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_rate_controls_findings() {
+        let analyzer = Analyzer::with_extensions();
+        let clean = analyzer.analyze_project_jobs(&generate_project(&small(30, 0.0)), 1);
+        let noisy = analyzer.analyze_project_jobs(&generate_project(&small(30, 1.0)), 1);
+        assert_eq!(clean.len(), 0, "clean templates trip nothing: {clean:?}");
+        assert!(
+            noisy.len() >= 30,
+            "saturated corpus averages ≥1 finding per file, got {}",
+            noisy.len()
+        );
+    }
+
+    #[test]
+    fn corpus_writes_to_disk_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("jepo-gen-{}", std::process::id()));
+        let cfg = small(5, 0.6);
+        assert_eq!(write_corpus(&dir, &cfg).unwrap(), 5);
+        let mut project = JavaProject::new();
+        for i in 0..cfg.files {
+            let text = std::fs::read_to_string(dir.join(file_name(i))).unwrap();
+            assert_eq!(text, generate_source(&cfg, i, 0));
+            project.add_file(&file_name(i), &text).unwrap();
+        }
+        assert_eq!(project.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

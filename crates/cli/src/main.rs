@@ -5,7 +5,10 @@
 //! projects of `.java` files on disk:
 //!
 //! ```text
-//! jepo analyze  <dir|file>          suggestions for every class (Fig. 5)
+//! jepo analyze  <dir|file> [--cache-dir D]
+//!                                   suggestions for every class (Fig. 5);
+//!                                   with a cache dir, unchanged files are
+//!                                   served from the incremental cache
 //! jepo optimize <dir|file> [--write] [--aggressive]
 //!                                   apply refactorings; print or write back
 //! jepo profile  <dir|file> [--main Class]
@@ -15,6 +18,14 @@
 //!                                   the WEKA evaluation (N workers;
 //!                                   0 = one per core; output is
 //!                                   identical for every N)
+//! jepo gen-corpus <dir> [--files N] [--seed S] [--rate R]
+//!                                   write a deterministic generated corpus
+//! jepo diff-energy <dirA> <dirB> [--cache-dir D] [--fail-on-regression]
+//!                                   analyze two revisions (B reuses A's
+//!                                   analysis for unchanged files), report
+//!                                   added/removed suggestions and the
+//!                                   estimated energy-impact delta; exit 3
+//!                                   on regression when gated
 //! ```
 //!
 //! Every subcommand also accepts the global telemetry flags
@@ -31,12 +42,18 @@ fn usage() -> ExitCode {
     eprintln!(
         "jepo — Java Energy Profiler & Optimizer (IPPS 2020 reproduction)\n\n\
          usage:\n  \
-         jepo analyze  <dir|file>\n  \
+         jepo analyze  <dir|file> [--cache-dir <dir>]\n  \
          jepo optimize <dir|file> [--write] [--aggressive]\n  \
          jepo profile  <dir|file> [--main <Class>]\n  \
          jepo metrics  <dir> <Class> [<Class>...]\n  \
          jepo table4   [instances] [folds] [--jobs <N>]\n  \
+         jepo gen-corpus <dir> [--files <N>] [--seed <S>] [--rate <0..1>]\n  \
+         jepo diff-energy <dirA> <dirB> [--cache-dir <dir>] [--jobs <N>]\n                   \
+         [--fail-on-regression]  (exit 3 on an energy regression)\n  \
          jepo demo     (run the bundled mini-WEKA end to end)\n\n\
+         incremental analysis:\n  \
+         --cache-dir <dir>      persist per-file analysis results keyed by\n                         \
+         content hash; unchanged files are never re-analyzed\n\n\
          telemetry (any subcommand):\n  \
          --trace <out.json>     write a Chrome trace-event file of the run\n  \
                                 (load in about:tracing or ui.perfetto.dev)\n  \
@@ -125,9 +142,40 @@ fn load_project(root: &Path) -> Result<JavaProject, String> {
     Ok(project)
 }
 
-fn cmd_analyze(path: &Path) -> Result<(), String> {
+/// File inside `--cache-dir` holding the persisted analysis cache.
+const CACHE_FILE: &str = "analysis.jepocache";
+
+/// Analyze a project, incrementally when a cache dir is given. Returns
+/// the ranked suggestion rows plus `(hits, misses)` of the run.
+fn analyze_with_cache(
+    project: &JavaProject,
+    cache_dir: Option<&Path>,
+) -> Result<(Vec<jepo_analyzer::Suggestion>, u64, u64), String> {
+    let analyzer = jepo_analyzer::Analyzer::new();
+    let mut cache = match cache_dir {
+        Some(dir) => {
+            jepo_analyzer::AnalysisCache::load(&dir.join(CACHE_FILE), analyzer.fingerprint())
+        }
+        None => analyzer.new_cache(),
+    };
+    let mut suggestions = analyzer.analyze_project_incremental(project, &mut cache);
+    jepo_analyzer::impact::rank(&mut suggestions);
+    if let Some(dir) = cache_dir {
+        let path = dir.join(CACHE_FILE);
+        cache
+            .save(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let stats = cache.stats();
+    Ok((suggestions, stats.last_hits, stats.last_misses))
+}
+
+fn cmd_analyze(path: &Path, cache_dir: Option<&Path>) -> Result<(), String> {
     let project = load_project(path)?;
-    let suggestions = JepoOptimizer::new().suggestions(&project);
+    let (suggestions, hits, misses) = analyze_with_cache(&project, cache_dir)?;
+    if cache_dir.is_some() {
+        eprintln!("cache: {hits} unchanged file(s) reused, {misses} analyzed");
+    }
     if suggestions.is_empty() {
         println!("No suggestions — the project is energy-clean.");
         return Ok(());
@@ -139,6 +187,133 @@ fn cmd_analyze(path: &Path) -> Result<(), String> {
         project.len()
     );
     Ok(())
+}
+
+fn cmd_gen_corpus(dir: &Path, files: usize, seed: u64, rate: f64) -> Result<(), String> {
+    let cfg = jepo_analyzer::gen::GenConfig {
+        files,
+        seed,
+        pattern_rate: rate,
+        ..Default::default()
+    };
+    let n = jepo_analyzer::gen::write_corpus(dir, &cfg)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    println!(
+        "Wrote {n} generated files under {} (seed {seed}, pattern rate {rate}).",
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Key identifying a suggestion across two revisions for the diff.
+fn diff_key(s: &jepo_analyzer::Suggestion) -> (String, u32, jepo_analyzer::JavaComponent, String) {
+    (s.file.clone(), s.line, s.component, s.matched.clone())
+}
+
+fn render_diff_rows(rows: &[jepo_analyzer::Suggestion], sign: char) -> String {
+    let mut out = String::new();
+    for s in rows {
+        out.push_str(&format!(
+            "  {sign} {:>10.1}  {}:{}  {}\n",
+            s.impact,
+            s.file,
+            s.line,
+            s.component.label()
+        ));
+    }
+    out
+}
+
+/// Analyze two revisions of a corpus and report the suggestion /
+/// energy-impact delta. Returns `true` if B regresses relative to A
+/// (net estimated impact increased).
+fn cmd_diff_energy(
+    dir_a: &Path,
+    dir_b: &Path,
+    jobs: usize,
+    cache_dir: Option<&Path>,
+) -> Result<bool, String> {
+    let project_a = load_project(dir_a)?;
+    let project_b = load_project(dir_b)?;
+    let analyzer = jepo_analyzer::Analyzer::new();
+    let mut cache = match cache_dir {
+        Some(dir) => {
+            jepo_analyzer::AnalysisCache::load(&dir.join(CACHE_FILE), analyzer.fingerprint())
+        }
+        None => analyzer.new_cache(),
+    };
+    let mut sug_a = analyzer.analyze_project_incremental_jobs(&project_a, &mut cache, jobs);
+    // Revision B reuses A's per-file results for every unchanged file —
+    // the warm path is what makes this cheap enough for a CI gate.
+    let mut sug_b = analyzer.analyze_project_incremental_jobs(&project_b, &mut cache, jobs);
+    let stats = cache.stats();
+    if let Some(dir) = cache_dir {
+        let path = dir.join(CACHE_FILE);
+        cache
+            .save(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    jepo_analyzer::impact::rank(&mut sug_a);
+    jepo_analyzer::impact::rank(&mut sug_b);
+
+    let keys_a: std::collections::HashSet<_> = sug_a.iter().map(diff_key).collect();
+    let keys_b: std::collections::HashSet<_> = sug_b.iter().map(diff_key).collect();
+    // Ranked inputs keep added/removed in the deterministic
+    // (impact desc, file, line, component) total order.
+    let added: Vec<_> = sug_b
+        .iter()
+        .filter(|s| !keys_a.contains(&diff_key(s)))
+        .cloned()
+        .collect();
+    let removed: Vec<_> = sug_a
+        .iter()
+        .filter(|s| !keys_b.contains(&diff_key(s)))
+        .cloned()
+        .collect();
+    // `+ 0.0` folds the empty sum's -0.0 back to +0.0 for display.
+    let added_impact: f64 = added.iter().map(|s| s.impact).sum::<f64>() + 0.0;
+    let removed_impact: f64 = removed.iter().map(|s| s.impact).sum::<f64>() + 0.0;
+    let delta = added_impact - removed_impact;
+
+    println!("== jepo diff-energy ==");
+    println!(
+        "A: {}  ({} files, {} suggestions)",
+        dir_a.display(),
+        project_a.len(),
+        sug_a.len()
+    );
+    println!(
+        "B: {}  ({} files, {} suggestions)",
+        dir_b.display(),
+        project_b.len(),
+        sug_b.len()
+    );
+    println!(
+        "incremental: B reused {} unchanged file(s) from A, re-analyzed {}",
+        stats.last_hits, stats.last_misses
+    );
+    if added.is_empty() && removed.is_empty() {
+        println!("\nNo suggestion changes between revisions.");
+        return Ok(false);
+    }
+    if !added.is_empty() {
+        println!("\nadded suggestions (ranked by estimated impact):");
+        print!("{}", render_diff_rows(&added, '+'));
+    }
+    if !removed.is_empty() {
+        println!("\nremoved suggestions:");
+        print!("{}", render_diff_rows(&removed, '-'));
+    }
+    println!(
+        "\nestimated energy-impact delta: {delta:+.1} (added {added_impact:.1}, removed {removed_impact:.1})"
+    );
+    let regression = delta > 0.0;
+    if regression {
+        println!("REGRESSION: revision B is estimated to cost more energy than A.");
+    } else {
+        println!("No energy regression detected.");
+    }
+    Ok(regression)
 }
 
 fn cmd_optimize(path: &Path, write: bool, aggressive: bool) -> Result<(), String> {
@@ -254,14 +429,57 @@ fn main() -> ExitCode {
     if metrics_out.is_some() {
         jepo_trace::Registry::global().enable();
     }
+    // --cache-dir is shared by analyze and diff-energy.
+    let Ok(cache_dir) = extract_flag_value(&mut args, "--cache-dir") else {
+        return usage();
+    };
     let Some(cmd) = args.first() else {
         return usage();
     };
     let rest = &args[1..];
+    // diff-energy signals a regression through a dedicated exit code.
+    let mut regression_exit = false;
     let result = match cmd.as_str() {
         "analyze" => match rest.first() {
-            Some(p) => cmd_analyze(Path::new(p)),
+            Some(p) => cmd_analyze(Path::new(p), cache_dir.as_deref()),
             None => return usage(),
+        },
+        "gen-corpus" => match rest.first() {
+            Some(p) => {
+                let num = |flag: &str, default: f64| -> Option<f64> {
+                    match rest.iter().position(|a| a == flag) {
+                        Some(i) => rest.get(i + 1).and_then(|s| s.parse().ok()),
+                        None => Some(default),
+                    }
+                };
+                let (Some(files), Some(seed), Some(rate)) = (
+                    num("--files", 1000.0),
+                    num("--seed", 42.0),
+                    num("--rate", 0.35),
+                ) else {
+                    return usage();
+                };
+                cmd_gen_corpus(Path::new(p), files as usize, seed as u64, rate)
+            }
+            None => return usage(),
+        },
+        "diff-energy" => match (rest.first(), rest.get(1)) {
+            (Some(a), Some(b)) if !a.starts_with("--") && !b.starts_with("--") => {
+                let jobs = match rest.iter().position(|x| x == "--jobs") {
+                    Some(i) => match rest.get(i + 1).and_then(|s| s.parse().ok()) {
+                        Some(n) => n,
+                        None => return usage(),
+                    },
+                    None => 0,
+                };
+                let fail_on_regression = rest.iter().any(|x| x == "--fail-on-regression");
+                cmd_diff_energy(Path::new(a), Path::new(b), jobs, cache_dir.as_deref()).map(
+                    |regressed| {
+                        regression_exit = regressed && fail_on_regression;
+                    },
+                )
+            }
+            _ => return usage(),
         },
         "optimize" => match rest.first() {
             Some(p) => cmd_optimize(
@@ -313,6 +531,7 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match result.and_then(|()| write_telemetry(trace_out.as_deref(), metrics_out.as_deref())) {
+        Ok(()) if regression_exit => ExitCode::from(3),
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -275,3 +275,177 @@ fn optimized_profile_costs_less_on_disk_roundtrip() {
     assert!(after <= before, "{after} vs {before}");
     fs::remove_dir_all(&dir).ok();
 }
+
+/// Append a regressive method (string concat in a loop) to a generated
+/// corpus file — the scripted patch the CI energy gate applies.
+fn apply_regressive_patch(file: &PathBuf) {
+    let src = fs::read_to_string(file).unwrap();
+    let body = src.trim_end().strip_suffix('}').unwrap().to_string();
+    fs::write(
+        file,
+        format!(
+            "{body}    public String regress(String[] parts, int n) {{\n        \
+             String s = \"\";\n        \
+             for (int i = 0; i < n; i++) {{ s += parts[i]; }}\n        \
+             return s;\n    }}\n}}\n"
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn gen_corpus_is_deterministic_and_analyzable() {
+    let root = std::env::temp_dir().join(format!("jepo-cli-gen-{}", std::process::id()));
+    let a = root.join("a");
+    let b = root.join("b");
+    for dir in [&a, &b] {
+        let out = jepo()
+            .args([
+                "gen-corpus",
+                dir.to_str().unwrap(),
+                "--files",
+                "12",
+                "--seed",
+                "9",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Same seed → byte-identical corpora.
+    for i in 0..12 {
+        let name = format!("gen/Gen{i:05}.java");
+        assert_eq!(
+            fs::read_to_string(a.join(&name)).unwrap(),
+            fs::read_to_string(b.join(&name)).unwrap(),
+            "{name}"
+        );
+    }
+    let out = jepo()
+        .args(["analyze", a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn analyze_cache_dir_warm_run_is_byte_identical() {
+    let dir = temp_project("cache-warm");
+    let cache = dir.join(".jepo-cache");
+    let run = || {
+        let out = jepo()
+            .args([
+                "analyze",
+                dir.to_str().unwrap(),
+                "--cache-dir",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            out.stdout,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (cold_stdout, cold_stderr) = run();
+    assert!(
+        cache.join("analysis.jepocache").is_file(),
+        "cache persisted"
+    );
+    assert!(
+        cold_stderr.contains("0 unchanged file(s) reused, 2 analyzed"),
+        "{cold_stderr}"
+    );
+    let (warm_stdout, warm_stderr) = run();
+    // The warm run re-analyzes nothing and prints the same bytes.
+    assert!(
+        warm_stderr.contains("2 unchanged file(s) reused, 0 analyzed"),
+        "{warm_stderr}"
+    );
+    assert_eq!(
+        cold_stdout, warm_stdout,
+        "cold vs warm stdout must match byte-for-byte"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_energy_gates_on_regression() {
+    let root = std::env::temp_dir().join(format!("jepo-cli-diff-{}", std::process::id()));
+    let a = root.join("a");
+    let out = jepo()
+        .args([
+            "gen-corpus",
+            a.to_str().unwrap(),
+            "--files",
+            "10",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Identical revisions: no regression, exit 0 even when gated.
+    let out = jepo()
+        .args([
+            "diff-energy",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "--fail-on-regression",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "identical revisions must pass the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("No suggestion changes"), "{stdout}");
+
+    // Patched revision: gate trips with exit code 3.
+    let b = root.join("b");
+    fs::create_dir_all(b.join("gen")).unwrap();
+    for entry in fs::read_dir(a.join("gen")).unwrap() {
+        let p = entry.unwrap().path();
+        fs::copy(&p, b.join("gen").join(p.file_name().unwrap())).unwrap();
+    }
+    apply_regressive_patch(&b.join("gen/Gen00002.java"));
+    let out = jepo()
+        .args([
+            "diff-energy",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--cache-dir",
+            root.join("cache").to_str().unwrap(),
+            "--fail-on-regression",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "regression must exit 3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("String concatenation"), "{stdout}");
+    assert!(
+        stdout.contains("reused 9 unchanged file(s)"),
+        "B must reuse A's analysis for the 9 untouched files: {stdout}"
+    );
+
+    // Without the gate flag the same diff reports but exits 0.
+    let out = jepo()
+        .args(["diff-energy", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "ungated diff-energy always exits 0");
+    fs::remove_dir_all(&root).ok();
+}

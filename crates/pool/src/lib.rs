@@ -182,6 +182,22 @@ where
         .collect()
 }
 
+/// [`parallel_map`] over a *subset* of item indices — the dirty-set
+/// fan-out used by incremental analysis. `f` is called as
+/// `f(original_index, &items[original_index])` for each index in
+/// `indices`, on up to `jobs` workers, and results come back in
+/// `indices` order. Determinism follows from [`parallel_map`]'s.
+///
+/// Out-of-bounds indices panic (they would in the sequential loop too).
+pub fn parallel_map_subset<T, R, F>(items: &[T], indices: &[usize], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(indices, jobs, |_, &i| f(i, &items[i]))
+}
+
 /// [`parallel_map`] over owned results that may fail: first error *by
 /// item index* wins (deterministic, unlike "whichever worker errored
 /// first").
@@ -282,6 +298,22 @@ mod tests {
                 .count()
                 >= 1
         );
+    }
+
+    #[test]
+    fn subset_map_visits_exactly_the_dirty_indices() {
+        let items: Vec<u64> = (0..50).map(|x| x * 10).collect();
+        let dirty = [3usize, 41, 7, 7, 0];
+        for jobs in [1, 2, 4] {
+            let got = parallel_map_subset(&items, &dirty, jobs, |i, &x| (i, x + 1));
+            assert_eq!(
+                got,
+                vec![(3, 31), (41, 411), (7, 71), (7, 71), (0, 1)],
+                "jobs={jobs}"
+            );
+        }
+        let none: Vec<(usize, u64)> = parallel_map_subset(&items, &[], 4, |i, &x| (i, x));
+        assert!(none.is_empty());
     }
 
     #[test]
