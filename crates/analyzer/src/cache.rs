@@ -18,12 +18,23 @@
 //! wrong answer.**
 //!
 //! ```text
-//! jepo-analysis-cache v1
+//! jepo-analysis-cache v2
 //! config <16-hex analyzer fingerprint>
-//! F <name> <hash> <n>          -- begin entry: file, content hash, row count
+//! F <name> <hash> <dep-hash> <d> <n>   -- begin entry: file, content hash,
+//!                                         dependency hash, dep count, row count
+//! D <file>                             -- one call-graph dependency (a file
+//!                                         whose summaries this entry consulted)
 //! S <line> <depth> <component> <impact-bits> <class> <matched> <message>
-//! E <checksum>                 -- commit entry: FNV over its F+S lines
+//! E <checksum>                         -- commit entry: FNV over its F+D+S lines
 //! ```
+//!
+//! The dependency hash digests the resolved callee summaries the file's
+//! interprocedural results consulted (see
+//! [`crate::interproc::ProgramFacts::dep_hash`]); under the
+//! non-interprocedural modes it is 0 and the `D` list is empty. A
+//! caller therefore goes dirty when a *callee's* behavior changes even
+//! though the caller's own text (and content hash) did not — the
+//! dependency-aware invalidation the interprocedural rules require.
 //!
 //! Fields are tab-separated; strings escape `\` `\t` `\n` `\r`. Impact is
 //! stored as raw `f64` bits so a round-trip is bit-exact. The loader is
@@ -44,9 +55,9 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Bumped whenever the entry layout or the meaning of a field changes;
 /// part of the header, so old files are ignored wholesale.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
-const MAGIC: &str = "jepo-analysis-cache v1";
+const MAGIC: &str = "jepo-analysis-cache v2";
 
 /// FNV-1a/64 over raw bytes — the deterministic, dependency-free hash
 /// every cache key derives from.
@@ -82,11 +93,17 @@ pub fn content_hash(source: &str) -> u64 {
     h
 }
 
-/// One cached file: the hash its rows were computed from, plus the rows.
+/// One cached file: the hashes its rows were computed from, plus the rows.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
     /// [`content_hash`] of the source the suggestions were computed from.
     pub content_hash: u64,
+    /// Digest of the callee summaries the file's interprocedural results
+    /// consulted (0 under the non-interprocedural modes).
+    pub dep_hash: u64,
+    /// Files (other than this one) whose methods the results depended
+    /// on, sorted — the explicit edge list behind `dep_hash`.
+    pub deps: Vec<String>,
     /// Final per-file suggestion rows, sorted/deduped by
     /// `(file, line, component)` exactly as `analyze_unit` returns them.
     pub suggestions: Vec<Suggestion>,
@@ -155,17 +172,44 @@ impl AnalysisCache {
     }
 
     /// Valid entry for `file` at exactly `hash`, if any. Does not touch
-    /// stats — the engine accounts hits/misses per run.
+    /// stats — the engine accounts hits/misses per run. Ignores the
+    /// dependency hash (the non-interprocedural modes store 0 there).
     pub fn lookup(&self, file: &str, hash: u64) -> Option<&CacheEntry> {
         self.entries.get(file).filter(|e| e.content_hash == hash)
     }
 
-    /// Insert/replace the entry for `file`.
+    /// [`AnalysisCache::lookup`] that additionally requires the stored
+    /// dependency hash to equal `dep_hash` — a callee-side behavior
+    /// change misses here even when the file's own text is unchanged.
+    pub fn lookup_deps(&self, file: &str, hash: u64, dep_hash: u64) -> Option<&CacheEntry> {
+        self.entries
+            .get(file)
+            .filter(|e| e.content_hash == hash && e.dep_hash == dep_hash)
+    }
+
+    /// Insert/replace the entry for `file` (no dependency facts).
     pub fn insert(&mut self, file: &str, hash: u64, suggestions: Vec<Suggestion>) {
+        self.insert_deps(file, hash, 0, Vec::new(), suggestions);
+    }
+
+    /// Insert/replace the entry for `file` with its call-graph
+    /// dependency hash and edge list.
+    pub fn insert_deps(
+        &mut self,
+        file: &str,
+        hash: u64,
+        dep_hash: u64,
+        mut deps: Vec<String>,
+        suggestions: Vec<Suggestion>,
+    ) {
+        deps.sort();
+        deps.dedup();
         self.entries.insert(
             file.to_string(),
             CacheEntry {
                 content_hash: hash,
+                dep_hash,
+                deps,
                 suggestions,
             },
         );
@@ -203,11 +247,16 @@ impl AnalysisCache {
             let e = &self.entries[name];
             let mut body = String::new();
             body.push_str(&format!(
-                "F\t{}\t{:016x}\t{}\n",
+                "F\t{}\t{:016x}\t{:016x}\t{}\t{}\n",
                 esc(name),
                 e.content_hash,
+                e.dep_hash,
+                e.deps.len(),
                 e.suggestions.len()
             ));
+            for d in &e.deps {
+                body.push_str(&format!("D\t{}\n", esc(d)));
+            }
             for s in &e.suggestions {
                 body.push_str(&format!(
                     "S\t{}\t{}\t{:?}\t{:016x}\t{}\t{}\t{}\n",
@@ -249,38 +298,72 @@ impl AnalysisCache {
             Some(hex) if u64::from_str_radix(hex, 16) == Ok(config) => {}
             _ => return cache,
         }
-        // Pending entry being accumulated: (name, hash, declared rows,
-        // parsed rows, raw body for the checksum).
-        let mut pending: Option<(String, u64, usize, Vec<Suggestion>, String)> = None;
+        // Pending entry being accumulated (the raw body feeds the
+        // trailing checksum).
+        struct Pending {
+            name: String,
+            hash: u64,
+            dep_hash: u64,
+            ndeps: usize,
+            nrows: usize,
+            deps: Vec<String>,
+            rows: Vec<Suggestion>,
+            body: String,
+        }
+        let mut pending: Option<Pending> = None;
         for line in lines {
             let fields: Vec<&str> = line.split('\t').collect();
             match fields.first().copied() {
                 Some("F") => {
                     // A new entry header always discards any half-read
                     // predecessor (it never saw its E line).
-                    pending = parse_file_header(&fields)
-                        .map(|(name, hash, n)| (name, hash, n, Vec::new(), format!("{line}\n")));
+                    pending =
+                        parse_file_header(&fields).map(|(name, hash, dep_hash, ndeps, nrows)| {
+                            Pending {
+                                name,
+                                hash,
+                                dep_hash,
+                                ndeps,
+                                nrows,
+                                deps: Vec::new(),
+                                rows: Vec::new(),
+                                body: format!("{line}\n"),
+                            }
+                        });
+                }
+                Some("D") => {
+                    let Some(p) = pending.as_mut() else { continue };
+                    match (fields.len() == 2).then(|| unesc(fields[1])).flatten() {
+                        // D lines must all precede the S lines, as written.
+                        Some(d) if p.deps.len() < p.ndeps && p.rows.is_empty() => {
+                            p.deps.push(d);
+                            p.body.push_str(line);
+                            p.body.push('\n');
+                        }
+                        _ => pending = None,
+                    }
                 }
                 Some("S") => {
                     let Some(p) = pending.as_mut() else { continue };
-                    match parse_suggestion_row(&fields, &p.0) {
-                        Some(s) if p.3.len() < p.2 => {
-                            p.3.push(s);
-                            p.4.push_str(line);
-                            p.4.push('\n');
+                    match parse_suggestion_row(&fields, &p.name) {
+                        Some(s) if p.rows.len() < p.nrows && p.deps.len() == p.ndeps => {
+                            p.rows.push(s);
+                            p.body.push_str(line);
+                            p.body.push('\n');
                         }
                         _ => pending = None,
                     }
                 }
                 Some("E") => {
-                    let Some((name, hash, n, rows, body)) = pending.take() else {
+                    let Some(p) = pending.take() else {
                         continue;
                     };
-                    let ok = rows.len() == n
+                    let ok = p.rows.len() == p.nrows
+                        && p.deps.len() == p.ndeps
                         && fields.len() == 2
-                        && u64::from_str_radix(fields[1], 16) == Ok(fnv1a64(body.as_bytes()));
+                        && u64::from_str_radix(fields[1], 16) == Ok(fnv1a64(p.body.as_bytes()));
                     if ok {
-                        cache.insert(&name, hash, rows);
+                        cache.insert_deps(&p.name, p.hash, p.dep_hash, p.deps, p.rows);
                     }
                 }
                 _ => pending = None,
@@ -300,14 +383,16 @@ impl AnalysisCache {
     }
 }
 
-fn parse_file_header(fields: &[&str]) -> Option<(String, u64, usize)> {
-    if fields.len() != 4 {
+fn parse_file_header(fields: &[&str]) -> Option<(String, u64, u64, usize, usize)> {
+    if fields.len() != 6 {
         return None;
     }
     let name = unesc(fields[1])?;
     let hash = u64::from_str_radix(fields[2], 16).ok()?;
-    let n: usize = fields[3].parse().ok()?;
-    Some((name, hash, n))
+    let dep_hash = u64::from_str_radix(fields[3], 16).ok()?;
+    let ndeps: usize = fields[4].parse().ok()?;
+    let nrows: usize = fields[5].parse().ok()?;
+    Some((name, hash, dep_hash, ndeps, nrows))
 }
 
 fn parse_suggestion_row(fields: &[&str], file: &str) -> Option<Suggestion> {
@@ -339,6 +424,7 @@ fn component_by_name(name: &str) -> Option<JavaComponent> {
     JavaComponent::ALL
         .into_iter()
         .chain(JavaComponent::EXTENDED)
+        .chain(JavaComponent::INTERPROC)
         .find(|c| format!("{c:?}") == name)
 }
 
@@ -395,9 +481,11 @@ mod tests {
     fn sample_cache() -> AnalysisCache {
         let mut c = AnalysisCache::new(0xfeed);
         c.insert("A.java", 11, vec![sample_suggestion("A.java", 3)]);
-        c.insert(
+        c.insert_deps(
             "dir/B.java",
             22,
+            0xdeb,
+            vec!["A.java".into(), "Empty.java".into()],
             vec![sample_suggestion("dir/B.java", 5), {
                 let mut s = sample_suggestion("dir/B.java", 9);
                 s.component = JavaComponent::DeadStore;
@@ -437,6 +525,24 @@ mod tests {
     }
 
     #[test]
+    fn lookup_deps_validates_both_hashes() {
+        let cache = sample_cache();
+        assert!(cache.lookup_deps("dir/B.java", 22, 0xdeb).is_some());
+        assert!(
+            cache.lookup_deps("dir/B.java", 22, 0xbad).is_none(),
+            "same text, changed callee summaries: a dep-aware miss"
+        );
+        assert!(cache.lookup_deps("dir/B.java", 23, 0xdeb).is_none());
+        // Plain lookup deliberately ignores the dep hash.
+        assert!(cache.lookup("dir/B.java", 22).is_some());
+        // Entries inserted without deps carry dep_hash 0.
+        assert!(cache.lookup_deps("A.java", 11, 0).is_some());
+        assert!(cache.lookup_deps("A.java", 11, 7).is_none());
+        let e = cache.lookup_deps("dir/B.java", 22, 0xdeb).unwrap();
+        assert_eq!(e.deps, vec!["A.java".to_string(), "Empty.java".to_string()]);
+    }
+
+    #[test]
     fn round_trip_is_exact() {
         let cache = sample_cache();
         let text = cache.serialize();
@@ -445,6 +551,8 @@ mod tests {
         for (name, e) in &cache.entries {
             let b = back.lookup(name, e.content_hash).expect(name);
             assert_eq!(b.suggestions, e.suggestions, "{name}");
+            assert_eq!(b.dep_hash, e.dep_hash, "{name}");
+            assert_eq!(b.deps, e.deps, "{name}");
             for (x, y) in b.suggestions.iter().zip(&e.suggestions) {
                 assert_eq!(x.impact.to_bits(), y.impact.to_bits(), "f64 bit-exact");
             }
@@ -462,7 +570,7 @@ mod tests {
     #[test]
     fn version_or_magic_mismatch_yields_cold_cache() {
         let text = sample_cache().serialize();
-        let bumped = text.replace("v1", "v9");
+        let bumped = text.replace("v2", "v9");
         assert!(AnalysisCache::deserialize(&bumped, 0xfeed).is_empty());
         assert!(AnalysisCache::deserialize("garbage\nlines\n", 0xfeed).is_empty());
         assert!(AnalysisCache::deserialize("", 0xfeed).is_empty());

@@ -698,7 +698,11 @@ impl Builder {
 /// literal bounds. Anything else — non-literal bounds, mutated counters,
 /// `!=` conditions — returns `None` and callers fall back to the
 /// conservative default.
-fn for_trip_estimate(init: &[Stmt], cond: Option<&Expr>, update: &[Expr]) -> Option<u64> {
+pub(crate) fn for_trip_estimate(
+    init: &[Stmt],
+    cond: Option<&Expr>,
+    update: &[Expr],
+) -> Option<u64> {
     // Counter and literal start.
     let (var, start) = init.iter().find_map(|s| match &s.kind {
         StmtKind::Local { vars, .. } => vars

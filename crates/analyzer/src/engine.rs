@@ -5,7 +5,7 @@
 //! (Fig. 5). The engine runs every Table I rule over every file and
 //! returns the suggestion rows sorted the way the view shows them.
 //!
-//! Two analysis modes:
+//! Three analysis modes:
 //! * [`AnalysisMode::Syntactic`] — the original line-local rules, no
 //!   dataflow. Kept as the ablation baseline for the analyzer bench.
 //! * [`AnalysisMode::FlowSensitive`] (default) — builds per-method CFGs
@@ -14,6 +14,12 @@
 //!   concatenation onto a per-iteration local) and the two flow-only
 //!   rules become able to fire. Suggestions are additionally annotated
 //!   with loop depth and estimated impact ([`crate::impact`]).
+//! * [`AnalysisMode::Interprocedural`] — additionally builds
+//!   whole-program call-graph facts ([`crate::interproc::ProgramFacts`])
+//!   once per project; the cross-method rules consult callee summaries
+//!   at call sites and the incremental cache invalidates callers when a
+//!   callee's summary-relevant behavior changes (dependency-aware
+//!   invalidation, not just content hashing).
 //!
 //! Output-order invariant: both [`Analyzer::analyze_unit`] and
 //! [`Analyzer::analyze_project`] return rows sorted and deduplicated by
@@ -23,6 +29,7 @@
 
 use crate::cache::{content_hash, fnv1a64, AnalysisCache};
 use crate::dataflow::UnitFlow;
+use crate::interproc::ProgramFacts;
 use crate::rules::{all_rules, Rule, RuleCtx};
 use crate::suggestion::Suggestion;
 use jepo_jlang::{CompilationUnit, JavaProject, ParseError};
@@ -34,6 +41,10 @@ pub enum AnalysisMode {
     Syntactic,
     /// CFG + dataflow facts available to every rule; impact annotated.
     FlowSensitive,
+    /// Flow facts plus whole-program call-graph summaries; the
+    /// cross-method rules fire and incremental caching becomes
+    /// dependency-aware.
+    Interprocedural,
 }
 
 /// A configured analyzer (rule set is pluggable for ablations).
@@ -85,6 +96,18 @@ impl Analyzer {
         }
     }
 
+    /// Every rule — Table I, the extensions, and the cross-method
+    /// interprocedural rules — in [`AnalysisMode::Interprocedural`].
+    pub fn interprocedural() -> Analyzer {
+        let mut rules = all_rules();
+        rules.extend(crate::rules::extended_rules());
+        rules.extend(crate::rules::interproc_rules());
+        Analyzer {
+            rules,
+            mode: AnalysisMode::Interprocedural,
+        }
+    }
+
     /// Switch analysis mode, builder-style.
     pub fn with_mode(mut self, mode: AnalysisMode) -> Analyzer {
         self.mode = mode;
@@ -107,6 +130,21 @@ impl Analyzer {
     /// spans stay deterministic regardless of which pool worker picks the
     /// file up) and records per-phase wall time in the metrics registry.
     pub fn analyze_unit(&self, file: &str, unit: &CompilationUnit) -> Vec<Suggestion> {
+        // A lone unit in interprocedural mode still gets facts — built
+        // from itself (the whole program, as far as this call knows).
+        let single = (self.mode == AnalysisMode::Interprocedural)
+            .then(|| ProgramFacts::build_single(file, unit));
+        self.analyze_unit_with(file, unit, single.as_ref().map(|f| (f, 0)))
+    }
+
+    /// [`Analyzer::analyze_unit`] with explicit whole-program facts (the
+    /// project entry points build them once and pass each file's index).
+    fn analyze_unit_with(
+        &self,
+        file: &str,
+        unit: &CompilationUnit,
+        interproc: Option<(&ProgramFacts, usize)>,
+    ) -> Vec<Suggestion> {
         let _track = jepo_trace::would_trace().then(|| jepo_trace::track(&format!("file/{file}")));
         let reg = jepo_trace::Registry::global();
         let timed = reg.is_enabled();
@@ -115,7 +153,9 @@ impl Analyzer {
             let t0 = timed.then(std::time::Instant::now);
             let flow = match self.mode {
                 AnalysisMode::Syntactic => None,
-                AnalysisMode::FlowSensitive => Some(UnitFlow::build(unit)),
+                AnalysisMode::FlowSensitive | AnalysisMode::Interprocedural => {
+                    Some(UnitFlow::build(unit))
+                }
             };
             if let Some(t0) = t0 {
                 reg.histogram("analyzer.phase.flow_ns", &jepo_trace::TIME_NS_BUCKETS)
@@ -127,6 +167,7 @@ impl Analyzer {
             file,
             unit,
             flow: flow.as_ref(),
+            interproc,
         };
         let mut out: Vec<Suggestion> = {
             let _s = jepo_trace::span("analyze/rules");
@@ -145,7 +186,7 @@ impl Analyzer {
         if let Some(f) = &flow {
             let _s = jepo_trace::span("analyze/impact");
             let t0 = timed.then(std::time::Instant::now);
-            crate::impact::annotate(&mut out, f);
+            crate::impact::annotate_with(&mut out, f, interproc);
             if let Some(t0) = t0 {
                 reg.histogram("analyzer.phase.impact_ns", &jepo_trace::TIME_NS_BUCKETS)
                     .observe(t0.elapsed().as_nanos() as u64);
@@ -163,8 +204,11 @@ impl Analyzer {
     /// auto). Output is globally sorted/deduped by `(file, line,
     /// component)` — bit-identical for every job count.
     pub fn analyze_project_jobs(&self, project: &JavaProject, jobs: usize) -> Vec<Suggestion> {
-        let per_file = jepo_pool::parallel_map(project.files(), jobs, |_, f| {
-            self.analyze_unit(&f.name, &f.unit)
+        // Whole-program facts are built once, single-threaded, before
+        // the fan-out — deterministic regardless of job count.
+        let facts = self.program_facts(project);
+        let per_file = jepo_pool::parallel_map(project.files(), jobs, |i, f| {
+            self.analyze_unit_with(&f.name, &f.unit, facts.as_ref().map(|fa| (fa, i)))
         });
         let mut out: Vec<Suggestion> = per_file.into_iter().flatten().collect();
         out.sort_by(|a, b| {
@@ -177,6 +221,21 @@ impl Analyzer {
     /// Analyze every file of a project with automatic parallelism.
     pub fn analyze_project(&self, project: &JavaProject) -> Vec<Suggestion> {
         self.analyze_project_jobs(project, 0)
+    }
+
+    /// Whole-program facts for `project`, when the mode wants them.
+    fn program_facts(&self, project: &JavaProject) -> Option<ProgramFacts> {
+        (self.mode == AnalysisMode::Interprocedural).then(|| {
+            let _s = jepo_trace::span("analyze/interproc");
+            let reg = jepo_trace::Registry::global();
+            let t0 = reg.is_enabled().then(std::time::Instant::now);
+            let facts = ProgramFacts::build(project);
+            if let Some(t0) = t0 {
+                reg.histogram("analyzer.phase.interproc_ns", &jepo_trace::TIME_NS_BUCKETS)
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+            facts
+        })
     }
 
     /// Deterministic fingerprint of everything a cached result depends
@@ -222,23 +281,37 @@ impl Analyzer {
         }
         let files = project.files();
         let hashes: Vec<u64> = files.iter().map(|f| content_hash(&f.text)).collect();
+        // Interprocedural mode rebuilds the whole-program facts (cheap:
+        // summaries only, no rules) and dirties every file whose
+        // dependency hash — a digest of the resolved callee summaries
+        // its results consulted — changed, even if its own text did not.
+        // That is exactly the transitive reverse-dependency set of an
+        // edit, because summaries fold in transitive callees.
+        let facts = self.program_facts(project);
         // Resolve hits before any insert so a duplicate file name (two
         // project entries, same path) can't evict a row set mid-run.
         let mut rows: Vec<Option<Vec<Suggestion>>> = files
             .iter()
             .enumerate()
             .map(|(i, f)| {
+                let dep = facts.as_ref().map_or(0, |fa| fa.dep_hash(i));
                 cache
-                    .lookup(&f.name, hashes[i])
+                    .lookup_deps(&f.name, hashes[i], dep)
                     .map(|e| e.suggestions.clone())
             })
             .collect();
         let dirty: Vec<usize> = (0..files.len()).filter(|&i| rows[i].is_none()).collect();
-        let fresh = jepo_pool::parallel_map_subset(files, &dirty, jobs, |_, f| {
-            self.analyze_unit(&f.name, &f.unit)
+        let fresh = jepo_pool::parallel_map_subset(files, &dirty, jobs, |i, f| {
+            self.analyze_unit_with(&f.name, &f.unit, facts.as_ref().map(|fa| (fa, i)))
         });
         for (&i, r) in dirty.iter().zip(fresh) {
-            cache.insert(&files[i].name, hashes[i], r.clone());
+            match &facts {
+                Some(fa) => {
+                    let deps: Vec<String> = fa.dep_files(i).iter().cloned().collect();
+                    cache.insert_deps(&files[i].name, hashes[i], fa.dep_hash(i), deps, r.clone());
+                }
+                None => cache.insert(&files[i].name, hashes[i], r.clone()),
+            }
             rows[i] = Some(r);
         }
         let live: std::collections::HashSet<&str> = files.iter().map(|f| f.name.as_str()).collect();
@@ -488,6 +561,116 @@ class Sink {
         assert_eq!(cache.stats().last_misses, 1, "only the edited file");
         assert_eq!(cache.stats().last_hits, 2);
         assert_eq!(warm2, analyzer.analyze_project_jobs(&p2, 1));
+    }
+
+    /// The stale-cache regression the dependency hash exists for:
+    /// editing only a *callee's* file changes the caller's suggestions,
+    /// so content-only invalidation would serve a stale row set.
+    #[test]
+    fn callee_edit_dirties_the_caller() {
+        let caller = "class Caller {
+            int hot(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = s + Helper.work(i); }
+                return s;
+            }
+        }";
+        // Revision 0: the helper is cheap and pure. Revision 1: it
+        // allocates per call — the caller now deserves a
+        // CalleeAllocationInLoop suggestion, with identical caller text.
+        let helper0 = "class Helper { static int work(int x) { return x + 1; } }";
+        let helper1 =
+            "class Helper { static int work(int x) { int[] b = new int[4]; return b[0] + x; } }";
+        let project_with = |helper: &str| {
+            let mut p = JavaProject::new();
+            p.add_file("Caller.java", caller).unwrap();
+            p.add_file("Helper.java", helper).unwrap();
+            p
+        };
+        let p0 = project_with(helper0);
+        let p1 = project_with(helper1);
+
+        let analyzer = Analyzer::interprocedural();
+        let cold0 = analyzer.analyze_project_jobs(&p0, 1);
+        let cold1 = analyzer.analyze_project_jobs(&p1, 1);
+        assert_ne!(
+            cold0, cold1,
+            "callee-only edit must change the caller's suggestions"
+        );
+        assert!(
+            cold1
+                .iter()
+                .any(|s| s.file == "Caller.java"
+                    && s.component == JavaComponent::CalleeAllocationInLoop),
+            "{cold1:?}"
+        );
+
+        // Content-only invalidation is provably insufficient here: the
+        // caller's text (and content hash) is identical across the two
+        // revisions, so a v1-style lookup would return the stale entry.
+        let mut cache = analyzer.new_cache();
+        analyzer.analyze_project_incremental_jobs(&p0, &mut cache, 1);
+        assert!(
+            cache.lookup("Caller.java", content_hash(caller)).is_some(),
+            "content-hash lookup alone still matches the stale entry"
+        );
+        let entry = cache.lookup("Caller.java", content_hash(caller)).unwrap();
+        assert!(
+            entry.deps.contains(&"Helper.java".to_string()),
+            "the entry records its call-graph dependency: {:?}",
+            entry.deps
+        );
+
+        // The dep-aware path re-analyzes the caller too: both files miss.
+        let warm1 = analyzer.analyze_project_incremental_jobs(&p1, &mut cache, 1);
+        assert_eq!(warm1, cold1, "warm output bit-identical after callee edit");
+        assert_eq!(
+            cache.stats().last_misses,
+            2,
+            "edited callee AND its caller both go dirty"
+        );
+
+        // Edit back: same story in reverse, and the output tracks.
+        let warm0 = analyzer.analyze_project_incremental_jobs(&p0, &mut cache, 2);
+        assert_eq!(warm0, cold0);
+        assert_eq!(cache.stats().last_misses, 2);
+
+        // Steady state: nothing changed, nothing re-analyzed.
+        let warm = analyzer.analyze_project_incremental_jobs(&p0, &mut cache, 4);
+        assert_eq!(warm, cold0);
+        assert_eq!(cache.stats().last_misses, 0);
+    }
+
+    #[test]
+    fn interproc_rules_fire_only_in_interproc_mode() {
+        let src = "class A {
+            int[] make(int n) { return new int[n]; }
+            int hot(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { int[] b = make(8); s = s + b.length; }
+                return s;
+            }
+        }";
+        let mut p = JavaProject::new();
+        p.add_file("A.java", src).unwrap();
+        let flow = Analyzer::with_extensions().analyze_project_jobs(&p, 1);
+        assert!(
+            !flow
+                .iter()
+                .any(|s| JavaComponent::INTERPROC.contains(&s.component)),
+            "flow mode must stay bit-identical to the pre-interproc baseline"
+        );
+        let inter = Analyzer::interprocedural().analyze_project_jobs(&p, 1);
+        assert!(inter
+            .iter()
+            .any(|s| s.component == JavaComponent::CalleeAllocationInLoop));
+        // Impact scales with the callee's per-call allocation count ×
+        // the enclosing trip estimate — strictly above the bare factor.
+        let hit = inter
+            .iter()
+            .find(|s| s.component == JavaComponent::CalleeAllocationInLoop)
+            .unwrap();
+        assert!(hit.impact > JavaComponent::CalleeAllocationInLoop.worst_case_factor());
     }
 
     #[test]

@@ -14,9 +14,17 @@
 //! trip no Table I rule, and *dirty* bodies each seeded with a specific
 //! anti-pattern (string concat in a loop, modulus in a loop, manual
 //! array copy, column-major traversal, ternary, `compareTo`,
-//! loop-invariant op, short-circuit chains). [`GenConfig::pattern_rate`]
-//! sets the per-method probability of drawing from the dirty menu, so a
-//! corpus can range from energy-clean to saturated.
+//! loop-invariant op, short-circuit chains, plus three helper/hot-loop
+//! *pairs* that only the interprocedural rules can see: an allocating
+//! callee called in a loop, concat-via-helper, and a loop-invariant pure
+//! expensive call). [`GenConfig::pattern_rate`] sets the per-method
+//! probability of drawing from the dirty menu, so a corpus can range
+//! from energy-clean to saturated.
+//!
+//! Every file also carries a `link()` method calling a deterministic
+//! *other* generated file's `revision()`, so the whole-program call
+//! graph has cross-file edges at corpus scale and the dependency-aware
+//! cache has real edges to track.
 
 use jepo_jlang::JavaProject;
 use rand::prelude::*;
@@ -79,6 +87,19 @@ pub fn generate_source(cfg: &GenConfig, index: usize, rev: u64) -> String {
     src.push_str(&format!(
         "    public long revision() {{ return {rev}L; }}\n\n"
     ));
+    // Cross-file call-graph edge: every file calls a deterministic
+    // other file's `revision()`. The callee summary is rev-invariant
+    // (literal values are not part of summary fingerprints), so rev
+    // bumps still dirty exactly one file, while the dependency graph
+    // has real cross-file edges at corpus scale.
+    if cfg.files > 1 {
+        let j = (index * 7 + 13) % cfg.files;
+        let j = if j == index { (j + 1) % cfg.files } else { j };
+        src.push_str(&format!(
+            "    public long link() {{\n        Gen{j:05} peer = new Gen{j:05}();\n        \
+             return peer.revision();\n    }}\n\n"
+        ));
+    }
     for m in 0..cfg.methods_per_class.max(1) {
         let dirty = rng.gen_bool(cfg.pattern_rate.clamp(0.0, 1.0));
         let body = if dirty {
@@ -120,10 +141,11 @@ fn clean_method(rng: &mut StdRng, m: usize) -> String {
     }
 }
 
-/// A method seeded with one specific Table I anti-pattern.
+/// A method (or helper/hot-loop pair) seeded with one specific
+/// anti-pattern — Table I rows plus the three interprocedural shapes.
 fn dirty_method(rng: &mut StdRng, m: usize) -> String {
     let c = rng.gen_range(2..50);
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..11u32) {
         // String concatenation onto a loop-carried accumulator.
         0 => format!(
             "    public String join{m}(String[] parts, int n) {{\n        \
@@ -168,10 +190,36 @@ fn dirty_method(rng: &mut StdRng, m: usize) -> String {
              s = s + p[i] * (buckets % {c} + 1);\n        }}\n        return s;\n    }}\n"
         ),
         // Short-circuit chain (operand-order suggestion).
-        _ => format!(
+        7 => format!(
             "    public boolean range{m}(int x) {{\n        \
              return x >= 0 && x <= {c} && x != {};\n    }}\n",
             c / 2
+        ),
+        // INTERPROC: a helper that allocates per call, called in a loop
+        // — invisible to the intraprocedural object-creation rule.
+        8 => format!(
+            "    public int[] makeBuf{m}(int n) {{\n        return new int[n];\n    }}\n\n    \
+             public int sumBuf{m}(int n) {{\n        int s = 0;\n        \
+             for (int i = 0; i < n; i++) {{\n            \
+             int[] b = makeBuf{m}({c});\n            s = s + b.length;\n        }}\n        \
+             return s;\n    }}\n"
+        ),
+        // INTERPROC: concat-via-helper — the `+` hides in the callee.
+        9 => format!(
+            "    public String pad{m}(String a, String b) {{\n        \
+             return a + b;\n    }}\n\n    \
+             public String label{m}(String[] parts, int n) {{\n        \
+             String s = \"\";\n        \
+             for (int i = 0; i < n; i++) {{\n            \
+             s = pad{m}(s, parts[i]);\n        }}\n        return s;\n    }}\n"
+        ),
+        // INTERPROC: loop-invariant call to a pure expensive callee.
+        _ => format!(
+            "    public int bucket{m}(int x, int k) {{\n        \
+             return x % k + x / (k + 1);\n    }}\n\n    \
+             public int spread{m}(int n, int x, int k) {{\n        int s = 0;\n        \
+             for (int i = 0; i < n; i++) {{\n            \
+             s = s + bucket{m}(x, {c});\n        }}\n        return s;\n    }}\n"
         ),
     }
 }

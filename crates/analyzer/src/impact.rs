@@ -11,7 +11,8 @@
 //! 17.2 × 10⁴) sorts far above the same modulus at top level (17.2).
 
 use crate::dataflow::UnitFlow;
-use crate::suggestion::Suggestion;
+use crate::interproc::ProgramFacts;
+use crate::suggestion::{JavaComponent, Suggestion};
 
 /// Estimated impact of a component hit at the given loop context.
 pub fn score(factor: f64, trip_product: f64) -> f64 {
@@ -21,10 +22,28 @@ pub fn score(factor: f64, trip_product: f64) -> f64 {
 /// Annotate `suggestions` (all from the unit `flow` describes) with loop
 /// depth and impact.
 pub fn annotate(suggestions: &mut [Suggestion], flow: &UnitFlow) {
+    annotate_with(suggestions, flow, None);
+}
+
+/// [`annotate`], plus interprocedural weighting: the cross-method
+/// components scale their base factor by the worst per-call count the
+/// callee summary reports (a helper allocating 100 buffers per call
+/// outranks one allocating 1), keeping the `factor × trips` shape.
+pub fn annotate_with(
+    suggestions: &mut [Suggestion],
+    flow: &UnitFlow,
+    interproc: Option<(&ProgramFacts, usize)>,
+) {
     for s in suggestions {
         let (depth, trips) = flow.loop_context(s.line);
         s.loop_depth = depth;
-        s.impact = score(s.component.worst_case_factor(), trips);
+        let mut factor = s.component.worst_case_factor();
+        if let Some((facts, fi)) = interproc {
+            if JavaComponent::INTERPROC.contains(&s.component) {
+                factor *= facts.callee_weight(fi, s.line, s.component);
+            }
+        }
+        s.impact = score(factor, trips);
     }
 }
 

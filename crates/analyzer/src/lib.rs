@@ -20,11 +20,18 @@
 //! * [`engine`] — runs all rules over a file or project (the *JEPO
 //!   optimizer* flow of Fig. 5), flow-sensitively by default, in
 //!   parallel over files with deterministic output order.
+//! * [`interproc`] — whole-program call-graph facts: CHA-resolved call
+//!   edges, SCC condensation, bottom-up method summaries (purity,
+//!   side-effect sets, per-call allocation/concat/expensive-op counts,
+//!   escape facts) and a static per-method energy estimate, consumed by
+//!   the cross-method rules and the dependency-aware cache.
 //! * [`cache`] — the incremental layer: per-file results keyed by a
-//!   normalized-source FNV-1a/64 content hash, with a versioned,
-//!   corruption-tolerant on-disk format so separate invocations stay
-//!   warm. The engine's `analyze_project_incremental_jobs` re-analyzes
-//!   only dirty files, bit-identically to a cold run.
+//!   normalized-source FNV-1a/64 content hash plus a call-graph
+//!   dependency hash, with a versioned, corruption-tolerant on-disk
+//!   format so separate invocations stay warm. The engine's
+//!   `analyze_project_incremental_jobs` re-analyzes only dirty files —
+//!   including callers of behavior-changed callees — bit-identically
+//!   to a cold run.
 //! * [`gen`] — deterministic corpus generator: thousands of Java-subset
 //!   files with controlled Table I anti-pattern rates, so cold-vs-warm
 //!   legs measure real work at production scale.
@@ -50,6 +57,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod gen;
 pub mod impact;
+pub mod interproc;
 pub mod metrics;
 pub mod refactor;
 pub mod rules;
@@ -59,6 +67,7 @@ pub use cache::{content_hash, fnv1a64, AnalysisCache, CacheStats};
 pub use dataflow::UnitFlow;
 pub use dynamic::DynamicAnalyzer;
 pub use engine::{analyze_project, analyze_source, analyze_unit, AnalysisMode, Analyzer};
+pub use interproc::{MethodEnergy, MethodRef, MethodSummary, ProgramFacts};
 pub use metrics::{project_metrics, ClassMetrics};
 pub use refactor::{refactor_unit, RefactorKind, RefactorReport};
 pub use suggestion::{JavaComponent, Suggestion};

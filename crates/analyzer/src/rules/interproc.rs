@@ -1,0 +1,372 @@
+//! Interprocedural rules: cross-method Table I checks.
+//!
+//! Each rule consults callee summaries ([`crate::interproc`]) at call
+//! sites inside loops — the patterns the intraprocedural matcher
+//! cannot see because the expensive work hides behind a call boundary:
+//!
+//! * [`CalleeAllocationInLoopRule`] — the callee allocates on every
+//!   invocation and the call sits in a loop (allocation-in-loop via
+//!   callee).
+//! * [`CalleeStringConcatRule`] — the callee concatenates `String`s
+//!   with `+` (concat-via-helper).
+//! * [`InvariantPureCallRule`] — a pure, expensive callee invoked with
+//!   loop-invariant arguments: hoistable across the call boundary.
+//!
+//! All three stay silent unless the engine runs in
+//! [`crate::AnalysisMode::Interprocedural`] (the `ctx.interproc` facts
+//! are present), so the syntactic paper baseline and the flow mode are
+//! bit-identical to before.
+
+use super::{Rule, RuleCtx};
+use crate::cfg::assigned_names;
+use crate::interproc::{CallSite, MethodSummary, ProgramFacts};
+use crate::suggestion::{JavaComponent, Suggestion};
+use jepo_jlang::{printer, ClassDecl, Expr, ExprKind, Stmt, UnaryOp};
+use std::collections::HashSet;
+
+/// Call in a loop whose callee allocates per invocation.
+pub struct CalleeAllocationInLoopRule;
+
+/// Call in a loop whose callee performs `String +` concatenation.
+pub struct CalleeStringConcatRule;
+
+/// Loop-invariant call to a pure, expensive callee.
+pub struct InvariantPureCallRule;
+
+/// Name of the called method (or constructed class) if `e` is a call
+/// the interprocedural layer records sites for.
+fn call_name(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Call { name, .. } => Some(name),
+        ExprKind::New { class, .. } => Some(class.rsplit('.').next().unwrap_or(class)),
+        _ => None,
+    }
+}
+
+/// Resolved sites matching this call expression. Matching is by
+/// `(line, name)` — the same key both layers derive from the AST.
+fn matching_sites<'a>(
+    facts: &'a ProgramFacts,
+    fi: usize,
+    e: &Expr,
+) -> impl Iterator<Item = &'a CallSite> + 'a {
+    let line = e.span.line;
+    let name = call_name(e).unwrap_or("").to_string();
+    facts
+        .methods_in_file(fi)
+        .iter()
+        .flat_map(move |&mi| facts.sites_of(mi).iter())
+        .filter(move |s| s.line == line && s.name == name)
+}
+
+/// Field names assigned through field-access targets anywhere under
+/// `stmt` (`this.f = …`, `obj.f++`) — mirrors the loop-invariant rule.
+fn assigned_fields(stmt: &Stmt) -> HashSet<String> {
+    let mut out = HashSet::new();
+    jepo_jlang::walk_stmt_exprs(stmt, &mut |e| {
+        let target = match &e.kind {
+            ExprKind::Assign(l, _, _) => Some(l),
+            ExprKind::Unary(
+                UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec,
+                inner,
+            ) => Some(inner),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if let ExprKind::FieldAccess(_, f) = &t.kind {
+                out.insert(f.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Visit every call expression inside a loop body, with the enclosing
+/// loop statement (outermost attribution: each call is reported once,
+/// against the first loop that encloses it).
+fn for_each_loop_call(ctx: &RuleCtx, mut f: impl FnMut(&ClassDecl, &Stmt, &Expr)) {
+    let mut seen_lines: HashSet<u32> = HashSet::new();
+    ctx.for_each_stmt(|c, _m, s| {
+        if let Some(body) = s.loop_body() {
+            jepo_jlang::walk_stmt_exprs(body, &mut |e| {
+                if call_name(e).is_some() && seen_lines.insert(e.span.line) {
+                    f(c, s, e);
+                }
+            });
+        }
+    });
+}
+
+/// Generic driver: fire `component` when any resolved target summary
+/// satisfies `hit`.
+fn check_callee_fact(
+    ctx: &RuleCtx,
+    component: JavaComponent,
+    hit: impl Fn(&MethodSummary) -> bool,
+) -> Vec<Suggestion> {
+    let Some((facts, fi)) = ctx.interproc else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for_each_loop_call(ctx, |c, _loop_stmt, e| {
+        let fires = matching_sites(facts, fi, e)
+            .any(|site| site.targets.iter().any(|&t| hit(facts.summary(t))));
+        if fires {
+            out.push(Suggestion::new(
+                ctx.file,
+                &ctx.class_name(c),
+                e.span.line,
+                component,
+                printer::print_expr(e),
+            ));
+        }
+    });
+    out
+}
+
+impl Rule for CalleeAllocationInLoopRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::CalleeAllocationInLoop
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        // Direct `new` in a loop is the intraprocedural
+        // ObjectCreationInLoop rule's business; this rule reports calls
+        // whose *callee* allocates.
+        let Some((facts, fi)) = ctx.interproc else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for_each_loop_call(ctx, |c, _loop_stmt, e| {
+            if !matches!(&e.kind, ExprKind::Call { .. }) {
+                return;
+            }
+            let fires = matching_sites(facts, fi, e).any(|site| {
+                site.targets
+                    .iter()
+                    .any(|&t| facts.summary(t).allocs_per_call > 0.0)
+            });
+            if fires {
+                out.push(Suggestion::new(
+                    ctx.file,
+                    &ctx.class_name(c),
+                    e.span.line,
+                    self.component(),
+                    printer::print_expr(e),
+                ));
+            }
+        });
+        out
+    }
+}
+
+impl Rule for CalleeStringConcatRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::CalleeStringConcat
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        check_callee_fact(ctx, self.component(), |s| s.concats_per_call > 0.0)
+    }
+}
+
+impl Rule for InvariantPureCallRule {
+    fn component(&self) -> JavaComponent {
+        JavaComponent::InvariantPureCall
+    }
+
+    fn check(&self, ctx: &RuleCtx) -> Vec<Suggestion> {
+        let Some((facts, fi)) = ctx.interproc else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        ctx.for_each_stmt(|c, _m, s| {
+            let Some(body) = s.loop_body() else { return };
+            let mut assigned = assigned_names(s);
+            assigned.extend(assigned_fields(s));
+            // Innermost attribution, as the loop-invariant-op rule does:
+            // calls inside a nested loop belong to that loop.
+            let mut inner_lines: HashSet<u32> = HashSet::new();
+            jepo_jlang::walk_stmts(body, &mut |st| {
+                if st.is_loop() {
+                    jepo_jlang::walk_stmt_exprs(st, &mut |e| {
+                        inner_lines.insert(e.span.line);
+                    });
+                }
+            });
+            jepo_jlang::walk_stmt_exprs(body, &mut |e| {
+                if !matches!(&e.kind, ExprKind::Call { .. } | ExprKind::New { .. })
+                    || inner_lines.contains(&e.span.line)
+                {
+                    return;
+                }
+                let mut candidate = false;
+                for site in matching_sites(facts, fi, e) {
+                    let all_hoistable = !site.targets.is_empty()
+                        && site.targets.iter().all(|&t| {
+                            let cs = facts.summary(t);
+                            cs.pure && !cs.throws && cs.expensive_per_call > 0.0
+                        });
+                    let invariant = site.arg_names.iter().all(|n| !assigned.contains(n));
+                    if all_hoistable && invariant {
+                        candidate = true;
+                    }
+                }
+                if candidate && seen.insert(e.span.line) {
+                    out.push(Suggestion::new(
+                        ctx.file,
+                        &ctx.class_name(c),
+                        e.span.line,
+                        self.component(),
+                        printer::print_expr(e),
+                    ));
+                }
+            });
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::*;
+
+    const ALLOC_HELPER: &str = "class A {
+       int[] make(int n) { return new int[n]; }
+       int hot(int n) {
+         int s = 0;
+         for (int i = 0; i < n; i++) { int[] b = make(8); s = s + b.length; }
+         return s;
+       }
+     }";
+
+    #[test]
+    fn silent_without_interproc_facts() {
+        assert!(run_rule(&CalleeAllocationInLoopRule, ALLOC_HELPER).is_empty());
+        assert!(run_rule_flow(&CalleeAllocationInLoopRule, ALLOC_HELPER).is_empty());
+    }
+
+    #[test]
+    fn callee_allocation_in_loop_fires() {
+        let got = run_rule_interproc(&CalleeAllocationInLoopRule, ALLOC_HELPER);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].component, JavaComponent::CalleeAllocationInLoop);
+        assert_eq!(got[0].line, 5);
+        assert!(got[0].matched.contains("make"));
+    }
+
+    #[test]
+    fn non_allocating_callee_is_fine() {
+        assert!(run_rule_interproc(
+            &CalleeAllocationInLoopRule,
+            "class A {
+               int triple(int n) { return n * 3; }
+               int hot(int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + triple(i); }
+                 return s;
+               }
+             }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn call_outside_loop_is_fine() {
+        assert!(run_rule_interproc(
+            &CalleeAllocationInLoopRule,
+            "class A {
+               int[] make(int n) { return new int[n]; }
+               int once(int n) { int[] b = make(n); return b.length; }
+             }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn concat_via_helper_fires() {
+        let got = run_rule_interproc(
+            &CalleeStringConcatRule,
+            "class A {
+               String pad(String a, String b) { return a + b; }
+               String join(int n) {
+                 String s = \"\";
+                 for (int i = 0; i < n; i++) { s = pad(s, \"x\"); }
+                 return s;
+               }
+             }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].component, JavaComponent::CalleeStringConcat);
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn invariant_pure_expensive_call_fires() {
+        let got = run_rule_interproc(
+            &InvariantPureCallRule,
+            "class A {
+               int bucket(int x, int k) { return x % k + x / (k + 1); }
+               int spread(int n, int x, int k) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + bucket(x, k); }
+                 return s;
+               }
+             }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].component, JavaComponent::InvariantPureCall);
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn variant_args_suppress_the_hoist() {
+        assert!(run_rule_interproc(
+            &InvariantPureCallRule,
+            "class A {
+               int bucket(int x, int k) { return x % k; }
+               int spread(int n, int k) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + bucket(i, k); }
+                 return s;
+               }
+             }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn impure_callee_suppresses_the_hoist() {
+        assert!(run_rule_interproc(
+            &InvariantPureCallRule,
+            "class A {
+               int calls;
+               int bucket(int x, int k) { calls = calls + 1; return x % k; }
+               int spread(int n, int x, int k) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + bucket(x, k); }
+                 return s;
+               }
+             }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cheap_pure_callee_is_not_worth_hoisting() {
+        assert!(run_rule_interproc(
+            &InvariantPureCallRule,
+            "class A {
+               int add(int x, int k) { return x + k; }
+               int spread(int n, int x, int k) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + add(x, k); }
+                 return s;
+               }
+             }",
+        )
+        .is_empty());
+    }
+}

@@ -11,6 +11,7 @@ pub mod array_copy;
 pub mod array_traversal;
 pub mod dead_store;
 pub mod extended;
+pub mod interproc;
 pub mod loop_invariant;
 pub mod primitive_types;
 pub mod scientific_notation;
@@ -22,12 +23,14 @@ pub mod ternary_operator;
 pub mod wrapper_classes;
 
 use crate::dataflow::UnitFlow;
+use crate::interproc::ProgramFacts;
 use crate::suggestion::{JavaComponent, Suggestion};
 use jepo_jlang::{ClassDecl, CompilationUnit, Expr, MethodDecl, PrimType, Stmt, Type};
 use std::collections::HashSet;
 
 /// Context a rule sees: one file's parsed unit, plus (in flow-sensitive
-/// mode) the unit's dataflow facts.
+/// mode) the unit's dataflow facts, plus (in interprocedural mode) the
+/// whole-program call-graph facts.
 pub struct RuleCtx<'a> {
     /// File name for suggestion rows.
     pub file: &'a str,
@@ -37,6 +40,10 @@ pub struct RuleCtx<'a> {
     /// means syntactic baseline: rules must fall back to their original
     /// line-local behavior.
     pub flow: Option<&'a UnitFlow>,
+    /// Whole-program interprocedural facts and this file's index in
+    /// them, when the engine runs interprocedurally. The cross-method
+    /// rules stay silent without this.
+    pub interproc: Option<(&'a ProgramFacts, usize)>,
 }
 
 impl<'a> RuleCtx<'a> {
@@ -130,6 +137,16 @@ pub fn extended_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
+/// The interprocedural rules: cross-method checks consulting callee
+/// summaries at call sites inside loops.
+pub fn interproc_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(interproc::CalleeAllocationInLoopRule),
+        Box::new(interproc::CalleeStringConcatRule),
+        Box::new(interproc::InvariantPureCallRule),
+    ]
+}
+
 /// All eleven rules, in Table I order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -190,6 +207,7 @@ pub(crate) mod testutil {
             file: "Test.java",
             unit: &unit,
             flow: None,
+            interproc: None,
         };
         rule.check(&ctx)
     }
@@ -202,6 +220,22 @@ pub(crate) mod testutil {
             file: "Test.java",
             unit: &unit,
             flow: Some(&flow),
+            interproc: None,
+        };
+        rule.check(&ctx)
+    }
+
+    /// Run a single rule with dataflow *and* single-unit interprocedural
+    /// facts (whole-program facts restricted to this snippet).
+    pub fn run_rule_interproc(rule: &dyn Rule, src: &str) -> Vec<Suggestion> {
+        let unit = jepo_jlang::parse_unit(src).unwrap_or_else(|e| panic!("{e}"));
+        let flow = UnitFlow::build(&unit);
+        let facts = ProgramFacts::build_single("Test.java", &unit);
+        let ctx = RuleCtx {
+            file: "Test.java",
+            unit: &unit,
+            flow: Some(&flow),
+            interproc: Some((&facts, 0)),
         };
         rule.check(&ctx)
     }
@@ -238,6 +272,7 @@ mod tests {
             file: "A.java",
             unit: &unit,
             flow: None,
+            interproc: None,
         };
         let names = ctx.string_names(&unit.types[0]);
         assert!(names.contains("f") && names.contains("p") && names.contains("l"));

@@ -42,6 +42,16 @@ pub enum JavaComponent {
     /// EXTENSION (flow-only): a computed value with no live reader —
     /// energy spent on a dead store.
     DeadStore,
+    /// INTERPROCEDURAL: a call inside a loop whose callee allocates on
+    /// every invocation — the allocation is hidden behind the call
+    /// boundary.
+    CalleeAllocationInLoop,
+    /// INTERPROCEDURAL: a call inside a loop whose callee performs
+    /// `String +` concatenation — concat-via-helper.
+    CalleeStringConcat,
+    /// INTERPROCEDURAL: a loop-invariant call to a pure, expensive
+    /// callee — hoistable across the call boundary.
+    InvariantPureCall,
 }
 
 impl JavaComponent {
@@ -70,6 +80,14 @@ impl JavaComponent {
         JavaComponent::DeadStore,
     ];
 
+    /// Interprocedural components: cross-method rules that consult
+    /// callee summaries ([`crate::interproc`]) at call sites in loops.
+    pub const INTERPROC: [JavaComponent; 3] = [
+        JavaComponent::CalleeAllocationInLoop,
+        JavaComponent::CalleeStringConcat,
+        JavaComponent::InvariantPureCall,
+    ];
+
     /// The Table I "Java Components" column label.
     pub fn label(self) -> &'static str {
         match self {
@@ -88,6 +106,9 @@ impl JavaComponent {
             JavaComponent::ObjectCreation => "Objects (extension)",
             JavaComponent::LoopInvariantOp => "Loop-invariant operation (flow)",
             JavaComponent::DeadStore => "Dead store (flow)",
+            JavaComponent::CalleeAllocationInLoop => "Allocation via callee in loop (interproc)",
+            JavaComponent::CalleeStringConcat => "String concat via helper (interproc)",
+            JavaComponent::InvariantPureCall => "Loop-invariant pure call (interproc)",
         }
     }
 
@@ -146,6 +167,18 @@ impl JavaComponent {
                 "Value is computed but never read afterwards; the energy spent on this \
                  store is wasted. Remove the dead assignment."
             }
+            JavaComponent::CalleeAllocationInLoop => {
+                "This call allocates inside the callee on every loop iteration; reuse a \
+                 buffer or hoist the allocation out of the loop."
+            }
+            JavaComponent::CalleeStringConcat => {
+                "This helper concatenates Strings with + on every call; inside a loop the \
+                 copies are quadratic. Pass a StringBuilder through instead."
+            }
+            JavaComponent::InvariantPureCall => {
+                "Pure expensive call with loop-invariant arguments; hoist the call before \
+                 the loop to pay its energy cost once."
+            }
         }
     }
 
@@ -153,21 +186,24 @@ impl JavaComponent {
     /// inefficient form relative to the efficient one (1.0 = no claim).
     pub fn worst_case_factor(self) -> f64 {
         match self {
-            JavaComponent::StaticKeyword => 178.0,      // +17,700%
-            JavaComponent::ArithmeticOperators => 17.2, // +1,620%
-            JavaComponent::ArrayTraversal => 8.93,      // +793%
-            JavaComponent::TernaryOperator => 1.37,     // +37%
-            JavaComponent::StringComparison => 1.33,    // +33%
-            JavaComponent::StringConcatenation => 8.8,  // "much lower"
-            JavaComponent::ArraysCopy => 7.4,           // manual vs bulk
-            JavaComponent::PrimitiveDataTypes => 2.2,   // double vs int ALU
-            JavaComponent::WrapperClasses => 1.35,      // non-Integer surcharge
-            JavaComponent::ScientificNotation => 1.46,  // plain vs sci constant
-            JavaComponent::ShortCircuitOperator => 1.0, // workload-dependent
-            JavaComponent::ExceptionUsage => 640.0,     // ExceptionThrow vs IntAlu
-            JavaComponent::ObjectCreation => 42.0,      // Alloc vs IntAlu
-            JavaComponent::LoopInvariantOp => 17.2,     // same scale as modulus row
-            JavaComponent::DeadStore => 2.2,            // wasted ALU + store
+            JavaComponent::StaticKeyword => 178.0,         // +17,700%
+            JavaComponent::ArithmeticOperators => 17.2,    // +1,620%
+            JavaComponent::ArrayTraversal => 8.93,         // +793%
+            JavaComponent::TernaryOperator => 1.37,        // +37%
+            JavaComponent::StringComparison => 1.33,       // +33%
+            JavaComponent::StringConcatenation => 8.8,     // "much lower"
+            JavaComponent::ArraysCopy => 7.4,              // manual vs bulk
+            JavaComponent::PrimitiveDataTypes => 2.2,      // double vs int ALU
+            JavaComponent::WrapperClasses => 1.35,         // non-Integer surcharge
+            JavaComponent::ScientificNotation => 1.46,     // plain vs sci constant
+            JavaComponent::ShortCircuitOperator => 1.0,    // workload-dependent
+            JavaComponent::ExceptionUsage => 640.0,        // ExceptionThrow vs IntAlu
+            JavaComponent::ObjectCreation => 42.0,         // Alloc vs IntAlu
+            JavaComponent::LoopInvariantOp => 17.2,        // same scale as modulus row
+            JavaComponent::DeadStore => 2.2,               // wasted ALU + store
+            JavaComponent::CalleeAllocationInLoop => 42.0, // Alloc vs IntAlu, per callee alloc
+            JavaComponent::CalleeStringConcat => 8.8,      // concat scale, per callee concat
+            JavaComponent::InvariantPureCall => 17.2,      // expensive-op scale
         }
     }
 }

@@ -1,0 +1,276 @@
+//! Property tests for the interprocedural layer ([`jepo_analyzer::interproc`]).
+//!
+//! Over *random call graphs* — including mutually recursive ones — four
+//! contracts:
+//!
+//! 1. **Termination + determinism** — [`ProgramFacts::build`] finishes on
+//!    arbitrary (cyclic) graphs, and building twice yields bit-identical
+//!    summaries (fingerprints and energy bits).
+//! 2. **Saturation / monotonicity** — every numeric summary fact is
+//!    finite, non-negative, capped at [`ENERGY_CAP`]; along an acyclic
+//!    call edge the caller's energy dominates the callee's.
+//! 3. **SCC condensation** — two methods share an SCC exactly when each
+//!    reaches the other, recomputed independently in the test over the
+//!    known adjacency.
+//! 4. **Purity soundness** — statically: a method is summarized pure
+//!    exactly when no transitively reachable body writes the tracked
+//!    static; dynamically: running every summarized-pure method on the
+//!    JVM ([`jepo_jvm::Vm`]) leaves the program's static state
+//!    untouched (the summary may be conservatively impure, never
+//!    falsely pure).
+//!
+//! Plus snapshot-pinned counts: each interprocedural rule fires on the
+//! generated corpus with an exact, jobs-independent count.
+
+use jepo_analyzer::gen::{generate_project, GenConfig};
+use jepo_analyzer::interproc::ENERGY_CAP;
+use jepo_analyzer::{Analyzer, JavaComponent, ProgramFacts, Suggestion};
+use jepo_jlang::JavaProject;
+use proptest::prelude::*;
+
+/// Build the source of one class whose methods form the given call
+/// graph. Method `i` calls every `edges[i]` member with a decremented
+/// argument (so the dynamic oracle terminates); bit `i` of `impure`
+/// makes method `i` write the tracked static.
+fn graph_source(n: usize, edges: &[Vec<usize>], impure: u64) -> String {
+    let mut src = String::from("public class G {\n    static int track;\n");
+    for (i, callees) in edges.iter().enumerate() {
+        src.push_str(&format!(
+            "    static int m{i}(int x) {{\n        if (x <= 0) {{ return 1; }}\n        \
+             int s = x % 7;\n"
+        ));
+        if impure >> i & 1 == 1 {
+            src.push_str("        track = track + 1;\n");
+        }
+        for &j in callees {
+            src.push_str(&format!("        s = s + m{j}(x - 1);\n"));
+        }
+        src.push_str("        return s;\n    }\n");
+    }
+    // The oracle's entry point: print the static before and after each
+    // method, so stdout line k vs k+1 brackets the call to `m{k}`.
+    src.push_str("    public static void main(String[] args) {\n");
+    for i in 0..n {
+        src.push_str(&format!(
+            "        System.out.println(track);\n        int r{i} = m{i}(3);\n"
+        ));
+    }
+    src.push_str("        System.out.println(track);\n    }\n}\n");
+    src
+}
+
+/// Decode a random adjacency: method `i`'s callees come from `n` bits of
+/// the masks array (mutual recursion arises whenever `i→j` and `j→i`
+/// bits are both set; self-loops allowed).
+fn decode_edges(n: usize, masks: &[u64]) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| (0..n).filter(|&j| masks[i] >> j & 1 == 1).collect())
+        .collect()
+}
+
+/// Transitive reachability (including the start node itself only if it
+/// lies on a cycle through itself — here: plain BFS from the successors,
+/// then also `i` when `i ∈ reach(succ(i))` ∪ self-loop).
+fn reachable_from(n: usize, edges: &[Vec<usize>], start: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = edges[start].clone();
+    while let Some(v) = stack.pop() {
+        if !seen[v] {
+            seen[v] = true;
+            stack.extend(edges[v].iter().copied());
+        }
+    }
+    seen
+}
+
+fn facts_for(src: &str) -> ProgramFacts {
+    let mut project = JavaProject::new();
+    project
+        .add_file("G.java", src)
+        .expect("generated graph parses");
+    ProgramFacts::build(&project)
+}
+
+/// Index of `m{i}` inside `facts.methods()`.
+fn method_index(facts: &ProgramFacts, i: usize) -> usize {
+    let name = format!("m{i}");
+    facts
+        .methods()
+        .iter()
+        .position(|m| m.class == "G" && m.name == name)
+        .unwrap_or_else(|| panic!("m{i} summarized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_call_graphs_terminate_deterministically(
+        n in 2usize..10,
+        masks in proptest::collection::vec(any::<u64>(), 10),
+        impure in any::<u64>(),
+    ) {
+        let edges = decode_edges(n, &masks);
+        let src = graph_source(n, &edges, impure);
+        let facts = facts_for(&src);
+        let again = facts_for(&src);
+
+        for i in 0..n {
+            let idx = method_index(&facts, i);
+            let s = facts.summary(idx);
+
+            // (1) Determinism: same source → bit-identical summary.
+            let idx2 = method_index(&again, i);
+            prop_assert_eq!(s.fingerprint(), again.summary(idx2).fingerprint());
+            prop_assert_eq!(
+                s.energy.to_bits(),
+                again.summary(idx2).energy.to_bits()
+            );
+
+            // (2) Saturation: finite, non-negative, capped — even on
+            // mutually recursive graphs where naive propagation would
+            // diverge under trip weighting.
+            for v in [s.energy, s.allocs_per_call, s.concats_per_call, s.expensive_per_call] {
+                prop_assert!(v.is_finite() && (0.0..=ENERGY_CAP).contains(&v), "{v}");
+            }
+
+            // (4a) Static purity soundness, exact: pure iff no impure
+            // body is transitively reachable (including `i`'s own).
+            let reach = reachable_from(n, &edges, i);
+            let sees_impure = (impure >> i & 1 == 1)
+                || (0..n).any(|j| reach[j] && impure >> j & 1 == 1);
+            prop_assert_eq!(
+                s.pure,
+                !sees_impure,
+                "m{} purity vs reachability over {:?}",
+                i,
+                edges
+            );
+        }
+
+        // (3) SCC condensation == mutual reachability.
+        for i in 0..n {
+            let ri = reachable_from(n, &edges, i);
+            for (j, &rij) in ri.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let rj = reachable_from(n, &edges, j);
+                let mutual = rij && rj[i];
+                let same = facts.scc_of(method_index(&facts, i))
+                    == facts.scc_of(method_index(&facts, j));
+                prop_assert_eq!(same, mutual, "SCC(m{}) vs SCC(m{})", i, j);
+            }
+        }
+
+        // (2b) Monotonicity across acyclic edges: a caller's energy
+        // dominates each callee it invokes from a different SCC (the
+        // call contributes the callee's full per-invocation estimate).
+        for (i, callees) in edges.iter().enumerate() {
+            let ii = method_index(&facts, i);
+            for &j in callees {
+                let jj = method_index(&facts, j);
+                if facts.scc_of(ii) != facts.scc_of(jj)
+                    && facts.summary(jj).energy < ENERGY_CAP
+                {
+                    prop_assert!(
+                        facts.summary(ii).energy >= facts.summary(jj).energy,
+                        "energy(m{})={} < callee energy(m{})={}",
+                        i,
+                        facts.summary(ii).energy,
+                        j,
+                        facts.summary(jj).energy
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summarized_pure_methods_are_dynamically_pure(
+        n in 2usize..6,
+        masks in proptest::collection::vec(any::<u64>(), 6),
+        impure in any::<u64>(),
+    ) {
+        let edges = decode_edges(n, &masks);
+        let src = graph_source(n, &edges, impure);
+        let facts = facts_for(&src);
+
+        // Dynamic oracle: run the whole program once; stdout prints the
+        // tracked static before and after each `m{i}(3)` call.
+        let mut vm = jepo_jvm::Vm::from_source(&src).expect("oracle compiles");
+        let outcome = vm.run_main().expect("oracle runs");
+        let snaps: Vec<i64> = outcome
+            .stdout
+            .lines()
+            .map(|l| l.trim().parse().expect("numeric snapshot"))
+            .collect();
+        prop_assert_eq!(snaps.len(), n + 1, "one snapshot per bracket");
+
+        for i in 0..n {
+            let s = facts.summary(method_index(&facts, i));
+            if s.pure {
+                // A summarized-pure method must not move the static.
+                // (The converse is allowed: the summary may be
+                // conservatively impure on a dynamically-silent path.)
+                prop_assert_eq!(
+                    snaps[i], snaps[i + 1],
+                    "m{} summarized pure but moved track {} -> {}",
+                    i, snaps[i], snaps[i + 1]
+                );
+            }
+        }
+    }
+}
+
+/// Byte rendering for cross-jobs identity checks.
+fn render(rows: &[Suggestion]) -> String {
+    rows.iter()
+        .map(|s| {
+            format!(
+                "{}|{}|{}|{:?}|{}|{:016x}\n",
+                s.file,
+                s.class,
+                s.line,
+                s.component,
+                s.matched,
+                s.impact.to_bits()
+            )
+        })
+        .collect()
+}
+
+/// Snapshot-pinned rule counts on the generated corpus: each
+/// interprocedural rule fires, with an exact count that is identical
+/// for every job count. A drift here means a rule, the corpus
+/// templates, or the call-graph resolution changed behavior.
+#[test]
+fn interproc_rule_counts_are_pinned_on_the_corpus() {
+    let cfg = GenConfig {
+        files: 40,
+        seed: 7,
+        methods_per_class: 6,
+        pattern_rate: 0.6,
+    };
+    let project = generate_project(&cfg);
+    let analyzer = Analyzer::interprocedural();
+    let rows = analyzer.analyze_project_jobs(&project, 1);
+    for jobs in [2usize, 4] {
+        let other = analyzer.analyze_project_jobs(&project, jobs);
+        assert_eq!(render(&rows), render(&other), "jobs={jobs}");
+    }
+    let count = |c: JavaComponent| rows.iter().filter(|s| s.component == c).count();
+    let pinned = [
+        (JavaComponent::CalleeAllocationInLoop, 9),
+        (JavaComponent::CalleeStringConcat, 11),
+        (JavaComponent::InvariantPureCall, 11),
+    ];
+    for (component, expected) in pinned {
+        let got = count(component);
+        assert!(got > 0, "{component:?} must fire on the corpus");
+        assert_eq!(
+            got, expected,
+            "{component:?} count drifted on the pinned corpus (files=40, seed=7, rate=0.6)"
+        );
+    }
+}

@@ -1,14 +1,17 @@
 //! Analyzer microbench + corpus self-check — the numbers behind the
 //! flow-sensitive analysis layer.
 //!
-//! Four legs over the bundled WEKA-flavoured corpus, all with the
-//! extended (Table I + flow-only) rule set:
+//! Six legs over the bundled WEKA-flavoured corpus:
 //!
 //! * **syntactic ×1** — the PR-2 baseline: pattern rules only.
 //! * **syntactic ×N** — the same, fanned over `jepo-pool`.
 //! * **flow ×1** — CFG construction + reaching defs + liveness +
 //!   dominators per method, then the definition-aware rules.
 //! * **flow ×N** — the flow pipeline over `jepo-pool`.
+//! * **interproc ×1** — flow plus whole-program call-graph summaries
+//!   and the cross-method rules.
+//! * **interproc ×N** — the interprocedural pipeline over `jepo-pool`
+//!   (facts built once, single-threaded, before the fan-out).
 //!
 //! The interesting ratios are `flow_overhead_1t` (what the dataflow
 //! facts cost over pure pattern matching) and the per-mode parallel
@@ -34,6 +37,10 @@
 //!   lookup only, zero re-analysis.
 //! * **warm_1pct_dirty** — alternating two corpus revisions that differ
 //!   in ~1% of files, so every rep re-analyzes exactly that dirty set.
+//! * **interproc_cold / interproc_warm** — the same cold/warm pair
+//!   under the interprocedural analyzer, whose cache entries carry
+//!   call-graph dependency hashes; warm must still be bit-identical
+//!   with zero re-analysis.
 //!
 //! Every incremental leg asserts its output equals the plain
 //! (non-cached) analysis of the same revision — warm is bit-identical
@@ -62,10 +69,12 @@ use std::collections::HashSet;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Every component the extended analyzer can emit, in a stable order.
+/// Every component the interprocedural analyzer can emit, in a stable
+/// order.
 fn all_components() -> Vec<JavaComponent> {
     let mut v: Vec<JavaComponent> = JavaComponent::ALL.to_vec();
     v.extend(JavaComponent::EXTENDED);
+    v.extend(JavaComponent::INTERPROC);
     v
 }
 
@@ -86,7 +95,7 @@ fn counts_json(counts: &[(String, usize)], total: usize) -> String {
         .map(|(name, n)| format!("    \"{name}\": {n}"))
         .collect();
     format!(
-        "{{\n  \"mode\": \"flow+extended\",\n  \"total\": {total},\n  \
+        "{{\n  \"mode\": \"interproc+extended\",\n  \"total\": {total},\n  \
          \"components\": {{\n{}\n  }}\n}}\n",
         rows.join(",\n")
     )
@@ -117,7 +126,7 @@ const EXPECTED_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/expected_analy
 /// Compare corpus counts against the checked-in expectation; any drift
 /// is a hard failure with a per-component diff.
 fn selfcheck(project: &JavaProject) -> Result<(), String> {
-    let suggestions = Analyzer::with_extensions().analyze_project(project);
+    let suggestions = Analyzer::interprocedural().analyze_project(project);
     let got = component_counts(&suggestions);
     let expected_src = std::fs::read_to_string(EXPECTED_PATH)
         .map_err(|e| format!("cannot read {EXPECTED_PATH}: {e} (run --update-expected)"))?;
@@ -212,6 +221,34 @@ fn incremental_selfcheck(gen_files: usize, threads: usize) -> Result<(), String>
         cold_secs * 1e3,
         warm_secs * 1e3
     );
+
+    // Same gate under the interprocedural analyzer: its cache entries
+    // additionally carry call-graph dependency hashes, and a warm run
+    // must still be bit-identical to cold with zero re-analysis. (No
+    // timing gate here — dep-hash recomputation makes warm slower than
+    // the flow cache by design, and the flow gate above already proves
+    // the cache machinery is fast.)
+    let ia = Analyzer::interprocedural();
+    let i_ref = ia.analyze_project_jobs(&project, threads);
+    let mut icache = ia.new_cache();
+    let i_cold = ia.analyze_project_incremental_jobs(&project, &mut icache, threads);
+    if i_cold != i_ref {
+        return Err("interproc cold output differs from plain analysis".into());
+    }
+    let i_warm = ia.analyze_project_incremental_jobs(&project, &mut icache, threads);
+    if i_warm != i_ref {
+        return Err("interproc warm output is not bit-identical to cold".into());
+    }
+    if icache.stats().last_misses != 0 {
+        return Err(format!(
+            "interproc warm run re-analyzed {} file(s); dependency hashes are unstable",
+            icache.stats().last_misses
+        ));
+    }
+    println!(
+        "interproc incremental selfcheck OK: {} suggestions, warm ≡ cold, 0 misses",
+        i_ref.len()
+    );
     Ok(())
 }
 
@@ -223,9 +260,18 @@ struct Leg {
     suggestions: usize,
 }
 
+/// The benched analyzer for a mode: extended rules for the syntactic
+/// and flow legs, the full rule set for the interprocedural leg.
+fn analyzer_for(mode: AnalysisMode) -> Analyzer {
+    match mode {
+        AnalysisMode::Interprocedural => Analyzer::interprocedural(),
+        _ => Analyzer::with_extensions().with_mode(mode),
+    }
+}
+
 /// Time `reps` full-project analyses at a given mode and job count.
 fn run_leg(project: &JavaProject, mode: AnalysisMode, jobs: usize, reps: u32) -> Leg {
-    let analyzer = Analyzer::with_extensions().with_mode(mode);
+    let analyzer = analyzer_for(mode);
     // Warm-up run also yields the suggestion count for the invariance
     // assertion below.
     let first = analyzer.analyze_project_jobs(project, jobs);
@@ -238,6 +284,7 @@ fn run_leg(project: &JavaProject, mode: AnalysisMode, jobs: usize, reps: u32) ->
         mode: match mode {
             AnalysisMode::Syntactic => "syntactic",
             AnalysisMode::FlowSensitive => "flow",
+            AnalysisMode::Interprocedural => "interproc",
         },
         threads: jobs,
         runs_per_s: reps as f64 / secs.max(1e-12),
@@ -349,6 +396,47 @@ fn run_incremental_legs(gen_files: usize, threads: usize, reps: u32) -> IncrBenc
         suggestions: out.len(),
     });
 
+    // interproc_cold / interproc_warm: the dependency-aware cache. Warm
+    // pays a whole-program summary rebuild per run (that is what makes
+    // callee-edit invalidation possible) but must still be bit-identical
+    // with zero re-analysis.
+    let ia = Analyzer::interprocedural();
+    let i_ref = ia.analyze_project_jobs(&rev0, threads);
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut cache = ia.new_cache();
+        out = black_box(ia.analyze_project_incremental_jobs(&rev0, &mut cache, threads));
+    }
+    let i_cold_secs = t.elapsed().as_secs_f64() / reps as f64;
+    assert_eq!(out, i_ref, "interproc cold incremental ≠ plain analysis");
+    legs.push(IncrLeg {
+        name: "interproc_cold",
+        secs_per_run: i_cold_secs,
+        suggestions: out.len(),
+    });
+
+    let mut icache = ia.new_cache();
+    ia.analyze_project_incremental_jobs(&rev0, &mut icache, threads);
+    let t = Instant::now();
+    for _ in 0..reps {
+        out = black_box(ia.analyze_project_incremental_jobs(&rev0, &mut icache, threads));
+    }
+    let i_warm_secs = t.elapsed().as_secs_f64() / reps as f64;
+    assert_eq!(
+        out, i_ref,
+        "interproc warm output not bit-identical to cold"
+    );
+    assert_eq!(
+        icache.stats().last_misses,
+        0,
+        "interproc warm leg must not re-analyze (dep hashes unstable?)"
+    );
+    legs.push(IncrLeg {
+        name: "interproc_warm",
+        secs_per_run: i_warm_secs,
+        suggestions: out.len(),
+    });
+
     IncrBench {
         generated_files: gen_files,
         dirty_files: dirty.len(),
@@ -401,7 +489,7 @@ fn main() {
         .unwrap_or(1);
 
     if args.iter().any(|a| a == "--update-expected") {
-        let suggestions = Analyzer::with_extensions().analyze_project(&project);
+        let suggestions = Analyzer::interprocedural().analyze_project(&project);
         let counts = component_counts(&suggestions);
         let json = counts_json(&counts, suggestions.len());
         std::fs::write(EXPECTED_PATH, &json)
@@ -449,6 +537,8 @@ fn main() {
         (AnalysisMode::Syntactic, threads),
         (AnalysisMode::FlowSensitive, 1),
         (AnalysisMode::FlowSensitive, threads),
+        (AnalysisMode::Interprocedural, 1),
+        (AnalysisMode::Interprocedural, threads),
     ] {
         let leg = run_leg(&project, mode, jobs, reps);
         println!(
@@ -464,7 +554,7 @@ fn main() {
 
     // Determinism proxy: thread count must never change what the
     // analyzer finds (the full bit-identity is a tier-1 test).
-    for mode in ["syntactic", "flow"] {
+    for mode in ["syntactic", "flow", "interproc"] {
         let counts: Vec<usize> = legs
             .iter()
             .filter(|l| l.mode == mode)
@@ -483,11 +573,15 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     let flow_overhead_1t = time_of("flow", 1) / time_of("syntactic", 1).max(1e-12);
+    let interproc_overhead_1t = time_of("interproc", 1) / time_of("flow", 1).max(1e-12);
     let flow_speedup = time_of("flow", 1) / time_of("flow", threads).max(1e-12);
     let syntactic_speedup = time_of("syntactic", 1) / time_of("syntactic", threads).max(1e-12);
+    let interproc_speedup = time_of("interproc", 1) / time_of("interproc", threads).max(1e-12);
     println!(
-        "flow overhead ×1: {flow_overhead_1t:.2}×; parallel speedup ×{threads}: \
-         syntactic {syntactic_speedup:.2}×, flow {flow_speedup:.2}×"
+        "flow overhead ×1: {flow_overhead_1t:.2}×; interproc overhead over flow ×1: \
+         {interproc_overhead_1t:.2}×; parallel speedup ×{threads}: \
+         syntactic {syntactic_speedup:.2}×, flow {flow_speedup:.2}×, \
+         interproc {interproc_speedup:.2}×"
     );
 
     // Incremental legs run fewer reps — one cold rep is a full
@@ -524,8 +618,10 @@ fn main() {
          \"requested_threads\": {requested_threads},\n  \
          \"available_cores\": {cores},\n{note_field}  \
          \"flow_overhead_1t\": {flow_overhead_1t:.2},\n  \
+         \"interproc_overhead_1t\": {interproc_overhead_1t:.2},\n  \
          \"syntactic_speedup\": {syntactic_speedup:.2},\n  \
-         \"flow_speedup\": {flow_speedup:.2},\n  \"legs\": [\n{}\n  ],\n{}\n}}\n",
+         \"flow_speedup\": {flow_speedup:.2},\n  \
+         \"interproc_speedup\": {interproc_speedup:.2},\n  \"legs\": [\n{}\n  ],\n{}\n}}\n",
         project.files().len(),
         rows.join(",\n"),
         incr_json(&incr)

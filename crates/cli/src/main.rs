@@ -20,6 +20,9 @@
 //!                                   identical for every N)
 //! jepo gen-corpus <dir> [--files N] [--seed S] [--rate R]
 //!                                   write a deterministic generated corpus
+//! jepo energy  <dir|file> [--top N] ranked static per-method energy
+//!                                   estimates (summary cost × trip
+//!                                   products, propagated up the call graph)
 //! jepo diff-energy <dirA> <dirB> [--cache-dir D] [--fail-on-regression]
 //!                                   analyze two revisions (B reuses A's
 //!                                   analysis for unchanged files), report
@@ -27,6 +30,10 @@
 //!                                   estimated energy-impact delta; exit 3
 //!                                   on regression when gated
 //! ```
+//!
+//! `analyze` and `diff-energy` run the interprocedural analyzer (whole
+//! program call-graph summaries; cross-method rules), and their caches
+//! are dependency-aware: editing only a callee re-analyzes its callers.
 //!
 //! Every subcommand also accepts the global telemetry flags
 //! `--trace <out.json>` (Chrome trace-event export of the run) and
@@ -48,6 +55,7 @@ fn usage() -> ExitCode {
          jepo metrics  <dir> <Class> [<Class>...]\n  \
          jepo table4   [instances] [folds] [--jobs <N>]\n  \
          jepo gen-corpus <dir> [--files <N>] [--seed <S>] [--rate <0..1>]\n  \
+         jepo energy  <dir|file> [--top <N>]   ranked static per-method energy\n  \
          jepo diff-energy <dirA> <dirB> [--cache-dir <dir>] [--jobs <N>]\n                   \
          [--fail-on-regression]  (exit 3 on an energy regression)\n  \
          jepo demo     (run the bundled mini-WEKA end to end)\n\n\
@@ -151,7 +159,7 @@ fn analyze_with_cache(
     project: &JavaProject,
     cache_dir: Option<&Path>,
 ) -> Result<(Vec<jepo_analyzer::Suggestion>, u64, u64), String> {
-    let analyzer = jepo_analyzer::Analyzer::new();
+    let analyzer = jepo_analyzer::Analyzer::interprocedural();
     let mut cache = match cache_dir {
         Some(dir) => {
             jepo_analyzer::AnalysisCache::load(&dir.join(CACHE_FILE), analyzer.fingerprint())
@@ -185,6 +193,49 @@ fn cmd_analyze(path: &Path, cache_dir: Option<&Path>) -> Result<(), String> {
         "\n{} suggestions across {} files.",
         suggestions.len(),
         project.len()
+    );
+    Ok(())
+}
+
+/// Ranked static per-method energy view: interprocedural summaries
+/// ordered by estimated cost per invocation (highest first).
+fn cmd_energy(path: &Path, top: usize) -> Result<(), String> {
+    let project = load_project(path)?;
+    let facts = jepo_analyzer::ProgramFacts::build(&project);
+    let ranking = facts.energy_ranking();
+    if ranking.is_empty() {
+        println!("No methods found.");
+        return Ok(());
+    }
+    let total: f64 = ranking.iter().map(|m| m.energy).sum();
+    println!("== static per-method energy estimates ==");
+    println!(
+        "{:>12}  {:>6}  {:<5}  method (file:line)",
+        "energy", "share", "pure"
+    );
+    for m in ranking.iter().take(top) {
+        let share = if total > 0.0 {
+            m.energy / total * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:>12.1}  {:>5.1}%  {:<5}  {} ({}:{})",
+            m.energy,
+            share,
+            if m.pure { "yes" } else { "no" },
+            m.method,
+            m.file,
+            m.line
+        );
+    }
+    if ranking.len() > top {
+        println!("  ... {} more (pass --top N to widen)", ranking.len() - top);
+    }
+    println!(
+        "\n{} methods, estimated total {:.1} (unitless; summary cost x trip products).",
+        ranking.len(),
+        total
     );
     Ok(())
 }
@@ -235,7 +286,7 @@ fn cmd_diff_energy(
 ) -> Result<bool, String> {
     let project_a = load_project(dir_a)?;
     let project_b = load_project(dir_b)?;
-    let analyzer = jepo_analyzer::Analyzer::new();
+    let analyzer = jepo_analyzer::Analyzer::interprocedural();
     let mut cache = match cache_dir {
         Some(dir) => {
             jepo_analyzer::AnalysisCache::load(&dir.join(CACHE_FILE), analyzer.fingerprint())
@@ -443,6 +494,19 @@ fn main() -> ExitCode {
         "analyze" => match rest.first() {
             Some(p) => cmd_analyze(Path::new(p), cache_dir.as_deref()),
             None => return usage(),
+        },
+        "energy" => match rest.first() {
+            Some(p) if !p.starts_with("--") => {
+                let top = match rest.iter().position(|a| a == "--top") {
+                    Some(i) => match rest.get(i + 1).and_then(|s| s.parse().ok()) {
+                        Some(n) => n,
+                        None => return usage(),
+                    },
+                    None => 20,
+                };
+                cmd_energy(Path::new(p), top)
+            }
+            _ => return usage(),
         },
         "gen-corpus" => match rest.first() {
             Some(p) => {

@@ -380,6 +380,108 @@ fn analyze_cache_dir_warm_run_is_byte_identical() {
 }
 
 #[test]
+fn energy_view_ranks_methods() {
+    let dir = temp_project("energy");
+    let out = jepo()
+        .args(["energy", dir.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("static per-method energy"), "{stdout}");
+    // Main.main drives the 500-trip loop over Calc.mod, so it must
+    // carry the largest estimate and lead the ranking.
+    let first_row = stdout
+        .lines()
+        .find(|l| l.contains("Main.java"))
+        .expect("Main ranked");
+    assert!(first_row.contains("Main.main"), "{stdout}");
+    let main_pos = stdout.find("Main.main").unwrap();
+    let pick_pos = stdout.find("Calc.pick").expect("Calc.pick listed");
+    assert!(main_pos < pick_pos, "hot method first:\n{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn callee_only_edit_invalidates_cached_caller() {
+    // Regression test for content-only invalidation: the caller file's
+    // bytes never change, yet its suggestions must track the callee.
+    let dir = std::env::temp_dir().join(format!("jepo-cli-stale-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let helper_cheap = "public class Helper {
+         public static int work(int x) { return x + 1; }
+     }";
+    let helper_alloc = "public class Helper {
+         public static int work(int x) { int[] b = new int[8]; b[0] = x; return b[0]; }
+     }";
+    fs::write(dir.join("Helper.java"), helper_cheap).unwrap();
+    fs::write(
+        dir.join("Caller.java"),
+        "public class Caller {
+             public int drive(int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s = s + Helper.work(i); }
+                 return s;
+             }
+         }",
+    )
+    .unwrap();
+    let cache = dir.join(".jepo-cache");
+    let run = || {
+        let out = jepo()
+            .args([
+                "analyze",
+                dir.to_str().unwrap(),
+                "--cache-dir",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (cold_stdout, cold_stderr) = run();
+    assert!(cold_stderr.contains("0 unchanged file(s) reused, 2 analyzed"));
+    assert!(
+        !cold_stdout.contains("allocates inside the callee"),
+        "cheap callee must not fire the rule:\n{cold_stdout}"
+    );
+
+    // Edit ONLY the callee; the caller's bytes are untouched.
+    fs::write(dir.join("Helper.java"), helper_alloc).unwrap();
+    let (edited_stdout, edited_stderr) = run();
+    assert!(
+        edited_stderr.contains("0 unchanged file(s) reused, 2 analyzed"),
+        "the caller's dependency hash must dirty it too: {edited_stderr}"
+    );
+    assert!(
+        edited_stdout.contains("allocates inside the callee"),
+        "caller must pick up the callee's new allocation:\n{edited_stdout}"
+    );
+    assert!(edited_stdout.contains("Caller"), "{edited_stdout}");
+
+    // Steady state: everything warm again, output byte-identical.
+    let (warm_stdout, warm_stderr) = run();
+    assert!(
+        warm_stderr.contains("2 unchanged file(s) reused, 0 analyzed"),
+        "{warm_stderr}"
+    );
+    assert_eq!(edited_stdout, warm_stdout);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn diff_energy_gates_on_regression() {
     let root = std::env::temp_dir().join(format!("jepo-cli-diff-{}", std::process::id()));
     let a = root.join("a");

@@ -53,6 +53,7 @@ use jepo_rapl::OpCategory;
 
 mod exec;
 mod passes;
+mod verify;
 
 /// Basic-block index within an [`IrMethod`].
 pub type BlockId = u32;

@@ -11,11 +11,25 @@ use super::{op_operands, Block, BlockId, IrMethod, IrOp, PassStats, Segment, Src
 use crate::opcode::{ArithOp, NumTy};
 use jepo_rapl::OpCategory;
 
-/// Run all passes over one compiled method.
+/// Run all passes over one compiled method. Debug and test builds
+/// re-verify the IR's structural invariants after every pass, so a
+/// pass bug fails loudly at the pass that introduced it instead of as
+/// a skewed observable deep in the differential suites.
 pub(super) fn run(m: &mut IrMethod, stats: &mut PassStats) {
+    let check = |m: &IrMethod, pass: &str| {
+        if cfg!(debug_assertions) {
+            if let Err(e) = super::verify::verify(m) {
+                panic!("IR verifier failed after {pass}: {e}");
+            }
+        }
+    };
+    check(m, "lowering");
     thread_jumps(m, stats);
+    check(m, "thread_jumps");
     dce(m, stats);
+    check(m, "dce");
     licm(m, stats);
+    check(m, "licm");
 }
 
 /// Jump threading: a block ending in `Jump(t)` absorbs a small target

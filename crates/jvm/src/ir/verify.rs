@@ -1,0 +1,527 @@
+//! Structural IR verifier — run after lowering and after every
+//! optimization pass in debug/test builds (see [`super::passes::run`]).
+//!
+//! A pass bug that corrupts the IR tends to surface far from its cause
+//! (a wrong value, a skewed energy total, a panic deep in the
+//! interpreter). The verifier turns those into an immediate, named
+//! failure right after the offending pass:
+//!
+//! 1. **Structure** — the entry block and every terminator target
+//!    (branch arms, call continuations, guarded inline variants) index
+//!    a real block; every block is terminated by construction, so this
+//!    pins the edges.
+//! 2. **Registers** — every operand and destination register is below
+//!    `nregs`; call argument windows fit the frame.
+//! 3. **Def-before-use** — a global *must-defined* forward dataflow
+//!    (intersection join, optimistic init on cycles). At method entry
+//!    exactly the decoded locals `[0, canon)` are defined; a call
+//!    terminator with `has_ret` defines `abase` into its continuation.
+//!    Every register an op or terminator reads must be defined on all
+//!    paths. Unreachable blocks are skipped (⊤).
+//! 4. **Accounting** — per [`Segment`]: category charges are unique,
+//!    non-zero, and sum to at most `k` (each covered decoded op
+//!    contributes one `k` tick and at most one charge — jump threading
+//!    fuses both sides additively, LICM preheaders carry `k = 0`).
+
+use super::{op_operands, IrMethod, Src, Term};
+use std::collections::HashSet;
+
+/// Check every invariant; `Err` carries a one-line diagnosis with the
+/// offending block index.
+pub(super) fn verify(m: &IrMethod) -> Result<(), String> {
+    let nblocks = m.blocks.len();
+    let nregs = m.nregs as usize;
+    if (m.entry as usize) >= nblocks {
+        return Err(format!("entry block {} out of range {nblocks}", m.entry));
+    }
+
+    // ---- structure + registers + accounting, per block ----
+    for (bi, b) in m.blocks.iter().enumerate() {
+        let chk_target = |t: u32, what: &str| -> Result<(), String> {
+            if (t as usize) < nblocks {
+                Ok(())
+            } else {
+                Err(format!(
+                    "block {bi}: {what} target {t} out of range {nblocks}"
+                ))
+            }
+        };
+        let chk_reg = |r: u16, what: &str| -> Result<(), String> {
+            if (r as usize) < nregs {
+                Ok(())
+            } else {
+                Err(format!(
+                    "block {bi}: {what} register {r} out of range {nregs}"
+                ))
+            }
+        };
+        for seg in &b.segs {
+            let mut seen = HashSet::new();
+            let mut total = 0u64;
+            for &(cat, n) in seg.charges.iter() {
+                if n == 0 {
+                    return Err(format!("block {bi}: zero-count charge {cat:?}"));
+                }
+                if !seen.insert(cat) {
+                    return Err(format!("block {bi}: duplicate charge category {cat:?}"));
+                }
+                total += n;
+            }
+            if total > seg.k {
+                return Err(format!(
+                    "block {bi}: segment charges sum to {total} > k = {} \
+                     (each covered op charges at most once)",
+                    seg.k
+                ));
+            }
+            for op in &seg.code {
+                let (srcs, dst) = op_operands(op);
+                for s in &srcs {
+                    if let Src::Reg(r) = s {
+                        chk_reg(*r, "source")?;
+                    }
+                }
+                if let Some(d) = dst {
+                    chk_reg(d, "destination")?;
+                }
+            }
+        }
+        match &b.term {
+            Term::Jump(t) => chk_target(*t, "jump")?,
+            Term::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                if let Src::Reg(r) = cond {
+                    chk_reg(*r, "branch condition")?;
+                }
+                chk_target(*on_true, "branch true")?;
+                chk_target(*on_false, "branch false")?;
+            }
+            Term::Ret(Some(Src::Reg(r))) | Term::Throw(Src::Reg(r)) => chk_reg(*r, "return")?,
+            Term::Ret(_) | Term::Throw(_) | Term::Trap => {}
+            Term::Call {
+                abase, argc, cont, ..
+            } => {
+                chk_target(*cont, "call continuation")?;
+                if (*abase as usize) + (*argc as usize) > nregs {
+                    return Err(format!(
+                        "block {bi}: call window [{abase}, {abase}+{argc}) exceeds {nregs} regs"
+                    ));
+                }
+            }
+            Term::CallVirtual {
+                abase,
+                argc,
+                cont,
+                variants,
+                ..
+            } => {
+                chk_target(*cont, "virtual continuation")?;
+                for &(_, v) in variants.iter() {
+                    chk_target(v, "inline variant")?;
+                }
+                if (*abase as usize) + 1 + (*argc as usize) > nregs {
+                    return Err(format!(
+                        "block {bi}: virtual window [{abase}, {abase}+1+{argc}) \
+                         exceeds {nregs} regs"
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- must-defined forward dataflow ----
+    let succs_of = |t: &Term| -> Vec<(usize, bool)> {
+        // (successor, call edge defining abase-on-return)
+        match t {
+            Term::Jump(b) => vec![(*b as usize, false)],
+            Term::Branch {
+                on_true, on_false, ..
+            } => vec![(*on_true as usize, false), (*on_false as usize, false)],
+            Term::Call { cont, has_ret, .. } => vec![(*cont as usize, *has_ret)],
+            Term::CallVirtual {
+                cont,
+                has_ret,
+                variants,
+                ..
+            } => {
+                let mut s = vec![(*cont as usize, *has_ret)];
+                // A variant block is the inlined callee itself: it runs
+                // *instead of* the call, on the pre-call state.
+                s.extend(variants.iter().map(|&(_, v)| (v as usize, false)));
+                s
+            }
+            Term::Ret(_) | Term::Throw(_) | Term::Trap => Vec::new(),
+        }
+    };
+
+    let entry = m.entry as usize;
+    let mut reach = vec![false; nblocks];
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reach[b], true) {
+            continue;
+        }
+        stack.extend(
+            succs_of(&m.blocks[b].term)
+                .into_iter()
+                .map(|(s, _)| s)
+                .filter(|&s| !reach[s]),
+        );
+    }
+
+    // Optimistic init (⊤ everywhere but the entry) + intersection join
+    // converges on cycles to the greatest fixpoint — the set of regs
+    // defined on *every* path.
+    let top = vec![true; nregs];
+    let mut entry_in = vec![false; nregs];
+    for d in entry_in.iter_mut().take(m.canon as usize) {
+        *d = true;
+    }
+    let mut ins: Vec<Vec<bool>> = (0..nblocks)
+        .map(|b| {
+            if b == entry {
+                entry_in.clone()
+            } else {
+                top.clone()
+            }
+        })
+        .collect();
+
+    let transfer = |b: usize, ins: &[Vec<bool>]| -> Vec<bool> {
+        let mut def = ins[b].clone();
+        for seg in &m.blocks[b].segs {
+            for op in &seg.code {
+                if let (_, Some(d)) = op_operands(op) {
+                    def[d as usize] = true;
+                }
+            }
+        }
+        def
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (b, reachable) in reach.iter().enumerate() {
+            if !reachable {
+                continue;
+            }
+            let out = transfer(b, &ins);
+            for (s, ret_def) in succs_of(&m.blocks[b].term) {
+                let mut flow = out.clone();
+                if ret_def {
+                    if let Term::Call { abase, .. } | Term::CallVirtual { abase, .. } =
+                        &m.blocks[b].term
+                    {
+                        flow[*abase as usize] = true;
+                    }
+                }
+                let tgt = &mut ins[s];
+                for (t, f) in tgt.iter_mut().zip(flow.iter()) {
+                    if *t && !f {
+                        *t = false;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Final pass: every read must be defined on all paths reaching it.
+    for b in 0..nblocks {
+        if !reach[b] {
+            continue;
+        }
+        let mut def = ins[b].clone();
+        for (si, seg) in m.blocks[b].segs.iter().enumerate() {
+            for (oi, op) in seg.code.iter().enumerate() {
+                let (srcs, dst) = op_operands(op);
+                for s in &srcs {
+                    if let Src::Reg(r) = s {
+                        if !def[*r as usize] {
+                            return Err(format!(
+                                "block {b} seg {si} op {oi}: register {r} read \
+                                 before definite assignment ({op:?})"
+                            ));
+                        }
+                    }
+                }
+                if let Some(d) = dst {
+                    def[d as usize] = true;
+                }
+            }
+        }
+        let term_reads: Vec<u16> = match &m.blocks[b].term {
+            Term::Branch {
+                cond: Src::Reg(r), ..
+            }
+            | Term::Ret(Some(Src::Reg(r)))
+            | Term::Throw(Src::Reg(r)) => vec![*r],
+            Term::Call { abase, argc, .. } => (*abase..*abase + u16::from(*argc)).collect(),
+            Term::CallVirtual { abase, argc, .. } => {
+                (*abase..*abase + 1 + u16::from(*argc)).collect()
+            }
+            _ => Vec::new(),
+        };
+        for r in term_reads {
+            if !def[r as usize] {
+                return Err(format!(
+                    "block {b}: terminator reads register {r} before definite assignment"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Block, IrOp, Segment, Src, Term};
+    use super::*;
+    use crate::value::Value;
+    use jepo_rapl::OpCategory;
+
+    fn seg(k: u64, charges: Vec<(OpCategory, u64)>, code: Vec<IrOp>) -> Segment {
+        Segment {
+            k,
+            charges: charges.into_boxed_slice(),
+            code,
+        }
+    }
+
+    fn method(blocks: Vec<Block>, nregs: u16, canon: u16) -> IrMethod {
+        IrMethod {
+            blocks,
+            entry: 0,
+            nregs,
+            canon,
+        }
+    }
+
+    #[test]
+    fn accepts_a_well_formed_method() {
+        let m = method(
+            vec![Block {
+                segs: vec![seg(
+                    2,
+                    vec![(OpCategory::IntAlu, 1)],
+                    vec![
+                        IrOp::Mov {
+                            dst: 1,
+                            src: Src::Const(Value::Int(7)),
+                        },
+                        IrOp::Mov {
+                            dst: 2,
+                            src: Src::Reg(1),
+                        },
+                    ],
+                )],
+                term: Term::Ret(Some(Src::Reg(2))),
+                exit_depth: 0,
+            }],
+            3,
+            1,
+        );
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_definite_assignment() {
+        // Register 2 is only written on the true arm, then read in the
+        // join block — not definitely assigned.
+        let write = |dst: u16| IrOp::Mov {
+            dst,
+            src: Src::Const(Value::Int(1)),
+        };
+        let m = method(
+            vec![
+                Block {
+                    segs: vec![seg(1, vec![], vec![write(1)])],
+                    term: Term::Branch {
+                        cond: Src::Reg(0),
+                        on_true: 1,
+                        on_false: 2,
+                    },
+                    exit_depth: 0,
+                },
+                Block {
+                    segs: vec![seg(1, vec![], vec![write(2)])],
+                    term: Term::Jump(2),
+                    exit_depth: 0,
+                },
+                Block {
+                    segs: vec![seg(
+                        1,
+                        vec![],
+                        vec![IrOp::Mov {
+                            dst: 1,
+                            src: Src::Reg(2),
+                        }],
+                    )],
+                    term: Term::Ret(None),
+                    exit_depth: 0,
+                },
+            ],
+            3,
+            1,
+        );
+        let err = verify(&m).unwrap_err();
+        assert!(err.contains("before definite assignment"), "{err}");
+    }
+
+    #[test]
+    fn loops_converge_and_loop_carried_defs_count() {
+        // entry → header; header branches back to itself. Register 1 is
+        // defined in the entry block, read every iteration: fine.
+        let m = method(
+            vec![
+                Block {
+                    segs: vec![seg(
+                        1,
+                        vec![],
+                        vec![IrOp::Mov {
+                            dst: 1,
+                            src: Src::Const(Value::Int(0)),
+                        }],
+                    )],
+                    term: Term::Jump(1),
+                    exit_depth: 0,
+                },
+                Block {
+                    segs: vec![seg(
+                        1,
+                        vec![],
+                        vec![IrOp::Mov {
+                            dst: 2,
+                            src: Src::Reg(1),
+                        }],
+                    )],
+                    term: Term::Branch {
+                        cond: Src::Reg(2),
+                        on_true: 1,
+                        on_false: 2,
+                    },
+                    exit_depth: 0,
+                },
+                Block {
+                    segs: vec![],
+                    term: Term::Ret(None),
+                    exit_depth: 0,
+                },
+            ],
+            3,
+            1,
+        );
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_branch_target() {
+        let m = method(
+            vec![Block {
+                segs: vec![],
+                term: Term::Jump(9),
+                exit_depth: 0,
+            }],
+            1,
+            1,
+        );
+        let err = verify(&m).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_register_out_of_bounds() {
+        let m = method(
+            vec![Block {
+                segs: vec![seg(
+                    1,
+                    vec![],
+                    vec![IrOp::Mov {
+                        dst: 5,
+                        src: Src::Const(Value::Int(1)),
+                    }],
+                )],
+                term: Term::Ret(None),
+                exit_depth: 0,
+            }],
+            2,
+            1,
+        );
+        let err = verify(&m).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overcharged_segment() {
+        // 3 charges over k = 2 decoded ops: impossible, each op
+        // contributes at most one charge.
+        let m = method(
+            vec![Block {
+                segs: vec![seg(
+                    2,
+                    vec![(OpCategory::IntAlu, 2), (OpCategory::Load, 1)],
+                    vec![],
+                )],
+                term: Term::Ret(None),
+                exit_depth: 0,
+            }],
+            1,
+            1,
+        );
+        let err = verify(&m).unwrap_err();
+        assert!(err.contains("charges sum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_charge_category() {
+        let m = method(
+            vec![Block {
+                segs: vec![seg(
+                    4,
+                    vec![(OpCategory::IntAlu, 1), (OpCategory::IntAlu, 1)],
+                    vec![],
+                )],
+                term: Term::Ret(None),
+                exit_depth: 0,
+            }],
+            1,
+            1,
+        );
+        let err = verify(&m).unwrap_err();
+        assert!(err.contains("duplicate charge"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_blocks_are_exempt_from_the_dataflow() {
+        // Block 1 reads an undefined register but nothing jumps to it
+        // (jump threading leaves such dead copies behind).
+        let m = method(
+            vec![
+                Block {
+                    segs: vec![],
+                    term: Term::Ret(None),
+                    exit_depth: 0,
+                },
+                Block {
+                    segs: vec![seg(
+                        1,
+                        vec![],
+                        vec![IrOp::Mov {
+                            dst: 1,
+                            src: Src::Reg(2),
+                        }],
+                    )],
+                    term: Term::Ret(None),
+                    exit_depth: 0,
+                },
+            ],
+            3,
+            1,
+        );
+        verify(&m).unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! Repo lint: deterministic-output code paths must not smuggle in
+//! nondeterminism.
+//!
+//! Everything the harness snapshots — analyzer suggestions, impact
+//! ranks, VM observables, bench `--selfcheck` gates — is promised
+//! bit-identical across runs, machines, and `--jobs` counts. The three
+//! classic ways that promise quietly rots:
+//!
+//! 1. `partial_cmp(..).unwrap()` — panics on NaN, and float sorts built
+//!    on it have platform-dependent tiebreaks. Use `f64::total_cmp`.
+//! 2. Ambient randomness / wall-clock seeds (`thread_rng`,
+//!    `from_entropy`, `SystemTime::now`) — every RNG in this repo must
+//!    be seeded from explicit config.
+//! 3. `Instant::now` inside analysis code — timing is fine for metrics,
+//!    but it must stay in the telemetry crates (`rapl`, `trace`,
+//!    `pool`, `bench`) or behind the metrics-guarded sites in
+//!    `analyzer/{engine,dataflow}.rs`; it must never feed an output.
+//!
+//! A line that genuinely needs an exception carries
+//! `// det-lint: allow` and is skipped.
+
+use std::path::{Path, PathBuf};
+
+/// Source files of every workspace crate (shims excluded — they mirror
+/// external crates' surfaces, including their entropy constructors).
+fn workspace_sources() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("crates dir readable") {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strip line comments so banned names in prose don't trip the lint.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Crates where `Instant::now` is legitimate: the telemetry stack and
+/// the bench harness, which exist to measure time.
+fn timing_crate(path: &str) -> bool {
+    [
+        "crates/rapl/",
+        "crates/trace/",
+        "crates/pool/",
+        "crates/bench/",
+    ]
+    .iter()
+    .any(|p| path.contains(p))
+}
+
+/// Analyzer files whose `Instant::now` calls are metrics-guarded
+/// (`timed.then(Instant::now)`) and never reach an output row.
+fn metrics_guarded(path: &str) -> bool {
+    path.ends_with("analyzer/src/engine.rs") || path.ends_with("analyzer/src/dataflow.rs")
+}
+
+#[test]
+fn deterministic_paths_are_free_of_nondeterminism() {
+    let mut violations = Vec::new();
+    for path in workspace_sources() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let display = path.to_string_lossy().replace('\\', "/");
+        let mut in_test_mod = false;
+        for (no, line) in text.lines().enumerate() {
+            if line.contains("det-lint: allow") {
+                continue;
+            }
+            // Unit-test modules may time things for assertions.
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                in_test_mod = true;
+            }
+            let code = code_of(line);
+            let mut flag = |why: &str| {
+                violations.push(format!("{display}:{}: {why}: {}", no + 1, line.trim()));
+            };
+            if code.contains("partial_cmp") && code.contains(".unwrap()") {
+                flag("partial_cmp(..).unwrap() panics on NaN; use total_cmp");
+            }
+            for banned in ["thread_rng(", "from_entropy(", "SystemTime::now("] {
+                if code.contains(banned) {
+                    flag("ambient entropy/wall clock in a deterministic path");
+                }
+            }
+            if code.contains("Instant::now")
+                && !timing_crate(&display)
+                && !metrics_guarded(&display)
+                && !in_test_mod
+                && !display.contains("/tests/")
+            {
+                flag("Instant::now outside the telemetry crates");
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "determinism lint failed:\n{}\n\n\
+         (fix the call, or mark a justified line with `// det-lint: allow`)",
+        violations.join("\n")
+    );
+}
