@@ -20,6 +20,14 @@
 //!   timestamps, nonnegative energy), and their *masked* content is
 //!   required to be bit-identical across job counts.
 //!
+//! * **Sampling vs instrumented profiler legs** — the bundled runnable
+//!   corpus profiled three ways per rep, interleaved: a plain VM run
+//!   (baseline), the instrumented profiler (probes in every method), and
+//!   the sampling profiler (safepoint snapshots on a virtual-time
+//!   interval, calibrated overhead subtraction). The selfcheck gates
+//!   require sampling overhead strictly below instrumented overhead,
+//!   a nonnegative calibration subtraction, and zero dropped samples.
+//!
 //! Results land in `BENCH_telemetry.json`. With `--selfcheck` the
 //! process exits nonzero when any gate fails (CI's telemetry smoke).
 //!
@@ -27,7 +35,9 @@
 //!         [--instances N] [--folds K] [--selfcheck]`
 //! (defaults 200,000 / 200 / 7 reps / 400 instances / 2 folds).
 
-use jepo_core::WekaExperiment;
+use jepo_core::{corpus, JepoProfiler, ProfilingMode, WekaExperiment};
+use jepo_jvm::Vm;
+use jepo_rapl::DeviceProfile;
 use jepo_trace::{Registry, Tracer};
 use std::hint::black_box;
 use std::time::Instant;
@@ -205,6 +215,80 @@ fn table4_legs(instances: usize, folds: usize) -> Table4Result {
     }
 }
 
+/// The "overhead_enabled_pct" this bench reported *before* span names
+/// were interned (one `String` allocation per enabled span). Kept in
+/// the JSON so the before/after of the interning change stays visible.
+const ENABLED_OVERHEAD_BEFORE_INTERNING_PCT: f64 = 33.97;
+
+struct SamplingResult {
+    baseline_secs: f64,
+    instrumented_secs: f64,
+    sampling_secs: f64,
+    instrumented_overhead_pct: f64,
+    sampling_overhead_pct: f64,
+    interval_us: u64,
+    samples: u64,
+    dropped: u64,
+    calibration_j: f64,
+    raw_total_j: f64,
+    calibrated_total_j: f64,
+}
+
+/// Profile the bundled corpus three ways per rep — plain run,
+/// instrumented, sampling — interleaved; report medians. The baseline
+/// is a bare compile+run so both profiler modes pay their full cost
+/// (discovery, attribution) against the same floor.
+fn sampling_legs(reps: usize, interval_us: u64) -> SamplingResult {
+    let project = corpus::runnable_project();
+    let baseline = || {
+        let mut vm = Vm::from_project(&project)
+            .expect("corpus compiles")
+            .with_device(DeviceProfile::laptop_i5_3317u())
+            .with_fuel(2_000_000_000);
+        vm.run_main().expect("corpus runs");
+    };
+    // Warmup round outside the books.
+    baseline();
+    JepoProfiler::new().profile(&project).expect("instrumented");
+    let (mut base, mut inst, mut samp) = (Vec::new(), Vec::new(), Vec::new());
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        baseline();
+        base.push(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        JepoProfiler::new().profile(&project).expect("instrumented");
+        inst.push(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let report = JepoProfiler::new()
+            .with_mode(ProfilingMode::Sampling { interval_us })
+            .profile(&project)
+            .expect("sampling");
+        samp.push(t.elapsed().as_secs_f64());
+        last = report.sampled;
+    }
+    let s = last.expect("sampling mode returns attribution");
+    let baseline_secs = median(&mut base);
+    let instrumented_secs = median(&mut inst);
+    let sampling_secs = median(&mut samp);
+    let floor = baseline_secs.max(1e-12);
+    SamplingResult {
+        baseline_secs,
+        instrumented_secs,
+        sampling_secs,
+        instrumented_overhead_pct: 100.0 * (instrumented_secs - baseline_secs) / floor,
+        sampling_overhead_pct: 100.0 * (sampling_secs - baseline_secs) / floor,
+        interval_us,
+        samples: s.samples,
+        dropped: s.dropped,
+        calibration_j: s.calibration_j,
+        raw_total_j: s.raw_total_j,
+        calibrated_total_j: s.calibrated_total_j,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<usize> {
@@ -273,14 +357,38 @@ fn main() {
         eprintln!("trace validation failed: {e}");
     }
 
+    let s = sampling_legs(reps, 20);
+    println!(
+        "sampling: baseline {:.3} s, instrumented {:.3} s ({:+.1}%), \
+         sampling {:.3} s ({:+.1}%); {} samples ({} dropped) @ {} µs, \
+         calibration {:.6} J, raw {:.6} J → calibrated {:.6} J",
+        s.baseline_secs,
+        s.instrumented_secs,
+        s.instrumented_overhead_pct,
+        s.sampling_secs,
+        s.sampling_overhead_pct,
+        s.samples,
+        s.dropped,
+        s.interval_us,
+        s.calibration_j,
+        s.raw_total_j,
+        s.calibrated_total_j
+    );
+
     // Selfcheck gates.
     let disabled_gate = f64::max(2.0, 3.0 * m.noise_pct);
     let disabled_ok = m.overhead_disabled_pct <= disabled_gate;
     let traces_ok = t4.trace_errors.is_empty() && t4.stats.spans > 0;
+    let sampling_cheaper = s.sampling_overhead_pct < s.instrumented_overhead_pct;
+    let calibration_ok = s.calibration_j >= 0.0 && s.calibrated_total_j >= 0.0;
+    let no_drops = s.dropped == 0 && s.samples > 0;
     let failures: Vec<&str> = [
         (!disabled_ok).then_some("disabled-site overhead above the noise gate"),
         (!traces_ok).then_some("Chrome trace failed structural validation"),
         (!t4.deterministic).then_some("masked trace content differs across --jobs"),
+        (!sampling_cheaper).then_some("sampling overhead not below instrumented overhead"),
+        (!calibration_ok).then_some("calibration subtraction went negative"),
+        (!no_drops).then_some("sampling profiler dropped samples"),
     ]
     .into_iter()
     .flatten()
@@ -293,6 +401,7 @@ fn main() {
          \"no_site_ns\": {:.3},\n    \"disabled_site_ns\": {:.3},\n    \
          \"enabled_site_ns\": {:.3},\n    \"noise_pct\": {:.3},\n    \
          \"overhead_disabled_pct\": {:.3},\n    \"overhead_enabled_pct\": {:.3},\n    \
+         \"overhead_enabled_before_interning_pct\": {ENABLED_OVERHEAD_BEFORE_INTERNING_PCT:.2},\n    \
          \"disabled_gate_pct\": {:.3}\n  }},\n  \
          \"table4\": {{\n    \
          \"instances\": {instances},\n    \"folds\": {folds},\n    \
@@ -301,6 +410,13 @@ fn main() {
          \"trace_spans\": {},\n    \"trace_tracks\": {},\n    \
          \"trace_package_j\": {:.6},\n    \"metric_lines\": {},\n    \
          \"deterministic_across_jobs\": {}\n  }},\n  \
+         \"sampling\": {{\n    \
+         \"interval_us\": {},\n    \"baseline_secs\": {:.4},\n    \
+         \"instrumented_secs\": {:.4},\n    \"sampling_secs\": {:.4},\n    \
+         \"instrumented_overhead_pct\": {:.2},\n    \"sampling_overhead_pct\": {:.2},\n    \
+         \"samples\": {},\n    \"dropped\": {},\n    \
+         \"calibration_j\": {:.9},\n    \"raw_total_j\": {:.9},\n    \
+         \"calibrated_total_j\": {:.9}\n  }},\n  \
          \"selfcheck\": {{\n    \"enforced\": {selfcheck},\n    \"passed\": {},\n    \
          \"failures\": [{}]\n  }}\n}}\n",
         m.no_site_ns,
@@ -319,6 +435,17 @@ fn main() {
         t4.stats.total_package_j,
         t4.metric_lines,
         t4.deterministic,
+        s.interval_us,
+        s.baseline_secs,
+        s.instrumented_secs,
+        s.sampling_secs,
+        s.instrumented_overhead_pct,
+        s.sampling_overhead_pct,
+        s.samples,
+        s.dropped,
+        s.calibration_j,
+        s.raw_total_j,
+        s.calibrated_total_j,
         failures.is_empty(),
         failures
             .iter()

@@ -11,8 +11,11 @@
 //!                                   served from the incremental cache
 //! jepo optimize <dir|file> [--write] [--aggressive]
 //!                                   apply refactorings; print or write back
-//! jepo profile  <dir|file> [--main Class]
-//!                                   instrument + run + per-method energy (Fig. 4)
+//! jepo profile  <dir|file> [--main Class] [--mode instrumented|sampling|both]
+//!               [--interval us]   per-method energy (Fig. 4): probe
+//!                                   instrumentation, statistical sampling
+//!                                   with calibrated overhead subtraction,
+//!                                   or both side by side
 //! jepo metrics  <dir> <Class...>    Table II metrics for entry classes
 //! jepo table4   [instances] [folds] [--jobs N]
 //!                                   the WEKA evaluation (N workers;
@@ -40,7 +43,7 @@
 //! `--metrics <out.jsonl>` (metrics-registry dump, one JSON object per
 //! line).
 
-use jepo_core::{corpus, JepoOptimizer, JepoProfiler, WekaExperiment};
+use jepo_core::{corpus, JepoOptimizer, JepoProfiler, ProfilingMode, WekaExperiment};
 use jepo_jlang::JavaProject;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -51,7 +54,8 @@ fn usage() -> ExitCode {
          usage:\n  \
          jepo analyze  <dir|file> [--cache-dir <dir>]\n  \
          jepo optimize <dir|file> [--write] [--aggressive]\n  \
-         jepo profile  <dir|file> [--main <Class>]\n  \
+         jepo profile  <dir|file> [--main <Class>] [--mode instrumented|sampling|both]\n                \
+         [--interval <us>]  (sampling interval, default 100 µs)\n  \
          jepo metrics  <dir> <Class> [<Class>...]\n  \
          jepo table4   [instances] [folds] [--jobs <N>]\n  \
          jepo gen-corpus <dir> [--files <N>] [--seed <S>] [--rate <0..1>]\n  \
@@ -397,9 +401,13 @@ fn cmd_optimize(path: &Path, write: bool, aggressive: bool) -> Result<(), String
     Ok(())
 }
 
-fn cmd_profile(path: &Path, chosen_main: Option<String>) -> Result<(), String> {
+fn cmd_profile(
+    path: &Path,
+    chosen_main: Option<String>,
+    mode: ProfilingMode,
+) -> Result<(), String> {
     let project = load_project(path)?;
-    let mut profiler = JepoProfiler::new();
+    let mut profiler = JepoProfiler::new().with_mode(mode);
     profiler.chosen_main = chosen_main;
     let report = profiler.profile(&project).map_err(|e| e.to_string())?;
     println!(
@@ -410,6 +418,17 @@ fn cmd_profile(path: &Path, chosen_main: Option<String>) -> Result<(), String> {
         report.energy.seconds * 1e3
     );
     print!("{}", report.view());
+    if let Some(s) = &report.sampled {
+        println!(
+            "\n{} samples ({} dropped) @ {} µs | raw {:.3} mJ | profiler cost {:.3} mJ | calibrated {:.3} mJ",
+            s.samples,
+            s.dropped,
+            s.interval_us,
+            s.raw_total_j * 1e3,
+            s.calibration_j * 1e3,
+            s.calibrated_total_j * 1e3
+        );
+    }
     // result.txt next to the project, as the plugin does (§VII).
     let root = if path.is_file() {
         path.parent().unwrap_or(path)
@@ -560,7 +579,25 @@ fn main() -> ExitCode {
                     .position(|a| a == "--main")
                     .and_then(|i| rest.get(i + 1))
                     .cloned();
-                cmd_profile(Path::new(p), chosen)
+                let interval_us = match rest.iter().position(|a| a == "--interval") {
+                    Some(i) => match rest.get(i + 1).and_then(|s| s.parse().ok()) {
+                        Some(us) => us,
+                        None => return usage(),
+                    },
+                    None => 100u64,
+                };
+                let mode = match rest
+                    .iter()
+                    .position(|a| a == "--mode")
+                    .and_then(|i| rest.get(i + 1))
+                    .map(|s| s.as_str())
+                {
+                    None | Some("instrumented") => ProfilingMode::Instrumented,
+                    Some("sampling") => ProfilingMode::Sampling { interval_us },
+                    Some("both") => ProfilingMode::Both { interval_us },
+                    Some(_) => return usage(),
+                };
+                cmd_profile(Path::new(p), chosen, mode)
             }
             None => return usage(),
         },

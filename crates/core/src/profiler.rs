@@ -8,18 +8,73 @@
 
 use crate::views;
 use jepo_jlang::{JavaProject, MainClassChoice};
-use jepo_jvm::{Dispatch, MethodEnergyRecord, Vm, VmError};
+use jepo_jvm::{
+    Dispatch, MethodEnergyRecord, SampleSet, SampledMethodRecord, SamplingConfig, Vm, VmError,
+};
 use jepo_rapl::DeviceProfile;
+
+/// How the profiler attributes energy to methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilingMode {
+    /// The paper's mode: probes injected into every method (§VII).
+    Instrumented,
+    /// Statistical mode: no probes; the VM snapshots the frame stack at
+    /// safepoints on a virtual-time interval and the interval's energy
+    /// delta is attributed to the stack. The profiler's own energy is
+    /// measured (calibration) and subtracted from the attribution.
+    Sampling {
+        /// Virtual-time sampling interval in microseconds.
+        interval_us: u64,
+    },
+    /// Run both modes on the same project and report side by side
+    /// (agreement/divergence per method).
+    Both {
+        /// Sampling interval for the sampling leg.
+        interval_us: u64,
+    },
+}
+
+impl Default for ProfilingMode {
+    fn default() -> Self {
+        ProfilingMode::Instrumented
+    }
+}
+
+/// The sampling half of a profile report.
+#[derive(Debug, Clone)]
+pub struct SampledProfile {
+    /// Sampling interval used, microseconds of virtual time.
+    pub interval_us: u64,
+    /// Per-method statistical attribution, sorted by descending
+    /// inclusive energy.
+    pub records: Vec<SampledMethodRecord>,
+    /// Samples taken.
+    pub samples: u64,
+    /// Samples dropped at the retention cap.
+    pub dropped: u64,
+    /// Energy the profiler itself spent (subtracted in calibration).
+    pub calibration_j: f64,
+    /// Total energy attributed before calibration.
+    pub raw_total_j: f64,
+    /// Total energy attributed after subtracting the profiler's own.
+    pub calibrated_total_j: f64,
+}
 
 /// Result of a profiling run.
 #[derive(Debug, Clone)]
 pub struct ProfileReport {
     /// Which main class ran.
     pub main_class: String,
-    /// Probes injected (Javassist-analogue insertion count).
+    /// Mode the report was produced under.
+    pub mode: ProfilingMode,
+    /// Probes injected (Javassist-analogue insertion count; 0 in
+    /// pure sampling mode).
     pub probes_injected: usize,
-    /// Aggregated per-method records, sorted by descending energy.
+    /// Aggregated per-method records, sorted by descending energy
+    /// (empty in pure sampling mode).
     pub records: Vec<MethodEnergyRecord>,
+    /// Sampling attribution (present in `Sampling` and `Both` modes).
+    pub sampled: Option<SampledProfile>,
     /// Program stdout.
     pub stdout: String,
     /// Whole-run energy.
@@ -29,9 +84,18 @@ pub struct ProfileReport {
 }
 
 impl ProfileReport {
-    /// The Fig. 4 view.
+    /// The Fig. 4 view — dispatched by mode: the instrumented table,
+    /// the sampling table, or the side-by-side agreement report.
     pub fn view(&self) -> String {
-        views::profiler_view(&self.records)
+        match (&self.mode, &self.sampled) {
+            (ProfilingMode::Both { .. }, Some(s)) => {
+                views::side_by_side_view(&self.records, &s.records)
+            }
+            (ProfilingMode::Sampling { .. }, Some(s)) => {
+                views::sampling_view(&s.records, s.samples, s.dropped, s.calibration_j)
+            }
+            _ => views::profiler_view(&self.records),
+        }
     }
 }
 
@@ -47,6 +111,9 @@ pub struct JepoProfiler {
     /// bit-identical; `Legacy` exists for differential tests and as the
     /// benchmark baseline).
     pub dispatch: Dispatch,
+    /// Attribution mode (instrumented probes, statistical sampling, or
+    /// both side by side).
+    pub mode: ProfilingMode,
 }
 
 impl Default for JepoProfiler {
@@ -63,6 +130,7 @@ impl JepoProfiler {
             chosen_main: None,
             fuel: 2_000_000_000,
             dispatch: Dispatch::default(),
+            mode: ProfilingMode::Instrumented,
         }
     }
 
@@ -76,6 +144,64 @@ impl JepoProfiler {
     pub fn with_dispatch(mut self, dispatch: Dispatch) -> JepoProfiler {
         self.dispatch = dispatch;
         self
+    }
+
+    /// Select the attribution mode.
+    pub fn with_mode(mut self, mode: ProfilingMode) -> JepoProfiler {
+        self.mode = mode;
+        self
+    }
+
+    /// Compile the project into a fresh VM, optionally instrumented
+    /// (probe count) and optionally sampling.
+    fn build_vm(
+        &self,
+        project: &JavaProject,
+        instrument: bool,
+        sampling: Option<SamplingConfig>,
+    ) -> Result<(Vm, usize), VmError> {
+        let _s = jepo_trace::span("profile/compile");
+        let mut vm = Vm::from_project(project)?
+            .with_device(self.device.clone())
+            .with_fuel(self.fuel)
+            .with_dispatch(self.dispatch);
+        if let Some(cfg) = sampling {
+            vm = vm.with_sampling(cfg);
+        }
+        let probes = if instrument { vm.instrument() } else { 0 };
+        Ok((vm, probes))
+    }
+
+    /// Run one sampling-mode pass and fold the outcome.
+    fn run_sampling(
+        &self,
+        project: &JavaProject,
+        interval_us: u64,
+    ) -> Result<(SampledProfile, jepo_jvm::RunOutcome), VmError> {
+        let cfg = SamplingConfig::from_interval_us(interval_us);
+        let (mut vm, _) = self.build_vm(project, false, Some(cfg))?;
+        let out = {
+            let _s = jepo_trace::span("profile/run-sampling");
+            vm.run_main()?
+        };
+        let set = out
+            .samples
+            .as_ref()
+            .expect("sampling was enabled, run must return samples");
+        if jepo_trace::would_trace() {
+            emit_sample_track(&vm, set);
+        }
+        let records = vm.aggregate_samples(set);
+        let profile = SampledProfile {
+            interval_us,
+            records,
+            samples: set.taken,
+            dropped: set.dropped,
+            calibration_j: set.calibration_j,
+            raw_total_j: set.raw_total_j(),
+            calibrated_total_j: set.calibrated_total_j(),
+        };
+        Ok((profile, out))
     }
 
     /// Profile a project end to end.
@@ -104,15 +230,26 @@ impl JepoProfiler {
                 },
             }
         };
-        let (mut vm, probes) = {
-            let _s = jepo_trace::span("profile/compile");
-            let mut vm = Vm::from_project(project)?
-                .with_device(self.device.clone())
-                .with_fuel(self.fuel)
-                .with_dispatch(self.dispatch);
-            let probes = vm.instrument();
-            (vm, probes)
-        };
+        // Pure sampling: no probes, statistical attribution only.
+        if let ProfilingMode::Sampling { interval_us } = self.mode {
+            let (sampled, out) = self.run_sampling(project, interval_us)?;
+            let result_txt = {
+                let _s = jepo_trace::span("profile/report");
+                views::sampling_result_txt(&sampled.records)
+            };
+            return Ok(ProfileReport {
+                main_class,
+                mode: self.mode,
+                probes_injected: 0,
+                records: Vec::new(),
+                sampled: Some(sampled),
+                stdout: out.stdout,
+                energy: out.energy,
+                result_txt,
+            });
+        }
+        // Instrumented leg (also the ground truth for `Both`).
+        let (mut vm, probes) = self.build_vm(project, true, None)?;
         let out = {
             let _s = jepo_trace::span("profile/run");
             vm.run_main()?
@@ -123,14 +260,37 @@ impl JepoProfiler {
             let result_txt = views::result_txt(&records);
             (records, result_txt)
         };
+        let sampled = match self.mode {
+            ProfilingMode::Both { interval_us } => {
+                Some(self.run_sampling(project, interval_us)?.0)
+            }
+            _ => None,
+        };
         Ok(ProfileReport {
             main_class,
+            mode: self.mode,
             probes_injected: probes,
             records,
+            sampled,
             stdout: out.stdout,
             energy: out.energy,
             result_txt,
         })
+    }
+}
+
+/// Export the sample series as instant events on a dedicated track:
+/// one tick per sample, named after the leaf method, annotated with the
+/// interval's energy delta. Capped so huge runs don't bloat the trace.
+fn emit_sample_track(vm: &Vm, set: &SampleSet) {
+    const MAX_TICKS: usize = 4096;
+    let _g = jepo_trace::track("profile/samples");
+    for s in set.samples.iter().take(MAX_TICKS) {
+        let leaf = set.stacks[s.stack as usize]
+            .last()
+            .map(|&mid| vm.method_name(mid))
+            .unwrap_or("<no frame>");
+        jepo_trace::instant(leaf, s.package_j);
     }
 }
 
@@ -210,6 +370,85 @@ mod tests {
         let mut wrong = JepoProfiler::new();
         wrong.chosen_main = Some("C".into());
         assert!(matches!(wrong.profile(&p), Err(VmError::NoMain(_))));
+    }
+
+    #[test]
+    fn sampling_mode_profiles_without_probes() {
+        let report = JepoProfiler::new()
+            .with_mode(ProfilingMode::Sampling { interval_us: 10 })
+            .profile(&corpus::runnable_project())
+            .unwrap();
+        assert_eq!(report.probes_injected, 0);
+        assert!(report.records.is_empty());
+        let s = report.sampled.as_ref().expect("sampling attribution");
+        assert!(s.samples > 10, "{} samples", s.samples);
+        assert_eq!(s.dropped, 0);
+        assert!(s.calibration_j > 0.0);
+        assert!(s.calibrated_total_j >= 0.0);
+        assert!(s.calibrated_total_j <= s.raw_total_j);
+        let names: Vec<&str> = s.records.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"Main.main"), "{names:?}");
+        // View + result.txt render the sampling shape.
+        let view = report.view();
+        assert!(view.contains("sampling profiler view"), "{view}");
+        assert!(view.contains("Calibrated Energy"), "{view}");
+        assert!(report.result_txt.contains("self samples"));
+    }
+
+    #[test]
+    fn both_mode_reports_side_by_side_agreement() {
+        let report = JepoProfiler::new()
+            .with_mode(ProfilingMode::Both { interval_us: 10 })
+            .profile(&corpus::runnable_project())
+            .unwrap();
+        // Both halves present.
+        assert!(report.probes_injected > 10);
+        assert!(!report.records.is_empty());
+        let s = report.sampled.as_ref().expect("sampling half");
+        assert!(s.samples > 10);
+        let view = report.view();
+        assert!(view.contains("instrumented vs sampling"), "{view}");
+        assert!(view.contains("Agreement"), "{view}");
+        // The dominant method must agree between the modes: sampling
+        // attributes nearly all inclusive energy to Main.main, like
+        // instrumentation does.
+        let main_line = view
+            .lines()
+            .find(|l| l.starts_with("Main.main"))
+            .expect("Main.main row");
+        assert!(main_line.ends_with("ok"), "{main_line}");
+    }
+
+    /// Satellite: sampled attribution is bit-identical regardless of how
+    /// many profiles run concurrently (`--jobs ∈ {1, 2, 4}`) — the
+    /// sampler is driven by virtual time, not wall clock.
+    #[test]
+    fn sampling_is_deterministic_across_jobs() {
+        let run_jobs = |jobs: usize| -> Vec<String> {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let report = JepoProfiler::new()
+                                .with_mode(ProfilingMode::Sampling { interval_us: 10 })
+                                .profile(&corpus::runnable_project())
+                                .unwrap();
+                            format!("{}{}", report.view(), report.result_txt)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        let reference = run_jobs(1).pop().unwrap();
+        for jobs in [2usize, 4] {
+            for (i, rendered) in run_jobs(jobs).into_iter().enumerate() {
+                assert_eq!(
+                    rendered, reference,
+                    "jobs={jobs} run {i} diverged from the jobs=1 reference"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! same content as aligned text tables.
 
 use jepo_analyzer::Suggestion;
-use jepo_jvm::MethodEnergyRecord;
+use jepo_jvm::{MethodEnergyRecord, SampledMethodRecord};
 
 /// Render an aligned text table with a header rule.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -98,6 +98,132 @@ pub fn profiler_view(records: &[MethodEnergyRecord]) -> String {
         &["Method", "Execution Time", "Energy Consumed", "Executions"],
         &rows,
     ));
+    out
+}
+
+/// The Fig. 4-style view for the *sampling* profiler: per-method sample
+/// counts plus raw and calibrated energy. "Self" is energy attributed
+/// with the method as leaf frame; "Total" is inclusive (on-stack).
+pub fn sampling_view(
+    records: &[SampledMethodRecord],
+    taken: u64,
+    dropped: u64,
+    calibration_j: f64,
+) -> String {
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.self_samples.to_string(),
+                r.incl_samples.to_string(),
+                format!("{:.3} mJ", r.self_package_j * 1e3),
+                format!("{:.3} mJ", r.incl_package_j * 1e3),
+                format!("{:.3} mJ", r.calibrated_incl_j * 1e3),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "JEPO sampling profiler view ({taken} samples, {dropped} dropped, \
+         profiler cost {:.3} mJ subtracted)\n",
+        calibration_j * 1e3
+    );
+    out.push_str(&render_table(
+        &[
+            "Method",
+            "Self Samples",
+            "Total Samples",
+            "Self Energy",
+            "Total Energy",
+            "Calibrated Energy",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Side-by-side comparison of instrumented vs sampled per-method energy
+/// (the `ProfilingMode::Both` report): divergence of the calibrated
+/// sampled attribution from the instrumented ground truth, with an
+/// agreement verdict (`ok` within ±25%, `DIVERGES` beyond).
+pub fn side_by_side_view(
+    instrumented: &[MethodEnergyRecord],
+    sampled: &[SampledMethodRecord],
+) -> String {
+    let by_name: std::collections::HashMap<&str, &SampledMethodRecord> =
+        sampled.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for inst in instrumented {
+        seen.insert(inst.name.as_str());
+        let (samp_cell, cal_cell, delta_cell, verdict) = match by_name.get(inst.name.as_str()) {
+            Some(s) => {
+                let delta_pct = if inst.total_package_j > 1e-12 {
+                    (s.calibrated_incl_j - inst.total_package_j) / inst.total_package_j * 100.0
+                } else {
+                    0.0
+                };
+                (
+                    format!("{:.3} mJ", s.incl_package_j * 1e3),
+                    format!("{:.3} mJ", s.calibrated_incl_j * 1e3),
+                    format!("{delta_pct:+.1}%"),
+                    if delta_pct.abs() <= 25.0 {
+                        "ok"
+                    } else {
+                        "DIVERGES"
+                    },
+                )
+            }
+            // Short methods legitimately fall below the sampling rate.
+            None => ("-".into(), "-".into(), "-".into(), "unsampled"),
+        };
+        rows.push(vec![
+            inst.name.clone(),
+            format!("{:.3} mJ", inst.total_package_j * 1e3),
+            samp_cell,
+            cal_cell,
+            delta_cell,
+            verdict.to_string(),
+        ]);
+    }
+    for s in sampled {
+        if !seen.contains(s.name.as_str()) {
+            rows.push(vec![
+                s.name.clone(),
+                "-".into(),
+                format!("{:.3} mJ", s.incl_package_j * 1e3),
+                format!("{:.3} mJ", s.calibrated_incl_j * 1e3),
+                "-".into(),
+                "sampling-only".into(),
+            ]);
+        }
+    }
+    let mut out = String::from("JEPO profiler — instrumented vs sampling (inclusive energy)\n");
+    out.push_str(&render_table(
+        &[
+            "Method",
+            "Instrumented",
+            "Sampled (raw)",
+            "Sampled (calibrated)",
+            "Divergence",
+            "Agreement",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// The sampling analogue of [`result_txt`]: one line per method with
+/// its sample counts and raw/calibrated attribution (sampling has no
+/// per-execution records to enumerate).
+pub fn sampling_result_txt(records: &[SampledMethodRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{}\tself samples {}\ttotal samples {}\ttime {:.6} s\tenergy {:.6} J\tcalibrated {:.6} J\n",
+            r.name, r.self_samples, r.incl_samples, r.incl_seconds, r.incl_package_j, r.calibrated_incl_j
+        ));
+    }
     out
 }
 

@@ -13,6 +13,7 @@ use crate::decode::{DInstr, DOp, DecodedProgram, InlineCache, Sym, NO_CLASS};
 use crate::energy::{self, EnergySettings};
 use crate::heap::{CacheModel, Heap, HeapObj};
 use crate::opcode::{ArithOp, ArrayElem, CmpOp, MathFn, NumTy, Op};
+use crate::sampling::{SampleSet, SamplingConfig, SamplingState, SAMPLE_BASE_CHARGES};
 use crate::value::{Ref, Value};
 use crate::VmError;
 use jepo_rapl::{OpCategory, Scoreboard, SimulatedRapl};
@@ -43,6 +44,9 @@ pub struct RunOutcome {
     pub ic_hits: u64,
     /// Inline-cache misses (decoded dispatch only).
     pub ic_misses: u64,
+    /// Stack samples from the virtual-time sampling profiler
+    /// (`None` unless sampling was configured).
+    pub samples: Option<SampleSet>,
 }
 
 /// One recorded method execution (the profiler stores one entry per
@@ -145,6 +149,12 @@ pub struct Interp<'p> {
     /// tier snapshots this around bridged ops to detect that control has
     /// transferred to a handler frame and it must deoptimize.
     pub(crate) unwound: u64,
+    /// Virtual-time sampling profiler state (off unless configured).
+    sampling: Option<Box<SamplingState>>,
+    /// Ops-executed threshold for the next sampling check; `u64::MAX`
+    /// when sampling is off, so the safepoint test is one always-false
+    /// compare on the non-sampling path.
+    pub(crate) sample_check_at: u64,
 }
 
 impl<'p> Interp<'p> {
@@ -185,6 +195,8 @@ impl<'p> Interp<'p> {
             profile_out: Vec::new(),
             ops_executed: 0,
             unwound: 0,
+            sampling: None,
+            sample_check_at: u64::MAX,
         }
     }
 
@@ -208,6 +220,52 @@ impl<'p> Interp<'p> {
     /// Limit the instruction budget.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Enable the virtual-time sampling profiler for this run. The first
+    /// safepoint after each `cfg.interval_s` of virtual time snapshots
+    /// the frame stack; see [`crate::sampling`].
+    pub fn set_sampling(&mut self, cfg: SamplingConfig) {
+        self.sampling = Some(Box::new(SamplingState::new(cfg)));
+        self.sample_check_at = 0; // first safepoint computes the stride
+    }
+
+    /// Sampling safepoint, hit from the dispatch-loop heads (legacy and
+    /// decoded check per op, the IR tier per block — the points where
+    /// the frame stack is coherent). The fast path is the single
+    /// `ops_executed >= sample_check_at` compare at the call sites; this
+    /// cold body prices the virtual clock, records any due sample, and
+    /// re-arms the stride.
+    #[cold]
+    pub(crate) fn sample_safepoint(&mut self) {
+        let (pkg, core, secs) = self.energy_now();
+        let Some(mut st) = self.sampling.take() else {
+            self.sample_check_at = u64::MAX;
+            return;
+        };
+        if secs >= st.next_sample_s {
+            let depth = st.record(self.frames.iter().map(|f| f.method), pkg, core, secs);
+            // Charge the profiler's own work (stack walk + bookkeeping)
+            // to the scoreboard, and account it exactly for calibration.
+            let walk = SAMPLE_BASE_CHARGES + depth;
+            self.board.bump_n(OpCategory::Load, walk);
+            let nj = self.settings.cost.nanojoules(OpCategory::Load);
+            let ns = self.settings.latency.nanos(OpCategory::Load);
+            st.set.calibration_j += walk as f64 * nj * 1e-9;
+            st.set.calibration_s += walk as f64 * ns * 1e-9;
+        }
+        // Re-arm: estimate how many ops fit before the next boundary
+        // from the run's average virtual seconds per op (all inputs are
+        // deterministic, so the stride — and thus every sample — is
+        // reproducible bit-for-bit).
+        let stride = if self.ops_executed > 0 && secs > 0.0 {
+            let avg = secs / self.ops_executed as f64;
+            (((st.next_sample_s - secs) / avg) * 0.5) as u64
+        } else {
+            0
+        };
+        self.sample_check_at = self.ops_executed + stride.clamp(1, 65_536);
+        self.sampling = Some(st);
     }
 
     #[inline]
@@ -285,8 +343,14 @@ impl<'p> Interp<'p> {
     /// Finish a run: flush energy and build the outcome.
     pub fn finish(mut self, ret: Option<Value>) -> RunOutcome {
         self.flush();
+        let samples = self.sampling.take().map(|st| st.set);
         let reg = jepo_trace::Registry::global();
         if reg.is_enabled() {
+            if let Some(set) = &samples {
+                reg.counter("profiler.samples").add(set.taken);
+                reg.counter("profiler.dropped").add(set.dropped);
+                reg.gauge("profiler.calibration_j").set(set.calibration_j);
+            }
             reg.counter("jvm.runs").incr();
             reg.counter("jvm.ops_executed").add(self.ops_executed);
             reg.counter("jvm.cache_hits").add(self.cache.hits());
@@ -316,6 +380,7 @@ impl<'p> Interp<'p> {
             cache_misses: self.cache.misses(),
             ic_hits: self.ic_hits,
             ic_misses: self.ic_misses,
+            samples,
         }
     }
 
@@ -355,6 +420,9 @@ impl<'p> Interp<'p> {
         loop {
             if self.ops_executed >= self.fuel {
                 return Err(VmError::OutOfFuel);
+            }
+            if self.ops_executed >= self.sample_check_at {
+                self.sample_safepoint();
             }
             let frame_idx = self.frames.len() - 1;
             let (mid, pc) = {
@@ -550,6 +618,9 @@ impl<'p> Interp<'p> {
         loop {
             if self.ops_executed >= self.fuel {
                 return Err(VmError::OutOfFuel);
+            }
+            if self.ops_executed >= self.sample_check_at {
+                self.sample_safepoint();
             }
             let frame_idx = self.frames.len() - 1;
             let (mid, pc) = {

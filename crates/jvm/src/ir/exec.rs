@@ -70,6 +70,12 @@ impl<'p> Interp<'p> {
         let mut bid = m0.entry;
         let mut fi = self.frames.len() - 1;
         loop {
+            // Sampling safepoint: block boundaries are where IR segments
+            // already cut, and every suspended frame is decoded-valid,
+            // so the stack snapshot is coherent here.
+            if self.ops_executed >= self.sample_check_at {
+                self.sample_safepoint();
+            }
             let block = &m.blocks[bid as usize];
             for seg in &block.segs {
                 if seg.k > 0 {

@@ -52,6 +52,7 @@ pub mod instrument;
 pub mod interp;
 pub mod ir;
 pub mod opcode;
+pub mod sampling;
 pub mod value;
 pub mod vm;
 
@@ -63,5 +64,6 @@ pub use error::VmError;
 pub use instrument::instrument_all;
 pub use interp::{Interp, RunOutcome};
 pub use opcode::{NumTy, Op};
+pub use sampling::{Sample, SampleSet, SampledMethodRecord, SamplingConfig};
 pub use value::Value;
 pub use vm::{Dispatch, MethodEnergyRecord, Vm};

@@ -6,6 +6,7 @@ use crate::decode::{self, DecodedProgram};
 use crate::energy::EnergySettings;
 use crate::instrument;
 use crate::interp::{Interp, ProfileEvent, RunOutcome};
+use crate::sampling::{self, SampleSet, SampledMethodRecord, SamplingConfig};
 use crate::value::Value;
 use crate::VmError;
 use jepo_rapl::{DeviceProfile, SimulatedRapl};
@@ -66,6 +67,8 @@ pub struct Vm {
     /// Lazily built register-IR form (requires `decoded`); invalidated
     /// alongside it.
     ir: Option<crate::ir::IrProgram>,
+    /// Virtual-time sampling profiler config, applied to every run.
+    sampling: Option<SamplingConfig>,
 }
 
 impl Vm {
@@ -90,6 +93,7 @@ impl Vm {
             dispatch: Dispatch::default(),
             decoded: None,
             ir: None,
+            sampling: None,
         }
     }
 
@@ -119,6 +123,14 @@ impl Vm {
     /// Set the instruction budget.
     pub fn with_fuel(mut self, fuel: u64) -> Vm {
         self.fuel = fuel;
+        self
+    }
+
+    /// Enable the virtual-time sampling profiler for subsequent runs
+    /// (see [`crate::sampling`]). Orthogonal to [`Vm::instrument`]: a
+    /// sampled run needs no probe injection.
+    pub fn with_sampling(mut self, cfg: SamplingConfig) -> Vm {
+        self.sampling = Some(cfg);
         self
     }
 
@@ -190,6 +202,9 @@ impl Vm {
             interp.set_ir(irp);
         }
         interp.set_fuel(self.fuel);
+        if let Some(cfg) = self.sampling {
+            interp.set_sampling(cfg);
+        }
         {
             let _s = jepo_trace::span("vm/clinit");
             interp.run_clinits()?;
@@ -228,6 +243,9 @@ impl Vm {
             interp.set_ir(irp);
         }
         interp.set_fuel(self.fuel);
+        if let Some(cfg) = self.sampling {
+            interp.set_sampling(cfg);
+        }
         {
             let _s = jepo_trace::span("vm/clinit");
             interp.run_clinits()?;
@@ -264,6 +282,20 @@ impl Vm {
         // wherever the comparison sort happens to leave it.
         out.sort_by(|a, b| b.total_package_j.total_cmp(&a.total_package_j));
         out
+    }
+
+    /// Fold a run's [`SampleSet`] into per-method records (self +
+    /// inclusive, raw + calibrated joules), resolving method names
+    /// against this VM's program.
+    pub fn aggregate_samples(&self, set: &SampleSet) -> Vec<SampledMethodRecord> {
+        sampling::aggregate_samples(set, |mid| {
+            self.program.methods[mid as usize].qualified.clone()
+        })
+    }
+
+    /// Qualified name of a method by id (e.g. for labelling samples).
+    pub fn method_name(&self, mid: crate::MethodId) -> &str {
+        &self.program.methods[mid as usize].qualified
     }
 }
 
@@ -349,6 +381,96 @@ mod tests {
                 .unwrap()
                 .with_fuel(5_000);
         assert!(matches!(vm.run_main(), Err(VmError::OutOfFuel)));
+    }
+
+    const SAMPLING_SRC: &str = "class M {
+        static int inner(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }
+        static int outer(int r) { int s = 0; for (int i = 0; i < r; i++) s += inner(400); return s; }
+        public static void main(String[] a) { System.out.println(outer(200)); }
+    }";
+
+    fn sampled_run(dispatch: Dispatch) -> (Vec<SampledMethodRecord>, RunOutcome) {
+        let mut vm = Vm::from_source(SAMPLING_SRC)
+            .unwrap()
+            .with_dispatch(dispatch)
+            .with_sampling(SamplingConfig::from_interval_us(10));
+        let out = vm.run_main().unwrap();
+        let records = vm.aggregate_samples(out.samples.as_ref().unwrap());
+        (records, out)
+    }
+
+    #[test]
+    fn sampling_collects_and_attributes() {
+        for dispatch in [Dispatch::Ir, Dispatch::Decoded, Dispatch::Legacy] {
+            let (records, out) = sampled_run(dispatch);
+            let set = out.samples.as_ref().unwrap();
+            assert!(set.taken >= 10, "{dispatch:?}: only {} samples", set.taken);
+            assert_eq!(set.dropped, 0);
+            // Raw attribution can never exceed the run's dynamic energy,
+            // and the profiler's own (calibration) energy is part of it.
+            let raw = set.raw_total_j();
+            assert!(raw > 0.0 && raw <= out.energy.package_j + 1e-9);
+            assert!(set.calibration_j > 0.0 && set.calibration_j < raw);
+            assert!(set.calibrated_total_j() >= 0.0);
+            // The hot leaf dominates self-energy; main dominates inclusive.
+            let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+            assert!(names.contains(&"M.inner"), "{dispatch:?}: {names:?}");
+            // Main is on every sampled stack: its inclusive attribution
+            // covers (nearly) the whole raw total.
+            let main_rec = records.iter().find(|r| r.name == "M.main").unwrap();
+            assert!(
+                main_rec.incl_package_j > raw * 0.9,
+                "{dispatch:?}: main inclusive {} vs raw {raw}",
+                main_rec.incl_package_j
+            );
+            let inner = records.iter().find(|r| r.name == "M.inner").unwrap();
+            assert!(
+                inner.self_samples >= inner.incl_samples / 2,
+                "{dispatch:?}: inner should lead self-samples: {inner:?}"
+            );
+            for r in &records {
+                assert!(r.calibrated_incl_j <= r.incl_package_j + 1e-12);
+                assert!(r.calibrated_incl_j >= 0.0);
+            }
+            // Sampling must not perturb program output (the sum wraps
+            // in i32, like real Java).
+            assert_eq!(out.stdout.trim(), "-44287296");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_runs() {
+        for dispatch in [Dispatch::Ir, Dispatch::Decoded, Dispatch::Legacy] {
+            let (rec_a, out_a) = sampled_run(dispatch);
+            let (rec_b, out_b) = sampled_run(dispatch);
+            let (a, b) = (out_a.samples.unwrap(), out_b.samples.unwrap());
+            assert_eq!(a.samples, b.samples, "{dispatch:?}");
+            assert_eq!(a.stacks, b.stacks, "{dispatch:?}");
+            assert_eq!(a.taken, b.taken);
+            assert!(a.calibration_j.to_bits() == b.calibration_j.to_bits());
+            assert_eq!(rec_a, rec_b, "{dispatch:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_off_means_no_samples_and_no_charges() {
+        let mut vm = Vm::from_source(SAMPLING_SRC).unwrap();
+        let plain = vm.run_main().unwrap();
+        assert!(plain.samples.is_none());
+        // A sampled run of the same program includes the profiler's own
+        // energy, so it reads strictly higher than the plain run.
+        let mut sampled_vm = Vm::from_source(SAMPLING_SRC)
+            .unwrap()
+            .with_sampling(SamplingConfig::from_interval_us(10));
+        let sampled = sampled_vm.run_main().unwrap();
+        let set = sampled.samples.as_ref().unwrap();
+        assert!(sampled.energy.package_j > plain.energy.package_j);
+        let extra = sampled.energy.package_j - plain.energy.package_j;
+        assert!(
+            (extra - set.calibration_j).abs() < 1e-12,
+            "sampling overhead {extra} must equal calibration {}",
+            set.calibration_j
+        );
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! stress test of the meter's thread-safety.
 
 use crate::{EnergyMeter, EnergyReading};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One sample of the time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,30 +24,95 @@ pub struct PowerSample {
     pub package_watts: f64,
 }
 
+/// Production/delivery accounting for one sampler run. A nonzero
+/// `dropped` means the consumer fell behind the sampling rate and the
+/// delivered time series has gaps — visible here and via the
+/// `rapl.samples.dropped` metric instead of silently biasing analyses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerSummary {
+    /// Samples the thread produced (read + computed).
+    pub produced: u64,
+    /// Samples that were dropped because the channel was full.
+    pub dropped: u64,
+}
+
+impl SamplerSummary {
+    /// Samples actually handed to the channel.
+    pub fn delivered(&self) -> u64 {
+        self.produced - self.dropped
+    }
+}
+
+struct Stats {
+    produced: AtomicU64,
+    dropped: AtomicU64,
+}
+
 /// A running sampler; dropping it stops the thread.
 pub struct Sampler {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
     rx: Receiver<PowerSample>,
+    stats: Arc<Stats>,
 }
 
 impl Sampler {
     /// Start sampling `meter` every `interval`. The channel holds up to
     /// `capacity` samples; when full, the oldest are dropped (monitoring
-    /// must never block the measured system).
+    /// must never block the measured system) — and counted, see
+    /// [`Sampler::summary`].
     pub fn start<M: EnergyMeter + 'static>(
         meter: M,
+        interval: Duration,
+        capacity: usize,
+    ) -> Sampler {
+        Sampler::spawn(move || meter.read(), interval, capacity)
+    }
+
+    /// Start sampling a wrap-corrected [`jepo_trace::EnergyProbe`] (e.g.
+    /// [`crate::CounterProbe`]) every `interval`. The probe supplies
+    /// cumulative package joules; elapsed wall time supplies the clock,
+    /// so `package_watts` is real watts over the probe's domain.
+    pub fn start_probe<P: jepo_trace::EnergyProbe + 'static>(
+        probe: Arc<P>,
+        interval: Duration,
+        capacity: usize,
+    ) -> Sampler {
+        let epoch = Instant::now();
+        Sampler::spawn(
+            move || {
+                let package_j = probe.total_joules();
+                EnergyReading {
+                    package_j,
+                    core_j: 0.0,
+                    uncore_j: 0.0,
+                    dram_j: 0.0,
+                    seconds: epoch.elapsed().as_secs_f64(),
+                }
+            },
+            interval,
+            capacity,
+        )
+    }
+
+    fn spawn<F: FnMut() -> EnergyReading + Send + 'static>(
+        mut read: F,
         interval: Duration,
         capacity: usize,
     ) -> Sampler {
         let (tx, rx) = sync_channel(capacity);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let stats = Arc::new(Stats {
+            produced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        let stats2 = stats.clone();
         let handle = std::thread::spawn(move || {
             let mut prev: Option<EnergyReading> = None;
             let mut index = 0u64;
             while !stop2.load(Ordering::Relaxed) {
-                let reading = meter.read();
+                let reading = read();
                 let reg = jepo_trace::Registry::global();
                 if reg.is_enabled() {
                     reg.counter("rapl.samples").incr();
@@ -68,10 +133,18 @@ impl Sampler {
                     reading,
                     package_watts,
                 };
+                stats2.produced.fetch_add(1, Ordering::Relaxed);
                 // When the buffer is full the sample is dropped on the
-                // floor: monitoring must never block the measured system.
+                // floor: monitoring must never block the measured
+                // system. But never silently — the drop is counted.
                 match tx.try_send(sample) {
-                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        stats2.dropped.fetch_add(1, Ordering::Relaxed);
+                        if reg.is_enabled() {
+                            reg.counter("rapl.samples.dropped").incr();
+                        }
+                    }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
                 prev = Some(reading);
@@ -83,12 +156,21 @@ impl Sampler {
             stop,
             handle: Some(handle),
             rx,
+            stats,
         }
     }
 
     /// Receive-side of the sample stream.
     pub fn samples(&self) -> &Receiver<PowerSample> {
         &self.rx
+    }
+
+    /// Production/drop accounting so far.
+    pub fn summary(&self) -> SamplerSummary {
+        SamplerSummary {
+            produced: self.stats.produced.load(Ordering::Relaxed),
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+        }
     }
 
     /// Stop the sampler and drain remaining samples.
@@ -98,6 +180,18 @@ impl Sampler {
             let _ = h.join();
         }
         self.rx.try_iter().collect()
+    }
+
+    /// Stop the sampler, returning the drained samples plus the final
+    /// production/drop summary.
+    pub fn stop_with_summary(self) -> (Vec<PowerSample>, SamplerSummary) {
+        let stats = self.stats.clone();
+        let samples = self.stop();
+        let summary = SamplerSummary {
+            produced: stats.produced.load(Ordering::Relaxed),
+            dropped: stats.dropped.load(Ordering::Relaxed),
+        };
+        (samples, summary)
     }
 }
 
@@ -160,5 +254,74 @@ mod tests {
         let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
         let sampler = Sampler::start(SimMeter::new(sim), Duration::from_millis(1), 8);
         drop(sampler); // must not hang
+    }
+
+    #[test]
+    fn full_channel_drops_are_counted_not_silent() {
+        let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
+        // Capacity 2 and nobody draining: the thread must keep running
+        // and count every overflow.
+        let sampler = Sampler::start(SimMeter::new(sim), Duration::from_micros(200), 2);
+        while sampler.summary().dropped < 5 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (samples, summary) = sampler.stop_with_summary();
+        assert!(summary.dropped >= 5, "{summary:?}");
+        assert_eq!(summary.delivered(), summary.produced - summary.dropped);
+        // Drained samples = delivered (channel never loses accepted ones).
+        assert_eq!(samples.len() as u64, summary.delivered(), "{summary:?}");
+    }
+
+    #[test]
+    fn no_drops_when_consumer_keeps_up() {
+        let sim = Arc::new(SimulatedRapl::new(DeviceProfile::laptop_i5_3317u()));
+        let sampler = Sampler::start(SimMeter::new(sim), Duration::from_millis(1), 4096);
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, summary) = sampler.stop_with_summary();
+        assert!(summary.produced > 0);
+        assert_eq!(summary.dropped, 0, "{summary:?}");
+    }
+
+    /// Satellite test: sampling attribution across a forced 32-bit RAPL
+    /// counter wrap mid-interval (the probe.rs forced-wrap harness,
+    /// driven through the probe-backed sampler). The wrap-corrected
+    /// cumulative series must attribute the energy actually spent, with
+    /// no negative interval delta.
+    #[test]
+    fn probe_sampler_attributes_across_a_forced_wrap() {
+        let sim = SimulatedRapl::new(DeviceProfile::laptop_i5_3317u());
+        let units = sim.units_struct();
+        // Package counter starts at raw offset 0x1000_0000; joules to
+        // the wrap point from there:
+        let to_wrap = units.raw_to_joules((u32::MAX as u64 + 1) - 0x1000_0000);
+        let spend = to_wrap + 100.0;
+        let probe = Arc::new(crate::probe::package_probe(&sim).unwrap());
+        let sampler = Sampler::start_probe(probe, Duration::from_millis(1), 4096);
+        // Cross the wrap in two chunks with sample intervals in between,
+        // so the reader (≤ 1 wrap per read) sees the boundary mid-series.
+        sim.add_dynamic_energy(to_wrap - 50.0);
+        std::thread::sleep(Duration::from_millis(10));
+        sim.add_dynamic_energy(150.0);
+        std::thread::sleep(Duration::from_millis(10));
+        let (samples, summary) = sampler.stop_with_summary();
+        assert_eq!(summary.dropped, 0, "{summary:?}");
+        assert!(samples.len() >= 4, "got {}", samples.len());
+        // Cumulative, monotone, wrap-corrected: every interval delta is
+        // ≥ 0 even though the raw counter wrapped mid-series.
+        for w in samples.windows(2) {
+            assert!(
+                w[1].reading.package_j >= w[0].reading.package_j,
+                "negative interval delta across the wrap"
+            );
+            assert!(w[1].package_watts >= 0.0);
+        }
+        let total = samples.last().unwrap().reading.package_j;
+        assert!(
+            (total - spend).abs() < 1.0,
+            "attributed {total} J across the wrap, spent {spend} J"
+        );
+        // Far beyond what a wrap-oblivious raw difference could report.
+        let naive_max = units.raw_to_joules(u32::MAX as u64) - to_wrap;
+        assert!(total > naive_max, "{total} vs naive ceiling {naive_max}");
     }
 }

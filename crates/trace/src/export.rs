@@ -108,6 +108,18 @@ pub fn chrome_trace(data: &TraceData, mask_timing: bool) -> String {
                         tid_of[t], ts_us, span_id, j, e.seq
                     ));
                 }
+                EventKind::Instant { name, package_j } => {
+                    let j = if mask_timing { 0.0 } else { *package_j };
+                    lines.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\",\
+                         \"s\":\"t\",\"args\":{{\"package_j\":{:.9},\"seq\":{}}}}}",
+                        tid_of[t],
+                        ts_us,
+                        esc(name),
+                        j,
+                        e.seq
+                    ));
+                }
             }
         }
     }
@@ -183,7 +195,7 @@ fn closed_spans(data: &TraceData) -> Vec<Closed<'_>> {
         for e in evs {
             match &e.kind {
                 EventKind::Begin { span_id, name, .. } => {
-                    stack.push((name.as_str(), *span_id, e.ts_ns));
+                    stack.push((name.as_ref(), *span_id, e.ts_ns));
                 }
                 EventKind::End { span_id, package_j } => {
                     if let Some(pos) = stack.iter().rposition(|&(_, id, _)| id == *span_id) {
@@ -198,6 +210,7 @@ fn closed_spans(data: &TraceData) -> Vec<Closed<'_>> {
                         });
                     }
                 }
+                EventKind::Instant { .. } => {}
             }
         }
     }
@@ -415,7 +428,7 @@ mod tests {
                 kind: EventKind::Begin {
                     span_id: id,
                     parent_id: 0,
-                    name: name.to_string(),
+                    name: name.into(),
                 },
             });
             events.push(Event {

@@ -42,6 +42,6 @@ pub use metrics::{
     TIME_NS_BUCKETS,
 };
 pub use span::{
-    active, bind_probe, span, track, would_trace, EnergyProbe, ProbeGuard, SpanGuard, TraceData,
-    Tracer, TrackGuard,
+    active, bind_probe, instant, span, track, would_trace, EnergyProbe, ProbeGuard, SpanGuard,
+    TraceData, Tracer, TrackGuard,
 };

@@ -48,16 +48,25 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// One begin/end event as recorded (export formats are derived views).
+/// One recorded event (export formats are derived views). Span names
+/// are interned `Arc<str>`s: the registry allocates a name once, and
+/// every later span/instant with the same name is a refcount bump — no
+/// per-span `String` allocation on the enabled hot path.
 #[derive(Debug, Clone)]
 pub(crate) enum EventKind {
     Begin {
         span_id: u64,
         parent_id: u64,
-        name: String,
+        name: Arc<str>,
     },
     End {
         span_id: u64,
+        package_j: f64,
+    },
+    /// A point-in-time marker (profiler sample ticks) with an energy
+    /// annotation; exports as a Chrome `ph:"i"` instant event.
+    Instant {
+        name: Arc<str>,
         package_j: f64,
     },
 }
@@ -117,7 +126,21 @@ struct Track {
 struct State {
     tracks: Vec<Track>,
     by_name: HashMap<String, usize>,
+    /// Interned span/instant names (lookup by `&str` via `Borrow`).
+    names: std::collections::HashSet<Arc<str>>,
     events: Vec<Event>,
+}
+
+/// Intern `name`: one allocation the first time, a refcount bump after.
+fn intern_name(st: &mut State, name: &str) -> Arc<str> {
+    match st.names.get(name) {
+        Some(n) => n.clone(),
+        None => {
+            let n: Arc<str> = Arc::from(name);
+            st.names.insert(n.clone());
+            n
+        }
+    }
 }
 
 struct Core {
@@ -346,6 +369,7 @@ pub fn span(name: &str) -> SpanGuard {
         let ts_ns = core.epoch.elapsed().as_nanos() as u64;
         let span_id = {
             let mut st = core.state.lock().unwrap();
+            let name = intern_name(&mut st, name);
             let tr = &mut st.tracks[top.track];
             let span_seq = tr.next_span_seq;
             tr.next_span_seq += 1;
@@ -360,7 +384,7 @@ pub fn span(name: &str) -> SpanGuard {
                 kind: EventKind::Begin {
                     span_id,
                     parent_id,
-                    name: name.to_string(),
+                    name,
                 },
             });
             span_id
@@ -378,6 +402,38 @@ pub fn span(name: &str) -> SpanGuard {
         open: opened,
         extra_j: 0.0,
     }
+}
+
+/// Record an instantaneous marker (a profiler sample tick) on the
+/// current thread's track, annotated with the joules attributed at that
+/// instant (clamped ≥ 0). No-op without an active track; exports as a
+/// Chrome `ph:"i"` event on the track's tid.
+pub fn instant(name: &str, package_j: f64) {
+    CTX.with(|c| {
+        let mut ctxs = c.borrow_mut();
+        let Some(top) = ctxs.last_mut() else {
+            return;
+        };
+        if !top.core.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let ts_ns = top.core.epoch.elapsed().as_nanos() as u64;
+        let mut st = top.core.state.lock().unwrap();
+        let name = intern_name(&mut st, name);
+        let tr = &mut st.tracks[top.track];
+        let seq = tr.next_event_seq;
+        tr.next_event_seq += 1;
+        let track = top.track;
+        st.events.push(Event {
+            track,
+            seq,
+            ts_ns,
+            kind: EventKind::Instant {
+                name,
+                package_j: package_j.max(0.0),
+            },
+        });
+    });
 }
 
 struct OpenSpan {
@@ -499,7 +555,7 @@ mod tests {
                 name,
             } = &e.kind
             {
-                if name == "outer" {
+                if name.as_ref() == "outer" {
                     outer_id = *span_id;
                     assert_eq!(*parent_id, 0, "outer is a root span");
                 } else {
@@ -625,6 +681,56 @@ mod tests {
             })
             .unwrap();
         assert!((j - 1.25).abs() < 1e-12, "{j}");
+    }
+
+    #[test]
+    fn span_names_are_interned_once() {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _g = t.track("work");
+            for _ in 0..3 {
+                let _s = span("step");
+            }
+        }
+        let data = t.data();
+        let names: Vec<&Arc<str>> = data
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Begin { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.len(), 3);
+        // All three begins share one interned allocation.
+        assert!(Arc::ptr_eq(names[0], names[1]));
+        assert!(Arc::ptr_eq(names[1], names[2]));
+    }
+
+    #[test]
+    fn instants_record_on_the_current_track() {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _g = t.track("samples");
+            instant("tick", 0.5);
+            instant("tick", -1.0); // clamped to zero
+        }
+        instant("orphan", 1.0); // no track: dropped
+        let data = t.data();
+        let ticks: Vec<f64> = data
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Instant { name, package_j } if name.as_ref() == "tick" => {
+                    Some(*package_j)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ticks, vec![0.5, 0.0]);
+        assert_eq!(data.events.len(), 2, "orphan instant not recorded");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct TraceStats {
     pub total_package_j: f64,
     /// Deepest nesting observed.
     pub max_depth: usize,
+    /// Instant (`ph:"i"`) events — profiler sample ticks.
+    pub instants: usize,
 }
 
 /// Extract a string field (`"key":"value"`) from an event line.
@@ -61,6 +63,7 @@ pub fn validate_chrome(json: &str) -> Result<TraceStats, String> {
         tracks: 0,
         total_package_j: 0.0,
         max_depth: 0,
+        instants: 0,
     };
     let mut tids = std::collections::BTreeSet::new();
     for (lineno, line) in json.lines().enumerate() {
@@ -70,7 +73,7 @@ pub fn validate_chrome(json: &str) -> Result<TraceStats, String> {
         if ph == "M" {
             continue;
         }
-        if ph != "B" && ph != "E" {
+        if ph != "B" && ph != "E" && ph != "i" {
             return Err(format!("line {}: unexpected phase `{ph}`", lineno + 1));
         }
         let tid = num_field(line, "tid")
@@ -78,9 +81,6 @@ pub fn validate_chrome(json: &str) -> Result<TraceStats, String> {
             as i64;
         let ts = num_field(line, "ts")
             .ok_or_else(|| format!("line {}: event without ts", lineno + 1))?;
-        let span_id = str_field(line, "span_id")
-            .ok_or_else(|| format!("line {}: event without span_id", lineno + 1))?
-            .to_string();
         if let Some(&prev) = last_ts.get(&tid) {
             if ts < prev {
                 return Err(format!(
@@ -91,6 +91,23 @@ pub fn validate_chrome(json: &str) -> Result<TraceStats, String> {
         }
         last_ts.insert(tid, ts);
         tids.insert(tid);
+        if ph == "i" {
+            // Sample ticks stand alone: no span stack interaction, but
+            // their energy annotation must still be non-negative.
+            let energy = num_field(line, "package_j")
+                .ok_or_else(|| format!("line {}: instant without package_j", lineno + 1))?;
+            if energy < 0.0 {
+                return Err(format!(
+                    "line {}: negative instant energy {energy}",
+                    lineno + 1
+                ));
+            }
+            stats.instants += 1;
+            continue;
+        }
+        let span_id = str_field(line, "span_id")
+            .ok_or_else(|| format!("line {}: event without span_id", lineno + 1))?
+            .to_string();
         stats.events += 1;
         let stack = stacks.entry(tid).or_default();
         if ph == "B" {
@@ -241,6 +258,26 @@ mod tests {
         lines[end] = zero_num(&lines[end], "package_j", "-0.5");
         let err = validate_chrome(&lines.join("\n")).unwrap_err();
         assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn instants_validate_and_count() {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _g = t.track("samples");
+            let _s = span("run");
+            crate::span::instant("tick", 0.25);
+            crate::span::instant("tick", 0.5);
+        }
+        let json = t.export_chrome(false);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+        let stats = validate_chrome(&json).unwrap();
+        assert_eq!(stats.instants, 2);
+        assert_eq!(stats.spans, 1);
+        // Masking applies to instants too, and stays valid.
+        let masked = masked_content(&json);
+        assert!(validate_chrome(&masked).is_ok());
     }
 
     #[test]
