@@ -43,7 +43,7 @@
 //! `--metrics <out.jsonl>` (metrics-registry dump, one JSON object per
 //! line).
 
-use jepo_core::{corpus, JepoOptimizer, JepoProfiler, ProfilingMode, WekaExperiment};
+use jepo_core::{corpus, JepoOptimizer, JepoProfiler, ProfilingMode};
 use jepo_jlang::JavaProject;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -62,6 +62,9 @@ fn usage() -> ExitCode {
          jepo energy  <dir|file> [--top <N>]   ranked static per-method energy\n  \
          jepo diff-energy <dirA> <dirB> [--cache-dir <dir>] [--jobs <N>]\n                   \
          [--fail-on-regression]  (exit 3 on an energy regression)\n  \
+         jepo serve    [--addr <host:port>] [--jobs <N>] [--queue <depth>]\n                \
+         long-lived profiling daemon with a shared hot cache;\n                \
+         a `shutdown` request drains the queue and exits 0\n  \
          jepo demo     (run the bundled mini-WEKA end to end)\n\n\
          incremental analysis:\n  \
          --cache-dir <dir>      persist per-file analysis results keyed by\n                         \
@@ -188,15 +191,11 @@ fn cmd_analyze(path: &Path, cache_dir: Option<&Path>) -> Result<(), String> {
     if cache_dir.is_some() {
         eprintln!("cache: {hits} unchanged file(s) reused, {misses} analyzed");
     }
-    if suggestions.is_empty() {
-        println!("No suggestions — the project is energy-clean.");
-        return Ok(());
-    }
-    print!("{}", jepo_core::views::optimizer_view(&suggestions));
-    println!(
-        "\n{} suggestions across {} files.",
-        suggestions.len(),
-        project.len()
+    // The daemon serves the same renderer's bytes (jepo-serve ops), so
+    // warm served responses are identical to this output by construction.
+    print!(
+        "{}",
+        jepo_serve::ops::analyze_render(&suggestions, project.len())
     );
     Ok(())
 }
@@ -205,42 +204,7 @@ fn cmd_analyze(path: &Path, cache_dir: Option<&Path>) -> Result<(), String> {
 /// ordered by estimated cost per invocation (highest first).
 fn cmd_energy(path: &Path, top: usize) -> Result<(), String> {
     let project = load_project(path)?;
-    let facts = jepo_analyzer::ProgramFacts::build(&project);
-    let ranking = facts.energy_ranking();
-    if ranking.is_empty() {
-        println!("No methods found.");
-        return Ok(());
-    }
-    let total: f64 = ranking.iter().map(|m| m.energy).sum();
-    println!("== static per-method energy estimates ==");
-    println!(
-        "{:>12}  {:>6}  {:<5}  method (file:line)",
-        "energy", "share", "pure"
-    );
-    for m in ranking.iter().take(top) {
-        let share = if total > 0.0 {
-            m.energy / total * 100.0
-        } else {
-            0.0
-        };
-        println!(
-            "{:>12.1}  {:>5.1}%  {:<5}  {} ({}:{})",
-            m.energy,
-            share,
-            if m.pure { "yes" } else { "no" },
-            m.method,
-            m.file,
-            m.line
-        );
-    }
-    if ranking.len() > top {
-        println!("  ... {} more (pass --top N to widen)", ranking.len() - top);
-    }
-    println!(
-        "\n{} methods, estimated total {:.1} (unitless; summary cost x trip products).",
-        ranking.len(),
-        total
-    );
+    print!("{}", jepo_serve::ops::energy_render(&project, top));
     Ok(())
 }
 
@@ -410,25 +374,7 @@ fn cmd_profile(
     let mut profiler = JepoProfiler::new().with_mode(mode);
     profiler.chosen_main = chosen_main;
     let report = profiler.profile(&project).map_err(|e| e.to_string())?;
-    println!(
-        "main class {} | {} probes injected | total {:.3} mJ / {:.3} ms\n",
-        report.main_class,
-        report.probes_injected,
-        report.energy.package_j * 1e3,
-        report.energy.seconds * 1e3
-    );
-    print!("{}", report.view());
-    if let Some(s) = &report.sampled {
-        println!(
-            "\n{} samples ({} dropped) @ {} µs | raw {:.3} mJ | profiler cost {:.3} mJ | calibrated {:.3} mJ",
-            s.samples,
-            s.dropped,
-            s.interval_us,
-            s.raw_total_j * 1e3,
-            s.calibration_j * 1e3,
-            s.calibrated_total_j * 1e3
-        );
-    }
+    print!("{}", jepo_serve::ops::profile_render(&report));
     // result.txt next to the project, as the plugin does (§VII).
     let root = if path.is_file() {
         path.parent().unwrap_or(path)
@@ -457,13 +403,47 @@ fn cmd_metrics(path: &Path, entries: &[String]) -> Result<(), String> {
 }
 
 fn cmd_table4(instances: usize, folds: usize, jobs: usize) -> Result<(), String> {
-    let exp = WekaExperiment {
-        instances,
-        folds,
-        ..Default::default()
+    print!("{}", jepo_serve::ops::table4_render(instances, folds, jobs));
+    Ok(())
+}
+
+/// Boot the profiling daemon and block until a `shutdown` request
+/// drains it. Telemetry paths are flushed by the server's drain, so a
+/// graceful stop always persists them.
+fn cmd_serve(
+    rest: &[String],
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+) -> Result<(), String> {
+    let flag_val = |flag: &str| -> Option<&String> {
+        rest.iter()
+            .position(|a| a == flag)
+            .and_then(|i| rest.get(i + 1))
     };
-    let results = exp.run_all_jobs(jobs);
-    print!("{}", jepo_core::report::table4(&results));
+    let addr = flag_val("--addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7457".to_string());
+    let parse_or = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_val(flag) {
+            Some(v) => v.parse().map_err(|_| format!("bad {flag}: {v}")),
+            None => Ok(default),
+        }
+    };
+    let config = jepo_serve::ServerConfig {
+        addr,
+        workers: parse_or("--jobs", 0)?,
+        queue_depth: parse_or("--queue", 32)?,
+        trace_out,
+        metrics_out,
+    };
+    let handle = jepo_serve::serve(config).map_err(|e| e.to_string())?;
+    println!(
+        "jepo serve listening on {} ({} workers)",
+        handle.addr(),
+        handle.workers()
+    );
+    handle.join();
+    println!("jepo serve: drained and stopped.");
     Ok(())
 }
 
@@ -627,6 +607,18 @@ fn main() -> ExitCode {
                 .unwrap_or(2_000);
             let folds = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
             cmd_table4(instances, folds, jobs)
+        }
+        "serve" => {
+            // The server flushes telemetry itself during the drain;
+            // taking the paths keeps the generic exporter below idle.
+            let r = cmd_serve(rest, trace_out.clone(), metrics_out.clone());
+            return match r {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
         }
         "demo" => cmd_demo(),
         _ => return usage(),

@@ -481,6 +481,93 @@ fn callee_only_edit_invalidates_cached_caller() {
     fs::remove_dir_all(&dir).ok();
 }
 
+/// Tentpole: the daemon's warm responses are byte-identical to the
+/// real binary's cold stdout, and a `shutdown` request drains the
+/// daemon to a clean exit 0.
+#[test]
+fn serve_daemon_matches_cli_bytes_and_drains_on_shutdown() {
+    use std::io::BufRead;
+    let dir = temp_project("serve");
+    let mut child = jepo()
+        .args(["serve", "--addr", "127.0.0.1:0", "--queue", "8"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The first stdout line announces the bound address.
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    // The corpus exactly as load_project ships it: sorted paths,
+    // root-relative names.
+    let files = vec![
+        (
+            "Main.java".to_string(),
+            fs::read_to_string(dir.join("Main.java")).unwrap(),
+        ),
+        (
+            "util/Calc.java".to_string(),
+            fs::read_to_string(dir.join("util/Calc.java")).unwrap(),
+        ),
+    ];
+    let cli_stdout = |args: &[&str]| -> String {
+        let out = jepo().args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cases: Vec<(jepo_serve::Request, String)> = {
+        let mut analyze = jepo_serve::Request::new("analyze");
+        analyze.files = files.clone();
+        let mut energy = jepo_serve::Request::new("energy");
+        energy.params.push(("top".into(), "3".into()));
+        energy.files = files;
+        let mut table4 = jepo_serve::Request::new("table4");
+        table4.params.push(("instances".into(), "120".into()));
+        table4.params.push(("folds".into(), "2".into()));
+        vec![
+            (analyze, cli_stdout(&["analyze", dir.to_str().unwrap()])),
+            (
+                energy,
+                cli_stdout(&["energy", dir.to_str().unwrap(), "--top", "3"]),
+            ),
+            (table4, cli_stdout(&["table4", "120", "2"])),
+        ]
+    };
+    for round in 0..2 {
+        for (req, want) in &cases {
+            let resp = jepo_serve::request(&addr, req).expect("request served");
+            assert!(resp.is_ok(), "{:?}", resp.error);
+            assert_eq!(
+                &resp.body, want,
+                "round {round}: served {} bytes differ from CLI stdout",
+                req.verb
+            );
+            if round > 0 {
+                assert_eq!(resp.cache, "warm", "{}: repeat must be warm", req.verb);
+            }
+        }
+    }
+
+    let resp = jepo_serve::request(&addr, &jepo_serve::Request::new("shutdown")).unwrap();
+    assert!(resp.is_ok());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve must drain and exit 0: {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained and stopped"), "{rest}");
+    fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn diff_energy_gates_on_regression() {
     let root = std::env::temp_dir().join(format!("jepo-cli-diff-{}", std::process::id()));

@@ -34,6 +34,6 @@ pub mod views;
 
 pub use experiment::{ClassifierResult, WekaExperiment};
 pub use optimizer::JepoOptimizer;
-pub use profiler::{JepoProfiler, ProfileReport, ProfilingMode, SampledProfile};
+pub use profiler::{JepoProfiler, PreparedProgram, ProfileReport, ProfilingMode, SampledProfile};
 pub use protocol::{derived_seed, MeasurementProtocol, NoiseModel, ProtocolOutcome};
 pub use stats::{mean, quartiles, std_dev, tukey_fences};

@@ -9,14 +9,44 @@
 use crate::views;
 use jepo_jlang::{JavaProject, MainClassChoice};
 use jepo_jvm::{
-    Dispatch, MethodEnergyRecord, SampleSet, SampledMethodRecord, SamplingConfig, Vm, VmError,
+    DecodedProgram, Dispatch, MethodEnergyRecord, Program, SampleSet, SampledMethodRecord,
+    SamplingConfig, Vm, VmError,
 };
 use jepo_rapl::DeviceProfile;
+use std::sync::Arc;
+
+/// Shared, immutable compiled forms of one project — the unit of the
+/// profiling-as-a-service hot cache. Built once per corpus content
+/// hash by [`JepoProfiler::prepare`]; every subsequent profile request
+/// for the same bytes skips parse, compile, probe injection, decode,
+/// and IR compilation entirely ([`JepoProfiler::profile_prepared`]).
+///
+/// Both variants are kept because the profiling modes need different
+/// bytecode: `Instrumented`/`Both` run the probe-injected program,
+/// `Sampling` (and the `Both` sampling leg) the plain one.
+pub struct PreparedProgram {
+    dispatch: Dispatch,
+    plain: Program,
+    plain_decoded: Option<Arc<DecodedProgram>>,
+    plain_ir: Option<Arc<jepo_jvm::ir::IrProgram>>,
+    instr: Program,
+    instr_decoded: Option<Arc<DecodedProgram>>,
+    instr_ir: Option<Arc<jepo_jvm::ir::IrProgram>>,
+    probes: usize,
+}
+
+impl PreparedProgram {
+    /// Probe count of the instrumented variant.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+}
 
 /// How the profiler attributes energy to methods.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProfilingMode {
     /// The paper's mode: probes injected into every method (§VII).
+    #[default]
     Instrumented,
     /// Statistical mode: no probes; the VM snapshots the frame stack at
     /// safepoints on a virtual-time interval and the interval's energy
@@ -32,12 +62,6 @@ pub enum ProfilingMode {
         /// Sampling interval for the sampling leg.
         interval_us: u64,
     },
-}
-
-impl Default for ProfilingMode {
-    fn default() -> Self {
-        ProfilingMode::Instrumented
-    }
 }
 
 /// The sampling half of a profile report.
@@ -152,23 +176,86 @@ impl JepoProfiler {
         self
     }
 
+    /// Build the shared compiled forms of a project once: compile,
+    /// then decode + IR-compile both the plain and the probe-injected
+    /// variants for this profiler's dispatch. The result is immutable
+    /// and cheap to share (`Arc` it); [`JepoProfiler::profile_prepared`]
+    /// runs against it without re-doing any of that work.
+    pub fn prepare(&self, project: &JavaProject) -> Result<PreparedProgram, VmError> {
+        let _s = jepo_trace::span("profile/prepare");
+        let plain = jepo_jvm::compile_project(project)?;
+        let mut instr = plain.clone();
+        let probes = jepo_jvm::instrument_all(&mut instr);
+        // Throwaway VMs build the derived forms exactly the way a cold
+        // run would, so prepared and cold runs share one code path.
+        let (plain_decoded, plain_ir) = Vm::new(plain.clone())
+            .with_dispatch(self.dispatch)
+            .shared_forms();
+        let (instr_decoded, instr_ir) = Vm::new(instr.clone())
+            .with_dispatch(self.dispatch)
+            .shared_forms();
+        Ok(PreparedProgram {
+            dispatch: self.dispatch,
+            plain,
+            plain_decoded,
+            plain_ir,
+            instr,
+            instr_decoded,
+            instr_ir,
+            probes,
+        })
+    }
+
     /// Compile the project into a fresh VM, optionally instrumented
-    /// (probe count) and optionally sampling.
+    /// (probe count) and optionally sampling. With `prepared` (built
+    /// for the same dispatch), compilation, probe injection, decode
+    /// and IR lowering are all skipped in favor of the shared forms.
     fn build_vm(
         &self,
         project: &JavaProject,
         instrument: bool,
         sampling: Option<SamplingConfig>,
+        prepared: Option<&PreparedProgram>,
     ) -> Result<(Vm, usize), VmError> {
         let _s = jepo_trace::span("profile/compile");
-        let mut vm = Vm::from_project(project)?
-            .with_device(self.device.clone())
-            .with_fuel(self.fuel)
-            .with_dispatch(self.dispatch);
+        let reusable = prepared.filter(|p| p.dispatch == self.dispatch);
+        let (mut vm, probes) = match reusable {
+            Some(p) => {
+                let (program, decoded, ir, probes) = if instrument {
+                    (
+                        p.instr.clone(),
+                        p.instr_decoded.clone(),
+                        p.instr_ir.clone(),
+                        p.probes,
+                    )
+                } else {
+                    (
+                        p.plain.clone(),
+                        p.plain_decoded.clone(),
+                        p.plain_ir.clone(),
+                        0,
+                    )
+                };
+                (
+                    Vm::from_prepared(program, decoded, ir, instrument)
+                        .with_dispatch(self.dispatch),
+                    probes,
+                )
+            }
+            None => {
+                let vm = Vm::from_project(project)?.with_dispatch(self.dispatch);
+                (vm, 0)
+            }
+        };
+        vm = vm.with_device(self.device.clone()).with_fuel(self.fuel);
         if let Some(cfg) = sampling {
             vm = vm.with_sampling(cfg);
         }
-        let probes = if instrument { vm.instrument() } else { 0 };
+        let probes = if instrument && reusable.is_none() {
+            vm.instrument()
+        } else {
+            probes
+        };
         Ok((vm, probes))
     }
 
@@ -177,9 +264,10 @@ impl JepoProfiler {
         &self,
         project: &JavaProject,
         interval_us: u64,
+        prepared: Option<&PreparedProgram>,
     ) -> Result<(SampledProfile, jepo_jvm::RunOutcome), VmError> {
         let cfg = SamplingConfig::from_interval_us(interval_us);
-        let (mut vm, _) = self.build_vm(project, false, Some(cfg))?;
+        let (mut vm, _) = self.build_vm(project, false, Some(cfg), prepared)?;
         let out = {
             let _s = jepo_trace::span("profile/run-sampling");
             vm.run_main()?
@@ -206,6 +294,18 @@ impl JepoProfiler {
 
     /// Profile a project end to end.
     pub fn profile(&self, project: &JavaProject) -> Result<ProfileReport, VmError> {
+        self.profile_prepared(project, None)
+    }
+
+    /// Profile a project end to end, reusing shared compiled forms when
+    /// available. `prepared` must come from [`JepoProfiler::prepare`] on
+    /// the same project bytes; a dispatch mismatch silently falls back
+    /// to the cold path. The report is bit-identical either way.
+    pub fn profile_prepared(
+        &self,
+        project: &JavaProject,
+        prepared: Option<&PreparedProgram>,
+    ) -> Result<ProfileReport, VmError> {
         let _track = jepo_trace::would_trace().then(|| jepo_trace::track("profile"));
         // Main-class discovery per §VII.
         let main_class = {
@@ -232,7 +332,7 @@ impl JepoProfiler {
         };
         // Pure sampling: no probes, statistical attribution only.
         if let ProfilingMode::Sampling { interval_us } = self.mode {
-            let (sampled, out) = self.run_sampling(project, interval_us)?;
+            let (sampled, out) = self.run_sampling(project, interval_us, prepared)?;
             let result_txt = {
                 let _s = jepo_trace::span("profile/report");
                 views::sampling_result_txt(&sampled.records)
@@ -249,7 +349,7 @@ impl JepoProfiler {
             });
         }
         // Instrumented leg (also the ground truth for `Both`).
-        let (mut vm, probes) = self.build_vm(project, true, None)?;
+        let (mut vm, probes) = self.build_vm(project, true, None, prepared)?;
         let out = {
             let _s = jepo_trace::span("profile/run");
             vm.run_main()?
@@ -262,7 +362,7 @@ impl JepoProfiler {
         };
         let sampled = match self.mode {
             ProfilingMode::Both { interval_us } => {
-                Some(self.run_sampling(project, interval_us)?.0)
+                Some(self.run_sampling(project, interval_us, prepared)?.0)
             }
             _ => None,
         };
@@ -448,6 +548,34 @@ mod tests {
                     "jobs={jobs} run {i} diverged from the jobs=1 reference"
                 );
             }
+        }
+    }
+
+    /// The hot-cache contract: a profile run against prepared shared
+    /// forms is bit-identical to a cold run, in every mode.
+    #[test]
+    fn prepared_profile_is_bit_identical_to_cold() {
+        let project = corpus::runnable_project();
+        for mode in [
+            ProfilingMode::Instrumented,
+            ProfilingMode::Sampling { interval_us: 10 },
+            ProfilingMode::Both { interval_us: 10 },
+        ] {
+            let profiler = JepoProfiler::new().with_mode(mode);
+            let prepared = profiler.prepare(&project).unwrap();
+            let cold = profiler.profile(&project).unwrap();
+            let warm = profiler
+                .profile_prepared(&project, Some(&prepared))
+                .unwrap();
+            assert_eq!(warm.probes_injected, cold.probes_injected, "{mode:?}");
+            assert_eq!(warm.stdout, cold.stdout, "{mode:?}");
+            assert_eq!(warm.result_txt, cold.result_txt, "{mode:?}");
+            assert_eq!(warm.view(), cold.view(), "{mode:?}");
+            assert_eq!(
+                warm.energy.package_j.to_bits(),
+                cold.energy.package_j.to_bits(),
+                "{mode:?}"
+            );
         }
     }
 

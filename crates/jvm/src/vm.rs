@@ -62,11 +62,13 @@ pub struct Vm {
     instrumented: bool,
     dispatch: Dispatch,
     /// Lazily built pre-decoded form; invalidated when the program's
-    /// bytecode changes (instrumentation).
-    decoded: Option<DecodedProgram>,
+    /// bytecode changes (instrumentation). `Arc` so a long-lived
+    /// service can build it once per program and share it across
+    /// concurrent VMs ([`Vm::from_prepared`]).
+    decoded: Option<Arc<DecodedProgram>>,
     /// Lazily built register-IR form (requires `decoded`); invalidated
     /// alongside it.
-    ir: Option<crate::ir::IrProgram>,
+    ir: Option<Arc<crate::ir::IrProgram>>,
     /// Virtual-time sampling profiler config, applied to every run.
     sampling: Option<SamplingConfig>,
 }
@@ -95,6 +97,42 @@ impl Vm {
             ir: None,
             sampling: None,
         }
+    }
+
+    /// Wrap an already-compiled program together with its pre-built
+    /// shared execution forms — the profiling-as-a-service hot path.
+    ///
+    /// Contract: `decoded` (and `ir`, when given) must have been built
+    /// from exactly this `program` bytes (same instrumentation state,
+    /// flagged by `instrumented`); [`Vm::shared_forms`] on a throwaway
+    /// VM of the same program is the supported producer. A later
+    /// [`Vm::instrument`] call invalidates the shared forms and falls
+    /// back to a private rebuild.
+    pub fn from_prepared(
+        program: Program,
+        decoded: Option<Arc<DecodedProgram>>,
+        ir: Option<Arc<crate::ir::IrProgram>>,
+        instrumented: bool,
+    ) -> Vm {
+        let mut vm = Vm::new(program);
+        vm.instrumented = instrumented;
+        vm.decoded = decoded;
+        vm.ir = ir;
+        vm
+    }
+
+    /// Build (if needed) and hand out the shared execution forms of the
+    /// current program for the current dispatch: the pre-decoded
+    /// program, plus the register-IR program under [`Dispatch::Ir`].
+    /// `None` under [`Dispatch::Legacy`], which has no derived form.
+    pub fn shared_forms(
+        &mut self,
+    ) -> (
+        Option<Arc<DecodedProgram>>,
+        Option<Arc<crate::ir::IrProgram>>,
+    ) {
+        self.ensure_decoded();
+        (self.decoded.clone(), self.ir.clone())
     }
 
     /// Select the execution engine (default: [`Dispatch::Decoded`]).
@@ -149,11 +187,11 @@ impl Vm {
             return;
         }
         if self.decoded.is_none() {
-            self.decoded = Some(decode::decode(&self.program));
+            self.decoded = Some(Arc::new(decode::decode(&self.program)));
         }
         if self.dispatch == Dispatch::Ir && self.ir.is_none() {
             let dp = self.decoded.as_ref().expect("decoded just built");
-            self.ir = Some(crate::ir::compile(&self.program, dp));
+            self.ir = Some(Arc::new(crate::ir::compile(&self.program, dp)));
         }
     }
 
@@ -195,10 +233,10 @@ impl Vm {
         let _probe = self.bind_trace_probe();
         let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
-        if let Some(dp) = self.decoded.as_ref() {
+        if let Some(dp) = self.decoded.as_deref() {
             interp.set_decoded(dp);
         }
-        if let Some(irp) = self.ir.as_ref() {
+        if let Some(irp) = self.ir.as_deref() {
             interp.set_ir(irp);
         }
         interp.set_fuel(self.fuel);
@@ -236,10 +274,10 @@ impl Vm {
         let _probe = self.bind_trace_probe();
         let _run = jepo_trace::span("vm/run");
         let mut interp = Interp::new(&self.program, self.settings.clone(), self.sim.clone());
-        if let Some(dp) = self.decoded.as_ref() {
+        if let Some(dp) = self.decoded.as_deref() {
             interp.set_decoded(dp);
         }
-        if let Some(irp) = self.ir.as_ref() {
+        if let Some(irp) = self.ir.as_deref() {
             interp.set_ir(irp);
         }
         interp.set_fuel(self.fuel);

@@ -212,6 +212,120 @@ where
     results.into_iter().collect()
 }
 
+/// A job submitted to a [`TaskPool`].
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a [`TaskPool::try_submit`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity and no worker is free —
+    /// admission control says shed this job now rather than buffer
+    /// unboundedly.
+    Full,
+    /// The pool is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue full"),
+            SubmitError::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+/// A long-lived worker pool with a *bounded* job queue — the execution
+/// substrate of `jepo serve`.
+///
+/// Unlike [`parallel_map`] (scoped, batch, deterministic ordering),
+/// a `TaskPool` accepts independent fire-and-forget jobs over time.
+/// Two properties matter for a daemon:
+///
+/// * **Admission control.** The queue holds at most `queue_depth`
+///   jobs beyond the ones workers are executing; [`TaskPool::try_submit`]
+///   returns [`SubmitError::Full`] instead of blocking or buffering
+///   without bound, so overload is shed at the front door.
+/// * **Graceful drain.** [`TaskPool::shutdown_drain`] closes the
+///   queue, lets workers finish every job already accepted, and joins
+///   them — an accepted job is never dropped.
+pub struct TaskPool {
+    tx: Option<std::sync::mpsc::SyncSender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Pool with `workers` threads (`0` = one per core via
+    /// [`effective_jobs`]) and a queue of at most `queue_depth`
+    /// pending jobs. `queue_depth` of 0 is a rendezvous: a submit is
+    /// admitted only when a worker is ready to take it immediately.
+    pub fn new(workers: usize, queue_depth: usize) -> TaskPool {
+        let workers = effective_jobs(workers);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_depth);
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, never while
+                    // running the job.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return, // a job panicked mid-recv elsewhere
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        // Sender dropped and queue drained: clean exit.
+                        Err(_) => return,
+                    }
+                })
+            })
+            .collect();
+        TaskPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job without blocking. `Err(Full)` when the bounded
+    /// queue is at capacity, `Err(ShuttingDown)` after
+    /// [`TaskPool::shutdown_drain`] began.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), SubmitError> {
+        use std::sync::mpsc::TrySendError;
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        tx.try_send(Box::new(job)).map_err(|e| match e {
+            TrySendError::Full(_) => SubmitError::Full,
+            TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
+        })
+    }
+
+    /// Stop accepting work, let the workers drain every queued job,
+    /// and join them. Every job accepted before this call runs to
+    /// completion.
+    pub fn shutdown_drain(mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        // Dropping without an explicit drain still drains: the workers
+        // exit once the queue empties and the sender is gone. Detach
+        // rather than join so a panicking test doesn't deadlock.
+        drop(self.tx.take());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +447,81 @@ mod tests {
             }
         });
         assert_eq!(r.unwrap_err(), "bad 7");
+    }
+
+    #[test]
+    fn task_pool_runs_submitted_jobs() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let pool = TaskPool::new(3, 16);
+        assert_eq!(pool.worker_count(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=10u64 {
+            let sum = Arc::clone(&sum);
+            pool.try_submit(move || {
+                sum.fetch_add(i, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown_drain();
+        assert_eq!(sum.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn task_pool_sheds_load_when_queue_full() {
+        use std::sync::mpsc;
+        // One worker, rendezvous queue: park the worker, then every
+        // further submit must be refused with `Full`, not buffered.
+        let pool = TaskPool::new(1, 0);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (parked_tx, parked_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            parked_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        parked_rx.recv().unwrap(); // worker is now busy
+        let mut saw_full = false;
+        for _ in 0..50 {
+            match pool.try_submit(|| {}) {
+                Err(SubmitError::Full) => {
+                    saw_full = true;
+                    break;
+                }
+                Ok(()) => continue, // a rendezvous handoff won the race
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_full, "a busy 1-worker rendezvous pool must shed load");
+        release_tx.send(()).unwrap();
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn task_pool_drain_runs_every_accepted_job() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let pool = TaskPool::new(2, 64);
+        let done = Arc::new(AtomicU64::new(0));
+        let mut accepted = 0u64;
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            if pool
+                .try_submit(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        pool.shutdown_drain();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            accepted,
+            "no accepted job dropped"
+        );
     }
 
     #[test]

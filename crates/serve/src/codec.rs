@@ -1,0 +1,493 @@
+//! Wire format of the `jepo serve` protocol.
+//!
+//! Transport: length-prefixed frames over TCP — a big-endian `u32`
+//! length followed by that many payload bytes. Frames are capped at
+//! [`MAX_FRAME`]; oversized, truncated or garbage frames decode to a
+//! structured [`CodecError`], never a panic (the daemon answers them
+//! with an error event and stays up).
+//!
+//! A client sends exactly one request frame per connection. The request
+//! payload is a line-oriented text form with length-prefixed fields so
+//! arbitrary file bodies round-trip exactly:
+//!
+//! ```text
+//! jepo1 <verb>\n
+//! p <key-len> <value-len>\n<key><value>\n      (repeated; parameters)
+//! f <name-len> <body-len>\n<name><body>\n      (repeated; corpus files)
+//! end\n
+//! ```
+//!
+//! The server streams back JSONL events, one event per frame:
+//!
+//! ```text
+//! {"event":"chunk","data":"<json-escaped body bytes>"}      (repeated)
+//! {"event":"done","status":"ok","cache":"warm","bytes":123}
+//! {"event":"done","status":"error","code":"busy","message":"..."}
+//! ```
+
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload: 64 MiB.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Protocol magic of request payloads.
+pub const MAGIC: &str = "jepo1";
+
+/// Body bytes per `chunk` event when streaming a response.
+pub const CHUNK_SIZE: usize = 32 * 1024;
+
+/// Everything that can go wrong decoding a frame or request. Malformed
+/// input from the network maps here — never into a panic.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The peer closed the stream cleanly before a frame started.
+    Eof,
+    /// The stream ended inside a length prefix or payload.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// The payload is not a well-formed request (reason).
+    Malformed(String),
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "connection closed"),
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            CodecError::Malformed(why) => write!(f, "malformed request: {why}"),
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> CodecError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e)
+        }
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame, enforcing the size cap. A clean EOF
+/// before any length byte is [`CodecError::Eof`]; an EOF mid-frame is
+/// [`CodecError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, CodecError> {
+    let mut len = [0u8; 4];
+    // First byte by hand so a clean close is distinguishable.
+    match r.read(&mut len[..1]) {
+        Ok(0) => return Err(CodecError::Eof),
+        Ok(_) => {}
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut len[1..])?;
+    let n = u32::from_be_bytes(len);
+    if n > MAX_FRAME {
+        return Err(CodecError::Oversized(n));
+    }
+    let mut payload = vec![0u8; n as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// One request: a verb plus ordered parameters and corpus files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Request {
+    /// What to do: `analyze`, `energy`, `profile`, `table4`, `ping`,
+    /// `stats`, `shutdown`.
+    pub verb: String,
+    /// Key/value parameters (e.g. `top`, `mode`, `sleep_ms`).
+    pub params: Vec<(String, String)>,
+    /// Corpus files shipped inline as `(name, body)`.
+    pub files: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A bare request with no parameters or files.
+    pub fn new(verb: &str) -> Request {
+        Request {
+            verb: verb.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Look a parameter up.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Canonical payload bytes. Decoding this yields an equal request
+    /// as long as every field stays under the frame cap.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.verb.as_bytes());
+        out.push(b'\n');
+        for (k, v) in &self.params {
+            out.extend_from_slice(format!("p {} {}\n", k.len(), v.len()).as_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(v.as_bytes());
+            out.push(b'\n');
+        }
+        for (name, body) in &self.files {
+            out.extend_from_slice(format!("f {} {}\n", name.len(), body.len()).as_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(body.as_bytes());
+            out.push(b'\n');
+        }
+        out.extend_from_slice(b"end\n");
+        out
+    }
+
+    /// Strict parse of a request payload. Every deviation — wrong
+    /// magic, bad lengths, non-UTF-8 text, missing terminator, trailing
+    /// bytes — is a [`CodecError::Malformed`].
+    pub fn decode(payload: &[u8]) -> Result<Request, CodecError> {
+        let mut pos = 0usize;
+        let header = take_line(payload, &mut pos)?;
+        let verb = match header.split_once(' ') {
+            Some((MAGIC, verb)) if !verb.is_empty() && !verb.contains(' ') => verb.to_string(),
+            _ => return Err(bad("bad magic/verb header")),
+        };
+        let mut req = Request {
+            verb,
+            ..Default::default()
+        };
+        loop {
+            let line = take_line(payload, &mut pos)?.to_string();
+            if line == "end" {
+                break;
+            }
+            let mut parts = line.split(' ');
+            let kind = parts.next().unwrap_or("").to_string();
+            let a = parse_len(parts.next())?;
+            let b = parse_len(parts.next())?;
+            if parts.next().is_some() {
+                return Err(bad("trailing tokens on field line"));
+            }
+            let first = std::str::from_utf8(take_bytes(payload, &mut pos, a)?)
+                .map_err(|_| bad("non-UTF-8 field"))?
+                .to_string();
+            let second = std::str::from_utf8(take_bytes(payload, &mut pos, b)?)
+                .map_err(|_| bad("non-UTF-8 field"))?
+                .to_string();
+            if take_bytes(payload, &mut pos, 1)? != b"\n" {
+                return Err(bad("missing field terminator"));
+            }
+            match kind.as_str() {
+                "p" => req.params.push((first, second)),
+                "f" => req.files.push((first, second)),
+                _ => return Err(bad("unknown field kind")),
+            }
+        }
+        if pos != payload.len() {
+            return Err(bad("trailing bytes after end"));
+        }
+        Ok(req)
+    }
+}
+
+fn bad(why: &str) -> CodecError {
+    CodecError::Malformed(why.to_string())
+}
+
+/// Consume one `\n`-terminated UTF-8 line starting at `pos`.
+fn take_line<'a>(payload: &'a [u8], pos: &mut usize) -> Result<&'a str, CodecError> {
+    let rest = &payload[*pos..];
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| bad("unterminated line"))?;
+    let line = std::str::from_utf8(&rest[..nl]).map_err(|_| bad("non-UTF-8 header line"))?;
+    *pos += nl + 1;
+    Ok(line)
+}
+
+/// Consume exactly `n` raw bytes starting at `pos`.
+fn take_bytes<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= payload.len())
+        .ok_or_else(|| bad("field length overruns payload"))?;
+    let bytes = &payload[*pos..end];
+    *pos = end;
+    Ok(bytes)
+}
+
+/// Parse a declared field length, bounded by the frame cap.
+fn parse_len(s: Option<&str>) -> Result<usize, CodecError> {
+    s.and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n <= MAX_FRAME as usize)
+        .ok_or_else(|| bad("bad field length"))
+}
+
+/// A response event, streamed one per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A slice of the response body.
+    Chunk(String),
+    /// Terminal event: success. `cache` is `"warm"` or `"cold"`,
+    /// `bytes` the total body length.
+    Ok { cache: String, bytes: usize },
+    /// Terminal event: failure, with a machine-readable code
+    /// (`bad-request`, `busy`, `shutting-down`, `internal`).
+    Error { code: String, message: String },
+}
+
+impl Event {
+    /// The JSONL wire form (no trailing newline; one event per frame).
+    pub fn encode(&self) -> String {
+        match self {
+            Event::Chunk(data) => {
+                format!(r#"{{"event":"chunk","data":"{}"}}"#, json_escape(data))
+            }
+            Event::Ok { cache, bytes } => {
+                format!(r#"{{"event":"done","status":"ok","cache":"{cache}","bytes":{bytes}}}"#)
+            }
+            Event::Error { code, message } => format!(
+                r#"{{"event":"done","status":"error","code":"{code}","message":"{}"}}"#,
+                json_escape(message)
+            ),
+        }
+    }
+
+    /// Parse the exact shapes [`Event::encode`] emits.
+    pub fn decode(line: &str) -> Result<Event, CodecError> {
+        let bad = || CodecError::Malformed(format!("unrecognized event: {line}"));
+        if let Some(rest) = line.strip_prefix(r#"{"event":"chunk","data":""#) {
+            let data = rest.strip_suffix(r#""}"#).ok_or_else(bad)?;
+            return Ok(Event::Chunk(json_unescape(data).ok_or_else(bad)?));
+        }
+        if let Some(rest) = line.strip_prefix(r#"{"event":"done","status":"ok","cache":""#) {
+            let (cache, rest) = rest.split_once(r#"","bytes":"#).ok_or_else(bad)?;
+            let bytes = rest
+                .strip_suffix('}')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(bad)?;
+            return Ok(Event::Ok {
+                cache: cache.to_string(),
+                bytes,
+            });
+        }
+        if let Some(rest) = line.strip_prefix(r#"{"event":"done","status":"error","code":""#) {
+            let (code, rest) = rest.split_once(r#"","message":""#).ok_or_else(bad)?;
+            let message = rest.strip_suffix(r#""}"#).ok_or_else(bad)?;
+            return Ok(Event::Error {
+                code: code.to_string(),
+                message: json_unescape(message).ok_or_else(bad)?,
+            });
+        }
+        Err(bad())
+    }
+}
+
+/// Minimal JSON string escaping (RFC 8259: quote, backslash, control
+/// characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`json_escape`]. `None` on an invalid escape.
+pub fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Split a response body into `chunk` events followed by the `ok`
+/// terminal event — the server-side streaming shape.
+pub fn body_events(body: &str, cache: &str) -> Vec<Event> {
+    let mut events = Vec::new();
+    let bytes = body.as_bytes();
+    let mut start = 0;
+    while start < bytes.len() {
+        // Cut on a char boundary at most CHUNK_SIZE bytes out.
+        let mut end = (start + CHUNK_SIZE).min(bytes.len());
+        while !body.is_char_boundary(end) {
+            end -= 1;
+        }
+        events.push(Event::Chunk(body[start..end].to_string()));
+        start = end;
+    }
+    events.push(Event::Ok {
+        cache: cache.to_string(),
+        bytes: bytes.len(),
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            verb: "analyze".into(),
+            params: vec![("top".into(), "5".into())],
+            files: vec![
+                ("A.java".into(), "class A { }\n".into()),
+                (
+                    "weird name.java".into(),
+                    "body with\nnewlines\nand \"quotes\"".into(),
+                ),
+            ],
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn empty_fields_round_trip() {
+        let req = Request {
+            verb: "ping".into(),
+            params: vec![("".into(), "".into())],
+            files: vec![("".into(), "".into())],
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_panic() {
+        for garbage in [
+            &b""[..],
+            b"jepo1",
+            b"jepo1 \n",
+            b"http1 analyze\nend\n",
+            b"jepo1 analyze\n",
+            b"jepo1 analyze\np 3 1\nab\n",
+            b"jepo1 analyze\np 9999999 1\nx\nend\n",
+            b"jepo1 analyze\nq 1 1\nab\nend\n",
+            b"jepo1 analyze\nend\ntrailing",
+            b"jepo1 analyze\np x y\nend\n",
+            b"\xff\xfe\x00",
+        ] {
+            assert!(matches!(
+                Request::decode(garbage),
+                Err(CodecError::Malformed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(CodecError::Eof)));
+
+        // Oversized prefix rejected before allocation.
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(CodecError::Oversized(_))
+        ));
+
+        // Truncation inside the prefix and inside the payload.
+        assert!(matches!(
+            read_frame(&mut &[0u8, 0][..]),
+            Err(CodecError::Truncated)
+        ));
+        let mut cut = Vec::new();
+        write_frame(&mut cut, b"hello").unwrap();
+        cut.truncate(cut.len() - 2);
+        assert!(matches!(
+            read_frame(&mut &cut[..]),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn events_round_trip() {
+        for ev in [
+            Event::Chunk("plain".into()),
+            Event::Chunk("escape \"this\"\nand\tthat \\ \u{1}".into()),
+            Event::Ok {
+                cache: "warm".into(),
+                bytes: 123,
+            },
+            Event::Error {
+                code: "busy".into(),
+                message: "queue full\n(drop me)".into(),
+            },
+        ] {
+            assert_eq!(Event::decode(&ev.encode()).unwrap(), ev);
+        }
+        assert!(Event::decode("{\"event\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn body_events_reassemble() {
+        let body = "x".repeat(CHUNK_SIZE * 2 + 17);
+        let events = body_events(&body, "cold");
+        assert_eq!(events.len(), 4);
+        let mut rebuilt = String::new();
+        for ev in &events {
+            if let Event::Chunk(c) = ev {
+                rebuilt.push_str(c);
+            }
+        }
+        assert_eq!(rebuilt, body);
+        assert_eq!(
+            events.last().unwrap(),
+            &Event::Ok {
+                cache: "cold".into(),
+                bytes: body.len()
+            }
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests hardening the serve codec: arbitrary requests
+//! round-trip exactly, and truncated / oversized / garbage frames
+//! decode to structured errors — never a panic, which is what keeps a
+//! malformed client from taking the daemon down.
+
+use jepo_serve::codec::{
+    json_escape, json_unescape, read_frame, write_frame, CodecError, Event, Request,
+};
+use proptest::prelude::*;
+
+fn field_text() -> impl Strategy<Value = String> {
+    // Names and bodies with the characters that stress the framing:
+    // newlines, spaces, quotes, backslashes, digits (length-like
+    // tokens), and multi-byte UTF-8.
+    "[a-zA-Z0-9 \\\\\"\n\théμ→.{}/;=+-]{0,40}"
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        "[a-z][a-z0-9-]{0,10}",
+        proptest::collection::vec((field_text(), field_text()), 0..4),
+        proptest::collection::vec((field_text(), field_text()), 0..4),
+    )
+        .prop_map(|(verb, params, files)| Request {
+            verb,
+            params,
+            files,
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_round_trips(req in request()) {
+        let decoded = Request::decode(&req.encode()).expect("canonical encoding decodes");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn frame_write_read_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut &buf[..]).expect("frame reads back");
+        prop_assert_eq!(back, payload);
+    }
+
+    /// Arbitrary byte soup never panics the request decoder — it either
+    /// happens to parse or returns a structured error.
+    #[test]
+    fn garbage_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Truncating a valid encoding anywhere yields an error (or, for
+    /// the empty prefix cut at a field boundary, never a panic).
+    #[test]
+    fn truncated_requests_never_panic(req in request(), cut in any::<u16>()) {
+        let full = req.encode();
+        let cut = (cut as usize) % (full.len() + 1);
+        let _ = Request::decode(&full[..cut]);
+    }
+
+    /// Flipping one byte of a valid encoding never panics the decoder.
+    #[test]
+    fn corrupted_requests_never_panic(req in request(), at in any::<u16>(), to in any::<u8>()) {
+        let mut bytes = req.encode();
+        let at = (at as usize) % bytes.len();
+        bytes[at] = to;
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Truncated frames surface as Truncated/Eof, never a panic or hang.
+    #[test]
+    fn truncated_frames_are_errors(payload in proptest::collection::vec(any::<u8>(), 1..256),
+                                   cut in any::<u16>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = (cut as usize) % buf.len(); // strictly shorter
+        match read_frame(&mut &buf[..cut]) {
+            Err(CodecError::Eof) => prop_assert_eq!(cut, 0),
+            Err(CodecError::Truncated) => {}
+            other => panic!("truncated frame must error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_escape_round_trips(s in field_text()) {
+        prop_assert_eq!(json_unescape(&json_escape(&s)), Some(s));
+    }
+
+    /// Chunked bodies reassemble to the original for any body and any
+    /// cache tag the server uses.
+    #[test]
+    fn body_events_reassemble(body in field_text(), warm in any::<bool>()) {
+        let cache = if warm { "warm" } else { "cold" };
+        let events = jepo_serve::codec::body_events(&body, cache);
+        let mut rebuilt = String::new();
+        for ev in &events {
+            match Event::decode(&ev.encode()).expect("event round-trips") {
+                Event::Chunk(c) => rebuilt.push_str(&c),
+                Event::Ok { cache: c, bytes } => {
+                    prop_assert_eq!(c, cache);
+                    prop_assert_eq!(bytes, body.len());
+                }
+                Event::Error { .. } => panic!("no error events in a body stream"),
+            }
+        }
+        prop_assert_eq!(rebuilt, body);
+    }
+}
+
+/// An oversized length prefix is rejected before any allocation.
+#[test]
+fn oversized_frames_are_rejected() {
+    for len in [
+        jepo_serve::MAX_FRAME + 1,
+        u32::MAX,
+        jepo_serve::MAX_FRAME + 1024 * 1024,
+    ] {
+        let bytes = len.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(CodecError::Oversized(n)) if n == len
+        ));
+    }
+}

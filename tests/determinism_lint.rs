@@ -13,7 +13,8 @@
 //!    be seeded from explicit config.
 //! 3. `Instant::now` inside analysis code — timing is fine for metrics,
 //!    but it must stay in the telemetry crates (`rapl`, `trace`,
-//!    `pool`, `bench`) or behind the metrics-guarded sites in
+//!    `pool`, `bench`, `serve` — the daemon times request latency) or
+//!    behind the metrics-guarded sites in
 //!    `analyzer/{engine,dataflow}.rs`; it must never feed an output.
 //!
 //! A line that genuinely needs an exception carries
@@ -57,6 +58,7 @@ fn timing_crate(path: &str) -> bool {
         "crates/trace/",
         "crates/pool/",
         "crates/bench/",
+        "crates/serve/",
     ]
     .iter()
     .any(|p| path.contains(p))
